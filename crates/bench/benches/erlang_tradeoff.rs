@@ -1,0 +1,47 @@
+//! E7 timing: the cost side of the Erlang space/accuracy trade-off — CDF
+//! evaluation and chain solving as the phase count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multival::ctmc::absorb::mean_time_to_target;
+use multival::ctmc::steady::SolveOptions;
+use multival::imc::phase_type::Delay;
+
+fn bench_cdf_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erlang_cdf");
+    for k in [1u32, 10, 100] {
+        let delay = Delay::fixed(1.0, k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &delay, |b, delay| {
+            b.iter(|| delay.cdf(1.0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hitting_time_per_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erlang_hitting_time");
+    for k in [10u32, 100, 1000] {
+        let delay = Delay::fixed(1.0, k);
+        let ctmc = delay.to_ctmc();
+        let target = ctmc.num_states() - 1;
+        group.bench_with_input(BenchmarkId::from_parameter(k), &ctmc, |b, ctmc| {
+            b.iter(|| {
+                mean_time_to_target(ctmc, &[target], &SolveOptions::default()).expect("solves")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sup_error(c: &mut Criterion) {
+    c.bench_function("erlang_sup_error_k20", |b| {
+        let delay = Delay::fixed(1.0, 20);
+        b.iter(|| delay.sup_error_vs_fixed_excluding(1.0, 0.1, 50))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cdf_evaluation, bench_hitting_time_per_phases, bench_sup_error
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E5 timing: the MPI ping-pong latency pipeline (explore → decorate →
+//! convert → solve) per configuration axis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multival::models::fame2::benchmark::{ping_pong_latency, RateConfig};
+use multival::models::fame2::coherence::Protocol;
+use multival::models::fame2::mpi::{MpiConfig, MpiImpl};
+use multival::models::fame2::topology::Topology;
+
+fn bench_latency_per_impl(c: &mut Criterion) {
+    let rates = RateConfig::default();
+    let mut group = c.benchmark_group("ping_pong");
+    for implementation in [MpiImpl::Eager, MpiImpl::Rendezvous] {
+        let config = MpiConfig {
+            topology: Topology::Crossbar(4),
+            protocol: Protocol::Mesi,
+            implementation,
+            payload: 1,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(implementation),
+            &config,
+            |b, config| {
+                b.iter(|| ping_pong_latency(config, &rates).expect("analyzes").latency)
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_latency_per_payload(c: &mut Criterion) {
+    let rates = RateConfig::default();
+    let mut group = c.benchmark_group("ping_pong_payload");
+    for payload in [1usize, 2, 4] {
+        let config = MpiConfig {
+            topology: Topology::Crossbar(4),
+            protocol: Protocol::Msi,
+            implementation: MpiImpl::Eager,
+            payload,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(payload), &config, |b, config| {
+            b.iter(|| ping_pong_latency(config, &rates).expect("analyzes").latency)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_latency_per_impl, bench_latency_per_payload
+}
+criterion_main!(benches);

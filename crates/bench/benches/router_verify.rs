@@ -1,0 +1,50 @@
+//! E3 timing: FAUST router generation + verification per port count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multival::models::faust::router::{router_spec, verify_router};
+use multival::pa::{explore, ExploreOptions};
+
+fn bench_router_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_explore");
+    for ports in [2usize, 3, 4] {
+        let spec = router_spec(ports).expect("parses");
+        group.bench_with_input(BenchmarkId::from_parameter(ports), &spec, |b, spec| {
+            b.iter(|| explore(spec, &ExploreOptions::default()).expect("explores").lts.num_states())
+        });
+    }
+    group.finish();
+}
+
+fn bench_router_full_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_verify");
+    for ports in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(ports), &ports, |b, &ports| {
+            b.iter(|| {
+                let v = verify_router(ports, &ExploreOptions::default()).expect("verifies");
+                assert!(v.deadlock.is_none());
+                v.states
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mesh_verification(c: &mut Criterion) {
+    use multival::models::faust::noc::verify_mesh;
+    let mut group = c.benchmark_group("mesh_verify");
+    for k in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                verify_mesh(Some(k), &ExploreOptions::default()).expect("verifies").states
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_router_exploration, bench_router_full_verification, bench_mesh_verification
+}
+criterion_main!(benches);

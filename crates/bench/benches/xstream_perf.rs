@@ -1,0 +1,52 @@
+//! E6 timing: the xSTream pipeline performance flow per queue capacity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multival::ctmc::steady::{steady_state, SolveOptions};
+use multival::models::xstream::perf::{analyze, explore_pipeline, PerfConfig};
+
+fn bench_analyze_per_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xstream_analyze");
+    for cap in [2u8, 4, 8] {
+        let cfg =
+            PerfConfig { push_capacity: cap, pop_capacity: cap, ..PerfConfig::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cfg, |b, cfg| {
+            b.iter(|| analyze(cfg).expect("analyzes").throughput)
+        });
+    }
+    group.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let cfg = PerfConfig { push_capacity: 6, pop_capacity: 6, ..PerfConfig::default() };
+    c.bench_function("xstream_explore_only", |b| {
+        b.iter(|| explore_pipeline(&cfg).expect("explores").lts.num_states())
+    });
+    // Isolate the solver stage on the largest chain.
+    let explored = explore_pipeline(&cfg).expect("explores");
+    let imc = multival::imc::decorate::decorate_by_label(&explored.lts, |label| {
+        let rate = match label {
+            "push" => cfg.producer_rate,
+            "xfer" => cfg.transfer_rate,
+            "pop" => cfg.consumer_rate,
+            "credit" => cfg.credit_rate,
+            _ => return None,
+        };
+        Some(multival::imc::Delay::Exponential { rate })
+    });
+    let conv = multival::imc::to_ctmc::to_ctmc(
+        &imc,
+        multival::imc::NondetPolicy::Reject,
+        &["push", "xfer", "pop", "credit"],
+    )
+    .expect("converts");
+    c.bench_function("xstream_steady_state_only", |b| {
+        b.iter(|| steady_state(&conv.ctmc, &SolveOptions::default()).expect("solves")[0])
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_analyze_per_capacity, bench_stages
+}
+criterion_main!(benches);

@@ -1,0 +1,571 @@
+//! The nine experiments of the reproduction (DESIGN.md §5), each
+//! reproducing one quantitative claim of the DATE'08 paper.
+
+use multival::ctmc::mdp::Opt;
+use multival::ctmc::steady::SolveOptions;
+use multival::imc::compositional::{compose_minimize, peak_states, Component, PipelineOptions};
+use multival::imc::phase_type::Delay;
+use multival::imc::to_ctmc::{to_ctmc, to_ctmdp, NondetPolicy};
+use multival::imc::{Imc, ImcBuilder};
+use multival::lts::analysis::deadlock_witness;
+use multival::lts::equiv::{weak_trace_equivalent, Verdict};
+use multival::models::fame2::benchmark::{
+    latency_table, ping_pong_bandwidth, ping_pong_latency, RateConfig,
+};
+use multival::models::fame2::coherence::{verify_coherence, Protocol};
+use multival::models::fame2::mpi::{MpiConfig, MpiImpl};
+use multival::models::fame2::topology::Topology;
+use multival::models::faust::fork::run_fork_study;
+use multival::models::faust::noc::{single_packet_latency, verify_mesh};
+use multival::models::faust::router::verify_router;
+use multival::models::xstream::perf::{analyze, first_delivery_cdf, PerfConfig};
+use multival::models::xstream::tandem::{analyze_tandem, Stage, TandemConfig};
+use multival::models::xstream::pipeline::{
+    build_buffer_chain, build_compositional, build_monolithic, PipelineConfig,
+};
+use multival::models::xstream::queue;
+use multival::pa::{explore, parse_behaviour, parse_spec, ExploreOptions};
+use multival::report::{fmt_f, Table};
+use std::error::Error;
+
+/// The experiment ids accepted by [`run`].
+pub const EXPERIMENTS: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+
+/// Runs one experiment by id and returns its rendered report.
+///
+/// # Errors
+///
+/// Propagates any model/solver error of the underlying flow.
+pub fn run(id: &str) -> Result<String, Box<dyn Error>> {
+    match id {
+        "e1" => e1_state_spaces(),
+        "e2" => e2_xstream_issues(),
+        "e3" => e3_router_verification(),
+        "e4" => e4_isochronous_fork(),
+        "e5" => e5_mpi_latency(),
+        "e6" => e6_xstream_performance(),
+        "e7" => e7_erlang_tradeoff(),
+        "e8" => e8_nondeterminism(),
+        "e9" => e9_compositional_imc(),
+        other => Err(format!("unknown experiment `{other}` (try one of {EXPERIMENTS:?})").into()),
+    }
+}
+
+/// E1 — state-space enumeration & compositional verification
+/// ("LTSs enumerate the state space"; compositional verification fights
+/// explosion, §3/§5).
+pub fn e1_state_spaces() -> Result<String, Box<dyn Error>> {
+    let mut out = String::from(
+        "E1 — state-space sizes: monolithic vs compositional construction\n\n",
+    );
+    let mut t = Table::new(&[
+        "model",
+        "monolithic peak",
+        "compositional peak",
+        "final states",
+        "reduction",
+    ]);
+    for k in [4usize, 6, 8, 10, 12] {
+        let mono = build_buffer_chain(k, false);
+        let comp = build_buffer_chain(k, true);
+        t.row_owned(vec![
+            format!("buffer chain k={k}"),
+            mono.peak_states.to_string(),
+            comp.peak_states.to_string(),
+            comp.lts.num_states().to_string(),
+            format!("{:.1}x", mono.peak_states as f64 / comp.peak_states.max(1) as f64),
+        ]);
+    }
+    for cap in [2i64, 4, 6] {
+        let cfg = PipelineConfig { push_capacity: cap, pop_capacity: cap, credits: cap };
+        let mono = build_monolithic(&cfg);
+        let comp = build_compositional(&cfg);
+        t.row_owned(vec![
+            format!("xstream pipeline cap={cap}"),
+            mono.peak_states.to_string(),
+            comp.peak_states.to_string(),
+            comp.lts.num_states().to_string(),
+            format!("{:.1}x", mono.peak_states as f64 / comp.peak_states.max(1) as f64),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    let mut c = Table::new(&["coherence model", "states", "transitions"]);
+    for nodes in [2, 3, 4, 5] {
+        for protocol in [Protocol::Msi, Protocol::Mesi] {
+            let v = verify_coherence(nodes, protocol, 5_000_000)?;
+            c.row_owned(vec![
+                format!("{protocol} N={nodes}"),
+                v.states.to_string(),
+                v.transitions.to_string(),
+            ]);
+        }
+    }
+    out.push('\n');
+    out.push_str(&c.render());
+    Ok(out)
+}
+
+/// E2 — the two xSTream functional issues (§3).
+pub fn e2_xstream_issues() -> Result<String, Box<dyn Error>> {
+    let mut out = String::from("E2 — xSTream functional issues highlighted\n\n");
+    let options = ExploreOptions::default();
+
+    let good = explore(&queue::credit_spec()?, &options)?.lts;
+    out.push_str(&format!(
+        "correct credit protocol: {} — deadlock-free: {}\n",
+        good.summary(),
+        deadlock_witness(&good).is_none()
+    ));
+
+    let buggy = explore(&queue::buggy_credit_spec()?, &options)?.lts;
+    match deadlock_witness(&buggy) {
+        Some(w) => out.push_str(&format!(
+            "issue 1 (lossy credit return): DEADLOCK after `{}`\n",
+            w.join(" ")
+        )),
+        None => out.push_str("issue 1: NOT detected (unexpected)\n"),
+    }
+
+    let fifo = queue::fifo_spec()?;
+    let spec_lts = multival::pa::explore_term(
+        parse_behaviour("FifoSpec[put, get](0, 0, 0)", &fifo)?,
+        &fifo,
+        &options,
+    )?
+    .lts;
+    let lifo = explore(&parse_spec(queue::buggy_lifo_spec())?, &options)?.lts;
+    match weak_trace_equivalent(&spec_lts, &lifo, 1 << 16) {
+        Verdict::Inequivalent { witness: Some(w) } => out.push_str(&format!(
+            "issue 2 (LIFO ordering): INEQUIVALENT to FIFO spec, trace `{}`\n",
+            w.join(" ")
+        )),
+        v => out.push_str(&format!("issue 2: NOT detected ({v:?})\n")),
+    }
+    Ok(out)
+}
+
+/// E3 — formal verification of the FAUST NoC router (§3).
+pub fn e3_router_verification() -> Result<String, Box<dyn Error>> {
+    let mut out = String::from("E3 — FAUST router verification\n\n");
+    let mut t = Table::new(&[
+        "ports",
+        "states",
+        "transitions",
+        "deadlock-free",
+        "no misroute",
+        "delivery live",
+        "minimized",
+    ]);
+    let max_ports = if cfg!(debug_assertions) { 4 } else { 5 };
+    for ports in 2..=max_ports {
+        let v = verify_router(ports, &ExploreOptions::default())?;
+        t.row_owned(vec![
+            ports.to_string(),
+            v.states.to_string(),
+            v.transitions.to_string(),
+            v.deadlock.is_none().to_string(),
+            v.misroute.is_none().to_string(),
+            v.delivery_live.to_string(),
+            v.reduction.states_after.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // One level up: the 2×2 mesh of routers with link buffers.
+    out.push_str("
+2x2 mesh of routers (link buffers, end-to-end flow control):
+");
+    let mut m = Table::new(&["in-flight limit", "states", "deadlock", "misdelivery"]);
+    for k in [1usize, 2, 3, 4] {
+        let v = verify_mesh(Some(k), &ExploreOptions::with_max_states(4_000_000))?;
+        m.row_owned(vec![
+            k.to_string(),
+            v.states.to_string(),
+            match &v.deadlock {
+                None => "none".to_owned(),
+                Some(w) => format!("after {} steps", w.len()),
+            },
+            if v.misdelivery.is_none() { "none".to_owned() } else { "FOUND".to_owned() },
+        ]);
+    }
+    out.push_str(&m.render());
+    out.push_str("(>= 4 packets in flight reach the head-of-line blocking cycle;\n");
+    out.push_str("FAUST's higher-level protocols provide exactly this end-to-end control)\n");
+
+    // Per-destination delivery latency through the IMC -> CTMC flow.
+    let mut lat = Table::new(&["destination", "xy hops", "latency"]);
+    for dest in 0..4usize {
+        let hops = match dest {
+            0 => 0,
+            3 => 2,
+            _ => 1,
+        };
+        let l = single_packet_latency(dest, 4.0, 20.0)?;
+        lat.row_owned(vec![format!("router {dest}"), hops.to_string(), fmt_f(l)]);
+    }
+    out.push('\n');
+    out.push_str("single-packet delivery latency from router 0 (link rate 4):\n");
+    out.push_str(&lat.render());
+    Ok(out)
+}
+
+/// E4 — isochronous forks demonstrated automatically (§3).
+pub fn e4_isochronous_fork() -> Result<String, Box<dyn Error>> {
+    let study = run_fork_study()?;
+    let mut out = String::from("E4 — isochronous fork study\n\n");
+    out.push_str(&format!(
+        "fully acknowledged fork  ≡ atomic spec (branching): {}\n",
+        study.acknowledged_equivalent.holds()
+    ));
+    out.push_str(&format!(
+        "isochronous branch fork  ≡ atomic spec (branching): {}\n",
+        study.isochronous_equivalent.holds()
+    ));
+    match &study.buffered_equivalent {
+        Verdict::Inequivalent { witness: Some(w) } => out.push_str(&format!(
+            "buffered branch fork     ≢ spec — counterexample: `{}`\n",
+            w.join(" ")
+        )),
+        v => out.push_str(&format!("buffered branch fork: unexpected verdict {v:?}\n")),
+    }
+    Ok(out)
+}
+
+/// E5 — MPI ping-pong latency across topologies × protocols ×
+/// implementations (§4, Bull's prediction).
+pub fn e5_mpi_latency() -> Result<String, Box<dyn Error>> {
+    let rates = RateConfig::default();
+    let mut out = String::from(
+        "E5 — MPI ping-pong latency (topology × protocol × implementation)\n\n",
+    );
+    let topologies = [
+        Topology::Crossbar(8),
+        Topology::Mesh(2, 4),
+        Topology::Torus(2, 4),
+        Topology::Ring(8),
+    ];
+    let rows = latency_table(&topologies, 1, &rates)?;
+    let mut t =
+        Table::new(&["topology", "hops", "protocol", "mpi impl", "latency", "ctmc states"]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.topology.to_string(),
+            r.topology.hops(0, r.topology.farthest_from(0)).to_string(),
+            r.protocol.to_string(),
+            r.implementation.to_string(),
+            fmt_f(r.latency),
+            r.ctmc_states.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // Payload sweep: where does rendezvous catch up with eager?
+    let mut sweep = Table::new(&["payload", "eager", "rendezvous", "ratio rdv/eager"]);
+    let max_payload = if cfg!(debug_assertions) { 2 } else { 5 };
+    for payload in 1..=max_payload {
+        let eager = ping_pong_latency(
+            &MpiConfig {
+                topology: Topology::Crossbar(8),
+                protocol: Protocol::Mesi,
+                implementation: MpiImpl::Eager,
+                payload,
+            },
+            &rates,
+        )?;
+        let rdv = ping_pong_latency(
+            &MpiConfig {
+                topology: Topology::Crossbar(8),
+                protocol: Protocol::Mesi,
+                implementation: MpiImpl::Rendezvous,
+                payload,
+            },
+            &rates,
+        )?;
+        sweep.row_owned(vec![
+            payload.to_string(),
+            fmt_f(eager.latency),
+            fmt_f(rdv.latency),
+            fmt_f(rdv.latency / eager.latency),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&sweep.render());
+
+    // Steady-state bandwidth (cyclic benchmark with a round-trip probe).
+    let mut bw = Table::new(&["topology", "protocol", "mpi impl", "rounds/t", "lines/t"]);
+    for topology in [Topology::Crossbar(8), Topology::Ring(8)] {
+        for protocol in [Protocol::Msi, Protocol::Mesi] {
+            for implementation in [MpiImpl::Eager, MpiImpl::Rendezvous] {
+                let row = ping_pong_bandwidth(
+                    &MpiConfig { topology, protocol, implementation, payload: 1 },
+                    &rates,
+                )?;
+                bw.row_owned(vec![
+                    row.topology.to_string(),
+                    row.protocol.to_string(),
+                    row.implementation.to_string(),
+                    fmt_f(row.rounds_per_time),
+                    fmt_f(row.lines_per_time),
+                ]);
+            }
+        }
+    }
+    out.push('\n');
+    out.push_str("steady-state bandwidth (cyclic benchmark):\n");
+    out.push_str(&bw.render());
+    Ok(out)
+}
+
+/// E6 — xSTream latency, throughput, and queue occupancy (§4, ST's
+/// exploration).
+pub fn e6_xstream_performance() -> Result<String, Box<dyn Error>> {
+    let mut out = String::from("E6 — xSTream pipeline performance\n\n");
+
+    // Capacity sweep.
+    let mut caps = Table::new(&["capacity", "throughput", "latency", "ctmc states"]);
+    for cap in 1..=8u8 {
+        let r = analyze(&PerfConfig {
+            push_capacity: cap,
+            pop_capacity: cap,
+            ..PerfConfig::default()
+        })?;
+        caps.row_owned(vec![
+            cap.to_string(),
+            fmt_f(r.throughput),
+            fmt_f(r.latency),
+            r.ctmc_states.to_string(),
+        ]);
+    }
+    out.push_str(&caps.render());
+
+    // Load sweep with occupancy distribution.
+    let mut occ = Table::new(&[
+        "producer rate",
+        "throughput",
+        "latency",
+        "P(q1=0)",
+        "P(q1=1)",
+        "P(q1=2)",
+    ]);
+    for lambda in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let r = analyze(&PerfConfig { producer_rate: lambda, ..PerfConfig::default() })?;
+        occ.row_owned(vec![
+            fmt_f(lambda),
+            fmt_f(r.throughput),
+            fmt_f(r.latency),
+            fmt_f(r.occupancy_push[0]),
+            fmt_f(r.occupancy_push[1]),
+            fmt_f(r.occupancy_push[2]),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&occ.render());
+
+    // Multi-hop route: a tandem of stages with one slow link.
+    let mut tandem = Table::new(&["stages", "throughput", "latency", "bottleneck", "fills"]);
+    for n in [2usize, 3, 4, 5] {
+        let mut stages = vec![Stage { capacity: 2, rate: 4.0 }; n];
+        stages[n / 2] = Stage { capacity: 2, rate: 1.5 }; // slow middle hop
+        let r = analyze_tandem(&TandemConfig { arrival_rate: 1.0, stages })?;
+        tandem.row_owned(vec![
+            n.to_string(),
+            fmt_f(r.throughput),
+            fmt_f(r.latency),
+            format!("stage {}", r.bottleneck),
+            r.mean_fill.iter().map(|f| format!("{f:.2}")).collect::<Vec<_>>().join("/"),
+        ]);
+    }
+    out.push('\n');
+    out.push_str("multi-hop tandem with a slow middle link (caps 2, rates 4 / 1.5):\n");
+    out.push_str(&tandem.render());
+
+    // Figure-style series: CDF of the time to first delivery (ramp-up).
+    let times: Vec<f64> = (0..=10).map(|i| i as f64 * 0.4).collect();
+    let cdf = first_delivery_cdf(&PerfConfig::default(), &times)?;
+    out.push_str("\nP(first delivery <= t), default rates (ASCII series):\n");
+    for (t, p) in times.iter().zip(&cdf) {
+        let bar = "#".repeat((p * 40.0).round() as usize);
+        out.push_str(&format!("  t={t:>4.1}  {p:>6.4}  {bar}\n"));
+    }
+    Ok(out)
+}
+
+/// E7 — the space/accuracy trade-off of Erlang-approximated fixed delays
+/// (§5 open issue).
+pub fn e7_erlang_tradeoff() -> Result<String, Box<dyn Error>> {
+    let mut out = String::from(
+        "E7 — Erlang-k approximation of a deterministic delay d = 1\n\
+         (space = phases/CTMC states; accuracy = CV and CDF error away from the jump)\n\n",
+    );
+    let mut t = Table::new(&[
+        "k",
+        "ctmc states",
+        "cv",
+        "sup err (±10% excl)",
+        "P(T <= 0.8)",
+        "P(T <= 1.2)",
+    ]);
+    let ks: &[u32] = if cfg!(debug_assertions) {
+        &[1, 2, 5, 10, 20, 50]
+    } else {
+        &[1, 2, 5, 10, 20, 50, 100, 200]
+    };
+    for &k in ks {
+        let delay = Delay::fixed(1.0, k);
+        t.row_owned(vec![
+            k.to_string(),
+            (k + 1).to_string(),
+            fmt_f(delay.cv()),
+            fmt_f(delay.sup_error_vs_fixed_excluding(1.0, 0.1, 300)),
+            fmt_f(delay.cdf(0.8)),
+            fmt_f(delay.cdf(1.2)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\n(deterministic reference: P(T<=0.8) = 0, P(T<=1.2) = 1; larger k\n\
+         approaches both at a linear cost in states)\n",
+    );
+    Ok(out)
+}
+
+/// The under-specified arbiter used by E8: after a request (rate 1), an
+/// internal choice picks the fast (rate 10) or slow (rate 1) server.
+fn nondeterministic_arbiter() -> Imc {
+    let mut b = ImcBuilder::new();
+    let idle = b.add_state();
+    let choosing = b.add_state();
+    let fast = b.add_state();
+    let slow = b.add_state();
+    let done = b.add_state();
+    b.markovian(idle, choosing, 1.0).expect("rate");
+    b.interactive(choosing, "i", fast);
+    b.interactive(choosing, "i", slow);
+    b.markovian(fast, done, 10.0).expect("rate");
+    b.markovian(slow, done, 1.0).expect("rate");
+    b.build(idle)
+}
+
+/// E8 — handling nondeterminism, the paper's §5 open issue: the CADP-style
+/// solver rejects; the uniform scheduler and the CTMDP bounds are the "new
+/// algorithms".
+pub fn e8_nondeterminism() -> Result<String, Box<dyn Error>> {
+    let imc = nondeterministic_arbiter();
+    let mut out = String::from("E8 — nondeterminism policies on an under-specified arbiter\n\n");
+
+    match to_ctmc(&imc, NondetPolicy::Reject, &[]) {
+        Err(e) => out.push_str(&format!("Reject policy (CADP today):   ERROR — {e}\n")),
+        Ok(_) => out.push_str("Reject policy: unexpectedly succeeded\n"),
+    }
+
+    let conv = to_ctmc(&imc, NondetPolicy::Uniform, &[])?;
+    let h = multival::ctmc::absorb::mean_time_to_target(
+        &conv.ctmc,
+        &[conv.state_map[4].expect("done is tangible")],
+        &SolveOptions::default(),
+    )?;
+    out.push_str(&format!("Uniform scheduler:            E[time to done] = {}\n", fmt_f(h)));
+
+    let mdp = to_ctmdp(&imc)?;
+    let (lo, best_policy) = mdp.optimal_expected_time(&[4], Opt::Min, 1e-12, 200_000)?;
+    let (hi, worst_policy) = mdp.optimal_expected_time(&[4], Opt::Max, 1e-12, 200_000)?;
+    out.push_str(&format!(
+        "CTMDP bounds over schedulers: E[time to done] in [{}, {}]\n",
+        fmt_f(lo[0]),
+        fmt_f(hi[0])
+    ));
+    out.push_str(&format!(
+        "optimal schedulers at the choice state: best takes branch {:?}, worst branch {:?}\n",
+        best_policy[1], worst_policy[1]
+    ));
+    out.push_str("(best = always fast: 1 + 0.1; worst = always slow: 1 + 1)\n");
+    Ok(out)
+}
+
+/// E9 — compositional IMC generation: per-stage sizes with and without
+/// intermediate lumping (§4).
+pub fn e9_compositional_imc() -> Result<String, Box<dyn Error>> {
+    let server = |rate: f64| {
+        let mut b = ImcBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.interactive(s0, "go", s1);
+        b.markovian(s1, s0, rate).expect("rate");
+        b.build(s0)
+    };
+    let source = {
+        let mut b = ImcBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.markovian(s0, s1, 1.0).expect("rate");
+        b.interactive(s1, "go", s0);
+        b.build(s0)
+    };
+    let n = 7;
+    let mut comps = vec![Component::new("src", source, [] as [&str; 0])];
+    for i in 0..n {
+        comps.push(Component::new(&format!("srv{i}"), server(2.0), ["go"]));
+    }
+
+    let (with, stages_on) = compose_minimize(&comps, &PipelineOptions::default());
+    let (without, stages_off) =
+        compose_minimize(&comps, &PipelineOptions { minimize: false, ..Default::default() });
+
+    let mut out = String::from(
+        "E9 — compositional IMC generation: alternate composition and lumping\n\n",
+    );
+    let mut t = Table::new(&["stage", "product states", "after lumping"]);
+    for s in &stages_on {
+        t.row_owned(vec![
+            s.stage.clone(),
+            s.states_before.to_string(),
+            s.states_after.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\npeak with lumping: {}   peak without: {}   final: {} vs {}\n",
+        peak_states(&stages_on),
+        peak_states(&stages_off),
+        with.num_states(),
+        without.num_states()
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_runs() {
+        for id in EXPERIMENTS {
+            let report = run(id).unwrap_or_else(|e| panic!("{id} failed: {e}"));
+            assert!(!report.is_empty(), "{id} produced no output");
+        }
+    }
+
+    #[test]
+    fn unknown_experiment_rejected() {
+        assert!(run("e99").is_err());
+    }
+
+    #[test]
+    fn e8_bounds_bracket_uniform() {
+        let imc = nondeterministic_arbiter();
+        let conv = to_ctmc(&imc, NondetPolicy::Uniform, &[]).expect("uniform");
+        let uniform = multival::ctmc::absorb::mean_time_to_target(
+            &conv.ctmc,
+            &[conv.state_map[4].expect("tangible")],
+            &SolveOptions::default(),
+        )
+        .expect("solves");
+        let mdp = to_ctmdp(&imc).expect("ctmdp");
+        let lo = mdp.expected_time_to_reach(&[4], Opt::Min, 1e-12, 200_000).expect("vi")[0];
+        let hi = mdp.expected_time_to_reach(&[4], Opt::Max, 1e-12, 200_000).expect("vi")[0];
+        assert!(lo <= uniform + 1e-6 && uniform <= hi + 1e-6, "{lo} <= {uniform} <= {hi}");
+        assert!((lo - 1.1).abs() < 1e-3, "fast bound {lo}");
+        assert!((hi - 2.0).abs() < 1e-3, "slow bound {hi}");
+    }
+}

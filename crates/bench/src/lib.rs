@@ -1,0 +1,9 @@
+//! # multival-bench — the experiment harness
+//!
+//! One module per experiment of the reproduction (E1–E9, see DESIGN.md §5);
+//! each returns rendered tables so the `experiments` binary can print them
+//! and the Criterion benches can reuse the underlying workloads.
+
+pub mod experiments;
+
+pub use experiments::{run, EXPERIMENTS};

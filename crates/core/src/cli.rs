@@ -1,0 +1,622 @@
+//! The `multival` command-line tool: the CADP-style verbs (explore, check,
+//! minimize, compare, solve) over mini-LOTOS sources and `.aut` files.
+//!
+//! The logic lives here (testable); `src/bin/multival.rs` is a thin wrapper.
+
+use crate::flow::Flow;
+use crate::report::{fmt_f, Table};
+use multival_imc::to_ctmc::NondetPolicy;
+use multival_lts::equiv::{equivalent, weak_trace_equivalent, Verdict};
+use multival_lts::io::{read_aut, write_aut, write_dot};
+use multival_lts::minimize::{minimize, Equivalence};
+use multival_lts::Lts;
+use multival_pa::{explore, parse_spec, ExploreOptions};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt::Write as _;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `explore <model.lot> [--aut out.aut] [--dot out.dot] [--max-states N]`
+    Explore {
+        /// Input model path.
+        input: String,
+        /// Write the LTS in Aldebaran format here.
+        aut: Option<String>,
+        /// Write a Graphviz rendering here.
+        dot: Option<String>,
+        /// Exploration cap.
+        max_states: usize,
+    },
+    /// `check <model.lot|lts.aut> <formula>` — μ-calculus model checking.
+    Check {
+        /// Input model or LTS path.
+        input: String,
+        /// Formula text.
+        formula: String,
+    },
+    /// `minimize <in> [--eq strong|branching] [--aut out.aut]`
+    Minimize {
+        /// Input model or LTS path.
+        input: String,
+        /// Equivalence to minimize modulo.
+        eq: Equivalence,
+        /// Output path.
+        aut: Option<String>,
+    },
+    /// `compare <a> <b> [--eq strong|branching|traces]`
+    Compare {
+        /// Left input.
+        left: String,
+        /// Right input.
+        right: String,
+        /// Comparison relation.
+        relation: Relation,
+    },
+    /// `solve <model.lot> --rate GATE=λ ... [--probe GATE ...]`
+    Solve {
+        /// Input model path.
+        input: String,
+        /// Gate → exponential rate.
+        rates: Vec<(String, f64)>,
+        /// Throughput probes.
+        probes: Vec<String>,
+    },
+    /// `walk <model.lot> [--steps N] [--seed S]` — random execution trace.
+    Walk {
+        /// Input model path.
+        input: String,
+        /// Maximum steps.
+        steps: usize,
+        /// RNG seed (reproducible).
+        seed: u64,
+    },
+    /// `refines <imp> <spec> [--weak]` — simulation-preorder check.
+    Refines {
+        /// Implementation input.
+        imp: String,
+        /// Specification input.
+        spec: String,
+        /// Use weak (τ-abstracting) simulation.
+        weak: bool,
+    },
+    /// `lint <model.lot>` — static modeling-pitfall checks.
+    Lint {
+        /// Input model path.
+        input: String,
+    },
+    /// `help`
+    Help,
+}
+
+/// Comparison relation for `compare`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// Strong bisimulation.
+    Strong,
+    /// Branching bisimulation.
+    Branching,
+    /// Weak trace equivalence (gives a distinguishing trace).
+    Traces,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+multival — functional verification + performance evaluation (DATE'08 flow)
+
+USAGE:
+  multival explore  <model.lot> [--aut OUT] [--dot OUT] [--max-states N]
+  multival check    <model.lot|lts.aut> <FORMULA>
+  multival minimize <model.lot|lts.aut> [--eq strong|branching] [--aut OUT]
+  multival compare  <A> <B> [--eq strong|branching|traces]
+  multival solve    <model.lot> --rate GATE=RATE ... [--probe GATE ...]
+  multival walk     <model.lot> [--steps N] [--seed S]
+  multival refines  <IMP> <SPEC> [--weak]
+  multival lint     <model.lot>
+
+Inputs ending in .aut are read as Aldebaran LTSs; anything else is parsed as
+mini-LOTOS. FORMULA is modal mu-calculus, e.g. 'nu X. <true> true and [true] X'.
+";
+
+/// Parses argv (without the program name).
+///
+/// # Errors
+///
+/// Returns a usage message on malformed invocations.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("explore") => {
+            let mut input = None;
+            let mut aut = None;
+            let mut dot = None;
+            let mut max_states = 1_000_000;
+            while let Some(a) = it.next() {
+                match a {
+                    "--aut" => aut = Some(next_value(&mut it, "--aut")?),
+                    "--dot" => dot = Some(next_value(&mut it, "--dot")?),
+                    "--max-states" => {
+                        max_states = next_value(&mut it, "--max-states")?
+                            .parse()
+                            .map_err(|_| "--max-states needs a number".to_owned())?
+                    }
+                    other if input.is_none() => input = Some(other.to_owned()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            Ok(Command::Explore {
+                input: input.ok_or("explore needs a model path")?,
+                aut,
+                dot,
+                max_states,
+            })
+        }
+        Some("check") => {
+            let input = it.next().ok_or("check needs a model path")?.to_owned();
+            let formula = it.next().ok_or("check needs a formula")?.to_owned();
+            if let Some(extra) = it.next() {
+                return Err(format!("unexpected argument `{extra}`"));
+            }
+            Ok(Command::Check { input, formula })
+        }
+        Some("minimize") => {
+            let mut input = None;
+            let mut eq = Equivalence::Branching;
+            let mut aut = None;
+            while let Some(a) = it.next() {
+                match a {
+                    "--eq" => {
+                        eq = match next_value(&mut it, "--eq")?.as_str() {
+                            "strong" => Equivalence::Strong,
+                            "branching" => Equivalence::Branching,
+                            other => return Err(format!("unknown equivalence `{other}`")),
+                        }
+                    }
+                    "--aut" => aut = Some(next_value(&mut it, "--aut")?),
+                    other if input.is_none() => input = Some(other.to_owned()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            Ok(Command::Minimize { input: input.ok_or("minimize needs an input")?, eq, aut })
+        }
+        Some("compare") => {
+            let mut paths = Vec::new();
+            let mut relation = Relation::Branching;
+            while let Some(a) = it.next() {
+                match a {
+                    "--eq" => {
+                        relation = match next_value(&mut it, "--eq")?.as_str() {
+                            "strong" => Relation::Strong,
+                            "branching" => Relation::Branching,
+                            "traces" => Relation::Traces,
+                            other => return Err(format!("unknown relation `{other}`")),
+                        }
+                    }
+                    other => paths.push(other.to_owned()),
+                }
+            }
+            if paths.len() != 2 {
+                return Err("compare needs exactly two inputs".to_owned());
+            }
+            let right = paths.pop().expect("len 2");
+            let left = paths.pop().expect("len 1");
+            Ok(Command::Compare { left, right, relation })
+        }
+        Some("lint") => {
+            let input = it.next().ok_or("lint needs a model path")?.to_owned();
+            if let Some(extra) = it.next() {
+                return Err(format!("unexpected argument `{extra}`"));
+            }
+            Ok(Command::Lint { input })
+        }
+        Some("walk") => {
+            let mut input = None;
+            let mut steps = 20usize;
+            let mut seed = 0u64;
+            while let Some(a) = it.next() {
+                match a {
+                    "--steps" => {
+                        steps = next_value(&mut it, "--steps")?
+                            .parse()
+                            .map_err(|_| "--steps needs a number".to_owned())?
+                    }
+                    "--seed" => {
+                        seed = next_value(&mut it, "--seed")?
+                            .parse()
+                            .map_err(|_| "--seed needs a number".to_owned())?
+                    }
+                    other if input.is_none() => input = Some(other.to_owned()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            Ok(Command::Walk { input: input.ok_or("walk needs a model path")?, steps, seed })
+        }
+        Some("refines") => {
+            let mut paths = Vec::new();
+            let mut weak = false;
+            for a in it.by_ref() {
+                match a {
+                    "--weak" => weak = true,
+                    other => paths.push(other.to_owned()),
+                }
+            }
+            if paths.len() != 2 {
+                return Err("refines needs exactly two inputs".to_owned());
+            }
+            let spec = paths.pop().expect("len 2");
+            let imp = paths.pop().expect("len 1");
+            Ok(Command::Refines { imp, spec, weak })
+        }
+        Some("solve") => {
+            let mut input = None;
+            let mut rates = Vec::new();
+            let mut probes = Vec::new();
+            while let Some(a) = it.next() {
+                match a {
+                    "--rate" => {
+                        let spec = next_value(&mut it, "--rate")?;
+                        let (gate, rate) = spec
+                            .split_once('=')
+                            .ok_or_else(|| format!("--rate `{spec}` must be GATE=RATE"))?;
+                        let rate: f64 = rate
+                            .parse()
+                            .map_err(|_| format!("invalid rate in `{spec}`"))?;
+                        rates.push((gate.to_owned(), rate));
+                    }
+                    "--probe" => probes.push(next_value(&mut it, "--probe")?),
+                    other if input.is_none() => input = Some(other.to_owned()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            if rates.is_empty() {
+                return Err("solve needs at least one --rate GATE=RATE".to_owned());
+            }
+            Ok(Command::Solve { input: input.ok_or("solve needs a model path")?, rates, probes })
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn next_value<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    flag: &str,
+) -> Result<String, String> {
+    it.next().map(str::to_owned).ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Loads an input: `.aut` files are parsed as LTSs, everything else as
+/// mini-LOTOS (explored with the given cap).
+fn load(path: &str, max_states: usize) -> Result<Lts, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    if path.ends_with(".aut") {
+        Ok(read_aut(&text)?)
+    } else {
+        let spec = parse_spec(&text)?;
+        Ok(explore(&spec, &ExploreOptions::with_max_states(max_states))?.lts)
+    }
+}
+
+/// Executes a command, returning the text to print.
+///
+/// # Errors
+///
+/// Propagates I/O, parse, exploration, and solver errors.
+pub fn execute(cmd: &Command) -> Result<String, Box<dyn Error>> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_owned()),
+        Command::Explore { input, aut, dot, max_states } => {
+            let lts = load(input, *max_states)?;
+            let mut out = String::new();
+            let _ = writeln!(out, "{}", lts.summary());
+            let deadlocks = lts.deadlock_states();
+            let _ = writeln!(out, "deadlock states: {}", deadlocks.len());
+            if let Some(path) = aut {
+                std::fs::write(path, write_aut(&lts))?;
+                let _ = writeln!(out, "wrote {path}");
+            }
+            if let Some(path) = dot {
+                std::fs::write(path, write_dot(&lts, input))?;
+                let _ = writeln!(out, "wrote {path}");
+            }
+            Ok(out)
+        }
+        Command::Check { input, formula } => {
+            let lts = load(input, 1_000_000)?;
+            let f = multival_mcl::parse_formula(formula)?;
+            let result = multival_mcl::check(&lts, &f)?;
+            Ok(format!(
+                "{}  ({} of {} states satisfy the formula)\n",
+                if result.holds { "TRUE" } else { "FALSE" },
+                result.satisfying,
+                result.total
+            ))
+        }
+        Command::Minimize { input, eq, aut } => {
+            let lts = load(input, 1_000_000)?;
+            let (min, stats) = minimize(&lts, *eq);
+            let mut out = format!(
+                "{:?}: {} states / {} transitions  ->  {} states / {} transitions\n",
+                eq,
+                stats.states_before,
+                stats.transitions_before,
+                stats.states_after,
+                stats.transitions_after
+            );
+            if let Some(path) = aut {
+                std::fs::write(path, write_aut(&min))?;
+                let _ = writeln!(out, "wrote {path}");
+            }
+            Ok(out)
+        }
+        Command::Compare { left, right, relation } => {
+            let a = load(left, 1_000_000)?;
+            let b = load(right, 1_000_000)?;
+            let verdict = match relation {
+                Relation::Strong => equivalent(&a, &b, Equivalence::Strong),
+                Relation::Branching => equivalent(&a, &b, Equivalence::Branching),
+                Relation::Traces => weak_trace_equivalent(&a, &b, 1 << 20),
+            };
+            Ok(match verdict {
+                Verdict::Equivalent => "EQUIVALENT\n".to_owned(),
+                Verdict::Inequivalent { witness: Some(w) } => {
+                    format!("NOT EQUIVALENT\ndistinguishing trace: {}\n", w.join(" "))
+                }
+                Verdict::Inequivalent { witness: None } => "NOT EQUIVALENT\n".to_owned(),
+            })
+        }
+        Command::Lint { input } => {
+            let text = std::fs::read_to_string(input)
+                .map_err(|e| format!("cannot read `{input}`: {e}"))?;
+            let spec = multival_pa::parse_spec(&text)?;
+            let findings = multival_pa::lint(&spec);
+            if findings.is_empty() {
+                Ok("no lint findings\n".to_owned())
+            } else {
+                let mut out = String::new();
+                for f in findings {
+                    let _ = writeln!(out, "warning: {f}");
+                }
+                Ok(out)
+            }
+        }
+        Command::Walk { input, steps, seed } => {
+            use rand::{Rng, SeedableRng};
+            let lts = load(input, 1_000_000)?;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(*seed);
+            let mut out = String::new();
+            let mut state = lts.initial();
+            for step in 0..*steps {
+                let ts = lts.transitions_from(state);
+                if ts.is_empty() {
+                    let _ = writeln!(out, "{step:>4}: DEADLOCK in state {state}");
+                    break;
+                }
+                let t = ts[rng.gen_range(0..ts.len())];
+                let _ = writeln!(
+                    out,
+                    "{step:>4}: {} --{}--> {}",
+                    state,
+                    lts.labels().name(t.label),
+                    t.target
+                );
+                state = t.target;
+            }
+            Ok(out)
+        }
+        Command::Refines { imp, spec, weak } => {
+            use multival_lts::simulation::{simulates, SimulationKind};
+            let a = load(imp, 1_000_000)?;
+            let b = load(spec, 1_000_000)?;
+            let kind = if *weak { SimulationKind::Weak } else { SimulationKind::Strong };
+            Ok(if simulates(&a, &b, kind) {
+                "REFINES (the specification simulates the implementation)\n".to_owned()
+            } else {
+                "DOES NOT REFINE\n".to_owned()
+            })
+        }
+        Command::Solve { input, rates, probes } => {
+            let text = std::fs::read_to_string(input)
+                .map_err(|e| format!("cannot read `{input}`: {e}"))?;
+            let flow = Flow::from_source(&text)?;
+            let rate_map: HashMap<String, f64> = rates.iter().cloned().collect();
+            let probe_refs: Vec<&str> = probes.iter().map(String::as_str).collect();
+            let solved =
+                flow.with_rates(&rate_map).solve(NondetPolicy::Uniform, &probe_refs)?;
+            let mut out = String::new();
+            let _ = writeln!(out, "ctmc states: {}", solved.ctmc().num_states());
+            if !probes.is_empty() {
+                let mut t = Table::new(&["probe", "throughput"]);
+                for (label, tp) in solved.throughputs()? {
+                    t.row_owned(vec![label, fmt_f(tp)]);
+                }
+                out.push_str(&t.render());
+            } else {
+                let pi = solved.steady_state()?;
+                let mut t = Table::new(&["state", "steady-state probability"]);
+                for (s, p) in pi.iter().enumerate().take(20) {
+                    t.row_owned(vec![s.to_string(), fmt_f(*p)]);
+                }
+                out.push_str(&t.render());
+                if pi.len() > 20 {
+                    let _ = writeln!(out, "... ({} states total)", pi.len());
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_explore() {
+        let cmd = parse_args(&args(&["explore", "m.lot", "--aut", "o.aut"])).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Explore {
+                input: "m.lot".into(),
+                aut: Some("o.aut".into()),
+                dot: None,
+                max_states: 1_000_000
+            }
+        );
+    }
+
+    #[test]
+    fn parses_solve_rates() {
+        let cmd = parse_args(&args(&[
+            "solve", "m.lot", "--rate", "put=2.5", "--rate", "get=1", "--probe", "get",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Solve { rates, probes, .. } => {
+                assert_eq!(rates.len(), 2);
+                assert_eq!(rates[0], ("put".to_owned(), 2.5));
+                assert_eq!(probes, vec!["get"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(parse_args(&args(&["explode"])).is_err());
+        assert!(parse_args(&args(&["check", "m.lot"])).is_err());
+        assert!(parse_args(&args(&["solve", "m.lot"])).is_err());
+        assert!(parse_args(&args(&["compare", "a.aut"])).is_err());
+        assert!(parse_args(&args(&["solve", "m.lot", "--rate", "nope"])).is_err());
+        assert!(matches!(parse_args(&args(&[])), Ok(Command::Help)));
+    }
+
+    #[test]
+    fn lint_command_reports_findings() {
+        let dir = std::env::temp_dir().join("multival-cli-test3");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let model = dir.join("lint.lot");
+        std::fs::write(&model, "behaviour (a; stop) |[a, ghost]| (a; stop)").expect("write");
+        let model = model.to_string_lossy().into_owned();
+        let cmd = parse_args(&args(&["lint", &model])).expect("parses");
+        let out = execute(&cmd).expect("lints");
+        assert!(out.contains("ghost"), "{out}");
+        assert!(out.contains("blocks forever"), "{out}");
+    }
+
+    #[test]
+    fn parses_walk_and_refines() {
+        let cmd = parse_args(&args(&["walk", "m.lot", "--steps", "5", "--seed", "7"]))
+            .expect("parses");
+        assert_eq!(cmd, Command::Walk { input: "m.lot".into(), steps: 5, seed: 7 });
+        let cmd = parse_args(&args(&["refines", "a.aut", "b.aut", "--weak"])).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Refines { imp: "a.aut".into(), spec: "b.aut".into(), weak: true }
+        );
+        assert!(parse_args(&args(&["refines", "only-one"])).is_err());
+    }
+
+    #[test]
+    fn walk_and_refines_execute() {
+        let dir = std::env::temp_dir().join("multival-cli-test2");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let imp = dir.join("imp.lot");
+        let spec = dir.join("spec.lot");
+        std::fs::write(&imp, "behaviour a; b; stop").expect("write");
+        std::fs::write(&spec, "behaviour a; (b; stop [] c; stop)").expect("write");
+        let imp = imp.to_string_lossy().into_owned();
+        let spec = spec.to_string_lossy().into_owned();
+
+        let out = execute(&Command::Walk { input: imp.clone(), steps: 10, seed: 1 })
+            .expect("walk");
+        assert!(out.contains("--a-->"), "{out}");
+        assert!(out.contains("DEADLOCK"), "chain ends: {out}");
+        // Reproducibility.
+        let again = execute(&Command::Walk { input: imp.clone(), steps: 10, seed: 1 })
+            .expect("walk");
+        assert_eq!(out, again);
+
+        let ok = execute(&Command::Refines {
+            imp: imp.clone(),
+            spec: spec.clone(),
+            weak: false,
+        })
+        .expect("refines");
+        assert!(ok.starts_with("REFINES"), "{ok}");
+        let not = execute(&Command::Refines { imp: spec, spec: imp, weak: false })
+            .expect("refines");
+        assert!(not.starts_with("DOES NOT"), "{not}");
+    }
+
+    #[test]
+    fn end_to_end_on_temp_files() {
+        let dir = std::env::temp_dir().join("multival-cli-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let model = dir.join("buf.lot");
+        std::fs::write(
+            &model,
+            "process Buf[put, get](full: bool) :=
+                 [not full] -> put; Buf[put, get](true)
+              [] [full] -> get; Buf[put, get](false)
+             endproc
+             behaviour Buf[put, get](false)",
+        )
+        .expect("write");
+        let model = model.to_string_lossy().into_owned();
+        let aut = dir.join("buf.aut").to_string_lossy().into_owned();
+
+        // explore → .aut
+        let out = execute(&Command::Explore {
+            input: model.clone(),
+            aut: Some(aut.clone()),
+            dot: None,
+            max_states: 1000,
+        })
+        .expect("explore");
+        assert!(out.contains("states: 2"));
+
+        // check on both the model and the exported .aut
+        for input in [&model, &aut] {
+            let out = execute(&Command::Check {
+                input: input.clone(),
+                formula: "nu X. <true> true and [true] X".into(),
+            })
+            .expect("check");
+            assert!(out.starts_with("TRUE"), "{out}");
+        }
+
+        // minimize the aut
+        let out = execute(&Command::Minimize {
+            input: aut.clone(),
+            eq: Equivalence::Strong,
+            aut: None,
+        })
+        .expect("minimize");
+        assert!(out.contains("2 states"));
+
+        // compare model against its own export
+        let out = execute(&Command::Compare {
+            left: model.clone(),
+            right: aut.clone(),
+            relation: Relation::Strong,
+        })
+        .expect("compare");
+        assert!(out.starts_with("EQUIVALENT"));
+
+        // solve with throughput probe
+        let out = execute(&Command::Solve {
+            input: model,
+            rates: vec![("put".into(), 2.0), ("get".into(), 1.0)],
+            probes: vec!["get".into()],
+        })
+        .expect("solve");
+        assert!(out.contains("0.6667"), "{out}");
+    }
+}

@@ -1,0 +1,357 @@
+//! The integrated Multival flow: one fluent API from a mini-LOTOS source
+//! to functional verdicts and performance numbers.
+//!
+//! This is the facade over the full §2–§4 pipeline of the paper:
+//!
+//! ```text
+//! mini-LOTOS ──explore──> LTS ──verify──> verdicts        (§3)
+//!                          │
+//!                          └──decorate──> IMC ──hide/convert──> CTMC
+//!                                          └──> measures        (§4)
+//! ```
+
+use multival_ctmc::absorb::mean_time_to_target;
+use multival_ctmc::steady::{steady_state, SolveOptions};
+use multival_imc::decorate::{decorate, decorate_by_label};
+use multival_imc::phase_type::Delay;
+use multival_imc::to_ctmc::{probe_throughputs, to_ctmc, CtmcConversion, NondetPolicy};
+use multival_imc::Imc;
+use multival_lts::analysis::{deadlock_witness, Trace};
+use multival_lts::minimize::{divergent_states, minimize, Equivalence, ReductionStats};
+use multival_lts::Lts;
+use multival_mcl::{check, parse_formula, CheckResult};
+use multival_pa::{explore, parse_spec, ExploreOptions};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error of the integrated flow.
+#[derive(Debug)]
+pub enum FlowError {
+    /// Parsing the model failed.
+    Parse(multival_pa::ParseError),
+    /// State-space generation failed.
+    Explore(multival_pa::ExploreError),
+    /// Parsing or evaluating a formula failed.
+    Formula(String),
+    /// IMC → CTMC conversion failed.
+    Conversion(multival_imc::ToCtmcError),
+    /// A Markov solver failed.
+    Solver(multival_ctmc::CtmcError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Parse(e) => write!(f, "{e}"),
+            FlowError::Explore(e) => write!(f, "{e}"),
+            FlowError::Formula(e) => write!(f, "{e}"),
+            FlowError::Conversion(e) => write!(f, "{e}"),
+            FlowError::Solver(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<multival_pa::ParseError> for FlowError {
+    fn from(e: multival_pa::ParseError) -> Self {
+        FlowError::Parse(e)
+    }
+}
+
+impl From<multival_pa::ExploreError> for FlowError {
+    fn from(e: multival_pa::ExploreError) -> Self {
+        FlowError::Explore(e)
+    }
+}
+
+impl From<multival_imc::ToCtmcError> for FlowError {
+    fn from(e: multival_imc::ToCtmcError) -> Self {
+        FlowError::Conversion(e)
+    }
+}
+
+impl From<multival_ctmc::CtmcError> for FlowError {
+    fn from(e: multival_ctmc::CtmcError) -> Self {
+        FlowError::Solver(e)
+    }
+}
+
+/// A functional model in flight through the flow.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    lts: Lts,
+}
+
+impl Flow {
+    /// Parses a mini-LOTOS source and generates its state space.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse and exploration errors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use multival::flow::Flow;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let flow = Flow::from_source("behaviour tick; tock; stop")?;
+    /// assert_eq!(flow.lts().num_states(), 3);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_source(src: &str) -> Result<Flow, FlowError> {
+        Self::from_source_with(src, &ExploreOptions::default())
+    }
+
+    /// Like [`Flow::from_source`] with explicit exploration caps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse and exploration errors.
+    pub fn from_source_with(src: &str, options: &ExploreOptions) -> Result<Flow, FlowError> {
+        let spec = parse_spec(src)?;
+        let explored = explore(&spec, options)?;
+        Ok(Flow { lts: explored.lts })
+    }
+
+    /// Wraps an existing LTS.
+    pub fn from_lts(lts: Lts) -> Flow {
+        Flow { lts }
+    }
+
+    /// The underlying LTS.
+    pub fn lts(&self) -> &Lts {
+        &self.lts
+    }
+
+    /// Minimizes modulo the given equivalence, returning the new flow and
+    /// reduction statistics.
+    pub fn minimized(&self, eq: Equivalence) -> (Flow, ReductionStats) {
+        let (lts, stats) = minimize(&self.lts, eq);
+        (Flow { lts }, stats)
+    }
+
+    /// Hides the listed gates (they become τ).
+    pub fn hidden<I, S>(&self, gates: I) -> Flow
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Flow { lts: multival_lts::ops::hide(&self.lts, gates) }
+    }
+
+    /// Shortest deadlock witness, or `None` when deadlock-free.
+    pub fn deadlock(&self) -> Option<Trace> {
+        deadlock_witness(&self.lts)
+    }
+
+    /// States that can diverge (τ-cycles).
+    pub fn divergences(&self) -> Vec<multival_lts::StateId> {
+        divergent_states(&self.lts)
+    }
+
+    /// Model-checks a μ-calculus formula given as text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Formula`] on parse or evaluation failure.
+    pub fn check(&self, formula: &str) -> Result<CheckResult, FlowError> {
+        let f = parse_formula(formula).map_err(|e| FlowError::Formula(e.to_string()))?;
+        check(&self.lts, &f).map_err(|e| FlowError::Formula(e.to_string()))
+    }
+
+    /// Decorates gates with exponential rates, entering the performance
+    /// side of the flow.
+    pub fn with_rates(&self, rates: &HashMap<String, f64>) -> PerfFlow {
+        let delays: HashMap<String, Delay> =
+            rates.iter().map(|(g, &r)| (g.clone(), Delay::Exponential { rate: r })).collect();
+        PerfFlow { imc: decorate(&self.lts, &delays) }
+    }
+
+    /// Decorates gates with general phase-type delays.
+    pub fn with_delays(&self, delays: &HashMap<String, Delay>) -> PerfFlow {
+        PerfFlow { imc: decorate(&self.lts, delays) }
+    }
+
+    /// Decorates with a per-label delay function.
+    pub fn with_delays_by_label(&self, f: impl FnMut(&str) -> Option<Delay>) -> PerfFlow {
+        PerfFlow { imc: decorate_by_label(&self.lts, f) }
+    }
+}
+
+/// A performance model in flight (an IMC about to become a CTMC).
+#[derive(Debug, Clone)]
+pub struct PerfFlow {
+    imc: Imc,
+}
+
+impl PerfFlow {
+    /// Wraps an existing IMC.
+    pub fn from_imc(imc: Imc) -> PerfFlow {
+        PerfFlow { imc }
+    }
+
+    /// The underlying IMC.
+    pub fn imc(&self) -> &Imc {
+        &self.imc
+    }
+
+    /// Minimizes the IMC by lumping.
+    pub fn lumped(&self) -> (PerfFlow, multival_imc::LumpStats) {
+        let (imc, stats) = multival_imc::lump(&self.imc, &multival_imc::LumpOptions::default());
+        (PerfFlow { imc }, stats)
+    }
+
+    /// Converts to a CTMC, treating the listed labels as throughput probes
+    /// and hiding everything else.
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion errors (visible labels, nondeterminism under
+    /// the chosen policy, timelocks).
+    pub fn solve(&self, policy: NondetPolicy, probes: &[&str]) -> Result<Solved, FlowError> {
+        // Hide everything that is not a probe.
+        let keep: Vec<String> = probes.iter().map(|s| s.to_string()).collect();
+        let hidden = multival_imc::ops::relabel(&self.imc, |name| {
+            if keep.iter().any(|p| p == name) {
+                Some(name.to_owned())
+            } else {
+                None
+            }
+        });
+        let conv = to_ctmc(&hidden, policy, probes)?;
+        Ok(Solved { conv })
+    }
+}
+
+/// A solved performance model.
+#[derive(Debug, Clone)]
+pub struct Solved {
+    conv: CtmcConversion,
+}
+
+impl Solved {
+    /// The underlying CTMC.
+    pub fn ctmc(&self) -> &multival_ctmc::Ctmc {
+        &self.conv.ctmc
+    }
+
+    /// The conversion record (state map, probe flows).
+    pub fn conversion(&self) -> &CtmcConversion {
+        &self.conv
+    }
+
+    /// Steady-state distribution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn steady_state(&self) -> Result<Vec<f64>, FlowError> {
+        Ok(steady_state(&self.conv.ctmc, &SolveOptions::default())?)
+    }
+
+    /// Steady-state probe throughputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn throughputs(&self) -> Result<Vec<(String, f64)>, FlowError> {
+        Ok(probe_throughputs(&self.conv, &SolveOptions::default())?)
+    }
+
+    /// Mean time to reach any of the given *functional* states (ids of the
+    /// pre-decoration LTS, which the decoration keeps as an id prefix).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn mean_time_to_states(&self, functional: &[u32]) -> Result<f64, FlowError> {
+        let targets: Vec<usize> = functional
+            .iter()
+            .filter_map(|&s| self.conv.state_map.get(s as usize).copied().flatten())
+            .collect();
+        Ok(mean_time_to_target(&self.conv.ctmc, &targets, &SolveOptions::default())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WORK_REST: &str = "process P[work, rest] := work; rest; P[work, rest] endproc
+                             behaviour P[work, rest]";
+
+    #[test]
+    fn functional_side() {
+        let flow = Flow::from_source(WORK_REST).expect("parses");
+        assert!(flow.deadlock().is_none());
+        assert!(flow.divergences().is_empty());
+        assert!(flow.check("nu X. <true> true and [true] X").expect("mc").holds);
+        assert!(!flow.check("<\"rest\"> true").expect("mc").holds, "rest is not first");
+    }
+
+    #[test]
+    fn performance_side() {
+        let flow = Flow::from_source(WORK_REST).expect("parses");
+        let mut rates = HashMap::new();
+        rates.insert("work".to_owned(), 2.0);
+        rates.insert("rest".to_owned(), 1.0);
+        let solved = flow
+            .with_rates(&rates)
+            .solve(NondetPolicy::Reject, &["work"])
+            .expect("solves");
+        let tp = solved.throughputs().expect("throughputs");
+        // Alternating exp(2)/exp(1): cycle time 1.5, work throughput 2/3.
+        assert!((tp[0].1 - 2.0 / 3.0).abs() < 1e-9, "{}", tp[0].1);
+    }
+
+    #[test]
+    fn minimization_through_facade() {
+        let flow = Flow::from_source(
+            "behaviour hide mid in (a; mid; stop |[mid]| mid; b; stop)",
+        )
+        .expect("parses");
+        let (min, stats) = flow.minimized(Equivalence::Branching);
+        assert!(min.lts().num_states() < stats.states_before);
+    }
+
+    #[test]
+    fn lumping_through_facade_preserves_measures() {
+        let flow = Flow::from_source(WORK_REST).expect("parses");
+        let mut rates = HashMap::new();
+        rates.insert("work".to_owned(), 2.0);
+        rates.insert("rest".to_owned(), 1.0);
+        let perf = flow.with_rates(&rates);
+        let (lumped, stats) = perf.lumped();
+        assert!(stats.states_after <= stats.states_before);
+        let a = perf
+            .solve(NondetPolicy::Reject, &["work"])
+            .expect("solves")
+            .throughputs()
+            .expect("tp")[0]
+            .1;
+        let b = lumped
+            .solve(NondetPolicy::Reject, &["work"])
+            .expect("solves")
+            .throughputs()
+            .expect("tp")[0]
+            .1;
+        assert!((a - b).abs() < 1e-9, "lumping must not change throughput");
+    }
+
+    #[test]
+    fn hitting_time_through_facade() {
+        // 3-state chain: initial --go--> mid --fin--> end(deadlock).
+        let flow = Flow::from_source("behaviour go; fin; stop").expect("parses");
+        let mut rates = HashMap::new();
+        rates.insert("go".to_owned(), 2.0);
+        rates.insert("fin".to_owned(), 2.0);
+        let solved =
+            flow.with_rates(&rates).solve(NondetPolicy::Reject, &[]).expect("solves");
+        // Functional state 2 is the deadlock (BFS order: 0, 1, 2).
+        let t = solved.mean_time_to_states(&[2]).expect("solves");
+        assert!((t - 1.0).abs() < 1e-9, "{t}");
+    }
+}

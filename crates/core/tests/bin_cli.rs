@@ -1,0 +1,90 @@
+//! Black-box tests of the `multival` binary (spawned as a subprocess).
+
+use std::process::Command;
+
+fn multival(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_multival"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn write_model(name: &str, source: &str) -> String {
+    let dir = std::env::temp_dir().join("multival-bin-cli");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join(name);
+    std::fs::write(&path, source).expect("write");
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _, ok) = multival(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("explore"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (_, stderr, ok) = multival(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn explore_check_pipeline() {
+    let model = write_model(
+        "flip.lot",
+        "behaviour hide m in (a; m; stop |[m]| m; b; stop)",
+    );
+    let (stdout, _, ok) = multival(&["explore", &model]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("states: 4"), "{stdout}");
+
+    let (stdout, _, ok) = multival(&["check", &model, "mu X. <\"b\"> true or <true> X"]);
+    assert!(ok);
+    assert!(stdout.starts_with("TRUE"), "{stdout}");
+
+    let (stdout, _, ok) = multival(&["check", &model, "<\"b\"> true"]);
+    assert!(ok);
+    assert!(stdout.starts_with("FALSE"), "b is not initially enabled: {stdout}");
+}
+
+#[test]
+fn parse_error_is_reported_on_stderr() {
+    let model = write_model("broken.lot", "behaviour a;;; stop");
+    let (_, stderr, ok) = multival(&["explore", &model]);
+    assert!(!ok);
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn solve_reports_throughput() {
+    let model = write_model(
+        "buf.lot",
+        "process Buf[put, get](full: bool) :=
+             [not full] -> put; Buf[put, get](true)
+          [] [full] -> get; Buf[put, get](false)
+         endproc
+         behaviour Buf[put, get](false)",
+    );
+    let (stdout, _, ok) = multival(&[
+        "solve", &model, "--rate", "put=2", "--rate", "get=1", "--probe", "get",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("0.6667"), "{stdout}");
+}
+
+#[test]
+fn lint_flags_blocked_gate() {
+    let model = write_model("blocked.lot", "behaviour (a; stop) |[a, b]| (a; stop)");
+    let (stdout, _, ok) = multival(&["lint", &model]);
+    assert!(ok);
+    assert!(stdout.contains("blocks forever"), "{stdout}");
+}

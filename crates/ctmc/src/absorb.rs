@@ -1,0 +1,295 @@
+//! First-passage and absorption-time analysis.
+//!
+//! Used by the MPI-latency experiments (E5): the mean round-trip latency of
+//! a ping-pong benchmark is the expected first-passage time from the initial
+//! state to the "round complete" states.
+
+use crate::ctmc::{Ctmc, CtmcError, State};
+use crate::steady::SolveOptions;
+
+/// Expected time to reach the target set from every state (`h`), where
+/// `h(s) = 0` for targets and `h(s) = 1/E(s) + Σ P(s,s')·h(s')` otherwise.
+///
+/// States that cannot reach the target set get `f64::INFINITY`.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::NoConvergence`] if Gauss–Seidel exceeds its
+/// iteration cap, and [`CtmcError::BadState`] for out-of-range targets.
+///
+/// # Examples
+///
+/// ```
+/// use multival_ctmc::{CtmcBuilder, absorb::expected_hitting_times,
+///                     steady::SolveOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Two sequential exponential phases of rate 2: mean 0.5 + 0.5 = 1.
+/// let mut b = CtmcBuilder::new(3);
+/// b.rate(0, 1, 2.0)?;
+/// b.rate(1, 2, 2.0)?;
+/// let h = expected_hitting_times(&b.build()?, &[2], &SolveOptions::default())?;
+/// assert!((h[0] - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn expected_hitting_times(
+    ctmc: &Ctmc,
+    targets: &[State],
+    options: &SolveOptions,
+) -> Result<Vec<f64>, CtmcError> {
+    let n = ctmc.num_states();
+    let mut is_target = vec![false; n];
+    for &t in targets {
+        if t >= n {
+            return Err(CtmcError::BadState(t));
+        }
+        is_target[t] = true;
+    }
+    // States that can reach a target (backwards BFS).
+    let mut reaches = is_target.clone();
+    {
+        let mut rev: Vec<Vec<State>> = vec![Vec::new(); n];
+        for s in 0..n {
+            for t in ctmc.transitions_from(s) {
+                rev[t.target].push(s);
+            }
+        }
+        let mut stack: Vec<State> = targets.to_vec();
+        while let Some(s) = stack.pop() {
+            for &p in &rev[s] {
+                if !reaches[p] {
+                    reaches[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+    }
+    // Probability of ever reaching a target must be 1 for the expectation to
+    // be finite; states that can drift to a non-target BSCC forever get ∞.
+    // We detect that via reachability of "escape" states from which the
+    // target is unreachable.
+    let escapable = {
+        let mut esc = vec![false; n];
+        // A state is escapable if it can reach a state with reaches = false.
+        // Backwards propagation from non-reaching states.
+        let mut rev: Vec<Vec<State>> = vec![Vec::new(); n];
+        for s in 0..n {
+            for t in ctmc.transitions_from(s) {
+                rev[t.target].push(s);
+            }
+        }
+        let mut stack: Vec<State> = (0..n).filter(|&s| !reaches[s]).collect();
+        for &s in &stack {
+            esc[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &p in &rev[s] {
+                if !esc[p] && !is_target[p] {
+                    esc[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        esc
+    };
+
+    let mut h = vec![0.0f64; n];
+    for s in 0..n {
+        if !is_target[s] && (!reaches[s] || escapable[s]) {
+            h[s] = f64::INFINITY;
+        }
+    }
+    // Gauss–Seidel on finite states.
+    for iter in 0..options.max_iterations {
+        let mut delta: f64 = 0.0;
+        for s in 0..n {
+            if is_target[s] || h[s].is_infinite() {
+                continue;
+            }
+            let e = ctmc.exit_rate(s);
+            if e == 0.0 {
+                // Absorbing non-target: unreachable case already handled.
+                h[s] = f64::INFINITY;
+                continue;
+            }
+            let mut acc = 1.0 / e;
+            for t in ctmc.transitions_from(s) {
+                let ht = h[t.target];
+                if ht.is_infinite() {
+                    acc = f64::INFINITY;
+                    break;
+                }
+                acc += (t.rate / e) * ht;
+            }
+            let old = h[s];
+            h[s] = acc;
+            if acc.is_finite() {
+                delta = delta.max((acc - old).abs());
+            }
+        }
+        if delta < options.tolerance {
+            return Ok(h);
+        }
+        if iter == options.max_iterations - 1 {
+            return Err(CtmcError::NoConvergence {
+                what: "expected hitting time Gauss-Seidel",
+                iterations: options.max_iterations,
+                residual: delta,
+            });
+        }
+    }
+    unreachable!("loop returns")
+}
+
+/// Expected time to hit the target set from the chain's initial
+/// distribution.
+///
+/// # Errors
+///
+/// Propagates [`expected_hitting_times`] errors.
+pub fn mean_time_to_target(
+    ctmc: &Ctmc,
+    targets: &[State],
+    options: &SolveOptions,
+) -> Result<f64, CtmcError> {
+    let h = expected_hitting_times(ctmc, targets, options)?;
+    Ok(ctmc.initial().iter().map(|&(s, p)| p * h[s]).sum())
+}
+
+/// Probability of ever reaching the target set from each state (`1` inside
+/// the target), computed by Gauss–Seidel on `p(s) = Σ P(s,s')·p(s')`.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::NoConvergence`] on iteration-cap overrun and
+/// [`CtmcError::BadState`] for out-of-range targets.
+pub fn reach_probabilities(
+    ctmc: &Ctmc,
+    targets: &[State],
+    options: &SolveOptions,
+) -> Result<Vec<f64>, CtmcError> {
+    let n = ctmc.num_states();
+    let mut p = vec![0.0f64; n];
+    for &t in targets {
+        if t >= n {
+            return Err(CtmcError::BadState(t));
+        }
+        p[t] = 1.0;
+    }
+    let is_target: Vec<bool> = {
+        let mut v = vec![false; n];
+        for &t in targets {
+            v[t] = true;
+        }
+        v
+    };
+    for iter in 0..options.max_iterations {
+        let mut delta: f64 = 0.0;
+        for s in 0..n {
+            if is_target[s] {
+                continue;
+            }
+            let e = ctmc.exit_rate(s);
+            if e == 0.0 {
+                continue; // absorbing non-target stays 0
+            }
+            let acc: f64 =
+                ctmc.transitions_from(s).iter().map(|t| (t.rate / e) * p[t.target]).sum();
+            delta = delta.max((acc - p[s]).abs());
+            p[s] = acc;
+        }
+        if delta < options.tolerance {
+            return Ok(p);
+        }
+        if iter == options.max_iterations - 1 {
+            return Err(CtmcError::NoConvergence {
+                what: "reachability Gauss-Seidel",
+                iterations: options.max_iterations,
+                residual: delta,
+            });
+        }
+    }
+    unreachable!("loop returns")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc::CtmcBuilder;
+
+    #[test]
+    fn erlang_mean_is_sum_of_phase_means() {
+        let mut b = CtmcBuilder::new(5);
+        for i in 0..4 {
+            b.rate(i, i + 1, 4.0).unwrap();
+        }
+        let c = b.build().unwrap();
+        let m = mean_time_to_target(&c, &[4], &SolveOptions::default()).expect("ok");
+        assert!((m - 1.0).abs() < 1e-9, "4 phases of mean 1/4: {m}");
+    }
+
+    #[test]
+    fn branching_hitting_time() {
+        // 0 →(1) 1 →(2) 2 ; 0 →(3) 2. h(0) = 1/4 + (1/4)(1/2) + 0·(3/4)…
+        // h(0) = 1/E0 + P(0→1) h(1); E0 = 4, h(1) = 1/2.
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(0, 2, 3.0).unwrap();
+        b.rate(1, 2, 2.0).unwrap();
+        let h = expected_hitting_times(&b.build().unwrap(), &[2], &SolveOptions::default())
+            .expect("ok");
+        assert!((h[1] - 0.5).abs() < 1e-9);
+        assert!((h[0] - (0.25 + 0.25 * 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_target_is_infinite() {
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 1.0).unwrap();
+        // State 2 unreachable from 0.
+        let h = expected_hitting_times(&b.build().unwrap(), &[2], &SolveOptions::default())
+            .expect("ok");
+        assert!(h[0].is_infinite());
+        assert!(h[1].is_infinite());
+        assert_eq!(h[2], 0.0);
+    }
+
+    #[test]
+    fn escapable_state_is_infinite() {
+        // 0 can go to target 2 or to absorbing trap 1 → E[T] = ∞.
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(0, 2, 1.0).unwrap();
+        let h = expected_hitting_times(&b.build().unwrap(), &[2], &SolveOptions::default())
+            .expect("ok");
+        assert!(h[0].is_infinite());
+    }
+
+    #[test]
+    fn reach_probability_of_branch() {
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(0, 2, 3.0).unwrap();
+        let p = reach_probabilities(&b.build().unwrap(), &[2], &SolveOptions::default())
+            .expect("ok");
+        assert!((p[0] - 0.75).abs() < 1e-9);
+        assert_eq!(p[1], 0.0);
+        assert_eq!(p[2], 1.0);
+    }
+
+    #[test]
+    fn hitting_time_with_cycles() {
+        // Random walk 0 ↔ 1 → 2: h(1) = 1/E1 + (1/2) h(0), h(0) = 1 + h(1)
+        // with unit rates: E0=1 (0→1), E1=2 (1→0, 1→2).
+        // h(1) = 1/2 + 1/2 h(0); h(0) = 1 + h(1) → h(0) = 3, h(1) = 2.
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 0, 1.0).unwrap();
+        b.rate(1, 2, 1.0).unwrap();
+        let h = expected_hitting_times(&b.build().unwrap(), &[2], &SolveOptions::default())
+            .expect("ok");
+        assert!((h[0] - 3.0).abs() < 1e-8, "h0 = {}", h[0]);
+        assert!((h[1] - 2.0).abs() < 1e-8, "h1 = {}", h[1]);
+    }
+}

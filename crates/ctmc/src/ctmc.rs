@@ -1,0 +1,321 @@
+//! Continuous-time Markov chains in sparse form.
+
+use std::fmt;
+
+/// Index of a CTMC state.
+pub type State = usize;
+
+/// A rate transition: target state, rate λ > 0, and an optional action label
+/// (used for throughput queries, e.g. "rate of `PUSH` events at steady
+/// state").
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateTransition {
+    /// Target state.
+    pub target: State,
+    /// Exponential rate (must be positive and finite).
+    pub rate: f64,
+    /// Interned label, or `None` for anonymous transitions.
+    pub label: Option<u32>,
+}
+
+/// Error constructing or analyzing a CTMC.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtmcError {
+    /// A rate was non-positive or non-finite.
+    BadRate {
+        /// Source state of the offending transition.
+        state: State,
+        /// The offending rate.
+        rate: f64,
+    },
+    /// A state index was out of range.
+    BadState(State),
+    /// An iterative solver failed to converge.
+    NoConvergence {
+        /// Which solver.
+        what: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual when giving up.
+        residual: f64,
+    },
+    /// The query is undefined for this chain (e.g. steady state of an empty
+    /// chain).
+    Undefined(String),
+}
+
+impl fmt::Display for CtmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtmcError::BadRate { state, rate } => {
+                write!(f, "invalid rate {rate} on a transition from state {state}")
+            }
+            CtmcError::BadState(s) => write!(f, "state index {s} out of range"),
+            CtmcError::NoConvergence { what, iterations, residual } => write!(
+                f,
+                "{what} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            CtmcError::Undefined(m) => write!(f, "undefined query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CtmcError {}
+
+/// A sparse continuous-time Markov chain.
+///
+/// Build one with [`CtmcBuilder`]. States are dense indices; the initial
+/// distribution defaults to a point mass on state 0.
+///
+/// # Examples
+///
+/// A two-state on/off process:
+///
+/// ```
+/// use multival_ctmc::CtmcBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = CtmcBuilder::new(2);
+/// b.rate(0, 1, 2.0)?;        // on -> off at rate 2
+/// b.rate(1, 0, 1.0)?;        // off -> on at rate 1
+/// let ctmc = b.build()?;
+/// assert_eq!(ctmc.num_states(), 2);
+/// assert!((ctmc.exit_rate(0) - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ctmc {
+    rows: Vec<Vec<RateTransition>>,
+    labels: Vec<String>,
+    initial: Vec<(State, f64)>,
+}
+
+impl Ctmc {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of rate transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Outgoing rate transitions of `s`.
+    pub fn transitions_from(&self, s: State) -> &[RateTransition] {
+        &self.rows[s]
+    }
+
+    /// Total exit rate E(s) = Σ rates out of `s` (0 for absorbing states).
+    pub fn exit_rate(&self, s: State) -> f64 {
+        self.rows[s].iter().map(|t| t.rate).sum()
+    }
+
+    /// The maximum exit rate over all states (the uniformization rate base).
+    pub fn max_exit_rate(&self) -> f64 {
+        (0..self.num_states()).map(|s| self.exit_rate(s)).fold(0.0, f64::max)
+    }
+
+    /// Is `s` absorbing (no outgoing rates)?
+    pub fn is_absorbing(&self, s: State) -> bool {
+        self.rows[s].is_empty()
+    }
+
+    /// The initial distribution as `(state, probability)` pairs.
+    pub fn initial(&self) -> &[(State, f64)] {
+        &self.initial
+    }
+
+    /// The initial distribution as a dense vector.
+    pub fn initial_dense(&self) -> Vec<f64> {
+        let mut v = vec![0.0; self.num_states()];
+        for &(s, p) in &self.initial {
+            v[s] += p;
+        }
+        v
+    }
+
+    /// Name of an interned transition label.
+    pub fn label_name(&self, id: u32) -> &str {
+        &self.labels[id as usize]
+    }
+
+    /// Id of a label by name, if interned.
+    pub fn label_id(&self, name: &str) -> Option<u32> {
+        self.labels.iter().position(|l| l == name).map(|i| i as u32)
+    }
+
+    /// All interned label names.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+}
+
+/// Incremental builder for [`Ctmc`].
+#[derive(Debug, Clone)]
+pub struct CtmcBuilder {
+    rows: Vec<Vec<RateTransition>>,
+    labels: Vec<String>,
+    initial: Vec<(State, f64)>,
+}
+
+impl CtmcBuilder {
+    /// A builder for a chain with `n` states (initially no transitions;
+    /// initial distribution is a point mass on state 0).
+    pub fn new(n: usize) -> Self {
+        CtmcBuilder { rows: vec![Vec::new(); n], labels: Vec::new(), initial: vec![(0, 1.0)] }
+    }
+
+    /// Number of states so far.
+    pub fn num_states(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Appends a new state, returning its index.
+    pub fn add_state(&mut self) -> State {
+        self.rows.push(Vec::new());
+        self.rows.len() - 1
+    }
+
+    /// Adds an anonymous rate transition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::BadRate`] for non-positive/non-finite rates and
+    /// [`CtmcError::BadState`] for out-of-range endpoints.
+    pub fn rate(&mut self, from: State, to: State, rate: f64) -> Result<(), CtmcError> {
+        self.rate_labeled_opt(from, to, rate, None)
+    }
+
+    /// Adds a labeled rate transition (label interned by name).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CtmcBuilder::rate`].
+    pub fn rate_labeled(
+        &mut self,
+        from: State,
+        to: State,
+        rate: f64,
+        label: &str,
+    ) -> Result<(), CtmcError> {
+        let id = match self.labels.iter().position(|l| l == label) {
+            Some(i) => i as u32,
+            None => {
+                self.labels.push(label.to_owned());
+                (self.labels.len() - 1) as u32
+            }
+        };
+        self.rate_labeled_opt(from, to, rate, Some(id))
+    }
+
+    fn rate_labeled_opt(
+        &mut self,
+        from: State,
+        to: State,
+        rate: f64,
+        label: Option<u32>,
+    ) -> Result<(), CtmcError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(CtmcError::BadRate { state: from, rate });
+        }
+        if from >= self.rows.len() {
+            return Err(CtmcError::BadState(from));
+        }
+        if to >= self.rows.len() {
+            return Err(CtmcError::BadState(to));
+        }
+        self.rows[from].push(RateTransition { target: to, rate, label });
+        Ok(())
+    }
+
+    /// Sets the initial distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::BadState`] for out-of-range states and
+    /// [`CtmcError::Undefined`] if the probabilities do not sum to 1 (within
+    /// 1e-9).
+    pub fn set_initial(&mut self, dist: Vec<(State, f64)>) -> Result<(), CtmcError> {
+        let mut total = 0.0;
+        for &(s, p) in &dist {
+            if s >= self.rows.len() {
+                return Err(CtmcError::BadState(s));
+            }
+            total += p;
+        }
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(CtmcError::Undefined(format!(
+                "initial distribution sums to {total}, expected 1"
+            )));
+        }
+        self.initial = dist;
+        Ok(())
+    }
+
+    /// Finalizes the chain. Parallel transitions to the same target are kept
+    /// (their rates effectively add).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::Undefined`] for an empty chain.
+    pub fn build(self) -> Result<Ctmc, CtmcError> {
+        if self.rows.is_empty() {
+            return Err(CtmcError::Undefined("chain has no states".into()));
+        }
+        Ok(Ctmc { rows: self.rows, labels: self.labels, initial: self.initial })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates_rates() {
+        let mut b = CtmcBuilder::new(2);
+        assert!(matches!(b.rate(0, 1, 0.0), Err(CtmcError::BadRate { .. })));
+        assert!(matches!(b.rate(0, 1, -1.0), Err(CtmcError::BadRate { .. })));
+        assert!(matches!(b.rate(0, 1, f64::NAN), Err(CtmcError::BadRate { .. })));
+        assert!(matches!(b.rate(0, 5, 1.0), Err(CtmcError::BadState(5))));
+        assert!(b.rate(0, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn exit_rates_sum() {
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 1.5).unwrap();
+        b.rate(0, 2, 2.5).unwrap();
+        let c = b.build().unwrap();
+        assert!((c.exit_rate(0) - 4.0).abs() < 1e-12);
+        assert!(c.is_absorbing(1));
+        assert!((c.max_exit_rate() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_interned_once() {
+        let mut b = CtmcBuilder::new(2);
+        b.rate_labeled(0, 1, 1.0, "PUSH").unwrap();
+        b.rate_labeled(1, 0, 1.0, "PUSH").unwrap();
+        b.rate_labeled(1, 0, 1.0, "POP").unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(c.labels().len(), 2);
+        assert_eq!(c.label_id("PUSH"), Some(0));
+        assert_eq!(c.label_name(1), "POP");
+    }
+
+    #[test]
+    fn initial_distribution_checked() {
+        let mut b = CtmcBuilder::new(2);
+        assert!(b.set_initial(vec![(0, 0.5), (1, 0.4)]).is_err());
+        assert!(b.set_initial(vec![(0, 0.5), (1, 0.5)]).is_ok());
+        let c = b.build().unwrap();
+        assert_eq!(c.initial_dense(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        assert!(CtmcBuilder::new(0).build().is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! Discrete-time Markov chains: the embedded jump chain of a CTMC and
+//! standalone DTMC analyses (stationary distribution, n-step transient,
+//! absorption probabilities).
+
+use crate::ctmc::{Ctmc, CtmcError, State};
+
+/// A sparse discrete-time Markov chain. Row probabilities sum to 1
+/// (absorbing states self-loop implicitly).
+#[derive(Debug, Clone)]
+pub struct Dtmc {
+    rows: Vec<Vec<(State, f64)>>,
+    initial: Vec<(State, f64)>,
+}
+
+impl Dtmc {
+    /// Builds a DTMC from explicit rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::Undefined`] if a non-empty row's probabilities
+    /// do not sum to 1 (within 1e-9) or contain invalid entries.
+    pub fn new(rows: Vec<Vec<(State, f64)>>, initial: Vec<(State, f64)>) -> Result<Dtmc, CtmcError> {
+        let n = rows.len();
+        for (s, row) in rows.iter().enumerate() {
+            if row.is_empty() {
+                continue; // absorbing
+            }
+            let mut total = 0.0;
+            for &(t, p) in row {
+                if t >= n {
+                    return Err(CtmcError::BadState(t));
+                }
+                if !(p.is_finite() && p >= 0.0) {
+                    return Err(CtmcError::Undefined(format!(
+                        "invalid probability {p} from state {s}"
+                    )));
+                }
+                total += p;
+            }
+            if (total - 1.0).abs() > 1e-9 {
+                return Err(CtmcError::Undefined(format!(
+                    "row {s} sums to {total}, expected 1"
+                )));
+            }
+        }
+        Ok(Dtmc { rows, initial })
+    }
+
+    /// The embedded jump chain of a CTMC: `P(s,t) = rate(s→t) / E(s)`.
+    pub fn embedded(ctmc: &Ctmc) -> Dtmc {
+        let n = ctmc.num_states();
+        let mut rows = Vec::with_capacity(n);
+        for s in 0..n {
+            let e = ctmc.exit_rate(s);
+            if e == 0.0 {
+                rows.push(Vec::new());
+            } else {
+                rows.push(
+                    ctmc.transitions_from(s)
+                        .iter()
+                        .map(|t| (t.target, t.rate / e))
+                        .collect(),
+                );
+            }
+        }
+        Dtmc { rows, initial: ctmc.initial().to_vec() }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is `s` absorbing?
+    pub fn is_absorbing(&self, s: State) -> bool {
+        self.rows[s].is_empty()
+    }
+
+    /// One step of the chain: `out = in · P` (absorbing states keep their
+    /// mass).
+    pub fn step(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_states()];
+        for (s, row) in self.rows.iter().enumerate() {
+            if v[s] == 0.0 {
+                continue;
+            }
+            if row.is_empty() {
+                out[s] += v[s];
+            } else {
+                for &(t, p) in row {
+                    out[t] += v[s] * p;
+                }
+            }
+        }
+        out
+    }
+
+    /// The distribution after `n` steps from the initial distribution.
+    pub fn distribution_after(&self, n: usize) -> Vec<f64> {
+        let mut v = vec![0.0; self.num_states()];
+        for &(s, p) in &self.initial {
+            v[s] += p;
+        }
+        for _ in 0..n {
+            v = self.step(&v);
+        }
+        v
+    }
+
+    /// Stationary distribution by power iteration on the *lazy* chain
+    /// `P' = (P + I)/2`, which is aperiodic and shares the stationary
+    /// distribution of `P` — so periodic chains (e.g. two-cycles) converge
+    /// geometrically too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::NoConvergence`] if the iterate does not settle
+    /// within `max_iterations`.
+    pub fn stationary(&self, tolerance: f64, max_iterations: usize) -> Result<Vec<f64>, CtmcError> {
+        let n = self.num_states();
+        let mut v = vec![0.0; n];
+        for &(s, p) in &self.initial {
+            v[s] += p;
+        }
+        for _ in 0..max_iterations {
+            let stepped = self.step(&v);
+            let mut delta: f64 = 0.0;
+            let mut next = vec![0.0; n];
+            for i in 0..n {
+                next[i] = 0.5 * v[i] + 0.5 * stepped[i];
+                delta = delta.max((next[i] - v[i]).abs());
+            }
+            v = next;
+            if delta < tolerance {
+                let total: f64 = v.iter().sum();
+                if total > 0.0 {
+                    for x in &mut v {
+                        *x /= total;
+                    }
+                }
+                return Ok(v);
+            }
+        }
+        Err(CtmcError::NoConvergence {
+            what: "DTMC stationary power iteration",
+            iterations: max_iterations,
+            residual: f64::NAN,
+        })
+    }
+
+    /// Probability of eventually being absorbed in each absorbing state,
+    /// per starting state: `B[s][j]` for the `j`-th absorbing state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::NoConvergence`] on iteration-cap overrun.
+    pub fn absorption_matrix(
+        &self,
+        tolerance: f64,
+        max_iterations: usize,
+    ) -> Result<(Vec<State>, Vec<Vec<f64>>), CtmcError> {
+        let n = self.num_states();
+        let absorbing: Vec<State> = (0..n).filter(|&s| self.is_absorbing(s)).collect();
+        let mut b = vec![vec![0.0; absorbing.len()]; n];
+        for (j, &a) in absorbing.iter().enumerate() {
+            b[a][j] = 1.0;
+        }
+        for iter in 0..max_iterations {
+            let mut delta: f64 = 0.0;
+            for s in 0..n {
+                if self.is_absorbing(s) {
+                    continue;
+                }
+                for j in 0..b[s].len() {
+                    let acc: f64 = self.rows[s].iter().map(|&(t, p)| p * b[t][j]).sum();
+                    delta = delta.max((acc - b[s][j]).abs());
+                    b[s][j] = acc;
+                }
+            }
+            if delta < tolerance {
+                return Ok((absorbing, b));
+            }
+            if iter == max_iterations - 1 {
+                return Err(CtmcError::NoConvergence {
+                    what: "DTMC absorption Gauss-Seidel",
+                    iterations: max_iterations,
+                    residual: delta,
+                });
+            }
+        }
+        unreachable!("loop returns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc::CtmcBuilder;
+
+    fn two_state(p01: f64, p10: f64) -> Dtmc {
+        Dtmc::new(
+            vec![
+                vec![(0, 1.0 - p01), (1, p01)],
+                vec![(0, p10), (1, 1.0 - p10)],
+            ],
+            vec![(0, 1.0)],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn validation_rejects_bad_rows() {
+        assert!(Dtmc::new(vec![vec![(0, 0.5)]], vec![(0, 1.0)]).is_err());
+        assert!(Dtmc::new(vec![vec![(3, 1.0)]], vec![(0, 1.0)]).is_err());
+        assert!(Dtmc::new(vec![vec![(0, -0.2), (0, 1.2)]], vec![(0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn stationary_of_two_state_chain() {
+        // π ∝ (p10, p01).
+        let d = two_state(0.3, 0.1);
+        let pi = d.stationary(1e-12, 100_000).expect("converges");
+        assert!((pi[0] - 0.25).abs() < 1e-6, "{pi:?}");
+        assert!((pi[1] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stationary_of_periodic_cycle() {
+        // Deterministic 2-cycle: Cesàro average gives (1/2, 1/2).
+        let d = two_state(1.0, 1.0);
+        let pi = d.stationary(1e-10, 100_000).expect("converges");
+        assert!((pi[0] - 0.5).abs() < 1e-4, "{pi:?}");
+    }
+
+    #[test]
+    fn embedded_chain_of_ctmc() {
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(0, 2, 3.0).unwrap();
+        let d = Dtmc::embedded(&b.build().unwrap());
+        assert_eq!(d.rows[0], vec![(1, 0.25), (2, 0.75)]);
+        assert!(d.is_absorbing(1) && d.is_absorbing(2));
+    }
+
+    #[test]
+    fn absorption_matrix_matches_branching() {
+        let mut b = CtmcBuilder::new(4);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 2, 2.0).unwrap();
+        b.rate(1, 3, 6.0).unwrap();
+        let d = Dtmc::embedded(&b.build().unwrap());
+        let (abs, m) = d.absorption_matrix(1e-12, 100_000).expect("converges");
+        assert_eq!(abs, vec![2, 3]);
+        assert!((m[0][0] - 0.25).abs() < 1e-9);
+        assert!((m[0][1] - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn n_step_distribution() {
+        let d = two_state(1.0, 0.0); // 0 -> 1 absorbingly (1 self-loops).
+        let v = d.distribution_after(3);
+        assert!((v[1] - 1.0).abs() < 1e-12);
+        let v0 = d.distribution_after(0);
+        assert!((v0[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_preserves_mass() {
+        let d = two_state(0.4, 0.7);
+        let mut v = vec![0.5, 0.5];
+        for _ in 0..10 {
+            v = d.step(&v);
+            let total: f64 = v.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,477 @@
+//! Continuous-time Markov decision processes (CTMDPs).
+//!
+//! The paper's §5 lists "new algorithms to handle nondeterminism (currently
+//! not accepted by the Markov solvers of CADP)" as an open issue: an IMC
+//! whose τ-nondeterminism cannot be resolved does not induce a single CTMC.
+//! This module provides the missing piece — a CTMDP with value-iteration
+//! solvers giving *best-case/worst-case bounds* over all schedulers
+//! (experiment E8).
+
+use crate::ctmc::{CtmcError, State};
+
+/// One nondeterministic choice available in a state: a set of rate
+/// transitions taken together (a "Markovian action").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionChoice {
+    /// Optional action name (for diagnostics).
+    pub name: Option<String>,
+    /// Rate transitions fired under this choice.
+    pub transitions: Vec<(State, f64)>,
+}
+
+impl ActionChoice {
+    /// Total exit rate of this choice.
+    pub fn exit_rate(&self) -> f64 {
+        self.transitions.iter().map(|&(_, r)| r).sum()
+    }
+}
+
+/// Optimization direction for scheduler quantification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opt {
+    /// Best case over schedulers.
+    Min,
+    /// Worst case over schedulers.
+    Max,
+}
+
+impl Opt {
+    fn pick(self, a: f64, b: f64) -> f64 {
+        match self {
+            Opt::Min => a.min(b),
+            Opt::Max => a.max(b),
+        }
+    }
+
+    fn unit(self) -> f64 {
+        match self {
+            Opt::Min => f64::INFINITY,
+            Opt::Max => f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// A sparse CTMDP. States without choices are absorbing.
+///
+/// # Examples
+///
+/// ```
+/// use multival_ctmc::mdp::{Ctmdp, ActionChoice, Opt};
+///
+/// let mut m = Ctmdp::new(3);
+/// // State 0: scheduler picks the fast or the slow route to state 2.
+/// m.add_choice(0, ActionChoice { name: Some("fast".into()),
+///                                transitions: vec![(2, 4.0)] });
+/// m.add_choice(0, ActionChoice { name: Some("slow".into()),
+///                                transitions: vec![(1, 1.0)] });
+/// m.add_choice(1, ActionChoice { name: None, transitions: vec![(2, 1.0)] });
+/// let best = m.expected_time_to_reach(&[2], Opt::Min, 1e-12, 100_000).unwrap();
+/// let worst = m.expected_time_to_reach(&[2], Opt::Max, 1e-12, 100_000).unwrap();
+/// assert!((best[0] - 0.25).abs() < 1e-9);
+/// assert!((worst[0] - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Ctmdp {
+    choices: Vec<Vec<ActionChoice>>,
+}
+
+impl Ctmdp {
+    /// A CTMDP with `n` states and no choices yet.
+    pub fn new(n: usize) -> Self {
+        Ctmdp { choices: vec![Vec::new(); n] }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// Appends a new state.
+    pub fn add_state(&mut self) -> State {
+        self.choices.push(Vec::new());
+        self.choices.len() - 1
+    }
+
+    /// Adds a nondeterministic choice to `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range, a transition target is out of range,
+    /// or the choice has a non-positive exit rate.
+    pub fn add_choice(&mut self, s: State, choice: ActionChoice) {
+        assert!(s < self.choices.len(), "state out of range");
+        assert!(
+            choice.transitions.iter().all(|&(t, r)| t < self.choices.len() && r > 0.0),
+            "bad transition in choice"
+        );
+        assert!(choice.exit_rate() > 0.0, "choice must have positive exit rate");
+        self.choices[s].push(choice);
+    }
+
+    /// The choices of state `s`.
+    pub fn choices(&self, s: State) -> &[ActionChoice] {
+        &self.choices[s]
+    }
+
+    /// The maximum exit rate over all choices (uniformization base).
+    pub fn max_exit_rate(&self) -> f64 {
+        self.choices
+            .iter()
+            .flat_map(|cs| cs.iter().map(ActionChoice::exit_rate))
+            .fold(0.0, f64::max)
+    }
+
+    /// Min/max probability of eventually reaching `targets`, by value
+    /// iteration on the embedded MDP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::NoConvergence`] if value iteration does not
+    /// converge within `max_iterations`.
+    pub fn reach_probability(
+        &self,
+        targets: &[State],
+        opt: Opt,
+        tolerance: f64,
+        max_iterations: usize,
+    ) -> Result<Vec<f64>, CtmcError> {
+        let n = self.num_states();
+        let mut is_target = vec![false; n];
+        for &t in targets {
+            is_target[t] = true;
+        }
+        let mut p = vec![0.0f64; n];
+        for &t in targets {
+            p[t] = 1.0;
+        }
+        for iter in 0..max_iterations {
+            let mut delta: f64 = 0.0;
+            for s in 0..n {
+                if is_target[s] || self.choices[s].is_empty() {
+                    continue;
+                }
+                let mut best = opt.unit();
+                for c in &self.choices[s] {
+                    let e = c.exit_rate();
+                    let v: f64 = c.transitions.iter().map(|&(t, r)| (r / e) * p[t]).sum();
+                    best = opt.pick(best, v);
+                }
+                delta = delta.max((best - p[s]).abs());
+                p[s] = best;
+            }
+            if delta < tolerance {
+                return Ok(p);
+            }
+            if iter == max_iterations - 1 {
+                return Err(CtmcError::NoConvergence {
+                    what: "CTMDP reachability value iteration",
+                    iterations: max_iterations,
+                    residual: delta,
+                });
+            }
+        }
+        unreachable!("loop returns")
+    }
+
+    /// Min/max expected time to reach `targets`, by value iteration on
+    /// `h(s) = opt_a [1/E_a + Σ P_a(s,s')·h(s')]`. States from which a
+    /// scheduler can (Min)/must (Max) avoid the target get `∞`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::NoConvergence`] if value iteration does not
+    /// converge within `max_iterations`.
+    pub fn expected_time_to_reach(
+        &self,
+        targets: &[State],
+        opt: Opt,
+        tolerance: f64,
+        max_iterations: usize,
+    ) -> Result<Vec<f64>, CtmcError> {
+        let n = self.num_states();
+        let mut is_target = vec![false; n];
+        for &t in targets {
+            is_target[t] = true;
+        }
+        // Qualitative pre-pass: under the chosen quantification, which
+        // states have reach probability 1? Others get ∞.
+        let reach = self.reach_probability(targets, opt, 1e-9, max_iterations)?;
+        let mut h: Vec<f64> =
+            (0..n).map(|s| if is_target[s] || reach[s] > 1.0 - 1e-6 { 0.0 } else { f64::INFINITY }).collect();
+        for iter in 0..max_iterations {
+            let mut delta: f64 = 0.0;
+            for s in 0..n {
+                if is_target[s] || h[s].is_infinite() || self.choices[s].is_empty() {
+                    continue;
+                }
+                let mut best = opt.unit();
+                for c in &self.choices[s] {
+                    let e = c.exit_rate();
+                    let mut v = 1.0 / e;
+                    for &(t, r) in &c.transitions {
+                        if h[t].is_infinite() {
+                            v = f64::INFINITY;
+                            break;
+                        }
+                        v += (r / e) * h[t];
+                    }
+                    best = opt.pick(best, v);
+                }
+                if best.is_finite() {
+                    delta = delta.max((best - h[s]).abs());
+                    h[s] = best;
+                }
+            }
+            if delta < tolerance {
+                return Ok(h);
+            }
+            if iter == max_iterations - 1 {
+                return Err(CtmcError::NoConvergence {
+                    what: "CTMDP expected-time value iteration",
+                    iterations: max_iterations,
+                    residual: delta,
+                });
+            }
+        }
+        unreachable!("loop returns")
+    }
+
+    /// Like [`Ctmdp::expected_time_to_reach`], additionally returning the
+    /// optimal memoryless policy: for each state, the index of the choice
+    /// achieving the bound (`None` for targets, absorbing states, and
+    /// states with infinite value).
+    ///
+    /// # Errors
+    ///
+    /// Propagates value-iteration convergence failures.
+    pub fn optimal_expected_time(
+        &self,
+        targets: &[State],
+        opt: Opt,
+        tolerance: f64,
+        max_iterations: usize,
+    ) -> Result<(Vec<f64>, Vec<Option<usize>>), CtmcError> {
+        let h = self.expected_time_to_reach(targets, opt, tolerance, max_iterations)?;
+        let mut is_target = vec![false; self.num_states()];
+        for &t in targets {
+            is_target[t] = true;
+        }
+        let mut policy = vec![None; self.num_states()];
+        for s in 0..self.num_states() {
+            if is_target[s] || h[s].is_infinite() || self.choices[s].is_empty() {
+                continue;
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for (i, c) in self.choices[s].iter().enumerate() {
+                let e = c.exit_rate();
+                let mut v = 1.0 / e;
+                for &(t, r) in &c.transitions {
+                    if h[t].is_infinite() {
+                        v = f64::INFINITY;
+                        break;
+                    }
+                    v += (r / e) * h[t];
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, bv)) => match opt {
+                        Opt::Min => v < bv,
+                        Opt::Max => v > bv,
+                    },
+                };
+                if better {
+                    best = Some((i, v));
+                }
+            }
+            policy[s] = best.map(|(i, _)| i);
+        }
+        Ok((h, policy))
+    }
+
+    /// Min/max probability of reaching `targets` *within time bound `t`*,
+    /// via uniformization-based value iteration (ε-approximation in the
+    /// style of time-bounded CTMDP analysis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::Undefined`] for a negative bound.
+    pub fn timed_reach_probability(
+        &self,
+        targets: &[State],
+        bound: f64,
+        opt: Opt,
+        epsilon: f64,
+    ) -> Result<Vec<f64>, CtmcError> {
+        if bound < 0.0 || !bound.is_finite() {
+            return Err(CtmcError::Undefined(format!("time bound {bound} must be >= 0")));
+        }
+        let n = self.num_states();
+        let mut is_target = vec![false; n];
+        for &s in targets {
+            is_target[s] = true;
+        }
+        let lambda = self.max_exit_rate().max(1e-12) * 1.02;
+        let q = lambda * bound;
+        // Uniformization with Poisson weights (exact for a single-choice
+        // CTMDP, a greedy ε-approximation otherwise, per the uniform-CTMDP
+        // algorithm of Baier et al.):
+        //   P(reach ≤ t) = Σ_k PoissonPMF(q, k) · r_k(s)
+        // where r_k(s) is the optimal probability of reaching the target
+        // within k jumps of the uniformized step chain:
+        //   r_0 = 1_target,
+        //   r_{k+1}(s) = 1 if target, else opt_a [(1-E_a/Λ)·r_k(s) + Σ r/Λ·r_k(s')].
+        let mut r: Vec<f64> = (0..n).map(|s| if is_target[s] { 1.0 } else { 0.0 }).collect();
+        let mut result = vec![0.0f64; n];
+        let mut w = (-q).exp();
+        let scaled = w == 0.0;
+        if scaled {
+            w = f64::MIN_POSITIVE * 1e16;
+        }
+        let mut weight_sum = 0.0;
+        let mut covered = 0.0;
+        let mut k = 0usize;
+        let max_terms = (q + 10.0 * q.sqrt() + 50.0 + 10.0 / epsilon.max(1e-15)) as usize;
+        loop {
+            for s in 0..n {
+                result[s] += w * r[s];
+            }
+            weight_sum += w;
+            if !scaled {
+                covered += w;
+                if covered >= 1.0 - epsilon {
+                    break;
+                }
+            } else if (k as f64) > q && w < weight_sum * epsilon {
+                break;
+            }
+            k += 1;
+            if k > max_terms {
+                break;
+            }
+            // r ← one optimal step of the uniformized chain.
+            let mut next = r.clone();
+            for s in 0..n {
+                if is_target[s] || self.choices[s].is_empty() {
+                    continue;
+                }
+                let mut best = opt.unit();
+                for c in &self.choices[s] {
+                    let e = c.exit_rate();
+                    let mut acc = (1.0 - e / lambda) * r[s];
+                    for &(t, rate) in &c.transitions {
+                        acc += (rate / lambda) * r[t];
+                    }
+                    best = opt.pick(best, acc);
+                }
+                next[s] = best;
+            }
+            r = next;
+            w *= q / k as f64;
+            if w > 1e280 {
+                for x in result.iter_mut() {
+                    *x /= 1e280;
+                }
+                weight_sum /= 1e280;
+                w /= 1e280;
+            }
+        }
+        if scaled && weight_sum > 0.0 {
+            for x in result.iter_mut() {
+                *x /= weight_sum;
+            }
+        } else {
+            // Account for the truncated tail by leaving result as the
+            // partial sum (an under-approximation within ε).
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn race() -> Ctmdp {
+        // 0 --fast(4)--> 2 or 0 --slow(1)--> 1 --(1)--> 2
+        let mut m = Ctmdp::new(3);
+        m.add_choice(0, ActionChoice { name: Some("fast".into()), transitions: vec![(2, 4.0)] });
+        m.add_choice(0, ActionChoice { name: Some("slow".into()), transitions: vec![(1, 1.0)] });
+        m.add_choice(1, ActionChoice { name: None, transitions: vec![(2, 1.0)] });
+        m
+    }
+
+    #[test]
+    fn expected_time_bounds() {
+        let m = race();
+        let best = m.expected_time_to_reach(&[2], Opt::Min, 1e-12, 100_000).unwrap();
+        let worst = m.expected_time_to_reach(&[2], Opt::Max, 1e-12, 100_000).unwrap();
+        assert!((best[0] - 0.25).abs() < 1e-9);
+        assert!((worst[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reach_probability_with_trap() {
+        // 0 can choose: to target (rate 1) or to a trap (rate 1).
+        let mut m = Ctmdp::new(3);
+        m.add_choice(0, ActionChoice { name: None, transitions: vec![(1, 1.0)] });
+        m.add_choice(0, ActionChoice { name: None, transitions: vec![(2, 1.0)] });
+        let pmax = m.reach_probability(&[1], Opt::Max, 1e-12, 10_000).unwrap();
+        let pmin = m.reach_probability(&[1], Opt::Min, 1e-12, 10_000).unwrap();
+        assert!((pmax[0] - 1.0).abs() < 1e-9);
+        assert!(pmin[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_expected_time_infinite_when_avoidable() {
+        let mut m = Ctmdp::new(3);
+        m.add_choice(0, ActionChoice { name: None, transitions: vec![(1, 1.0)] });
+        m.add_choice(0, ActionChoice { name: None, transitions: vec![(2, 1.0)] });
+        // Min scheduler avoids the target entirely → infinite.
+        let h = m.expected_time_to_reach(&[1], Opt::Min, 1e-12, 10_000).unwrap();
+        assert!(h[0].is_infinite());
+    }
+
+    #[test]
+    fn single_choice_reduces_to_ctmc() {
+        // Deterministic chain: CTMDP bounds coincide with CTMC values.
+        let mut m = Ctmdp::new(3);
+        m.add_choice(0, ActionChoice { name: None, transitions: vec![(1, 2.0)] });
+        m.add_choice(1, ActionChoice { name: None, transitions: vec![(2, 2.0)] });
+        let lo = m.expected_time_to_reach(&[2], Opt::Min, 1e-12, 10_000).unwrap();
+        let hi = m.expected_time_to_reach(&[2], Opt::Max, 1e-12, 10_000).unwrap();
+        assert!((lo[0] - 1.0).abs() < 1e-9);
+        assert!((hi[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_policy_picks_the_fast_branch() {
+        let m = race();
+        let (h, policy) =
+            m.optimal_expected_time(&[2], Opt::Min, 1e-12, 100_000).expect("vi");
+        assert!((h[0] - 0.25).abs() < 1e-9);
+        // Choice 0 is "fast": the min policy must select it at state 0.
+        assert_eq!(policy[0], Some(0));
+        assert_eq!(policy[2], None, "target has no policy entry");
+        let (_, worst) =
+            m.optimal_expected_time(&[2], Opt::Max, 1e-12, 100_000).expect("vi");
+        assert_eq!(worst[0], Some(1), "the max policy takes the slow route");
+    }
+
+    #[test]
+    fn timed_reachability_brackets_exponential() {
+        // Single exponential rate 1: P(T ≤ 1) = 1 - 1/e ≈ 0.632.
+        let mut m = Ctmdp::new(2);
+        m.add_choice(0, ActionChoice { name: None, transitions: vec![(1, 1.0)] });
+        let v = m.timed_reach_probability(&[1], 1.0, Opt::Max, 1e-9).unwrap();
+        assert!((v[0] - 0.6321).abs() < 0.01, "got {}", v[0]);
+    }
+
+    #[test]
+    fn timed_bounds_ordered() {
+        let m = race();
+        let lo = m.timed_reach_probability(&[2], 0.5, Opt::Min, 1e-9).unwrap();
+        let hi = m.timed_reach_probability(&[2], 0.5, Opt::Max, 1e-9).unwrap();
+        assert!(lo[0] <= hi[0] + 1e-12);
+        assert!(hi[0] > lo[0] + 0.1, "choices should matter: {lo:?} {hi:?}");
+    }
+}

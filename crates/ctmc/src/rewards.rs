@@ -1,0 +1,212 @@
+//! Reward-based measures: expected accumulated rewards until absorption and
+//! long-run reward rates.
+//!
+//! These extend the throughput/occupancy measures of the basic flow with
+//! cost-style metrics (energy, bus cycles, message counts): a state reward
+//! accrues per unit of time spent, an impulse reward per transition taken.
+
+use crate::ctmc::{Ctmc, CtmcError, State};
+use crate::steady::{steady_state, SolveOptions};
+
+/// Expected total reward accumulated until the target set is hit, from each
+/// state: `g(s) = stateReward(s)/E(s) + Σ P(s,s')·(impulse(s,s') + g(s'))`,
+/// `g = 0` on targets. States that cannot surely reach the target get `∞`.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::NoConvergence`] on iteration-cap overrun and
+/// [`CtmcError::BadState`] for out-of-range targets.
+///
+/// # Examples
+///
+/// ```
+/// use multival_ctmc::{CtmcBuilder, rewards::accumulated_until,
+///                     steady::SolveOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Two phases of rate 2; reward 3 per time unit → E[total] = 3·(0.5+0.5).
+/// let mut b = CtmcBuilder::new(3);
+/// b.rate(0, 1, 2.0)?;
+/// b.rate(1, 2, 2.0)?;
+/// let g = accumulated_until(&b.build()?, &[2], |_| 3.0, |_, _| 0.0,
+///                           &SolveOptions::default())?;
+/// assert!((g[0] - 3.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn accumulated_until(
+    ctmc: &Ctmc,
+    targets: &[State],
+    state_reward: impl Fn(State) -> f64,
+    impulse: impl Fn(State, State) -> f64,
+    options: &SolveOptions,
+) -> Result<Vec<f64>, CtmcError> {
+    let n = ctmc.num_states();
+    let mut is_target = vec![false; n];
+    for &t in targets {
+        if t >= n {
+            return Err(CtmcError::BadState(t));
+        }
+        is_target[t] = true;
+    }
+    // Reuse the hitting-time reachability classification: infinite where the
+    // expected time itself is infinite.
+    let hitting = crate::absorb::expected_hitting_times(ctmc, targets, options)?;
+    let mut g: Vec<f64> =
+        hitting.iter().map(|h| if h.is_infinite() { f64::INFINITY } else { 0.0 }).collect();
+    for iter in 0..options.max_iterations {
+        let mut delta: f64 = 0.0;
+        for s in 0..n {
+            if is_target[s] || g[s].is_infinite() {
+                continue;
+            }
+            let e = ctmc.exit_rate(s);
+            if e == 0.0 {
+                g[s] = f64::INFINITY;
+                continue;
+            }
+            let mut acc = state_reward(s) / e;
+            for t in ctmc.transitions_from(s) {
+                let gt = g[t.target];
+                if gt.is_infinite() {
+                    acc = f64::INFINITY;
+                    break;
+                }
+                acc += (t.rate / e) * (impulse(s, t.target) + gt);
+            }
+            if acc.is_finite() {
+                delta = delta.max((acc - g[s]).abs());
+                g[s] = acc;
+            } else {
+                g[s] = f64::INFINITY;
+            }
+        }
+        if delta < options.tolerance {
+            return Ok(g);
+        }
+        if iter == options.max_iterations - 1 {
+            return Err(CtmcError::NoConvergence {
+                what: "accumulated-reward Gauss-Seidel",
+                iterations: options.max_iterations,
+                residual: delta,
+            });
+        }
+    }
+    unreachable!("loop returns")
+}
+
+/// Long-run reward rate: `Σ_s π(s)·stateReward(s) + Σ_{s→t} π(s)·rate·impulse`.
+///
+/// # Errors
+///
+/// Propagates steady-state solver errors.
+pub fn long_run_rate(
+    ctmc: &Ctmc,
+    state_reward: impl Fn(State) -> f64,
+    impulse: impl Fn(State, State) -> f64,
+    options: &SolveOptions,
+) -> Result<f64, CtmcError> {
+    let pi = steady_state(ctmc, options)?;
+    let mut total = 0.0;
+    for (s, &p) in pi.iter().enumerate() {
+        total += p * state_reward(s);
+        for t in ctmc.transitions_from(s) {
+            total += p * t.rate * impulse(s, t.target);
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc::CtmcBuilder;
+
+    #[test]
+    fn impulse_counts_transitions() {
+        // Random walk 0↔1→2 with unit rates; expected #jumps until hitting 2
+        // equals the expected hitting time here only by coincidence of unit
+        // rates — count jumps via impulse 1 per transition.
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 0, 1.0).unwrap();
+        b.rate(1, 2, 1.0).unwrap();
+        let g = accumulated_until(
+            &b.build().unwrap(),
+            &[2],
+            |_| 0.0,
+            |_, _| 1.0,
+            &SolveOptions::default(),
+        )
+        .expect("converges");
+        // E[#jumps from 1] = 1 + (1/2)E[#jumps from 0]; from 0 = 1 + from 1.
+        // → from 1 = 4? solve: j1 = 1 + 0.5·j0, j0 = 1 + j1 → j1 = 1 + 0.5 +
+        // 0.5 j1 → j1 = 3, j0 = 4.
+        assert!((g[1] - 3.0).abs() < 1e-8, "{}", g[1]);
+        assert!((g[0] - 4.0).abs() < 1e-8, "{}", g[0]);
+    }
+
+    #[test]
+    fn state_reward_equals_weighted_time() {
+        // Reward 5 while in phase 0, 1 while in phase 1, rates 2 and 4.
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 2.0).unwrap();
+        b.rate(1, 2, 4.0).unwrap();
+        let g = accumulated_until(
+            &b.build().unwrap(),
+            &[2],
+            |s| if s == 0 { 5.0 } else { 1.0 },
+            |_, _| 0.0,
+            &SolveOptions::default(),
+        )
+        .expect("converges");
+        assert!((g[0] - (5.0 / 2.0 + 1.0 / 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_target_infinite_reward() {
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 0, 1.0).unwrap(); // self-loop, never reaches 1
+        let g = accumulated_until(
+            &b.build().unwrap(),
+            &[1],
+            |_| 1.0,
+            |_, _| 0.0,
+            &SolveOptions::default(),
+        )
+        .expect("solves");
+        assert!(g[0].is_infinite());
+    }
+
+    #[test]
+    fn long_run_rate_matches_occupancy() {
+        // Flip-flop with π = (1/3, 2/3); reward 3 in state 0 → rate 1.
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 2.0).unwrap();
+        b.rate(1, 0, 1.0).unwrap();
+        let r = long_run_rate(
+            &b.build().unwrap(),
+            |s| if s == 0 { 3.0 } else { 0.0 },
+            |_, _| 0.0,
+            &SolveOptions::default(),
+        )
+        .expect("solves");
+        assert!((r - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_run_impulse_is_throughput() {
+        // Impulse 1 on every transition = total jump rate at steady state.
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 2.0).unwrap();
+        b.rate(1, 0, 2.0).unwrap();
+        let r = long_run_rate(
+            &b.build().unwrap(),
+            |_| 0.0,
+            |_, _| 1.0,
+            &SolveOptions::default(),
+        )
+        .expect("solves");
+        assert!((r - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,205 @@
+//! Monte-Carlo simulation of CTMCs.
+//!
+//! Used to cross-validate the numerical solvers: the test suites compare
+//! steady-state occupancies, transient probabilities, and hitting times
+//! against simulated estimates.
+
+use crate::ctmc::{Ctmc, State};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible CTMC simulator.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    ctmc: &'a Ctmc,
+    rng: StdRng,
+}
+
+/// Result of a long-run occupancy simulation.
+#[derive(Debug, Clone)]
+pub struct OccupancyEstimate {
+    /// Fraction of simulated time spent in each state.
+    pub occupancy: Vec<f64>,
+    /// Total simulated time.
+    pub total_time: f64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with a fixed RNG seed (reproducible).
+    pub fn new(ctmc: &'a Ctmc, seed: u64) -> Self {
+        Simulator { ctmc, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    fn sample_initial(&mut self) -> State {
+        let u: f64 = self.rng.gen();
+        let mut acc = 0.0;
+        for &(s, p) in self.ctmc.initial() {
+            acc += p;
+            if u < acc {
+                return s;
+            }
+        }
+        self.ctmc.initial().last().map(|&(s, _)| s).unwrap_or(0)
+    }
+
+    fn step(&mut self, s: State) -> Option<(f64, State)> {
+        let e = self.ctmc.exit_rate(s);
+        if e == 0.0 {
+            return None;
+        }
+        let dwell = -self.rng.gen::<f64>().ln() / e;
+        let mut u = self.rng.gen::<f64>() * e;
+        for t in self.ctmc.transitions_from(s) {
+            if u < t.rate {
+                return Some((dwell, t.target));
+            }
+            u -= t.rate;
+        }
+        // Floating-point slack: take the last transition.
+        let last = self.ctmc.transitions_from(s).last().expect("nonzero exit rate");
+        Some((dwell, last.target))
+    }
+
+    /// Simulates until `horizon` time units elapse and reports per-state
+    /// occupancy fractions (a steady-state estimate for long horizons).
+    pub fn occupancy(&mut self, horizon: f64) -> OccupancyEstimate {
+        let n = self.ctmc.num_states();
+        let mut time_in = vec![0.0; n];
+        let mut clock = 0.0;
+        let mut s = self.sample_initial();
+        while clock < horizon {
+            match self.step(s) {
+                Some((dwell, next)) => {
+                    let dt = dwell.min(horizon - clock);
+                    time_in[s] += dt;
+                    clock += dwell;
+                    s = next;
+                }
+                None => {
+                    time_in[s] += horizon - clock;
+                    clock = horizon;
+                }
+            }
+        }
+        let total: f64 = time_in.iter().sum();
+        OccupancyEstimate {
+            occupancy: time_in.iter().map(|&t| t / total).collect(),
+            total_time: total,
+        }
+    }
+
+    /// Estimates the mean hitting time of `targets` over `runs` independent
+    /// trajectories. Trajectories longer than `time_cap` are truncated at
+    /// the cap (biasing the estimate down; pick a generous cap).
+    pub fn mean_hitting_time(&mut self, targets: &[State], runs: usize, time_cap: f64) -> f64 {
+        let is_target: Vec<bool> = {
+            let mut v = vec![false; self.ctmc.num_states()];
+            for &t in targets {
+                v[t] = true;
+            }
+            v
+        };
+        let mut total = 0.0;
+        for _ in 0..runs {
+            let mut s = self.sample_initial();
+            let mut clock = 0.0;
+            while !is_target[s] && clock < time_cap {
+                match self.step(s) {
+                    Some((dwell, next)) => {
+                        clock += dwell;
+                        s = next;
+                    }
+                    None => {
+                        clock = time_cap;
+                    }
+                }
+            }
+            total += clock.min(time_cap);
+        }
+        total / runs as f64
+    }
+
+    /// Estimates `P(state ∈ targets at time t)` over `runs` trajectories.
+    pub fn transient_probability(&mut self, targets: &[State], t: f64, runs: usize) -> f64 {
+        let is_target: Vec<bool> = {
+            let mut v = vec![false; self.ctmc.num_states()];
+            for &x in targets {
+                v[x] = true;
+            }
+            v
+        };
+        let mut hits = 0usize;
+        for _ in 0..runs {
+            let mut s = self.sample_initial();
+            let mut clock = 0.0;
+            while let Some((dwell, next)) = self.step(s) {
+                if clock + dwell > t {
+                    break;
+                }
+                clock += dwell;
+                s = next;
+            }
+            if is_target[s] {
+                hits += 1;
+            }
+        }
+        hits as f64 / runs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc::CtmcBuilder;
+    use crate::steady::{steady_state, SolveOptions};
+    use crate::transient::{transient, TransientOptions};
+
+    fn flip_flop() -> Ctmc {
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 2.0).unwrap();
+        b.rate(1, 0, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn occupancy_matches_steady_state() {
+        let c = flip_flop();
+        let pi = steady_state(&c, &SolveOptions::default()).unwrap();
+        let est = Simulator::new(&c, 42).occupancy(20_000.0);
+        for (s, (&exact, &sim)) in pi.iter().zip(&est.occupancy).enumerate() {
+            assert!(
+                (exact - sim).abs() < 0.02,
+                "state {s}: exact {exact} vs simulated {sim}"
+            );
+        }
+    }
+
+    #[test]
+    fn simulated_hitting_time_matches_exact() {
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 0, 1.0).unwrap();
+        b.rate(1, 2, 1.0).unwrap();
+        let c = b.build().unwrap();
+        // Exact h(0) = 3 (see absorb tests).
+        let est = Simulator::new(&c, 7).mean_hitting_time(&[2], 20_000, 1e6);
+        assert!((est - 3.0).abs() < 0.1, "estimate {est}");
+    }
+
+    #[test]
+    fn simulated_transient_matches_uniformization() {
+        let c = flip_flop();
+        let t = 0.7;
+        let exact = transient(&c, t, &TransientOptions::default()).unwrap();
+        let est = Simulator::new(&c, 13).transient_probability(&[1], t, 40_000);
+        assert!((exact[1] - est).abs() < 0.02, "exact {} vs simulated {est}", exact[1]);
+    }
+
+    #[test]
+    fn simulation_is_reproducible() {
+        let c = flip_flop();
+        let a = Simulator::new(&c, 99).occupancy(100.0);
+        let b = Simulator::new(&c, 99).occupancy(100.0);
+        assert_eq!(a.occupancy, b.occupancy);
+    }
+}

@@ -1,0 +1,424 @@
+//! Steady-state analysis (the CADP `bcg_steady` role).
+//!
+//! The long-run distribution of a CTMC is computed per *bottom strongly
+//! connected component* (BSCC): within each BSCC the stationary equations
+//! πQ = 0 are solved by Gauss–Seidel sweeps; across BSCCs the long-run mass
+//! is the probability of absorption into each BSCC from the initial
+//! distribution, computed by iterating the embedded jump chain.
+
+use crate::ctmc::{Ctmc, CtmcError, State};
+
+/// Options for the iterative solvers.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveOptions {
+    /// Convergence threshold on the max-norm of successive iterates.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions { tolerance: 1e-12, max_iterations: 200_000 }
+    }
+}
+
+/// Tarjan SCC over the rate graph. Returns (scc id per state, #sccs);
+/// ids are in reverse topological order.
+pub(crate) fn sccs(ctmc: &Ctmc) -> (Vec<u32>, u32) {
+    let n = ctmc.num_states();
+    let mut index = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut scc = vec![u32::MAX; n];
+    let mut stack: Vec<State> = Vec::new();
+    let mut next_index = 0u32;
+    let mut next_scc = 0u32;
+
+    enum Frame {
+        Enter(State),
+        Post(State, State),
+    }
+    for root in 0..n {
+        if index[root] != u32::MAX {
+            continue;
+        }
+        let mut call = vec![Frame::Enter(root)];
+        while let Some(frame) = call.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    if index[v] != u32::MAX {
+                        continue;
+                    }
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    call.push(Frame::Post(v, v));
+                    for t in ctmc.transitions_from(v) {
+                        let w = t.target;
+                        if index[w] == u32::MAX {
+                            call.push(Frame::Post(v, w));
+                            call.push(Frame::Enter(w));
+                        } else if on_stack[w] {
+                            low[v] = low[v].min(index[w]);
+                        }
+                    }
+                }
+                Frame::Post(v, w) => {
+                    if w != v {
+                        if scc[w] == u32::MAX {
+                            low[v] = low[v].min(low[w]);
+                        }
+                        continue;
+                    }
+                    if low[v] == index[v] {
+                        loop {
+                            let x = stack.pop().expect("tarjan stack underflow");
+                            on_stack[x] = false;
+                            scc[x] = next_scc;
+                            if x == v {
+                                break;
+                            }
+                        }
+                        next_scc += 1;
+                    }
+                }
+            }
+        }
+    }
+    (scc, next_scc)
+}
+
+/// Identifies the bottom SCCs: SCC ids with no transition leaving the SCC.
+/// Returns for each SCC id whether it is bottom.
+pub(crate) fn bottom_sccs(ctmc: &Ctmc, scc_of: &[u32], num_sccs: u32) -> Vec<bool> {
+    let mut bottom = vec![true; num_sccs as usize];
+    for s in 0..ctmc.num_states() {
+        for t in ctmc.transitions_from(s) {
+            if scc_of[t.target] != scc_of[s] {
+                bottom[scc_of[s] as usize] = false;
+            }
+        }
+    }
+    bottom
+}
+
+/// Steady-state distribution of an *irreducible* sub-chain given by
+/// `members` (states of one BSCC). Solves πQ = 0, Σπ = 1 by Gauss–Seidel on
+/// the balance equations π(s)·E(s) = Σ_{s'→s} π(s')·rate(s'→s).
+fn solve_bscc(
+    ctmc: &Ctmc,
+    members: &[State],
+    options: &SolveOptions,
+) -> Result<Vec<f64>, CtmcError> {
+    let m = members.len();
+    if m == 1 {
+        return Ok(vec![1.0]);
+    }
+    let local: std::collections::HashMap<State, usize> =
+        members.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    // Local uniformized transition structure P = I + Q/Λ: the stationary
+    // distribution of the CTMC equals the stationary distribution of P, and
+    // the slack above the maximum exit rate gives every state a self-loop,
+    // so the chain is aperiodic and power iteration converges geometrically
+    // (the balance-equation Gauss–Seidel can oscillate on long phase
+    // cycles, e.g. Erlang-decorated models).
+    let mut outgoing: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+    let mut exit = vec![0.0; m];
+    for (i, &s) in members.iter().enumerate() {
+        for t in ctmc.transitions_from(s) {
+            let j = local[&t.target]; // BSCC: targets stay inside
+            outgoing[i].push((j, t.rate));
+            exit[i] += t.rate;
+        }
+    }
+    let lambda = exit.iter().copied().fold(0.0f64, f64::max) * 1.02;
+    let mut pi = vec![1.0 / m as f64; m];
+    let mut next = vec![0.0f64; m];
+    for iter in 0..options.max_iterations {
+        next.fill(0.0);
+        for i in 0..m {
+            let stay = pi[i] * (1.0 - exit[i] / lambda);
+            next[i] += stay;
+            for &(j, r) in &outgoing[i] {
+                next[j] += pi[i] * (r / lambda);
+            }
+        }
+        // Normalize each sweep to stop drift.
+        let total: f64 = next.iter().sum();
+        if total > 0.0 {
+            for p in &mut next {
+                *p /= total;
+            }
+        }
+        let delta = pi
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        std::mem::swap(&mut pi, &mut next);
+        if delta < options.tolerance {
+            return Ok(pi);
+        }
+        if iter == options.max_iterations - 1 {
+            return Err(CtmcError::NoConvergence {
+                what: "steady-state uniformized power iteration",
+                iterations: options.max_iterations,
+                residual: delta,
+            });
+        }
+    }
+    unreachable!("loop returns")
+}
+
+/// Probability of absorption into each BSCC from the initial distribution,
+/// computed by iterating the embedded jump chain until the transient mass
+/// vanishes.
+fn absorption_probabilities(
+    ctmc: &Ctmc,
+    scc_of: &[u32],
+    bottom: &[bool],
+    options: &SolveOptions,
+) -> Result<Vec<f64>, CtmcError> {
+    let n = ctmc.num_states();
+    let mut mass = ctmc.initial_dense();
+    let mut absorbed = vec![0.0; bottom.len()];
+    // Move mass already in BSCCs.
+    for s in 0..n {
+        let c = scc_of[s] as usize;
+        if bottom[c] && mass[s] > 0.0 {
+            absorbed[c] += mass[s];
+            mass[s] = 0.0;
+        }
+    }
+    let mut transient: f64 = mass.iter().sum();
+    let mut iterations = 0;
+    while transient > options.tolerance {
+        iterations += 1;
+        if iterations > options.max_iterations {
+            return Err(CtmcError::NoConvergence {
+                what: "absorption probabilities",
+                iterations,
+                residual: transient,
+            });
+        }
+        let mut next = vec![0.0; n];
+        for s in 0..n {
+            if mass[s] == 0.0 {
+                continue;
+            }
+            let e = ctmc.exit_rate(s);
+            if e == 0.0 {
+                // Absorbing singleton state: its SCC is bottom by definition.
+                absorbed[scc_of[s] as usize] += mass[s];
+                continue;
+            }
+            for t in ctmc.transitions_from(s) {
+                let p = mass[s] * t.rate / e;
+                let c = scc_of[t.target] as usize;
+                if bottom[c] {
+                    absorbed[c] += p;
+                } else {
+                    next[t.target] += p;
+                }
+            }
+        }
+        mass = next;
+        transient = mass.iter().sum();
+    }
+    Ok(absorbed)
+}
+
+/// Long-run (steady-state) distribution of the chain from its initial
+/// distribution. Handles reducible chains: the result is the mixture of
+/// per-BSCC stationary distributions weighted by absorption probabilities.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::NoConvergence`] if an iterative stage exceeds its
+/// iteration cap.
+///
+/// # Examples
+///
+/// ```
+/// use multival_ctmc::{CtmcBuilder, steady::{steady_state, SolveOptions}};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Birth-death chain: rates 1.0 up, 2.0 down — π ∝ (1, 1/2, 1/4).
+/// let mut b = CtmcBuilder::new(3);
+/// b.rate(0, 1, 1.0)?;
+/// b.rate(1, 2, 1.0)?;
+/// b.rate(1, 0, 2.0)?;
+/// b.rate(2, 1, 2.0)?;
+/// let pi = steady_state(&b.build()?, &SolveOptions::default())?;
+/// assert!((pi[0] - 4.0 / 7.0).abs() < 1e-9);
+/// assert!((pi[1] - 2.0 / 7.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn steady_state(ctmc: &Ctmc, options: &SolveOptions) -> Result<Vec<f64>, CtmcError> {
+    let (scc_of, num_sccs) = sccs(ctmc);
+    let bottom = bottom_sccs(ctmc, &scc_of, num_sccs);
+    let absorbed = absorption_probabilities(ctmc, &scc_of, &bottom, options)?;
+
+    let mut members: Vec<Vec<State>> = vec![Vec::new(); num_sccs as usize];
+    for s in 0..ctmc.num_states() {
+        members[scc_of[s] as usize].push(s);
+    }
+    let mut pi = vec![0.0; ctmc.num_states()];
+    for c in 0..num_sccs as usize {
+        if !bottom[c] || absorbed[c] <= 0.0 {
+            continue;
+        }
+        let local = solve_bscc(ctmc, &members[c], options)?;
+        for (i, &s) in members[c].iter().enumerate() {
+            pi[s] = absorbed[c] * local[i];
+        }
+    }
+    Ok(pi)
+}
+
+/// Steady-state *throughput* of each label: Σ_s π(s) · rate of transitions
+/// from `s` carrying that label. Returns `(label name, throughput)` pairs in
+/// label-id order.
+///
+/// # Errors
+///
+/// Propagates [`steady_state`] errors.
+pub fn throughputs(ctmc: &Ctmc, options: &SolveOptions) -> Result<Vec<(String, f64)>, CtmcError> {
+    let pi = steady_state(ctmc, options)?;
+    let mut tp = vec![0.0; ctmc.labels().len()];
+    for (s, &p) in pi.iter().enumerate() {
+        for t in ctmc.transitions_from(s) {
+            if let Some(l) = t.label {
+                tp[l as usize] += p * t.rate;
+            }
+        }
+    }
+    Ok(ctmc.labels().iter().cloned().zip(tp).collect())
+}
+
+/// Expected value of a state reward function under the steady-state
+/// distribution.
+///
+/// # Errors
+///
+/// Propagates [`steady_state`] errors.
+pub fn steady_reward(
+    ctmc: &Ctmc,
+    reward: impl Fn(State) -> f64,
+    options: &SolveOptions,
+) -> Result<f64, CtmcError> {
+    let pi = steady_state(ctmc, options)?;
+    Ok(pi.iter().enumerate().map(|(s, &p)| p * reward(s)).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc::CtmcBuilder;
+
+    /// M/M/1/K queue: arrivals λ, service μ, capacity K.
+    fn mm1k(lambda: f64, mu: f64, k: usize) -> Ctmc {
+        let mut b = CtmcBuilder::new(k + 1);
+        for n in 0..k {
+            b.rate_labeled(n, n + 1, lambda, "arrive").unwrap();
+            b.rate_labeled(n + 1, n, mu, "serve").unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn mm1k_analytic(rho: f64, k: usize) -> Vec<f64> {
+        let weights: Vec<f64> = (0..=k).map(|n| rho.powi(n as i32)).collect();
+        let z: f64 = weights.iter().sum();
+        weights.into_iter().map(|w| w / z).collect()
+    }
+
+    #[test]
+    fn mm1k_matches_analytic() {
+        for (lambda, mu, k) in [(1.0, 2.0, 4), (3.0, 2.0, 6), (1.0, 1.0, 3)] {
+            let c = mm1k(lambda, mu, k);
+            let pi = steady_state(&c, &SolveOptions::default()).expect("converges");
+            let expect = mm1k_analytic(lambda / mu, k);
+            for (i, (&got, want)) in pi.iter().zip(expect).enumerate() {
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "λ={lambda} μ={mu} K={k}: π[{i}] = {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_sums_to_one() {
+        let c = mm1k(2.0, 3.0, 5);
+        let pi = steady_state(&c, &SolveOptions::default()).expect("converges");
+        let total: f64 = pi.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_balances_at_steady_state() {
+        // In steady state, arrival throughput == service throughput.
+        let c = mm1k(1.0, 2.0, 4);
+        let tp = throughputs(&c, &SolveOptions::default()).expect("converges");
+        let arrive = tp.iter().find(|(l, _)| l == "arrive").expect("label").1;
+        let serve = tp.iter().find(|(l, _)| l == "serve").expect("label").1;
+        assert!((arrive - serve).abs() < 1e-9, "flow balance: {arrive} vs {serve}");
+        // Effective throughput < λ because of blocking.
+        assert!(arrive < 1.0);
+    }
+
+    #[test]
+    fn reducible_chain_mixes_bsccs() {
+        // 0 → 1 (rate 1) and 0 → 2 (rate 3); 1 and 2 are absorbing self-BSCCs
+        // but CTMC absorbing states have no self-loop; give each a cycle.
+        let mut b = CtmcBuilder::new(5);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(0, 3, 3.0).unwrap();
+        b.rate(1, 2, 1.0).unwrap();
+        b.rate(2, 1, 1.0).unwrap();
+        b.rate(3, 4, 2.0).unwrap();
+        b.rate(4, 3, 2.0).unwrap();
+        let pi = steady_state(&b.build().unwrap(), &SolveOptions::default()).expect("ok");
+        // BSCC {1,2} reached w.p. 1/4, split evenly (symmetric rates).
+        assert!((pi[1] - 0.125).abs() < 1e-9);
+        assert!((pi[2] - 0.125).abs() < 1e-9);
+        // BSCC {3,4} reached w.p. 3/4.
+        assert!((pi[3] - 0.375).abs() < 1e-9);
+        assert!((pi[4] - 0.375).abs() < 1e-9);
+        assert!(pi[0].abs() < 1e-12, "transient state has no long-run mass");
+    }
+
+    #[test]
+    fn absorbing_state_gets_all_mass() {
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 2, 1.0).unwrap();
+        let pi = steady_state(&b.build().unwrap(), &SolveOptions::default()).expect("ok");
+        assert!((pi[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_reward_is_expected_occupancy() {
+        // Mean queue length of M/M/1/K.
+        let c = mm1k(1.0, 2.0, 4);
+        let pi = steady_state(&c, &SolveOptions::default()).expect("ok");
+        let direct: f64 = pi.iter().enumerate().map(|(n, p)| n as f64 * p).sum();
+        let via_reward =
+            steady_reward(&c, |s| s as f64, &SolveOptions::default()).expect("ok");
+        assert!((direct - via_reward).abs() < 1e-12);
+    }
+
+    #[test]
+    fn initial_distribution_affects_reducible_result() {
+        let mut b = CtmcBuilder::new(2);
+        // Two disconnected absorbing states.
+        b.set_initial(vec![(0, 0.3), (1, 0.7)]).unwrap();
+        let pi = steady_state(&b.build().unwrap(), &SolveOptions::default()).expect("ok");
+        assert!((pi[0] - 0.3).abs() < 1e-12);
+        assert!((pi[1] - 0.7).abs() < 1e-12);
+    }
+}

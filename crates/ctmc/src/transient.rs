@@ -1,0 +1,266 @@
+//! Transient analysis by uniformization (the CADP `bcg_transient` role).
+//!
+//! The state distribution at time `t` is
+//! `π(t) = Σ_k PoissonPMF(Λt, k) · π(0) Pᵏ` where `P = I + Q/Λ` is the
+//! uniformized jump matrix and `Λ ≥ max exit rate`. The Poisson series is
+//! truncated once the accumulated mass exceeds `1 − ε`.
+
+use crate::ctmc::{Ctmc, CtmcError, State};
+
+/// Options for uniformization.
+#[derive(Debug, Clone, Copy)]
+pub struct TransientOptions {
+    /// Mass of the Poisson tail allowed to be dropped.
+    pub epsilon: f64,
+    /// Hard cap on the number of Poisson terms.
+    pub max_terms: usize,
+}
+
+impl Default for TransientOptions {
+    fn default() -> Self {
+        TransientOptions { epsilon: 1e-12, max_terms: 2_000_000 }
+    }
+}
+
+/// One step of the uniformized chain: `out = in · P` with
+/// `P = I + Q/Λ`.
+fn uniform_step(ctmc: &Ctmc, lambda: f64, v: &[f64], out: &mut [f64]) {
+    out.fill(0.0);
+    for s in 0..ctmc.num_states() {
+        let p = v[s];
+        if p == 0.0 {
+            continue;
+        }
+        let e = ctmc.exit_rate(s);
+        // Self mass: stays with probability 1 - E(s)/Λ.
+        out[s] += p * (1.0 - e / lambda);
+        for t in ctmc.transitions_from(s) {
+            out[t.target] += p * (t.rate / lambda);
+        }
+    }
+}
+
+/// Distribution over states at time `t`, starting from the chain's initial
+/// distribution.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::NoConvergence`] if `max_terms` Poisson terms do not
+/// cover `1 − ε` of the mass, and [`CtmcError::Undefined`] for negative `t`.
+///
+/// # Examples
+///
+/// ```
+/// use multival_ctmc::{CtmcBuilder, transient::{transient, TransientOptions}};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Single exponential decay at rate 1: P(still in 0 at t) = e^-t.
+/// let mut b = CtmcBuilder::new(2);
+/// b.rate(0, 1, 1.0)?;
+/// let p = transient(&b.build()?, 1.0, &TransientOptions::default())?;
+/// assert!((p[0] - (-1.0f64).exp()).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn transient(ctmc: &Ctmc, t: f64, options: &TransientOptions) -> Result<Vec<f64>, CtmcError> {
+    if t < 0.0 || !t.is_finite() {
+        return Err(CtmcError::Undefined(format!("transient time {t} must be finite and >= 0")));
+    }
+    let mut current = ctmc.initial_dense();
+    if t == 0.0 {
+        return Ok(current);
+    }
+    let max_exit = ctmc.max_exit_rate();
+    if max_exit == 0.0 {
+        return Ok(current); // no transitions at all
+    }
+    // A little slack above the max exit rate improves convergence of P^k.
+    let lambda = max_exit * 1.02;
+    let q = lambda * t;
+
+    let n = ctmc.num_states();
+    let mut result = vec![0.0; n];
+    let mut next = vec![0.0; n];
+
+    // Stable Poisson pmf recurrence: w_0 = e^-q, w_{k} = w_{k-1} * q / k.
+    // For large q, e^-q underflows; work with a scaled weight and renormalize
+    // at the end (standard Fox-Glynn-lite trick).
+    let mut log_w = -q; // ln w_0
+    let mut scale_adjust = 0.0f64; // accumulated ln-scale taken out
+    let mut w = if log_w > -700.0 { log_w.exp() } else { 0.0 };
+    let underflow_mode = w == 0.0;
+    if underflow_mode {
+        // Start from a tiny representable weight; we renormalize by the true
+        // total at the end, so only relative weights matter.
+        w = f64::MIN_POSITIVE * 1e16;
+        scale_adjust = 1.0; // marker: weights are scaled, renormalize at end
+    }
+    let mut weight_sum = 0.0;
+    let mut covered = 0.0;
+    let mut k = 0usize;
+    loop {
+        // result += w * current
+        for i in 0..n {
+            result[i] += w * current[i];
+        }
+        weight_sum += w;
+        if !underflow_mode {
+            covered += w;
+            if covered >= 1.0 - options.epsilon {
+                break;
+            }
+        } else {
+            // In scaled mode, stop when the weights have decayed far past
+            // their peak (k > q and w is negligible vs the running sum).
+            if (k as f64) > q && w < weight_sum * options.epsilon {
+                break;
+            }
+        }
+        k += 1;
+        if k > options.max_terms {
+            return Err(CtmcError::NoConvergence {
+                what: "uniformization",
+                iterations: k,
+                residual: 1.0 - covered,
+            });
+        }
+        uniform_step(ctmc, lambda, &current, &mut next);
+        std::mem::swap(&mut current, &mut next);
+        w *= q / k as f64;
+        log_w += (q / k as f64).ln();
+        // Rescale if the weight grows too large (q big, pre-peak).
+        if w > 1e280 {
+            for r in result.iter_mut() {
+                *r /= 1e280;
+            }
+            weight_sum /= 1e280;
+            w /= 1e280;
+        }
+    }
+    let _ = scale_adjust;
+    let _ = log_w;
+    // Renormalize: in un-scaled mode weight_sum ≈ 1 already; in scaled mode
+    // this maps scaled weights back to probabilities.
+    if weight_sum > 0.0 {
+        for r in &mut result {
+            *r /= weight_sum;
+        }
+    }
+    Ok(result)
+}
+
+/// Probability that the chain is in any state of `targets` at time `t`.
+///
+/// # Errors
+///
+/// Propagates [`transient`] errors.
+pub fn transient_probability(
+    ctmc: &Ctmc,
+    targets: &[State],
+    t: f64,
+    options: &TransientOptions,
+) -> Result<f64, CtmcError> {
+    let p = transient(ctmc, t, options)?;
+    Ok(targets.iter().map(|&s| p[s]).sum())
+}
+
+/// Cumulative distribution function of the time to absorption when the
+/// absorbing states are exactly `targets` (made absorbing implicitly by the
+/// caller). Evaluates `P(T ≤ t_i)` for each requested time point.
+///
+/// # Errors
+///
+/// Propagates [`transient`] errors.
+pub fn absorption_cdf(
+    ctmc: &Ctmc,
+    targets: &[State],
+    times: &[f64],
+    options: &TransientOptions,
+) -> Result<Vec<f64>, CtmcError> {
+    times.iter().map(|&t| transient_probability(ctmc, targets, t, options)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc::CtmcBuilder;
+
+    #[test]
+    fn exponential_decay() {
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 2.0).unwrap();
+        let c = b.build().unwrap();
+        for t in [0.0, 0.1, 0.5, 1.0, 3.0] {
+            let p = transient(&c, t, &TransientOptions::default()).expect("converges");
+            assert!(
+                (p[0] - (-2.0 * t).exp()).abs() < 1e-9,
+                "t={t}: {} vs {}",
+                p[0],
+                (-2.0f64 * t).exp()
+            );
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn erlang_2_cdf() {
+        // Two-phase Erlang with rate 3: P(absorbed by t) = 1 - e^-3t (1 + 3t).
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 3.0).unwrap();
+        b.rate(1, 2, 3.0).unwrap();
+        let c = b.build().unwrap();
+        for t in [0.2, 0.5, 1.0, 2.0] {
+            let p = transient_probability(&c, &[2], t, &TransientOptions::default())
+                .expect("converges");
+            let want = 1.0 - (-3.0 * t).exp() * (1.0 + 3.0 * t);
+            assert!((p - want).abs() < 1e-9, "t={t}: {p} vs {want}");
+        }
+    }
+
+    #[test]
+    fn long_horizon_approaches_steady_state() {
+        // 2-state flip-flop: steady state (1/3, 2/3) for rates (2, 1).
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 2.0).unwrap();
+        b.rate(1, 0, 1.0).unwrap();
+        let c = b.build().unwrap();
+        let p = transient(&c, 50.0, &TransientOptions::default()).expect("converges");
+        assert!((p[0] - 1.0 / 3.0).abs() < 1e-6);
+        assert!((p[1] - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn large_q_stays_stable() {
+        // Fast rates and long horizon → large Λt; scaled mode must not
+        // produce NaN and must still sum to 1.
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 500.0).unwrap();
+        b.rate(1, 0, 250.0).unwrap();
+        let c = b.build().unwrap();
+        let p = transient(&c, 10.0, &TransientOptions::default()).expect("converges");
+        assert!(p.iter().all(|x| x.is_finite()));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert!((p[0] - 1.0 / 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn negative_time_rejected() {
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 1.0).unwrap();
+        let c = b.build().unwrap();
+        assert!(transient(&c, -1.0, &TransientOptions::default()).is_err());
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 2, 2.0).unwrap();
+        let c = b.build().unwrap();
+        let times: Vec<f64> = (0..20).map(|i| i as f64 * 0.25).collect();
+        let cdf = absorption_cdf(&c, &[2], &times, &TransientOptions::default()).expect("ok");
+        for w in cdf.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "CDF must be monotone: {w:?}");
+        }
+    }
+}

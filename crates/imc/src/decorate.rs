@@ -1,0 +1,213 @@
+//! Delay decoration: turning a functional LTS into an IMC by attaching
+//! phase-type delays to gates.
+//!
+//! This is the "direct" style of the paper's §4 (insert stochastic
+//! transitions into the model); the *compositional* style — synchronizing
+//! with an auxiliary delay process — is available through
+//! [`crate::phase_type::Delay::to_imc_process`] plus [`crate::ops::compose`].
+
+use crate::imc::{Imc, ImcBuilder, State};
+use crate::phase_type::Delay;
+use multival_lts::label::gate_of;
+use multival_lts::Lts;
+use std::collections::HashMap;
+
+/// Turns `lts` into an IMC, inserting the mapped delay *before* every
+/// transition whose gate appears in `delays`. Transitions on unmapped gates
+/// stay interactive (instantaneous).
+///
+/// Each decorated transition `s --G--> t` becomes
+/// `s --(phase chain)--> • --G--> t`, with the first phase starting at `s`
+/// itself: competing decorated transitions from one state *race* through
+/// their first phases, the GSPN-style interpretation.
+///
+/// State numbering invariant: the original LTS states keep their ids
+/// (`0..lts.num_states()`); chain states are appended after them. Callers
+/// rely on this to map performance measures back to functional states.
+///
+/// # Examples
+///
+/// ```
+/// use multival_imc::{decorate::decorate, phase_type::Delay};
+/// use multival_lts::equiv::lts_from_triples;
+/// use std::collections::HashMap;
+///
+/// let lts = lts_from_triples(&[(0, "WORK", 1), (1, "DONE", 0)]);
+/// let mut delays = HashMap::new();
+/// delays.insert("WORK".to_owned(), Delay::Exponential { rate: 2.0 });
+/// let imc = decorate(&lts, &delays);
+/// assert_eq!(imc.num_markovian(), 1);
+/// assert_eq!(imc.num_interactive(), 2); // WORK + DONE stay visible
+/// ```
+pub fn decorate(lts: &Lts, delays: &HashMap<String, Delay>) -> Imc {
+    let mut b = ImcBuilder::new();
+    for _ in 0..lts.num_states() {
+        b.add_state();
+    }
+    for (s, l, t) in lts.iter_transitions() {
+        let name = lts.labels().name(l).to_owned();
+        let gate = gate_of(&name).to_owned();
+        match delays.get(&gate) {
+            None => b.interactive(s, &name, t),
+            Some(delay) => inline_delay(&mut b, s, delay, &name, t),
+        }
+    }
+    // No `.reachable()` renumbering: decoration preserves reachability of
+    // every state, and callers depend on the id alignment (see above).
+    b.build(lts.initial())
+}
+
+/// Emits the phase chain of `delay` into `b`, starting from `from`; the
+/// chain ends with an interactive `emit_label` transition into `target`.
+fn inline_delay(b: &mut ImcBuilder, from: State, delay: &Delay, emit_label: &str, target: State) {
+    match delay {
+        Delay::Exponential { rate } => {
+            let done = b.add_state();
+            b.markovian(from, done, *rate).expect("validated rate");
+            b.interactive(done, emit_label, target);
+        }
+        Delay::Erlang { phases, rate } => {
+            let mut prev = from;
+            for _ in 0..*phases {
+                let next = b.add_state();
+                b.markovian(prev, next, *rate).expect("validated rate");
+                prev = next;
+            }
+            b.interactive(prev, emit_label, target);
+        }
+        Delay::HypoExponential { rates } => {
+            let mut prev = from;
+            for &r in rates {
+                let next = b.add_state();
+                b.markovian(prev, next, r).expect("validated rate");
+                prev = next;
+            }
+            b.interactive(prev, emit_label, target);
+        }
+        Delay::HyperExponential { branches } => {
+            // Fast dispatch race selects the branch with probability p_i
+            // (see phase_type for the encoding discussion).
+            let fast = 1e6 * branches.iter().map(|&(_, r)| r).fold(1.0, f64::max);
+            for &(p, r) in branches {
+                let phase = b.add_state();
+                let done = b.add_state();
+                b.markovian(from, phase, p * fast).expect("validated rate");
+                b.markovian(phase, done, r).expect("validated rate");
+                b.interactive(done, emit_label, target);
+            }
+        }
+    }
+}
+
+/// Like [`decorate`], but the delay is chosen per *full label* (not per
+/// gate): `f` receives the complete label text (e.g. `"FLUSH !0 !2"`) and
+/// returns its delay, or `None` to keep the transition interactive. This is
+/// how topology-dependent latencies are attached (the rate of a transfer
+/// depends on the hop distance encoded in the label's offers).
+pub fn decorate_by_label(lts: &Lts, f: impl FnMut(&str) -> Option<Delay>) -> Imc {
+    decorate_by_label_with_map(lts, f).0
+}
+
+/// Like [`decorate_by_label`], additionally returning the *attribution map*:
+/// for every IMC state, the functional LTS state it belongs to. Original
+/// states map to themselves; every phase state added for a transition
+/// `s --G--> t` is attributed to `s` (an item "in transfer" still occupies
+/// its source state). Needed to compute occupancy distributions when
+/// multi-phase (Erlang/hypo) delays make intermediate phase states tangible.
+pub fn decorate_by_label_with_map(
+    lts: &Lts,
+    mut f: impl FnMut(&str) -> Option<Delay>,
+) -> (Imc, Vec<u32>) {
+    let mut b = ImcBuilder::new();
+    for _ in 0..lts.num_states() {
+        b.add_state();
+    }
+    let mut attribution: Vec<u32> = (0..lts.num_states() as u32).collect();
+    for (s, l, t) in lts.iter_transitions() {
+        let name = lts.labels().name(l).to_owned();
+        match f(&name) {
+            None => b.interactive(s, &name, t),
+            Some(delay) => {
+                let before = b.num_states();
+                inline_delay(&mut b, s, &delay, &name, t);
+                for _ in before..b.num_states() {
+                    attribution.push(s);
+                }
+            }
+        }
+    }
+    (b.build(lts.initial()), attribution)
+}
+
+/// Convenience: decorate with per-gate exponential rates.
+pub fn decorate_rates(lts: &Lts, rates: &HashMap<String, f64>) -> Imc {
+    let delays: HashMap<String, Delay> = rates
+        .iter()
+        .map(|(g, &r)| (g.clone(), Delay::Exponential { rate: r }))
+        .collect();
+    decorate(lts, &delays)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multival_lts::equiv::lts_from_triples;
+
+    #[test]
+    fn erlang_decoration_inserts_phases() {
+        let lts = lts_from_triples(&[(0, "WORK", 1)]);
+        let mut delays = HashMap::new();
+        delays.insert("WORK".to_owned(), Delay::fixed(1.0, 4));
+        let imc = decorate(&lts, &delays);
+        // 2 original + 4 phase targets = 6 states; the chain starts at 0.
+        assert_eq!(imc.num_markovian(), 4);
+        assert_eq!(imc.num_states(), 6);
+    }
+
+    #[test]
+    fn offers_preserved_in_emitted_label() {
+        let lts = lts_from_triples(&[(0, "PUSH !3", 1)]);
+        let mut delays = HashMap::new();
+        delays.insert("PUSH".to_owned(), Delay::Exponential { rate: 1.0 });
+        let imc = decorate(&lts, &delays);
+        assert!(imc.visible_labels().contains(&"PUSH !3".to_owned()));
+    }
+
+    #[test]
+    fn unmapped_gates_stay_interactive() {
+        let lts = lts_from_triples(&[(0, "A", 1), (1, "B", 0)]);
+        let mut delays = HashMap::new();
+        delays.insert("A".to_owned(), Delay::Exponential { rate: 1.0 });
+        let imc = decorate(&lts, &delays);
+        assert_eq!(imc.num_markovian(), 1);
+        // B untouched: a direct interactive transition.
+        let b_trans = (0..imc.num_states() as u32)
+            .flat_map(|s| imc.interactive_from(s).iter())
+            .filter(|t| imc.labels().name(t.label) == "B")
+            .count();
+        assert_eq!(b_trans, 1);
+    }
+
+    #[test]
+    fn decorate_rates_shorthand() {
+        let lts = lts_from_triples(&[(0, "A", 1), (1, "B", 0)]);
+        let mut rates = HashMap::new();
+        rates.insert("A".to_owned(), 2.0);
+        rates.insert("B".to_owned(), 3.0);
+        let imc = decorate_rates(&lts, &rates);
+        assert_eq!(imc.num_markovian(), 2);
+    }
+
+    #[test]
+    fn choice_between_decorated_actions_races() {
+        // 0 --A--> 1, 0 --B--> 2 with exp delays: both first phases start
+        // at state 0, so the delays *race* (no spurious τ choice).
+        let lts = lts_from_triples(&[(0, "A", 1), (0, "B", 2)]);
+        let mut rates = HashMap::new();
+        rates.insert("A".to_owned(), 1.0);
+        rates.insert("B".to_owned(), 1.0);
+        let imc = decorate_rates(&lts, &rates);
+        assert_eq!(imc.interactive_from(imc.initial()).len(), 0);
+        assert_eq!(imc.markovian_from(imc.initial()).len(), 2);
+    }
+}

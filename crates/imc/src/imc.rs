@@ -1,0 +1,401 @@
+//! Interactive Markov Chains: states with both *interactive* (labeled,
+//! instantaneous, synchronizable) and *Markovian* (exponentially timed)
+//! transitions — the performance-evaluation formalism of the Multival flow
+//! (Hermanns, LNCS 2428).
+
+use multival_lts::{LabelId, LabelTable, Lts};
+use std::fmt;
+
+/// Index of an IMC state.
+pub type State = u32;
+
+/// An interactive transition: label + target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interactive {
+    /// Interned label (τ = `LabelId::TAU`).
+    pub label: LabelId,
+    /// Target state.
+    pub target: State,
+}
+
+/// A Markovian transition: rate + target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Markovian {
+    /// Exponential rate (positive, finite).
+    pub rate: f64,
+    /// Target state.
+    pub target: State,
+}
+
+/// Error constructing an IMC.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImcError {
+    /// Non-positive or non-finite rate.
+    BadRate {
+        /// Source state.
+        state: State,
+        /// Offending rate.
+        rate: f64,
+    },
+    /// Out-of-range state index.
+    BadState(State),
+}
+
+impl fmt::Display for ImcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImcError::BadRate { state, rate } => {
+                write!(f, "invalid rate {rate} from state {state}")
+            }
+            ImcError::BadState(s) => write!(f, "state {s} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ImcError {}
+
+/// An Interactive Markov Chain.
+///
+/// # Examples
+///
+/// A one-place queue with exponential arrivals and a visible `GET` action:
+///
+/// ```
+/// use multival_imc::ImcBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ImcBuilder::new();
+/// let empty = b.add_state();
+/// let full = b.add_state();
+/// b.markovian(empty, full, 1.5)?;   // arrival
+/// b.interactive(full, "GET", empty); // handover
+/// let imc = b.build(empty);
+/// assert_eq!(imc.num_states(), 2);
+/// assert_eq!(imc.markovian_from(empty).len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Imc {
+    labels: LabelTable,
+    initial: State,
+    interactive: Vec<Vec<Interactive>>,
+    markovian: Vec<Vec<Markovian>>,
+}
+
+impl Imc {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.interactive.len()
+    }
+
+    /// Initial state.
+    pub fn initial(&self) -> State {
+        self.initial
+    }
+
+    /// The label table of interactive transitions.
+    pub fn labels(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// Interactive transitions of `s`.
+    pub fn interactive_from(&self, s: State) -> &[Interactive] {
+        &self.interactive[s as usize]
+    }
+
+    /// Markovian transitions of `s`.
+    pub fn markovian_from(&self, s: State) -> &[Markovian] {
+        &self.markovian[s as usize]
+    }
+
+    /// Total number of interactive transitions.
+    pub fn num_interactive(&self) -> usize {
+        self.interactive.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of Markovian transitions.
+    pub fn num_markovian(&self) -> usize {
+        self.markovian.iter().map(Vec::len).sum()
+    }
+
+    /// Does `s` have an outgoing τ transition? (Such states are *unstable*:
+    /// under maximal progress their Markovian transitions never fire.)
+    pub fn has_tau(&self, s: State) -> bool {
+        self.interactive[s as usize].iter().any(|t| t.label.is_tau())
+    }
+
+    /// Does the IMC still have *visible* (non-τ) interactive transitions?
+    pub fn has_visible(&self) -> bool {
+        self.interactive.iter().flatten().any(|t| !t.label.is_tau())
+    }
+
+    /// The visible label names still present (sorted, deduplicated).
+    pub fn visible_labels(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .interactive
+            .iter()
+            .flatten()
+            .filter(|t| !t.label.is_tau())
+            .map(|t| self.labels.name(t.label).to_owned())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Exit rate of `s` (sum of Markovian rates).
+    pub fn exit_rate(&self, s: State) -> f64 {
+        self.markovian[s as usize].iter().map(|t| t.rate).sum()
+    }
+
+    /// Short summary string.
+    pub fn summary(&self) -> String {
+        format!(
+            "imc{{states: {}, interactive: {}, markovian: {}}}",
+            self.num_states(),
+            self.num_interactive(),
+            self.num_markovian()
+        )
+    }
+
+    /// Converts a pure LTS into an IMC with no Markovian transitions.
+    pub fn from_lts(lts: &Lts) -> Imc {
+        let mut b = ImcBuilder::new();
+        for _ in 0..lts.num_states() {
+            b.add_state();
+        }
+        for (s, l, t) in lts.iter_transitions() {
+            let name = lts.labels().name(l).to_owned();
+            b.interactive(s, &name, t);
+        }
+        b.build(lts.initial())
+    }
+
+    /// Projects the interactive part onto an LTS (Markovian transitions are
+    /// rendered as pseudo-labels `rate <λ>` — the CADP BCG convention).
+    pub fn to_lts(&self) -> Lts {
+        let mut b = multival_lts::LtsBuilder::new();
+        for _ in 0..self.num_states() {
+            b.add_state();
+        }
+        for s in 0..self.num_states() as State {
+            for t in self.interactive_from(s) {
+                let name = self.labels.name(t.label).to_owned();
+                b.add_transition(s, &name, t.target);
+            }
+            for m in self.markovian_from(s) {
+                b.add_transition(s, &format!("rate {}", m.rate), m.target);
+            }
+        }
+        b.build(self.initial)
+    }
+
+    /// Restricts to states reachable from the initial state (BFS order).
+    pub fn reachable(&self) -> Imc {
+        let n = self.num_states();
+        let mut map: Vec<Option<State>> = vec![None; n];
+        let mut order: Vec<State> = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        map[self.initial as usize] = Some(0);
+        order.push(self.initial);
+        queue.push_back(self.initial);
+        while let Some(s) = queue.pop_front() {
+            let visit = |t: State, map: &mut Vec<Option<State>>,
+                             order: &mut Vec<State>,
+                             queue: &mut std::collections::VecDeque<State>| {
+                if map[t as usize].is_none() {
+                    map[t as usize] = Some(order.len() as State);
+                    order.push(t);
+                    queue.push_back(t);
+                }
+            };
+            for t in self.interactive_from(s) {
+                visit(t.target, &mut map, &mut order, &mut queue);
+            }
+            for m in self.markovian_from(s) {
+                visit(m.target, &mut map, &mut order, &mut queue);
+            }
+        }
+        let mut b = ImcBuilder { labels: self.labels.clone(), ..ImcBuilder::new() };
+        for _ in 0..order.len() {
+            b.add_state();
+        }
+        for (new_s, &old_s) in order.iter().enumerate() {
+            for t in self.interactive_from(old_s) {
+                b.interactive_id(new_s as State, t.label, map[t.target as usize].unwrap());
+            }
+            for m in self.markovian_from(old_s) {
+                b.markovian(new_s as State, map[m.target as usize].unwrap(), m.rate)
+                    .expect("rates already validated");
+            }
+        }
+        b.build(0)
+    }
+}
+
+/// Incremental builder for [`Imc`].
+#[derive(Debug, Clone, Default)]
+pub struct ImcBuilder {
+    labels: LabelTable,
+    interactive: Vec<Vec<Interactive>>,
+    markovian: Vec<Vec<Markovian>>,
+}
+
+impl ImcBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ImcBuilder {
+            labels: LabelTable::new(),
+            interactive: Vec::new(),
+            markovian: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh state.
+    pub fn add_state(&mut self) -> State {
+        self.interactive.push(Vec::new());
+        self.markovian.push(Vec::new());
+        (self.interactive.len() - 1) as State
+    }
+
+    /// Number of states so far.
+    pub fn num_states(&self) -> usize {
+        self.interactive.len()
+    }
+
+    /// Adds an interactive transition (`"i"`/`"tau"` denote τ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a state is out of range.
+    pub fn interactive(&mut self, from: State, label: &str, to: State) {
+        let id = self.labels.intern(label);
+        self.interactive_id(from, id, to);
+    }
+
+    /// Adds an interactive transition with a pre-interned label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a state is out of range.
+    pub fn interactive_id(&mut self, from: State, label: LabelId, to: State) {
+        assert!((from as usize) < self.interactive.len(), "source state out of range");
+        assert!((to as usize) < self.interactive.len(), "target state out of range");
+        self.interactive[from as usize].push(Interactive { label, target: to });
+    }
+
+    /// Adds a Markovian transition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError`] for invalid rates or out-of-range states.
+    pub fn markovian(&mut self, from: State, to: State, rate: f64) -> Result<(), ImcError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(ImcError::BadRate { state: from, rate });
+        }
+        if from as usize >= self.interactive.len() {
+            return Err(ImcError::BadState(from));
+        }
+        if to as usize >= self.interactive.len() {
+            return Err(ImcError::BadState(to));
+        }
+        self.markovian[from as usize].push(Markovian { rate, target: to });
+        Ok(())
+    }
+
+    /// Interns a label for reuse.
+    pub fn intern(&mut self, label: &str) -> LabelId {
+        self.labels.intern(label)
+    }
+
+    /// Finalizes the IMC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is out of range for a non-empty IMC.
+    pub fn build(mut self, initial: State) -> Imc {
+        if self.interactive.is_empty() {
+            self.add_state();
+        }
+        assert!((initial as usize) < self.interactive.len(), "initial state out of range");
+        Imc {
+            labels: self.labels,
+            initial,
+            interactive: self.interactive,
+            markovian: self.markovian,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multival_lts::equiv::lts_from_triples;
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = ImcBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.interactive(s0, "GO", s1);
+        b.markovian(s1, s0, 2.0).unwrap();
+        let imc = b.build(s0);
+        assert_eq!(imc.num_states(), 2);
+        assert_eq!(imc.num_interactive(), 1);
+        assert_eq!(imc.num_markovian(), 1);
+        assert!((imc.exit_rate(s1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_rate_rejected() {
+        let mut b = ImcBuilder::new();
+        let s = b.add_state();
+        assert!(matches!(b.markovian(s, s, 0.0), Err(ImcError::BadRate { .. })));
+        assert!(matches!(b.markovian(s, s, f64::INFINITY), Err(ImcError::BadRate { .. })));
+    }
+
+    #[test]
+    fn from_lts_preserves_structure() {
+        let lts = lts_from_triples(&[(0, "a", 1), (1, "i", 0)]);
+        let imc = Imc::from_lts(&lts);
+        assert_eq!(imc.num_states(), 2);
+        assert_eq!(imc.num_interactive(), 2);
+        assert_eq!(imc.num_markovian(), 0);
+        assert!(imc.has_tau(1));
+        assert!(imc.has_visible());
+    }
+
+    #[test]
+    fn to_lts_renders_rates() {
+        let mut b = ImcBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.markovian(s0, s1, 1.5).unwrap();
+        let lts = b.build(s0).to_lts();
+        assert!(lts.labels().lookup("rate 1.5").is_some());
+    }
+
+    #[test]
+    fn visible_labels_sorted_unique() {
+        let mut b = ImcBuilder::new();
+        let s = b.add_state();
+        b.interactive(s, "B", s);
+        b.interactive(s, "A", s);
+        b.interactive(s, "B", s);
+        b.interactive(s, "i", s);
+        let imc = b.build(s);
+        assert_eq!(imc.visible_labels(), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn reachable_prunes() {
+        let mut b = ImcBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let _orphan = b.add_state();
+        b.markovian(s0, s1, 1.0).unwrap();
+        let imc = b.build(s0).reachable();
+        assert_eq!(imc.num_states(), 2);
+    }
+}

@@ -1,0 +1,423 @@
+//! Compositional operators on IMCs: parallel composition, hiding, and the
+//! maximal-progress cut.
+//!
+//! Semantics (Hermanns, LNCS 2428):
+//! * interactive transitions compose exactly like LTS transitions
+//!   (synchronize on the gate set, τ free, δ joint);
+//! * Markovian transitions always *interleave* — the exponential
+//!   distribution is memoryless, so racing delays need no synchronization;
+//! * *maximal progress*: internal τ transitions take priority over Markovian
+//!   delays, so a state with an outgoing τ never lets time pass.
+
+use crate::imc::{Imc, ImcBuilder, State};
+use multival_lts::label::gate_of;
+use multival_lts::ops::Sync;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Parallel composition of two IMCs over a synchronization discipline
+/// (reachable product only).
+///
+/// # Examples
+///
+/// ```
+/// use multival_imc::{ImcBuilder, ops::compose};
+/// use multival_lts::ops::Sync;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A delay process gating an action of a functional process.
+/// let mut f = ImcBuilder::new();
+/// let (f0, f1) = (f.add_state(), f.add_state());
+/// f.interactive(f0, "WORK", f1);
+/// let f = f.build(f0);
+///
+/// let mut d = ImcBuilder::new();
+/// let (d0, d1) = (d.add_state(), d.add_state());
+/// d.markovian(d0, d1, 3.0)?;
+/// d.interactive(d1, "WORK", d0);
+/// let d = d.build(d0);
+///
+/// let sys = compose(&f, &d, &Sync::on(["WORK"]));
+/// assert_eq!(sys.num_states(), 4);
+/// assert_eq!(sys.num_interactive(), 1); // WORK fires jointly once
+/// assert_eq!(sys.num_markovian(), 2);   // the delay ticks independently
+/// # Ok(())
+/// # }
+/// ```
+pub fn compose(left: &Imc, right: &Imc, sync: &Sync) -> Imc {
+    let mut b = ImcBuilder::new();
+    let mut index: HashMap<(State, State), State> = HashMap::new();
+    let mut queue: VecDeque<(State, State)> = VecDeque::new();
+
+    let init = (left.initial(), right.initial());
+    let init_id = b.add_state();
+    index.insert(init, init_id);
+    queue.push_back(init);
+
+    let left_sync: Vec<bool> = left
+        .labels()
+        .iter()
+        .map(|(id, name)| {
+            !id.is_tau() && (gate_of(name) == "exit" || sync_matches(sync, gate_of(name)))
+        })
+        .collect();
+    let right_sync: Vec<bool> = right
+        .labels()
+        .iter()
+        .map(|(id, name)| {
+            !id.is_tau() && (gate_of(name) == "exit" || sync_matches(sync, gate_of(name)))
+        })
+        .collect();
+
+    while let Some((ls, rs)) = queue.pop_front() {
+        let src = index[&(ls, rs)];
+        macro_rules! state_of {
+            ($target:expr) => {{
+                let target = $target;
+                match index.get(&target) {
+                    Some(&d) => d,
+                    None => {
+                        let d = b.add_state();
+                        index.insert(target, d);
+                        queue.push_back(target);
+                        d
+                    }
+                }
+            }};
+        }
+        // Markovian transitions interleave unconditionally.
+        for m in left.markovian_from(ls) {
+            let dst = state_of!((m.target, rs));
+            b.markovian(src, dst, m.rate).expect("validated rate");
+        }
+        for m in right.markovian_from(rs) {
+            let dst = state_of!((ls, m.target));
+            b.markovian(src, dst, m.rate).expect("validated rate");
+        }
+        // Independent interactive moves.
+        for t in left.interactive_from(ls) {
+            if !left_sync[t.label.index()] {
+                let dst = state_of!((t.target, rs));
+                let name = left.labels().name(t.label).to_owned();
+                b.interactive(src, &name, dst);
+            }
+        }
+        for t in right.interactive_from(rs) {
+            if !right_sync[t.label.index()] {
+                let dst = state_of!((ls, t.target));
+                let name = right.labels().name(t.label).to_owned();
+                b.interactive(src, &name, dst);
+            }
+        }
+        // Synchronized interactive moves (identical full labels).
+        for lt in left.interactive_from(ls) {
+            if !left_sync[lt.label.index()] {
+                continue;
+            }
+            let lname = left.labels().name(lt.label);
+            for rt in right.interactive_from(rs) {
+                if right_sync[rt.label.index()] && right.labels().name(rt.label) == lname {
+                    let dst = state_of!((lt.target, rt.target));
+                    let name = lname.to_owned();
+                    b.interactive(src, &name, dst);
+                }
+            }
+        }
+    }
+    b.build(init_id)
+}
+
+fn sync_matches(sync: &Sync, gate: &str) -> bool {
+    match sync {
+        Sync::Interleave => false,
+        Sync::Gates(set) => set.contains(gate),
+        Sync::Full => true,
+    }
+}
+
+/// N-ary fold of [`compose`].
+///
+/// # Panics
+///
+/// Panics if `parts` is empty.
+pub fn compose_all(parts: &[&Imc], sync: &Sync) -> Imc {
+    assert!(!parts.is_empty(), "compose_all needs at least one IMC");
+    let mut acc = parts[0].clone();
+    for p in &parts[1..] {
+        acc = compose(&acc, p, sync);
+    }
+    acc
+}
+
+/// Hides all labels whose gate is in `gates` (they become τ).
+pub fn hide<I, S>(imc: &Imc, gates: I) -> Imc
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let set: HashSet<String> = gates.into_iter().map(Into::into).collect();
+    relabel(imc, |name| if set.contains(gate_of(name)) { None } else { Some(name.to_owned()) })
+}
+
+/// Hides *every* visible label (the final step before CTMC conversion).
+pub fn hide_all(imc: &Imc) -> Imc {
+    relabel(imc, |_| None)
+}
+
+/// Applies `f` to every interactive label name; `None` hides (τ).
+pub fn relabel(imc: &Imc, mut f: impl FnMut(&str) -> Option<String>) -> Imc {
+    let mut b = ImcBuilder::new();
+    for _ in 0..imc.num_states() {
+        b.add_state();
+    }
+    for s in 0..imc.num_states() as State {
+        for t in imc.interactive_from(s) {
+            let name = if t.label.is_tau() {
+                None
+            } else {
+                f(imc.labels().name(t.label))
+            };
+            match name {
+                Some(n) => b.interactive(s, &n, t.target),
+                None => b.interactive(s, "i", t.target),
+            }
+        }
+        for m in imc.markovian_from(s) {
+            b.markovian(s, m.target, m.rate).expect("validated rate");
+        }
+    }
+    b.build(imc.initial())
+}
+
+/// Applies the *maximal progress* cut: states with an outgoing τ lose their
+/// Markovian transitions (internal actions are instantaneous, so the
+/// exponential race can never be won in such states).
+pub fn maximal_progress(imc: &Imc) -> Imc {
+    let mut b = ImcBuilder::new();
+    for _ in 0..imc.num_states() {
+        b.add_state();
+    }
+    for s in 0..imc.num_states() as State {
+        let unstable = imc.has_tau(s);
+        for t in imc.interactive_from(s) {
+            let name = imc.labels().name(t.label).to_owned();
+            b.interactive(s, &name, t.target);
+        }
+        if !unstable {
+            for m in imc.markovian_from(s) {
+                b.markovian(s, m.target, m.rate).expect("validated rate");
+            }
+        }
+    }
+    b.build(imc.initial()).reachable()
+}
+
+/// Compresses *deterministic* τ chains: a state whose entire behaviour is a
+/// single τ transition (no Markovian, no other interactive) is semantically
+/// transparent — every transition into it is redirected to its successor.
+/// A cheap, always-sound pre-reduction before composition or lumping (it
+/// implements the trivial cases of weak IMC equivalence; cycles of
+/// deterministic τs are left untouched and surface later as timelocks).
+pub fn compress_deterministic_tau(imc: &Imc) -> Imc {
+    let n = imc.num_states();
+    let is_transparent = |s: State| -> bool {
+        let inter = imc.interactive_from(s);
+        inter.len() == 1
+            && inter[0].label.is_tau()
+            && inter[0].target != s
+            && imc.markovian_from(s).is_empty()
+    };
+    // Follow chains with cycle protection.
+    let mut forward: Vec<State> = (0..n as State).collect();
+    for s in 0..n as State {
+        let mut seen = vec![s];
+        let mut cur = s;
+        while is_transparent(cur) {
+            let next = imc.interactive_from(cur)[0].target;
+            if seen.contains(&next) {
+                break; // τ-cycle: leave as-is (timelock diagnosis later)
+            }
+            seen.push(next);
+            cur = next;
+        }
+        forward[s as usize] = cur;
+    }
+    let mut b = ImcBuilder::new();
+    for _ in 0..n {
+        b.add_state();
+    }
+    for s in 0..n as State {
+        if forward[s as usize] != s && is_transparent(s) {
+            continue; // dropped: everything is redirected past it
+        }
+        for t in imc.interactive_from(s) {
+            let name = imc.labels().name(t.label).to_owned();
+            b.interactive(s, &name, forward[t.target as usize]);
+        }
+        for m in imc.markovian_from(s) {
+            b.markovian(s, forward[m.target as usize], m.rate).expect("validated rate");
+        }
+    }
+    b.build(forward[imc.initial() as usize]).reachable()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delay_then_act(rate: f64, act: &str) -> Imc {
+        let mut b = ImcBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.markovian(s0, s1, rate).unwrap();
+        b.interactive(s1, act, s0);
+        b.build(s0)
+    }
+
+    #[test]
+    fn markovian_interleaving_races() {
+        // Two independent delays race: product has 4 states, 4 rate
+        // transitions from corners (2 from initial).
+        let a = delay_then_act(1.0, "A");
+        let b = delay_then_act(2.0, "B");
+        let c = compose(&a, &b, &Sync::Interleave);
+        assert_eq!(c.num_states(), 4);
+        assert_eq!(c.markovian_from(c.initial()).len(), 2);
+    }
+
+    #[test]
+    fn interactive_sync_on_shared_gate() {
+        let a = delay_then_act(1.0, "GO");
+        let b = delay_then_act(2.0, "GO");
+        let c = compose(&a, &b, &Sync::on(["GO"]));
+        // GO fires only when both are ready: states (00,10,01,11) = 4,
+        // GO joint from (1,1) back to (0,0).
+        assert_eq!(c.num_states(), 4);
+        assert_eq!(c.num_interactive(), 1);
+    }
+
+    #[test]
+    fn hide_turns_labels_tau() {
+        let a = delay_then_act(1.0, "GO");
+        let h = hide(&a, ["GO"]);
+        assert!(!h.has_visible());
+        assert_eq!(h.num_interactive(), 1);
+    }
+
+    #[test]
+    fn hide_all_clears_everything() {
+        let mut b = ImcBuilder::new();
+        let s = b.add_state();
+        b.interactive(s, "X !1", s);
+        b.interactive(s, "Y", s);
+        let h = hide_all(&b.build(s));
+        assert!(!h.has_visible());
+    }
+
+    #[test]
+    fn maximal_progress_cuts_rates_under_tau() {
+        let mut b = ImcBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        b.interactive(s0, "i", s1);
+        b.markovian(s0, s2, 5.0).unwrap(); // must be cut: τ available
+        b.markovian(s1, s2, 1.0).unwrap(); // survives: s1 stable
+        let m = maximal_progress(&b.build(s0));
+        assert_eq!(m.markovian_from(0).len(), 0);
+        assert_eq!(m.num_markovian(), 1);
+    }
+
+    #[test]
+    fn maximal_progress_keeps_rates_under_visible_actions() {
+        // Visible actions do NOT trigger maximal progress (the environment
+        // may refuse them), only internal τ does.
+        let mut b = ImcBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.interactive(s0, "VISIBLE", s1);
+        b.markovian(s0, s1, 5.0).unwrap();
+        let m = maximal_progress(&b.build(s0));
+        assert_eq!(m.num_markovian(), 1);
+    }
+
+    #[test]
+    fn tau_compression_drops_transparent_states() {
+        // 0 -λ-> 1 -τ-> 2 -τ-> 3 -A-> 0: states 1 and 2 are transparent.
+        let mut b = ImcBuilder::new();
+        let s: Vec<_> = (0..4).map(|_| b.add_state()).collect();
+        b.markovian(s[0], s[1], 1.0).unwrap();
+        b.interactive(s[1], "i", s[2]);
+        b.interactive(s[2], "i", s[3]);
+        b.interactive(s[3], "A", s[0]);
+        let c = compress_deterministic_tau(&b.build(s[0]));
+        assert_eq!(c.num_states(), 2);
+        assert_eq!(c.num_interactive(), 1);
+        assert_eq!(c.num_markovian(), 1);
+    }
+
+    #[test]
+    fn tau_compression_keeps_nondeterminism_and_cycles() {
+        // Branching τ (nondeterministic) and τ-cycles must survive.
+        let mut b = ImcBuilder::new();
+        let s: Vec<_> = (0..5).map(|_| b.add_state()).collect();
+        b.interactive(s[0], "i", s[1]);
+        b.interactive(s[0], "i", s[2]); // 0 is NOT transparent (2 choices)
+        b.interactive(s[1], "A", s[0]);
+        b.interactive(s[2], "B", s[0]);
+        b.interactive(s[3], "i", s[4]); // unreachable τ-cycle
+        b.interactive(s[4], "i", s[3]);
+        let c = compress_deterministic_tau(&b.build(s[0]));
+        assert_eq!(c.num_states(), 3, "branching τ kept, cycle unreachable");
+        assert_eq!(c.num_interactive(), 4);
+    }
+
+    #[test]
+    fn tau_compression_moves_initial_forward() {
+        let mut b = ImcBuilder::new();
+        let s: Vec<_> = (0..3).map(|_| b.add_state()).collect();
+        b.interactive(s[0], "i", s[1]);
+        b.markovian(s[1], s[2], 2.0).unwrap();
+        let c = compress_deterministic_tau(&b.build(s[0]));
+        assert_eq!(c.num_states(), 2);
+        assert_eq!(c.markovian_from(c.initial()).len(), 1);
+    }
+
+    #[test]
+    fn tau_compression_preserves_ctmc_measures() {
+        use crate::to_ctmc::{to_ctmc, NondetPolicy};
+        let mut b = ImcBuilder::new();
+        let s: Vec<_> = (0..4).map(|_| b.add_state()).collect();
+        b.markovian(s[0], s[1], 2.0).unwrap();
+        b.interactive(s[1], "i", s[2]);
+        b.markovian(s[2], s[3], 1.0).unwrap();
+        b.interactive(s[3], "i", s[0]);
+        let imc = b.build(s[0]);
+        let direct = to_ctmc(&imc, NondetPolicy::Reject, &[]).expect("direct");
+        let compressed =
+            to_ctmc(&compress_deterministic_tau(&imc), NondetPolicy::Reject, &[])
+                .expect("compressed");
+        let pi_a = multival_ctmc::steady::steady_state(
+            &direct.ctmc,
+            &multival_ctmc::SolveOptions::default(),
+        )
+        .expect("solves");
+        let pi_b = multival_ctmc::steady::steady_state(
+            &compressed.ctmc,
+            &multival_ctmc::SolveOptions::default(),
+        )
+        .expect("solves");
+        assert_eq!(pi_a.len(), pi_b.len());
+        for (a, b) in pi_a.iter().zip(&pi_b) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn compose_all_folds() {
+        let parts: Vec<Imc> = (1..=3).map(|i| delay_then_act(i as f64, "GO")).collect();
+        let refs: Vec<&Imc> = parts.iter().collect();
+        let c = compose_all(&refs, &Sync::on(["GO"]));
+        assert_eq!(c.num_states(), 8);
+        assert_eq!(c.num_interactive(), 1);
+    }
+}

@@ -1,0 +1,480 @@
+//! IMC → CTMC transformation ("the decorated model … is then transformed
+//! into a Markov chain", §4 of the paper).
+//!
+//! After hiding all visible actions and applying maximal progress, internal
+//! (τ or *probe*) transitions are instantaneous: states offering them are
+//! *vanishing* and are eliminated by computing their absorption
+//! distributions into *tangible* states — exactly like vanishing-marking
+//! elimination in GSPNs.
+//!
+//! Nondeterministic internal choice (the paper's §5 open issue) is handled
+//! by an explicit [`NondetPolicy`]:
+//! * [`NondetPolicy::Reject`] mirrors CADP's solvers, which "currently do
+//!   not accept" nondeterminism — conversion fails with a diagnostic;
+//! * [`NondetPolicy::Uniform`] resolves internal choices uniformly (a
+//!   specific randomized scheduler);
+//! * for *bounds over all schedulers*, use [`to_ctmdp`] and the
+//!   `multival-ctmc` value-iteration solvers.
+//!
+//! *Probes* are visible labels that should survive into the chain for
+//! throughput measurement: they are treated exactly like τ for timing
+//! purposes, but every traversal is counted, yielding per-state label flow
+//! rates for [`probe_throughputs`].
+
+use crate::imc::{Imc, State};
+use multival_ctmc::{ActionChoice, Ctmc, CtmcBuilder, Ctmdp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// How to treat internal nondeterminism during conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NondetPolicy {
+    /// Fail on any state with more than one internal successor (the
+    /// behaviour of CADP's Markov solvers at the time of the paper).
+    Reject,
+    /// Resolve internal choices uniformly at random.
+    Uniform,
+}
+
+/// Error during IMC → CTMC conversion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToCtmcError {
+    /// Visible labels remain: hide them (or list them as probes) first.
+    VisibleLabels(Vec<String>),
+    /// Internal nondeterminism under [`NondetPolicy::Reject`].
+    Nondeterministic {
+        /// The offending state.
+        state: State,
+        /// Number of distinct internal successors.
+        choices: usize,
+    },
+    /// A τ-cycle with no Markovian escape: time cannot progress (the
+    /// probabilistic counterpart of a livelock).
+    Timelock {
+        /// A state on the divergent τ-cycle.
+        state: State,
+    },
+    /// A numeric stage failed.
+    Numeric(String),
+}
+
+impl fmt::Display for ToCtmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToCtmcError::VisibleLabels(ls) => {
+                write!(f, "IMC still has visible labels: {}", ls.join(", "))
+            }
+            ToCtmcError::Nondeterministic { state, choices } => write!(
+                f,
+                "internal nondeterminism at state {state} ({choices} choices); \
+                 CADP-style solvers reject this — use NondetPolicy::Uniform or to_ctmdp"
+            ),
+            ToCtmcError::Timelock { state } => {
+                write!(f, "τ-cycle without Markovian escape at state {state} (timelock)")
+            }
+            ToCtmcError::Numeric(m) => write!(f, "numeric failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ToCtmcError {}
+
+/// The result of a successful conversion.
+#[derive(Debug, Clone)]
+pub struct CtmcConversion {
+    /// The resulting chain over tangible states.
+    pub ctmc: Ctmc,
+    /// For each IMC state, its CTMC state (tangible states only).
+    pub state_map: Vec<Option<usize>>,
+    /// `probe_flow[p][c]` = expected number of probe-`p` crossings per unit
+    /// time contributed while the chain resides in CTMC state `c`, *per unit
+    /// rate already weighted* — multiply by the steady-state distribution and
+    /// sum to get throughputs (see [`probe_throughputs`]).
+    pub probe_flow: Vec<(String, Vec<f64>)>,
+}
+
+/// Converts a closed IMC (all interactive transitions τ or listed in
+/// `probes`) into a CTMC.
+///
+/// # Errors
+///
+/// See [`ToCtmcError`].
+///
+/// # Examples
+///
+/// ```
+/// use multival_imc::{ImcBuilder, to_ctmc::{to_ctmc, NondetPolicy}};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ImcBuilder::new();
+/// let s0 = b.add_state();
+/// let s1 = b.add_state();
+/// let s2 = b.add_state();
+/// b.markovian(s0, s1, 2.0)?;
+/// b.interactive(s1, "i", s2);   // vanishing state
+/// b.markovian(s2, s0, 1.0)?;
+/// let conv = to_ctmc(&b.build(s0), NondetPolicy::Reject, &[])?;
+/// assert_eq!(conv.ctmc.num_states(), 2); // s1 eliminated
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_ctmc(
+    imc: &Imc,
+    policy: NondetPolicy,
+    probes: &[&str],
+) -> Result<CtmcConversion, ToCtmcError> {
+    let n = imc.num_states();
+    let is_probe = |name: &str| probes.contains(&name);
+
+    // Check that every interactive label is internal (τ or probe).
+    {
+        let mut offending: Vec<String> = imc
+            .visible_labels()
+            .into_iter()
+            .filter(|l| !is_probe(l))
+            .collect();
+        offending.dedup();
+        if !offending.is_empty() {
+            return Err(ToCtmcError::VisibleLabels(offending));
+        }
+    }
+
+    // Internal successor sets (dedup'd), per state; probe crossings noted.
+    // internal[s] = list of (probe index or none, target).
+    let probe_index: HashMap<String, usize> =
+        probes.iter().enumerate().map(|(i, p)| (p.to_string(), i)).collect();
+    let mut internal: Vec<Vec<(Option<usize>, State)>> = vec![Vec::new(); n];
+    for s in 0..n as State {
+        let mut seen = std::collections::HashSet::new();
+        for t in imc.interactive_from(s) {
+            let p = if t.label.is_tau() {
+                None
+            } else {
+                Some(probe_index[imc.labels().name(t.label)])
+            };
+            if seen.insert((p, t.target)) {
+                internal[s as usize].push((p, t.target));
+            }
+        }
+    }
+
+    let vanishing: Vec<bool> = (0..n).map(|s| !internal[s].is_empty()).collect();
+    if policy == NondetPolicy::Reject {
+        for (s, succ) in internal.iter().enumerate() {
+            if succ.len() > 1 {
+                return Err(ToCtmcError::Nondeterministic {
+                    state: s as State,
+                    choices: succ.len(),
+                });
+            }
+        }
+    }
+
+    // Absorption of vanishing states into tangible states + expected probe
+    // crossings, by Gauss–Seidel over sparse maps.
+    // A[v]: map tangible -> probability; C[v]: crossings per probe.
+    let mut absorb: Vec<HashMap<State, f64>> = vec![HashMap::new(); n];
+    let mut crossings: Vec<Vec<f64>> = vec![vec![0.0; probes.len()]; n];
+    {
+        let vanishing_states: Vec<usize> = (0..n).filter(|&s| vanishing[s]).collect();
+        let max_iter = 100_000;
+        let tol = 1e-12;
+        let mut iter = 0;
+        loop {
+            iter += 1;
+            let mut delta: f64 = 0.0;
+            for &v in &vanishing_states {
+                let k = internal[v].len() as f64;
+                let mut new_a: HashMap<State, f64> = HashMap::new();
+                let mut new_c = vec![0.0; probes.len()];
+                for &(p, w) in &internal[v] {
+                    let weight = 1.0 / k;
+                    if let Some(pi) = p {
+                        new_c[pi] += weight;
+                    }
+                    if vanishing[w as usize] {
+                        for (&u, &q) in &absorb[w as usize] {
+                            *new_a.entry(u).or_insert(0.0) += weight * q;
+                        }
+                        for (pi, &c) in crossings[w as usize].iter().enumerate() {
+                            new_c[pi] += weight * c;
+                        }
+                    } else {
+                        *new_a.entry(w).or_insert(0.0) += weight;
+                    }
+                }
+                // Convergence tracking on total absorbed mass and crossings.
+                let old_mass: f64 = absorb[v].values().sum();
+                let new_mass: f64 = new_a.values().sum();
+                delta = delta.max((new_mass - old_mass).abs());
+                for (o, nw) in crossings[v].iter().zip(&new_c) {
+                    delta = delta.max((nw - o).abs());
+                }
+                absorb[v] = new_a;
+                crossings[v] = new_c;
+            }
+            if delta < tol {
+                break;
+            }
+            if iter > max_iter {
+                return Err(ToCtmcError::Numeric(format!(
+                    "vanishing-state elimination did not converge (residual {delta:.3e})"
+                )));
+            }
+        }
+        // Timelock check: every vanishing state must absorb with mass ~1.
+        for &v in &vanishing_states {
+            let mass: f64 = absorb[v].values().sum();
+            if mass < 1.0 - 1e-6 {
+                return Err(ToCtmcError::Timelock { state: v as State });
+            }
+        }
+    }
+
+    // Enumerate tangible states.
+    let mut state_map: Vec<Option<usize>> = vec![None; n];
+    let mut tangible: Vec<State> = Vec::new();
+    for s in 0..n {
+        if !vanishing[s] {
+            state_map[s] = Some(tangible.len());
+            tangible.push(s as State);
+        }
+    }
+    if tangible.is_empty() {
+        return Err(ToCtmcError::Timelock { state: imc.initial() });
+    }
+
+    let mut builder = CtmcBuilder::new(tangible.len());
+    let mut probe_flow: Vec<Vec<f64>> = vec![vec![0.0; tangible.len()]; probes.len()];
+    for (ci, &s) in tangible.iter().enumerate() {
+        for m in imc.markovian_from(s) {
+            let t = m.target;
+            if !vanishing[t as usize] {
+                builder
+                    .rate(ci, state_map[t as usize].expect("tangible"), m.rate)
+                    .map_err(|e| ToCtmcError::Numeric(e.to_string()))?;
+            } else {
+                for (&u, &q) in &absorb[t as usize] {
+                    let r = m.rate * q;
+                    if r > 0.0 {
+                        builder
+                            .rate(ci, state_map[u as usize].expect("tangible"), r)
+                            .map_err(|e| ToCtmcError::Numeric(e.to_string()))?;
+                    }
+                }
+                for (pi, &c) in crossings[t as usize].iter().enumerate() {
+                    probe_flow[pi][ci] += m.rate * c;
+                }
+            }
+        }
+    }
+
+    // Initial distribution: the IMC initial state, redistributed if
+    // vanishing.
+    let init = imc.initial();
+    let dist: Vec<(usize, f64)> = if vanishing[init as usize] {
+        absorb[init as usize]
+            .iter()
+            .map(|(&u, &q)| (state_map[u as usize].expect("tangible"), q))
+            .collect()
+    } else {
+        vec![(state_map[init as usize].expect("tangible"), 1.0)]
+    };
+    builder.set_initial(dist).map_err(|e| ToCtmcError::Numeric(e.to_string()))?;
+
+    Ok(CtmcConversion {
+        ctmc: builder.build().map_err(|e| ToCtmcError::Numeric(e.to_string()))?,
+        state_map,
+        probe_flow: probes.iter().map(|p| p.to_string()).zip(probe_flow).collect(),
+    })
+}
+
+/// Steady-state throughput of each probe label: Σ_c π(c) · flow(c).
+///
+/// # Errors
+///
+/// Propagates solver errors from the steady-state computation.
+pub fn probe_throughputs(
+    conv: &CtmcConversion,
+    options: &multival_ctmc::SolveOptions,
+) -> Result<Vec<(String, f64)>, multival_ctmc::CtmcError> {
+    let pi = multival_ctmc::steady::steady_state(&conv.ctmc, options)?;
+    Ok(conv
+        .probe_flow
+        .iter()
+        .map(|(name, flow)| {
+            let tp: f64 = pi.iter().zip(flow).map(|(&p, &f)| p * f).sum();
+            (name.clone(), tp)
+        })
+        .collect())
+}
+
+/// Pseudo-rate standing in for "instantaneous" in the CTMDP approximation
+/// of vanishing states: each internal step adds `1/INSTANT_RATE` of
+/// spurious expected time (documented error bound).
+pub const INSTANT_RATE: f64 = 1e9;
+
+/// Converts a closed IMC (τ-only interactive transitions) into a CTMDP,
+/// keeping the internal nondeterminism as scheduler choices. Vanishing
+/// states become CTMDP states whose choices fire at [`INSTANT_RATE`];
+/// expected-time results carry an error of at most
+/// `#internal-steps / INSTANT_RATE`.
+///
+/// # Errors
+///
+/// Returns [`ToCtmcError::VisibleLabels`] if visible labels remain.
+pub fn to_ctmdp(imc: &Imc) -> Result<Ctmdp, ToCtmcError> {
+    if imc.has_visible() {
+        return Err(ToCtmcError::VisibleLabels(imc.visible_labels()));
+    }
+    let n = imc.num_states();
+    let mut mdp = Ctmdp::new(n);
+    for s in 0..n as State {
+        let internal: Vec<State> = {
+            let mut v: Vec<State> = imc.interactive_from(s).iter().map(|t| t.target).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        if !internal.is_empty() {
+            // Maximal progress: Markovian transitions are preempted.
+            for t in internal {
+                mdp.add_choice(
+                    s as usize,
+                    ActionChoice { name: None, transitions: vec![(t as usize, INSTANT_RATE)] },
+                );
+            }
+        } else if !imc.markovian_from(s).is_empty() {
+            let transitions: Vec<(usize, f64)> =
+                imc.markovian_from(s).iter().map(|m| (m.target as usize, m.rate)).collect();
+            mdp.add_choice(s as usize, ActionChoice { name: None, transitions });
+        }
+    }
+    Ok(mdp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imc::ImcBuilder;
+    use multival_ctmc::steady::SolveOptions;
+    use multival_ctmc::Opt;
+
+    #[test]
+    fn deterministic_tau_chain_eliminated() {
+        let mut b = ImcBuilder::new();
+        let s: Vec<_> = (0..4).map(|_| b.add_state()).collect();
+        b.markovian(s[0], s[1], 2.0).unwrap();
+        b.interactive(s[1], "i", s[2]);
+        b.interactive(s[2], "i", s[3]);
+        b.markovian(s[3], s[0], 1.0).unwrap();
+        let conv = to_ctmc(&b.build(s[0]), NondetPolicy::Reject, &[]).expect("converts");
+        assert_eq!(conv.ctmc.num_states(), 2);
+        // Rate structure: 0 →2.0→ {3}, {3} →1.0→ 0.
+        let pi = multival_ctmc::steady::steady_state(&conv.ctmc, &SolveOptions::default())
+            .expect("solves");
+        assert!((pi[0] - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn visible_labels_rejected() {
+        let mut b = ImcBuilder::new();
+        let s0 = b.add_state();
+        b.interactive(s0, "OOPS", s0);
+        let err = to_ctmc(&b.build(s0), NondetPolicy::Reject, &[]).expect_err("visible");
+        assert!(matches!(err, ToCtmcError::VisibleLabels(ref v) if v == &vec!["OOPS".to_owned()]));
+    }
+
+    #[test]
+    fn nondeterminism_rejected_then_uniform() {
+        let mut b = ImcBuilder::new();
+        let s: Vec<_> = (0..4).map(|_| b.add_state()).collect();
+        b.markovian(s[0], s[1], 1.0).unwrap();
+        b.interactive(s[1], "i", s[2]);
+        b.interactive(s[1], "i", s[3]);
+        b.markovian(s[2], s[0], 10.0).unwrap();
+        b.markovian(s[3], s[0], 1.0).unwrap();
+        let imc = b.build(s[0]);
+        assert!(matches!(
+            to_ctmc(&imc, NondetPolicy::Reject, &[]),
+            Err(ToCtmcError::Nondeterministic { state: 1, choices: 2 })
+        ));
+        let conv = to_ctmc(&imc, NondetPolicy::Uniform, &[]).expect("uniform resolves");
+        // 0 → (0.5 to fast 2, 0.5 to slow 3).
+        let from0: f64 =
+            conv.ctmc.transitions_from(conv.state_map[0].unwrap()).iter().map(|t| t.rate).sum();
+        assert!((from0 - 1.0).abs() < 1e-9);
+        assert_eq!(conv.ctmc.transitions_from(conv.state_map[0].unwrap()).len(), 2);
+    }
+
+    #[test]
+    fn timelock_detected() {
+        let mut b = ImcBuilder::new();
+        let s: Vec<_> = (0..3).map(|_| b.add_state()).collect();
+        b.markovian(s[0], s[1], 1.0).unwrap();
+        b.interactive(s[1], "i", s[2]);
+        b.interactive(s[2], "i", s[1]); // τ-cycle, no escape
+        let err = to_ctmc(&b.build(s[0]), NondetPolicy::Uniform, &[]).expect_err("timelock");
+        assert!(matches!(err, ToCtmcError::Timelock { .. }));
+    }
+
+    #[test]
+    fn tau_cycle_with_escape_converges() {
+        // v1 → v2 → v1 with v2 also escaping to tangible u: absorption is
+        // still total (geometric escape).
+        let mut b = ImcBuilder::new();
+        let s: Vec<_> = (0..4).map(|_| b.add_state()).collect();
+        b.markovian(s[0], s[1], 1.0).unwrap();
+        b.interactive(s[1], "i", s[2]);
+        b.interactive(s[2], "i", s[1]);
+        b.interactive(s[2], "i", s[3]);
+        b.markovian(s[3], s[0], 1.0).unwrap();
+        let conv = to_ctmc(&b.build(s[0]), NondetPolicy::Uniform, &[]).expect("converges");
+        assert_eq!(conv.ctmc.num_states(), 2);
+    }
+
+    #[test]
+    fn probes_counted_in_throughput() {
+        // 0 -λ-> v --PROBE--> 0' : every Markovian firing crosses PROBE once.
+        let mut b = ImcBuilder::new();
+        let s: Vec<_> = (0..3).map(|_| b.add_state()).collect();
+        b.markovian(s[0], s[1], 2.0).unwrap();
+        b.interactive(s[1], "PROBE", s[2]);
+        b.markovian(s[2], s[0], 2.0).unwrap();
+        let conv = to_ctmc(&b.build(s[0]), NondetPolicy::Reject, &["PROBE"]).expect("converts");
+        let tp = probe_throughputs(&conv, &SolveOptions::default()).expect("solves");
+        // Steady state: two states each with exit rate 2 → π = (1/2, 1/2);
+        // PROBE crossed at rate 2 from state 0 → throughput 1.0.
+        assert!((tp[0].1 - 1.0).abs() < 1e-9, "throughput {}", tp[0].1);
+    }
+
+    #[test]
+    fn ctmdp_gives_scheduler_bounds() {
+        // Nondeterministic τ: fast route (rate 10) vs slow route (rate 1).
+        let mut b = ImcBuilder::new();
+        let s: Vec<_> = (0..4).map(|_| b.add_state()).collect();
+        b.interactive(s[0], "i", s[1]);
+        b.interactive(s[0], "i", s[2]);
+        b.markovian(s[1], s[3], 10.0).unwrap();
+        b.markovian(s[2], s[3], 1.0).unwrap();
+        let mdp = to_ctmdp(&b.build(s[0])).expect("builds");
+        let lo = mdp.expected_time_to_reach(&[3], Opt::Min, 1e-12, 100_000).expect("vi");
+        let hi = mdp.expected_time_to_reach(&[3], Opt::Max, 1e-12, 100_000).expect("vi");
+        assert!((lo[0] - 0.1).abs() < 1e-6, "min bound {}", lo[0]);
+        assert!((hi[0] - 1.0).abs() < 1e-6, "max bound {}", hi[0]);
+    }
+
+    #[test]
+    fn initial_vanishing_state_redistributed() {
+        let mut b = ImcBuilder::new();
+        let s: Vec<_> = (0..3).map(|_| b.add_state()).collect();
+        b.interactive(s[0], "i", s[1]);
+        b.interactive(s[0], "i", s[2]);
+        b.markovian(s[1], s[2], 1.0).unwrap();
+        b.markovian(s[2], s[1], 1.0).unwrap();
+        let conv = to_ctmc(&b.build(s[0]), NondetPolicy::Uniform, &[]).expect("converts");
+        let init = conv.ctmc.initial_dense();
+        assert!((init.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((init[0] - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,205 @@
+//! Reachability-based analyses: shortest witness traces, deadlock witnesses,
+//! and simple structural statistics used by the experiment harness.
+
+use crate::label::LabelId;
+use crate::lts::{Lts, StateId};
+use std::collections::VecDeque;
+
+/// A finite execution: the labels along a path from the initial state.
+pub type Trace = Vec<String>;
+
+/// Breadth-first search for a state satisfying `pred`, returning the shortest
+/// trace to it (labels, τ included as `"i"`), or `None` if no reachable state
+/// satisfies the predicate.
+///
+/// # Examples
+///
+/// ```
+/// use multival_lts::{equiv::lts_from_triples, analysis::find_state};
+///
+/// let lts = lts_from_triples(&[(0, "a", 1), (1, "b", 2)]);
+/// let trace = find_state(&lts, |s| s == 2).expect("state 2 reachable");
+/// assert_eq!(trace, vec!["a", "b"]);
+/// ```
+pub fn find_state(lts: &Lts, mut pred: impl FnMut(StateId) -> bool) -> Option<Trace> {
+    let n = lts.num_states();
+    let mut pred_edge: Vec<Option<(StateId, LabelId)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    seen[lts.initial() as usize] = true;
+    queue.push_back(lts.initial());
+    let mut found = None;
+    if pred(lts.initial()) {
+        found = Some(lts.initial());
+    }
+    while found.is_none() {
+        let Some(s) = queue.pop_front() else { break };
+        for t in lts.transitions_from(s) {
+            if !seen[t.target as usize] {
+                seen[t.target as usize] = true;
+                pred_edge[t.target as usize] = Some((s, t.label));
+                if pred(t.target) {
+                    found = Some(t.target);
+                    break;
+                }
+                queue.push_back(t.target);
+            }
+        }
+    }
+    let mut cur = found?;
+    let mut labels = Vec::new();
+    while let Some((prev, l)) = pred_edge[cur as usize] {
+        labels.push(lts.labels().name(l).to_owned());
+        cur = prev;
+    }
+    labels.reverse();
+    Some(labels)
+}
+
+/// Shortest trace to a deadlock state, or `None` if the system is
+/// deadlock-free.
+pub fn deadlock_witness(lts: &Lts) -> Option<Trace> {
+    find_state(lts, |s| lts.transitions_from(s).is_empty())
+}
+
+/// Shortest trace whose last transition carries a label whose full name
+/// satisfies `pred` — useful for "can action X ever happen?" queries.
+pub fn find_action(lts: &Lts, mut pred: impl FnMut(&str) -> bool) -> Option<Trace> {
+    let n = lts.num_states();
+    let mut pred_edge: Vec<Option<(StateId, LabelId)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    seen[lts.initial() as usize] = true;
+    queue.push_back(lts.initial());
+    while let Some(s) = queue.pop_front() {
+        for t in lts.transitions_from(s) {
+            if pred(lts.labels().name(t.label)) {
+                // Reconstruct path to s, then append this transition.
+                let mut labels = vec![lts.labels().name(t.label).to_owned()];
+                let mut cur = s;
+                while let Some((prev, l)) = pred_edge[cur as usize] {
+                    labels.push(lts.labels().name(l).to_owned());
+                    cur = prev;
+                }
+                labels.reverse();
+                return Some(labels);
+            }
+            if !seen[t.target as usize] {
+                seen[t.target as usize] = true;
+                pred_edge[t.target as usize] = Some((s, t.label));
+                queue.push_back(t.target);
+            }
+        }
+    }
+    None
+}
+
+/// Per-label transition counts, sorted descending — a quick profile of which
+/// actions dominate a state space.
+pub fn label_histogram(lts: &Lts) -> Vec<(String, usize)> {
+    let mut counts = vec![0usize; lts.labels().len()];
+    for (_, l, _) in lts.iter_transitions() {
+        counts[l.index()] += 1;
+    }
+    let mut hist: Vec<(String, usize)> = counts
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, c)| c > 0)
+        .map(|(i, c)| (lts.labels().name(LabelId(i as u32)).to_owned(), c))
+        .collect();
+    hist.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    hist
+}
+
+/// Checks a state invariant over all reachable states, returning the shortest
+/// trace to a violating state if any.
+pub fn check_invariant(lts: &Lts, mut invariant: impl FnMut(StateId) -> bool) -> Option<Trace> {
+    find_state(lts, |s| !invariant(s))
+}
+
+/// Graph diameter lower bound: the BFS depth of the farthest state from the
+/// initial state (exact eccentricity of the initial state).
+pub fn bfs_depth(lts: &Lts) -> usize {
+    let n = lts.num_states();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[lts.initial() as usize] = 0;
+    queue.push_back(lts.initial());
+    let mut max = 0;
+    while let Some(s) = queue.pop_front() {
+        for t in lts.transitions_from(s) {
+            if dist[t.target as usize] == usize::MAX {
+                dist[t.target as usize] = dist[s as usize] + 1;
+                max = max.max(dist[t.target as usize]);
+                queue.push_back(t.target);
+            }
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::lts_from_triples;
+
+    #[test]
+    fn deadlock_witness_is_shortest() {
+        // Two paths to deadlock state 3: length 2 via b, length 3 via a.
+        let lts = lts_from_triples(&[
+            (0, "a", 1),
+            (1, "a2", 2),
+            (2, "a3", 3),
+            (0, "b", 4),
+            (4, "b2", 3),
+        ]);
+        let w = deadlock_witness(&lts).expect("deadlock exists");
+        assert_eq!(w.len(), 2);
+        assert_eq!(w, vec!["b", "b2"]);
+    }
+
+    #[test]
+    fn deadlock_free_returns_none() {
+        let lts = lts_from_triples(&[(0, "a", 1), (1, "b", 0)]);
+        assert!(deadlock_witness(&lts).is_none());
+    }
+
+    #[test]
+    fn find_action_matches_full_label() {
+        let lts = lts_from_triples(&[(0, "PUSH !1", 1), (1, "PUSH !2", 2)]);
+        let t = find_action(&lts, |l| l == "PUSH !2").expect("reachable");
+        assert_eq!(t, vec!["PUSH !1", "PUSH !2"]);
+        assert!(find_action(&lts, |l| l == "PUSH !3").is_none());
+    }
+
+    #[test]
+    fn invariant_violation_found() {
+        let lts = lts_from_triples(&[(0, "a", 1), (1, "b", 2)]);
+        // Invariant "state != 2" is violated at depth 2.
+        let w = check_invariant(&lts, |s| s != 2).expect("violated");
+        assert_eq!(w.len(), 2);
+        // Invariant "state < 10" holds.
+        assert!(check_invariant(&lts, |s| s < 10).is_none());
+    }
+
+    #[test]
+    fn histogram_sorted_descending() {
+        let lts = lts_from_triples(&[(0, "a", 1), (1, "a", 0), (0, "b", 1)]);
+        let h = label_histogram(&lts);
+        assert_eq!(h[0], ("a".to_owned(), 2));
+        assert_eq!(h[1], ("b".to_owned(), 1));
+    }
+
+    #[test]
+    fn bfs_depth_of_chain() {
+        let lts = lts_from_triples(&[(0, "a", 1), (1, "b", 2), (2, "c", 3)]);
+        assert_eq!(bfs_depth(&lts), 3);
+    }
+
+    #[test]
+    fn initial_state_can_satisfy_predicate() {
+        let lts = lts_from_triples(&[(0, "a", 1)]);
+        let t = find_state(&lts, |s| s == 0).expect("initial matches");
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,304 @@
+//! Equivalence checking between two LTSs (the CADP `bisimulator` /
+//! `aldebaran -equ` role).
+//!
+//! Two LTSs are compared by minimizing their disjoint union and checking
+//! whether the two initial states fall into the same block. For weak-trace
+//! comparison, both are determinized modulo τ-closure and compared
+//! state-by-state, which also yields a distinguishing trace on failure.
+
+use crate::label::{LabelId, LabelTable};
+use crate::lts::{Lts, LtsBuilder, StateId};
+use crate::minimize::{partition_refinement, Equivalence};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// The verdict of an equivalence comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// The two systems are equivalent.
+    Equivalent,
+    /// Not equivalent; when the comparison is trace-based, a distinguishing
+    /// trace (sequence of visible labels enabled in one but not the other)
+    /// is provided.
+    Inequivalent {
+        /// A witness trace, if one could be constructed (always present for
+        /// weak-trace comparison, absent for bisimulations).
+        witness: Option<Vec<String>>,
+    },
+}
+
+impl Verdict {
+    /// `true` if the verdict is [`Verdict::Equivalent`].
+    pub fn holds(&self) -> bool {
+        matches!(self, Verdict::Equivalent)
+    }
+}
+
+/// Builds the disjoint union of two LTSs over a shared label table.
+/// Returns the union plus the ids of the two original initial states.
+pub fn disjoint_union(a: &Lts, b: &Lts) -> (Lts, StateId, StateId) {
+    let mut labels = LabelTable::new();
+    let map_a: Vec<LabelId> = a.labels().iter().map(|(_, n)| labels.intern(n)).collect();
+    let map_b: Vec<LabelId> = b.labels().iter().map(|(_, n)| labels.intern(n)).collect();
+    let na = a.num_states() as u32;
+    let nb = b.num_states() as u32;
+    let mut transitions = Vec::with_capacity(a.num_transitions() + b.num_transitions());
+    for (s, l, t) in a.iter_transitions() {
+        transitions.push((s, map_a[l.index()], t));
+    }
+    for (s, l, t) in b.iter_transitions() {
+        transitions.push((s + na, map_b[l.index()], t + na));
+    }
+    let union = Lts::from_parts(labels, na + nb, a.initial(), transitions);
+    (union, a.initial(), b.initial() + na)
+}
+
+/// Checks whether `a` and `b` are equivalent modulo `eq`.
+///
+/// # Examples
+///
+/// ```
+/// use multival_lts::{LtsBuilder, equiv::equivalent, minimize::Equivalence};
+///
+/// let mk = |with_tau: bool| {
+///     let mut b = LtsBuilder::new();
+///     let s0 = b.add_state();
+///     let mut prev = s0;
+///     if with_tau {
+///         let m = b.add_state();
+///         b.add_transition(prev, "i", m);
+///         prev = m;
+///     }
+///     let s1 = b.add_state();
+///     b.add_transition(prev, "a", s1);
+///     b.build(s0)
+/// };
+/// let plain = mk(false);
+/// let with_tau = mk(true);
+/// assert!(!equivalent(&plain, &with_tau, Equivalence::Strong).holds());
+/// assert!(equivalent(&plain, &with_tau, Equivalence::Branching).holds());
+/// ```
+pub fn equivalent(a: &Lts, b: &Lts, eq: Equivalence) -> Verdict {
+    let (union, ia, ib) = disjoint_union(a, b);
+    let part = partition_refinement(&union, eq);
+    if part.block(ia) == part.block(ib) {
+        Verdict::Equivalent
+    } else {
+        Verdict::Inequivalent { witness: None }
+    }
+}
+
+/// A deterministic automaton over visible labels obtained by τ-closure +
+/// subset construction. Label names are the key (shared across LTSs).
+#[derive(Debug, Clone)]
+pub struct Determinized {
+    /// Outgoing edges per state: visible label name → target state.
+    pub edges: Vec<BTreeMap<String, u32>>,
+    /// Initial state.
+    pub initial: u32,
+}
+
+/// τ-closure of a set of states.
+fn tau_closure(lts: &Lts, set: &BTreeSet<StateId>) -> BTreeSet<StateId> {
+    let mut closure = set.clone();
+    let mut stack: Vec<StateId> = set.iter().copied().collect();
+    while let Some(s) = stack.pop() {
+        for t in lts.transitions_from(s) {
+            if t.label.is_tau() && closure.insert(t.target) {
+                stack.push(t.target);
+            }
+        }
+    }
+    closure
+}
+
+/// Determinizes `lts` modulo τ (subset construction over visible labels).
+///
+/// `cap` bounds the number of subset states; exceeding it returns `None`
+/// (subset construction is worst-case exponential).
+pub fn determinize(lts: &Lts, cap: usize) -> Option<Determinized> {
+    let init = tau_closure(lts, &BTreeSet::from([lts.initial()]));
+    let mut index: HashMap<BTreeSet<StateId>, u32> = HashMap::new();
+    let mut edges: Vec<BTreeMap<String, u32>> = Vec::new();
+    let mut queue: VecDeque<BTreeSet<StateId>> = VecDeque::new();
+    index.insert(init.clone(), 0);
+    edges.push(BTreeMap::new());
+    queue.push_back(init);
+    while let Some(set) = queue.pop_front() {
+        let src = index[&set];
+        // Group successors by visible label.
+        let mut succ: BTreeMap<String, BTreeSet<StateId>> = BTreeMap::new();
+        for &s in &set {
+            for t in lts.transitions_from(s) {
+                if !t.label.is_tau() {
+                    succ.entry(lts.labels().name(t.label).to_owned()).or_default().insert(t.target);
+                }
+            }
+        }
+        for (label, targets) in succ {
+            let closed = tau_closure(lts, &targets);
+            let dst = match index.get(&closed) {
+                Some(&d) => d,
+                None => {
+                    if edges.len() >= cap {
+                        return None;
+                    }
+                    let d = edges.len() as u32;
+                    index.insert(closed.clone(), d);
+                    edges.push(BTreeMap::new());
+                    queue.push_back(closed);
+                    d
+                }
+            };
+            edges[src as usize].insert(label, dst);
+        }
+    }
+    Some(Determinized { edges, initial: 0 })
+}
+
+/// Weak-trace equivalence: the two systems have the same sets of visible
+/// traces. Returns a shortest distinguishing trace on failure.
+///
+/// `cap` bounds determinization (see [`determinize`]); exceeding it panics
+/// since no verdict can be produced.
+///
+/// # Panics
+///
+/// Panics if determinization of either side exceeds `cap` subset states.
+pub fn weak_trace_equivalent(a: &Lts, b: &Lts, cap: usize) -> Verdict {
+    let da = determinize(a, cap).expect("determinization cap exceeded (left)");
+    let db = determinize(b, cap).expect("determinization cap exceeded (right)");
+    // BFS over the synchronized product of the two DFAs; a mismatch in the
+    // enabled label sets yields a distinguishing trace.
+    let mut seen: HashMap<(u32, u32), ()> = HashMap::new();
+    let mut queue: VecDeque<(u32, u32, Vec<String>)> = VecDeque::new();
+    seen.insert((da.initial, db.initial), ());
+    queue.push_back((da.initial, db.initial, Vec::new()));
+    while let Some((sa, sb, trace)) = queue.pop_front() {
+        let ea = &da.edges[sa as usize];
+        let eb = &db.edges[sb as usize];
+        for label in ea.keys() {
+            if !eb.contains_key(label) {
+                let mut w = trace.clone();
+                w.push(label.clone());
+                return Verdict::Inequivalent { witness: Some(w) };
+            }
+        }
+        for label in eb.keys() {
+            if !ea.contains_key(label) {
+                let mut w = trace.clone();
+                w.push(label.clone());
+                return Verdict::Inequivalent { witness: Some(w) };
+            }
+        }
+        for (label, &ta) in ea {
+            let tb = eb[label];
+            if seen.insert((ta, tb), ()).is_none() {
+                let mut w = trace.clone();
+                w.push(label.clone());
+                queue.push_back((ta, tb, w));
+            }
+        }
+    }
+    Verdict::Equivalent
+}
+
+/// Convenience: builds a small LTS from `(src, label, dst)` triples; state 0
+/// is initial. Intended for tests and examples.
+pub fn lts_from_triples(triples: &[(u32, &str, u32)]) -> Lts {
+    let mut b = LtsBuilder::new();
+    let max = triples.iter().map(|&(s, _, t)| s.max(t)).max().unwrap_or(0);
+    for _ in 0..=max {
+        b.add_state();
+    }
+    for &(s, l, t) in triples {
+        b.add_transition(s, l, t);
+    }
+    b.build(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_systems_equivalent_everywhere() {
+        let a = lts_from_triples(&[(0, "a", 1), (1, "b", 0)]);
+        let b = lts_from_triples(&[(0, "a", 1), (1, "b", 0)]);
+        assert!(equivalent(&a, &b, Equivalence::Strong).holds());
+        assert!(equivalent(&a, &b, Equivalence::Branching).holds());
+        assert!(weak_trace_equivalent(&a, &b, 1 << 16).holds());
+    }
+
+    #[test]
+    fn unfolded_cycle_is_bisimilar() {
+        let a = lts_from_triples(&[(0, "a", 0)]);
+        let b = lts_from_triples(&[(0, "a", 1), (1, "a", 0)]);
+        assert!(equivalent(&a, &b, Equivalence::Strong).holds());
+    }
+
+    #[test]
+    fn trace_equivalent_but_not_bisimilar() {
+        // a.(b+c) vs a.b + a.c: weak-trace equivalent, not bisimilar.
+        let p = lts_from_triples(&[(0, "a", 1), (1, "b", 2), (1, "c", 3)]);
+        let q = lts_from_triples(&[(0, "a", 1), (1, "b", 3), (0, "a", 2), (2, "c", 4)]);
+        assert!(weak_trace_equivalent(&p, &q, 1 << 16).holds());
+        assert!(!equivalent(&p, &q, Equivalence::Strong).holds());
+        assert!(!equivalent(&p, &q, Equivalence::Branching).holds());
+    }
+
+    #[test]
+    fn distinguishing_trace_is_minimal() {
+        let p = lts_from_triples(&[(0, "a", 1), (1, "b", 2)]);
+        let q = lts_from_triples(&[(0, "a", 1), (1, "c", 2)]);
+        match weak_trace_equivalent(&p, &q, 1 << 16) {
+            Verdict::Inequivalent { witness: Some(w) } => {
+                assert_eq!(w.len(), 2);
+                assert_eq!(w[0], "a");
+            }
+            v => panic!("expected inequivalent with witness, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn tau_ignored_by_weak_trace() {
+        let p = lts_from_triples(&[(0, "i", 1), (1, "a", 2)]);
+        let q = lts_from_triples(&[(0, "a", 1)]);
+        assert!(weak_trace_equivalent(&p, &q, 1 << 16).holds());
+        assert!(!equivalent(&p, &q, Equivalence::Strong).holds());
+    }
+
+    #[test]
+    fn disjoint_union_preserves_sizes() {
+        let a = lts_from_triples(&[(0, "a", 1)]);
+        let b = lts_from_triples(&[(0, "b", 1), (1, "c", 2)]);
+        let (u, ia, ib) = disjoint_union(&a, &b);
+        assert_eq!(u.num_states(), 5);
+        assert_eq!(u.num_transitions(), 3);
+        assert_eq!(ia, 0);
+        assert_eq!(ib, 2);
+    }
+
+    #[test]
+    fn determinize_collapses_nondeterminism() {
+        let p = lts_from_triples(&[(0, "a", 1), (0, "a", 2), (1, "b", 3), (2, "c", 4)]);
+        let d = determinize(&p, 1024).expect("small LTS determinizes");
+        // Initial --a--> {1,2} which enables both b and c.
+        assert_eq!(d.edges[0].len(), 1);
+        let mid = d.edges[0]["a"] as usize;
+        assert_eq!(d.edges[mid].len(), 2);
+    }
+
+    #[test]
+    fn determinize_cap_respected() {
+        // Chain with nondeterministic fan-out can exceed a tiny cap.
+        let p = lts_from_triples(&[
+            (0, "a", 1),
+            (0, "a", 2),
+            (1, "a", 3),
+            (2, "a", 4),
+            (3, "b", 5),
+            (4, "c", 5),
+        ]);
+        assert!(determinize(&p, 1).is_none());
+    }
+}

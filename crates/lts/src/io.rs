@@ -1,0 +1,251 @@
+//! Textual interchange formats: Aldebaran (`.aut`, CADP's exchange format)
+//! and Graphviz (`.dot`).
+//!
+//! The Aldebaran format is line-oriented:
+//!
+//! ```text
+//! des (0, 2, 2)
+//! (0, "PUSH !1", 1)
+//! (1, "i", 0)
+//! ```
+//!
+//! where the header carries `(initial-state, #transitions, #states)`.
+
+use crate::label::LabelTable;
+use crate::lts::{Lts, StateId};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error produced when parsing an Aldebaran file fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAutError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "aut parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseAutError {}
+
+/// Serializes an LTS in Aldebaran format.
+///
+/// # Examples
+///
+/// ```
+/// use multival_lts::{equiv::lts_from_triples, io::{write_aut, read_aut}};
+///
+/// let lts = lts_from_triples(&[(0, "a", 1), (1, "i", 0)]);
+/// let text = write_aut(&lts);
+/// let back = read_aut(&text).expect("roundtrip");
+/// assert_eq!(back.num_states(), 2);
+/// assert_eq!(back.num_transitions(), 2);
+/// ```
+pub fn write_aut(lts: &Lts) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "des ({}, {}, {})",
+        lts.initial(),
+        lts.num_transitions(),
+        lts.num_states()
+    );
+    for (s, l, t) in lts.iter_transitions() {
+        let name = lts.labels().name(l).replace('"', "\\\"");
+        let _ = writeln!(out, "({}, \"{}\", {})", s, name, t);
+    }
+    out
+}
+
+/// Parses an Aldebaran file into an LTS.
+///
+/// # Errors
+///
+/// Returns [`ParseAutError`] on malformed headers or transition lines, state
+/// ids beyond the declared count, or a transition count mismatch.
+pub fn read_aut(text: &str) -> Result<Lts, ParseAutError> {
+    let mut lines = text.lines().enumerate();
+    let (header_no, header) = lines
+        .by_ref()
+        .find(|(_, l)| !l.trim().is_empty())
+        .ok_or(ParseAutError { line: 1, message: "empty file".into() })?;
+    let header = header.trim();
+    let inner = header
+        .strip_prefix("des")
+        .map(str::trim)
+        .and_then(|r| r.strip_prefix('('))
+        .and_then(|r| r.strip_suffix(')'))
+        .ok_or_else(|| ParseAutError {
+            line: header_no + 1,
+            message: format!("expected `des (init, ntrans, nstates)`, got `{header}`"),
+        })?;
+    let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
+    if parts.len() != 3 {
+        return Err(ParseAutError {
+            line: header_no + 1,
+            message: "header must have three comma-separated fields".into(),
+        });
+    }
+    let parse_num = |s: &str, line: usize| {
+        s.parse::<u32>().map_err(|_| ParseAutError {
+            line,
+            message: format!("invalid number `{s}`"),
+        })
+    };
+    let initial = parse_num(parts[0], header_no + 1)?;
+    let ntrans = parse_num(parts[1], header_no + 1)? as usize;
+    let nstates = parse_num(parts[2], header_no + 1)?;
+
+    let mut labels = LabelTable::new();
+    let mut transitions: Vec<(StateId, crate::label::LabelId, StateId)> = Vec::new();
+    for (no, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let body = line
+            .strip_prefix('(')
+            .and_then(|r| r.strip_suffix(')'))
+            .ok_or_else(|| ParseAutError {
+                line: no + 1,
+                message: format!("expected `(src, \"label\", dst)`, got `{line}`"),
+            })?;
+        // Split as: src , "label with possible commas" , dst
+        let first_comma = body.find(',').ok_or_else(|| ParseAutError {
+            line: no + 1,
+            message: "missing comma after source state".into(),
+        })?;
+        let last_comma = body.rfind(',').ok_or_else(|| ParseAutError {
+            line: no + 1,
+            message: "missing comma before target state".into(),
+        })?;
+        if first_comma == last_comma {
+            return Err(ParseAutError { line: no + 1, message: "expected three fields".into() });
+        }
+        let src = parse_num(body[..first_comma].trim(), no + 1)?;
+        let dst = parse_num(body[last_comma + 1..].trim(), no + 1)?;
+        let mut label = body[first_comma + 1..last_comma].trim();
+        if label.len() >= 2 && label.starts_with('"') && label.ends_with('"') {
+            label = &label[1..label.len() - 1];
+        }
+        let unescaped = label.replace("\\\"", "\"");
+        if src >= nstates || dst >= nstates {
+            return Err(ParseAutError {
+                line: no + 1,
+                message: format!("state id out of range (declared {nstates} states)"),
+            });
+        }
+        transitions.push((src, labels.intern(&unescaped), dst));
+    }
+    if transitions.len() != ntrans {
+        return Err(ParseAutError {
+            line: header_no + 1,
+            message: format!(
+                "header declares {ntrans} transitions but {} were found",
+                transitions.len()
+            ),
+        });
+    }
+    if initial >= nstates.max(1) {
+        return Err(ParseAutError {
+            line: header_no + 1,
+            message: "initial state out of range".into(),
+        });
+    }
+    Ok(Lts::from_parts(labels, nstates.max(1), initial, transitions))
+}
+
+/// Serializes an LTS as a Graphviz digraph (for visual inspection of small
+/// state spaces). τ edges are drawn dashed.
+pub fn write_dot(lts: &Lts, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle];");
+    let _ = writeln!(out, "  s{} [style=bold];", lts.initial());
+    for s in 0..lts.num_states() as StateId {
+        if lts.transitions_from(s).is_empty() {
+            let _ = writeln!(out, "  s{s} [shape=doublecircle];");
+        }
+    }
+    for (s, l, t) in lts.iter_transitions() {
+        let label = lts.labels().name(l).replace('"', "\\\"");
+        let style = if l.is_tau() { ", style=dashed" } else { "" };
+        let _ = writeln!(out, "  s{s} -> s{t} [label=\"{label}\"{style}];");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::lts_from_triples;
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let lts = lts_from_triples(&[
+            (0, "PUSH !1 !true", 1),
+            (1, "i", 2),
+            (2, "POP !1", 0),
+        ]);
+        let text = write_aut(&lts);
+        let back = read_aut(&text).expect("roundtrip parses");
+        assert_eq!(back.num_states(), lts.num_states());
+        assert_eq!(back.num_transitions(), lts.num_transitions());
+        assert_eq!(back.initial(), lts.initial());
+        let names: Vec<_> =
+            back.iter_transitions().map(|(_, l, _)| back.labels().name(l).to_owned()).collect();
+        assert!(names.contains(&"PUSH !1 !true".to_owned()));
+        assert!(names.contains(&"i".to_owned()));
+    }
+
+    #[test]
+    fn label_with_comma_roundtrips() {
+        let lts = lts_from_triples(&[(0, "SEND !pair(1, 2)", 1)]);
+        let back = read_aut(&write_aut(&lts)).expect("comma label parses");
+        let (_, l, _) = back.iter_transitions().next().expect("one transition");
+        assert_eq!(back.labels().name(l), "SEND !pair(1, 2)");
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_aut("hello").is_err());
+        assert!(read_aut("des (0, 1)").is_err());
+        assert!(read_aut("des (x, 1, 2)").is_err());
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let err = read_aut("des (0, 2, 2)\n(0, \"a\", 1)\n").expect_err("mismatch");
+        assert!(err.message.contains("declares 2 transitions"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_state() {
+        let err = read_aut("des (0, 1, 2)\n(0, \"a\", 5)\n").expect_err("range");
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn dot_output_mentions_all_edges() {
+        let lts = lts_from_triples(&[(0, "a", 1), (1, "i", 0)]);
+        let dot = write_dot(&lts, "test");
+        assert!(dot.contains("s0 -> s1"));
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn escaped_quotes_roundtrip() {
+        let lts = lts_from_triples(&[(0, "SAY !\"hi\"", 1)]);
+        let back = read_aut(&write_aut(&lts)).expect("quoted label parses");
+        let (_, l, _) = back.iter_transitions().next().expect("one transition");
+        assert_eq!(back.labels().name(l), "SAY !\"hi\"");
+    }
+}

@@ -1,0 +1,184 @@
+//! Interned transition labels.
+//!
+//! A label is the full visible action of a transition, e.g. `PUSH !1 !true`.
+//! The *gate* is the first whitespace-delimited token (`PUSH`); the remainder
+//! are data offers. The internal action τ is always interned with id 0 and
+//! displayed as `i`, following the Aldebaran/CADP convention.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an interned label inside a [`LabelTable`].
+///
+/// `LabelId::TAU` (id 0) always denotes the internal action τ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelId(pub u32);
+
+impl LabelId {
+    /// The internal (hidden) action τ, displayed as `i`.
+    pub const TAU: LabelId = LabelId(0);
+
+    /// Returns `true` if this label is the internal action τ.
+    pub fn is_tau(self) -> bool {
+        self == Self::TAU
+    }
+
+    /// Raw index of the label, usable to index per-label arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The textual spelling of the internal action in Aldebaran files.
+pub const TAU_NAME: &str = "i";
+
+/// An interning table mapping label strings to dense [`LabelId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use multival_lts::label::{LabelTable, LabelId};
+///
+/// let mut t = LabelTable::new();
+/// let push = t.intern("PUSH !1");
+/// assert_eq!(t.intern("PUSH !1"), push);
+/// assert_eq!(t.name(push), "PUSH !1");
+/// assert_eq!(t.intern("i"), LabelId::TAU);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LabelTable {
+    names: Vec<String>,
+    index: HashMap<String, LabelId>,
+}
+
+impl LabelTable {
+    /// Creates a table already containing τ (as id 0).
+    pub fn new() -> Self {
+        let mut t = LabelTable { names: Vec::new(), index: HashMap::new() };
+        let tau = t.intern_raw(TAU_NAME.to_owned());
+        debug_assert_eq!(tau, LabelId::TAU);
+        t
+    }
+
+    fn intern_raw(&mut self, name: String) -> LabelId {
+        if let Some(&id) = self.index.get(&name) {
+            return id;
+        }
+        let id = LabelId(self.names.len() as u32);
+        self.index.insert(name.clone(), id);
+        self.names.push(name);
+        id
+    }
+
+    /// Interns `name`, returning its id. `"i"` and `"tau"` both intern to τ.
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if name == TAU_NAME || name.eq_ignore_ascii_case("tau") {
+            return LabelId::TAU;
+        }
+        self.intern_raw(name.to_owned())
+    }
+
+    /// Looks up an already-interned label, if present.
+    pub fn lookup(&self, name: &str) -> Option<LabelId> {
+        if name == TAU_NAME || name.eq_ignore_ascii_case("tau") {
+            return Some(LabelId::TAU);
+        }
+        self.index.get(name).copied()
+    }
+
+    /// The textual name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not interned in this table.
+    pub fn name(&self, id: LabelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// The gate (first whitespace-delimited token) of `id`'s name.
+    pub fn gate(&self, id: LabelId) -> &str {
+        gate_of(self.name(id))
+    }
+
+    /// Number of distinct labels (including τ).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if the table only contains τ.
+    pub fn is_empty(&self) -> bool {
+        self.names.len() <= 1
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (LabelId(i as u32), n.as_str()))
+    }
+}
+
+/// Extracts the gate of a label string: everything before the first space.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(multival_lts::label::gate_of("PUSH !1 !true"), "PUSH");
+/// assert_eq!(multival_lts::label::gate_of("GET"), "GET");
+/// ```
+pub fn gate_of(label: &str) -> &str {
+    label.split_whitespace().next().unwrap_or(label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_is_id_zero() {
+        let t = LabelTable::new();
+        assert_eq!(t.lookup("i"), Some(LabelId::TAU));
+        assert_eq!(t.name(LabelId::TAU), "i");
+        assert!(LabelId::TAU.is_tau());
+    }
+
+    #[test]
+    fn tau_aliases() {
+        let mut t = LabelTable::new();
+        assert_eq!(t.intern("tau"), LabelId::TAU);
+        assert_eq!(t.intern("TAU"), LabelId::TAU);
+        assert_eq!(t.intern("i"), LabelId::TAU);
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = LabelTable::new();
+        let a = t.intern("A");
+        let b = t.intern("B !0");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("A"), a);
+        assert_eq!(t.len(), 3); // i, A, B !0
+    }
+
+    #[test]
+    fn gate_extraction() {
+        let mut t = LabelTable::new();
+        let l = t.intern("SEND !3 ?x");
+        assert_eq!(t.gate(l), "SEND");
+        assert_eq!(gate_of("X"), "X");
+        assert_eq!(gate_of(""), "");
+    }
+
+    #[test]
+    fn iteration_order_matches_ids() {
+        let mut t = LabelTable::new();
+        t.intern("A");
+        t.intern("B");
+        let names: Vec<_> = t.iter().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(names, vec!["i", "A", "B"]);
+    }
+}

@@ -1,0 +1,405 @@
+//! Explicit labeled transition systems.
+//!
+//! An [`Lts`] is the central object of the functional-verification flow: the
+//! enumerated state space of a process-algebra model (what CADP calls a BCG
+//! graph). States are dense `u32` ids, transitions are stored in
+//! compressed-sparse-row form for cache-friendly traversal, and labels are
+//! interned in a [`LabelTable`].
+
+use crate::label::{gate_of, LabelId, LabelTable};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Dense identifier of an LTS state.
+pub type StateId = u32;
+
+/// A single outgoing transition: label and target state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Transition {
+    /// Interned label of the transition.
+    pub label: LabelId,
+    /// Target state.
+    pub target: StateId,
+}
+
+/// An explicit labeled transition system.
+///
+/// Build one with [`LtsBuilder`], by exploring a process-algebra term
+/// (`multival-pa`), or by reading an Aldebaran `.aut` file
+/// ([`crate::io::read_aut`]).
+///
+/// # Examples
+///
+/// ```
+/// use multival_lts::{Lts, LtsBuilder};
+///
+/// let mut b = LtsBuilder::new();
+/// let s0 = b.add_state();
+/// let s1 = b.add_state();
+/// b.add_transition(s0, "HELLO", s1);
+/// b.add_transition(s1, "i", s0);
+/// let lts = b.build(s0);
+/// assert_eq!(lts.num_states(), 2);
+/// assert_eq!(lts.num_transitions(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lts {
+    labels: LabelTable,
+    initial: StateId,
+    /// CSR offsets: transitions of state `s` are `trans[offsets[s]..offsets[s+1]]`.
+    offsets: Vec<u32>,
+    trans: Vec<Transition>,
+}
+
+impl Lts {
+    /// Creates an LTS from raw parts. Prefer [`LtsBuilder`].
+    ///
+    /// `transitions` is a list of `(src, label, dst)` triples; they may be in
+    /// any order and will be sorted into CSR form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial >= num_states` or any endpoint is out of range.
+    pub fn from_parts(
+        labels: LabelTable,
+        num_states: u32,
+        initial: StateId,
+        transitions: Vec<(StateId, LabelId, StateId)>,
+    ) -> Self {
+        assert!(initial < num_states.max(1), "initial state out of range");
+        let mut counts = vec![0u32; num_states as usize + 1];
+        for &(s, _, t) in &transitions {
+            assert!(s < num_states && t < num_states, "transition endpoint out of range");
+            counts[s as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut fill = counts;
+        let mut trans = vec![Transition { label: LabelId::TAU, target: 0 }; transitions.len()];
+        for (s, l, t) in transitions {
+            let pos = fill[s as usize];
+            trans[pos as usize] = Transition { label: l, target: t };
+            fill[s as usize] += 1;
+        }
+        // Sort each state's transitions for determinism and binary search.
+        for s in 0..num_states as usize {
+            let (a, b) = (offsets[s] as usize, offsets[s + 1] as usize);
+            trans[a..b].sort_unstable();
+        }
+        Lts { labels, initial, offsets, trans }
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// The label table.
+    pub fn labels(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// Outgoing transitions of `s`, sorted by `(label, target)`.
+    pub fn transitions_from(&self, s: StateId) -> &[Transition] {
+        let (a, b) = (self.offsets[s as usize] as usize, self.offsets[s as usize + 1] as usize);
+        &self.trans[a..b]
+    }
+
+    /// Iterates over all `(src, label, dst)` triples.
+    pub fn iter_transitions(&self) -> impl Iterator<Item = (StateId, LabelId, StateId)> + '_ {
+        (0..self.num_states() as StateId).flat_map(move |s| {
+            self.transitions_from(s).iter().map(move |t| (s, t.label, t.target))
+        })
+    }
+
+    /// States with no outgoing transitions (deadlocks, in LOTOS terms `stop`
+    /// states; a successfully terminated state with an `exit` loop is not a
+    /// deadlock).
+    pub fn deadlock_states(&self) -> Vec<StateId> {
+        (0..self.num_states() as StateId)
+            .filter(|&s| self.transitions_from(s).is_empty())
+            .collect()
+    }
+
+    /// Returns `true` if `s` has an outgoing τ transition.
+    pub fn has_tau(&self, s: StateId) -> bool {
+        self.transitions_from(s).iter().any(|t| t.label.is_tau())
+    }
+
+    /// The set of label ids that actually appear on transitions.
+    pub fn used_labels(&self) -> HashSet<LabelId> {
+        self.trans.iter().map(|t| t.label).collect()
+    }
+
+    /// The set of gate names (first token of each used label, τ excluded).
+    pub fn used_gates(&self) -> HashSet<String> {
+        self.used_labels()
+            .into_iter()
+            .filter(|l| !l.is_tau())
+            .map(|l| gate_of(self.labels.name(l)).to_owned())
+            .collect()
+    }
+
+    /// Restricts the LTS to the states reachable from the initial state,
+    /// renumbering them in BFS order. Returns the new LTS and, for each old
+    /// state, its new id (or `None` if unreachable).
+    pub fn reachable(&self) -> (Lts, Vec<Option<StateId>>) {
+        let n = self.num_states();
+        let mut map: Vec<Option<StateId>> = vec![None; n];
+        let mut order: Vec<StateId> = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        map[self.initial as usize] = Some(0);
+        order.push(self.initial);
+        queue.push_back(self.initial);
+        while let Some(s) = queue.pop_front() {
+            for t in self.transitions_from(s) {
+                if map[t.target as usize].is_none() {
+                    map[t.target as usize] = Some(order.len() as StateId);
+                    order.push(t.target);
+                    queue.push_back(t.target);
+                }
+            }
+        }
+        let mut transitions = Vec::new();
+        for (new_src, &old_src) in order.iter().enumerate() {
+            for t in self.transitions_from(old_src) {
+                transitions.push((new_src as StateId, t.label, map[t.target as usize].unwrap()));
+            }
+        }
+        let lts = Lts::from_parts(self.labels.clone(), order.len() as u32, 0, transitions);
+        (lts, map)
+    }
+
+    /// Applies `f` to every label name, producing a relabeled LTS.
+    /// Returning `None` maps the label to τ (hiding).
+    pub fn relabel(&self, mut f: impl FnMut(&str) -> Option<String>) -> Lts {
+        let mut labels = LabelTable::new();
+        let mut cache: Vec<Option<LabelId>> = vec![None; self.labels.len()];
+        let mut transitions = Vec::with_capacity(self.trans.len());
+        for (s, l, t) in self.iter_transitions() {
+            let new = match &mut cache[l.index()] {
+                Some(id) => *id,
+                slot => {
+                    let id = if l.is_tau() {
+                        LabelId::TAU
+                    } else {
+                        match f(self.labels.name(l)) {
+                            Some(name) => labels.intern(&name),
+                            None => LabelId::TAU,
+                        }
+                    };
+                    *slot = Some(id);
+                    id
+                }
+            };
+            transitions.push((s, new, t));
+        }
+        Lts::from_parts(labels, self.num_states() as u32, self.initial, transitions)
+    }
+
+    /// Renders a short summary like `lts{states: 10, transitions: 23, labels: 4}`.
+    pub fn summary(&self) -> String {
+        format!(
+            "lts{{states: {}, transitions: {}, labels: {}}}",
+            self.num_states(),
+            self.num_transitions(),
+            self.labels.len()
+        )
+    }
+}
+
+impl fmt::Display for Lts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.summary())?;
+        for (s, l, t) in self.iter_transitions() {
+            writeln!(f, "  {} --{}--> {}", s, self.labels.name(l), t)?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Lts`].
+///
+/// # Examples
+///
+/// ```
+/// use multival_lts::LtsBuilder;
+///
+/// let mut b = LtsBuilder::new();
+/// let s0 = b.add_state();
+/// let s1 = b.add_state();
+/// b.add_transition(s0, "A", s1);
+/// let lts = b.build(s0);
+/// assert_eq!(lts.transitions_from(s0).len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LtsBuilder {
+    labels: LabelTable,
+    num_states: u32,
+    transitions: Vec<(StateId, LabelId, StateId)>,
+}
+
+impl LtsBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        LtsBuilder { labels: LabelTable::new(), num_states: 0, transitions: Vec::new() }
+    }
+
+    /// Allocates a fresh state and returns its id.
+    pub fn add_state(&mut self) -> StateId {
+        let s = self.num_states;
+        self.num_states += 1;
+        s
+    }
+
+    /// Allocates states until at least `n` exist.
+    pub fn ensure_states(&mut self, n: u32) {
+        self.num_states = self.num_states.max(n);
+    }
+
+    /// Current number of states.
+    pub fn num_states(&self) -> u32 {
+        self.num_states
+    }
+
+    /// Interns `label` and records a transition. States must already exist
+    /// (see [`LtsBuilder::add_state`]); `"i"` or `"tau"` denote τ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` has not been allocated.
+    pub fn add_transition(&mut self, src: StateId, label: &str, dst: StateId) {
+        assert!(src < self.num_states && dst < self.num_states, "state not allocated");
+        let l = self.labels.intern(label);
+        self.transitions.push((src, l, dst));
+    }
+
+    /// Records a transition with an already-interned label id.
+    pub fn add_transition_id(&mut self, src: StateId, label: LabelId, dst: StateId) {
+        assert!(src < self.num_states && dst < self.num_states, "state not allocated");
+        assert!(label.index() < self.labels.len(), "label not interned");
+        self.transitions.push((src, label, dst));
+    }
+
+    /// Interns a label for later use with [`LtsBuilder::add_transition_id`].
+    pub fn intern(&mut self, label: &str) -> LabelId {
+        self.labels.intern(label)
+    }
+
+    /// Finalizes the LTS with the given initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` has not been allocated (unless the LTS is empty,
+    /// in which case a single-state LTS is produced).
+    pub fn build(self, initial: StateId) -> Lts {
+        let n = self.num_states.max(1);
+        Lts::from_parts(self.labels, n, initial, self.transitions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Lts {
+        // 0 -A-> 1, 0 -B-> 2, 1 -C-> 3, 2 -C-> 3
+        let mut b = LtsBuilder::new();
+        let s: Vec<_> = (0..4).map(|_| b.add_state()).collect();
+        b.add_transition(s[0], "A", s[1]);
+        b.add_transition(s[0], "B", s[2]);
+        b.add_transition(s[1], "C", s[3]);
+        b.add_transition(s[2], "C", s[3]);
+        b.build(s[0])
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let l = diamond();
+        assert_eq!(l.num_states(), 4);
+        assert_eq!(l.num_transitions(), 4);
+        assert_eq!(l.initial(), 0);
+        assert_eq!(l.transitions_from(0).len(), 2);
+        assert_eq!(l.deadlock_states(), vec![3]);
+    }
+
+    #[test]
+    fn transitions_sorted_per_state() {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.add_transition(s0, "Z", s1);
+        b.add_transition(s0, "A", s1);
+        let lts = b.build(s0);
+        let ts = lts.transitions_from(s0);
+        // Labels interned in insertion order: Z < A by id? No: Z id 1, A id 2.
+        assert_eq!(ts.len(), 2);
+        assert!(ts[0].label < ts[1].label);
+    }
+
+    #[test]
+    fn reachable_prunes_and_renumbers() {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let _orphan = b.add_state();
+        b.add_transition(s0, "A", s1);
+        let lts = b.build(s0);
+        let (r, map) = lts.reachable();
+        assert_eq!(r.num_states(), 2);
+        assert_eq!(map[2], None);
+        assert_eq!(map[0], Some(0));
+    }
+
+    #[test]
+    fn relabel_and_hide() {
+        let l = diamond();
+        let hidden = l.relabel(|name| if name == "C" { None } else { Some(name.to_owned()) });
+        assert!(hidden.has_tau(1));
+        assert!(!hidden.has_tau(0));
+        let renamed = l.relabel(|name| Some(format!("X_{name}")));
+        assert!(renamed.labels().lookup("X_A").is_some());
+    }
+
+    #[test]
+    fn used_gates_strips_offers() {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.add_transition(s0, "PUSH !1", s1);
+        b.add_transition(s1, "PUSH !2", s0);
+        b.add_transition(s0, "i", s0);
+        let lts = b.build(s0);
+        let gates = lts.used_gates();
+        assert_eq!(gates.len(), 1);
+        assert!(gates.contains("PUSH"));
+    }
+
+    #[test]
+    #[should_panic(expected = "state not allocated")]
+    fn transition_to_unallocated_state_panics() {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        b.add_transition(s0, "A", 7);
+    }
+
+    #[test]
+    fn empty_builder_builds_single_state() {
+        let b = LtsBuilder::new();
+        let lts = b.build(0);
+        assert_eq!(lts.num_states(), 1);
+        assert_eq!(lts.num_transitions(), 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Simulation preorders: one-directional refinement between LTSs.
+//!
+//! `a ≤ b` (b simulates a) means every behaviour of `a` can be matched
+//! step-by-step by `b` — the right relation when an implementation must
+//! *refine* a more permissive specification (equivalence is too strong:
+//! the spec may allow behaviours the implementation does not exercise).
+//!
+//! Computed as the greatest fixpoint of the simulation condition over the
+//! full relation, with a τ-abstracting *weak* variant (`a`'s τ steps must
+//! be matched by `b` via zero or more τ steps; visible steps via
+//! `τ* a τ*`).
+
+use crate::label::LabelId;
+use crate::lts::{Lts, StateId};
+use std::collections::HashSet;
+
+/// A dense bit set over specification states, used to represent, per
+/// implementation state, the set of spec states that simulate it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SimSet {
+    /// The full set over `len` elements.
+    pub fn full(len: usize) -> SimSet {
+        let mut words = vec![!0u64; len.div_ceil(64)];
+        let extra = words.len() * 64 - len;
+        if extra > 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= !0u64 >> extra;
+            }
+        }
+        SimSet { words, len }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Removes `i`.
+    pub fn remove(&mut self, i: usize) {
+        if i < self.len {
+            self.words[i / 64] &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Iterates over members.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.contains(i))
+    }
+}
+
+/// Strength of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimulationKind {
+    /// Every transition must be matched by an identical label.
+    Strong,
+    /// τ steps are matched by `τ*`; visible steps by `τ* a τ*`.
+    Weak,
+}
+
+/// Does `spec` simulate `imp` (i.e. `imp ≤ spec`) from their initial
+/// states?
+///
+/// Labels are matched by *name* across the two label tables.
+///
+/// # Examples
+///
+/// ```
+/// use multival_lts::equiv::lts_from_triples;
+/// use multival_lts::simulation::{simulates, SimulationKind};
+///
+/// // The spec allows a or b; the implementation only ever does a.
+/// let spec = lts_from_triples(&[(0, "a", 1), (0, "b", 2)]);
+/// let imp = lts_from_triples(&[(0, "a", 1)]);
+/// assert!(simulates(&imp, &spec, SimulationKind::Strong));
+/// assert!(!simulates(&spec, &imp, SimulationKind::Strong));
+/// ```
+pub fn simulates(imp: &Lts, spec: &Lts, kind: SimulationKind) -> bool {
+    let relation = simulation_relation(imp, spec, kind);
+    relation[imp.initial() as usize].contains(spec.initial() as usize)
+}
+
+/// Computes the greatest simulation relation: `result[s]` is the set of
+/// spec states that simulate implementation state `s`.
+pub fn simulation_relation(
+    imp: &Lts,
+    spec: &Lts,
+    kind: SimulationKind,
+) -> Vec<SimSet> {
+    // Translate imp's labels into spec's table by name (unmatched visible
+    // labels can never be simulated).
+    let translate: Vec<Option<LabelId>> = imp
+        .labels()
+        .iter()
+        .map(|(id, name)| if id.is_tau() { Some(LabelId::TAU) } else { spec.labels().lookup(name) })
+        .collect();
+
+    let na = imp.num_states();
+    let nb = spec.num_states();
+
+    // Weak matching needs spec's τ-closure and weak steps.
+    let tau_closure: Vec<Vec<StateId>> = if kind == SimulationKind::Weak {
+        (0..nb as StateId).map(|s| tau_reach(spec, s)).collect()
+    } else {
+        Vec::new()
+    };
+
+    // Start from the full relation and strip violating pairs until stable.
+    let mut rel: Vec<SimSet> = vec![SimSet::full(nb); na];
+    loop {
+        let mut changed = false;
+        for s in 0..na as StateId {
+            let candidates: Vec<usize> = rel[s as usize].iter().collect();
+            'cand: for t in candidates {
+                // Every move of s must be matched from t.
+                for tr in imp.transitions_from(s) {
+                    let Some(label) = translate[tr.label.index()] else {
+                        rel[s as usize].remove(t);
+                        changed = true;
+                        continue 'cand;
+                    };
+                    let matched = match kind {
+                        SimulationKind::Strong => spec
+                            .transitions_from(t as StateId)
+                            .iter()
+                            .any(|st| {
+                                st.label == label
+                                    && rel[tr.target as usize].contains(st.target as usize)
+                            }),
+                        SimulationKind::Weak => {
+                            weak_match(spec, &tau_closure, t as StateId, label, |u| {
+                                rel[tr.target as usize].contains(u as usize)
+                            })
+                        }
+                    };
+                    if !matched {
+                        rel[s as usize].remove(t);
+                        changed = true;
+                        continue 'cand;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return rel;
+        }
+    }
+}
+
+/// States reachable from `s` by τ* (including `s`).
+fn tau_reach(lts: &Lts, s: StateId) -> Vec<StateId> {
+    let mut seen = HashSet::new();
+    let mut stack = vec![s];
+    seen.insert(s);
+    while let Some(v) = stack.pop() {
+        for t in lts.transitions_from(v) {
+            if t.label.is_tau() && seen.insert(t.target) {
+                stack.push(t.target);
+            }
+        }
+    }
+    seen.into_iter().collect()
+}
+
+/// Can `spec` match a step labeled `label` from `t` weakly (τ* label τ*,
+/// or τ* alone when `label` is τ), landing in a state accepted by `ok`?
+fn weak_match(
+    spec: &Lts,
+    tau_closure: &[Vec<StateId>],
+    t: StateId,
+    label: LabelId,
+    ok: impl Fn(StateId) -> bool,
+) -> bool {
+    if label.is_tau() {
+        // τ* (possibly zero steps).
+        return tau_closure[t as usize].iter().any(|&u| ok(u));
+    }
+    for &u in &tau_closure[t as usize] {
+        for tr in spec.transitions_from(u) {
+            if tr.label == label
+                && tau_closure[tr.target as usize].iter().any(|&v| ok(v)) {
+                    return true;
+                }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::lts_from_triples;
+
+    #[test]
+    fn refinement_is_one_directional() {
+        let spec = lts_from_triples(&[(0, "a", 1), (0, "b", 2), (1, "c", 0)]);
+        let imp = lts_from_triples(&[(0, "a", 1), (1, "c", 0)]);
+        assert!(simulates(&imp, &spec, SimulationKind::Strong));
+        assert!(!simulates(&spec, &imp, SimulationKind::Strong));
+    }
+
+    #[test]
+    fn nondeterministic_spec_simulates_deterministic_imp() {
+        // Classic: a.(b + c) simulates a.b (pick the right branch).
+        let spec = lts_from_triples(&[(0, "a", 1), (1, "b", 2), (1, "c", 3)]);
+        let imp = lts_from_triples(&[(0, "a", 1), (1, "b", 2)]);
+        assert!(simulates(&imp, &spec, SimulationKind::Strong));
+        // And a.b + a.c is simulated by a.(b + c) but not vice versa.
+        let split = lts_from_triples(&[(0, "a", 1), (1, "b", 3), (0, "a", 2), (2, "c", 4)]);
+        assert!(simulates(&split, &spec, SimulationKind::Strong));
+        assert!(!simulates(&spec, &split, SimulationKind::Strong));
+    }
+
+    #[test]
+    fn unknown_labels_break_simulation() {
+        let spec = lts_from_triples(&[(0, "a", 1)]);
+        let imp = lts_from_triples(&[(0, "z", 1)]);
+        assert!(!simulates(&imp, &spec, SimulationKind::Strong));
+    }
+
+    #[test]
+    fn weak_simulation_absorbs_tau() {
+        // imp: τ; a — weakly simulated by spec: a.
+        let imp = lts_from_triples(&[(0, "i", 1), (1, "a", 2)]);
+        let spec = lts_from_triples(&[(0, "a", 1)]);
+        assert!(!simulates(&imp, &spec, SimulationKind::Strong));
+        assert!(simulates(&imp, &spec, SimulationKind::Weak));
+        // And spec with τ padding simulates too.
+        let padded = lts_from_triples(&[(0, "i", 1), (1, "a", 2), (2, "i", 3)]);
+        assert!(simulates(&padded, &spec, SimulationKind::Weak));
+    }
+
+    #[test]
+    fn weak_simulation_still_detects_missing_behaviour() {
+        let imp = lts_from_triples(&[(0, "i", 1), (1, "a", 2), (2, "b", 3)]);
+        let spec = lts_from_triples(&[(0, "a", 1)]);
+        assert!(!simulates(&imp, &spec, SimulationKind::Weak), "spec has no b");
+    }
+
+    #[test]
+    fn bisimilar_systems_simulate_both_ways() {
+        let a = lts_from_triples(&[(0, "x", 1), (1, "y", 0)]);
+        let b = lts_from_triples(&[(0, "x", 1), (1, "y", 2), (2, "x", 3), (3, "y", 0)]);
+        assert!(simulates(&a, &b, SimulationKind::Strong));
+        assert!(simulates(&b, &a, SimulationKind::Strong));
+    }
+
+    #[test]
+    fn self_simulation_always_holds() {
+        let a = lts_from_triples(&[(0, "a", 1), (1, "i", 0), (0, "b", 2)]);
+        assert!(simulates(&a, &a, SimulationKind::Strong));
+        assert!(simulates(&a, &a, SimulationKind::Weak));
+    }
+}

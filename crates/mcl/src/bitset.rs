@@ -1,0 +1,168 @@
+//! A compact fixed-capacity bit set used by the fixpoint evaluator.
+
+/// A fixed-capacity set of state indices backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over a universe of `len` elements.
+    pub fn new(len: usize) -> Self {
+        BitSet { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// The full set over a universe of `len` elements.
+    pub fn full(len: usize) -> Self {
+        let mut s = BitSet { words: vec![!0u64; len.div_ceil(64)], len };
+        s.trim();
+        s
+    }
+
+    fn trim(&mut self) {
+        let extra = self.words.len() * 64 - self.len;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= !0u64 >> extra;
+            }
+        }
+    }
+
+    /// Universe size.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.len, "index out of range");
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Inserts `i`; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "index out of range");
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        let fresh = *w & bit == 0;
+        *w |= bit;
+        fresh
+    }
+
+    /// Removes `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.len, "index out of range");
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place complement (within the universe).
+    pub fn complement(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.trim();
+    }
+
+    /// Iterates over members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.contains(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let mut s = BitSet::new(100);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(99));
+        assert!(s.contains(3) && s.contains(99) && !s.contains(4));
+        assert_eq!(s.count(), 2);
+        s.remove(3);
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn full_and_complement_respect_capacity() {
+        let f = BitSet::full(70);
+        assert_eq!(f.count(), 70);
+        let mut e = BitSet::new(70);
+        e.complement();
+        assert_eq!(e, f);
+        e.complement();
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn union_intersection() {
+        let mut a = BitSet::new(10);
+        a.insert(1);
+        a.insert(2);
+        let mut b = BitSet::new(10);
+        b.insert(2);
+        b.insert(3);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn out_of_range_panics() {
+        let s = BitSet::new(5);
+        let _ = s.contains(5);
+    }
+}

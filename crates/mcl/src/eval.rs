@@ -1,0 +1,307 @@
+//! Fixpoint evaluation of μ-calculus formulas over an LTS.
+
+use crate::bitset::BitSet;
+use crate::formula::{ActionFormula, Formula};
+use multival_lts::{LabelId, Lts, StateId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error raised by [`check`] / [`satisfying_states`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model-checking error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The outcome of a model-checking run.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// Does the initial state satisfy the formula?
+    pub holds: bool,
+    /// Number of satisfying states.
+    pub satisfying: usize,
+    /// Total states.
+    pub total: usize,
+}
+
+/// Evaluates `formula` on `lts` and reports whether the *initial state*
+/// satisfies it.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] for non-monotone formulas or free variables.
+///
+/// # Examples
+///
+/// ```
+/// use multival_lts::equiv::lts_from_triples;
+/// use multival_mcl::{parse_formula, eval::check};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lts = lts_from_triples(&[(0, "a", 1), (1, "b", 0)]);
+/// let f = parse_formula("mu X. <\"b\"> true or <true> X")?; // b reachable
+/// assert!(check(&lts, &f)?.holds);
+/// # Ok(())
+/// # }
+/// ```
+pub fn check(lts: &Lts, formula: &Formula) -> Result<CheckResult, EvalError> {
+    let sat = satisfying_states(lts, formula)?;
+    Ok(CheckResult {
+        holds: sat.contains(lts.initial() as usize),
+        satisfying: sat.count(),
+        total: lts.num_states(),
+    })
+}
+
+/// Evaluates `formula` on `lts`, returning the set of satisfying states.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] for non-monotone formulas or free variables.
+pub fn satisfying_states(lts: &Lts, formula: &Formula) -> Result<BitSet, EvalError> {
+    formula.check_monotone().map_err(EvalError)?;
+    let matcher = LabelMatcher::new(lts);
+    let mut env: HashMap<String, BitSet> = HashMap::new();
+    Ok(eval(lts, &matcher, formula, &mut env))
+}
+
+/// Caches which labels match each distinct action formula.
+struct LabelMatcher<'a> {
+    lts: &'a Lts,
+}
+
+impl<'a> LabelMatcher<'a> {
+    fn new(lts: &'a Lts) -> Self {
+        LabelMatcher { lts }
+    }
+
+    fn matching_labels(&self, af: &ActionFormula) -> Vec<bool> {
+        self.lts
+            .labels()
+            .iter()
+            .map(|(_, name)| af.matches(name))
+            .collect()
+    }
+}
+
+fn eval(
+    lts: &Lts,
+    matcher: &LabelMatcher<'_>,
+    f: &Formula,
+    env: &mut HashMap<String, BitSet>,
+) -> BitSet {
+    let n = lts.num_states();
+    match f {
+        Formula::True => BitSet::full(n),
+        Formula::False => BitSet::new(n),
+        Formula::Not(g) => {
+            let mut s = eval(lts, matcher, g, env);
+            s.complement();
+            s
+        }
+        Formula::And(a, b) => {
+            let mut s = eval(lts, matcher, a, env);
+            s.intersect_with(&eval(lts, matcher, b, env));
+            s
+        }
+        Formula::Or(a, b) => {
+            let mut s = eval(lts, matcher, a, env);
+            s.union_with(&eval(lts, matcher, b, env));
+            s
+        }
+        Formula::Diamond(af, g) => {
+            let target = eval(lts, matcher, g, env);
+            modal(lts, matcher, af, &target, true)
+        }
+        Formula::Box(af, g) => {
+            let target = eval(lts, matcher, g, env);
+            modal(lts, matcher, af, &target, false)
+        }
+        Formula::Mu(x, g) => fixpoint(lts, matcher, x, g, env, false),
+        Formula::Nu(x, g) => fixpoint(lts, matcher, x, g, env, true),
+        Formula::Var(x) => env
+            .get(x)
+            .cloned()
+            .unwrap_or_else(|| BitSet::new(n)),
+    }
+}
+
+fn modal(
+    lts: &Lts,
+    matcher: &LabelMatcher<'_>,
+    af: &ActionFormula,
+    target: &BitSet,
+    exists: bool,
+) -> BitSet {
+    let n = lts.num_states();
+    let matching = matcher.matching_labels(af);
+    let mut out = BitSet::new(n);
+    for s in 0..n as StateId {
+        let mut ok = !exists; // for-all starts true, exists starts false
+        for t in lts.transitions_from(s) {
+            if !matching[LabelId::index(t.label)] {
+                continue;
+            }
+            let hit = target.contains(t.target as usize);
+            if exists && hit {
+                ok = true;
+                break;
+            }
+            if !exists && !hit {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            out.insert(s as usize);
+        }
+    }
+    out
+}
+
+fn fixpoint(
+    lts: &Lts,
+    matcher: &LabelMatcher<'_>,
+    x: &str,
+    body: &Formula,
+    env: &mut HashMap<String, BitSet>,
+    greatest: bool,
+) -> BitSet {
+    let n = lts.num_states();
+    let mut current = if greatest { BitSet::full(n) } else { BitSet::new(n) };
+    loop {
+        let shadowed = env.insert(x.to_owned(), current.clone());
+        let next = eval(lts, matcher, body, env);
+        match shadowed {
+            Some(old) => {
+                env.insert(x.to_owned(), old);
+            }
+            None => {
+                env.remove(x);
+            }
+        }
+        if next == current {
+            return current;
+        }
+        current = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::ActionFormula as AF;
+    use multival_lts::equiv::lts_from_triples;
+
+    fn dia(p: &str, g: Formula) -> Formula {
+        Formula::Diamond(AF::pattern(p), Box::new(g))
+    }
+
+    fn boxm(p: &str, g: Formula) -> Formula {
+        Formula::Box(AF::pattern(p), Box::new(g))
+    }
+
+    #[test]
+    fn diamond_and_box() {
+        let lts = lts_from_triples(&[(0, "a", 1), (0, "b", 2), (1, "c", 2)]);
+        // <a> true holds only at 0.
+        let sat = satisfying_states(&lts, &dia("a", Formula::True)).expect("ok");
+        assert_eq!(sat.iter().collect::<Vec<_>>(), vec![0]);
+        // [a] false holds where no a-transition exists: 1, 2.
+        let sat = satisfying_states(&lts, &boxm("a", Formula::False)).expect("ok");
+        assert_eq!(sat.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn mu_reachability() {
+        let lts = lts_from_triples(&[(0, "a", 1), (1, "a", 2), (2, "win", 3)]);
+        // mu X. <win> true or <true> X — "win is reachable".
+        let f = Formula::Mu(
+            "X".into(),
+            Box::new(Formula::Or(
+                Box::new(dia("win", Formula::True)),
+                Box::new(Formula::Diamond(AF::Any, Box::new(Formula::Var("X".into())))),
+            )),
+        );
+        let r = check(&lts, &f).expect("ok");
+        assert!(r.holds);
+        assert_eq!(r.satisfying, 3); // states 0, 1, 2 (not 3: nothing after)
+    }
+
+    #[test]
+    fn nu_invariant() {
+        // Deadlock freedom: nu X. <true> true and [true] X.
+        let live = lts_from_triples(&[(0, "a", 1), (1, "b", 0)]);
+        let dead = lts_from_triples(&[(0, "a", 1)]);
+        let f = Formula::Nu(
+            "X".into(),
+            Box::new(Formula::And(
+                Box::new(Formula::Diamond(AF::Any, Box::new(Formula::True))),
+                Box::new(Formula::Box(AF::Any, Box::new(Formula::Var("X".into())))),
+            )),
+        );
+        assert!(check(&live, &f).expect("ok").holds);
+        assert!(!check(&dead, &f).expect("ok").holds);
+    }
+
+    #[test]
+    fn nested_alternating_fixpoints() {
+        // "Along the a-cycle, b remains possible infinitely often":
+        // nu X. (mu Y. <b> true or <a> Y) and [a] X — exercised on a cycle
+        // where b is only enabled at state 1.
+        let lts = lts_from_triples(&[(0, "a", 1), (1, "a", 0), (1, "b", 2)]);
+        let inner = Formula::Mu(
+            "Y".into(),
+            Box::new(Formula::Or(
+                Box::new(dia("b", Formula::True)),
+                Box::new(dia("a", Formula::Var("Y".into()))),
+            )),
+        );
+        let f = Formula::Nu(
+            "X".into(),
+            Box::new(Formula::And(
+                Box::new(inner),
+                Box::new(boxm("a", Formula::Var("X".into()))),
+            )),
+        );
+        let r = check(&lts, &f).expect("ok");
+        assert!(r.holds);
+    }
+
+    #[test]
+    fn non_monotone_rejected() {
+        let lts = lts_from_triples(&[(0, "a", 1)]);
+        let bad = Formula::Mu(
+            "X".into(),
+            Box::new(Formula::Not(Box::new(Formula::Var("X".into())))),
+        );
+        assert!(check(&lts, &bad).is_err());
+    }
+
+    #[test]
+    fn variable_shadowing() {
+        // mu X. <a>(nu X. [b] X) or <true> X — inner X shadows outer.
+        let lts = lts_from_triples(&[(0, "a", 1), (1, "b", 1)]);
+        let inner = Formula::Nu("X".into(), Box::new(boxm("b", Formula::Var("X".into()))));
+        let f = Formula::Mu(
+            "X".into(),
+            Box::new(Formula::Or(
+                Box::new(Formula::Diamond(AF::pattern("a"), Box::new(inner))),
+                Box::new(Formula::Diamond(AF::Any, Box::new(Formula::Var("X".into())))),
+            )),
+        );
+        assert!(check(&lts, &f).expect("ok").holds);
+    }
+
+    #[test]
+    fn tau_matching_in_modalities() {
+        let lts = lts_from_triples(&[(0, "i", 1), (1, "a", 2)]);
+        let f = dia("i", dia("a", Formula::True));
+        assert!(check(&lts, &f).expect("ok").holds);
+    }
+}

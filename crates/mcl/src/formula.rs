@@ -1,0 +1,241 @@
+//! Modal μ-calculus formulas with action predicates (the core of CADP's
+//! MCL/evaluator logic).
+
+use std::fmt;
+
+/// A predicate over transition labels.
+///
+/// Patterns are glob-style: `*` matches any (possibly empty) substring,
+/// matched against the *full* label text (e.g. `"PUSH !1"`). `i` and `tau`
+/// denote the internal action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActionFormula {
+    /// Matches every label (τ included).
+    Any,
+    /// Matches labels equal to / globbing the pattern.
+    Pattern(String),
+    /// Negation.
+    Not(Box<ActionFormula>),
+    /// Conjunction.
+    And(Box<ActionFormula>, Box<ActionFormula>),
+    /// Disjunction.
+    Or(Box<ActionFormula>, Box<ActionFormula>),
+}
+
+impl ActionFormula {
+    /// Pattern constructor.
+    pub fn pattern(p: &str) -> Self {
+        ActionFormula::Pattern(p.to_owned())
+    }
+
+    /// Does this predicate match label `name` (τ is spelled `i`)?
+    pub fn matches(&self, name: &str) -> bool {
+        match self {
+            ActionFormula::Any => true,
+            ActionFormula::Pattern(p) => {
+                if (p == "i" || p.eq_ignore_ascii_case("tau")) && (name == "i") {
+                    return true;
+                }
+                glob_match(p, name)
+            }
+            ActionFormula::Not(a) => !a.matches(name),
+            ActionFormula::And(a, b) => a.matches(name) && b.matches(name),
+            ActionFormula::Or(a, b) => a.matches(name) || b.matches(name),
+        }
+    }
+}
+
+impl fmt::Display for ActionFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActionFormula::Any => write!(f, "true"),
+            ActionFormula::Pattern(p) => write!(f, "\"{p}\""),
+            ActionFormula::Not(a) => write!(f, "not {a}"),
+            ActionFormula::And(a, b) => write!(f, "({a} and {b})"),
+            ActionFormula::Or(a, b) => write!(f, "({a} or {b})"),
+        }
+    }
+}
+
+/// Glob matching with `*` (any substring) and `?` (any one char).
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    // Iterative two-pointer algorithm with backtracking on the last `*`.
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let (mut star, mut mark) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = pi;
+            mark = ti;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            mark += 1;
+            ti = mark;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// A μ-calculus state formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// Satisfied everywhere.
+    True,
+    /// Satisfied nowhere.
+    False,
+    /// Negation (must not capture fixpoint variables — checked at
+    /// evaluation time for monotonicity).
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// `<af> φ` — some matching transition leads to a φ-state.
+    Diamond(ActionFormula, Box<Formula>),
+    /// `[af] φ` — all matching transitions lead to φ-states.
+    Box(ActionFormula, Box<Formula>),
+    /// Least fixpoint `mu X. φ`.
+    Mu(String, Box<Formula>),
+    /// Greatest fixpoint `nu X. φ`.
+    Nu(String, Box<Formula>),
+    /// Fixpoint variable.
+    Var(String),
+}
+
+impl Formula {
+    /// `<af> true` — a matching transition is enabled.
+    pub fn enabled(af: ActionFormula) -> Formula {
+        Formula::Diamond(af, Box::new(Formula::True))
+    }
+
+    /// Checks that every fixpoint variable occurs with the same negation
+    /// polarity as its binder (syntactic monotonicity), a prerequisite for
+    /// the fixpoints to exist.
+    pub fn check_monotone(&self) -> Result<(), String> {
+        fn walk(
+            f: &Formula,
+            polarity: bool,
+            bound: &mut Vec<(String, bool)>,
+        ) -> Result<(), String> {
+            match f {
+                Formula::True | Formula::False => Ok(()),
+                Formula::Not(g) => walk(g, !polarity, bound),
+                Formula::And(a, b) | Formula::Or(a, b) => {
+                    walk(a, polarity, bound)?;
+                    walk(b, polarity, bound)
+                }
+                Formula::Diamond(_, g) | Formula::Box(_, g) => walk(g, polarity, bound),
+                Formula::Mu(x, g) | Formula::Nu(x, g) => {
+                    bound.push((x.clone(), polarity));
+                    let r = walk(g, polarity, bound);
+                    bound.pop();
+                    r
+                }
+                Formula::Var(x) => {
+                    let binder =
+                        bound.iter().rev().find(|(y, _)| y == x).map(|&(_, p)| p);
+                    match binder {
+                        None => Err(format!("free fixpoint variable `{x}`")),
+                        Some(p) if p != polarity => Err(format!(
+                            "fixpoint variable `{x}` occurs under an odd number of \
+                             negations relative to its binder"
+                        )),
+                        Some(_) => Ok(()),
+                    }
+                }
+            }
+        }
+        walk(self, true, &mut Vec::new())
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Not(g) => write!(f, "not ({g})"),
+            Formula::And(a, b) => write!(f, "({a} and {b})"),
+            Formula::Or(a, b) => write!(f, "({a} or {b})"),
+            Formula::Diamond(af, g) => write!(f, "<{af}> {g}"),
+            Formula::Box(af, g) => write!(f, "[{af}] {g}"),
+            Formula::Mu(x, g) => write!(f, "mu {x}. {g}"),
+            Formula::Nu(x, g) => write!(f, "nu {x}. {g}"),
+            Formula::Var(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glob_basics() {
+        assert!(glob_match("PUSH *", "PUSH !1"));
+        assert!(glob_match("*", ""));
+        assert!(glob_match("*", "anything"));
+        assert!(!glob_match("PUSH *", "POP !1"));
+        assert!(glob_match("P?P", "POP"));
+        assert!(!glob_match("P?P", "PUSH"));
+        assert!(glob_match("A*B*C", "AxxByyC"));
+        assert!(!glob_match("A*B*C", "AxxByy"));
+        assert!(glob_match("exit*", "exit !3"));
+    }
+
+    #[test]
+    fn action_formula_matching() {
+        let af = ActionFormula::Or(
+            Box::new(ActionFormula::pattern("PUSH *")),
+            Box::new(ActionFormula::pattern("POP *")),
+        );
+        assert!(af.matches("PUSH !0"));
+        assert!(af.matches("POP !1"));
+        assert!(!af.matches("i"));
+        let not_tau = ActionFormula::Not(Box::new(ActionFormula::pattern("i")));
+        assert!(not_tau.matches("PUSH !0"));
+        assert!(!not_tau.matches("i"));
+    }
+
+    #[test]
+    fn tau_aliases_match() {
+        assert!(ActionFormula::pattern("tau").matches("i"));
+        assert!(ActionFormula::pattern("i").matches("i"));
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        // mu X. not X — rejected.
+        let bad = Formula::Mu(
+            "X".into(),
+            Box::new(Formula::Not(Box::new(Formula::Var("X".into())))),
+        );
+        assert!(bad.check_monotone().is_err());
+        // mu X. <a> X — fine.
+        let good = Formula::Mu(
+            "X".into(),
+            Box::new(Formula::Diamond(
+                ActionFormula::pattern("a"),
+                Box::new(Formula::Var("X".into())),
+            )),
+        );
+        assert!(good.check_monotone().is_ok());
+        // not (mu X. <a> X) — accepted: X's polarity matches its binder's
+        // (both are under the same outer negation).
+        let negated = Formula::Not(Box::new(good));
+        assert!(negated.check_monotone().is_ok());
+        // Free variable rejected.
+        let free = Formula::Var("Y".into());
+        assert!(free.check_monotone().is_err());
+    }
+}

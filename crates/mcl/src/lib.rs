@@ -1,0 +1,38 @@
+//! # multival-mcl — modal μ-calculus model checking
+//!
+//! The temporal-logic side of the Multival functional-verification flow
+//! (DATE'08): the Rust counterpart of CADP's `evaluator` on MCL formulas.
+//!
+//! * [`formula`] — μ-calculus state formulas over glob-style action
+//!   predicates (`"PUSH !*"`);
+//! * [`parser`] — a textual syntax (`mu X. <"win"> true or <true> X`);
+//! * [`eval`] — bitset fixpoint evaluation (handles alternation by naive
+//!   recomputation, which is exact and fast at case-study sizes);
+//! * [`patterns`] — ready-made templates: deadlock freedom, safety,
+//!   possibility, inevitability, responsiveness, precedence.
+//!
+//! # Examples
+//!
+//! ```
+//! use multival_lts::equiv::lts_from_triples;
+//! use multival_mcl::{check, parse_formula, patterns};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lts = lts_from_triples(&[(0, "req", 1), (1, "ack", 0)]);
+//! assert!(check(&lts, &patterns::deadlock_free())?.holds);
+//! let f = parse_formula("nu X. [\"ack\"] false and [not \"req\"] X")?;
+//! assert!(check(&lts, &f)?.holds); // no ack before req
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bitset;
+pub mod eval;
+pub mod formula;
+pub mod parser;
+pub mod patterns;
+
+pub use bitset::BitSet;
+pub use eval::{check, satisfying_states, CheckResult, EvalError};
+pub use formula::{ActionFormula, Formula};
+pub use parser::{parse_formula, ParseFormulaError};

@@ -1,0 +1,422 @@
+//! Parser for the textual μ-calculus syntax.
+//!
+//! # Grammar
+//!
+//! ```text
+//! formula  := implies
+//! implies  := or ("=>" implies)?                  -- right associative
+//! or       := and ("or" and)*
+//! and      := unary ("and" unary)*
+//! unary    := "not" unary
+//!           | "<" action ">" unary | "[" action "]" unary
+//!           | "mu" IDENT "." formula | "nu" IDENT "." formula
+//!           | "true" | "false" | IDENT | "(" formula ")"
+//! action   := aor
+//! aor      := aand ("or" aand)*
+//! aand     := aunary ("and" aunary)*
+//! aunary   := "not" aunary | "true" | STRING | IDENT | "(" action ")"
+//! ```
+//!
+//! `STRING` is a double-quoted glob pattern matched against full label
+//! texts (e.g. `"PUSH !*"`); a bare `IDENT` in action position is a pattern
+//! without spaces. Variables are capitalized by convention but not by rule.
+
+use crate::formula::{ActionFormula, Formula};
+use std::fmt;
+
+/// Formula parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFormulaError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseFormulaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "formula parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseFormulaError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Kw(&'static str), // true false not and or mu nu
+    Lt,
+    Gt,
+    LBrack,
+    RBrack,
+    LParen,
+    RParen,
+    Dot,
+    Implies,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Str(s) => write!(f, "pattern \"{s}\""),
+            Tok::Kw(k) => write!(f, "`{k}`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::LBrack => write!(f, "`[`"),
+            Tok::RBrack => write!(f, "`]`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Implies => write!(f, "`=>`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseFormulaError> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] != b'"' {
+                    j += 1;
+                }
+                if j >= b.len() {
+                    return Err(ParseFormulaError {
+                        offset: i,
+                        message: "unterminated string".into(),
+                    });
+                }
+                out.push((Tok::Str(src[start..j].to_owned()), i));
+                i = j + 1;
+            }
+            '<' => {
+                out.push((Tok::Lt, i));
+                i += 1;
+            }
+            '>' => {
+                out.push((Tok::Gt, i));
+                i += 1;
+            }
+            '[' => {
+                out.push((Tok::LBrack, i));
+                i += 1;
+            }
+            ']' => {
+                out.push((Tok::RBrack, i));
+                i += 1;
+            }
+            '(' => {
+                out.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, i));
+                i += 1;
+            }
+            '.' => {
+                out.push((Tok::Dot, i));
+                i += 1;
+            }
+            '=' if i + 1 < b.len() && b[i + 1] == b'>' => {
+                out.push((Tok::Implies, i));
+                i += 2;
+            }
+            _ if c.is_ascii_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < b.len() {
+                    let ch = b[i] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' || ch == '!' || ch == '*' || ch == '?' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let w = &src[start..i];
+                let tok = match w {
+                    "true" | "false" | "not" | "and" | "or" | "mu" | "nu" => {
+                        Tok::Kw(match w {
+                            "true" => "true",
+                            "false" => "false",
+                            "not" => "not",
+                            "and" => "and",
+                            "or" => "or",
+                            "mu" => "mu",
+                            _ => "nu",
+                        })
+                    }
+                    _ => Tok::Ident(w.to_owned()),
+                };
+                out.push((tok, start));
+            }
+            '*' | '?' | '!' => {
+                // Bare glob fragment (e.g. `*` alone).
+                let start = i;
+                while i < b.len() {
+                    let ch = b[i] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' || ch == '!' || ch == '*' || ch == '?' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push((Tok::Ident(src[start..i].to_owned()), start));
+            }
+            other => {
+                return Err(ParseFormulaError {
+                    offset: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    out.push((Tok::Eof, src.len()));
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn offset(&self) -> usize {
+        self.toks[self.pos].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), ParseFormulaError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t}, found {}", self.peek())))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseFormulaError {
+        ParseFormulaError { offset: self.offset(), message }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseFormulaError> {
+        let lhs = self.or_formula()?;
+        if self.eat(&Tok::Implies) {
+            let rhs = self.formula()?;
+            // a => b ≡ not a or b
+            return Ok(Formula::Or(Box::new(Formula::Not(Box::new(lhs))), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn or_formula(&mut self) -> Result<Formula, ParseFormulaError> {
+        let mut acc = self.and_formula()?;
+        while self.eat(&Tok::Kw("or")) {
+            let rhs = self.and_formula()?;
+            acc = Formula::Or(Box::new(acc), Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    fn and_formula(&mut self) -> Result<Formula, ParseFormulaError> {
+        let mut acc = self.unary()?;
+        while self.eat(&Tok::Kw("and")) {
+            let rhs = self.unary()?;
+            acc = Formula::And(Box::new(acc), Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseFormulaError> {
+        match self.bump() {
+            Tok::Kw("true") => Ok(Formula::True),
+            Tok::Kw("false") => Ok(Formula::False),
+            Tok::Kw("not") => Ok(Formula::Not(Box::new(self.unary()?))),
+            Tok::Kw("mu") => {
+                let x = self.ident()?;
+                self.expect(&Tok::Dot)?;
+                Ok(Formula::Mu(x, Box::new(self.formula()?)))
+            }
+            Tok::Kw("nu") => {
+                let x = self.ident()?;
+                self.expect(&Tok::Dot)?;
+                Ok(Formula::Nu(x, Box::new(self.formula()?)))
+            }
+            Tok::Lt => {
+                let af = self.action()?;
+                self.expect(&Tok::Gt)?;
+                Ok(Formula::Diamond(af, Box::new(self.unary()?)))
+            }
+            Tok::LBrack => {
+                let af = self.action()?;
+                self.expect(&Tok::RBrack)?;
+                Ok(Formula::Box(af, Box::new(self.unary()?)))
+            }
+            Tok::LParen => {
+                let f = self.formula()?;
+                self.expect(&Tok::RParen)?;
+                Ok(f)
+            }
+            Tok::Ident(x) => Ok(Formula::Var(x)),
+            other => Err(self.err(format!("expected a formula, found {other}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseFormulaError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected an identifier, found {other}"))),
+        }
+    }
+
+    fn action(&mut self) -> Result<ActionFormula, ParseFormulaError> {
+        let mut acc = self.action_and()?;
+        while self.eat(&Tok::Kw("or")) {
+            let rhs = self.action_and()?;
+            acc = ActionFormula::Or(Box::new(acc), Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    fn action_and(&mut self) -> Result<ActionFormula, ParseFormulaError> {
+        let mut acc = self.action_unary()?;
+        while self.eat(&Tok::Kw("and")) {
+            let rhs = self.action_unary()?;
+            acc = ActionFormula::And(Box::new(acc), Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    fn action_unary(&mut self) -> Result<ActionFormula, ParseFormulaError> {
+        match self.bump() {
+            Tok::Kw("true") => Ok(ActionFormula::Any),
+            Tok::Kw("not") => Ok(ActionFormula::Not(Box::new(self.action_unary()?))),
+            Tok::Str(p) => Ok(ActionFormula::Pattern(p)),
+            Tok::Ident(p) => Ok(ActionFormula::Pattern(p)),
+            Tok::LParen => {
+                let a = self.action()?;
+                self.expect(&Tok::RParen)?;
+                Ok(a)
+            }
+            other => Err(self.err(format!("expected an action formula, found {other}"))),
+        }
+    }
+}
+
+/// Parses a μ-calculus formula.
+///
+/// # Errors
+///
+/// Returns [`ParseFormulaError`] on syntax errors.
+///
+/// # Examples
+///
+/// ```
+/// use multival_mcl::parse_formula;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let deadlock_free = parse_formula("nu X. <true> true and [true] X")?;
+/// let safety = parse_formula("[\"ERROR *\"] false")?;
+/// # let _ = (deadlock_free, safety);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_formula(src: &str) -> Result<Formula, ParseFormulaError> {
+    let toks = lex(src)?;
+    let mut p = P { toks, pos: 0 };
+    let f = p.formula()?;
+    if p.peek() != &Tok::Eof {
+        return Err(p.err(format!("unexpected {} after formula", p.peek())));
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::check;
+    use multival_lts::equiv::lts_from_triples;
+
+    #[test]
+    fn parses_and_checks_reachability() {
+        let lts = lts_from_triples(&[(0, "a", 1), (1, "b", 2)]);
+        let f = parse_formula("mu X. <b> true or <true> X").expect("parses");
+        assert!(check(&lts, &f).expect("evals").holds);
+        let g = parse_formula("mu X. <c> true or <true> X").expect("parses");
+        assert!(!check(&lts, &g).expect("evals").holds);
+    }
+
+    #[test]
+    fn quoted_patterns_with_offers() {
+        let lts = lts_from_triples(&[(0, "PUSH !1", 1)]);
+        let f = parse_formula("<\"PUSH !*\"> true").expect("parses");
+        assert!(check(&lts, &f).expect("evals").holds);
+        let g = parse_formula("<\"POP !*\"> true").expect("parses");
+        assert!(!check(&lts, &g).expect("evals").holds);
+    }
+
+    #[test]
+    fn implication_desugars() {
+        let f = parse_formula("true => false").expect("parses");
+        assert_eq!(
+            f,
+            Formula::Or(
+                Box::new(Formula::Not(Box::new(Formula::True))),
+                Box::new(Formula::False)
+            )
+        );
+    }
+
+    #[test]
+    fn action_connectives() {
+        let lts = lts_from_triples(&[(0, "a", 1), (0, "i", 2)]);
+        let f = parse_formula("<not i> true").expect("parses");
+        assert!(check(&lts, &f).expect("evals").holds);
+        let g = parse_formula("[not (a or i)] false").expect("parses");
+        assert!(check(&lts, &g).expect("evals").holds);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = parse_formula("mu X X").expect_err("missing dot");
+        assert!(err.message.contains("expected `.`"));
+        assert!(parse_formula("<a true").is_err());
+        assert!(parse_formula("\"unterminated").is_err());
+        assert!(parse_formula("true extra").is_err());
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        // false and false or true ≡ (false and false) or true = true.
+        let lts = lts_from_triples(&[(0, "a", 1)]);
+        let f = parse_formula("false and false or true").expect("parses");
+        assert!(check(&lts, &f).expect("evals").holds);
+    }
+}

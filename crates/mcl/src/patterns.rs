@@ -1,0 +1,164 @@
+//! Ready-made property templates — the handful of μ-calculus shapes that
+//! cover most verification questions in the Multival case studies.
+
+use crate::formula::{ActionFormula, Formula};
+
+fn var(x: &str) -> Formula {
+    Formula::Var(x.to_owned())
+}
+
+/// Deadlock freedom: `nu X. <true> true and [true] X` — every reachable
+/// state has at least one outgoing transition.
+pub fn deadlock_free() -> Formula {
+    Formula::Nu(
+        "X".into(),
+        Box::new(Formula::And(
+            Box::new(Formula::Diamond(ActionFormula::Any, Box::new(Formula::True))),
+            Box::new(Formula::Box(ActionFormula::Any, Box::new(var("X")))),
+        )),
+    )
+}
+
+/// Possibility (EF): some execution eventually performs a matching action.
+/// `mu X. <af> true or <true> X`.
+pub fn possibly(af: ActionFormula) -> Formula {
+    Formula::Mu(
+        "X".into(),
+        Box::new(Formula::Or(
+            Box::new(Formula::Diamond(af, Box::new(Formula::True))),
+            Box::new(Formula::Diamond(ActionFormula::Any, Box::new(var("X")))),
+        )),
+    )
+}
+
+/// Safety: no execution ever performs a matching action.
+/// `nu X. [af] false and [true] X`.
+pub fn never(af: ActionFormula) -> Formula {
+    Formula::Nu(
+        "X".into(),
+        Box::new(Formula::And(
+            Box::new(Formula::Box(af, Box::new(Formula::False))),
+            Box::new(Formula::Box(ActionFormula::Any, Box::new(var("X")))),
+        )),
+    )
+}
+
+/// Inevitability (AF over finite or deadlock-free systems): every execution
+/// eventually performs a matching action.
+/// `mu X. <true> true and [not af] X` — all paths keep progressing until an
+/// `af`-transition is the only way on.
+pub fn inevitably(af: ActionFormula) -> Formula {
+    Formula::Mu(
+        "X".into(),
+        Box::new(Formula::And(
+            Box::new(Formula::Diamond(ActionFormula::Any, Box::new(Formula::True))),
+            Box::new(Formula::Box(
+                ActionFormula::Not(Box::new(af)),
+                Box::new(var("X")),
+            )),
+        )),
+    )
+}
+
+/// Responsiveness: from every reachable state, a matching action remains
+/// *possible* (no execution paints itself into a corner where `af` can
+/// never happen again). `nu X. (mu Y. <af> true or <true> Y) and [true] X`.
+pub fn always_possible(af: ActionFormula) -> Formula {
+    Formula::Nu(
+        "X".into(),
+        Box::new(Formula::And(
+            Box::new(Formula::Mu(
+                "Y".into(),
+                Box::new(Formula::Or(
+                    Box::new(Formula::Diamond(af, Box::new(Formula::True))),
+                    Box::new(Formula::Diamond(ActionFormula::Any, Box::new(var("Y")))),
+                )),
+            )),
+            Box::new(Formula::Box(ActionFormula::Any, Box::new(var("X")))),
+        )),
+    )
+}
+
+/// Precedence: no matching `second` action can ever happen before a
+/// matching `first` action has happened.
+/// `nu X. [second] false and [not first] X`.
+pub fn no_before(second: ActionFormula, first: ActionFormula) -> Formula {
+    Formula::Nu(
+        "X".into(),
+        Box::new(Formula::And(
+            Box::new(Formula::Box(second, Box::new(Formula::False))),
+            Box::new(Formula::Box(
+                ActionFormula::Not(Box::new(first)),
+                Box::new(var("X")),
+            )),
+        )),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::check;
+    use multival_lts::equiv::lts_from_triples;
+
+    #[test]
+    fn deadlock_freedom_template() {
+        let live = lts_from_triples(&[(0, "a", 1), (1, "b", 0)]);
+        let dead = lts_from_triples(&[(0, "a", 1)]);
+        assert!(check(&live, &deadlock_free()).expect("ok").holds);
+        assert!(!check(&dead, &deadlock_free()).expect("ok").holds);
+    }
+
+    #[test]
+    fn possibly_template() {
+        let lts = lts_from_triples(&[(0, "a", 1), (1, "win", 2)]);
+        assert!(check(&lts, &possibly(ActionFormula::pattern("win"))).expect("ok").holds);
+        assert!(!check(&lts, &possibly(ActionFormula::pattern("lose"))).expect("ok").holds);
+    }
+
+    #[test]
+    fn never_template() {
+        let lts = lts_from_triples(&[(0, "a", 1), (1, "ERROR", 2)]);
+        assert!(!check(&lts, &never(ActionFormula::pattern("ERROR"))).expect("ok").holds);
+        assert!(check(&lts, &never(ActionFormula::pattern("PANIC"))).expect("ok").holds);
+    }
+
+    #[test]
+    fn inevitably_template() {
+        // 0 -a-> 1 -win-> 2 ; 2 loops: win is NOT inevitable from 2, but is
+        // from 0 only if all paths hit it — path 0-a-1-win-2 always does.
+        let lts = lts_from_triples(&[(0, "a", 1), (1, "win", 2), (2, "spin", 2)]);
+        assert!(check(&lts, &inevitably(ActionFormula::pattern("win"))).expect("ok").holds);
+        // Branch that avoids win forever.
+        let avoid = lts_from_triples(&[(0, "a", 1), (1, "win", 2), (0, "spin", 0)]);
+        assert!(!check(&avoid, &inevitably(ActionFormula::pattern("win"))).expect("ok").holds);
+    }
+
+    #[test]
+    fn always_possible_template() {
+        let ok = lts_from_triples(&[(0, "a", 1), (1, "b", 0)]);
+        assert!(check(&ok, &always_possible(ActionFormula::pattern("b"))).expect("ok").holds);
+        // A one-way door into a b-free region.
+        let trap = lts_from_triples(&[(0, "b", 0), (0, "door", 1), (1, "spin", 1)]);
+        assert!(!check(&trap, &always_possible(ActionFormula::pattern("b"))).expect("ok").holds);
+    }
+
+    #[test]
+    fn no_before_template() {
+        // ack before req is forbidden.
+        let good = lts_from_triples(&[(0, "req", 1), (1, "ack", 0)]);
+        assert!(check(
+            &good,
+            &no_before(ActionFormula::pattern("ack"), ActionFormula::pattern("req"))
+        )
+        .expect("ok")
+        .holds);
+        let bad = lts_from_triples(&[(0, "ack", 1), (1, "req", 0)]);
+        assert!(!check(
+            &bad,
+            &no_before(ActionFormula::pattern("ack"), ActionFormula::pattern("req"))
+        )
+        .expect("ok")
+        .holds);
+    }
+}

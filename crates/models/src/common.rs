@@ -1,0 +1,141 @@
+//! A small generic explicit-state explorer for *programmatic* models
+//! (models whose state is a Rust struct rather than a process-algebra
+//! term). Used by the FAME2 coherence/MPI models and the xSTream
+//! performance model.
+
+use multival_lts::{Lts, LtsBuilder, StateId};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+
+/// A programmatic model: a state type plus a successor function.
+pub trait Model {
+    /// The state type (must be hashable for the visited set).
+    type State: Clone + Eq + Hash;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Labeled successors of a state.
+    fn successors(&self, state: &Self::State) -> Vec<(String, Self::State)>;
+}
+
+/// Error from [`explore_model`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplosionError {
+    /// States enumerated when the cap was hit.
+    pub states: usize,
+}
+
+impl fmt::Display for ExplosionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model exploration exceeded the cap at {} states", self.states)
+    }
+}
+
+impl std::error::Error for ExplosionError {}
+
+/// The explored state space plus the state each id denotes.
+#[derive(Debug, Clone)]
+pub struct ExploredModel<S> {
+    /// The LTS (ids in BFS discovery order, 0 initial).
+    pub lts: Lts,
+    /// `states[i]` is the model state with id `i`.
+    pub states: Vec<S>,
+}
+
+impl<S> ExploredModel<S> {
+    /// Ids of states satisfying a predicate on the model state.
+    pub fn states_where(&self, mut pred: impl FnMut(&S) -> bool) -> Vec<StateId> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| pred(s))
+            .map(|(i, _)| i as StateId)
+            .collect()
+    }
+}
+
+/// BFS-explores a [`Model`] into an LTS, capping at `max_states`.
+///
+/// # Errors
+///
+/// Returns [`ExplosionError`] when the cap is exceeded.
+pub fn explore_model<M: Model>(
+    model: &M,
+    max_states: usize,
+) -> Result<ExploredModel<M::State>, ExplosionError> {
+    let mut builder = LtsBuilder::new();
+    let mut index: HashMap<M::State, StateId> = HashMap::new();
+    let mut states: Vec<M::State> = Vec::new();
+    let mut queue: VecDeque<StateId> = VecDeque::new();
+
+    let init = model.initial();
+    let s0 = builder.add_state();
+    index.insert(init.clone(), s0);
+    states.push(init);
+    queue.push_back(s0);
+
+    while let Some(s) = queue.pop_front() {
+        let current = states[s as usize].clone();
+        for (label, next) in model.successors(&current) {
+            let dst = match index.get(&next) {
+                Some(&d) => d,
+                None => {
+                    if states.len() >= max_states {
+                        return Err(ExplosionError { states: states.len() });
+                    }
+                    let d = builder.add_state();
+                    index.insert(next.clone(), d);
+                    states.push(next);
+                    queue.push_back(d);
+                    d
+                }
+            };
+            builder.add_transition(s, &label, dst);
+        }
+    }
+    Ok(ExploredModel { lts: builder.build(s0), states })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        max: u32,
+    }
+
+    impl Model for Counter {
+        type State = u32;
+
+        fn initial(&self) -> u32 {
+            0
+        }
+
+        fn successors(&self, &s: &u32) -> Vec<(String, u32)> {
+            let mut out = Vec::new();
+            if s < self.max {
+                out.push(("up".to_owned(), s + 1));
+            }
+            if s > 0 {
+                out.push(("down".to_owned(), s - 1));
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn counter_explores_linearly() {
+        let e = explore_model(&Counter { max: 5 }, 1_000).expect("explores");
+        assert_eq!(e.lts.num_states(), 6);
+        assert_eq!(e.lts.num_transitions(), 10);
+        assert_eq!(e.states_where(|&s| s == 3), vec![3]);
+    }
+
+    #[test]
+    fn cap_enforced() {
+        let err = explore_model(&Counter { max: 100 }, 10).expect_err("cap");
+        assert_eq!(err.states, 10);
+    }
+}

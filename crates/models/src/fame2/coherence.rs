@@ -1,0 +1,449 @@
+//! Directory-style cache-coherency protocols: MSI and MESI.
+//!
+//! The protocol is modeled at the transaction level with an explicit,
+//! serializing coherence fabric ("bus"): a requesting node places a read
+//! or write transaction; remote copies are flushed/downgraded/invalidated
+//! one message at a time (each message is a labeled transition, so the
+//! performance model can attach a topology-dependent delay to it); finally
+//! the grant installs the new cache state.
+//!
+//! Functional verification (part of experiment E1/E3-style checks):
+//! exhaustive exploration of N free agents on one cache line establishes
+//! the **SWMR invariant** (at most one writable copy, never alongside
+//! sharers) and deadlock freedom, for both protocols.
+
+use crate::common::{explore_model, ExploredModel, ExplosionError, Model};
+
+/// Which protocol variant the caches run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Modified / Shared / Invalid.
+    Msi,
+    /// Modified / Exclusive / Shared / Invalid (silent upgrade from E).
+    Mesi,
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Protocol::Msi => write!(f, "MSI"),
+            Protocol::Mesi => write!(f, "MESI"),
+        }
+    }
+}
+
+/// Per-node cache state of a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CacheState {
+    /// Invalid.
+    I,
+    /// Shared (clean, read-only).
+    S,
+    /// Exclusive (clean, sole copy — MESI only).
+    E,
+    /// Modified (dirty, sole copy).
+    M,
+}
+
+impl CacheState {
+    /// Can the node read without a bus transaction?
+    pub fn readable(self) -> bool {
+        self != CacheState::I
+    }
+
+    /// Can the node write without a bus transaction?
+    pub fn writable(self, protocol: Protocol) -> bool {
+        match self {
+            CacheState::M => true,
+            CacheState::E => protocol == Protocol::Mesi,
+            _ => false,
+        }
+    }
+}
+
+/// Kind of bus transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    /// Read miss.
+    Read,
+    /// Write miss or upgrade.
+    Write,
+}
+
+/// Phase of the in-flight transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Remote copies are being flushed/downgraded/invalidated.
+    Snoop,
+    /// Data is ready; the grant is pending.
+    Grant,
+}
+
+/// An in-flight bus transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Txn {
+    /// Requesting node.
+    pub node: u8,
+    /// Read or write.
+    pub kind: TxnKind,
+    /// Progress.
+    pub phase: Phase,
+}
+
+/// State of the single-line free-agent verification model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CohState {
+    /// Cache state per node.
+    pub caches: Vec<CacheState>,
+    /// The serializing fabric: at most one transaction in flight.
+    pub bus: Option<Txn>,
+}
+
+/// The verification model: N free agents nondeterministically reading,
+/// writing, and evicting one cache line.
+#[derive(Debug, Clone, Copy)]
+pub struct CoherenceModel {
+    /// Number of caching agents.
+    pub nodes: usize,
+    /// Protocol variant.
+    pub protocol: Protocol,
+}
+
+impl CoherenceModel {
+    /// Computes the successors of a coherence state with identity node ids
+    /// and no label suffix (the free-agent verification model).
+    pub fn protocol_successors(
+        &self,
+        caches: &[CacheState],
+        bus: &Option<Txn>,
+        issue_allowed: impl Fn(usize, TxnKind) -> bool,
+        out: &mut Vec<(String, CohState)>,
+    ) {
+        let ids: Vec<usize> = (0..self.nodes).collect();
+        self.protocol_successors_mapped(caches, bus, issue_allowed, &ids, "", out);
+    }
+
+    /// Computes the successors of a coherence state. Exposed so the MPI
+    /// model can reuse the exact same protocol step function per line:
+    /// `node_ids` maps local cache indices to globally displayed node ids
+    /// (for topology-dependent rates) and `suffix` is appended to every
+    /// label (the line id).
+    pub fn protocol_successors_mapped(
+        &self,
+        caches: &[CacheState],
+        bus: &Option<Txn>,
+        issue_allowed: impl Fn(usize, TxnKind) -> bool,
+        node_ids: &[usize],
+        suffix: &str,
+        out: &mut Vec<(String, CohState)>,
+    ) {
+        let id = |n: usize| node_ids[n];
+        use CacheState::*;
+        match bus {
+            None => {
+                for n in 0..self.nodes {
+                    let cs = caches[n];
+                    // Issue a read miss.
+                    if cs == I && issue_allowed(n, TxnKind::Read) {
+                        out.push((
+                            format!("RD !{}{suffix}", id(n)),
+                            CohState {
+                                caches: caches.to_vec(),
+                                bus: Some(Txn {
+                                    node: n as u8,
+                                    kind: TxnKind::Read,
+                                    phase: Phase::Snoop,
+                                }),
+                            },
+                        ));
+                    }
+                    // Issue a write miss / upgrade.
+                    if (cs == I || cs == S || (cs == E && self.protocol == Protocol::Msi))
+                        && issue_allowed(n, TxnKind::Write)
+                    {
+                        out.push((
+                            format!("WR !{}{suffix}", id(n)),
+                            CohState {
+                                caches: caches.to_vec(),
+                                bus: Some(Txn {
+                                    node: n as u8,
+                                    kind: TxnKind::Write,
+                                    phase: Phase::Snoop,
+                                }),
+                            },
+                        ));
+                    }
+                    // MESI silent upgrade: E → M without a transaction.
+                    if cs == E
+                        && self.protocol == Protocol::Mesi
+                        && issue_allowed(n, TxnKind::Write)
+                    {
+                        let mut c2 = caches.to_vec();
+                        c2[n] = M;
+                        out.push((format!("WR_HIT !{}{suffix}", id(n)), CohState { caches: c2, bus: None }));
+                    }
+                    // Write hit in M.
+                    if cs == M && issue_allowed(n, TxnKind::Write) {
+                        out.push((
+                            format!("WR_HIT !{}{suffix}", id(n)),
+                            CohState { caches: caches.to_vec(), bus: None },
+                        ));
+                    }
+                }
+            }
+            Some(txn) => {
+                let n = txn.node as usize;
+                match txn.phase {
+                    Phase::Snoop => {
+                        // A dirty owner flushes first (cache-to-cache).
+                        if let Some(owner) =
+                            (0..self.nodes).find(|&m| m != n && caches[m] == M)
+                        {
+                            let mut c2 = caches.to_vec();
+                            c2[owner] = match txn.kind {
+                                TxnKind::Read => S,
+                                TxnKind::Write => I,
+                            };
+                            out.push((
+                                format!("FLUSH !{} !{}{suffix}", id(owner), id(n)),
+                                CohState {
+                                    caches: c2,
+                                    bus: Some(Txn { phase: Phase::Grant, ..*txn }),
+                                },
+                            ));
+                            return;
+                        }
+                        // A clean exclusive owner downgrades (read) or is
+                        // invalidated (write) — data comes from it.
+                        if let Some(owner) =
+                            (0..self.nodes).find(|&m| m != n && caches[m] == E)
+                        {
+                            let mut c2 = caches.to_vec();
+                            c2[owner] = match txn.kind {
+                                TxnKind::Read => S,
+                                TxnKind::Write => I,
+                            };
+                            out.push((
+                                format!("DOWNGRADE !{} !{}{suffix}", id(owner), id(n)),
+                                CohState {
+                                    caches: c2,
+                                    bus: Some(Txn { phase: Phase::Grant, ..*txn }),
+                                },
+                            ));
+                            return;
+                        }
+                        // Writes invalidate sharers one message at a time.
+                        if txn.kind == TxnKind::Write {
+                            if let Some(sharer) =
+                                (0..self.nodes).find(|&m| m != n && caches[m] == S)
+                            {
+                                let mut c2 = caches.to_vec();
+                                c2[sharer] = I;
+                                out.push((
+                                    format!("INV !{} !{}{suffix}", id(n), id(sharer)),
+                                    CohState { caches: c2, bus: Some(*txn) },
+                                ));
+                                return;
+                            }
+                        }
+                        // No remote copies left: fetch data. An upgrading
+                        // writer (already S) has the data — skip memory.
+                        if txn.kind == TxnKind::Write && caches[n] == S {
+                            out.push((
+                                format!("UPG !{}{suffix}", id(n)),
+                                CohState {
+                                    caches: caches.to_vec(),
+                                    bus: Some(Txn { phase: Phase::Grant, ..*txn }),
+                                },
+                            ));
+                        } else {
+                            out.push((
+                                format!("MEM !{}{suffix}", id(n)),
+                                CohState {
+                                    caches: caches.to_vec(),
+                                    bus: Some(Txn { phase: Phase::Grant, ..*txn }),
+                                },
+                            ));
+                        }
+                    }
+                    Phase::Grant => {
+                        let mut c2 = caches.to_vec();
+                        c2[n] = match txn.kind {
+                            TxnKind::Write => M,
+                            TxnKind::Read => {
+                                let alone =
+                                    (0..self.nodes).all(|m| m == n || caches[m] == I);
+                                if alone && self.protocol == Protocol::Mesi {
+                                    E
+                                } else {
+                                    S
+                                }
+                            }
+                        };
+                        out.push((format!("GRANT !{}{suffix}", id(n)), CohState { caches: c2, bus: None }));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Model for CoherenceModel {
+    type State = CohState;
+
+    fn initial(&self) -> CohState {
+        CohState { caches: vec![CacheState::I; self.nodes], bus: None }
+    }
+
+    fn successors(&self, s: &CohState) -> Vec<(String, CohState)> {
+        let mut out = Vec::new();
+        self.protocol_successors(&s.caches, &s.bus, |_, _| true, &mut out);
+        // Free agents also evict: S/E silently, M via writeback.
+        if s.bus.is_none() {
+            for n in 0..self.nodes {
+                match s.caches[n] {
+                    CacheState::S | CacheState::E => {
+                        let mut c2 = s.caches.clone();
+                        c2[n] = CacheState::I;
+                        out.push((format!("EVICT !{n}"), CohState { caches: c2, bus: None }));
+                    }
+                    CacheState::M => {
+                        let mut c2 = s.caches.clone();
+                        c2[n] = CacheState::I;
+                        out.push((format!("WB !{n}"), CohState { caches: c2, bus: None }));
+                    }
+                    CacheState::I => {}
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Checks the SWMR invariant on one state: at most one M/E copy, and a
+/// dirty/exclusive copy never coexists with any other valid copy.
+pub fn swmr_holds(caches: &[CacheState]) -> bool {
+    let owners =
+        caches.iter().filter(|c| matches!(c, CacheState::M | CacheState::E)).count();
+    if owners > 1 {
+        return false;
+    }
+    if owners == 1 {
+        let valid = caches.iter().filter(|c| **c != CacheState::I).count();
+        return valid == 1;
+    }
+    true
+}
+
+/// The result of exhaustive coherence verification.
+#[derive(Debug, Clone)]
+pub struct CoherenceVerification {
+    /// Protocol checked.
+    pub protocol: Protocol,
+    /// Agents.
+    pub nodes: usize,
+    /// States explored.
+    pub states: usize,
+    /// Transitions explored.
+    pub transitions: usize,
+    /// State ids violating SWMR (must be empty).
+    pub swmr_violations: usize,
+    /// Deadlock witness, if any (must be `None`).
+    pub deadlock: Option<Vec<String>>,
+}
+
+/// Exhaustively verifies the protocol with `nodes` free agents.
+///
+/// # Errors
+///
+/// Returns [`ExplosionError`] if the cap is exceeded.
+pub fn verify_coherence(
+    nodes: usize,
+    protocol: Protocol,
+    max_states: usize,
+) -> Result<CoherenceVerification, ExplosionError> {
+    let model = CoherenceModel { nodes, protocol };
+    let explored: ExploredModel<CohState> = explore_model(&model, max_states)?;
+    let violations = explored.states_where(|s| !swmr_holds(&s.caches)).len();
+    let deadlock = multival_lts::analysis::deadlock_witness(&explored.lts);
+    Ok(CoherenceVerification {
+        protocol,
+        nodes,
+        states: explored.lts.num_states(),
+        transitions: explored.lts.num_transitions(),
+        swmr_violations: violations,
+        deadlock,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msi_swmr_holds() {
+        for nodes in [2, 3, 4] {
+            let v = verify_coherence(nodes, Protocol::Msi, 1_000_000).expect("explores");
+            assert_eq!(v.swmr_violations, 0, "MSI N={nodes}");
+            assert!(v.deadlock.is_none(), "MSI N={nodes} deadlock: {:?}", v.deadlock);
+        }
+    }
+
+    #[test]
+    fn mesi_swmr_holds() {
+        for nodes in [2, 3, 4] {
+            let v = verify_coherence(nodes, Protocol::Mesi, 1_000_000).expect("explores");
+            assert_eq!(v.swmr_violations, 0, "MESI N={nodes}");
+            assert!(v.deadlock.is_none());
+        }
+    }
+
+    #[test]
+    fn mesi_reaches_exclusive_state() {
+        let model = CoherenceModel { nodes: 2, protocol: Protocol::Mesi };
+        let e = explore_model(&model, 100_000).expect("explores");
+        let with_e = e.states_where(|s| s.caches.contains(&CacheState::E));
+        assert!(!with_e.is_empty(), "a lone reader must be granted E under MESI");
+    }
+
+    #[test]
+    fn msi_never_grants_exclusive() {
+        let model = CoherenceModel { nodes: 3, protocol: Protocol::Msi };
+        let e = explore_model(&model, 100_000).expect("explores");
+        let with_e = e.states_where(|s| s.caches.contains(&CacheState::E));
+        assert!(with_e.is_empty(), "MSI has no E state");
+    }
+
+    #[test]
+    fn mesi_silent_upgrade_exists() {
+        // Under MESI, a WR_HIT from an E state must occur somewhere.
+        let model = CoherenceModel { nodes: 2, protocol: Protocol::Mesi };
+        let e = explore_model(&model, 100_000).expect("explores");
+        let hit = multival_lts::analysis::find_action(&e.lts, |l| l.starts_with("WR_HIT"));
+        assert!(hit.is_some());
+    }
+
+    #[test]
+    fn write_invalidates_all_sharers() {
+        // In every reachable state where some node is M, no other node is
+        // readable (stronger per-state form of SWMR for M).
+        let model = CoherenceModel { nodes: 3, protocol: Protocol::Msi };
+        let e = explore_model(&model, 1_000_000).expect("explores");
+        for s in &e.states {
+            if let Some(m) = s.caches.iter().position(|&c| c == CacheState::M) {
+                for (n, &c) in s.caches.iter().enumerate() {
+                    if n != m {
+                        assert_eq!(c, CacheState::I, "stale copy next to M in {s:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn protocols_differ_in_state_count() {
+        let msi = verify_coherence(3, Protocol::Msi, 1_000_000).expect("explores");
+        let mesi = verify_coherence(3, Protocol::Mesi, 1_000_000).expect("explores");
+        assert!(mesi.states > msi.states, "MESI adds E-states: {} vs {}", mesi.states, msi.states);
+    }
+}

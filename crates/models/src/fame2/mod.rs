@@ -1,0 +1,24 @@
+//! The FAME2 case study (Bull): a CC-NUMA multiprocessor for teraflops
+//! mainframes — cache-coherency protocols, an MPI software layer, and MPI
+//! benchmark applications (§2 of the paper).
+//!
+//! The paper reports (§4) that "Bull was able to predict the latency of an
+//! MPI benchmark in different topologies, different software
+//! implementations of the MPI primitives, and different cache coherency
+//! protocols" — exactly the three axes reproduced here:
+//!
+//! * [`topology`] — ring / 2-D mesh / crossbar interconnects with
+//!   hop-distance-dependent transfer latencies;
+//! * [`coherence`] — snooping directory-style MSI and MESI protocols with
+//!   exhaustive verification of the coherence invariants (single-writer /
+//!   multiple-reader, no stale sharers);
+//! * [`mpi`] — MPI send/receive in two software implementations (eager
+//!   buffered vs. rendezvous zero-copy) expressed as memory-operation
+//!   programs over the coherent memory;
+//! * [`benchmark`] — the ping-pong latency benchmark evaluated through the
+//!   IMC → CTMC flow (experiment E5).
+
+pub mod benchmark;
+pub mod coherence;
+pub mod mpi;
+pub mod topology;

@@ -1,0 +1,151 @@
+//! Interconnect topologies of the FAME2 CC-NUMA machine.
+//!
+//! The topology determines the hop distance between nodes, which scales
+//! the rates of remote memory operations (cache-to-cache transfers,
+//! invalidations, memory fetches) in the performance models.
+
+use std::fmt;
+
+/// An interconnect topology over a fixed set of nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// A unidirectional-addressed ring of `n` nodes (distance is the
+    /// shorter way around).
+    Ring(usize),
+    /// A `w × h` 2-D mesh (Manhattan distance).
+    Mesh(usize, usize),
+    /// A full crossbar over `n` nodes (every pair one hop apart).
+    Crossbar(usize),
+    /// A `w × h` 2-D torus (mesh with wraparound links).
+    Torus(usize, usize),
+}
+
+impl Topology {
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        match *self {
+            Topology::Ring(n) | Topology::Crossbar(n) => n,
+            Topology::Mesh(w, h) | Topology::Torus(w, h) => w * h,
+        }
+    }
+
+    /// Hop distance between nodes `a` and `b` (0 when equal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node id is out of range.
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        let n = self.nodes();
+        assert!(a < n && b < n, "node id out of range");
+        if a == b {
+            return 0;
+        }
+        match *self {
+            Topology::Ring(n) => {
+                let d = a.abs_diff(b);
+                d.min(n - d)
+            }
+            Topology::Mesh(w, _) => {
+                let (ax, ay) = (a % w, a / w);
+                let (bx, by) = (b % w, b / w);
+                ax.abs_diff(bx) + ay.abs_diff(by)
+            }
+            Topology::Torus(w, h) => {
+                let (ax, ay) = (a % w, a / w);
+                let (bx, by) = (b % w, b / w);
+                let dx = ax.abs_diff(bx);
+                let dy = ay.abs_diff(by);
+                dx.min(w - dx) + dy.min(h - dy)
+            }
+            Topology::Crossbar(_) => 1,
+        }
+    }
+
+    /// The node farthest from `a` (ties broken by smallest id) — used to
+    /// place the ping-pong peer.
+    pub fn farthest_from(&self, a: usize) -> usize {
+        (0..self.nodes())
+            .max_by_key(|&b| (self.hops(a, b), usize::MAX - b))
+            .unwrap_or(a)
+    }
+
+    /// Network diameter (maximum hop distance).
+    pub fn diameter(&self) -> usize {
+        let n = self.nodes();
+        (0..n)
+            .flat_map(|a| (0..n).map(move |b| self.hops(a, b)))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Topology::Ring(n) => write!(f, "ring({n})"),
+            Topology::Mesh(w, h) => write!(f, "mesh({w}x{h})"),
+            Topology::Torus(w, h) => write!(f, "torus({w}x{h})"),
+            Topology::Crossbar(n) => write!(f, "crossbar({n})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_distance_wraps() {
+        let t = Topology::Ring(6);
+        assert_eq!(t.hops(0, 3), 3);
+        assert_eq!(t.hops(0, 5), 1);
+        assert_eq!(t.hops(2, 2), 0);
+        assert_eq!(t.diameter(), 3);
+    }
+
+    #[test]
+    fn mesh_distance_is_manhattan() {
+        let t = Topology::Mesh(3, 2);
+        assert_eq!(t.nodes(), 6);
+        // Node 0 = (0,0), node 5 = (2,1).
+        assert_eq!(t.hops(0, 5), 3);
+        assert_eq!(t.hops(1, 4), 1);
+        assert_eq!(t.diameter(), 3);
+    }
+
+    #[test]
+    fn crossbar_is_uniform() {
+        let t = Topology::Crossbar(8);
+        for a in 0..8 {
+            for b in 0..8 {
+                assert_eq!(t.hops(a, b), usize::from(a != b));
+            }
+        }
+        assert_eq!(t.diameter(), 1);
+    }
+
+    #[test]
+    fn torus_wraps_both_dimensions() {
+        let t = Topology::Torus(4, 4);
+        // Node 0 = (0,0), node 15 = (3,3): wrapped distance 1+1.
+        assert_eq!(t.hops(0, 15), 2);
+        // Same-row wrap: (0,0) to (3,0) is 1 hop around.
+        assert_eq!(t.hops(0, 3), 1);
+        // Torus diameter is half the mesh diameter (per dimension).
+        assert!(t.diameter() < Topology::Mesh(4, 4).diameter());
+        assert_eq!(t.diameter(), 4);
+    }
+
+    #[test]
+    fn farthest_node() {
+        assert_eq!(Topology::Ring(6).farthest_from(0), 3);
+        assert_eq!(Topology::Mesh(2, 2).farthest_from(0), 3);
+        assert_eq!(Topology::Crossbar(4).farthest_from(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "node id out of range")]
+    fn out_of_range_rejected() {
+        Topology::Ring(4).hops(0, 4);
+    }
+}

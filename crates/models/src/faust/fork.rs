@@ -1,0 +1,222 @@
+//! The isochronous-fork study (experiment E4).
+//!
+//! In asynchronous (quasi-delay-insensitive) circuits a *fork* wire drives
+//! two receivers. QDI design acknowledges every transition — except that
+//! acknowledging **both** fork branches is often impossible, so one branch
+//! is left unacknowledged and assumed **isochronous**: its receiver sees
+//! the transition before any causally-later transition arrives. The paper
+//! reports that "theoretical results on isochronous forks in asynchronous
+//! circuits have been demonstrated automatically" (§3).
+//!
+//! We reproduce the demonstration the way the Multival flow would:
+//!
+//! * [`atomic_fork_spec`] — the specification: each input event is
+//!   delivered to both receivers (in either order) before the next input;
+//! * [`acknowledged_fork`] — both branches acknowledged → equivalent
+//!   (the always-safe but often unrealizable design);
+//! * [`isochronous_fork`] — branch 2 unacknowledged but *direct*
+//!   (zero-delay wire, the isochrony assumption) → **still equivalent**;
+//! * [`buffered_fork`] — branch 2 unacknowledged and *buffering* (the
+//!   isochrony assumption violated) → **not equivalent**, with an
+//!   automatically produced distinguishing trace in which the fork re-arms
+//!   while the slow branch still holds an undelivered event.
+
+use multival_lts::equiv::{equivalent, weak_trace_equivalent, Verdict};
+use multival_lts::minimize::Equivalence;
+use multival_lts::Lts;
+use multival_pa::{explore, parse_spec, ExploreOptions};
+
+/// Specification: `inp` delivered to both outputs before the next `inp`.
+const SPEC_SRC: &str = r#"
+process Spec[inp, o1, o2] :=
+    inp; ( (o1; exit) ||| (o2; exit) ) >> Spec[inp, o1, o2]
+endproc
+behaviour Spec[inp, o1, o2]
+"#;
+
+/// Both branches acknowledged: the fork re-arms only after both receivers
+/// confirmed delivery.
+const ACKED_SRC: &str = r#"
+process Fork[inp, w1, w2, a1, a2] :=
+    inp; w1; w2; a1; a2; Fork[inp, w1, w2, a1, a2]
+endproc
+
+process AckWire[w, o, a] :=
+    w; o; a; AckWire[w, o, a]
+endproc
+
+behaviour
+  hide w1, w2, a1, a2 in
+    ( Fork[inp, w1, w2, a1, a2]
+      |[w1, w2, a1, a2]|
+      (AckWire[w1, o1, a1] ||| AckWire[w2, o2, a2])
+    )
+"#;
+
+/// Branch 2 unacknowledged but isochronous: the fork drives `o2` directly
+/// (no buffering wire), so the delivery happens before the fork can re-arm.
+const ISO_SRC: &str = r#"
+process Fork[inp, w1, a1, o2] :=
+    inp; w1; o2; a1; Fork[inp, w1, a1, o2]
+endproc
+
+process AckWire[w, o, a] :=
+    w; o; a; AckWire[w, o, a]
+endproc
+
+behaviour
+  hide w1, a1 in
+    ( Fork[inp, w1, a1, o2]
+      |[w1, a1]|
+      AckWire[w1, o1, a1]
+    )
+"#;
+
+/// Branch 2 unacknowledged *and* buffered: the wire accepts the event and
+/// the fork re-arms after the acknowledged branch only — violating the
+/// isochrony assumption.
+const BUFFERED_SRC: &str = r#"
+process Fork[inp, w1, w2, a1] :=
+    inp; w1; w2; a1; Fork[inp, w1, w2, a1]
+endproc
+
+process AckWire[w, o, a] :=
+    w; o; a; AckWire[w, o, a]
+endproc
+
+process Wire[w, o] :=
+    w; o; Wire[w, o]
+endproc
+
+behaviour
+  hide w1, w2, a1 in
+    ( Fork[inp, w1, w2, a1]
+      |[w1, w2, a1]|
+      (AckWire[w1, o1, a1] ||| Wire[w2, o2])
+    )
+"#;
+
+fn build(src: &str) -> Result<Lts, Box<dyn std::error::Error>> {
+    Ok(explore(&parse_spec(src)?, &ExploreOptions::default())?.lts)
+}
+
+/// The atomic-fork specification LTS.
+///
+/// # Errors
+///
+/// Propagates parse/exploration errors (the sources are tested).
+pub fn atomic_fork_spec() -> Result<Lts, Box<dyn std::error::Error>> {
+    build(SPEC_SRC)
+}
+
+/// The fully acknowledged fork LTS.
+///
+/// # Errors
+///
+/// Propagates parse/exploration errors.
+pub fn acknowledged_fork() -> Result<Lts, Box<dyn std::error::Error>> {
+    build(ACKED_SRC)
+}
+
+/// The isochronous-branch fork LTS.
+///
+/// # Errors
+///
+/// Propagates parse/exploration errors.
+pub fn isochronous_fork() -> Result<Lts, Box<dyn std::error::Error>> {
+    build(ISO_SRC)
+}
+
+/// The buffered-branch (non-isochronous) fork LTS.
+///
+/// # Errors
+///
+/// Propagates parse/exploration errors.
+pub fn buffered_fork() -> Result<Lts, Box<dyn std::error::Error>> {
+    build(BUFFERED_SRC)
+}
+
+/// The complete study: verdicts for the three implementations against the
+/// specification.
+#[derive(Debug, Clone)]
+pub struct ForkStudy {
+    /// Fully acknowledged fork vs spec (branching bisimulation).
+    pub acknowledged_equivalent: Verdict,
+    /// Isochronous fork vs spec (branching bisimulation).
+    pub isochronous_equivalent: Verdict,
+    /// Buffered fork vs spec (weak traces, with a distinguishing trace).
+    pub buffered_equivalent: Verdict,
+    /// Size of the spec LTS.
+    pub spec_states: usize,
+    /// Size of the buffered-fork LTS.
+    pub buffered_states: usize,
+}
+
+/// Runs the fork study.
+///
+/// # Errors
+///
+/// Propagates parse/exploration errors.
+pub fn run_fork_study() -> Result<ForkStudy, Box<dyn std::error::Error>> {
+    let spec = atomic_fork_spec()?;
+    let acked = acknowledged_fork()?;
+    let iso = isochronous_fork()?;
+    let buffered = buffered_fork()?;
+    Ok(ForkStudy {
+        acknowledged_equivalent: equivalent(&acked, &spec, Equivalence::Branching),
+        isochronous_equivalent: equivalent(&iso, &spec, Equivalence::Branching),
+        buffered_equivalent: weak_trace_equivalent(&buffered, &spec, 1 << 16),
+        spec_states: spec.num_states(),
+        buffered_states: buffered.num_states(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acknowledged_fork_matches_spec() {
+        let study = run_fork_study().expect("runs");
+        assert!(
+            study.acknowledged_equivalent.holds(),
+            "double-acknowledged fork must equal the atomic spec"
+        );
+    }
+
+    #[test]
+    fn isochronous_fork_matches_spec() {
+        let study = run_fork_study().expect("runs");
+        assert!(
+            study.isochronous_equivalent.holds(),
+            "zero-delay unacknowledged branch must still equal the spec"
+        );
+    }
+
+    #[test]
+    fn buffered_fork_differs_with_witness() {
+        // The buffered fork re-arms after the acknowledged branch only, so
+        // `inp, o1, inp` is a trace with o2 still pending — the spec forbids
+        // a second inp before both deliveries.
+        let study = run_fork_study().expect("runs");
+        match &study.buffered_equivalent {
+            Verdict::Inequivalent { witness: Some(w) } => {
+                assert!(
+                    w.iter().filter(|l| *l == "inp").count() >= 2,
+                    "witness should show premature re-arming: {w:?}"
+                );
+            }
+            v => panic!("buffered fork must differ from the spec: {v:?}"),
+        }
+    }
+
+    #[test]
+    fn delivery_order_is_unconstrained_in_spec() {
+        let spec = atomic_fork_spec().expect("builds");
+        use multival_mcl::{check, parse_formula};
+        let f12 = parse_formula("<\"inp\"> <\"o1\"> <\"o2\"> true").expect("parses");
+        let f21 = parse_formula("<\"inp\"> <\"o2\"> <\"o1\"> true").expect("parses");
+        assert!(check(&spec, &f12).expect("mc").holds);
+        assert!(check(&spec, &f21).expect("mc").holds);
+    }
+}

@@ -1,0 +1,21 @@
+//! The FAUST case study (CEA/Leti): an asynchronous Network-on-Chip
+//! platform for telecom applications.
+//!
+//! The paper reports (§3) that "the FAUST NoC router has been verified
+//! formally" and that "theoretical results on isochronous forks in
+//! asynchronous circuits have been demonstrated automatically":
+//!
+//! * [`router`] — a 5-port XY-routing router modeled CHP-style (handshake
+//!   channels as rendezvous gates) with deadlock-freedom, delivery
+//!   correctness, and spec-equivalence verification (experiment E3);
+//! * [`noc`] — a 2×2 mesh of routers with link buffers: flow-controlled
+//!   injection is deadlock-free, uncontrolled injection exhibits the
+//!   head-of-line blocking cycle (witness found automatically);
+//! * [`fork`] — the isochronous-fork study: a fork with zero-delay branches
+//!   is equivalent to its atomic specification, a fork with a buffering
+//!   (non-isochronous) branch is not — with an automatically produced
+//!   counterexample trace (experiment E4).
+
+pub mod fork;
+pub mod noc;
+pub mod router;

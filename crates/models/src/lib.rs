@@ -1,0 +1,26 @@
+//! # multival-models — the three industrial case studies
+//!
+//! Synthesized reproductions of the architectures studied in the Multival
+//! project (DATE'08), built on the `multival-pa`/`lts`/`mcl`/`imc`/`ctmc`
+//! stack:
+//!
+//! * [`xstream`] — STMicroelectronics' dataflow streaming fabric: credit-
+//!   based flow-control queues; functional verification (including the two
+//!   seeded "functional issues") and the latency/throughput/occupancy
+//!   performance model;
+//! * [`faust`] — CEA/Leti's NoC platform: the asynchronous XY router and
+//!   the isochronous-fork study;
+//! * [`fame2`] — Bull's CC-NUMA machine: MSI/MESI cache coherency over
+//!   ring/mesh/crossbar interconnects, the MPI software layer (eager and
+//!   rendezvous), and the ping-pong latency benchmark;
+//! * [`common`] — a generic explicit-state explorer for programmatic
+//!   models.
+//!
+//! The models are *synthesized* — the industrial RTL is proprietary — but
+//! preserve the axes of variation the paper's results depend on (see
+//! DESIGN.md §3).
+
+pub mod common;
+pub mod fame2;
+pub mod faust;
+pub mod xstream;

@@ -1,0 +1,17 @@
+//! The xSTream case study (STMicroelectronics): a multiprocessor dataflow
+//! streaming architecture whose processing elements communicate through
+//! hardware FIFO queues over a NoC with *credit-based flow control*.
+//!
+//! The paper reports two uses of the Multival flow on xSTream:
+//! * functional verification found "two functional issues" (§3) —
+//!   reproduced here as seeded bugs caught by deadlock detection and
+//!   equivalence checking ([`queue`], experiment E2);
+//! * performance evaluation predicted "latency, throughputs in the
+//!   communication architecture, and occupancy within xSTream queues" (§4)
+//!   — reproduced by the credit-based pipeline performance model
+//!   ([`perf`], experiment E6).
+
+pub mod perf;
+pub mod pipeline;
+pub mod queue;
+pub mod tandem;

@@ -1,0 +1,286 @@
+//! The full xSTream functional pipeline, assembled *structurally* at the
+//! LTS level (generate each sub-module, minimize, compose) — the
+//! bottom-up modeling style of the paper's §2 and the vehicle for the
+//! compositional-verification measurements of experiment E1.
+
+use multival_lts::minimize::{minimize, Equivalence};
+use multival_lts::ops::{compose, hide, Sync};
+use multival_lts::Lts;
+use multival_pa::{explore_term, parse_behaviour, parse_spec, ExploreOptions, Spec};
+
+/// Mini-LOTOS library of pipeline components, parameterized by queue
+/// capacity through distinct process instantiations.
+const PIPELINE_LIB: &str = r#"
+-- Producer: pushes items forever.
+process Producer[push] := push; Producer[push] endproc
+
+-- Consumer: pops items forever.
+process Consumer[pop] := pop; Consumer[pop] endproc
+
+-- Counting queue of capacity c (data-less, used for sizing experiments).
+process Queue[enq, deq](n: int 0..8, c: int 1..8) :=
+    [n < c] -> enq; Queue[enq, deq](n + 1, c)
+ [] [n > 0] -> deq; Queue[enq, deq](n - 1, c)
+endproc
+
+-- Credit counter of capacity c.
+process Credits[take, give](k: int 0..8, c: int 1..8) :=
+    [k > 0] -> take; Credits[take, give](k - 1, c)
+ [] [k < c] -> give; Credits[take, give](k + 1, c)
+endproc
+
+-- Link stage: transfer needs a credit (take ≡ xfer), pop gives one back.
+process Returner[pop, give] := pop; give; Returner[pop, give] endproc
+"#;
+
+/// Configuration of the functional pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Push-queue capacity (1..=8).
+    pub push_capacity: i64,
+    /// Pop-queue capacity (1..=8).
+    pub pop_capacity: i64,
+    /// Initial credits (usually equals `pop_capacity`).
+    pub credits: i64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { push_capacity: 2, pop_capacity: 2, credits: 2 }
+    }
+}
+
+/// The component library as a parsed spec (no top behaviour).
+///
+/// # Panics
+///
+/// Panics only if the embedded source is invalid (covered by tests).
+pub fn library() -> Spec {
+    parse_spec(PIPELINE_LIB).expect("embedded pipeline library parses")
+}
+
+/// Generates the LTS of one component instantiation from the library.
+///
+/// # Panics
+///
+/// Panics if `term_src` does not parse or explode the cap (component state
+/// spaces are tiny).
+pub fn component(spec: &Spec, term_src: &str) -> Lts {
+    let term = parse_behaviour(term_src, spec).expect("component term parses");
+    explore_term(term, spec, &ExploreOptions::default())
+        .expect("component explores")
+        .lts
+}
+
+/// Result of a pipeline build: final LTS plus intermediate sizes.
+#[derive(Debug, Clone)]
+pub struct PipelineBuild {
+    /// The assembled pipeline LTS (internal gates hidden).
+    pub lts: Lts,
+    /// `(stage name, states before minimization, states after)` per stage.
+    pub stages: Vec<(String, usize, usize)>,
+    /// Peak intermediate size seen during the build.
+    pub peak_states: usize,
+}
+
+/// Builds the pipeline *monolithically*: compose everything, then minimize
+/// once at the end.
+pub fn build_monolithic(config: &PipelineConfig) -> PipelineBuild {
+    build(config, false)
+}
+
+/// Builds the pipeline *compositionally*: minimize after every composition
+/// (the paper's weapon against state explosion).
+pub fn build_compositional(config: &PipelineConfig) -> PipelineBuild {
+    build(config, true)
+}
+
+fn build(config: &PipelineConfig, minimize_stages: bool) -> PipelineBuild {
+    let spec = library();
+    let producer = component(&spec, "Producer[push]");
+    let push_q = component(
+        &spec,
+        &format!("Queue[push, xfer](0, {})", config.push_capacity),
+    );
+    let pop_q = component(
+        &spec,
+        &format!("Queue[xfer, pop](0, {})", config.pop_capacity),
+    );
+    let credits = component(
+        &spec,
+        &format!("Credits[xfer, give]({}, {})", config.credits, config.credits.max(1)),
+    );
+    let returner = component(&spec, "Returner[pop, give]");
+    let consumer = component(&spec, "Consumer[pop]");
+
+    let mut stages = Vec::new();
+    let mut peak = 0usize;
+    // In the compositional build, a gate is hidden as soon as its last user
+    // has been composed — the "expertise" the paper's §5 alludes to: early
+    // hiding is what lets branching minimization collapse intermediate
+    // products. The monolithic build hides the same gates only at the end.
+    let mut step = |acc: &Lts, name: &str, rhs: &Lts, sync: Sync, hide_now: &[&str]| -> Lts {
+        let product = compose(acc, rhs, &sync);
+        let before = product.num_states();
+        peak = peak.max(before);
+        let result = if minimize_stages {
+            let internalized = if hide_now.is_empty() {
+                product
+            } else {
+                hide(&product, hide_now.iter().copied())
+            };
+            minimize(&internalized, Equivalence::Branching).0
+        } else {
+            product
+        };
+        stages.push((name.to_owned(), before, result.num_states()));
+        result
+    };
+    let mut acc = producer;
+    acc = step(&acc, "producer||pushq", &push_q, Sync::on(["push"]), &[]);
+    acc = step(&acc, "..||credits", &credits, Sync::on(["xfer"]), &[]);
+    // After the pop queue joins, no further component uses `xfer`.
+    acc = step(&acc, "..||popq", &pop_q, Sync::on(["xfer"]), &["xfer"]);
+    acc = step(&acc, "..||returner", &returner, Sync::on(["pop", "give"]), &[]);
+    // After the consumer joins, `give` is fully internal.
+    acc = step(&acc, "..||consumer", &consumer, Sync::on(["pop"]), &["give"]);
+
+    // Internalize the NoC gates; keep push/pop as the external interface.
+    // (A no-op for the compositional build, which already hid them.)
+    let external = hide(&acc, ["xfer", "give"]);
+    let final_lts = if minimize_stages {
+        minimize(&external, Equivalence::Branching).0
+    } else {
+        external
+    };
+    peak = peak.max(final_lts.num_states());
+    PipelineBuild { lts: final_lts, stages, peak_states: peak }
+}
+
+/// Builds a chain of `k` one-place buffer cells (`Cell := in; out; Cell`)
+/// connected by hidden hop gates — the textbook demonstration of
+/// compositional state-space reduction: the monolithic product has `2^k`
+/// states, while the compositional build (hide each hop as soon as both
+/// ends are in, then minimize) keeps every intermediate linear in `k`
+/// (a chain prefix of `i` cells is branching-equivalent to a counting
+/// queue of capacity `i`).
+///
+/// # Panics
+///
+/// Panics if `k` is 0 or large enough to overflow the exploration caps.
+pub fn build_buffer_chain(k: usize, compositional: bool) -> PipelineBuild {
+    assert!(k >= 1, "need at least one cell");
+    let spec = parse_spec(
+        "process Cell[inp, outp] := inp; outp; Cell[inp, outp] endproc",
+    )
+    .expect("cell library parses");
+    let cell = |inp: &str, outp: &str| {
+        component(&spec, &format!("Cell[{inp}, {outp}]"))
+    };
+    let mut stages = Vec::new();
+    let mut peak = 1usize;
+    let mut acc = cell("enq", "h1");
+    for i in 1..k {
+        let inp = format!("h{i}");
+        let outp = if i + 1 == k { "deq".to_owned() } else { format!("h{}", i + 1) };
+        let next = cell(&inp, &outp);
+        let product = compose(&acc, &next, &Sync::on([inp.as_str()]));
+        let before = product.num_states();
+        peak = peak.max(before);
+        acc = if compositional {
+            let hidden = hide(&product, [inp.as_str()]);
+            minimize(&hidden, Equivalence::Branching).0
+        } else {
+            product
+        };
+        stages.push((format!("cells 1..={}", i + 1), before, acc.num_states()));
+    }
+    let final_lts = if compositional {
+        acc
+    } else {
+        let hidden = hide(&acc, (1..k).map(|i| format!("h{i}")));
+        minimize(&hidden, Equivalence::Branching).0
+    };
+    peak = peak.max(final_lts.num_states());
+    PipelineBuild { lts: final_lts, stages, peak_states: peak }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multival_lts::analysis::deadlock_witness;
+    use multival_lts::equiv::equivalent;
+    use multival_mcl::{check, patterns, ActionFormula};
+
+    #[test]
+    fn buffer_chain_collapses_compositionally() {
+        let k = 6;
+        let comp = build_buffer_chain(k, true);
+        let mono = build_buffer_chain(k, false);
+        // Both reduce to the (k+1)-state counting queue.
+        assert_eq!(comp.lts.num_states(), k + 1);
+        assert_eq!(mono.lts.num_states(), k + 1);
+        assert!(equivalent(&comp.lts, &mono.lts, Equivalence::Branching).holds());
+        // The compositional peak is linear, the monolithic is 2^k.
+        assert_eq!(mono.peak_states, 1 << k);
+        assert!(
+            comp.peak_states <= 2 * (k + 2),
+            "compositional peak should stay linear: {}",
+            comp.peak_states
+        );
+    }
+
+    #[test]
+    fn pipeline_is_deadlock_free() {
+        let b = build_compositional(&PipelineConfig::default());
+        assert!(deadlock_witness(&b.lts).is_none());
+        assert!(check(&b.lts, &patterns::deadlock_free()).expect("mc").holds);
+    }
+
+    #[test]
+    fn pop_always_possible() {
+        let b = build_compositional(&PipelineConfig::default());
+        let f = patterns::always_possible(ActionFormula::pattern("pop"));
+        assert!(check(&b.lts, &f).expect("mc").holds);
+    }
+
+    #[test]
+    fn compositional_equals_monolithic() {
+        let cfg = PipelineConfig::default();
+        let comp = build_compositional(&cfg);
+        let mono = build_monolithic(&cfg);
+        assert!(
+            equivalent(&comp.lts, &mono.lts, Equivalence::Branching).holds(),
+            "both build orders must yield branching-equivalent pipelines"
+        );
+    }
+
+    #[test]
+    fn compositional_peak_not_larger() {
+        let cfg = PipelineConfig { push_capacity: 4, pop_capacity: 4, credits: 4 };
+        let comp = build_compositional(&cfg);
+        let mono = build_monolithic(&cfg);
+        assert!(
+            comp.peak_states <= mono.peak_states,
+            "compositional peak {} vs monolithic {}",
+            comp.peak_states,
+            mono.peak_states
+        );
+        assert!(comp.lts.num_states() <= mono.lts.num_states());
+    }
+
+    #[test]
+    fn capacity_scales_state_count() {
+        let small = build_monolithic(&PipelineConfig {
+            push_capacity: 1,
+            pop_capacity: 1,
+            credits: 1,
+        });
+        let large = build_monolithic(&PipelineConfig {
+            push_capacity: 6,
+            pop_capacity: 6,
+            credits: 6,
+        });
+        assert!(large.peak_states > small.peak_states);
+    }
+}

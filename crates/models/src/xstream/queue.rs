@@ -1,0 +1,230 @@
+//! Functional (mini-LOTOS) models of the xSTream queues.
+//!
+//! The data-carrying FIFO models verify *order preservation* by equivalence
+//! with a reference queue; the credit-protocol models verify *deadlock
+//! freedom*. Two seeded bugs reproduce the paper's "two functional issues
+//! in xSTream have been highlighted" (experiment E2):
+//!
+//! * [`BUGGY_CREDIT_SPEC`] — the flow-control credit is consumed twice per
+//!   transfer, so the credit pool drains and the pipeline deadlocks;
+//! * [`buggy_lifo_spec`] — the queue hands elements back in LIFO order,
+//!   caught by weak-trace comparison against the FIFO reference.
+
+use multival_pa::{parse_spec, ParseError, Spec};
+
+/// Mini-LOTOS source of a data-carrying FIFO queue of capacity 2 over a
+/// small value domain, plus a same-capacity reference specification.
+///
+/// `Fifo2` is the implementation style used in the xSTream models: two
+/// chained one-place buffers (a structural, bottom-up model). `FifoSpec`
+/// is the top-down functional specification: a single process tracking the
+/// queue contents. The two must be branching-equivalent after hiding the
+/// internal hop gate.
+pub const FIFO_SPEC: &str = r#"
+-- One-place data buffer.
+process Cell[put, get](x: int 0..2, full: bool) :=
+    [not full] -> put ?v:int 0..2; Cell[put, get](v, true)
+ [] [full]     -> get !x;          Cell[put, get](x, false)
+endproc
+
+-- Capacity-2 FIFO as two chained cells (structural model).
+process Fifo2[put, get] :=
+    hide mid in
+      (Cell[put, mid](0, false) |[mid]| Cell[mid, get](0, false))
+endproc
+
+-- Capacity-2 FIFO as one process over explicit contents (functional model).
+-- slots: n = fill level; a = head value, b = second value.
+process FifoSpec[put, get](n: int 0..2, a: int 0..2, b: int 0..2) :=
+    [n == 0] -> put ?v:int 0..2; FifoSpec[put, get](1, v, 0)
+ [] [n == 1] -> put ?v:int 0..2; FifoSpec[put, get](2, a, v)
+ [] [n == 1] -> get !a;          FifoSpec[put, get](0, 0, 0)
+ [] [n == 2] -> get !a;          FifoSpec[put, get](1, b, 0)
+endproc
+
+behaviour Fifo2[put, get]
+"#;
+
+/// A LIFO (stack) variant of the capacity-2 queue — the seeded
+/// order-violation bug. Weak-trace comparison against `FifoSpec` yields a
+/// distinguishing trace (experiment E2b).
+pub fn buggy_lifo_spec() -> &'static str {
+    r#"
+-- Capacity-2 LIFO: get returns the most recent value (BUG: should be FIFO).
+process Lifo2[put, get](n: int 0..2, a: int 0..2, b: int 0..2) :=
+    [n == 0] -> put ?v:int 0..2; Lifo2[put, get](1, v, 0)
+ [] [n == 1] -> put ?v:int 0..2; Lifo2[put, get](2, a, v)
+ [] [n == 1] -> get !a;          Lifo2[put, get](0, 0, 0)
+ [] [n == 2] -> get !b;          Lifo2[put, get](1, a, 0)
+endproc
+
+behaviour Lifo2[put, get](0, 0, 0)
+"#
+}
+
+/// Credit-based flow control between a push queue and a pop queue, correct
+/// version: each transfer consumes one credit; each pop returns one.
+///
+/// Gates: `push` (producer), `xfer` (NoC transfer), `pop` (consumer),
+/// `credit` (credit return over the NoC).
+pub const CREDIT_SPEC: &str = r#"
+-- Sender-side (push) queue of capacity 2.
+process PushQ[push, xfer](n: int 0..2) :=
+    [n < 2] -> push; PushQ[push, xfer](n + 1)
+ [] [n > 0] -> xfer; PushQ[push, xfer](n - 1)
+endproc
+
+-- Receiver-side (pop) queue of capacity 2.
+process PopQ[xfer, pop](n: int 0..2) :=
+    [n < 2] -> xfer; PopQ[xfer, pop](n + 1)
+ [] [n > 0] -> pop; PopQ[xfer, pop](n - 1)
+endproc
+
+-- Credit counter: transfers need a credit, pops give one back.
+process Credits[xfer, credit](c: int 0..2) :=
+    [c > 0] -> xfer;   Credits[xfer, credit](c - 1)
+ [] [c < 2] -> credit; Credits[xfer, credit](c + 1)
+endproc
+
+-- Consumer returns a credit after each pop.
+process Consumer[pop, credit] :=
+    pop; credit; Consumer[pop, credit]
+endproc
+
+behaviour
+  hide xfer, credit in
+    ((PushQ[push, xfer](0) |[xfer]| PopQ[xfer, pop](0))
+      |[xfer]| Credits[xfer, credit](2))
+    |[pop, credit]| Consumer[pop, credit]
+"#;
+
+/// The seeded credit-protocol bug: the credit pool starts at 2 but each
+/// pop returns a credit only every *other* time (the consumer loses one),
+/// so the pool drains and the pipeline deadlocks (experiment E2a).
+pub const BUGGY_CREDIT_SPEC: &str = r#"
+process PushQ[push, xfer](n: int 0..2) :=
+    [n < 2] -> push; PushQ[push, xfer](n + 1)
+ [] [n > 0] -> xfer; PushQ[push, xfer](n - 1)
+endproc
+
+process PopQ[xfer, pop](n: int 0..2) :=
+    [n < 2] -> xfer; PopQ[xfer, pop](n + 1)
+ [] [n > 0] -> pop; PopQ[xfer, pop](n - 1)
+endproc
+
+process Credits[xfer, credit](c: int 0..2) :=
+    [c > 0] -> xfer;   Credits[xfer, credit](c - 1)
+ [] [c < 2] -> credit; Credits[xfer, credit](c + 1)
+endproc
+
+-- BUG: only one credit returned per two pops.
+process LossyConsumer[pop, credit] :=
+    pop; pop; credit; LossyConsumer[pop, credit]
+endproc
+
+behaviour
+  hide xfer, credit in
+    ((PushQ[push, xfer](0) |[xfer]| PopQ[xfer, pop](0))
+      |[xfer]| Credits[xfer, credit](2))
+    |[pop, credit]| LossyConsumer[pop, credit]
+"#;
+
+/// Parses the correct FIFO specification.
+///
+/// # Errors
+///
+/// Propagates parser errors (the constant is tested to parse).
+pub fn fifo_spec() -> Result<Spec, ParseError> {
+    parse_spec(FIFO_SPEC)
+}
+
+/// Parses the correct credit-protocol specification.
+///
+/// # Errors
+///
+/// Propagates parser errors (the constant is tested to parse).
+pub fn credit_spec() -> Result<Spec, ParseError> {
+    parse_spec(CREDIT_SPEC)
+}
+
+/// Parses the buggy credit-protocol specification.
+///
+/// # Errors
+///
+/// Propagates parser errors (the constant is tested to parse).
+pub fn buggy_credit_spec() -> Result<Spec, ParseError> {
+    parse_spec(BUGGY_CREDIT_SPEC)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multival_lts::analysis::deadlock_witness;
+    use multival_lts::equiv::{equivalent, weak_trace_equivalent, Verdict};
+    use multival_lts::minimize::Equivalence;
+    use multival_lts::ops::hide;
+    use multival_pa::{explore, parse_behaviour, ExploreOptions};
+
+    #[test]
+    fn fifo2_matches_functional_spec() {
+        let spec = fifo_spec().expect("parses");
+        let impl_lts = explore(&spec, &ExploreOptions::default()).expect("explores").lts;
+        let spec_term =
+            parse_behaviour("FifoSpec[put, get](0, 0, 0)", &spec).expect("parses");
+        let spec_lts = multival_pa::explore_term(spec_term, &spec, &ExploreOptions::default())
+            .expect("explores")
+            .lts;
+        // The structural model has an internal hop (τ): branching equivalence.
+        assert!(equivalent(&impl_lts, &spec_lts, Equivalence::Branching).holds());
+        // But not strong equivalence (the τ hop is visible to strong bisim).
+        assert!(!equivalent(&impl_lts, &spec_lts, Equivalence::Strong).holds());
+    }
+
+    #[test]
+    fn lifo_bug_caught_with_witness() {
+        let spec = fifo_spec().expect("parses");
+        let spec_term =
+            parse_behaviour("FifoSpec[put, get](0, 0, 0)", &spec).expect("parses");
+        let spec_lts = multival_pa::explore_term(spec_term, &spec, &ExploreOptions::default())
+            .expect("explores")
+            .lts;
+        let lifo = parse_spec(buggy_lifo_spec()).expect("parses");
+        let lifo_lts = explore(&lifo, &ExploreOptions::default()).expect("explores").lts;
+        match weak_trace_equivalent(&spec_lts, &lifo_lts, 1 << 16) {
+            Verdict::Inequivalent { witness: Some(w) } => {
+                // Shortest distinguishing trace: push two distinct values,
+                // then the wrong one comes out.
+                assert!(w.len() >= 3, "witness: {w:?}");
+                assert!(w.last().expect("nonempty").starts_with("get"));
+            }
+            v => panic!("LIFO must differ from FIFO: {v:?}"),
+        }
+    }
+
+    #[test]
+    fn correct_credit_protocol_deadlock_free() {
+        let spec = credit_spec().expect("parses");
+        let lts = explore(&spec, &ExploreOptions::default()).expect("explores").lts;
+        assert!(deadlock_witness(&lts).is_none(), "correct protocol must not deadlock");
+        assert!(lts.num_states() > 10, "interleaving should be nontrivial");
+    }
+
+    #[test]
+    fn credit_bug_deadlocks_with_witness() {
+        let spec = buggy_credit_spec().expect("parses");
+        let lts = explore(&spec, &ExploreOptions::default()).expect("explores").lts;
+        let w = deadlock_witness(&lts).expect("the lossy consumer must deadlock");
+        // The witness ends when everything is stuck; it must contain pops.
+        assert!(w.iter().any(|l| l == "pop"), "witness: {w:?}");
+    }
+
+    #[test]
+    fn hidden_interface_reduces_further() {
+        let spec = credit_spec().expect("parses");
+        let lts = explore(&spec, &ExploreOptions::default()).expect("explores").lts;
+        let external = hide(&lts, ["xfer", "credit"]);
+        let (min, stats) =
+            multival_lts::minimize::minimize(&external, Equivalence::Branching);
+        assert!(min.num_states() < stats.states_before);
+    }
+}

@@ -1,0 +1,302 @@
+//! State-space generation: breadth-first enumeration of the SOS semantics
+//! into an explicit LTS (the CADP `cæsar`/`generator` role).
+
+use crate::semantics::{transitions, Label, SemError};
+use crate::spec::Spec;
+use crate::term::Term;
+use multival_lts::{Lts, LtsBuilder, StateId};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+/// Exploration limits and options.
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Maximum number of states to enumerate before aborting.
+    pub max_states: usize,
+    /// Maximum number of transitions to enumerate before aborting.
+    pub max_transitions: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions { max_states: 1_000_000, max_transitions: 8_000_000 }
+    }
+}
+
+impl ExploreOptions {
+    /// Options with a custom state cap (transition cap scales 8×).
+    pub fn with_max_states(max_states: usize) -> Self {
+        ExploreOptions { max_states, max_transitions: max_states.saturating_mul(8) }
+    }
+}
+
+/// Error raised by [`explore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExploreError {
+    /// The state or transition cap was exceeded (state-space explosion).
+    Explosion {
+        /// States enumerated when the cap was hit.
+        states: usize,
+        /// Transitions enumerated when the cap was hit.
+        transitions: usize,
+    },
+    /// The semantics reported a modeling error, with the shortest-path
+    /// offending state printed for diagnosis.
+    Semantics {
+        /// The underlying error.
+        error: SemError,
+        /// Display form of the state whose transitions failed to derive.
+        state: String,
+    },
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::Explosion { states, transitions } => write!(
+                f,
+                "state-space explosion: exceeded caps at {states} states / {transitions} transitions"
+            ),
+            ExploreError::Semantics { error, state } => {
+                write!(f, "{error} (in state `{state}`)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// The result of a successful exploration: the LTS plus the term each state
+/// id denotes (for state-predicate checks on the model's data).
+#[derive(Debug, Clone)]
+pub struct Explored {
+    /// The generated LTS; state ids are BFS discovery order, state 0 initial.
+    pub lts: Lts,
+    /// `states[i]` is the closed term that state `i` denotes.
+    pub states: Vec<Arc<Term>>,
+}
+
+impl Explored {
+    /// Finds all states whose term satisfies `pred`.
+    pub fn states_where(&self, mut pred: impl FnMut(&Term) -> bool) -> Vec<StateId> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| pred(t))
+            .map(|(i, _)| i as StateId)
+            .collect()
+    }
+}
+
+/// Explores the state space of `spec`'s top behaviour.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::Explosion`] when a cap is exceeded and
+/// [`ExploreError::Semantics`] when transition derivation fails (which
+/// pinpoints the offending reachable state).
+///
+/// # Examples
+///
+/// ```
+/// use multival_pa::parser::parse_spec;
+/// use multival_pa::explorer::{explore, ExploreOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = parse_spec(
+///     "process P[a, b] := a; b; P[a, b] endproc
+///      behaviour P[x, y]",
+/// )?;
+/// let explored = explore(&spec, &ExploreOptions::default())?;
+/// assert_eq!(explored.lts.num_states(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn explore(spec: &Spec, options: &ExploreOptions) -> Result<Explored, ExploreError> {
+    explore_term(spec.top().clone(), spec, options)
+}
+
+/// Explores from an explicit initial term (rather than the spec's top).
+///
+/// # Errors
+///
+/// Same as [`explore`].
+pub fn explore_term(
+    initial: Arc<Term>,
+    spec: &Spec,
+    options: &ExploreOptions,
+) -> Result<Explored, ExploreError> {
+    let mut builder = LtsBuilder::new();
+    let mut index: HashMap<Arc<Term>, StateId> = HashMap::new();
+    let mut states: Vec<Arc<Term>> = Vec::new();
+    let mut queue: VecDeque<StateId> = VecDeque::new();
+    let mut ntrans = 0usize;
+
+    let s0 = builder.add_state();
+    index.insert(initial.clone(), s0);
+    states.push(initial);
+    queue.push_back(s0);
+
+    while let Some(s) = queue.pop_front() {
+        let term = states[s as usize].clone();
+        let outgoing = transitions(&term, spec).map_err(|error| ExploreError::Semantics {
+            error,
+            state: term.to_string(),
+        })?;
+        for (label, target) in outgoing {
+            let dst = match index.get(&target) {
+                Some(&d) => d,
+                None => {
+                    if states.len() >= options.max_states {
+                        return Err(ExploreError::Explosion {
+                            states: states.len(),
+                            transitions: ntrans,
+                        });
+                    }
+                    let d = builder.add_state();
+                    index.insert(target.clone(), d);
+                    states.push(target);
+                    queue.push_back(d);
+                    d
+                }
+            };
+            ntrans += 1;
+            if ntrans > options.max_transitions {
+                return Err(ExploreError::Explosion { states: states.len(), transitions: ntrans });
+            }
+            builder.add_transition(s, &render_label(&label), dst);
+        }
+    }
+    Ok(Explored { lts: builder.build(s0), states })
+}
+
+/// Renders a semantic label in the LTS textual convention
+/// (`i`, `exit !v…`, `GATE !v…`).
+pub fn render_label(label: &Label) -> String {
+    label.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Expr};
+    use crate::spec::ProcDef;
+    use crate::term::{Action, Offer, SyncKind};
+    use crate::value::{sym, Type};
+
+    fn counter_spec(max: i64) -> Spec {
+        // Count[up, down](n): up when n<max, down when n>0.
+        let mut s = Spec::new();
+        s.add_process(ProcDef {
+            name: sym("Count"),
+            gates: vec![sym("up"), sym("down")],
+            params: vec![(sym("n"), Type::Int(0, max))],
+            body: Term::Choice(
+                Term::Guard(
+                    Expr::bin(BinOp::Lt, Expr::var("n"), Expr::int(max)),
+                    Term::Prefix(
+                        Action::bare("up"),
+                        Term::Call(
+                            sym("Count"),
+                            vec![sym("up"), sym("down")],
+                            vec![Expr::bin(BinOp::Add, Expr::var("n"), Expr::int(1))],
+                        )
+                        .rc(),
+                    )
+                    .rc(),
+                )
+                .rc(),
+                Term::Guard(
+                    Expr::bin(BinOp::Gt, Expr::var("n"), Expr::int(0)),
+                    Term::Prefix(
+                        Action::bare("down"),
+                        Term::Call(
+                            sym("Count"),
+                            vec![sym("up"), sym("down")],
+                            vec![Expr::bin(BinOp::Sub, Expr::var("n"), Expr::int(1))],
+                        )
+                        .rc(),
+                    )
+                    .rc(),
+                )
+                .rc(),
+            )
+            .rc(),
+        });
+        s.set_top(Term::Call(sym("Count"), vec![sym("up"), sym("down")], vec![Expr::int(0)]).rc());
+        s
+    }
+
+    #[test]
+    fn counter_has_linear_state_space() {
+        let s = counter_spec(4);
+        let e = explore(&s, &ExploreOptions::default()).expect("explores");
+        assert_eq!(e.lts.num_states(), 5);
+        assert_eq!(e.lts.num_transitions(), 8); // 4 up + 4 down
+        assert!(e.lts.deadlock_states().is_empty());
+    }
+
+    #[test]
+    fn state_cap_triggers_explosion_error() {
+        let s = counter_spec(100);
+        let err = explore(&s, &ExploreOptions::with_max_states(10)).expect_err("cap");
+        assert!(matches!(err, ExploreError::Explosion { .. }));
+    }
+
+    #[test]
+    fn semantic_error_pinpoints_state() {
+        let mut s = Spec::new();
+        s.set_top(Term::Exit(vec![Expr::var("ghost")]).rc());
+        let err = explore(&s, &ExploreOptions::default()).expect_err("unbound");
+        match err {
+            ExploreError::Semantics { error, state } => {
+                assert!(matches!(error, SemError::Eval(_)));
+                assert!(state.contains("ghost"));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn interleaving_counters_multiply() {
+        // Two independent 3-state counters → 9 product states.
+        let s = counter_spec(2);
+        let top = Term::Par(
+            SyncKind::Interleave,
+            Term::Call(sym("Count"), vec![sym("u1"), sym("d1")], vec![Expr::int(0)]).rc(),
+            Term::Call(sym("Count"), vec![sym("u2"), sym("d2")], vec![Expr::int(0)]).rc(),
+        )
+        .rc();
+        let e = explore_term(top, &s, &ExploreOptions::default()).expect("explores");
+        assert_eq!(e.lts.num_states(), 9);
+    }
+
+    #[test]
+    fn states_where_inspects_terms() {
+        let s = counter_spec(3);
+        let e = explore(&s, &ExploreOptions::default()).expect("explores");
+        // All states are process calls Count(..) — count those with arg 0.
+        let zeros = e.states_where(|t| matches!(t, Term::Call(_, _, args)
+            if args == &vec![Expr::int(0)]));
+        assert_eq!(zeros.len(), 1);
+    }
+
+    #[test]
+    fn data_offers_fan_out() {
+        let mut s = Spec::new();
+        s.set_top(
+            Term::Prefix(
+                Action {
+                    gate: sym("g"),
+                    offers: vec![Offer::Recv(sym("x"), Type::Int(0, 4))],
+                },
+                Term::Stop.rc(),
+            )
+            .rc(),
+        );
+        let e = explore(&s, &ExploreOptions::default()).expect("explores");
+        assert_eq!(e.lts.num_transitions(), 5);
+        assert_eq!(e.lts.num_states(), 2, "all branches reach the same stop state");
+    }
+}

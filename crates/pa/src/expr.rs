@@ -1,0 +1,389 @@
+//! Value expressions: the guard and offer language of the mini-LOTOS dialect.
+
+use crate::value::{Sym, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `div` (integer division)
+    Div,
+    /// `mod` (Euclidean remainder)
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "div",
+            BinOp::Mod => "mod",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `not`
+    Not,
+    /// unary `-`
+    Neg,
+}
+
+/// A value expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Literal value.
+    Const(Value),
+    /// Variable reference (substituted away in closed terms).
+    Var(Sym),
+    /// Unary application.
+    Un(UnOp, Box<Expr>),
+    /// Binary application.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Conditional: `if c then a else b`.
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+/// Error produced when evaluating an expression fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl Expr {
+    /// Integer literal.
+    pub fn int(i: i64) -> Expr {
+        Expr::Const(Value::Int(i))
+    }
+
+    /// Boolean literal.
+    pub fn bool(b: bool) -> Expr {
+        Expr::Const(Value::Bool(b))
+    }
+
+    /// Variable reference.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(crate::value::sym(name))
+    }
+
+    /// Binary application helper.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Evaluates a *closed* expression (no free variables).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] on free variables, type mismatches, or division
+    /// by zero.
+    pub fn eval_closed(&self) -> Result<Value, EvalError> {
+        self.eval(&HashMap::new())
+    }
+
+    /// Evaluates the expression under a variable environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] on unbound variables, type mismatches, or
+    /// division by zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use multival_pa::expr::{Expr, BinOp};
+    /// use multival_pa::value::Value;
+    /// use std::collections::HashMap;
+    ///
+    /// let e = Expr::bin(BinOp::Add, Expr::var("x"), Expr::int(1));
+    /// let mut env = HashMap::new();
+    /// env.insert(multival_pa::value::sym("x"), Value::Int(41));
+    /// assert_eq!(e.eval(&env), Ok(Value::Int(42)));
+    /// ```
+    pub fn eval(&self, env: &HashMap<Sym, Value>) -> Result<Value, EvalError> {
+        match self {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Var(x) => env
+                .get(x)
+                .cloned()
+                .ok_or_else(|| EvalError(format!("unbound variable `{x}`"))),
+            Expr::Un(op, e) => {
+                let v = e.eval(env)?;
+                match op {
+                    UnOp::Not => Ok(Value::Bool(!v.as_bool().map_err(EvalError)?)),
+                    UnOp::Neg => Ok(Value::Int(-v.as_int().map_err(EvalError)?)),
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                let va = a.eval(env)?;
+                // Short-circuit boolean operators.
+                match op {
+                    BinOp::And => {
+                        return if !va.as_bool().map_err(EvalError)? {
+                            Ok(Value::Bool(false))
+                        } else {
+                            b.eval(env)
+                        };
+                    }
+                    BinOp::Or => {
+                        return if va.as_bool().map_err(EvalError)? {
+                            Ok(Value::Bool(true))
+                        } else {
+                            b.eval(env)
+                        };
+                    }
+                    _ => {}
+                }
+                let vb = b.eval(env)?;
+                match op {
+                    BinOp::Add => Ok(Value::Int(
+                        va.as_int().map_err(EvalError)? + vb.as_int().map_err(EvalError)?,
+                    )),
+                    BinOp::Sub => Ok(Value::Int(
+                        va.as_int().map_err(EvalError)? - vb.as_int().map_err(EvalError)?,
+                    )),
+                    BinOp::Mul => Ok(Value::Int(
+                        va.as_int().map_err(EvalError)? * vb.as_int().map_err(EvalError)?,
+                    )),
+                    BinOp::Div => {
+                        let d = vb.as_int().map_err(EvalError)?;
+                        if d == 0 {
+                            return Err(EvalError("division by zero".into()));
+                        }
+                        Ok(Value::Int(va.as_int().map_err(EvalError)?.div_euclid(d)))
+                    }
+                    BinOp::Mod => {
+                        let d = vb.as_int().map_err(EvalError)?;
+                        if d == 0 {
+                            return Err(EvalError("modulo by zero".into()));
+                        }
+                        Ok(Value::Int(va.as_int().map_err(EvalError)?.rem_euclid(d)))
+                    }
+                    BinOp::Eq => Ok(Value::Bool(va == vb)),
+                    BinOp::Ne => Ok(Value::Bool(va != vb)),
+                    BinOp::Lt => Ok(Value::Bool(
+                        va.as_int().map_err(EvalError)? < vb.as_int().map_err(EvalError)?,
+                    )),
+                    BinOp::Le => Ok(Value::Bool(
+                        va.as_int().map_err(EvalError)? <= vb.as_int().map_err(EvalError)?,
+                    )),
+                    BinOp::Gt => Ok(Value::Bool(
+                        va.as_int().map_err(EvalError)? > vb.as_int().map_err(EvalError)?,
+                    )),
+                    BinOp::Ge => Ok(Value::Bool(
+                        va.as_int().map_err(EvalError)? >= vb.as_int().map_err(EvalError)?,
+                    )),
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                }
+            }
+            Expr::Ite(c, a, b) => {
+                if c.eval(env)?.as_bool().map_err(EvalError)? {
+                    a.eval(env)
+                } else {
+                    b.eval(env)
+                }
+            }
+        }
+    }
+
+    /// Substitutes variables and then constant-folds if the result is
+    /// closed. Keeping closed expressions in evaluated form is essential for
+    /// state canonicity during exploration: `0 + 1` and `1` must be the same
+    /// state. Expressions that fail to evaluate (e.g. division by zero) are
+    /// left untouched so the error surfaces at transition derivation with
+    /// proper context.
+    pub fn subst_fold(&self, env: &HashMap<Sym, Value>) -> Expr {
+        let e = self.subst(env);
+        let mut vars = std::collections::HashSet::new();
+        e.free_vars(&mut vars);
+        if vars.is_empty() {
+            if let Ok(v) = e.eval(&HashMap::new()) {
+                return Expr::Const(v);
+            }
+        }
+        e
+    }
+
+    /// Substitutes variables by constant values, leaving other variables.
+    pub fn subst(&self, env: &HashMap<Sym, Value>) -> Expr {
+        match self {
+            Expr::Const(_) => self.clone(),
+            Expr::Var(x) => match env.get(x) {
+                Some(v) => Expr::Const(v.clone()),
+                None => self.clone(),
+            },
+            Expr::Un(op, e) => Expr::Un(*op, Box::new(e.subst(env))),
+            Expr::Bin(op, a, b) => Expr::Bin(*op, Box::new(a.subst(env)), Box::new(b.subst(env))),
+            Expr::Ite(c, a, b) => Expr::Ite(
+                Box::new(c.subst(env)),
+                Box::new(a.subst(env)),
+                Box::new(b.subst(env)),
+            ),
+        }
+    }
+
+    /// Collects the free variables of the expression into `out`.
+    pub fn free_vars(&self, out: &mut std::collections::HashSet<Sym>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(x) => {
+                out.insert(x.clone());
+            }
+            Expr::Un(_, e) => e.free_vars(out),
+            Expr::Bin(_, a, b) => {
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+            Expr::Ite(c, a, b) => {
+                c.free_vars(out);
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Var(x) => write!(f, "{x}"),
+            Expr::Un(UnOp::Not, e) => write!(f, "not ({e})"),
+            Expr::Un(UnOp::Neg, e) => write!(f, "-({e})"),
+            Expr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Ite(c, a, b) => write!(f, "(if {c} then {a} else {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::sym;
+
+    fn env(pairs: &[(&str, Value)]) -> HashMap<Sym, Value> {
+        pairs.iter().map(|(k, v)| (sym(k), v.clone())).collect()
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = Expr::bin(BinOp::Add, Expr::int(2), Expr::bin(BinOp::Mul, Expr::int(3), Expr::int(4)));
+        assert_eq!(e.eval_closed(), Ok(Value::Int(14)));
+    }
+
+    #[test]
+    fn euclidean_div_mod() {
+        let e = Expr::bin(BinOp::Mod, Expr::int(-1), Expr::int(4));
+        assert_eq!(e.eval_closed(), Ok(Value::Int(3)), "rem_euclid semantics");
+        let d = Expr::bin(BinOp::Div, Expr::int(7), Expr::int(2));
+        assert_eq!(d.eval_closed(), Ok(Value::Int(3)));
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let e = Expr::bin(BinOp::Div, Expr::int(1), Expr::int(0));
+        assert!(e.eval_closed().is_err());
+        let m = Expr::bin(BinOp::Mod, Expr::int(1), Expr::int(0));
+        assert!(m.eval_closed().is_err());
+    }
+
+    #[test]
+    fn short_circuit_avoids_errors() {
+        // false and (1 div 0 == 1) must evaluate to false, not error.
+        let bad = Expr::bin(BinOp::Eq, Expr::bin(BinOp::Div, Expr::int(1), Expr::int(0)), Expr::int(1));
+        let e = Expr::bin(BinOp::And, Expr::bool(false), bad.clone());
+        assert_eq!(e.eval_closed(), Ok(Value::Bool(false)));
+        let o = Expr::bin(BinOp::Or, Expr::bool(true), bad);
+        assert_eq!(o.eval_closed(), Ok(Value::Bool(true)));
+    }
+
+    #[test]
+    fn unbound_variable_is_error() {
+        assert!(Expr::var("x").eval_closed().is_err());
+    }
+
+    #[test]
+    fn substitution_closes_expression() {
+        let e = Expr::bin(BinOp::Lt, Expr::var("x"), Expr::int(5));
+        let closed = e.subst(&env(&[("x", Value::Int(3))]));
+        assert_eq!(closed.eval_closed(), Ok(Value::Bool(true)));
+    }
+
+    #[test]
+    fn enum_equality() {
+        let e = Expr::bin(
+            BinOp::Eq,
+            Expr::Const(Value::Sym(sym("M"))),
+            Expr::Const(Value::Sym(sym("M"))),
+        );
+        assert_eq!(e.eval_closed(), Ok(Value::Bool(true)));
+    }
+
+    #[test]
+    fn ite_selects_branch() {
+        let e = Expr::Ite(
+            Box::new(Expr::bool(false)),
+            Box::new(Expr::int(1)),
+            Box::new(Expr::int(2)),
+        );
+        assert_eq!(e.eval_closed(), Ok(Value::Int(2)));
+    }
+
+    #[test]
+    fn free_vars_collected() {
+        let e = Expr::bin(BinOp::Add, Expr::var("x"), Expr::bin(BinOp::Mul, Expr::var("y"), Expr::int(2)));
+        let mut vars = std::collections::HashSet::new();
+        e.free_vars(&mut vars);
+        assert_eq!(vars.len(), 2);
+        assert!(vars.contains(&sym("x")) && vars.contains(&sym("y")));
+    }
+
+    #[test]
+    fn type_mismatch_reported() {
+        let e = Expr::bin(BinOp::Add, Expr::bool(true), Expr::int(1));
+        let err = e.eval_closed().expect_err("bool + int");
+        assert!(err.0.contains("expected int"));
+    }
+}

@@ -1,0 +1,378 @@
+//! Lexer for the mini-LOTOS textual syntax.
+//!
+//! Comments: `(* … *)` (nestable) and `-- …` to end of line.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier (process, gate, variable, or type name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Keyword (lowercase reserved word).
+    Kw(&'static str),
+    /// `[]`
+    ChoiceOp,
+    /// `[>`
+    DisableOp,
+    /// `|[`
+    LBrackBar,
+    /// `]|`
+    RBrackBar,
+    /// `|||`
+    Interleave,
+    /// `||`
+    FullSync,
+    /// `>>`
+    Enable,
+    /// `->`
+    Arrow,
+    /// `..`
+    DotDot,
+    /// `:=`
+    Define,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBrack,
+    /// `]`
+    RBrack,
+    /// `!`
+    Bang,
+    /// `?`
+    Quest,
+    /// `==` (also written `=`)
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(i) => write!(f, "integer `{i}`"),
+            Tok::Kw(k) => write!(f, "keyword `{k}`"),
+            Tok::ChoiceOp => write!(f, "`[]`"),
+            Tok::DisableOp => write!(f, "`[>`"),
+            Tok::LBrackBar => write!(f, "`|[`"),
+            Tok::RBrackBar => write!(f, "`]|`"),
+            Tok::Interleave => write!(f, "`|||`"),
+            Tok::FullSync => write!(f, "`||`"),
+            Tok::Enable => write!(f, "`>>`"),
+            Tok::Arrow => write!(f, "`->`"),
+            Tok::DotDot => write!(f, "`..`"),
+            Tok::Define => write!(f, "`:=`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrack => write!(f, "`[`"),
+            Tok::RBrack => write!(f, "`]`"),
+            Tok::Bang => write!(f, "`!`"),
+            Tok::Quest => write!(f, "`?`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::Ne => write!(f, "`!=`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Reserved words of the dialect.
+pub const KEYWORDS: &[&str] = &[
+    "process", "endproc", "type", "endtype", "is", "behaviour", "behavior", "endspec", "stop",
+    "exit", "hide", "rename", "in", "let", "accept", "choice", "bool", "int", "and", "or",
+    "not", "div", "mod", "if", "then", "else", "true", "false",
+];
+
+/// A token plus its 1-based source line (for diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Lexing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line of the offending character.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src`, ending with a [`Tok::Eof`] token.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unknown characters, unterminated comments, or
+/// integer overflow.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if i + 1 < bytes.len() && bytes[i] == b'(' && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < bytes.len() && bytes[i] == b'*' && bytes[i + 1] == b')' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if depth > 0 {
+                    return Err(LexError {
+                        line: start_line,
+                        message: "unterminated comment".into(),
+                    });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v: i64 = text.parse().map_err(|_| LexError {
+                    line,
+                    message: format!("integer literal `{text}` overflows i64"),
+                })?;
+                out.push(Spanned { tok: Tok::Int(v), line });
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &src[start..i];
+                let tok = match KEYWORDS.iter().find(|&&k| k == word) {
+                    Some(&k) => Tok::Kw(k),
+                    None => Tok::Ident(word.to_owned()),
+                };
+                out.push(Spanned { tok, line });
+            }
+            _ => {
+                let rest = &src[i..];
+                let (tok, len) = if rest.starts_with("|||") {
+                    (Tok::Interleave, 3)
+                } else if rest.starts_with("|[") {
+                    (Tok::LBrackBar, 2)
+                } else if rest.starts_with("||") {
+                    (Tok::FullSync, 2)
+                } else if rest.starts_with("]|") {
+                    (Tok::RBrackBar, 2)
+                } else if rest.starts_with("[]") {
+                    (Tok::ChoiceOp, 2)
+                } else if rest.starts_with("[>") {
+                    (Tok::DisableOp, 2)
+                } else if rest.starts_with(">>") {
+                    (Tok::Enable, 2)
+                } else if rest.starts_with("->") {
+                    (Tok::Arrow, 2)
+                } else if rest.starts_with("..") {
+                    (Tok::DotDot, 2)
+                } else if rest.starts_with(":=") {
+                    (Tok::Define, 2)
+                } else if rest.starts_with("==") {
+                    (Tok::EqEq, 2)
+                } else if rest.starts_with("!=") {
+                    (Tok::Ne, 2)
+                } else if rest.starts_with("<=") {
+                    (Tok::Le, 2)
+                } else if rest.starts_with(">=") {
+                    (Tok::Ge, 2)
+                } else {
+                    match c {
+                        ';' => (Tok::Semi, 1),
+                        ',' => (Tok::Comma, 1),
+                        ':' => (Tok::Colon, 1),
+                        '(' => (Tok::LParen, 1),
+                        ')' => (Tok::RParen, 1),
+                        '[' => (Tok::LBrack, 1),
+                        ']' => (Tok::RBrack, 1),
+                        '!' => (Tok::Bang, 1),
+                        '?' => (Tok::Quest, 1),
+                        '=' => (Tok::EqEq, 1),
+                        '<' => (Tok::Lt, 1),
+                        '>' => (Tok::Gt, 1),
+                        '+' => (Tok::Plus, 1),
+                        '-' => (Tok::Minus, 1),
+                        '*' => (Tok::Star, 1),
+                        other => {
+                            return Err(LexError {
+                                line,
+                                message: format!("unexpected character `{other}`"),
+                            })
+                        }
+                    }
+                };
+                out.push(Spanned { tok, line });
+                i += len;
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).expect("lexes").into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn operators_max_munch() {
+        assert_eq!(
+            toks("[] [> |[ ]| ||| || >> -> .. := == != <= >="),
+            vec![
+                Tok::ChoiceOp,
+                Tok::DisableOp,
+                Tok::LBrackBar,
+                Tok::RBrackBar,
+                Tok::Interleave,
+                Tok::FullSync,
+                Tok::Enable,
+                Tok::Arrow,
+                Tok::DotDot,
+                Tok::Define,
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            toks("process Pro stop stopit"),
+            vec![
+                Tok::Kw("process"),
+                Tok::Ident("Pro".into()),
+                Tok::Kw("stop"),
+                Tok::Ident("stopit".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a -- line comment\n(* block (* nested *) *) b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(lex("(* oops").is_err());
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let spanned = lex("a\nb\n\nc").expect("lexes");
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+        assert_eq!(spanned[2].line, 4);
+    }
+
+    #[test]
+    fn guard_brackets_lex_separately() {
+        assert_eq!(
+            toks("[n < 3] ->"),
+            vec![
+                Tok::LBrack,
+                Tok::Ident("n".into()),
+                Tok::Lt,
+                Tok::Int(3),
+                Tok::RBrack,
+                Tok::Arrow,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_character_is_error() {
+        let err = lex("a # b").expect_err("hash is not a token");
+        assert!(err.message.contains('#'));
+    }
+}

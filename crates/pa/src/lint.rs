@@ -1,0 +1,377 @@
+//! Static lints for mini-LOTOS specifications: common modeling pitfalls
+//! that are legal but almost always wrong.
+//!
+//! The flagship lint is the *blocked synchronization gate*: composing
+//! `B1 |[g]| B2` when one side can never offer `g` silently blocks the gate
+//! forever — the classic LOTOS mistake (the other side's `g`-transitions
+//! vanish from the product with no diagnostic).
+
+use crate::spec::Spec;
+use crate::term::{SyncKind, Term};
+use crate::value::Sym;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// A lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lint {
+    /// A gate appears in a `|[G]|` synchronization set but one operand can
+    /// never perform it: all its occurrences on the other side block.
+    BlockedSyncGate {
+        /// The gate.
+        gate: String,
+        /// Which side lacks it (`"left"` / `"right"`).
+        missing_side: &'static str,
+        /// Where (process name or `<top>`).
+        context: String,
+    },
+    /// A process is defined but never instantiated (from the top behaviour
+    /// or any other process).
+    UnusedProcess {
+        /// The process name.
+        name: String,
+    },
+    /// A guard is the constant `false`: the branch is dead.
+    DeadGuard {
+        /// Where (process name or `<top>`).
+        context: String,
+    },
+    /// A gate is hidden but the body can never perform it.
+    UselessHide {
+        /// The gate.
+        gate: String,
+        /// Where.
+        context: String,
+    },
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lint::BlockedSyncGate { gate, missing_side, context } => write!(
+                f,
+                "in `{context}`: gate `{gate}` is in a |[..]| sync set but the \
+                 {missing_side} operand never offers it — the gate blocks forever"
+            ),
+            Lint::UnusedProcess { name } => {
+                write!(f, "process `{name}` is defined but never instantiated")
+            }
+            Lint::DeadGuard { context } => {
+                write!(f, "in `{context}`: guard is constant false (dead branch)")
+            }
+            Lint::UselessHide { gate, context } => write!(
+                f,
+                "in `{context}`: gate `{gate}` is hidden but never offered by the body"
+            ),
+        }
+    }
+}
+
+/// Computes the set of gates a term may perform, following process calls
+/// (fixed point over the call graph; gate parameters are resolved through
+/// the instantiation map).
+pub fn term_gates(term: &Arc<Term>, spec: &Spec) -> HashSet<Sym> {
+    let mut memo: HashMap<Sym, HashSet<Sym>> = HashMap::new();
+    // Fixed point over process definitions: gates of a body in terms of the
+    // *formal* gate names.
+    loop {
+        let mut changed = false;
+        for def in spec.processes() {
+            let current = gates_of(&def.body, spec, &memo);
+            let entry = memo.entry(def.name.clone()).or_default();
+            if &current != entry {
+                *entry = current;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    gates_of(term, spec, &memo)
+}
+
+fn gates_of(
+    term: &Arc<Term>,
+    spec: &Spec,
+    memo: &HashMap<Sym, HashSet<Sym>>,
+) -> HashSet<Sym> {
+    match &**term {
+        Term::Stop => HashSet::new(),
+        Term::Exit(_) => {
+            let mut s = HashSet::new();
+            s.insert(crate::value::sym("exit"));
+            s
+        }
+        Term::Prefix(a, cont) => {
+            let mut s = gates_of(cont, spec, memo);
+            if &*a.gate != "i" && &*a.gate != "tau" {
+                s.insert(a.gate.clone());
+            }
+            s
+        }
+        Term::Guard(_, b) | Term::Hide(_, b) | Term::Rename(_, b) | Term::Let(_, b) => {
+            // Hide keeps the gate *possible* internally; for sync-blocking
+            // analysis only the visible alphabet matters, so hidden gates
+            // are removed; renaming maps them.
+            match &**term {
+                Term::Hide(gs, _) => {
+                    let mut s = gates_of(b, spec, memo);
+                    for g in gs.iter() {
+                        s.remove(g);
+                    }
+                    s
+                }
+                Term::Rename(m, _) => {
+                    let inner = gates_of(b, spec, memo);
+                    inner
+                        .into_iter()
+                        .map(|g| {
+                            m.iter()
+                                .find(|(from, _)| *from == g)
+                                .map(|(_, to)| to.clone())
+                                .unwrap_or(g)
+                        })
+                        .collect()
+                }
+                _ => gates_of(b, spec, memo),
+            }
+        }
+        Term::Choice(l, r) | Term::Par(_, l, r) | Term::Disable(l, r) => {
+            let mut s = gates_of(l, spec, memo);
+            s.extend(gates_of(r, spec, memo));
+            s
+        }
+        Term::Enable(l, _, r) => {
+            let mut s = gates_of(l, spec, memo);
+            s.extend(gates_of(r, spec, memo));
+            s.remove(&crate::value::sym("exit"));
+            s
+        }
+        Term::Call(name, actual_gates, _) => {
+            let Some(def) = spec.process(name) else { return HashSet::new() };
+            let formals = memo.get(name).cloned().unwrap_or_default();
+            // Map formal gates to actual gates.
+            let map: HashMap<&Sym, &Sym> =
+                def.gates.iter().zip(actual_gates.iter()).collect();
+            formals
+                .into_iter()
+                .map(|g| map.get(&g).map(|&a| a.clone()).unwrap_or(g))
+                .collect()
+        }
+    }
+}
+
+/// Runs all lints over a specification.
+pub fn lint(spec: &Spec) -> Vec<Lint> {
+    let mut findings = Vec::new();
+
+    // Unused processes: reachable from the top (or from any process if
+    // there is no top, i.e. a library — then nothing is "unused").
+    if let Some(top) = spec.try_top() {
+        let mut used: HashSet<Sym> = HashSet::new();
+        let mut stack: Vec<Arc<Term>> = vec![top.clone()];
+        while let Some(t) = stack.pop() {
+            collect_calls(&t, &mut |name| {
+                if used.insert(name.clone()) {
+                    if let Some(def) = spec.process(&name) {
+                        stack.push(def.body.clone());
+                    }
+                }
+            });
+        }
+        for def in spec.processes() {
+            if !used.contains(&def.name) {
+                findings.push(Lint::UnusedProcess { name: def.name.to_string() });
+            }
+        }
+    }
+
+    // Per-term lints, in every process body and the top behaviour.
+    let mut contexts: Vec<(String, Arc<Term>)> = spec
+        .processes()
+        .map(|d| (d.name.to_string(), d.body.clone()))
+        .collect();
+    contexts.sort_by(|a, b| a.0.cmp(&b.0));
+    if let Some(top) = spec.try_top() {
+        contexts.push(("<top>".to_owned(), top.clone()));
+    }
+    for (ctx, body) in contexts {
+        walk(&body, spec, &ctx, &mut findings);
+    }
+    findings
+}
+
+fn collect_calls(term: &Arc<Term>, f: &mut impl FnMut(Sym)) {
+    match &**term {
+        Term::Call(name, _, _) => f(name.clone()),
+        Term::Stop | Term::Exit(_) => {}
+        Term::Prefix(_, b) | Term::Guard(_, b) | Term::Hide(_, b) | Term::Rename(_, b)
+        | Term::Let(_, b) => collect_calls(b, f),
+        Term::Choice(l, r) | Term::Par(_, l, r) | Term::Disable(l, r) => {
+            collect_calls(l, f);
+            collect_calls(r, f);
+        }
+        Term::Enable(l, _, r) => {
+            collect_calls(l, f);
+            collect_calls(r, f);
+        }
+    }
+}
+
+fn walk(term: &Arc<Term>, spec: &Spec, ctx: &str, findings: &mut Vec<Lint>) {
+    match &**term {
+        Term::Par(SyncKind::Gates(gs), l, r) => {
+            let lg = term_gates(l, spec);
+            let rg = term_gates(r, spec);
+            for g in gs.iter() {
+                if &**g == "exit" {
+                    continue;
+                }
+                if !lg.contains(g) {
+                    findings.push(Lint::BlockedSyncGate {
+                        gate: g.to_string(),
+                        missing_side: "left",
+                        context: ctx.to_owned(),
+                    });
+                } else if !rg.contains(g) {
+                    findings.push(Lint::BlockedSyncGate {
+                        gate: g.to_string(),
+                        missing_side: "right",
+                        context: ctx.to_owned(),
+                    });
+                }
+            }
+            walk(l, spec, ctx, findings);
+            walk(r, spec, ctx, findings);
+        }
+        Term::Guard(e, b) => {
+            if e == &crate::expr::Expr::bool(false) {
+                findings.push(Lint::DeadGuard { context: ctx.to_owned() });
+            }
+            walk(b, spec, ctx, findings);
+        }
+        Term::Hide(gs, b) => {
+            let bg = term_gates(b, spec);
+            for g in gs.iter() {
+                if !bg.contains(g) {
+                    findings.push(Lint::UselessHide {
+                        gate: g.to_string(),
+                        context: ctx.to_owned(),
+                    });
+                }
+            }
+            walk(b, spec, ctx, findings);
+        }
+        Term::Stop | Term::Exit(_) | Term::Call(..) => {}
+        Term::Prefix(_, b) | Term::Rename(_, b) | Term::Let(_, b) => {
+            walk(b, spec, ctx, findings)
+        }
+        Term::Choice(l, r) | Term::Par(_, l, r) | Term::Disable(l, r) => {
+            walk(l, spec, ctx, findings);
+            walk(r, spec, ctx, findings);
+        }
+        Term::Enable(l, _, r) => {
+            walk(l, spec, ctx, findings);
+            walk(r, spec, ctx, findings);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_spec;
+
+    #[test]
+    fn blocked_sync_gate_detected() {
+        let spec = parse_spec(
+            "behaviour (a; stop) |[a, b]| (a; stop)",
+        )
+        .expect("parses");
+        let findings = lint(&spec);
+        assert!(
+            findings.iter().any(|l| matches!(
+                l,
+                Lint::BlockedSyncGate { gate, .. } if gate == "b"
+            )),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn clean_sync_not_flagged() {
+        let spec = parse_spec("behaviour (a; b; stop) |[a, b]| (a; b; stop)")
+            .expect("parses");
+        let findings = lint(&spec);
+        assert!(
+            !findings.iter().any(|l| matches!(l, Lint::BlockedSyncGate { .. })),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn sync_through_process_calls_resolved() {
+        // The gate flows through a call with renamed gate parameters.
+        let spec = parse_spec(
+            "process P[g] := g; P[g] endproc
+             behaviour P[x] |[x]| P[x]",
+        )
+        .expect("parses");
+        let findings = lint(&spec);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unused_process_detected() {
+        let spec = parse_spec(
+            "process Used[g] := g; Used[g] endproc
+             process Orphan[h] := h; stop endproc
+             behaviour Used[a]",
+        )
+        .expect("parses");
+        let findings = lint(&spec);
+        assert!(findings
+            .iter()
+            .any(|l| matches!(l, Lint::UnusedProcess { name } if name == "Orphan")));
+        assert!(!findings
+            .iter()
+            .any(|l| matches!(l, Lint::UnusedProcess { name } if name == "Used")));
+    }
+
+    #[test]
+    fn dead_guard_detected() {
+        let spec = parse_spec("behaviour [false] -> a; stop [] b; stop").expect("parses");
+        let findings = lint(&spec);
+        assert!(findings.iter().any(|l| matches!(l, Lint::DeadGuard { .. })));
+    }
+
+    #[test]
+    fn useless_hide_detected() {
+        let spec = parse_spec("behaviour hide ghost in a; stop").expect("parses");
+        let findings = lint(&spec);
+        assert!(findings
+            .iter()
+            .any(|l| matches!(l, Lint::UselessHide { gate, .. } if gate == "ghost")));
+    }
+
+    #[test]
+    fn term_gates_follows_recursion_and_renaming() {
+        let spec = parse_spec(
+            "process Ping[a, b] := a; Pong[a, b] endproc
+             process Pong[a, b] := b; Ping[a, b] endproc
+             behaviour Ping[x, y]",
+        )
+        .expect("parses");
+        let gates = term_gates(spec.top(), &spec);
+        let names: HashSet<&str> = gates.iter().map(|g| &**g).collect();
+        assert_eq!(names, HashSet::from(["x", "y"]));
+    }
+
+    #[test]
+    fn library_spec_has_no_unused_findings() {
+        let spec = parse_spec("process P[g] := g; P[g] endproc").expect("parses");
+        assert!(lint(&spec).is_empty());
+    }
+}

@@ -1,0 +1,815 @@
+//! Recursive-descent parser for the mini-LOTOS textual syntax.
+//!
+//! # Grammar
+//!
+//! ```text
+//! spec        := item* ("behaviour" | "behavior") behaviour "endspec"?
+//! item        := "type" IDENT "is" IDENT ("," IDENT)* "endtype"
+//!              | "process" IDENT gates? params? ":=" behaviour "endproc"
+//! gates       := "[" IDENT ("," IDENT)* "]"
+//! params      := "(" param ("," param)* ")"
+//! param       := IDENT ":" type
+//! type        := "bool" | "int" int ".." int | IDENT        -- IDENT: enum
+//!
+//! behaviour   := disable (">>" ("accept" param ("," param)* "in")? behaviour)?
+//! disable     := parallel ("[>" parallel)*
+//! parallel    := choice (("|||" | "||" | "|[" IDENT,* "]|") choice)*
+//! choice      := prefix ("[]" prefix)*
+//! prefix      := "stop"
+//!              | "exit" ("(" expr ("," expr)* ")")?
+//!              | "hide" IDENT ("," IDENT)* "in" behaviour
+//!              | "rename" IDENT "->" IDENT ("," IDENT "->" IDENT)* "in" behaviour
+//!              | "let" letbind ("," letbind)* "in" behaviour
+//!              | "choice" IDENT ":" type "[]" behaviour   -- value choice
+//!              | "[" expr "]" "->" prefix
+//!              | "(" behaviour ")"
+//!              | IDENT offer* ";" prefix                     -- action prefix
+//!              | IDENT gates? args?                          -- process call
+//! offer       := "!" atom | "?" IDENT ":" type
+//! letbind     := IDENT ":" type "=" expr
+//! ```
+//!
+//! Operator precedence, loosest to tightest: `>>`, `[>`, parallel, `[]`,
+//! prefix. `hide`/`rename`/`let` bodies extend maximally (parenthesize to
+//! restrict). Expressions use conventional precedence (`or` < `and` < `not`
+//! < comparisons < `+ -` < `* div mod` < unary `-`).
+
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::lexer::{lex, LexError, Spanned, Tok};
+use crate::spec::{ProcDef, Spec};
+use crate::term::{Action, Offer, SyncKind, Term};
+use crate::value::{sym, EnumDef, Sym, Type};
+use std::fmt;
+use std::sync::Arc;
+
+/// Parsing error with a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { line: e.line, message: e.message }
+    }
+}
+
+/// Parses a complete specification.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on syntax errors; the result is additionally run
+/// through [`Spec::validate`] so undefined processes and unbound variables
+/// are reported at parse time.
+///
+/// # Examples
+///
+/// ```
+/// use multival_pa::parser::parse_spec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = parse_spec(
+///     "process Buf[put, get](x: int 0..1, full: bool) :=
+///          [not full] -> put ?v:int 0..1; Buf[put, get](v, true)
+///       [] [full]     -> get !x;          Buf[put, get](x, false)
+///      endproc
+///      behaviour Buf[a, b](0, false)",
+/// )?;
+/// assert!(spec.process("Buf").is_some());
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_spec(src: &str) -> Result<Spec, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0, spec: Spec::new() };
+    p.spec()?;
+    let spec = p.spec;
+    spec.validate().map_err(|e| ParseError { line: 0, message: e.0 })?;
+    Ok(spec)
+}
+
+/// Parses a standalone behaviour expression against an existing spec's
+/// type/process tables (useful for tests and interactive exploration).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on syntax errors.
+pub fn parse_behaviour(src: &str, spec: &Spec) -> Result<Arc<Term>, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0, spec: spec.clone() };
+    let b = p.behaviour()?;
+    p.expect_eof()?;
+    Ok(b)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    spec: Spec,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t}, found {}", self.peek())))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError { line: self.line(), message }
+    }
+
+    fn ident(&mut self) -> Result<Sym, ParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(sym(&s)),
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if matches!(self.peek(), Tok::Eof) {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected {} after behaviour", self.peek())))
+        }
+    }
+
+    // ---- top level --------------------------------------------------------
+
+    fn spec(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Tok::Kw("type") => self.typedecl()?,
+                Tok::Kw("process") => self.procdecl()?,
+                Tok::Kw("behaviour") | Tok::Kw("behavior") => {
+                    self.bump();
+                    let top = self.behaviour()?;
+                    self.eat(&Tok::Kw("endspec"));
+                    self.expect_eof()?;
+                    self.spec.set_top(top);
+                    return Ok(());
+                }
+                Tok::Eof => {
+                    // Specification without a top behaviour is allowed (a
+                    // library of processes); callers set the top explicitly.
+                    return Ok(());
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected `type`, `process` or `behaviour`, found {other}"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn typedecl(&mut self) -> Result<(), ParseError> {
+        self.expect(&Tok::Kw("type"))?;
+        let name = self.ident()?;
+        self.expect(&Tok::Kw("is"))?;
+        let mut variants = vec![self.ident()?];
+        while self.eat(&Tok::Comma) {
+            variants.push(self.ident()?);
+        }
+        self.expect(&Tok::Kw("endtype"))?;
+        self.spec.add_type(EnumDef { name, variants });
+        Ok(())
+    }
+
+    fn procdecl(&mut self) -> Result<(), ParseError> {
+        self.expect(&Tok::Kw("process"))?;
+        let name = self.ident()?;
+        let mut gates = Vec::new();
+        if self.eat(&Tok::LBrack) {
+            gates.push(self.ident()?);
+            while self.eat(&Tok::Comma) {
+                gates.push(self.ident()?);
+            }
+            self.expect(&Tok::RBrack)?;
+        }
+        let mut params = Vec::new();
+        if self.eat(&Tok::LParen) {
+            params.push(self.param()?);
+            while self.eat(&Tok::Comma) {
+                params.push(self.param()?);
+            }
+            self.expect(&Tok::RParen)?;
+        }
+        self.expect(&Tok::Define)?;
+        let body = self.behaviour()?;
+        self.expect(&Tok::Kw("endproc"))?;
+        self.spec.add_process(ProcDef { name, gates, params, body });
+        Ok(())
+    }
+
+    fn param(&mut self) -> Result<(Sym, Type), ParseError> {
+        let name = self.ident()?;
+        self.expect(&Tok::Colon)?;
+        let ty = self.ty()?;
+        Ok((name, ty))
+    }
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        match self.bump() {
+            Tok::Kw("bool") => Ok(Type::Bool),
+            Tok::Kw("int") => {
+                let lo = self.int_lit()?;
+                self.expect(&Tok::DotDot)?;
+                let hi = self.int_lit()?;
+                if lo > hi {
+                    return Err(self.err(format!("empty integer range {lo}..{hi}")));
+                }
+                Ok(Type::Int(lo, hi))
+            }
+            Tok::Ident(name) => match self.spec.enum_type(&name) {
+                Some(def) => Ok(Type::Enum(def.clone())),
+                None => Err(self.err(format!("unknown type `{name}` (declare it with `type`)"))),
+            },
+            other => Err(self.err(format!("expected a type, found {other}"))),
+        }
+    }
+
+    fn int_lit(&mut self) -> Result<i64, ParseError> {
+        let neg = self.eat(&Tok::Minus);
+        match self.bump() {
+            Tok::Int(i) => Ok(if neg { -i } else { i }),
+            other => Err(self.err(format!("expected integer, found {other}"))),
+        }
+    }
+
+    // ---- behaviours -------------------------------------------------------
+
+    fn behaviour(&mut self) -> Result<Arc<Term>, ParseError> {
+        let left = self.disable()?;
+        if self.eat(&Tok::Enable) {
+            let mut binders = Vec::new();
+            if self.eat(&Tok::Kw("accept")) {
+                binders.push(self.param()?);
+                while self.eat(&Tok::Comma) {
+                    binders.push(self.param()?);
+                }
+                self.expect(&Tok::Kw("in"))?;
+            }
+            let right = self.behaviour()?; // right associative
+            return Ok(Term::Enable(left, binders, right).rc());
+        }
+        Ok(left)
+    }
+
+    fn disable(&mut self) -> Result<Arc<Term>, ParseError> {
+        let mut acc = self.parallel()?;
+        while self.eat(&Tok::DisableOp) {
+            let rhs = self.parallel()?;
+            acc = Term::Disable(acc, rhs).rc();
+        }
+        Ok(acc)
+    }
+
+    fn parallel(&mut self) -> Result<Arc<Term>, ParseError> {
+        let mut acc = self.choice()?;
+        loop {
+            let kind = match self.peek() {
+                Tok::Interleave => {
+                    self.bump();
+                    SyncKind::Interleave
+                }
+                Tok::FullSync => {
+                    self.bump();
+                    SyncKind::Full
+                }
+                Tok::LBrackBar => {
+                    self.bump();
+                    let mut gates = vec![self.ident()?];
+                    while self.eat(&Tok::Comma) {
+                        gates.push(self.ident()?);
+                    }
+                    self.expect(&Tok::RBrackBar)?;
+                    SyncKind::gates(gates.iter().map(|g| &**g))
+                }
+                _ => break,
+            };
+            let rhs = self.choice()?;
+            acc = Term::Par(kind, acc, rhs).rc();
+        }
+        Ok(acc)
+    }
+
+    fn choice(&mut self) -> Result<Arc<Term>, ParseError> {
+        let mut acc = self.prefix()?;
+        while self.eat(&Tok::ChoiceOp) {
+            let rhs = self.prefix()?;
+            acc = Term::Choice(acc, rhs).rc();
+        }
+        Ok(acc)
+    }
+
+    fn prefix(&mut self) -> Result<Arc<Term>, ParseError> {
+        match self.peek().clone() {
+            Tok::Kw("stop") => {
+                self.bump();
+                Ok(Term::Stop.rc())
+            }
+            Tok::Kw("exit") => {
+                self.bump();
+                let mut args = Vec::new();
+                if self.eat(&Tok::LParen) {
+                    args.push(self.expr()?);
+                    while self.eat(&Tok::Comma) {
+                        args.push(self.expr()?);
+                    }
+                    self.expect(&Tok::RParen)?;
+                }
+                Ok(Term::Exit(args).rc())
+            }
+            Tok::Kw("hide") => {
+                self.bump();
+                let mut gates = vec![self.ident()?];
+                while self.eat(&Tok::Comma) {
+                    gates.push(self.ident()?);
+                }
+                self.expect(&Tok::Kw("in"))?;
+                let body = self.behaviour()?;
+                Ok(Term::Hide(gates.into(), body).rc())
+            }
+            Tok::Kw("rename") => {
+                self.bump();
+                let mut map = Vec::new();
+                loop {
+                    let from = self.ident()?;
+                    self.expect(&Tok::Arrow)?;
+                    let to = self.ident()?;
+                    map.push((from, to));
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::Kw("in"))?;
+                let body = self.behaviour()?;
+                Ok(Term::Rename(map.into(), body).rc())
+            }
+            Tok::Kw("choice") => {
+                // Value choice: `choice x:T [] B` desugars into the finite
+                // `[]`-sum of B[x:=v] over all values v of T.
+                self.bump();
+                let x = self.ident()?;
+                self.expect(&Tok::Colon)?;
+                let ty = self.ty()?;
+                self.expect(&Tok::ChoiceOp)?;
+                let body = self.behaviour()?;
+                let values = ty.values();
+                if values.is_empty() {
+                    return Ok(Term::Stop.rc());
+                }
+                let mut alts = values.into_iter().map(|v| {
+                    let mut env = std::collections::HashMap::new();
+                    env.insert(x.clone(), v);
+                    body.subst_vars(&env)
+                });
+                let first = alts.next().expect("nonempty");
+                Ok(alts.fold(first, |acc, alt| Term::Choice(acc, alt).rc()))
+            }
+            Tok::Kw("let") => {
+                self.bump();
+                let mut binds = Vec::new();
+                loop {
+                    let name = self.ident()?;
+                    self.expect(&Tok::Colon)?;
+                    let ty = self.ty()?;
+                    self.expect(&Tok::EqEq)?;
+                    let e = self.expr()?;
+                    binds.push((name, ty, e));
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::Kw("in"))?;
+                let body = self.behaviour()?;
+                Ok(Term::Let(binds, body).rc())
+            }
+            Tok::LBrack => {
+                // Guard: [expr] -> prefix
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RBrack)?;
+                self.expect(&Tok::Arrow)?;
+                let body = self.prefix()?;
+                Ok(Term::Guard(e, body).rc())
+            }
+            Tok::LParen => {
+                self.bump();
+                let b = self.behaviour()?;
+                self.expect(&Tok::RParen)?;
+                Ok(b)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                // Offers → action prefix; otherwise a process call.
+                let mut offers = Vec::new();
+                loop {
+                    match self.peek() {
+                        Tok::Bang => {
+                            self.bump();
+                            offers.push(Offer::Send(self.atom()?));
+                        }
+                        Tok::Quest => {
+                            self.bump();
+                            let x = self.ident()?;
+                            self.expect(&Tok::Colon)?;
+                            let ty = self.ty()?;
+                            offers.push(Offer::Recv(x, ty));
+                        }
+                        _ => break,
+                    }
+                }
+                if !offers.is_empty() || matches!(self.peek(), Tok::Semi) {
+                    self.expect(&Tok::Semi)?;
+                    let cont = self.prefix()?;
+                    return Ok(Term::Prefix(Action { gate: sym(&name), offers }, cont).rc());
+                }
+                // Process call.
+                let mut gates = Vec::new();
+                if self.eat(&Tok::LBrack) {
+                    gates.push(self.ident()?);
+                    while self.eat(&Tok::Comma) {
+                        gates.push(self.ident()?);
+                    }
+                    self.expect(&Tok::RBrack)?;
+                }
+                let mut args = Vec::new();
+                if self.eat(&Tok::LParen) {
+                    args.push(self.expr()?);
+                    while self.eat(&Tok::Comma) {
+                        args.push(self.expr()?);
+                    }
+                    self.expect(&Tok::RParen)?;
+                }
+                Ok(Term::Call(sym(&name), gates, args).rc())
+            }
+            other => Err(self.err(format!("expected a behaviour, found {other}"))),
+        }
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut acc = self.and_expr()?;
+        while self.eat(&Tok::Kw("or")) {
+            let rhs = self.and_expr()?;
+            acc = Expr::bin(BinOp::Or, acc, rhs);
+        }
+        Ok(acc)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut acc = self.not_expr()?;
+        while self.eat(&Tok::Kw("and")) {
+            let rhs = self.not_expr()?;
+            acc = Expr::bin(BinOp::And, acc, rhs);
+        }
+        Ok(acc)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Tok::Kw("not")) {
+            let e = self.not_expr()?;
+            return Ok(Expr::Un(UnOp::Not, Box::new(e)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::EqEq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::bin(op, lhs, rhs))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut acc = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            acc = Expr::bin(op, acc, rhs);
+        }
+        Ok(acc)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut acc = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Kw("div") => BinOp::Div,
+                Tok::Kw("mod") => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            acc = Expr::bin(op, acc, rhs);
+        }
+        Ok(acc)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Tok::Minus) {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Un(UnOp::Neg, Box::new(e)));
+        }
+        self.atom()
+    }
+
+    /// An atomic expression. Also used for `!` offers, so that `g !x !1` has
+    /// unambiguous offer boundaries; write `!(a + b)` for compound offers.
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Tok::Int(i) => Ok(Expr::int(i)),
+            Tok::Kw("true") => Ok(Expr::bool(true)),
+            Tok::Kw("false") => Ok(Expr::bool(false)),
+            Tok::Ident(name) => Ok(Expr::Var(sym(&name))),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Kw("if") => {
+                let c = self.expr()?;
+                self.expect(&Tok::Kw("then"))?;
+                let a = self.expr()?;
+                self.expect(&Tok::Kw("else"))?;
+                let b = self.expr()?;
+                Ok(Expr::Ite(Box::new(c), Box::new(a), Box::new(b)))
+            }
+            other => Err(self.err(format!("expected an expression, found {other}"))),
+        }
+    }
+}
+
+// `peek2` is kept for grammar extensions (look-ahead on offers).
+impl Parser {
+    #[allow(dead_code)]
+    fn lookahead_is_offer(&self) -> bool {
+        matches!(self.peek2(), Tok::Bang | Tok::Quest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::{explore, ExploreOptions};
+
+    #[test]
+    fn parses_buffer_and_explores() {
+        let spec = parse_spec(
+            "process Buf[put, get](full: bool) :=
+                 [not full] -> put; Buf[put, get](true)
+              [] [full] -> get; Buf[put, get](false)
+             endproc
+             behaviour Buf[p, g](false)",
+        )
+        .expect("parses");
+        let e = explore(&spec, &ExploreOptions::default()).expect("explores");
+        assert_eq!(e.lts.num_states(), 2);
+        assert_eq!(e.lts.num_transitions(), 2);
+    }
+
+    #[test]
+    fn parses_enum_types() {
+        let spec = parse_spec(
+            "type msi is I, S, M endtype
+             process Cache[req](st: msi) :=
+                 [st == I] -> req !S; Cache[req](S)
+              [] [st == S] -> req !M; Cache[req](M)
+             endproc
+             behaviour Cache[r](I)",
+        )
+        .expect("parses");
+        let e = explore(&spec, &ExploreOptions::default()).expect("explores");
+        assert_eq!(e.lts.num_states(), 3);
+        let labels: Vec<String> = e
+            .lts
+            .iter_transitions()
+            .map(|(_, l, _)| e.lts.labels().name(l).to_owned())
+            .collect();
+        // Gate `req` was instantiated as `r` at the top behaviour.
+        assert!(labels.contains(&"r !S".to_owned()), "labels: {labels:?}");
+    }
+
+    #[test]
+    fn parses_parallel_and_hide() {
+        let spec = parse_spec(
+            "behaviour hide mid in
+               (a; mid; stop |[mid]| mid; b; stop)",
+        )
+        .expect("parses");
+        let e = explore(&spec, &ExploreOptions::default()).expect("explores");
+        // a; tau; b; stop — 4 states.
+        assert_eq!(e.lts.num_states(), 4);
+        assert!(e.lts.iter_transitions().any(|(_, l, _)| l.is_tau()));
+    }
+
+    #[test]
+    fn parses_data_offers() {
+        let spec = parse_spec(
+            "behaviour ch ?x:int 0..2 !x; stop",
+        )
+        .expect("parses");
+        let e = explore(&spec, &ExploreOptions::default()).expect("explores");
+        assert_eq!(e.lts.num_transitions(), 3);
+    }
+
+    #[test]
+    fn parses_enable_and_accept() {
+        let spec = parse_spec(
+            "behaviour (a; exit(3)) >> accept n:int 0..9 in b !n; stop",
+        )
+        .expect("parses");
+        let e = explore(&spec, &ExploreOptions::default()).expect("explores");
+        let labels: Vec<String> = e
+            .lts
+            .iter_transitions()
+            .map(|(_, l, _)| e.lts.labels().name(l).to_owned())
+            .collect();
+        assert!(labels.contains(&"b !3".to_owned()));
+    }
+
+    #[test]
+    fn parses_disable() {
+        let spec = parse_spec("behaviour (a; stop) [> (kill; stop)").expect("parses");
+        let e = explore(&spec, &ExploreOptions::default()).expect("explores");
+        let labels: Vec<String> = e
+            .lts
+            .iter_transitions()
+            .map(|(_, l, _)| e.lts.labels().name(l).to_owned())
+            .collect();
+        assert!(labels.contains(&"kill".to_owned()));
+    }
+
+    #[test]
+    fn parses_let_and_rename() {
+        let spec = parse_spec(
+            "behaviour let n:int 0..9 = 4 in
+               rename g -> h in g !n; stop",
+        )
+        .expect("parses");
+        let e = explore(&spec, &ExploreOptions::default()).expect("explores");
+        let labels: Vec<String> = e
+            .lts
+            .iter_transitions()
+            .map(|(_, l, _)| e.lts.labels().name(l).to_owned())
+            .collect();
+        assert_eq!(labels, vec!["h !4"]);
+    }
+
+    #[test]
+    fn reports_unknown_type() {
+        let err = parse_spec("behaviour g ?x:color; stop").expect_err("unknown type");
+        assert!(err.message.contains("unknown type"));
+    }
+
+    #[test]
+    fn reports_undefined_process_at_parse_time() {
+        let err = parse_spec("behaviour Ghost[g]").expect_err("undefined process");
+        assert!(err.message.contains("undefined process"));
+    }
+
+    #[test]
+    fn reports_syntax_error_with_line() {
+        let err = parse_spec("behaviour\n  a; ; stop").expect_err("syntax");
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn precedence_choice_binds_tighter_than_par() {
+        // a; stop [] b; stop ||| c; stop ≡ (a;stop [] b;stop) ||| (c;stop)
+        let spec = parse_spec("behaviour a; stop [] b; stop ||| c; stop").expect("parses");
+        let e = explore(&spec, &ExploreOptions::default()).expect("explores");
+        // Initial state must offer a, b, and c.
+        assert_eq!(e.lts.transitions_from(0).len(), 3);
+    }
+
+    #[test]
+    fn library_spec_without_top() {
+        let spec = parse_spec("process P[g] := g; P[g] endproc").expect("parses");
+        assert!(spec.try_top().is_none());
+        assert!(spec.process("P").is_some());
+    }
+
+    #[test]
+    fn parse_behaviour_against_library() {
+        let spec = parse_spec("process P[g] := g; P[g] endproc").expect("parses");
+        let b = parse_behaviour("P[tick] ||| P[tock]", &spec).expect("parses");
+        let e = crate::explorer::explore_term(b, &spec, &ExploreOptions::default())
+            .expect("explores");
+        assert_eq!(e.lts.num_states(), 1);
+        assert_eq!(e.lts.num_transitions(), 2);
+    }
+
+    #[test]
+    fn value_choice_desugars_to_finite_sum() {
+        // choice d:int 0..2 [] send !d; stop ≡ the 3-way [] sum.
+        let spec = parse_spec("behaviour choice d:int 0..2 [] send !d; stop")
+            .expect("parses");
+        let e = explore(&spec, &ExploreOptions::default()).expect("explores");
+        assert_eq!(e.lts.transitions_from(0).len(), 3);
+        let labels: Vec<String> = e
+            .lts
+            .iter_transitions()
+            .map(|(_, l, _)| e.lts.labels().name(l).to_owned())
+            .collect();
+        assert!(labels.contains(&"send !0".to_owned()));
+        assert!(labels.contains(&"send !2".to_owned()));
+    }
+
+    #[test]
+    fn value_choice_over_enum() {
+        let spec = parse_spec(
+            "type st is I, S, M endtype
+             behaviour choice c:st [] probe !c; stop",
+        )
+        .expect("parses");
+        let e = explore(&spec, &ExploreOptions::default()).expect("explores");
+        assert_eq!(e.lts.transitions_from(0).len(), 3);
+    }
+
+    #[test]
+    fn value_choice_binds_like_recv() {
+        // Equivalent to g ?d:int 0..1; use !d; stop.
+        let a = parse_spec("behaviour choice d:int 0..1 [] g !d; use !d; stop")
+            .expect("parses");
+        let b = parse_spec("behaviour g ?d:int 0..1; use !d; stop").expect("parses");
+        let la = explore(&a, &ExploreOptions::default()).expect("explores").lts;
+        let lb = explore(&b, &ExploreOptions::default()).expect("explores").lts;
+        // Same labels reachable (`g !v` then `use !v`), same sizes.
+        assert_eq!(la.num_transitions(), lb.num_transitions());
+    }
+
+    #[test]
+    fn guard_chains_with_arith() {
+        let spec = parse_spec(
+            "behaviour [1 + 2 * 3 == 7] -> ok; stop",
+        )
+        .expect("parses");
+        let e = explore(&spec, &ExploreOptions::default()).expect("explores");
+        assert_eq!(e.lts.num_transitions(), 1);
+    }
+}

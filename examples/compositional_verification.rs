@@ -1,0 +1,52 @@
+//! Compositional verification, demonstrated on the buffer chain
+//! (experiment E1): the same system is built monolithically and
+//! compositionally, checked equivalent, and the peak intermediate state
+//! counts are compared — the paper's §3 weapon against state explosion.
+//!
+//! Run with `cargo run -p multival --example compositional_verification`.
+
+use multival::lts::equiv::equivalent;
+use multival::lts::minimize::Equivalence;
+use multival::models::xstream::pipeline::build_buffer_chain;
+use multival::report::Table;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut table = Table::new(&[
+        "cells",
+        "monolithic peak",
+        "compositional peak",
+        "final states",
+        "equivalent",
+    ]);
+    for k in [4usize, 6, 8, 10, 12] {
+        let mono = build_buffer_chain(k, false);
+        let comp = build_buffer_chain(k, true);
+        let same = equivalent(&mono.lts, &comp.lts, Equivalence::Branching).holds();
+        table.row_owned(vec![
+            k.to_string(),
+            mono.peak_states.to_string(),
+            comp.peak_states.to_string(),
+            comp.lts.num_states().to_string(),
+            same.to_string(),
+        ]);
+    }
+    println!("chain of k one-place buffers, internal hops hidden:");
+    print!("{}", table.render());
+    println!();
+    println!("The monolithic product doubles with every cell (2^k states); the");
+    println!("compositional build — minimize after hiding each internalized hop —");
+    println!("keeps every intermediate linear in k, and both reduce to the same");
+    println!("(k+1)-state counting queue.");
+
+    // Show the per-stage story for one size.
+    let comp = build_buffer_chain(8, true);
+    let mut stages = Table::new(&["stage", "product states", "after minimize"]);
+    for (name, before, after) in &comp.stages {
+        stages.row_owned(vec![name.clone(), before.to_string(), after.to_string()]);
+    }
+    println!();
+    println!("per-stage sizes for k = 8 (compositional):");
+    print!("{}", stages.render());
+    Ok(())
+}

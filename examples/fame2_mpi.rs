@@ -1,0 +1,75 @@
+//! FAME2: MPI ping-pong latency across topologies, coherence protocols,
+//! and MPI implementations (experiment E5).
+//!
+//! Run with `cargo run -p multival --example fame2_mpi --release`
+//! (the payload sweep explores a few hundred thousand states).
+
+use multival::models::fame2::benchmark::{latency_table, ping_pong_latency, RateConfig};
+use multival::models::fame2::coherence::{verify_coherence, Protocol};
+use multival::models::fame2::mpi::{MpiConfig, MpiImpl};
+use multival::models::fame2::topology::Topology;
+use multival::report::{fmt_f, Table};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // ── Coherence protocol verification ────────────────────────────────
+    for protocol in [Protocol::Msi, Protocol::Mesi] {
+        let v = verify_coherence(3, protocol, 1_000_000)?;
+        println!(
+            "{protocol} (3 agents): {} states, SWMR {}  deadlock-free {}",
+            v.states,
+            if v.swmr_violations == 0 { "OK" } else { "VIOLATED" },
+            if v.deadlock.is_none() { "OK" } else { "NO" },
+        );
+    }
+
+    // ── The E5 latency table ───────────────────────────────────────────
+    let rates = RateConfig::default();
+    let topologies = [Topology::Crossbar(4), Topology::Mesh(2, 2), Topology::Ring(4)];
+    let rows = latency_table(&topologies, 1, &rates)?;
+    let mut table = Table::new(&["topology", "protocol", "mpi impl", "latency", "states"]);
+    for r in &rows {
+        table.row_owned(vec![
+            r.topology.to_string(),
+            r.protocol.to_string(),
+            r.implementation.to_string(),
+            fmt_f(r.latency),
+            r.states.to_string(),
+        ]);
+    }
+    println!("\nping-pong latency, payload = 1 line:");
+    print!("{}", table.render());
+
+    // ── Payload sweep: the eager/rendezvous crossover ──────────────────
+    let mut sweep = Table::new(&["payload", "eager", "rendezvous", "winner"]);
+    let payloads: &[usize] = if cfg!(debug_assertions) { &[1, 2] } else { &[1, 2, 3, 4] };
+    for &payload in payloads {
+        let eager = ping_pong_latency(
+            &MpiConfig {
+                topology: Topology::Crossbar(4),
+                protocol: Protocol::Mesi,
+                implementation: MpiImpl::Eager,
+                payload,
+            },
+            &rates,
+        )?;
+        let rdv = ping_pong_latency(
+            &MpiConfig {
+                topology: Topology::Crossbar(4),
+                protocol: Protocol::Mesi,
+                implementation: MpiImpl::Rendezvous,
+                payload,
+            },
+            &rates,
+        )?;
+        sweep.row_owned(vec![
+            payload.to_string(),
+            fmt_f(eager.latency),
+            fmt_f(rdv.latency),
+            if eager.latency < rdv.latency { "eager" } else { "rendezvous" }.to_owned(),
+        ]);
+    }
+    println!("\neager vs rendezvous (crossbar(4), MESI):");
+    print!("{}", sweep.render());
+    Ok(())
+}

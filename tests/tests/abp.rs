@@ -1,0 +1,160 @@
+//! Integration: the alternating-bit protocol (ABP) over lossy channels —
+//! the canonical process-algebra verification exercise, run through the
+//! whole stack: parse → explore → hide → compare against the one-place
+//! buffer specification.
+//!
+//! The expected results showcase the equivalence lattice:
+//! * **branching (divergence-blind)**: ABP ≡ buffer — retransmission makes
+//!   the protocol correct *assuming fairness* (the τ-loss cycles are
+//!   abstracted);
+//! * **divergence-sensitive branching**: ABP ≢ buffer — the lossy channels
+//!   admit infinite internal chatter, which the spec does not;
+//! * a seeded bug (receiver ignores the bit) breaks even weak-trace
+//!   equivalence, with a duplicated-delivery witness.
+
+use multival::lts::equiv::{equivalent, weak_trace_equivalent, Verdict};
+use multival::lts::minimize::{divergent_states, minimize, Equivalence};
+use multival::lts::Lts;
+use multival::pa::{explore, parse_spec, ExploreOptions};
+
+const ABP: &str = r#"
+-- Lossy data channel: forwards or silently drops (τ).
+process DChan[din, dout] :=
+    din ?b:bool; (dout !b; DChan[din, dout] [] i; DChan[din, dout])
+endproc
+
+-- Lossy ack channel.
+process AChan[ain, aout] :=
+    ain ?b:bool; (aout !b; AChan[ain, aout] [] i; AChan[ain, aout])
+endproc
+
+process Sender[put, dsnd, arcv](b: bool) :=
+    put; Sending[put, dsnd, arcv](b)
+endproc
+
+-- Send the tagged message, wait for the matching ack; a τ timeout
+-- retransmits.
+process Sending[put, dsnd, arcv](b: bool) :=
+    dsnd !b;
+    ( arcv ?c:bool;
+        ( [c == b] -> Sender[put, dsnd, arcv](not b)
+       [] [c != b] -> Sending[put, dsnd, arcv](b) )
+   [] i; Sending[put, dsnd, arcv](b) )
+endproc
+
+process Receiver[get, drcv, asnd](expected: bool) :=
+    drcv ?b:bool;
+    ( [b == expected] -> get; asnd !b; Receiver[get, drcv, asnd](not expected)
+   [] [b != expected] -> asnd !b; Receiver[get, drcv, asnd](expected) )
+endproc
+
+behaviour
+  hide dsnd, drcv, asnd, arcv in
+    ( ( Sender[put, dsnd, arcv](false)
+        |[dsnd, arcv]|
+        (DChan[dsnd, drcv] ||| AChan[asnd, arcv]) )
+      |[drcv, asnd]|
+      Receiver[get, drcv, asnd](false) )
+"#;
+
+/// The seeded bug: the receiver delivers every message regardless of its
+/// bit, so retransmissions become duplicate deliveries.
+const ABP_BUGGY: &str = r#"
+process DChan[din, dout] :=
+    din ?b:bool; (dout !b; DChan[din, dout] [] i; DChan[din, dout])
+endproc
+
+process AChan[ain, aout] :=
+    ain ?b:bool; (aout !b; AChan[ain, aout] [] i; AChan[ain, aout])
+endproc
+
+process Sender[put, dsnd, arcv](b: bool) :=
+    put; Sending[put, dsnd, arcv](b)
+endproc
+
+process Sending[put, dsnd, arcv](b: bool) :=
+    dsnd !b;
+    ( arcv ?c:bool;
+        ( [c == b] -> Sender[put, dsnd, arcv](not b)
+       [] [c != b] -> Sending[put, dsnd, arcv](b) )
+   [] i; Sending[put, dsnd, arcv](b) )
+endproc
+
+-- BUG: no bit check — every arrival is delivered.
+process Receiver[get, drcv, asnd](expected: bool) :=
+    drcv ?b:bool; get; asnd !b; Receiver[get, drcv, asnd](not expected)
+endproc
+
+behaviour
+  hide dsnd, drcv, asnd, arcv in
+    ( ( Sender[put, dsnd, arcv](false)
+        |[dsnd, arcv]|
+        (DChan[dsnd, drcv] ||| AChan[asnd, arcv]) )
+      |[drcv, asnd]|
+      Receiver[get, drcv, asnd](false) )
+"#;
+
+const SPEC: &str = "
+process Buffer[put, get] := put; get; Buffer[put, get] endproc
+behaviour Buffer[put, get]
+";
+
+fn build(src: &str) -> Lts {
+    explore(&parse_spec(src).expect("parses"), &ExploreOptions::default())
+        .expect("explores")
+        .lts
+}
+
+#[test]
+fn abp_equals_buffer_modulo_branching() {
+    let abp = build(ABP);
+    let spec = build(SPEC);
+    assert!(abp.num_states() > 10, "the protocol interleaves: {}", abp.num_states());
+    assert!(
+        equivalent(&abp, &spec, Equivalence::Branching).holds(),
+        "ABP over lossy channels must implement the one-place buffer"
+    );
+    // And the minimized protocol is literally the 2-state buffer.
+    let (min, _) = minimize(&abp, Equivalence::Branching);
+    assert_eq!(min.num_states(), 2);
+}
+
+#[test]
+fn abp_diverges_so_sensitive_equivalence_fails() {
+    let abp = build(ABP);
+    let spec = build(SPEC);
+    assert!(
+        !divergent_states(&abp).is_empty(),
+        "loss/retransmit cycles are internal divergences"
+    );
+    assert!(
+        !equivalent(&abp, &spec, Equivalence::BranchingDivergence).holds(),
+        "the buffer never diverges, the lossy protocol does"
+    );
+}
+
+#[test]
+fn abp_is_deadlock_free_and_live() {
+    use multival::mcl::{check, patterns, ActionFormula};
+    let abp = build(ABP);
+    assert!(multival::lts::analysis::deadlock_witness(&abp).is_none());
+    // Divergence-blind liveness: delivery stays reachable from everywhere.
+    let f = patterns::always_possible(ActionFormula::pattern("get"));
+    assert!(check(&abp, &f).expect("mc").holds);
+}
+
+#[test]
+fn buggy_receiver_duplicates_deliveries() {
+    let buggy = build(ABP_BUGGY);
+    let spec = build(SPEC);
+    match weak_trace_equivalent(&buggy, &spec, 1 << 18) {
+        Verdict::Inequivalent { witness: Some(w) } => {
+            // The witness must exhibit a duplicate get (two gets per put or
+            // a get/put imbalance).
+            let gets = w.iter().filter(|l| *l == "get").count();
+            let puts = w.iter().filter(|l| *l == "put").count();
+            assert!(gets > puts, "duplicate delivery expected: {w:?}");
+        }
+        v => panic!("the bit-blind receiver must break the protocol: {v:?}"),
+    }
+}

@@ -1,0 +1,104 @@
+//! Integration: end-to-end smoke of the three industrial case studies
+//! (the paper's headline results, experiments E2–E6).
+
+use multival::models::fame2::benchmark::{ping_pong_latency, RateConfig};
+use multival::models::fame2::coherence::{verify_coherence, Protocol};
+use multival::models::fame2::mpi::{MpiConfig, MpiImpl};
+use multival::models::fame2::topology::Topology;
+use multival::models::faust::fork::run_fork_study;
+use multival::models::faust::router::{router_2x2_spec_equivalence, verify_router};
+use multival::models::xstream::perf::{analyze, PerfConfig};
+use multival::models::xstream::queue;
+use multival::pa::{explore, ExploreOptions};
+
+#[test]
+fn xstream_results_reproduce() {
+    // "Two functional issues highlighted" (E2).
+    let good = explore(&queue::credit_spec().expect("parses"), &ExploreOptions::default())
+        .expect("explores")
+        .lts;
+    assert!(multival::lts::analysis::deadlock_witness(&good).is_none());
+    let buggy =
+        explore(&queue::buggy_credit_spec().expect("parses"), &ExploreOptions::default())
+            .expect("explores")
+            .lts;
+    assert!(multival::lts::analysis::deadlock_witness(&buggy).is_some());
+
+    // "Latency, throughputs, occupancy" (E6).
+    let r = analyze(&PerfConfig::default()).expect("analyzes");
+    assert!(r.throughput > 0.0 && r.latency.is_finite());
+    assert!((r.occupancy_push.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+}
+
+#[test]
+fn faust_results_reproduce() {
+    // "Router verified formally" (E3).
+    let v = verify_router(3, &ExploreOptions::default()).expect("verifies");
+    assert!(v.deadlock.is_none() && v.misroute.is_none() && v.delivery_live);
+    assert!(router_2x2_spec_equivalence().expect("compares").holds());
+
+    // "Isochronous forks demonstrated automatically" (E4).
+    let study = run_fork_study().expect("runs");
+    assert!(study.acknowledged_equivalent.holds());
+    assert!(study.isochronous_equivalent.holds());
+    assert!(!study.buffered_equivalent.holds());
+}
+
+#[test]
+fn fame2_results_reproduce() {
+    // Coherence invariants (prerequisite for the MPI predictions).
+    for protocol in [Protocol::Msi, Protocol::Mesi] {
+        let v = verify_coherence(3, protocol, 1_000_000).expect("verifies");
+        assert_eq!(v.swmr_violations, 0);
+        assert!(v.deadlock.is_none());
+    }
+
+    // "Latency in different topologies / implementations / protocols" (E5):
+    // the orderings the paper's flow is meant to expose.
+    let rates = RateConfig::default();
+    let lat = |topology, protocol, implementation| {
+        ping_pong_latency(
+            &MpiConfig { topology, protocol, implementation, payload: 1 },
+            &rates,
+        )
+        .expect("analyzes")
+        .latency
+    };
+    // Topology ordering: farther peers are slower.
+    let near = lat(Topology::Crossbar(8), Protocol::Msi, MpiImpl::Eager);
+    let far = lat(Topology::Ring(8), Protocol::Msi, MpiImpl::Eager);
+    assert!(far > near, "ring(8) {far} vs crossbar(8) {near}");
+    // Protocol ordering: MESI's silent upgrades beat MSI.
+    let msi = lat(Topology::Mesh(2, 2), Protocol::Msi, MpiImpl::Eager);
+    let mesi = lat(Topology::Mesh(2, 2), Protocol::Mesi, MpiImpl::Eager);
+    assert!(mesi < msi, "MESI {mesi} vs MSI {msi}");
+    // Implementation ordering at 1-line payloads: eager wins.
+    let eager = lat(Topology::Crossbar(4), Protocol::Mesi, MpiImpl::Eager);
+    let rdv = lat(Topology::Crossbar(4), Protocol::Mesi, MpiImpl::Rendezvous);
+    assert!(eager < rdv, "eager {eager} vs rendezvous {rdv}");
+}
+
+#[test]
+fn fame2_latency_scales_with_distance() {
+    // Latency grows monotonically with ring size (peer gets farther).
+    let rates = RateConfig::default();
+    let mut last = 0.0;
+    for n in [2usize, 4, 6, 8] {
+        let row = ping_pong_latency(
+            &MpiConfig {
+                topology: Topology::Ring(n),
+                protocol: Protocol::Msi,
+                implementation: MpiImpl::Eager,
+                payload: 1,
+            },
+            &rates,
+        )
+        .expect("analyzes");
+        assert!(
+            row.latency > last,
+            "ring({n}): {} should exceed {last}",
+            row.latency
+        );
+        last = row.latency;
+    }
+}

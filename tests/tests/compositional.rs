@@ -1,0 +1,115 @@
+//! Integration: compositional construction gives the same answers as
+//! monolithic construction — for functional verification (LTS level) and
+//! for performance evaluation (IMC level).
+
+use multival::imc::compositional::{compose_minimize, Component, PipelineOptions};
+use multival::imc::to_ctmc::{probe_throughputs, to_ctmc, NondetPolicy};
+use multival::imc::{Imc, ImcBuilder};
+use multival::lts::equiv::equivalent;
+use multival::lts::minimize::Equivalence;
+use multival::models::xstream::pipeline::{
+    build_compositional, build_monolithic, PipelineConfig,
+};
+
+#[test]
+fn xstream_pipeline_orders_agree() {
+    for cfg in [
+        PipelineConfig::default(),
+        PipelineConfig { push_capacity: 3, pop_capacity: 2, credits: 2 },
+        PipelineConfig { push_capacity: 1, pop_capacity: 4, credits: 4 },
+    ] {
+        let comp = build_compositional(&cfg);
+        let mono = build_monolithic(&cfg);
+        assert!(
+            equivalent(&comp.lts, &mono.lts, Equivalence::Branching).holds(),
+            "configs must agree: {cfg:?}"
+        );
+        assert!(comp.peak_states <= mono.peak_states, "{cfg:?}");
+    }
+}
+
+/// A tandem of exponential servers synchronizing hand-offs.
+fn server(rate: f64, accept: &str, done: &str) -> Imc {
+    let mut b = ImcBuilder::new();
+    let idle = b.add_state();
+    let busy = b.add_state();
+    let ready = b.add_state();
+    b.interactive(idle, accept, busy);
+    b.markovian(busy, ready, rate).expect("rate");
+    b.interactive(ready, done, idle);
+    b.build(idle)
+}
+
+/// A generator that repeatedly offers `out` after an exponential delay.
+fn source(rate: f64, out: &str) -> Imc {
+    let mut b = ImcBuilder::new();
+    let s0 = b.add_state();
+    let s1 = b.add_state();
+    b.markovian(s0, s1, rate).expect("rate");
+    b.interactive(s1, out, s0);
+    b.build(s0)
+}
+
+#[test]
+fn lumped_and_unlumped_pipelines_give_same_throughput() {
+    let comps = vec![
+        Component::new("source", source(2.0, "h1"), [] as [&str; 0]),
+        Component::new("stage1", server(3.0, "h1", "h2"), ["h1"]),
+        Component::new("stage2", server(4.0, "h2", "h3"), ["h2"]),
+    ];
+    let options = |minimize| PipelineOptions { minimize, ..Default::default() };
+    let (lumped, stages_on) = compose_minimize(&comps, &options(true));
+    let (plain, stages_off) = compose_minimize(&comps, &options(false));
+    assert!(lumped.num_states() <= plain.num_states());
+    assert!(
+        stages_on.iter().all(|s| s.lump.is_some())
+            && stages_off.iter().all(|s| s.lump.is_none())
+    );
+
+    let solve = |imc: &Imc| -> f64 {
+        let hidden = multival::imc::ops::relabel(imc, |name| {
+            if name == "h3" {
+                Some(name.to_owned())
+            } else {
+                None
+            }
+        });
+        let conv = to_ctmc(&hidden, NondetPolicy::Uniform, &["h3"]).expect("converts");
+        probe_throughputs(&conv, &multival::ctmc::SolveOptions::default()).expect("solves")[0].1
+    };
+    let a = solve(&lumped);
+    let b = solve(&plain);
+    assert!((a - b).abs() < 1e-9, "lumping must not change the measure: {a} vs {b}");
+    assert!(a > 0.0);
+}
+
+#[test]
+fn symmetric_components_lump_aggressively() {
+    // Six identical servers fed by one source: the lumped intermediate
+    // spaces stay polynomial while the plain product grows exponentially.
+    let mut comps = vec![Component::new("src", source(1.0, "go"), [] as [&str; 0])];
+    for i in 0..5 {
+        comps.push(Component::new(
+            &format!("srv{i}"),
+            {
+                // Servers that each independently react to `go`.
+                let mut b = ImcBuilder::new();
+                let s0 = b.add_state();
+                let s1 = b.add_state();
+                b.interactive(s0, "go", s1);
+                b.markovian(s1, s0, 2.0).expect("rate");
+                b.build(s0)
+            },
+            ["go"],
+        ));
+    }
+    let on = compose_minimize(&comps, &PipelineOptions::default());
+    let off =
+        compose_minimize(&comps, &PipelineOptions { minimize: false, ..Default::default() });
+    let peak_on = multival::imc::compositional::peak_states(&on.1);
+    let peak_off = multival::imc::compositional::peak_states(&off.1);
+    assert!(
+        peak_on < peak_off,
+        "lumping should shrink intermediates: {peak_on} vs {peak_off}"
+    );
+}

@@ -1,0 +1,121 @@
+//! Integration: the paper's §4 names two ways to attach timing to a
+//! functional model —
+//!
+//! 1. **directly**, by inserting stochastic transitions into the model
+//!    (our `decorate` / `decorate_by_label`);
+//! 2. **compositionally**, by exposing the start and end of each delay as
+//!    gates and synchronizing with an auxiliary phase-type delay process
+//!    (our `Delay::to_imc_process` + IMC composition).
+//!
+//! Both styles must produce the same Markov chain measures. This suite
+//! checks that equality on a two-phase worker model, for exponential and
+//! Erlang delays.
+
+use multival::ctmc::steady::SolveOptions;
+use multival::imc::decorate::decorate_by_label;
+use multival::imc::ops::{compose, hide};
+use multival::imc::phase_type::Delay;
+use multival::imc::to_ctmc::{probe_throughputs, to_ctmc, NondetPolicy};
+use multival::imc::Imc;
+use multival::lts::equiv::lts_from_triples;
+use multival::lts::ops::Sync;
+
+/// Style 1: decorate the two-action cycle directly.
+fn direct_style(work: &Delay, rest: &Delay) -> f64 {
+    let lts = lts_from_triples(&[(0, "work", 1), (1, "rest", 0)]);
+    let imc = decorate_by_label(&lts, |label| match label {
+        "work" => Some(work.clone()),
+        "rest" => Some(rest.clone()),
+        _ => None,
+    });
+    let conv = to_ctmc(&imc, NondetPolicy::Reject, &["work", "rest"]).expect("converts");
+    let tp = probe_throughputs(&conv, &SolveOptions::default()).expect("solves");
+    tp.iter().find(|(l, _)| l == "work").expect("probe").1
+}
+
+/// Style 2: the functional model exposes delay start/end gates; auxiliary
+/// delay processes are synchronized on them (constraint-oriented timing).
+fn constraint_style(work: &Delay, rest: &Delay) -> f64 {
+    // Functional cycle with explicit delay windows.
+    let functional = lts_from_triples(&[
+        (0, "start_work", 1),
+        (1, "work", 2),
+        (2, "start_rest", 3),
+        (3, "rest", 0),
+    ]);
+    let base = Imc::from_lts(&functional);
+    let work_proc = work.to_imc_process("start_work", "work");
+    let rest_proc = rest.to_imc_process("start_rest", "rest");
+    let with_work = compose(&base, &work_proc, &Sync::on(["start_work", "work"]));
+    let full = compose(&with_work, &rest_proc, &Sync::on(["start_rest", "rest"]));
+    let hidden = hide(&full, ["start_work", "start_rest"]);
+    let conv = to_ctmc(&hidden, NondetPolicy::Reject, &["work", "rest"]).expect("converts");
+    let tp = probe_throughputs(&conv, &SolveOptions::default()).expect("solves");
+    tp.iter().find(|(l, _)| l == "work").expect("probe").1
+}
+
+#[test]
+fn styles_agree_for_exponential_delays() {
+    let work = Delay::Exponential { rate: 2.0 };
+    let rest = Delay::Exponential { rate: 3.0 };
+    let a = direct_style(&work, &rest);
+    let b = constraint_style(&work, &rest);
+    // Cycle of two exponentials: throughput = 1 / (1/2 + 1/3) = 1.2.
+    assert!((a - 1.2).abs() < 1e-9, "direct: {a}");
+    assert!((b - 1.2).abs() < 1e-9, "constraint-oriented: {b}");
+}
+
+#[test]
+fn styles_agree_for_erlang_delays() {
+    for phases in [2u32, 5, 8] {
+        let work = Delay::Erlang { phases, rate: phases as f64 * 2.0 }; // mean 0.5
+        let rest = Delay::Exponential { rate: 4.0 }; // mean 0.25
+        let a = direct_style(&work, &rest);
+        let b = constraint_style(&work, &rest);
+        assert!(
+            (a - b).abs() < 1e-9,
+            "k={phases}: direct {a} vs constraint-oriented {b}"
+        );
+        // Mean cycle = 0.75 → throughput 4/3 (independent of phase count:
+        // only the mean matters for the long-run rate of a serial cycle).
+        assert!((a - 4.0 / 3.0).abs() < 1e-9, "k={phases}: {a}");
+    }
+}
+
+#[test]
+fn styles_agree_for_hypoexponential_delays() {
+    let work = Delay::HypoExponential { rates: vec![4.0, 8.0, 8.0] }; // mean 0.5
+    let rest = Delay::Exponential { rate: 2.0 };
+    let a = direct_style(&work, &rest);
+    let b = constraint_style(&work, &rest);
+    assert!((a - b).abs() < 1e-9, "direct {a} vs constraint-oriented {b}");
+    assert!((a - 1.0).abs() < 1e-9, "mean cycle 1.0: {a}");
+}
+
+#[test]
+fn lumping_the_constraint_style_matches_too() {
+    // Lump the constraint-oriented IMC before conversion: measures survive.
+    let work = Delay::Erlang { phases: 4, rate: 8.0 };
+    let rest = Delay::Exponential { rate: 4.0 };
+    let functional = lts_from_triples(&[
+        (0, "start_work", 1),
+        (1, "work", 2),
+        (2, "start_rest", 3),
+        (3, "rest", 0),
+    ]);
+    let base = Imc::from_lts(&functional);
+    let with_work =
+        compose(&base, &work.to_imc_process("start_work", "work"), &Sync::on(["start_work", "work"]));
+    let full = compose(
+        &with_work,
+        &rest.to_imc_process("start_rest", "rest"),
+        &Sync::on(["start_rest", "rest"]),
+    );
+    let hidden = hide(&full, ["start_work", "start_rest"]);
+    let (lumped, stats) = multival::imc::lump(&hidden, &multival::imc::LumpOptions::default());
+    assert!(stats.states_after <= stats.states_before);
+    let conv = to_ctmc(&lumped, NondetPolicy::Reject, &["work", "rest"]).expect("converts");
+    let tp = probe_throughputs(&conv, &SolveOptions::default()).expect("solves");
+    let work_tp = tp.iter().find(|(l, _)| l == "work").expect("probe").1;
+    assert!((work_tp - constraint_style(&work, &rest)).abs() < 1e-9);
+}

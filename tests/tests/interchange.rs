@@ -1,0 +1,96 @@
+//! Integration: Aldebaran interchange round-trips preserve behaviour across
+//! the toolchain (explore → write → read → compare).
+
+use multival::lts::equiv::equivalent;
+use multival::lts::io::{read_aut, write_aut, write_dot};
+use multival::lts::minimize::Equivalence;
+use multival::pa::{explore, parse_spec, ExploreOptions};
+
+const MODEL: &str = "
+type color is red, green endtype
+process Light[show, switch](c: color) :=
+    show !c;
+    (  [c == red]   -> switch; Light[show, switch](green)
+    [] [c == green] -> switch; Light[show, switch](red)
+    )
+endproc
+behaviour Light[show, switch](red)
+";
+
+#[test]
+fn aut_roundtrip_is_strongly_bisimilar() {
+    let lts = explore(&parse_spec(MODEL).expect("parses"), &ExploreOptions::default())
+        .expect("explores")
+        .lts;
+    let text = write_aut(&lts);
+    let back = read_aut(&text).expect("parses back");
+    assert!(equivalent(&lts, &back, Equivalence::Strong).holds());
+    assert_eq!(lts.num_states(), back.num_states());
+    assert_eq!(lts.num_transitions(), back.num_transitions());
+}
+
+#[test]
+fn aut_preserves_data_labels() {
+    let lts = explore(&parse_spec(MODEL).expect("parses"), &ExploreOptions::default())
+        .expect("explores")
+        .lts;
+    let back = read_aut(&write_aut(&lts)).expect("parses back");
+    assert!(back.labels().lookup("show !red").is_some());
+    assert!(back.labels().lookup("show !green").is_some());
+}
+
+#[test]
+fn minimize_after_roundtrip_matches_direct_minimization() {
+    let lts = explore(&parse_spec(MODEL).expect("parses"), &ExploreOptions::default())
+        .expect("explores")
+        .lts;
+    let direct = multival::lts::minimize::minimize(&lts, Equivalence::Branching).0;
+    let roundtrip = read_aut(&write_aut(&lts)).expect("parses back");
+    let via_aut = multival::lts::minimize::minimize(&roundtrip, Equivalence::Branching).0;
+    assert_eq!(direct.num_states(), via_aut.num_states());
+    assert!(equivalent(&direct, &via_aut, Equivalence::Strong).holds());
+}
+
+#[test]
+fn dot_export_covers_all_transitions() {
+    let lts = explore(&parse_spec(MODEL).expect("parses"), &ExploreOptions::default())
+        .expect("explores")
+        .lts;
+    let dot = write_dot(&lts, "light");
+    let arrow_count = dot.matches(" -> ").count();
+    assert_eq!(arrow_count, lts.num_transitions());
+}
+
+#[test]
+fn malformed_aut_rejected_with_line_info() {
+    let err = read_aut("des (0, 1, 2)\nnot-a-transition\n").expect_err("malformed");
+    assert_eq!(err.line, 2);
+}
+
+#[test]
+fn mini_lotos_pretty_print_roundtrip() {
+    // Spec → source → spec must preserve behaviour (strong bisimilarity).
+    let sources = [
+        MODEL,
+        "process P[a, b](n: int 0..3) :=
+             [n < 3] -> a !n; P[a, b](n + 1)
+          [] [n > 0] -> b; P[a, b](n - 1)
+         endproc
+         behaviour hide b in P[x, y](0)",
+        "behaviour (a; exit(2) ||| b; exit(2)) >> accept v:int 0..9 in done !v; stop",
+        "behaviour (a; stop [] b; stop) [> kill; stop",
+        "behaviour let n:int 0..9 = 4 in rename g -> h in g !n; stop",
+    ];
+    for src in sources {
+        let spec = parse_spec(src).expect("original parses");
+        let printed = spec.to_source();
+        let back = parse_spec(&printed)
+            .unwrap_or_else(|e| panic!("pretty-printed source must re-parse: {e}\n{printed}"));
+        let a = explore(&spec, &ExploreOptions::default()).expect("explores").lts;
+        let b = explore(&back, &ExploreOptions::default()).expect("explores").lts;
+        assert!(
+            equivalent(&a, &b, Equivalence::Strong).holds(),
+            "round-trip changed behaviour for:\n{src}\nprinted:\n{printed}"
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Property-based tests over randomly generated LTSs and CTMCs: the
+//! algebraic laws the toolchain's correctness rests on.
+
+use multival::ctmc::steady::{steady_state, SolveOptions};
+use multival::ctmc::CtmcBuilder;
+use multival::imc::phase_type::Delay;
+use multival::lts::equiv::{disjoint_union, equivalent, lts_from_triples};
+use multival::lts::io::{read_aut, write_aut};
+use multival::lts::minimize::{minimize, partition_refinement, Equivalence};
+use multival::lts::ops::{compose, Sync};
+use multival::lts::{Lts, LtsBuilder};
+use proptest::prelude::*;
+
+/// Strategy: a random LTS with up to `n` states over a tiny alphabet
+/// (including τ), every state reachable by construction (transitions from
+/// earlier states, plus a spanning chain).
+fn arb_lts(max_states: usize) -> impl Strategy<Value = Lts> {
+    let labels = prop::sample::select(vec!["a", "b", "c", "i"]);
+    (2..=max_states).prop_flat_map(move |n| {
+        let chain = prop::collection::vec(labels.clone(), n - 1);
+        let extra = prop::collection::vec(
+            (0..n as u32, labels.clone(), 0..n as u32),
+            0..(2 * n),
+        );
+        (chain, extra).prop_map(move |(chain, extra)| {
+            let mut b = LtsBuilder::new();
+            for _ in 0..n {
+                b.add_state();
+            }
+            // Spanning chain keeps everything reachable.
+            for (i, l) in chain.iter().enumerate() {
+                b.add_transition(i as u32, l, i as u32 + 1);
+            }
+            for (s, l, t) in extra {
+                b.add_transition(s, l, t);
+            }
+            b.build(0)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn minimization_yields_equivalent_quotient(lts in arb_lts(12)) {
+        for eq in [
+            Equivalence::Strong,
+            Equivalence::Branching,
+            Equivalence::BranchingDivergence,
+        ] {
+            let (min, stats) = minimize(&lts, eq);
+            prop_assert!(min.num_states() <= lts.num_states());
+            prop_assert!(equivalent(&lts, &min, eq).holds(),
+                "{eq:?} quotient must be equivalent ({} -> {})\nORIG:\n{}\nMIN:\n{}",
+                stats.states_before, stats.states_after,
+                write_aut(&lts), write_aut(&min));
+        }
+    }
+
+    #[test]
+    fn minimization_is_idempotent(lts in arb_lts(12)) {
+        for eq in [
+            Equivalence::Strong,
+            Equivalence::Branching,
+            Equivalence::BranchingDivergence,
+        ] {
+            let (m1, _) = minimize(&lts, eq);
+            let (m2, _) = minimize(&m1, eq);
+            prop_assert_eq!(m1.num_states(), m2.num_states());
+            prop_assert_eq!(m1.num_transitions(), m2.num_transitions());
+        }
+    }
+
+    #[test]
+    fn branching_is_coarser_than_strong(lts in arb_lts(12)) {
+        let strong = minimize(&lts, Equivalence::Strong).0;
+        let branching = minimize(&lts, Equivalence::Branching).0;
+        let div = minimize(&lts, Equivalence::BranchingDivergence).0;
+        prop_assert!(branching.num_states() <= strong.num_states());
+        prop_assert!(branching.num_states() <= div.num_states(),
+            "divergence-sensitive refines divergence-blind");
+        prop_assert!(div.num_states() <= strong.num_states());
+    }
+
+    #[test]
+    fn divergence_preserved_by_sensitive_quotient(lts in arb_lts(12)) {
+        use multival::lts::minimize::divergent_states;
+        let (min, _) = minimize(&lts, Equivalence::BranchingDivergence);
+        prop_assert_eq!(
+            divergent_states(&lts).is_empty(),
+            divergent_states(&min).is_empty(),
+            "the quotient diverges iff the original does"
+        );
+    }
+
+    #[test]
+    fn strong_equivalence_implies_branching(a in arb_lts(8), b in arb_lts(8)) {
+        if equivalent(&a, &b, Equivalence::Strong).holds() {
+            prop_assert!(equivalent(&a, &b, Equivalence::Branching).holds());
+        }
+    }
+
+    #[test]
+    fn composition_is_commutative_modulo_bisim(a in arb_lts(6), b in arb_lts(6)) {
+        for sync in [Sync::Interleave, Sync::Full, Sync::on(["a", "b"])] {
+            let ab = compose(&a, &b, &sync);
+            let ba = compose(&b, &a, &sync);
+            prop_assert!(equivalent(&ab, &ba, Equivalence::Strong).holds());
+        }
+    }
+
+    #[test]
+    fn self_equivalence_and_union_blocks(lts in arb_lts(10)) {
+        prop_assert!(equivalent(&lts, &lts, Equivalence::Strong).holds());
+        // Disjoint union: both copies land in matching partitions.
+        let (u, ia, ib) = disjoint_union(&lts, &lts);
+        let p = partition_refinement(&u, Equivalence::Strong);
+        prop_assert_eq!(p.block(ia), p.block(ib));
+    }
+
+    #[test]
+    fn aut_roundtrip_preserves_behaviour(lts in arb_lts(10)) {
+        let back = read_aut(&write_aut(&lts)).expect("roundtrip");
+        prop_assert!(equivalent(&lts, &back, Equivalence::Strong).holds());
+    }
+
+    #[test]
+    fn random_irreducible_ctmc_steady_state_sums_to_one(
+        rates in prop::collection::vec(0.1f64..10.0, 3..12)
+    ) {
+        // Cycle chain: always irreducible.
+        let n = rates.len();
+        let mut b = CtmcBuilder::new(n);
+        for (i, &r) in rates.iter().enumerate() {
+            b.rate(i, (i + 1) % n, r).expect("rate");
+        }
+        let pi = steady_state(&b.build().expect("builds"), &SolveOptions::default())
+            .expect("solves");
+        let total: f64 = pi.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(pi.iter().all(|&p| p >= 0.0));
+        // Cycle: π_i ∝ 1/rate_i.
+        let z: f64 = rates.iter().map(|r| 1.0 / r).sum();
+        for (i, &p) in pi.iter().enumerate() {
+            prop_assert!((p - (1.0 / rates[i]) / z).abs() < 1e-8, "state {i}");
+        }
+    }
+
+    #[test]
+    fn erlang_fit_mean_invariant(d in 0.1f64..10.0, k in 1u32..50) {
+        let delay = Delay::fixed(d, k);
+        prop_assert!((delay.mean() - d).abs() < 1e-9);
+        prop_assert!((delay.cv() - 1.0 / (k as f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_cdf_is_monotone(rate in 0.2f64..5.0, k in 1u32..8) {
+        let delay = Delay::Erlang { phases: k, rate };
+        let mut last = -1e-12;
+        for i in 0..8 {
+            let t = i as f64 * 0.5;
+            let c = delay.cdf(t);
+            prop_assert!(c >= last - 1e-9, "CDF not monotone at t={t}");
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&c));
+            last = c;
+        }
+    }
+}
+
+#[test]
+fn composition_associativity_spot_check() {
+    // Associativity modulo strong bisimulation on a fixed trio.
+    let a = lts_from_triples(&[(0, "a", 1), (1, "s", 0)]);
+    let b = lts_from_triples(&[(0, "b", 1), (1, "s", 0)]);
+    let c = lts_from_triples(&[(0, "c", 1), (1, "s", 0)]);
+    let sync = Sync::on(["s"]);
+    let left = compose(&compose(&a, &b, &sync), &c, &sync);
+    let right = compose(&a, &compose(&b, &c, &sync), &sync);
+    assert!(equivalent(&left, &right, Equivalence::Strong).holds());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The mini-LOTOS parser must never panic, whatever bytes it gets.
+    #[test]
+    fn parser_never_panics(src in "[ -~\\n]{0,200}") {
+        let _ = multival::pa::parse_spec(&src);
+    }
+
+    /// The formula parser must never panic either.
+    #[test]
+    fn formula_parser_never_panics(src in "[ -~]{0,120}") {
+        let _ = multival::mcl::parse_formula(&src);
+    }
+
+    /// The .aut reader must never panic on arbitrary text.
+    #[test]
+    fn aut_reader_never_panics(src in "[ -~\\n]{0,200}") {
+        let _ = read_aut(&src);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Simulation is reflexive, and bisimilar systems simulate both ways.
+    #[test]
+    fn simulation_preorder_laws(lts in arb_lts(8)) {
+        use multival::lts::simulation::{simulates, SimulationKind};
+        for kind in [SimulationKind::Strong, SimulationKind::Weak] {
+            prop_assert!(simulates(&lts, &lts, kind), "{kind:?} must be reflexive");
+        }
+        // The strong-bisimulation quotient simulates the original and back.
+        let (min, _) = minimize(&lts, Equivalence::Strong);
+        prop_assert!(simulates(&lts, &min, SimulationKind::Strong));
+        prop_assert!(simulates(&min, &lts, SimulationKind::Strong));
+    }
+
+    /// Strong simulation implies weak simulation.
+    #[test]
+    fn strong_simulation_implies_weak(a in arb_lts(6), b in arb_lts(6)) {
+        use multival::lts::simulation::{simulates, SimulationKind};
+        if simulates(&a, &b, SimulationKind::Strong) {
+            prop_assert!(simulates(&a, &b, SimulationKind::Weak));
+        }
+    }
+}
