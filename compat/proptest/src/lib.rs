@@ -1,0 +1,612 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the proptest 1.x API the workspace's tests
+//! use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`, integer
+//! and float range strategies, tuple strategies, `prop::sample::select`,
+//! `prop::collection::vec`, character-class string strategies
+//! (`"[ -~]{0,120}"` style), [`ProptestConfig::with_cases`], and the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`] macros.
+//!
+//! Differences from real proptest: generation is driven by a fixed
+//! deterministic RNG seeded from the test's name (so failures reproduce
+//! exactly across runs), and there is no shrinking — a failing case
+//! reports its inputs' case number rather than a minimized example.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic generator driving all strategies (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary byte string (typically the test name), so
+    /// each test gets its own reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, expanded through splitmix64.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut sm = h;
+        TestRng {
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform in `[0, 1)` with 53 mantissa bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config + errors
+// ---------------------------------------------------------------------------
+
+/// Per-block configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed `prop_assert!` within one generated case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait + combinators
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Feeds generated values into `f` to pick a dependent strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+// --- numeric ranges --------------------------------------------------------
+
+macro_rules! impl_int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as u128).wrapping_sub(start as u128) as u64 + 1;
+                (start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// --- tuples ----------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident / $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+
+// --- character-class strings -----------------------------------------------
+
+/// String strategies from the `"[class]{lo,hi}"` regex subset: a single
+/// character class (literal chars, `a-z` ranges, `\n`/`\t`/`\r`/`\\`
+/// escapes) followed by a repetition count.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len).map(|_| chars[rng.below(chars.len() as u64) as usize]).collect()
+    }
+}
+
+/// Parses `[class]{lo,hi}`, `[class]{n}`, or a bare `[class]` (one char).
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = find_class_end(rest)?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let chars = expand_class(&class)?;
+    let tail = &rest[close + 1..];
+    if tail.is_empty() {
+        return Some((chars, 1, 1));
+    }
+    let counts = tail.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+        None => {
+            let n: usize = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+/// Index of the unescaped `]` closing the class body.
+fn find_class_end(s: &str) -> Option<usize> {
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' => escaped = true,
+            ']' => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Expands class chars (with escapes and `a-b` ranges) to the allowed set.
+fn expand_class(class: &[char]) -> Option<Vec<char>> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        let c = match class[i] {
+            '\\' => {
+                i += 1;
+                match *class.get(i)? {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                }
+            }
+            other => other,
+        };
+        // `a-b` range (a `-` in final position is a literal dash).
+        if class.get(i + 1) == Some(&'-') && i + 2 < class.len() {
+            let hi = match class[i + 2] {
+                '\\' => {
+                    i += 1;
+                    match *class.get(i + 2)? {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    }
+                }
+                other => other,
+            };
+            if (c as u32) > (hi as u32) {
+                return None;
+            }
+            for code in (c as u32)..=(hi as u32) {
+                out.push(char::from_u32(code)?);
+            }
+            i += 3;
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// prop:: modules
+// ---------------------------------------------------------------------------
+
+/// Namespaced strategy constructors, mirroring `proptest::prop`.
+pub mod prop {
+    /// Sampling from fixed collections.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        /// Uniform choice among the given items.
+        #[derive(Debug, Clone)]
+        pub struct Select<T> {
+            items: Vec<T>,
+        }
+
+        /// Strategy drawing uniformly from `items` (must be non-empty).
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "select requires at least one item");
+            Select { items }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.items[rng.below(self.items.len() as u64) as usize].clone()
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::{Range, RangeInclusive};
+
+        /// Admissible length specs for [`vec`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize, // inclusive
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange { lo: r.start, hi: r.end - 1 }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                assert!(r.start() <= r.end(), "empty size range");
+                SizeRange { lo: *r.start(), hi: *r.end() }
+            }
+        }
+
+        /// Strategy generating vectors of `element` draws.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// A vector whose length is drawn from `size` and whose elements
+        /// come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.hi - self.size.lo) as u64 + 1;
+                let len = self.size.lo + rng.below(span) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a test module normally imports.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (config = $config:expr;
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    $( let $pat = $crate::Strategy::generate(&($strat), &mut rng); )+
+                    let run = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    };
+                    if let Err(err) = run() {
+                        panic!(
+                            "proptest case {}/{} of `{}` failed: {}",
+                            case + 1, config.cases, stringify!($name), err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts within a proptest body, failing the current case on `false`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left != right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} == {:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if left != right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} == {:?}`: {}",
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// Self-tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..500 {
+            let n = Strategy::generate(&(2usize..=12), &mut rng);
+            assert!((2..=12).contains(&n));
+            let (a, b) = Strategy::generate(&(0u32..4, 1i64..=3), &mut rng);
+            assert!(a < 4 && (1..=3).contains(&b));
+            let x = Strategy::generate(&(0.5f64..2.0), &mut rng);
+            assert!((0.5..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn string_pattern_respects_class_and_length() {
+        let mut rng = TestRng::from_name("strings");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[ -~\\n]{0,200}", &mut rng);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+            let t = Strategy::generate(&"[a-c]{2,4}", &mut rng);
+            assert!((2..=4).contains(&t.len()));
+            assert!(t.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn select_vec_map_flat_map_compose() {
+        let mut rng = TestRng::from_name("compose");
+        let labels = prop::sample::select(vec!["a", "b"]);
+        let strat = (1usize..=5).prop_flat_map(move |n| {
+            prop::collection::vec(labels.clone(), n).prop_map(move |v| (n, v))
+        });
+        for _ in 0..200 {
+            let (n, v) = Strategy::generate(&strat, &mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|l| *l == "a" || *l == "b"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("same");
+        let mut b = TestRng::from_name("same");
+        let mut c = TestRng::from_name("other");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: bindings, asserts, and formats all work.
+        #[test]
+        fn macro_roundtrip(x in 0u32..100, v in prop::collection::vec(0u8..10, 0..6)) {
+            prop_assert!(x < 100, "x out of bounds: {x}");
+            prop_assert_eq!(v.len(), v.iter().len());
+            prop_assert_eq!(x, x, "reflexivity for {}", x);
+        }
+    }
+}

@@ -20,9 +20,7 @@ fn bench_latency_per_impl(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(implementation),
             &config,
-            |b, config| {
-                b.iter(|| ping_pong_latency(config, &rates).expect("analyzes").latency)
-            },
+            |b, config| b.iter(|| ping_pong_latency(config, &rates).expect("analyzes").latency),
         );
     }
     group.finish();

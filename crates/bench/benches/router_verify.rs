@@ -34,9 +34,7 @@ fn bench_mesh_verification(c: &mut Criterion) {
     let mut group = c.benchmark_group("mesh_verify");
     for k in [1usize, 2, 3] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| {
-                verify_mesh(Some(k), &ExploreOptions::default()).expect("verifies").states
-            })
+            b.iter(|| verify_mesh(Some(k), &ExploreOptions::default()).expect("verifies").states)
         });
     }
     group.finish();

@@ -7,8 +7,7 @@ use multival::models::xstream::perf::{analyze, explore_pipeline, PerfConfig};
 fn bench_analyze_per_capacity(c: &mut Criterion) {
     let mut group = c.benchmark_group("xstream_analyze");
     for cap in [2u8, 4, 8] {
-        let cfg =
-            PerfConfig { push_capacity: cap, pop_capacity: cap, ..PerfConfig::default() };
+        let cfg = PerfConfig { push_capacity: cap, pop_capacity: cap, ..PerfConfig::default() };
         group.bench_with_input(BenchmarkId::from_parameter(cap), &cfg, |b, cfg| {
             b.iter(|| analyze(cfg).expect("analyzes").throughput)
         });

@@ -19,11 +19,11 @@ use multival::models::faust::fork::run_fork_study;
 use multival::models::faust::noc::{single_packet_latency, verify_mesh};
 use multival::models::faust::router::verify_router;
 use multival::models::xstream::perf::{analyze, first_delivery_cdf, PerfConfig};
-use multival::models::xstream::tandem::{analyze_tandem, Stage, TandemConfig};
 use multival::models::xstream::pipeline::{
     build_buffer_chain, build_compositional, build_monolithic, PipelineConfig,
 };
 use multival::models::xstream::queue;
+use multival::models::xstream::tandem::{analyze_tandem, Stage, TandemConfig};
 use multival::pa::{explore, parse_behaviour, parse_spec, ExploreOptions};
 use multival::report::{fmt_f, Table};
 use std::error::Error;
@@ -55,9 +55,8 @@ pub fn run(id: &str) -> Result<String, Box<dyn Error>> {
 /// ("LTSs enumerate the state space"; compositional verification fights
 /// explosion, §3/§5).
 pub fn e1_state_spaces() -> Result<String, Box<dyn Error>> {
-    let mut out = String::from(
-        "E1 — state-space sizes: monolithic vs compositional construction\n\n",
-    );
+    let mut out =
+        String::from("E1 — state-space sizes: monolithic vs compositional construction\n\n");
     let mut t = Table::new(&[
         "model",
         "monolithic peak",
@@ -173,9 +172,11 @@ pub fn e3_router_verification() -> Result<String, Box<dyn Error>> {
     out.push_str(&t.render());
 
     // One level up: the 2×2 mesh of routers with link buffers.
-    out.push_str("
+    out.push_str(
+        "
 2x2 mesh of routers (link buffers, end-to-end flow control):
-");
+",
+    );
     let mut m = Table::new(&["in-flight limit", "states", "deadlock", "misdelivery"]);
     for k in [1usize, 2, 3, 4] {
         let v = verify_mesh(Some(k), &ExploreOptions::with_max_states(4_000_000))?;
@@ -236,18 +237,12 @@ pub fn e4_isochronous_fork() -> Result<String, Box<dyn Error>> {
 /// implementations (§4, Bull's prediction).
 pub fn e5_mpi_latency() -> Result<String, Box<dyn Error>> {
     let rates = RateConfig::default();
-    let mut out = String::from(
-        "E5 — MPI ping-pong latency (topology × protocol × implementation)\n\n",
-    );
-    let topologies = [
-        Topology::Crossbar(8),
-        Topology::Mesh(2, 4),
-        Topology::Torus(2, 4),
-        Topology::Ring(8),
-    ];
+    let mut out =
+        String::from("E5 — MPI ping-pong latency (topology × protocol × implementation)\n\n");
+    let topologies =
+        [Topology::Crossbar(8), Topology::Mesh(2, 4), Topology::Torus(2, 4), Topology::Ring(8)];
     let rows = latency_table(&topologies, 1, &rates)?;
-    let mut t =
-        Table::new(&["topology", "hops", "protocol", "mpi impl", "latency", "ctmc states"]);
+    let mut t = Table::new(&["topology", "hops", "protocol", "mpi impl", "latency", "ctmc states"]);
     for r in &rows {
         t.row_owned(vec![
             r.topology.to_string(),
@@ -340,14 +335,8 @@ pub fn e6_xstream_performance() -> Result<String, Box<dyn Error>> {
     out.push_str(&caps.render());
 
     // Load sweep with occupancy distribution.
-    let mut occ = Table::new(&[
-        "producer rate",
-        "throughput",
-        "latency",
-        "P(q1=0)",
-        "P(q1=1)",
-        "P(q1=2)",
-    ]);
+    let mut occ =
+        Table::new(&["producer rate", "throughput", "latency", "P(q1=0)", "P(q1=1)", "P(q1=2)"]);
     for lambda in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
         let r = analyze(&PerfConfig { producer_rate: lambda, ..PerfConfig::default() })?;
         occ.row_owned(vec![
@@ -512,16 +501,11 @@ pub fn e9_compositional_imc() -> Result<String, Box<dyn Error>> {
     let (without, stages_off) =
         compose_minimize(&comps, &PipelineOptions { minimize: false, ..Default::default() });
 
-    let mut out = String::from(
-        "E9 — compositional IMC generation: alternate composition and lumping\n\n",
-    );
+    let mut out =
+        String::from("E9 — compositional IMC generation: alternate composition and lumping\n\n");
     let mut t = Table::new(&["stage", "product states", "after lumping"]);
     for s in &stages_on {
-        t.row_owned(vec![
-            s.stage.clone(),
-            s.states_before.to_string(),
-            s.states_after.to_string(),
-        ]);
+        t.row_owned(vec![s.stage.clone(), s.states_before.to_string(), s.states_after.to_string()]);
     }
     out.push_str(&t.render());
     out.push_str(&format!(

@@ -4,6 +4,8 @@
 //! each returns rendered tables so the `experiments` binary can print them
 //! and the Criterion benches can reuse the underlying workloads.
 
+pub mod baseline;
 pub mod experiments;
 
+pub use baseline::bench_baseline;
 pub use experiments::{run, EXPERIMENTS};

@@ -4,13 +4,13 @@
 //! The logic lives here (testable); `src/bin/multival.rs` is a thin wrapper.
 
 use crate::flow::Flow;
-use crate::report::{fmt_f, Table};
+use crate::report::{fmt_f, ParStats, Table};
 use multival_imc::to_ctmc::NondetPolicy;
 use multival_lts::equiv::{equivalent, weak_trace_equivalent, Verdict};
 use multival_lts::io::{read_aut, write_aut, write_dot};
 use multival_lts::minimize::{minimize, Equivalence};
 use multival_lts::Lts;
-use multival_pa::{explore, parse_spec, ExploreOptions};
+use multival_pa::{explore, explore_partial, parse_spec, ExploreOptions};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt::Write as _;
@@ -18,7 +18,8 @@ use std::fmt::Write as _;
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// `explore <model.lot> [--aut out.aut] [--dot out.dot] [--max-states N]`
+    /// `explore <model.lot> [--aut out.aut] [--dot out.dot] [--max-states N]
+    /// [--threads N]`
     Explore {
         /// Input model path.
         input: String,
@@ -28,6 +29,8 @@ pub enum Command {
         dot: Option<String>,
         /// Exploration cap.
         max_states: usize,
+        /// Worker threads (1 = sequential, 0 = one per hardware thread).
+        threads: usize,
     },
     /// `check <model.lot|lts.aut> <formula>` — μ-calculus model checking.
     Check {
@@ -107,6 +110,7 @@ multival — functional verification + performance evaluation (DATE'08 flow)
 
 USAGE:
   multival explore  <model.lot> [--aut OUT] [--dot OUT] [--max-states N]
+                    [--threads N]   (1 = sequential, 0 = all hardware threads)
   multival check    <model.lot|lts.aut> <FORMULA>
   multival minimize <model.lot|lts.aut> [--eq strong|branching] [--aut OUT]
   multival compare  <A> <B> [--eq strong|branching|traces]
@@ -133,6 +137,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut aut = None;
             let mut dot = None;
             let mut max_states = 1_000_000;
+            let mut threads = 1usize;
             while let Some(a) = it.next() {
                 match a {
                     "--aut" => aut = Some(next_value(&mut it, "--aut")?),
@@ -141,6 +146,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         max_states = next_value(&mut it, "--max-states")?
                             .parse()
                             .map_err(|_| "--max-states needs a number".to_owned())?
+                    }
+                    "--threads" => {
+                        threads = next_value(&mut it, "--threads")?
+                            .parse()
+                            .map_err(|_| "--threads needs a number".to_owned())?
                     }
                     other if input.is_none() => input = Some(other.to_owned()),
                     other => return Err(format!("unexpected argument `{other}`")),
@@ -151,6 +161,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 aut,
                 dot,
                 max_states,
+                threads,
             })
         }
         Some("check") => {
@@ -260,9 +271,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         let (gate, rate) = spec
                             .split_once('=')
                             .ok_or_else(|| format!("--rate `{spec}` must be GATE=RATE"))?;
-                        let rate: f64 = rate
-                            .parse()
-                            .map_err(|_| format!("invalid rate in `{spec}`"))?;
+                        let rate: f64 =
+                            rate.parse().map_err(|_| format!("invalid rate in `{spec}`"))?;
                         rates.push((gate.to_owned(), rate));
                     }
                     "--probe" => probes.push(next_value(&mut it, "--probe")?),
@@ -279,18 +289,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     }
 }
 
-fn next_value<'a>(
-    it: &mut impl Iterator<Item = &'a str>,
-    flag: &str,
-) -> Result<String, String> {
+fn next_value<'a>(it: &mut impl Iterator<Item = &'a str>, flag: &str) -> Result<String, String> {
     it.next().map(str::to_owned).ok_or_else(|| format!("{flag} needs a value"))
 }
 
 /// Loads an input: `.aut` files are parsed as LTSs, everything else as
 /// mini-LOTOS (explored with the given cap).
 fn load(path: &str, max_states: usize) -> Result<Lts, Box<dyn Error>> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     if path.ends_with(".aut") {
         Ok(read_aut(&text)?)
     } else {
@@ -307,9 +313,45 @@ fn load(path: &str, max_states: usize) -> Result<Lts, Box<dyn Error>> {
 pub fn execute(cmd: &Command) -> Result<String, Box<dyn Error>> {
     match cmd {
         Command::Help => Ok(USAGE.to_owned()),
-        Command::Explore { input, aut, dot, max_states } => {
-            let lts = load(input, *max_states)?;
+        Command::Explore { input, aut, dot, max_states, threads } => {
             let mut out = String::new();
+            let lts = if input.ends_with(".aut") {
+                load(input, *max_states)?
+            } else {
+                let text = std::fs::read_to_string(input)
+                    .map_err(|e| format!("cannot read `{input}`: {e}"))?;
+                let spec = parse_spec(&text)?;
+                let options = ExploreOptions::with_max_states(*max_states).with_threads(*threads);
+                let start = std::time::Instant::now();
+                let exploration = explore_partial(&spec, &options);
+                let wall = start.elapsed();
+                if let Some(err) = &exploration.aborted {
+                    let _ = writeln!(out, "warning: exploration aborted: {err}");
+                    let _ = writeln!(out, "warning: reporting the partial state space");
+                }
+                let explored = exploration.explored;
+                if *threads != 1 {
+                    // Time a one-thread reference run so the report can show
+                    // the parallel speedup on this exact model.
+                    let start = std::time::Instant::now();
+                    let _ = explore_partial(&spec, &options.clone().with_threads(1));
+                    let baseline_wall = start.elapsed();
+                    let resolved = if *threads == 0 {
+                        std::thread::available_parallelism().map_or(1, |n| n.get())
+                    } else {
+                        *threads
+                    };
+                    let stats = ParStats {
+                        threads: resolved,
+                        states: explored.lts.num_states(),
+                        transitions: explored.lts.num_transitions(),
+                        wall,
+                        baseline_wall: Some(baseline_wall),
+                    };
+                    out.push_str(&stats.render());
+                }
+                explored.lts
+            };
             let _ = writeln!(out, "{}", lts.summary());
             let deadlocks = lts.deadlock_states();
             let _ = writeln!(out, "deadlock states: {}", deadlocks.len());
@@ -423,8 +465,7 @@ pub fn execute(cmd: &Command) -> Result<String, Box<dyn Error>> {
             let flow = Flow::from_source(&text)?;
             let rate_map: HashMap<String, f64> = rates.iter().cloned().collect();
             let probe_refs: Vec<&str> = probes.iter().map(String::as_str).collect();
-            let solved =
-                flow.with_rates(&rate_map).solve(NondetPolicy::Uniform, &probe_refs)?;
+            let solved = flow.with_rates(&rate_map).solve(NondetPolicy::Uniform, &probe_refs)?;
             let mut out = String::new();
             let _ = writeln!(out, "ctmc states: {}", solved.ctmc().num_states());
             if !probes.is_empty() {
@@ -466,9 +507,26 @@ mod tests {
                 input: "m.lot".into(),
                 aut: Some("o.aut".into()),
                 dot: None,
-                max_states: 1_000_000
+                max_states: 1_000_000,
+                threads: 1
             }
         );
+    }
+
+    #[test]
+    fn parses_explore_threads() {
+        let cmd = parse_args(&args(&["explore", "m.lot", "--threads", "4"])).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Explore {
+                input: "m.lot".into(),
+                aut: None,
+                dot: None,
+                max_states: 1_000_000,
+                threads: 4
+            }
+        );
+        assert!(parse_args(&args(&["explore", "m.lot", "--threads", "four"])).is_err());
     }
 
     #[test]
@@ -512,14 +570,11 @@ mod tests {
 
     #[test]
     fn parses_walk_and_refines() {
-        let cmd = parse_args(&args(&["walk", "m.lot", "--steps", "5", "--seed", "7"]))
-            .expect("parses");
+        let cmd =
+            parse_args(&args(&["walk", "m.lot", "--steps", "5", "--seed", "7"])).expect("parses");
         assert_eq!(cmd, Command::Walk { input: "m.lot".into(), steps: 5, seed: 7 });
         let cmd = parse_args(&args(&["refines", "a.aut", "b.aut", "--weak"])).expect("parses");
-        assert_eq!(
-            cmd,
-            Command::Refines { imp: "a.aut".into(), spec: "b.aut".into(), weak: true }
-        );
+        assert_eq!(cmd, Command::Refines { imp: "a.aut".into(), spec: "b.aut".into(), weak: true });
         assert!(parse_args(&args(&["refines", "only-one"])).is_err());
     }
 
@@ -534,25 +589,60 @@ mod tests {
         let imp = imp.to_string_lossy().into_owned();
         let spec = spec.to_string_lossy().into_owned();
 
-        let out = execute(&Command::Walk { input: imp.clone(), steps: 10, seed: 1 })
-            .expect("walk");
+        let out = execute(&Command::Walk { input: imp.clone(), steps: 10, seed: 1 }).expect("walk");
         assert!(out.contains("--a-->"), "{out}");
         assert!(out.contains("DEADLOCK"), "chain ends: {out}");
         // Reproducibility.
-        let again = execute(&Command::Walk { input: imp.clone(), steps: 10, seed: 1 })
-            .expect("walk");
+        let again =
+            execute(&Command::Walk { input: imp.clone(), steps: 10, seed: 1 }).expect("walk");
         assert_eq!(out, again);
 
-        let ok = execute(&Command::Refines {
-            imp: imp.clone(),
-            spec: spec.clone(),
-            weak: false,
-        })
-        .expect("refines");
-        assert!(ok.starts_with("REFINES"), "{ok}");
-        let not = execute(&Command::Refines { imp: spec, spec: imp, weak: false })
+        let ok = execute(&Command::Refines { imp: imp.clone(), spec: spec.clone(), weak: false })
             .expect("refines");
+        assert!(ok.starts_with("REFINES"), "{ok}");
+        let not =
+            execute(&Command::Refines { imp: spec, spec: imp, weak: false }).expect("refines");
         assert!(not.starts_with("DOES NOT"), "{not}");
+    }
+
+    #[test]
+    fn threaded_explore_reports_stats_and_partial_work() {
+        let dir = std::env::temp_dir().join("multival-cli-test4");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let model = dir.join("grid.lot");
+        std::fs::write(
+            &model,
+            "process Count[tick](n: int 0..40) :=
+                 [n < 40] -> tick; Count[tick](n + 1)
+             endproc
+             behaviour Count[tick](0) ||| Count[tick](0)",
+        )
+        .expect("write");
+        let model = model.to_string_lossy().into_owned();
+
+        // A threaded run prints the throughput report with a speedup line.
+        let out = execute(&Command::Explore {
+            input: model.clone(),
+            aut: None,
+            dot: None,
+            max_states: 10_000,
+            threads: 4,
+        })
+        .expect("explore");
+        assert!(out.contains("states: 1681"), "{out}");
+        assert!(out.contains("speedup vs 1 thread"), "{out}");
+
+        // A cap abort reports the partial state space instead of discarding it.
+        let out = execute(&Command::Explore {
+            input: model,
+            aut: None,
+            dot: None,
+            max_states: 100,
+            threads: 1,
+        })
+        .expect("partial result, not an error");
+        assert!(out.contains("warning: exploration aborted"), "{out}");
+        assert!(out.contains("states: 100"), "{out}");
     }
 
     #[test]
@@ -578,6 +668,7 @@ mod tests {
             aut: Some(aut.clone()),
             dot: None,
             max_states: 1000,
+            threads: 1,
         })
         .expect("explore");
         assert!(out.contains("states: 2"));
@@ -593,12 +684,9 @@ mod tests {
         }
 
         // minimize the aut
-        let out = execute(&Command::Minimize {
-            input: aut.clone(),
-            eq: Equivalence::Strong,
-            aut: None,
-        })
-        .expect("minimize");
+        let out =
+            execute(&Command::Minimize { input: aut.clone(), eq: Equivalence::Strong, aut: None })
+                .expect("minimize");
         assert!(out.contains("2 states"));
 
         // compare model against its own export

@@ -20,7 +20,7 @@ use multival_lts::analysis::{deadlock_witness, Trace};
 use multival_lts::minimize::{divergent_states, minimize, Equivalence, ReductionStats};
 use multival_lts::Lts;
 use multival_mcl::{check, parse_formula, CheckResult};
-use multival_pa::{explore, parse_spec, ExploreOptions};
+use multival_pa::{explore, explore_partial, parse_spec, ExploreOptions};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -114,6 +114,23 @@ impl Flow {
         let spec = parse_spec(src)?;
         let explored = explore(&spec, options)?;
         Ok(Flow { lts: explored.lts })
+    }
+
+    /// Like [`Flow::from_source_with`], but keeps the partially explored
+    /// state space when exploration aborts (cap hit or semantics error):
+    /// the returned flow holds exactly the states admitted before the
+    /// abort, and the abort cause rides alongside.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors; exploration aborts are *not* errors here.
+    pub fn from_source_partial(
+        src: &str,
+        options: &ExploreOptions,
+    ) -> Result<(Flow, Option<multival_pa::ExploreError>), FlowError> {
+        let spec = parse_spec(src)?;
+        let exploration = explore_partial(&spec, options);
+        Ok((Flow { lts: exploration.explored.lts }, exploration.aborted))
     }
 
     /// Wraps an existing LTS.
@@ -293,15 +310,33 @@ mod tests {
     }
 
     #[test]
+    fn partial_flow_survives_a_cap_hit() {
+        // Unbounded interleaving would explode; the partial entry point
+        // keeps what was admitted and reports why it stopped.
+        let src = "process P[a] := a; P[a] ||| a; P[a] endproc behaviour P[a]";
+        let options = ExploreOptions::with_max_states(8);
+        let (flow, aborted) = Flow::from_source_partial(src, &options).expect("parses");
+        assert_eq!(flow.lts().num_states(), 8);
+        match aborted {
+            Some(multival_pa::ExploreError::Explosion { states, .. }) => {
+                assert_eq!(states, 8)
+            }
+            other => panic!("expected a cap abort, got {other:?}"),
+        }
+        // A non-aborting run returns no cause.
+        let (_, aborted) =
+            Flow::from_source_partial(WORK_REST, &ExploreOptions::default()).expect("parses");
+        assert!(aborted.is_none());
+    }
+
+    #[test]
     fn performance_side() {
         let flow = Flow::from_source(WORK_REST).expect("parses");
         let mut rates = HashMap::new();
         rates.insert("work".to_owned(), 2.0);
         rates.insert("rest".to_owned(), 1.0);
-        let solved = flow
-            .with_rates(&rates)
-            .solve(NondetPolicy::Reject, &["work"])
-            .expect("solves");
+        let solved =
+            flow.with_rates(&rates).solve(NondetPolicy::Reject, &["work"]).expect("solves");
         let tp = solved.throughputs().expect("throughputs");
         // Alternating exp(2)/exp(1): cycle time 1.5, work throughput 2/3.
         assert!((tp[0].1 - 2.0 / 3.0).abs() < 1e-9, "{}", tp[0].1);
@@ -309,10 +344,8 @@ mod tests {
 
     #[test]
     fn minimization_through_facade() {
-        let flow = Flow::from_source(
-            "behaviour hide mid in (a; mid; stop |[mid]| mid; b; stop)",
-        )
-        .expect("parses");
+        let flow = Flow::from_source("behaviour hide mid in (a; mid; stop |[mid]| mid; b; stop)")
+            .expect("parses");
         let (min, stats) = flow.minimized(Equivalence::Branching);
         assert!(min.lts().num_states() < stats.states_before);
     }
@@ -326,11 +359,9 @@ mod tests {
         let perf = flow.with_rates(&rates);
         let (lumped, stats) = perf.lumped();
         assert!(stats.states_after <= stats.states_before);
-        let a = perf
-            .solve(NondetPolicy::Reject, &["work"])
-            .expect("solves")
-            .throughputs()
-            .expect("tp")[0]
+        let a =
+            perf.solve(NondetPolicy::Reject, &["work"]).expect("solves").throughputs().expect("tp")
+                [0]
             .1;
         let b = lumped
             .solve(NondetPolicy::Reject, &["work"])
@@ -348,8 +379,7 @@ mod tests {
         let mut rates = HashMap::new();
         rates.insert("go".to_owned(), 2.0);
         rates.insert("fin".to_owned(), 2.0);
-        let solved =
-            flow.with_rates(&rates).solve(NondetPolicy::Reject, &[]).expect("solves");
+        let solved = flow.with_rates(&rates).solve(NondetPolicy::Reject, &[]).expect("solves");
         // Functional state 2 is the deadlock (BFS order: 0, 1, 2).
         let t = solved.mean_time_to_states(&[2]).expect("solves");
         assert!((t - 1.0).abs() < 1e-9, "{t}");

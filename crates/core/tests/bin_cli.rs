@@ -3,10 +3,8 @@
 use std::process::Command;
 
 fn multival(args: &[&str]) -> (String, String, bool) {
-    let out = Command::new(env!("CARGO_BIN_EXE_multival"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_multival")).args(args).output().expect("binary runs");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
@@ -39,10 +37,7 @@ fn unknown_command_fails_with_usage() {
 
 #[test]
 fn explore_check_pipeline() {
-    let model = write_model(
-        "flip.lot",
-        "behaviour hide m in (a; m; stop |[m]| m; b; stop)",
-    );
+    let model = write_model("flip.lot", "behaviour hide m in (a; m; stop |[m]| m; b; stop)");
     let (stdout, _, ok) = multival(&["explore", &model]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("states: 4"), "{stdout}");
@@ -74,9 +69,8 @@ fn solve_reports_throughput() {
          endproc
          behaviour Buf[put, get](false)",
     );
-    let (stdout, _, ok) = multival(&[
-        "solve", &model, "--rate", "put=2", "--rate", "get=1", "--probe", "get",
-    ]);
+    let (stdout, _, ok) =
+        multival(&["solve", &model, "--rate", "put=2", "--rate", "get=1", "--probe", "get"]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("0.6667"), "{stdout}");
 }

@@ -271,8 +271,8 @@ mod tests {
         let mut b = CtmcBuilder::new(3);
         b.rate(0, 1, 1.0).unwrap();
         b.rate(0, 2, 3.0).unwrap();
-        let p = reach_probabilities(&b.build().unwrap(), &[2], &SolveOptions::default())
-            .expect("ok");
+        let p =
+            reach_probabilities(&b.build().unwrap(), &[2], &SolveOptions::default()).expect("ok");
         assert!((p[0] - 0.75).abs() < 1e-9);
         assert_eq!(p[1], 0.0);
         assert_eq!(p[2], 1.0);

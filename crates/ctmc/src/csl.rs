@@ -123,13 +123,11 @@ mod tests {
         let opts = TransientOptions::default();
         // Reaching 2 while avoiding 3 vs unconstrained: identical here,
         // because paths through 3 never reach 2 anyway.
-        let constrained =
-            bounded_until(&c, |s| s != 3, |s| s == 2, 5.0, &opts).expect("solves");
+        let constrained = bounded_until(&c, |s| s != 3, |s| s == 2, 5.0, &opts).expect("solves");
         let unconstrained = bounded_reach(&c, |s| s == 2, 5.0, &opts).expect("solves");
         assert!((constrained - unconstrained).abs() < 1e-9);
         // Forbidding state 1 makes 2 unreachable.
-        let blocked =
-            bounded_until(&c, |s| s != 1, |s| s == 2, 5.0, &opts).expect("solves");
+        let blocked = bounded_until(&c, |s| s != 1, |s| s == 2, 5.0, &opts).expect("solves");
         assert!(blocked.abs() < 1e-12);
     }
 
@@ -170,8 +168,7 @@ mod tests {
         let mut b = CtmcBuilder::new(2);
         b.rate(0, 1, 1.0).unwrap();
         let c = b.build().unwrap();
-        let p = bounded_reach(&c, |s| s == 0, 0.0, &TransientOptions::default())
-            .expect("solves");
+        let p = bounded_reach(&c, |s| s == 0, 0.0, &TransientOptions::default()).expect("solves");
         assert!((p - 1.0).abs() < 1e-12, "initial state already satisfies Ψ");
     }
 }

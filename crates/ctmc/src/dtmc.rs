@@ -19,7 +19,10 @@ impl Dtmc {
     ///
     /// Returns [`CtmcError::Undefined`] if a non-empty row's probabilities
     /// do not sum to 1 (within 1e-9) or contain invalid entries.
-    pub fn new(rows: Vec<Vec<(State, f64)>>, initial: Vec<(State, f64)>) -> Result<Dtmc, CtmcError> {
+    pub fn new(
+        rows: Vec<Vec<(State, f64)>>,
+        initial: Vec<(State, f64)>,
+    ) -> Result<Dtmc, CtmcError> {
         let n = rows.len();
         for (s, row) in rows.iter().enumerate() {
             if row.is_empty() {
@@ -38,9 +41,7 @@ impl Dtmc {
                 total += p;
             }
             if (total - 1.0).abs() > 1e-9 {
-                return Err(CtmcError::Undefined(format!(
-                    "row {s} sums to {total}, expected 1"
-                )));
+                return Err(CtmcError::Undefined(format!("row {s} sums to {total}, expected 1")));
             }
         }
         Ok(Dtmc { rows, initial })
@@ -56,10 +57,7 @@ impl Dtmc {
                 rows.push(Vec::new());
             } else {
                 rows.push(
-                    ctmc.transitions_from(s)
-                        .iter()
-                        .map(|t| (t.target, t.rate / e))
-                        .collect(),
+                    ctmc.transitions_from(s).iter().map(|t| (t.target, t.rate / e)).collect(),
                 );
             }
         }
@@ -199,10 +197,7 @@ mod tests {
 
     fn two_state(p01: f64, p10: f64) -> Dtmc {
         Dtmc::new(
-            vec![
-                vec![(0, 1.0 - p01), (1, p01)],
-                vec![(0, p10), (1, 1.0 - p10)],
-            ],
+            vec![vec![(0, 1.0 - p01), (1, p01)], vec![(0, p10), (1, 1.0 - p10)]],
             vec![(0, 1.0)],
         )
         .expect("valid")

@@ -196,8 +196,9 @@ impl Ctmdp {
         // Qualitative pre-pass: under the chosen quantification, which
         // states have reach probability 1? Others get ∞.
         let reach = self.reach_probability(targets, opt, 1e-9, max_iterations)?;
-        let mut h: Vec<f64> =
-            (0..n).map(|s| if is_target[s] || reach[s] > 1.0 - 1e-6 { 0.0 } else { f64::INFINITY }).collect();
+        let mut h: Vec<f64> = (0..n)
+            .map(|s| if is_target[s] || reach[s] > 1.0 - 1e-6 { 0.0 } else { f64::INFINITY })
+            .collect();
         for iter in 0..max_iterations {
             let mut delta: f64 = 0.0;
             for s in 0..n {
@@ -446,14 +447,12 @@ mod tests {
     #[test]
     fn optimal_policy_picks_the_fast_branch() {
         let m = race();
-        let (h, policy) =
-            m.optimal_expected_time(&[2], Opt::Min, 1e-12, 100_000).expect("vi");
+        let (h, policy) = m.optimal_expected_time(&[2], Opt::Min, 1e-12, 100_000).expect("vi");
         assert!((h[0] - 0.25).abs() < 1e-9);
         // Choice 0 is "fast": the min policy must select it at state 0.
         assert_eq!(policy[0], Some(0));
         assert_eq!(policy[2], None, "target has no policy entry");
-        let (_, worst) =
-            m.optimal_expected_time(&[2], Opt::Max, 1e-12, 100_000).expect("vi");
+        let (_, worst) = m.optimal_expected_time(&[2], Opt::Max, 1e-12, 100_000).expect("vi");
         assert_eq!(worst[0], Some(1), "the max policy takes the slow route");
     }
 

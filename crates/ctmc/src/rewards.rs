@@ -200,13 +200,8 @@ mod tests {
         let mut b = CtmcBuilder::new(2);
         b.rate(0, 1, 2.0).unwrap();
         b.rate(1, 0, 2.0).unwrap();
-        let r = long_run_rate(
-            &b.build().unwrap(),
-            |_| 0.0,
-            |_, _| 1.0,
-            &SolveOptions::default(),
-        )
-        .expect("solves");
+        let r = long_run_rate(&b.build().unwrap(), |_| 0.0, |_, _| 1.0, &SolveOptions::default())
+            .expect("solves");
         assert!((r - 2.0).abs() < 1e-9);
     }
 }

@@ -167,10 +167,7 @@ mod tests {
         let pi = steady_state(&c, &SolveOptions::default()).unwrap();
         let est = Simulator::new(&c, 42).occupancy(20_000.0);
         for (s, (&exact, &sim)) in pi.iter().zip(&est.occupancy).enumerate() {
-            assert!(
-                (exact - sim).abs() < 0.02,
-                "state {s}: exact {exact} vs simulated {sim}"
-            );
+            assert!((exact - sim).abs() < 0.02, "state {s}: exact {exact} vs simulated {sim}");
         }
     }
 

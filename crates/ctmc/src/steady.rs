@@ -153,11 +153,7 @@ fn solve_bscc(
                 *p /= total;
             }
         }
-        let delta = pi
-            .iter()
-            .zip(&next)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let delta = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         std::mem::swap(&mut pi, &mut next);
         if delta < options.tolerance {
             return Ok(pi);
@@ -407,8 +403,7 @@ mod tests {
         let c = mm1k(1.0, 2.0, 4);
         let pi = steady_state(&c, &SolveOptions::default()).expect("ok");
         let direct: f64 = pi.iter().enumerate().map(|(n, p)| n as f64 * p).sum();
-        let via_reward =
-            steady_reward(&c, |s| s as f64, &SolveOptions::default()).expect("ok");
+        let via_reward = steady_reward(&c, |s| s as f64, &SolveOptions::default()).expect("ok");
         assert!((direct - via_reward).abs() < 1e-12);
     }
 

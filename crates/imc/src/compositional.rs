@@ -232,7 +232,8 @@ mod tests {
             Component::new("fwd1", mk_fwd("h1", "h2"), ["h1"]),
             Component::new("fwd2", mk_fwd("h2", "h3"), ["h2"]),
         ];
-        let (imc, _) = compose_minimize(&comps, &PipelineOptions { minimize: false, ..Default::default() });
+        let (imc, _) =
+            compose_minimize(&comps, &PipelineOptions { minimize: false, ..Default::default() });
         // h3 must be reachable.
         let lts = imc.to_lts();
         let h3 = multival_lts::analysis::find_action(&lts, |l| l == "h3");

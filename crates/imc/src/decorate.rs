@@ -141,10 +141,8 @@ pub fn decorate_by_label_with_map(
 
 /// Convenience: decorate with per-gate exponential rates.
 pub fn decorate_rates(lts: &Lts, rates: &HashMap<String, f64>) -> Imc {
-    let delays: HashMap<String, Delay> = rates
-        .iter()
-        .map(|(g, &r)| (g.clone(), Delay::Exponential { rate: r }))
-        .collect();
+    let delays: HashMap<String, Delay> =
+        rates.iter().map(|(g, &r)| (g.clone(), Delay::Exponential { rate: r })).collect();
     decorate(lts, &delays)
 }
 

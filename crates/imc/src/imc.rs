@@ -201,9 +201,10 @@ impl Imc {
         order.push(self.initial);
         queue.push_back(self.initial);
         while let Some(s) = queue.pop_front() {
-            let visit = |t: State, map: &mut Vec<Option<State>>,
-                             order: &mut Vec<State>,
-                             queue: &mut std::collections::VecDeque<State>| {
+            let visit = |t: State,
+                         map: &mut Vec<Option<State>>,
+                         order: &mut Vec<State>,
+                         queue: &mut std::collections::VecDeque<State>| {
                 if map[t as usize].is_none() {
                     map[t as usize] = Some(order.len() as State);
                     order.push(t);
@@ -245,11 +246,7 @@ pub struct ImcBuilder {
 impl ImcBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
-        ImcBuilder {
-            labels: LabelTable::new(),
-            interactive: Vec::new(),
-            markovian: Vec::new(),
-        }
+        ImcBuilder { labels: LabelTable::new(), interactive: Vec::new(), markovian: Vec::new() }
     }
 
     /// Allocates a fresh state.

@@ -171,11 +171,7 @@ pub fn relabel(imc: &Imc, mut f: impl FnMut(&str) -> Option<String>) -> Imc {
     }
     for s in 0..imc.num_states() as State {
         for t in imc.interactive_from(s) {
-            let name = if t.label.is_tau() {
-                None
-            } else {
-                f(imc.labels().name(t.label))
-            };
+            let name = if t.label.is_tau() { None } else { f(imc.labels().name(t.label)) };
             match name {
                 Some(n) => b.interactive(s, &n, t.target),
                 None => b.interactive(s, "i", t.target),
@@ -393,9 +389,8 @@ mod tests {
         b.interactive(s[3], "i", s[0]);
         let imc = b.build(s[0]);
         let direct = to_ctmc(&imc, NondetPolicy::Reject, &[]).expect("direct");
-        let compressed =
-            to_ctmc(&compress_deterministic_tau(&imc), NondetPolicy::Reject, &[])
-                .expect("compressed");
+        let compressed = to_ctmc(&compress_deterministic_tau(&imc), NondetPolicy::Reject, &[])
+            .expect("compressed");
         let pi_a = multival_ctmc::steady::steady_state(
             &direct.ctmc,
             &multival_ctmc::SolveOptions::default(),

@@ -96,9 +96,7 @@ impl Delay {
             Delay::Exponential { rate } => 1.0 / rate,
             Delay::Erlang { phases, rate } => *phases as f64 / rate,
             Delay::HypoExponential { rates } => rates.iter().map(|r| 1.0 / r).sum(),
-            Delay::HyperExponential { branches } => {
-                branches.iter().map(|(p, r)| p / r).sum()
-            }
+            Delay::HyperExponential { branches } => branches.iter().map(|(p, r)| p / r).sum(),
         }
     }
 

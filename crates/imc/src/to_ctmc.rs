@@ -128,11 +128,8 @@ pub fn to_ctmc(
 
     // Check that every interactive label is internal (τ or probe).
     {
-        let mut offending: Vec<String> = imc
-            .visible_labels()
-            .into_iter()
-            .filter(|l| !is_probe(l))
-            .collect();
+        let mut offending: Vec<String> =
+            imc.visible_labels().into_iter().filter(|l| !is_probe(l)).collect();
         offending.dedup();
         if !offending.is_empty() {
             return Err(ToCtmcError::VisibleLabels(offending));
@@ -147,11 +144,8 @@ pub fn to_ctmc(
     for s in 0..n as State {
         let mut seen = std::collections::HashSet::new();
         for t in imc.interactive_from(s) {
-            let p = if t.label.is_tau() {
-                None
-            } else {
-                Some(probe_index[imc.labels().name(t.label)])
-            };
+            let p =
+                if t.label.is_tau() { None } else { Some(probe_index[imc.labels().name(t.label)]) };
             if seen.insert((p, t.target)) {
                 internal[s as usize].push((p, t.target));
             }

@@ -146,13 +146,8 @@ mod tests {
     #[test]
     fn deadlock_witness_is_shortest() {
         // Two paths to deadlock state 3: length 2 via b, length 3 via a.
-        let lts = lts_from_triples(&[
-            (0, "a", 1),
-            (1, "a2", 2),
-            (2, "a3", 3),
-            (0, "b", 4),
-            (4, "b2", 3),
-        ]);
+        let lts =
+            lts_from_triples(&[(0, "a", 1), (1, "a2", 2), (2, "a3", 3), (0, "b", 4), (4, "b2", 3)]);
         let w = deadlock_witness(&lts).expect("deadlock exists");
         assert_eq!(w.len(), 2);
         assert_eq!(w, vec!["b", "b2"]);

@@ -49,13 +49,8 @@ impl Error for ParseAutError {}
 /// ```
 pub fn write_aut(lts: &Lts) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "des ({}, {}, {})",
-        lts.initial(),
-        lts.num_transitions(),
-        lts.num_states()
-    );
+    let _ =
+        writeln!(out, "des ({}, {}, {})", lts.initial(), lts.num_transitions(), lts.num_states());
     for (s, l, t) in lts.iter_transitions() {
         let name = lts.labels().name(l).replace('"', "\\\"");
         let _ = writeln!(out, "({}, \"{}\", {})", s, name, t);
@@ -93,10 +88,8 @@ pub fn read_aut(text: &str) -> Result<Lts, ParseAutError> {
         });
     }
     let parse_num = |s: &str, line: usize| {
-        s.parse::<u32>().map_err(|_| ParseAutError {
-            line,
-            message: format!("invalid number `{s}`"),
-        })
+        s.parse::<u32>()
+            .map_err(|_| ParseAutError { line, message: format!("invalid number `{s}`") })
     };
     let initial = parse_num(parts[0], header_no + 1)?;
     let ntrans = parse_num(parts[1], header_no + 1)? as usize;
@@ -109,13 +102,12 @@ pub fn read_aut(text: &str) -> Result<Lts, ParseAutError> {
         if line.is_empty() {
             continue;
         }
-        let body = line
-            .strip_prefix('(')
-            .and_then(|r| r.strip_suffix(')'))
-            .ok_or_else(|| ParseAutError {
+        let body = line.strip_prefix('(').and_then(|r| r.strip_suffix(')')).ok_or_else(|| {
+            ParseAutError {
                 line: no + 1,
                 message: format!("expected `(src, \"label\", dst)`, got `{line}`"),
-            })?;
+            }
+        })?;
         // Split as: src , "label with possible commas" , dst
         let first_comma = body.find(',').ok_or_else(|| ParseAutError {
             line: no + 1,
@@ -190,11 +182,7 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_structure() {
-        let lts = lts_from_triples(&[
-            (0, "PUSH !1 !true", 1),
-            (1, "i", 2),
-            (2, "POP !1", 0),
-        ]);
+        let lts = lts_from_triples(&[(0, "PUSH !1 !true", 1), (1, "i", 2), (2, "POP !1", 0)]);
         let text = write_aut(&lts);
         let back = read_aut(&text).expect("roundtrip parses");
         assert_eq!(back.num_states(), lts.num_states());

@@ -44,3 +44,4 @@ pub mod simulation;
 pub use label::{LabelId, LabelTable};
 pub use lts::{Lts, LtsBuilder, StateId, Transition};
 pub use minimize::{Equivalence, Partition, ReductionStats};
+pub use multival_par::Workers;

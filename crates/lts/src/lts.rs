@@ -119,18 +119,15 @@ impl Lts {
 
     /// Iterates over all `(src, label, dst)` triples.
     pub fn iter_transitions(&self) -> impl Iterator<Item = (StateId, LabelId, StateId)> + '_ {
-        (0..self.num_states() as StateId).flat_map(move |s| {
-            self.transitions_from(s).iter().map(move |t| (s, t.label, t.target))
-        })
+        (0..self.num_states() as StateId)
+            .flat_map(move |s| self.transitions_from(s).iter().map(move |t| (s, t.label, t.target)))
     }
 
     /// States with no outgoing transitions (deadlocks, in LOTOS terms `stop`
     /// states; a successfully terminated state with an `exit` loop is not a
     /// deadlock).
     pub fn deadlock_states(&self) -> Vec<StateId> {
-        (0..self.num_states() as StateId)
-            .filter(|&s| self.transitions_from(s).is_empty())
-            .collect()
+        (0..self.num_states() as StateId).filter(|&s| self.transitions_from(s).is_empty()).collect()
     }
 
     /// Returns `true` if `s` has an outgoing τ transition.

@@ -5,8 +5,9 @@
 //! separately, minimized, then composed — the key weapon against state-space
 //! explosion (§3 of the paper).
 
-use crate::label::gate_of;
+use crate::label::{gate_of, LabelId};
 use crate::lts::{Lts, LtsBuilder, StateId};
+use multival_par::{par_map, ShardedIndex, Workers};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Synchronization discipline for [`compose`].
@@ -76,7 +77,158 @@ impl Sync {
 /// assert_eq!(inter.num_states(), 4); // diamond
 /// ```
 pub fn compose(left: &Lts, right: &Lts, sync: &Sync) -> Lts {
+    compose_with(left, right, sync, Workers::sequential())
+}
+
+/// Per-label data precomputed once per [`compose`] call, taking every
+/// string comparison and allocation out of the product hot loop.
+struct SyncPlan {
+    /// Product-table label id for each left label.
+    left_prod: Vec<LabelId>,
+    /// Product-table label id for each right label.
+    right_prod: Vec<LabelId>,
+    /// Does this left label synchronize?
+    left_sync: Vec<bool>,
+    /// Does this right label synchronize?
+    right_sync: Vec<bool>,
+    /// For each synchronizing left label: the right label with the
+    /// *identical full name* (LOTOS value negotiation), if any.
+    partner: Vec<Option<LabelId>>,
+}
+
+impl SyncPlan {
+    fn new(builder: &mut LtsBuilder, left: &Lts, right: &Lts, sync: &Sync) -> Self {
+        let synchronizes = |id: LabelId, name: &str| {
+            !id.is_tau() && (gate_of(name) == "exit" || sync.synchronizes(gate_of(name)))
+        };
+        let mut right_prod = Vec::with_capacity(right.labels().len());
+        let mut right_sync = Vec::with_capacity(right.labels().len());
+        for (id, name) in right.labels().iter() {
+            right_prod.push(builder.intern(name));
+            right_sync.push(synchronizes(id, name));
+        }
+        let mut left_prod = Vec::with_capacity(left.labels().len());
+        let mut left_sync = Vec::with_capacity(left.labels().len());
+        let mut partner = Vec::with_capacity(left.labels().len());
+        for (id, name) in left.labels().iter() {
+            left_prod.push(builder.intern(name));
+            let syncs = synchronizes(id, name);
+            left_sync.push(syncs);
+            partner.push(if syncs {
+                right.labels().lookup(name).filter(|p| right_sync[p.index()])
+            } else {
+                None
+            });
+        }
+        SyncPlan { left_prod, right_prod, left_sync, right_sync, partner }
+    }
+
+    /// Successors of the product state `(ls, rs)`, in the canonical order
+    /// (left-independent, right-independent, synchronized).
+    fn successors(
+        &self,
+        left: &Lts,
+        right: &Lts,
+        (ls, rs): (StateId, StateId),
+    ) -> Vec<(LabelId, (StateId, StateId))> {
+        let mut out = Vec::new();
+        for t in left.transitions_from(ls) {
+            if !self.left_sync[t.label.index()] {
+                out.push((self.left_prod[t.label.index()], (t.target, rs)));
+            }
+        }
+        for t in right.transitions_from(rs) {
+            if !self.right_sync[t.label.index()] {
+                out.push((self.right_prod[t.label.index()], (ls, t.target)));
+            }
+        }
+        for lt in left.transitions_from(ls) {
+            let Some(p) = self.partner[lt.label.index()] else { continue };
+            for rt in right.transitions_from(rs) {
+                if rt.label == p {
+                    out.push((self.left_prod[lt.label.index()], (lt.target, rt.target)));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// [`compose`] with an explicit worker count for product-state successor
+/// generation. The result — state numbering, label table, transitions —
+/// is identical at any worker count: workers only derive successor lists
+/// level by level, and a sequential merge in canonical frontier order
+/// assigns state numbers exactly as the sequential BFS would.
+pub fn compose_with(left: &Lts, right: &Lts, sync: &Sync, workers: Workers) -> Lts {
     let mut builder = LtsBuilder::new();
+    let plan = SyncPlan::new(&mut builder, left, right, sync);
+    if workers.is_sequential() {
+        return compose_sequential(left, right, &plan, builder);
+    }
+
+    let index: ShardedIndex<(StateId, StateId)> = ShardedIndex::new();
+    // Provisional id -> canonical (BFS discovery order) id.
+    const NO_CANON: StateId = StateId::MAX;
+    let mut prov2canon: Vec<StateId> = Vec::new();
+    let mut pairs: Vec<(StateId, StateId)> = Vec::new();
+
+    let init = (left.initial(), right.initial());
+    let init_id = builder.add_state();
+    index.get_or_insert(init);
+    prov2canon.push(init_id);
+    pairs.push(init);
+
+    let mut frontier: Vec<StateId> = vec![init_id];
+    while !frontier.is_empty() {
+        // Parallel stage: successor derivation + provisional numbering.
+        type LevelOut = (Vec<(LabelId, u32)>, Vec<(u32, (StateId, StateId))>);
+        let results: Vec<LevelOut> = par_map(workers, &frontier, |_, &s| {
+            let mut succ = Vec::new();
+            let mut fresh = Vec::new();
+            for (label, target) in plan.successors(left, right, pairs[s as usize]) {
+                let (prov, was_new) = index.get_or_insert(target);
+                if was_new {
+                    fresh.push((prov, target));
+                }
+                succ.push((label, prov));
+            }
+            (succ, fresh)
+        });
+
+        let first_new = prov2canon.len() as u32;
+        let new_count = (index.next_id() - first_new) as usize;
+        let mut fresh_pairs: Vec<Option<(StateId, StateId)>> = vec![None; new_count];
+        for (_, fresh) in &results {
+            for &(prov, pair) in fresh {
+                fresh_pairs[(prov - first_new) as usize] = Some(pair);
+            }
+        }
+        prov2canon.resize(index.next_id() as usize, NO_CANON);
+
+        // Sequential merge: canonical numbering in frontier order.
+        let mut next_frontier: Vec<StateId> = Vec::new();
+        for (i, (succ, _)) in results.into_iter().enumerate() {
+            let src = frontier[i];
+            for (label, prov) in succ {
+                let mut dst = prov2canon[prov as usize];
+                if dst == NO_CANON {
+                    dst = builder.add_state();
+                    prov2canon[prov as usize] = dst;
+                    pairs.push(
+                        fresh_pairs[(prov - first_new) as usize]
+                            .expect("every provisional id has a registered pair"),
+                    );
+                    next_frontier.push(dst);
+                }
+                builder.add_transition_id(src, label, dst);
+            }
+        }
+        frontier = next_frontier;
+    }
+    builder.build(init_id)
+}
+
+fn compose_sequential(left: &Lts, right: &Lts, plan: &SyncPlan, mut builder: LtsBuilder) -> Lts {
     let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
     let mut queue: VecDeque<(StateId, StateId)> = VecDeque::new();
 
@@ -85,55 +237,14 @@ pub fn compose(left: &Lts, right: &Lts, sync: &Sync) -> Lts {
     index.insert(init, init_id);
     queue.push_back(init);
 
-    // Pre-compute which labels of each side synchronize.
-    let left_sync: Vec<bool> = left
-        .labels()
-        .iter()
-        .map(|(id, name)| !id.is_tau() && (gate_of(name) == "exit" || sync.synchronizes(gate_of(name))))
-        .collect();
-    let right_sync: Vec<bool> = right
-        .labels()
-        .iter()
-        .map(|(id, name)| !id.is_tau() && (gate_of(name) == "exit" || sync.synchronizes(gate_of(name))))
-        .collect();
-
-    while let Some((ls, rs)) = queue.pop_front() {
-        let src = index[&(ls, rs)];
-        let emit = |builder: &mut LtsBuilder,
-                        index: &mut HashMap<(StateId, StateId), StateId>,
-                        queue: &mut VecDeque<(StateId, StateId)>,
-                        label: &str,
-                        target: (StateId, StateId)| {
+    while let Some(pair) = queue.pop_front() {
+        let src = index[&pair];
+        for (label, target) in plan.successors(left, right, pair) {
             let dst = *index.entry(target).or_insert_with(|| {
                 queue.push_back(target);
                 builder.add_state()
             });
-            builder.add_transition(src, label, dst);
-        };
-
-        // Independent moves of the left component.
-        for t in left.transitions_from(ls) {
-            if !left_sync[t.label.index()] {
-                emit(&mut builder, &mut index, &mut queue, left.labels().name(t.label), (t.target, rs));
-            }
-        }
-        // Independent moves of the right component.
-        for t in right.transitions_from(rs) {
-            if !right_sync[t.label.index()] {
-                emit(&mut builder, &mut index, &mut queue, right.labels().name(t.label), (ls, t.target));
-            }
-        }
-        // Synchronized moves: identical full labels.
-        for lt in left.transitions_from(ls) {
-            if !left_sync[lt.label.index()] {
-                continue;
-            }
-            let lname = left.labels().name(lt.label);
-            for rt in right.transitions_from(rs) {
-                if right_sync[rt.label.index()] && right.labels().name(rt.label) == lname {
-                    emit(&mut builder, &mut index, &mut queue, lname, (lt.target, rt.target));
-                }
-            }
+            builder.add_transition_id(src, label, dst);
         }
     }
     builder.build(init_id)
@@ -311,6 +422,34 @@ mod tests {
         map.insert("PUSH".to_owned(), "IN".to_owned());
         let r = rename_gates(&a, &map);
         assert!(r.labels().lookup("IN !7").is_some());
+    }
+
+    #[test]
+    fn parallel_compose_is_bit_identical() {
+        // Two medium cycles sharing a sync gate: 30×42 product with both
+        // interleaved and synchronized moves.
+        let mut left_labels: Vec<String> = (0..30).map(|i| format!("L !{i}")).collect();
+        left_labels[7] = "S !1".to_owned();
+        left_labels[19] = "S !2".to_owned();
+        let mut right_labels: Vec<String> = (0..42).map(|i| format!("R !{i}")).collect();
+        right_labels[3] = "S !1".to_owned();
+        right_labels[31] = "S !2".to_owned();
+        fn as_strs(v: &[String]) -> Vec<&str> {
+            v.iter().map(String::as_str).collect()
+        }
+        let a = cycle(&as_strs(&left_labels));
+        let b = cycle(&as_strs(&right_labels));
+        for sync in [Sync::Interleave, Sync::on(["S"]), Sync::Full] {
+            let seq = compose(&a, &b, &sync);
+            for threads in [2, 4] {
+                let par = compose_with(&a, &b, &sync, Workers::new(threads));
+                assert_eq!(
+                    crate::io::write_aut(&seq),
+                    crate::io::write_aut(&par),
+                    "{sync:?} @{threads}"
+                );
+            }
+        }
     }
 
     #[test]

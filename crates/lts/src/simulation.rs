@@ -86,11 +86,7 @@ pub fn simulates(imp: &Lts, spec: &Lts, kind: SimulationKind) -> bool {
 
 /// Computes the greatest simulation relation: `result[s]` is the set of
 /// spec states that simulate implementation state `s`.
-pub fn simulation_relation(
-    imp: &Lts,
-    spec: &Lts,
-    kind: SimulationKind,
-) -> Vec<SimSet> {
+pub fn simulation_relation(imp: &Lts, spec: &Lts, kind: SimulationKind) -> Vec<SimSet> {
     // Translate imp's labels into spec's table by name (unmatched visible
     // labels can never be simulated).
     let translate: Vec<Option<LabelId>> = imp
@@ -124,13 +120,12 @@ pub fn simulation_relation(
                         continue 'cand;
                     };
                     let matched = match kind {
-                        SimulationKind::Strong => spec
-                            .transitions_from(t as StateId)
-                            .iter()
-                            .any(|st| {
+                        SimulationKind::Strong => {
+                            spec.transitions_from(t as StateId).iter().any(|st| {
                                 st.label == label
                                     && rel[tr.target as usize].contains(st.target as usize)
-                            }),
+                            })
+                        }
                         SimulationKind::Weak => {
                             weak_match(spec, &tau_closure, t as StateId, label, |u| {
                                 rel[tr.target as usize].contains(u as usize)
@@ -181,10 +176,9 @@ fn weak_match(
     }
     for &u in &tau_closure[t as usize] {
         for tr in spec.transitions_from(u) {
-            if tr.label == label
-                && tau_closure[tr.target as usize].iter().any(|&v| ok(v)) {
-                    return true;
-                }
+            if tr.label == label && tau_closure[tr.target as usize].iter().any(|&v| ok(v)) {
+                return true;
+            }
         }
     }
     false

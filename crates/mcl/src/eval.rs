@@ -81,11 +81,7 @@ impl<'a> LabelMatcher<'a> {
     }
 
     fn matching_labels(&self, af: &ActionFormula) -> Vec<bool> {
-        self.lts
-            .labels()
-            .iter()
-            .map(|(_, name)| af.matches(name))
-            .collect()
+        self.lts.labels().iter().map(|(_, name)| af.matches(name)).collect()
     }
 }
 
@@ -124,10 +120,7 @@ fn eval(
         }
         Formula::Mu(x, g) => fixpoint(lts, matcher, x, g, env, false),
         Formula::Nu(x, g) => fixpoint(lts, matcher, x, g, env, true),
-        Formula::Var(x) => env
-            .get(x)
-            .cloned()
-            .unwrap_or_else(|| BitSet::new(n)),
+        Formula::Var(x) => env.get(x).cloned().unwrap_or_else(|| BitSet::new(n)),
     }
 }
 
@@ -264,10 +257,7 @@ mod tests {
         );
         let f = Formula::Nu(
             "X".into(),
-            Box::new(Formula::And(
-                Box::new(inner),
-                Box::new(boxm("a", Formula::Var("X".into()))),
-            )),
+            Box::new(Formula::And(Box::new(inner), Box::new(boxm("a", Formula::Var("X".into()))))),
         );
         let r = check(&lts, &f).expect("ok");
         assert!(r.holds);
@@ -276,10 +266,8 @@ mod tests {
     #[test]
     fn non_monotone_rejected() {
         let lts = lts_from_triples(&[(0, "a", 1)]);
-        let bad = Formula::Mu(
-            "X".into(),
-            Box::new(Formula::Not(Box::new(Formula::Var("X".into())))),
-        );
+        let bad =
+            Formula::Mu("X".into(), Box::new(Formula::Not(Box::new(Formula::Var("X".into())))));
         assert!(check(&lts, &bad).is_err());
     }
 

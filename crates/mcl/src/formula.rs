@@ -142,8 +142,7 @@ impl Formula {
                     r
                 }
                 Formula::Var(x) => {
-                    let binder =
-                        bound.iter().rev().find(|(y, _)| y == x).map(|&(_, p)| p);
+                    let binder = bound.iter().rev().find(|(y, _)| y == x).map(|&(_, p)| p);
                     match binder {
                         None => Err(format!("free fixpoint variable `{x}`")),
                         Some(p) if p != polarity => Err(format!(
@@ -216,10 +215,8 @@ mod tests {
     #[test]
     fn monotonicity_check() {
         // mu X. not X — rejected.
-        let bad = Formula::Mu(
-            "X".into(),
-            Box::new(Formula::Not(Box::new(Formula::Var("X".into())))),
-        );
+        let bad =
+            Formula::Mu("X".into(), Box::new(Formula::Not(Box::new(Formula::Var("X".into())))));
         assert!(bad.check_monotone().is_err());
         // mu X. <a> X — fine.
         let good = Formula::Mu(

@@ -135,7 +135,12 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseFormulaError> {
                 let start = i;
                 while i < b.len() {
                     let ch = b[i] as char;
-                    if ch.is_ascii_alphanumeric() || ch == '_' || ch == '!' || ch == '*' || ch == '?' {
+                    if ch.is_ascii_alphanumeric()
+                        || ch == '_'
+                        || ch == '!'
+                        || ch == '*'
+                        || ch == '?'
+                    {
                         i += 1;
                     } else {
                         break;
@@ -143,17 +148,15 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseFormulaError> {
                 }
                 let w = &src[start..i];
                 let tok = match w {
-                    "true" | "false" | "not" | "and" | "or" | "mu" | "nu" => {
-                        Tok::Kw(match w {
-                            "true" => "true",
-                            "false" => "false",
-                            "not" => "not",
-                            "and" => "and",
-                            "or" => "or",
-                            "mu" => "mu",
-                            _ => "nu",
-                        })
-                    }
+                    "true" | "false" | "not" | "and" | "or" | "mu" | "nu" => Tok::Kw(match w {
+                        "true" => "true",
+                        "false" => "false",
+                        "not" => "not",
+                        "and" => "and",
+                        "or" => "or",
+                        "mu" => "mu",
+                        _ => "nu",
+                    }),
                     _ => Tok::Ident(w.to_owned()),
                 };
                 out.push((tok, start));
@@ -163,7 +166,12 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseFormulaError> {
                 let start = i;
                 while i < b.len() {
                     let ch = b[i] as char;
-                    if ch.is_ascii_alphanumeric() || ch == '_' || ch == '!' || ch == '*' || ch == '?' {
+                    if ch.is_ascii_alphanumeric()
+                        || ch == '_'
+                        || ch == '!'
+                        || ch == '*'
+                        || ch == '?'
+                    {
                         i += 1;
                     } else {
                         break;
@@ -387,10 +395,7 @@ mod tests {
         let f = parse_formula("true => false").expect("parses");
         assert_eq!(
             f,
-            Formula::Or(
-                Box::new(Formula::Not(Box::new(Formula::True))),
-                Box::new(Formula::False)
-            )
+            Formula::Or(Box::new(Formula::Not(Box::new(Formula::True))), Box::new(Formula::False))
         );
     }
 

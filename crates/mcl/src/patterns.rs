@@ -52,10 +52,7 @@ pub fn inevitably(af: ActionFormula) -> Formula {
         "X".into(),
         Box::new(Formula::And(
             Box::new(Formula::Diamond(ActionFormula::Any, Box::new(Formula::True))),
-            Box::new(Formula::Box(
-                ActionFormula::Not(Box::new(af)),
-                Box::new(var("X")),
-            )),
+            Box::new(Formula::Box(ActionFormula::Not(Box::new(af)), Box::new(var("X")))),
         )),
     )
 }
@@ -87,10 +84,7 @@ pub fn no_before(second: ActionFormula, first: ActionFormula) -> Formula {
         "X".into(),
         Box::new(Formula::And(
             Box::new(Formula::Box(second, Box::new(Formula::False))),
-            Box::new(Formula::Box(
-                ActionFormula::Not(Box::new(first)),
-                Box::new(var("X")),
-            )),
+            Box::new(Formula::Box(ActionFormula::Not(Box::new(first)), Box::new(var("X")))),
         )),
     )
 }
@@ -147,18 +141,16 @@ mod tests {
     fn no_before_template() {
         // ack before req is forbidden.
         let good = lts_from_triples(&[(0, "req", 1), (1, "ack", 0)]);
-        assert!(check(
-            &good,
-            &no_before(ActionFormula::pattern("ack"), ActionFormula::pattern("req"))
-        )
-        .expect("ok")
-        .holds);
+        assert!(
+            check(&good, &no_before(ActionFormula::pattern("ack"), ActionFormula::pattern("req")))
+                .expect("ok")
+                .holds
+        );
         let bad = lts_from_triples(&[(0, "ack", 1), (1, "req", 0)]);
-        assert!(!check(
-            &bad,
-            &no_before(ActionFormula::pattern("ack"), ActionFormula::pattern("req"))
-        )
-        .expect("ok")
-        .holds);
+        assert!(
+            !check(&bad, &no_before(ActionFormula::pattern("ack"), ActionFormula::pattern("req")))
+                .expect("ok")
+                .holds
+        );
     }
 }

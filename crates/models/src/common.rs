@@ -47,12 +47,7 @@ pub struct ExploredModel<S> {
 impl<S> ExploredModel<S> {
     /// Ids of states satisfying a predicate on the model state.
     pub fn states_where(&self, mut pred: impl FnMut(&S) -> bool) -> Vec<StateId> {
-        self.states
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| pred(s))
-            .map(|(i, _)| i as StateId)
-            .collect()
+        self.states.iter().enumerate().filter(|(_, s)| pred(s)).map(|(i, _)| i as StateId).collect()
     }
 }
 

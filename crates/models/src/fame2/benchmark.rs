@@ -145,8 +145,8 @@ pub fn ping_pong_latency(
     let imc = decorate_by_label(&explored.lts, |label| {
         label_delay(label, rates, &config.topology, &home_of)
     });
-    let conv = to_ctmc(&hide_all(&imc), NondetPolicy::Reject, &[])
-        .map_err(BenchmarkError::Conversion)?;
+    let conv =
+        to_ctmc(&hide_all(&imc), NondetPolicy::Reject, &[]).map_err(BenchmarkError::Conversion)?;
     let done: Vec<usize> = explored
         .states_where(|s| model.finished(s))
         .into_iter()
@@ -211,17 +211,20 @@ pub fn ping_pong_bandwidth(
     });
     // Keep only the probe visible; everything else becomes τ.
     let probe = "MARK !round";
-    let hidden = multival_imc::ops::relabel(&imc, |name| {
-        if name == probe {
-            Some(name.to_owned())
-        } else {
-            None
-        }
-    });
+    let hidden =
+        multival_imc::ops::relabel(
+            &imc,
+            |name| {
+                if name == probe {
+                    Some(name.to_owned())
+                } else {
+                    None
+                }
+            },
+        );
     let conv =
         to_ctmc(&hidden, NondetPolicy::Uniform, &[probe]).map_err(BenchmarkError::Conversion)?;
-    let tp = probe_throughputs(&conv, &SolveOptions::default())
-        .map_err(BenchmarkError::Solver)?;
+    let tp = probe_throughputs(&conv, &SolveOptions::default()).map_err(BenchmarkError::Solver)?;
     let rounds = tp.first().map(|&(_, t)| t).unwrap_or(0.0);
     Ok(BandwidthRow {
         topology: config.topology,
@@ -279,16 +282,12 @@ mod tests {
     fn farther_nodes_mean_higher_latency() {
         // Ring(8): peer is 4 hops away; crossbar: 1 hop.
         let rates = RateConfig::default();
-        let near = ping_pong_latency(
-            &base(Topology::Crossbar(8), Protocol::Msi, MpiImpl::Eager),
-            &rates,
-        )
-        .expect("analyzes");
-        let far = ping_pong_latency(
-            &base(Topology::Ring(8), Protocol::Msi, MpiImpl::Eager),
-            &rates,
-        )
-        .expect("analyzes");
+        let near =
+            ping_pong_latency(&base(Topology::Crossbar(8), Protocol::Msi, MpiImpl::Eager), &rates)
+                .expect("analyzes");
+        let far =
+            ping_pong_latency(&base(Topology::Ring(8), Protocol::Msi, MpiImpl::Eager), &rates)
+                .expect("analyzes");
         assert!(
             far.latency > near.latency,
             "ring {} must beat crossbar {}",
@@ -300,16 +299,12 @@ mod tests {
     #[test]
     fn mesi_beats_msi() {
         let rates = RateConfig::default();
-        let msi = ping_pong_latency(
-            &base(Topology::Crossbar(2), Protocol::Msi, MpiImpl::Eager),
-            &rates,
-        )
-        .expect("analyzes");
-        let mesi = ping_pong_latency(
-            &base(Topology::Crossbar(2), Protocol::Mesi, MpiImpl::Eager),
-            &rates,
-        )
-        .expect("analyzes");
+        let msi =
+            ping_pong_latency(&base(Topology::Crossbar(2), Protocol::Msi, MpiImpl::Eager), &rates)
+                .expect("analyzes");
+        let mesi =
+            ping_pong_latency(&base(Topology::Crossbar(2), Protocol::Mesi, MpiImpl::Eager), &rates)
+                .expect("analyzes");
         assert!(
             mesi.latency < msi.latency,
             "MESI {} must beat MSI {} (silent upgrades)",
@@ -321,11 +316,9 @@ mod tests {
     #[test]
     fn eager_wins_small_messages() {
         let rates = RateConfig::default();
-        let eager = ping_pong_latency(
-            &base(Topology::Crossbar(2), Protocol::Mesi, MpiImpl::Eager),
-            &rates,
-        )
-        .expect("analyzes");
+        let eager =
+            ping_pong_latency(&base(Topology::Crossbar(2), Protocol::Mesi, MpiImpl::Eager), &rates)
+                .expect("analyzes");
         let rdv = ping_pong_latency(
             &base(Topology::Crossbar(2), Protocol::Mesi, MpiImpl::Rendezvous),
             &rates,
@@ -392,12 +385,9 @@ mod tests {
 
     #[test]
     fn table_has_all_rows() {
-        let rows = latency_table(
-            &[Topology::Crossbar(2), Topology::Ring(4)],
-            1,
-            &RateConfig::default(),
-        )
-        .expect("sweeps");
+        let rows =
+            latency_table(&[Topology::Crossbar(2), Topology::Ring(4)], 1, &RateConfig::default())
+                .expect("sweeps");
         assert_eq!(rows.len(), 8);
         assert!(rows.iter().all(|r| r.latency.is_finite()));
     }

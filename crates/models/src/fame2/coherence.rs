@@ -180,7 +180,10 @@ impl CoherenceModel {
                     {
                         let mut c2 = caches.to_vec();
                         c2[n] = M;
-                        out.push((format!("WR_HIT !{}{suffix}", id(n)), CohState { caches: c2, bus: None }));
+                        out.push((
+                            format!("WR_HIT !{}{suffix}", id(n)),
+                            CohState { caches: c2, bus: None },
+                        ));
                     }
                     // Write hit in M.
                     if cs == M && issue_allowed(n, TxnKind::Write) {
@@ -196,9 +199,7 @@ impl CoherenceModel {
                 match txn.phase {
                     Phase::Snoop => {
                         // A dirty owner flushes first (cache-to-cache).
-                        if let Some(owner) =
-                            (0..self.nodes).find(|&m| m != n && caches[m] == M)
-                        {
+                        if let Some(owner) = (0..self.nodes).find(|&m| m != n && caches[m] == M) {
                             let mut c2 = caches.to_vec();
                             c2[owner] = match txn.kind {
                                 TxnKind::Read => S,
@@ -215,9 +216,7 @@ impl CoherenceModel {
                         }
                         // A clean exclusive owner downgrades (read) or is
                         // invalidated (write) — data comes from it.
-                        if let Some(owner) =
-                            (0..self.nodes).find(|&m| m != n && caches[m] == E)
-                        {
+                        if let Some(owner) = (0..self.nodes).find(|&m| m != n && caches[m] == E) {
                             let mut c2 = caches.to_vec();
                             c2[owner] = match txn.kind {
                                 TxnKind::Read => S,
@@ -271,8 +270,7 @@ impl CoherenceModel {
                         c2[n] = match txn.kind {
                             TxnKind::Write => M,
                             TxnKind::Read => {
-                                let alone =
-                                    (0..self.nodes).all(|m| m == n || caches[m] == I);
+                                let alone = (0..self.nodes).all(|m| m == n || caches[m] == I);
                                 if alone && self.protocol == Protocol::Mesi {
                                     E
                                 } else {
@@ -280,7 +278,10 @@ impl CoherenceModel {
                                 }
                             }
                         };
-                        out.push((format!("GRANT !{}{suffix}", id(n)), CohState { caches: c2, bus: None }));
+                        out.push((
+                            format!("GRANT !{}{suffix}", id(n)),
+                            CohState { caches: c2, bus: None },
+                        ));
                     }
                 }
             }
@@ -323,8 +324,7 @@ impl Model for CoherenceModel {
 /// Checks the SWMR invariant on one state: at most one M/E copy, and a
 /// dirty/exclusive copy never coexists with any other valid copy.
 pub fn swmr_holds(caches: &[CacheState]) -> bool {
-    let owners =
-        caches.iter().filter(|c| matches!(c, CacheState::M | CacheState::E)).count();
+    let owners = caches.iter().filter(|c| matches!(c, CacheState::M | CacheState::E)).count();
     if owners > 1 {
         return false;
     }

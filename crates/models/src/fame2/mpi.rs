@@ -373,11 +373,7 @@ impl Model for MpiModel {
                                 let mut st = s.clone();
                                 st.bus = Some((
                                     l as u16,
-                                    Txn {
-                                        node: p as u8,
-                                        kind: TxnKind::Read,
-                                        phase: Phase::Snoop,
-                                    },
+                                    Txn { node: p as u8, kind: TxnKind::Read, phase: Phase::Snoop },
                                 ));
                                 out.push((format!("RD !{node} !{l}"), st));
                             }
@@ -396,11 +392,7 @@ impl Model for MpiModel {
                                 let mut st = s.clone();
                                 st.bus = Some((
                                     l as u16,
-                                    Txn {
-                                        node: p as u8,
-                                        kind: TxnKind::Read,
-                                        phase: Phase::Snoop,
-                                    },
+                                    Txn { node: p as u8, kind: TxnKind::Read, phase: Phase::Snoop },
                                 ));
                                 out.push((format!("RD !{node} !{l}"), st));
                             }
@@ -476,12 +468,7 @@ mod tests {
     use crate::common::explore_model;
 
     fn config(implementation: MpiImpl, protocol: Protocol) -> MpiConfig {
-        MpiConfig {
-            topology: Topology::Crossbar(2),
-            protocol,
-            implementation,
-            payload: 1,
-        }
+        MpiConfig { topology: Topology::Crossbar(2), protocol, implementation, payload: 1 }
     }
 
     #[test]
@@ -591,8 +578,7 @@ mod tests {
         // Under MSI with a 1-line payload every access is a first-touch
         // miss, so no HIT label ever fires; under MESI the prepared source
         // line is written from E silently — reachable as a WR_HIT.
-        let hit_reachable = parse_formula("mu X. <\"WR_HIT*\"> true or <true> X")
-            .expect("parses");
+        let hit_reachable = parse_formula("mu X. <\"WR_HIT*\"> true or <true> X").expect("parses");
         assert!(!check(&e.lts, &hit_reachable).expect("mc").holds, "MSI: all misses");
         let mesi = MpiModel::ping_pong(config(MpiImpl::Eager, Protocol::Mesi));
         let em = explore_model(&mesi, 2_000_000).expect("explores");
@@ -605,8 +591,10 @@ mod tests {
 
     #[test]
     fn payload_scales_program_length() {
-        let small = MpiModel::ping_pong(MpiConfig { payload: 1, ..config(MpiImpl::Eager, Protocol::Msi) });
-        let large = MpiModel::ping_pong(MpiConfig { payload: 3, ..config(MpiImpl::Eager, Protocol::Msi) });
+        let small =
+            MpiModel::ping_pong(MpiConfig { payload: 1, ..config(MpiImpl::Eager, Protocol::Msi) });
+        let large =
+            MpiModel::ping_pong(MpiConfig { payload: 3, ..config(MpiImpl::Eager, Protocol::Msi) });
         assert!(large.programs[0].len() > small.programs[0].len());
         assert!(large.lines.len() > small.lines.len());
     }

@@ -64,18 +64,13 @@ impl Topology {
     /// The node farthest from `a` (ties broken by smallest id) — used to
     /// place the ping-pong peer.
     pub fn farthest_from(&self, a: usize) -> usize {
-        (0..self.nodes())
-            .max_by_key(|&b| (self.hops(a, b), usize::MAX - b))
-            .unwrap_or(a)
+        (0..self.nodes()).max_by_key(|&b| (self.hops(a, b), usize::MAX - b)).unwrap_or(a)
     }
 
     /// Network diameter (maximum hop distance).
     pub fn diameter(&self) -> usize {
         let n = self.nodes();
-        (0..n)
-            .flat_map(|a| (0..n).map(move |b| self.hops(a, b)))
-            .max()
-            .unwrap_or(0)
+        (0..n).flat_map(|a| (0..n).map(move |b| self.hops(a, b))).max().unwrap_or(0)
     }
 }
 

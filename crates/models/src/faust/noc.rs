@@ -58,16 +58,10 @@ pub fn mesh_source(max_in_flight: Option<usize>) -> String {
             let sep = if d == 0 { "   " } else { " []" };
             match xy_next_hop(r, d) {
                 None => {
-                    let _ = writeln!(
-                        body,
-                        "    {sep} [d == {d}] -> dlv{r} !d; R{r}[{gates}]"
-                    );
+                    let _ = writeln!(body, "    {sep} [d == {d}] -> dlv{r} !d; R{r}[{gates}]");
                 }
                 Some(next) => {
-                    let _ = writeln!(
-                        body,
-                        "    {sep} [d == {d}] -> l{r}{next} !d; R{r}[{gates}]"
-                    );
+                    let _ = writeln!(body, "    {sep} [d == {d}] -> l{r}{next} !d; R{r}[{gates}]");
                 }
             }
         }
@@ -76,18 +70,11 @@ pub fn mesh_source(max_in_flight: Option<usize>) -> String {
 
     for r in 0..4 {
         // Gate list: injection, delivery, out-links, in-links.
-        let outs: Vec<String> = LINKS
-            .iter()
-            .filter(|&&(a, _)| a == r)
-            .map(|&(a, b)| format!("l{a}{b}"))
-            .collect();
-        let ins: Vec<String> = LINKS
-            .iter()
-            .filter(|&&(_, b)| b == r)
-            .map(|&(a, b)| format!("i{a}{b}"))
-            .collect();
-        let gates =
-            format!("inj{r}, dlv{r}, {}, {}", outs.join(", "), ins.join(", "));
+        let outs: Vec<String> =
+            LINKS.iter().filter(|&&(a, _)| a == r).map(|&(a, b)| format!("l{a}{b}")).collect();
+        let ins: Vec<String> =
+            LINKS.iter().filter(|&&(_, b)| b == r).map(|&(a, b)| format!("i{a}{b}")).collect();
+        let gates = format!("inj{r}, dlv{r}, {}, {}", outs.join(", "), ins.join(", "));
         let _ = writeln!(src, "process R{r}[{gates}] :=");
         let _ = writeln!(src, "     inj{r} ?d:int 0..3;\n    (");
         let _ = write!(src, "{}", route_body(r, &gates));
@@ -131,25 +118,17 @@ pub fn mesh_source(max_in_flight: Option<usize>) -> String {
     // link gates, optionally synced with the pool on inj/dlv; links hidden.
     let router_insts: Vec<String> = (0..4)
         .map(|r| {
-            let outs: Vec<String> = LINKS
-                .iter()
-                .filter(|&&(a, _)| a == r)
-                .map(|&(a, b)| format!("l{a}{b}"))
-                .collect();
-            let ins: Vec<String> = LINKS
-                .iter()
-                .filter(|&&(_, b)| b == r)
-                .map(|&(a, b)| format!("i{a}{b}"))
-                .collect();
+            let outs: Vec<String> =
+                LINKS.iter().filter(|&&(a, _)| a == r).map(|&(a, b)| format!("l{a}{b}")).collect();
+            let ins: Vec<String> =
+                LINKS.iter().filter(|&&(_, b)| b == r).map(|&(a, b)| format!("i{a}{b}")).collect();
             format!("R{r}[inj{r}, dlv{r}, {}, {}]", outs.join(", "), ins.join(", "))
         })
         .collect();
     let buf_insts: Vec<String> =
         LINKS.iter().map(|&(a, b)| format!("Buf[l{a}{b}, i{a}{b}]")).collect();
-    let link_gates: Vec<String> = LINKS
-        .iter()
-        .flat_map(|&(a, b)| [format!("l{a}{b}"), format!("i{a}{b}")])
-        .collect();
+    let link_gates: Vec<String> =
+        LINKS.iter().flat_map(|&(a, b)| [format!("l{a}{b}"), format!("i{a}{b}")]).collect();
 
     let _ = writeln!(src, "behaviour");
     let _ = writeln!(src, "  hide {} in", link_gates.join(", "));
@@ -232,43 +211,37 @@ pub fn single_packet_source(dest: usize) -> String {
     // Reuse the process definitions of the plain mesh, but rebuild the top
     // behaviour without hiding and with the one-shot environment.
     let full = mesh_source(None);
-    let processes: String = full
-        .split("behaviour")
-        .next()
-        .expect("source has a behaviour section")
-        .to_owned();
+    let processes: String =
+        full.split("behaviour").next().expect("source has a behaviour section").to_owned();
     let mut src = processes;
-    let _ = writeln!(src, "process Env[inj] := inj !{dest}; stop endproc
-");
+    let _ = writeln!(
+        src,
+        "process Env[inj] := inj !{dest}; stop endproc
+"
+    );
     let router_insts: Vec<String> = (0..4)
         .map(|r| {
-            let outs: Vec<String> = LINKS
-                .iter()
-                .filter(|&&(a, _)| a == r)
-                .map(|&(a, b)| format!("l{a}{b}"))
-                .collect();
-            let ins: Vec<String> = LINKS
-                .iter()
-                .filter(|&&(_, b)| b == r)
-                .map(|&(a, b)| format!("i{a}{b}"))
-                .collect();
+            let outs: Vec<String> =
+                LINKS.iter().filter(|&&(a, _)| a == r).map(|&(a, b)| format!("l{a}{b}")).collect();
+            let ins: Vec<String> =
+                LINKS.iter().filter(|&&(_, b)| b == r).map(|&(a, b)| format!("i{a}{b}")).collect();
             format!("R{r}[inj{r}, dlv{r}, {}, {}]", outs.join(", "), ins.join(", "))
         })
         .collect();
     let buf_insts: Vec<String> =
         LINKS.iter().map(|&(a, b)| format!("Buf[l{a}{b}, i{a}{b}]")).collect();
-    let link_gates: Vec<String> = LINKS
-        .iter()
-        .flat_map(|&(a, b)| [format!("l{a}{b}"), format!("i{a}{b}")])
-        .collect();
+    let link_gates: Vec<String> =
+        LINKS.iter().flat_map(|&(a, b)| [format!("l{a}{b}"), format!("i{a}{b}")]).collect();
     let _ = writeln!(src, "behaviour");
     let _ = writeln!(
         src,
         "    ( ( ({})
         |[{}]|
         ({}) )",
-        router_insts.join("
-   ||| "),
+        router_insts.join(
+            "
+   ||| "
+        ),
         link_gates.join(", "),
         buf_insts.join(" ||| ")
     );
@@ -314,11 +287,8 @@ pub fn single_packet_latency(
     let conv = to_ctmc(&hide_all(&imc), NondetPolicy::Uniform, &[])?;
     // Done = quiescent: the functional deadlock states (packet delivered,
     // environment stopped, everything idle).
-    let done: Vec<usize> = lts
-        .deadlock_states()
-        .into_iter()
-        .filter_map(|s| conv.state_map[s as usize])
-        .collect();
+    let done: Vec<usize> =
+        lts.deadlock_states().into_iter().filter_map(|s| conv.state_map[s as usize]).collect();
     if done.is_empty() {
         return Err("packet never quiesces".into());
     }
@@ -364,8 +334,8 @@ mod tests {
         // two full link buffers = 4 packets; a pool of 4 keeps the state
         // space small while still exhibiting the deadlock of the
         // uncontrolled mesh.
-        let v = verify_mesh(Some(4), &ExploreOptions::with_max_states(2_000_000))
-            .expect("verifies");
+        let v =
+            verify_mesh(Some(4), &ExploreOptions::with_max_states(2_000_000)).expect("verifies");
         let w = v.deadlock.expect("head-of-line blocking cycle must be reachable");
         // The witness must inject opposing traffic.
         assert!(w.iter().any(|l| l.starts_with("inj")), "witness: {w:?}");
@@ -391,7 +361,9 @@ mod tests {
         let spec = mesh_spec(Some(1)).expect("parses");
         let lts = explore(&spec, &ExploreOptions::default()).expect("explores").lts;
         let trace = find_action(&lts, |l| l == "dlv3 !3").expect("delivered");
-        assert!(trace.iter().any(|l| l == "inj0 !3") || trace.iter().any(|l| l.starts_with("inj")),
-            "trace: {trace:?}");
+        assert!(
+            trace.iter().any(|l| l == "inj0 !3") || trace.iter().any(|l| l.starts_with("inj")),
+            "trace: {trace:?}"
+        );
     }
 }

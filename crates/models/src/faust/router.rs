@@ -40,10 +40,7 @@ pub fn router_source(ports: usize) -> String {
     let fgates: Vec<String> = (0..ports).map(|i| format!("f{i}")).collect();
     let flist = fgates.join(", ");
     let mut src = String::new();
-    let _ = writeln!(
-        src,
-        "process InCtl[inp, {flist}] :=\n    inp ?d:int 0..{max};\n    ("
-    );
+    let _ = writeln!(src, "process InCtl[inp, {flist}] :=\n    inp ?d:int 0..{max};\n    (");
     for d in 0..ports {
         let sep = if d == 0 { " " } else { " []" };
         let _ = writeln!(src, "   {sep} [d == {d}] -> f{d} !d; InCtl[inp, {flist}]");

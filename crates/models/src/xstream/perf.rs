@@ -214,11 +214,7 @@ pub fn analyze_with_delays(
     let conv = to_ctmc(&imc, NondetPolicy::Reject, &["push", "xfer", "pop", "credit"])?;
     let pi = steady_state(&conv.ctmc, &SolveOptions::default())?;
     let tp = probe_throughputs(&conv, &SolveOptions::default())?;
-    let throughput = tp
-        .iter()
-        .find(|(l, _)| l == "pop")
-        .map(|&(_, t)| t)
-        .unwrap_or(0.0);
+    let throughput = tp.iter().find(|(l, _)| l == "pop").map(|&(_, t)| t).unwrap_or(0.0);
 
     // Map CTMC states back to queue fills through the attribution map:
     // phase states (tangible for multi-phase delays) contribute their
@@ -234,11 +230,7 @@ pub fn analyze_with_delays(
         occ1[st.q1 as usize] += pi[*c];
         occ2[st.q2 as usize] += pi[*c];
     }
-    let mean_items: f64 = occ1
-        .iter()
-        .enumerate()
-        .map(|(n, p)| n as f64 * p)
-        .sum::<f64>()
+    let mean_items: f64 = occ1.iter().enumerate().map(|(n, p)| n as f64 * p).sum::<f64>()
         + occ2.iter().enumerate().map(|(n, p)| n as f64 * p).sum::<f64>();
     let latency = if throughput > 0.0 { mean_items / throughput } else { f64::INFINITY };
     Ok(PerfReport {
@@ -313,13 +305,7 @@ fn first_pop_chain(
                     .inner
                     .successors(p)
                     .into_iter()
-                    .map(|(l, n)| {
-                        if l == "pop" {
-                            (l, S::Done)
-                        } else {
-                            (l, S::Running(n))
-                        }
-                    })
+                    .map(|(l, n)| if l == "pop" { (l, S::Done) } else { (l, S::Running(n)) })
                     .collect(),
             }
         }
@@ -381,20 +367,22 @@ mod tests {
 
     #[test]
     fn larger_queues_raise_throughput() {
-        let small = analyze(&PerfConfig { push_capacity: 1, pop_capacity: 1, ..Default::default() })
-            .expect("analyzes");
-        let large = analyze(&PerfConfig { push_capacity: 6, pop_capacity: 6, ..Default::default() })
-            .expect("analyzes");
+        let small =
+            analyze(&PerfConfig { push_capacity: 1, pop_capacity: 1, ..Default::default() })
+                .expect("analyzes");
+        let large =
+            analyze(&PerfConfig { push_capacity: 6, pop_capacity: 6, ..Default::default() })
+                .expect("analyzes");
         assert!(large.throughput > small.throughput);
     }
 
     #[test]
     fn occupancy_shifts_with_load() {
         // Fast producer: push queue mostly full. Slow producer: mostly empty.
-        let fast = analyze(&PerfConfig { producer_rate: 20.0, ..Default::default() })
-            .expect("analyzes");
-        let slow = analyze(&PerfConfig { producer_rate: 0.1, ..Default::default() })
-            .expect("analyzes");
+        let fast =
+            analyze(&PerfConfig { producer_rate: 20.0, ..Default::default() }).expect("analyzes");
+        let slow =
+            analyze(&PerfConfig { producer_rate: 0.1, ..Default::default() }).expect("analyzes");
         let full = fast.occupancy_push.last().copied().unwrap_or(0.0);
         let empty = slow.occupancy_push.first().copied().unwrap_or(0.0);
         assert!(full > 0.5, "fast producer should keep the queue full: {full}");

@@ -67,9 +67,7 @@ pub fn library() -> Spec {
 /// spaces are tiny).
 pub fn component(spec: &Spec, term_src: &str) -> Lts {
     let term = parse_behaviour(term_src, spec).expect("component term parses");
-    explore_term(term, spec, &ExploreOptions::default())
-        .expect("component explores")
-        .lts
+    explore_term(term, spec, &ExploreOptions::default()).expect("component explores").lts
 }
 
 /// Result of a pipeline build: final LTS plus intermediate sizes.
@@ -98,14 +96,8 @@ pub fn build_compositional(config: &PipelineConfig) -> PipelineBuild {
 fn build(config: &PipelineConfig, minimize_stages: bool) -> PipelineBuild {
     let spec = library();
     let producer = component(&spec, "Producer[push]");
-    let push_q = component(
-        &spec,
-        &format!("Queue[push, xfer](0, {})", config.push_capacity),
-    );
-    let pop_q = component(
-        &spec,
-        &format!("Queue[xfer, pop](0, {})", config.pop_capacity),
-    );
+    let push_q = component(&spec, &format!("Queue[push, xfer](0, {})", config.push_capacity));
+    let pop_q = component(&spec, &format!("Queue[xfer, pop](0, {})", config.pop_capacity));
     let credits = component(
         &spec,
         &format!("Credits[xfer, give]({}, {})", config.credits, config.credits.max(1)),
@@ -148,11 +140,8 @@ fn build(config: &PipelineConfig, minimize_stages: bool) -> PipelineBuild {
     // Internalize the NoC gates; keep push/pop as the external interface.
     // (A no-op for the compositional build, which already hid them.)
     let external = hide(&acc, ["xfer", "give"]);
-    let final_lts = if minimize_stages {
-        minimize(&external, Equivalence::Branching).0
-    } else {
-        external
-    };
+    let final_lts =
+        if minimize_stages { minimize(&external, Equivalence::Branching).0 } else { external };
     peak = peak.max(final_lts.num_states());
     PipelineBuild { lts: final_lts, stages, peak_states: peak }
 }
@@ -170,13 +159,9 @@ fn build(config: &PipelineConfig, minimize_stages: bool) -> PipelineBuild {
 /// Panics if `k` is 0 or large enough to overflow the exploration caps.
 pub fn build_buffer_chain(k: usize, compositional: bool) -> PipelineBuild {
     assert!(k >= 1, "need at least one cell");
-    let spec = parse_spec(
-        "process Cell[inp, outp] := inp; outp; Cell[inp, outp] endproc",
-    )
-    .expect("cell library parses");
-    let cell = |inp: &str, outp: &str| {
-        component(&spec, &format!("Cell[{inp}, {outp}]"))
-    };
+    let spec = parse_spec("process Cell[inp, outp] := inp; outp; Cell[inp, outp] endproc")
+        .expect("cell library parses");
+    let cell = |inp: &str, outp: &str| component(&spec, &format!("Cell[{inp}, {outp}]"));
     let mut stages = Vec::new();
     let mut peak = 1usize;
     let mut acc = cell("enq", "h1");
@@ -271,16 +256,10 @@ mod tests {
 
     #[test]
     fn capacity_scales_state_count() {
-        let small = build_monolithic(&PipelineConfig {
-            push_capacity: 1,
-            pop_capacity: 1,
-            credits: 1,
-        });
-        let large = build_monolithic(&PipelineConfig {
-            push_capacity: 6,
-            pop_capacity: 6,
-            credits: 6,
-        });
+        let small =
+            build_monolithic(&PipelineConfig { push_capacity: 1, pop_capacity: 1, credits: 1 });
+        let large =
+            build_monolithic(&PipelineConfig { push_capacity: 6, pop_capacity: 6, credits: 6 });
         assert!(large.peak_states > small.peak_states);
     }
 }

@@ -169,8 +169,7 @@ mod tests {
     fn fifo2_matches_functional_spec() {
         let spec = fifo_spec().expect("parses");
         let impl_lts = explore(&spec, &ExploreOptions::default()).expect("explores").lts;
-        let spec_term =
-            parse_behaviour("FifoSpec[put, get](0, 0, 0)", &spec).expect("parses");
+        let spec_term = parse_behaviour("FifoSpec[put, get](0, 0, 0)", &spec).expect("parses");
         let spec_lts = multival_pa::explore_term(spec_term, &spec, &ExploreOptions::default())
             .expect("explores")
             .lts;
@@ -183,8 +182,7 @@ mod tests {
     #[test]
     fn lifo_bug_caught_with_witness() {
         let spec = fifo_spec().expect("parses");
-        let spec_term =
-            parse_behaviour("FifoSpec[put, get](0, 0, 0)", &spec).expect("parses");
+        let spec_term = parse_behaviour("FifoSpec[put, get](0, 0, 0)", &spec).expect("parses");
         let spec_lts = multival_pa::explore_term(spec_term, &spec, &ExploreOptions::default())
             .expect("explores")
             .lts;
@@ -223,8 +221,7 @@ mod tests {
         let spec = credit_spec().expect("parses");
         let lts = explore(&spec, &ExploreOptions::default()).expect("explores").lts;
         let external = hide(&lts, ["xfer", "credit"]);
-        let (min, stats) =
-            multival_lts::minimize::minimize(&external, Equivalence::Branching);
+        let (min, stats) = multival_lts::minimize::minimize(&external, Equivalence::Branching);
         assert!(min.num_states() < stats.states_before);
     }
 }

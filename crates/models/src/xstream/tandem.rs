@@ -36,10 +36,7 @@ pub struct TandemConfig {
 impl TandemConfig {
     /// A uniform tandem: `n` stages of equal capacity and rate.
     pub fn uniform(n: usize, capacity: u8, arrival_rate: f64, service_rate: f64) -> Self {
-        TandemConfig {
-            arrival_rate,
-            stages: vec![Stage { capacity, rate: service_rate }; n],
-        }
+        TandemConfig { arrival_rate, stages: vec![Stage { capacity, rate: service_rate }; n] }
     }
 }
 
@@ -115,8 +112,7 @@ pub fn analyze_tandem(config: &TandemConfig) -> Result<TandemReport, PerfError> 
             config.arrival_rate
         } else if label == "depart" {
             stages.last().expect("nonempty").rate
-        } else if let Some(i) = label.strip_prefix("serve").and_then(|x| x.parse::<usize>().ok())
-        {
+        } else if let Some(i) = label.strip_prefix("serve").and_then(|x| x.parse::<usize>().ok()) {
             stages[i].rate
         } else {
             return None;
@@ -128,12 +124,10 @@ pub fn analyze_tandem(config: &TandemConfig) -> Result<TandemReport, PerfError> 
         probe_names.push(format!("serve{i}"));
     }
     let probes: Vec<&str> = probe_names.iter().map(String::as_str).collect();
-    let conv =
-        to_ctmc(&imc, NondetPolicy::Reject, &probes).map_err(PerfError::Conversion)?;
+    let conv = to_ctmc(&imc, NondetPolicy::Reject, &probes).map_err(PerfError::Conversion)?;
     let pi = steady_state(&conv.ctmc, &SolveOptions::default()).map_err(PerfError::Solver)?;
     let tp = probe_throughputs(&conv, &SolveOptions::default()).map_err(PerfError::Solver)?;
-    let throughput =
-        tp.iter().find(|(l, _)| l == "depart").map(|&(_, t)| t).unwrap_or(0.0);
+    let throughput = tp.iter().find(|(l, _)| l == "depart").map(|&(_, t)| t).unwrap_or(0.0);
 
     let n = stages.len();
     let mut mean_fill = vec![0.0; n];

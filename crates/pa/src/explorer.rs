@@ -1,10 +1,18 @@
 //! State-space generation: breadth-first enumeration of the SOS semantics
 //! into an explicit LTS (the CADP `cæsar`/`generator` role).
+//!
+//! Exploration is parallel when [`ExploreOptions::threads`] asks for it,
+//! yet **bit-identical to sequential execution**: workers only compute
+//! transition derivations (the expensive part) level by level, while
+//! state numbering, label interning, and cap enforcement happen in a
+//! sequential merge that walks the frontier in canonical order. See
+//! `DESIGN.md` §6 for the full scheme.
 
 use crate::semantics::{transitions, Label, SemError};
 use crate::spec::Spec;
 use crate::term::Term;
-use multival_lts::{Lts, LtsBuilder, StateId};
+use multival_lts::{LabelId, Lts, LtsBuilder, StateId};
+use multival_par::{par_map, ShardedIndex, Workers};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
@@ -16,30 +24,56 @@ pub struct ExploreOptions {
     pub max_states: usize,
     /// Maximum number of transitions to enumerate before aborting.
     pub max_transitions: usize,
+    /// Worker threads for transition derivation: `1` (the default) is
+    /// strictly sequential, `0` means one per hardware thread. The result
+    /// is identical whatever the value.
+    pub threads: usize,
 }
 
 impl Default for ExploreOptions {
     fn default() -> Self {
-        ExploreOptions { max_states: 1_000_000, max_transitions: 8_000_000 }
+        ExploreOptions { max_states: 1_000_000, max_transitions: 8_000_000, threads: 1 }
     }
 }
 
 impl ExploreOptions {
     /// Options with a custom state cap (transition cap scales 8×).
     pub fn with_max_states(max_states: usize) -> Self {
-        ExploreOptions { max_states, max_transitions: max_states.saturating_mul(8) }
+        ExploreOptions {
+            max_states,
+            max_transitions: max_states.saturating_mul(8),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the worker-thread count (`0` = one per hardware thread).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    fn workers(&self) -> Workers {
+        match self.threads {
+            0 => Workers::auto(),
+            n => Workers::new(n),
+        }
     }
 }
 
 /// Error raised by [`explore`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExploreError {
-    /// The state or transition cap was exceeded (state-space explosion).
+    /// A cap was exceeded (state-space explosion). The counts report the
+    /// work actually admitted before the abort — both caps are inclusive:
+    /// exploration fails on the first state/transition that would push a
+    /// count *past* its cap.
     Explosion {
         /// States enumerated when the cap was hit.
         states: usize,
         /// Transitions enumerated when the cap was hit.
         transitions: usize,
+        /// BFS depth of the state being expanded when the cap was hit.
+        depth: usize,
     },
     /// The semantics reported a modeling error, with the shortest-path
     /// offending state printed for diagnosis.
@@ -54,9 +88,10 @@ pub enum ExploreError {
 impl fmt::Display for ExploreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExploreError::Explosion { states, transitions } => write!(
+            ExploreError::Explosion { states, transitions, depth } => write!(
                 f,
-                "state-space explosion: exceeded caps at {states} states / {transitions} transitions"
+                "state-space explosion: caps exceeded after {states} states / \
+                 {transitions} transitions (BFS depth {depth})"
             ),
             ExploreError::Semantics { error, state } => {
                 write!(f, "{error} (in state `{state}`)")
@@ -70,6 +105,7 @@ impl std::error::Error for ExploreError {}
 /// The result of a successful exploration: the LTS plus the term each state
 /// id denotes (for state-predicate checks on the model's data).
 #[derive(Debug, Clone)]
+#[must_use]
 pub struct Explored {
     /// The generated LTS; state ids are BFS discovery order, state 0 initial.
     pub lts: Lts,
@@ -80,12 +116,29 @@ pub struct Explored {
 impl Explored {
     /// Finds all states whose term satisfies `pred`.
     pub fn states_where(&self, mut pred: impl FnMut(&Term) -> bool) -> Vec<StateId> {
-        self.states
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| pred(t))
-            .map(|(i, _)| i as StateId)
-            .collect()
+        self.states.iter().enumerate().filter(|(_, t)| pred(t)).map(|(i, _)| i as StateId).collect()
+    }
+}
+
+/// An exploration outcome that keeps partial work on failure: `explored`
+/// holds whatever was enumerated before completion or abort.
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct Exploration {
+    /// Everything enumerated so far (complete iff `aborted` is `None`).
+    pub explored: Explored,
+    /// `None` when exploration ran to completion; the abort reason
+    /// otherwise.
+    pub aborted: Option<ExploreError>,
+}
+
+impl Exploration {
+    /// Converts to a plain result, dropping partial work on failure.
+    pub fn into_result(self) -> Result<Explored, ExploreError> {
+        match self.aborted {
+            None => Ok(self.explored),
+            Some(e) => Err(e),
+        }
     }
 }
 
@@ -127,48 +180,227 @@ pub fn explore_term(
     spec: &Spec,
     options: &ExploreOptions,
 ) -> Result<Explored, ExploreError> {
+    explore_term_partial(initial, spec, options).into_result()
+}
+
+/// Like [`explore`], but retains partial work when exploration aborts.
+pub fn explore_partial(spec: &Spec, options: &ExploreOptions) -> Exploration {
+    explore_term_partial(spec.top().clone(), spec, options)
+}
+
+/// Like [`explore_term`], but retains partial work when exploration
+/// aborts: on a cap hit or semantics error, `explored` holds exactly the
+/// states and transitions admitted before the abort (identical between
+/// sequential and parallel runs).
+pub fn explore_term_partial(
+    initial: Arc<Term>,
+    spec: &Spec,
+    options: &ExploreOptions,
+) -> Exploration {
+    let workers = options.workers();
+    if workers.is_sequential() {
+        explore_sequential(initial, spec, options)
+    } else {
+        explore_parallel(initial, spec, options, workers)
+    }
+}
+
+/// Interned label ids keyed by *semantic* label, so each distinct label
+/// is rendered to its textual form exactly once per exploration instead
+/// of once per transition.
+#[derive(Default)]
+struct LabelCache {
+    ids: HashMap<Label, LabelId>,
+}
+
+impl LabelCache {
+    fn id(&mut self, builder: &mut LtsBuilder, label: Label) -> LabelId {
+        match self.ids.get(&label) {
+            Some(&id) => id,
+            None => {
+                let id = builder.intern(&render_label(&label));
+                self.ids.insert(label, id);
+                id
+            }
+        }
+    }
+}
+
+fn explore_sequential(initial: Arc<Term>, spec: &Spec, options: &ExploreOptions) -> Exploration {
     let mut builder = LtsBuilder::new();
+    let mut labels = LabelCache::default();
     let mut index: HashMap<Arc<Term>, StateId> = HashMap::new();
     let mut states: Vec<Arc<Term>> = Vec::new();
-    let mut queue: VecDeque<StateId> = VecDeque::new();
+    let mut queue: VecDeque<(StateId, usize)> = VecDeque::new();
     let mut ntrans = 0usize;
 
     let s0 = builder.add_state();
     index.insert(initial.clone(), s0);
     states.push(initial);
-    queue.push_back(s0);
+    queue.push_back((s0, 0));
 
-    while let Some(s) = queue.pop_front() {
+    while let Some((s, depth)) = queue.pop_front() {
         let term = states[s as usize].clone();
-        let outgoing = transitions(&term, spec).map_err(|error| ExploreError::Semantics {
-            error,
-            state: term.to_string(),
-        })?;
+        let outgoing = match transitions(&term, spec) {
+            Ok(o) => o,
+            Err(error) => {
+                let aborted = ExploreError::Semantics { error, state: term.to_string() };
+                return finish(builder, states, Some(aborted));
+            }
+        };
         for (label, target) in outgoing {
             let dst = match index.get(&target) {
                 Some(&d) => d,
                 None => {
                     if states.len() >= options.max_states {
-                        return Err(ExploreError::Explosion {
+                        let aborted = ExploreError::Explosion {
                             states: states.len(),
                             transitions: ntrans,
-                        });
+                            depth,
+                        };
+                        return finish(builder, states, Some(aborted));
                     }
                     let d = builder.add_state();
                     index.insert(target.clone(), d);
                     states.push(target);
-                    queue.push_back(d);
+                    queue.push_back((d, depth + 1));
                     d
                 }
             };
-            ntrans += 1;
-            if ntrans > options.max_transitions {
-                return Err(ExploreError::Explosion { states: states.len(), transitions: ntrans });
+            if ntrans >= options.max_transitions {
+                let aborted =
+                    ExploreError::Explosion { states: states.len(), transitions: ntrans, depth };
+                return finish(builder, states, Some(aborted));
             }
-            builder.add_transition(s, &render_label(&label), dst);
+            ntrans += 1;
+            let lid = labels.id(&mut builder, label);
+            builder.add_transition_id(s, lid, dst);
         }
     }
-    Ok(Explored { lts: builder.build(s0), states })
+    finish(builder, states, None)
+}
+
+/// Per-frontier-state output of a parallel derivation worker.
+struct LevelOut {
+    /// `(label, provisional target id)` in derivation order.
+    succ: Vec<(Label, u32)>,
+    /// Targets whose provisional id this worker allocated.
+    fresh: Vec<(u32, Arc<Term>)>,
+}
+
+/// Sentinel: a provisional id with no canonical number assigned yet.
+const NO_CANON: StateId = StateId::MAX;
+
+fn explore_parallel(
+    initial: Arc<Term>,
+    spec: &Spec,
+    options: &ExploreOptions,
+    workers: Workers,
+) -> Exploration {
+    let mut builder = LtsBuilder::new();
+    let mut labels = LabelCache::default();
+    let index: ShardedIndex<Arc<Term>> = ShardedIndex::new();
+    let mut states: Vec<Arc<Term>> = Vec::new();
+    // Provisional id -> canonical (BFS discovery order) id.
+    let mut prov2canon: Vec<StateId> = Vec::new();
+    let mut ntrans = 0usize;
+
+    let s0 = builder.add_state();
+    let (p0, _) = index.get_or_insert(initial.clone());
+    debug_assert_eq!(p0, 0);
+    prov2canon.push(s0);
+    states.push(initial);
+
+    let mut frontier: Vec<StateId> = vec![s0];
+    let mut depth = 0usize;
+
+    while !frontier.is_empty() {
+        // Parallel stage: derive successors of every frontier state.
+        // Workers touch only the sharded index; ids they hand out are
+        // provisional (scheduling-dependent) and renumbered below.
+        let results: Vec<Result<LevelOut, ExploreError>> = par_map(workers, &frontier, |_, &s| {
+            let term = &states[s as usize];
+            let outgoing = transitions(term, spec)
+                .map_err(|error| ExploreError::Semantics { error, state: term.to_string() })?;
+            let mut succ = Vec::with_capacity(outgoing.len());
+            let mut fresh = Vec::new();
+            for (label, target) in outgoing {
+                let (prov, was_new) = index.get_or_insert(target.clone());
+                if was_new {
+                    fresh.push((prov, target));
+                }
+                succ.push((label, prov));
+            }
+            Ok(LevelOut { succ, fresh })
+        });
+
+        // Collect the term behind every provisional id allocated this
+        // level: first canonical sight of an id may come from a *different*
+        // frontier state than the one whose worker inserted it.
+        let first_new = prov2canon.len() as u32;
+        let new_count = (index.next_id() - first_new) as usize;
+        let mut fresh_terms: Vec<Option<Arc<Term>>> = vec![None; new_count];
+        for out in results.iter().filter_map(|r| r.as_ref().ok()) {
+            for (prov, term) in &out.fresh {
+                fresh_terms[(prov - first_new) as usize] = Some(term.clone());
+            }
+        }
+        prov2canon.resize(index.next_id() as usize, NO_CANON);
+
+        // Sequential merge in frontier order: canonical numbering, label
+        // interning, cap checks, and transition emission — byte-for-byte
+        // the order the sequential loop would produce.
+        let mut next_frontier: Vec<StateId> = Vec::new();
+        for (i, result) in results.into_iter().enumerate() {
+            let src = frontier[i];
+            let out = match result {
+                Ok(out) => out,
+                Err(aborted) => return finish(builder, states, Some(aborted)),
+            };
+            for (label, prov) in out.succ {
+                let mut dst = prov2canon[prov as usize];
+                if dst == NO_CANON {
+                    if states.len() >= options.max_states {
+                        let aborted = ExploreError::Explosion {
+                            states: states.len(),
+                            transitions: ntrans,
+                            depth,
+                        };
+                        return finish(builder, states, Some(aborted));
+                    }
+                    dst = builder.add_state();
+                    prov2canon[prov as usize] = dst;
+                    let term = fresh_terms[(prov - first_new) as usize]
+                        .clone()
+                        .expect("every provisional id has a registered term");
+                    states.push(term);
+                    next_frontier.push(dst);
+                }
+                if ntrans >= options.max_transitions {
+                    let aborted = ExploreError::Explosion {
+                        states: states.len(),
+                        transitions: ntrans,
+                        depth,
+                    };
+                    return finish(builder, states, Some(aborted));
+                }
+                ntrans += 1;
+                let lid = labels.id(&mut builder, label);
+                builder.add_transition_id(src, lid, dst);
+            }
+        }
+        frontier = next_frontier;
+        depth += 1;
+    }
+    finish(builder, states, None)
+}
+
+fn finish(
+    builder: LtsBuilder,
+    states: Vec<Arc<Term>>,
+    aborted: Option<ExploreError>,
+) -> Exploration {
+    Exploration { explored: Explored { lts: builder.build(0), states }, aborted }
 }
 
 /// Renders a semantic label in the LTS textual convention
@@ -184,6 +416,7 @@ mod tests {
     use crate::spec::ProcDef;
     use crate::term::{Action, Offer, SyncKind};
     use crate::value::{sym, Type};
+    use multival_lts::io::write_aut;
 
     fn counter_spec(max: i64) -> Spec {
         // Count[up, down](n): up when n<max, down when n>0.
@@ -228,6 +461,22 @@ mod tests {
         s
     }
 
+    /// Three interleaved counters: 5³ = 125 states, a frontier wide enough
+    /// to exercise the parallel merge across several levels.
+    fn triple_counter_top() -> (Spec, Arc<Term>) {
+        let s = counter_spec(4);
+        let call = |u: &str, d: &str| {
+            Term::Call(sym("Count"), vec![sym(u), sym(d)], vec![Expr::int(0)]).rc()
+        };
+        let top = Term::Par(
+            SyncKind::Interleave,
+            call("u1", "d1"),
+            Term::Par(SyncKind::Interleave, call("u2", "d2"), call("u3", "d3")).rc(),
+        )
+        .rc();
+        (s, top)
+    }
+
     #[test]
     fn counter_has_linear_state_space() {
         let s = counter_spec(4);
@@ -242,6 +491,48 @@ mod tests {
         let s = counter_spec(100);
         let err = explore(&s, &ExploreOptions::with_max_states(10)).expect_err("cap");
         assert!(matches!(err, ExploreError::Explosion { .. }));
+    }
+
+    #[test]
+    fn state_cap_is_inclusive_at_the_boundary() {
+        // The full space is 5 states / 8 transitions: caps equal to the
+        // exact counts must succeed, caps one below must fail and report
+        // exactly the admitted work.
+        let s = counter_spec(4);
+        let exact = ExploreOptions { max_states: 5, max_transitions: 8, threads: 1 };
+        let e = explore(&s, &exact).expect("caps equal to the space succeed");
+        assert_eq!(e.lts.num_states(), 5);
+        assert_eq!(e.lts.num_transitions(), 8);
+
+        let tight_states = ExploreOptions { max_states: 4, max_transitions: 8, threads: 1 };
+        match explore(&s, &tight_states).expect_err("state cap") {
+            ExploreError::Explosion { states, .. } => assert_eq!(states, 4),
+            other => panic!("unexpected {other}"),
+        }
+
+        let tight_trans = ExploreOptions { max_states: 5, max_transitions: 7, threads: 1 };
+        match explore(&s, &tight_trans).expect_err("transition cap") {
+            ExploreError::Explosion { transitions, .. } => assert_eq!(transitions, 7),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn explosion_retains_partial_work() {
+        let s = counter_spec(100);
+        let opts = ExploreOptions { max_states: 10, max_transitions: 800, threads: 1 };
+        let partial = explore_partial(&s, &opts);
+        let err = partial.aborted.expect("cap hit");
+        match err {
+            ExploreError::Explosion { states, transitions, depth } => {
+                assert_eq!(states, 10, "all admitted states reported");
+                assert_eq!(partial.explored.states.len(), 10);
+                assert_eq!(partial.explored.lts.num_states(), 10);
+                assert_eq!(partial.explored.lts.num_transitions(), transitions);
+                assert!(depth > 0, "the counter chain is deeper than one level");
+            }
+            other => panic!("unexpected {other}"),
+        }
     }
 
     #[test]
@@ -273,12 +564,78 @@ mod tests {
     }
 
     #[test]
+    fn parallel_exploration_is_bit_identical() {
+        let (s, top) = triple_counter_top();
+        let seq = explore_term(top.clone(), &s, &ExploreOptions::default()).expect("seq");
+        for threads in [2, 4, 8] {
+            let opts = ExploreOptions::default().with_threads(threads);
+            let par = explore_term(top.clone(), &s, &opts).expect("par");
+            assert_eq!(par.states, seq.states, "state numbering at {threads} threads");
+            assert_eq!(
+                write_aut(&par.lts),
+                write_aut(&seq.lts),
+                "transition listing at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_explosion_matches_sequential_partial_work() {
+        let (s, top) = triple_counter_top();
+        let opts = ExploreOptions { max_states: 60, max_transitions: 480, threads: 1 };
+        let seq = explore_term_partial(top.clone(), &s, &opts);
+        let par = explore_term_partial(top, &s, &opts.clone().with_threads(4));
+        assert_eq!(seq.aborted, par.aborted, "identical abort report");
+        assert!(seq.aborted.is_some(), "cap must trigger");
+        assert_eq!(seq.explored.states, par.explored.states);
+        assert_eq!(write_aut(&seq.explored.lts), write_aut(&par.explored.lts));
+    }
+
+    #[test]
+    fn parallel_semantic_error_matches_sequential() {
+        // A guard that errors only after a few steps: `down` below zero is
+        // fine, but an unbound variable appears at n = 3.
+        let mut s = Spec::new();
+        s.add_process(ProcDef {
+            name: sym("Bad"),
+            gates: vec![sym("g")],
+            params: vec![(sym("n"), Type::Int(0, 10))],
+            body: Term::Choice(
+                Term::Prefix(
+                    Action::bare("g"),
+                    Term::Call(
+                        sym("Bad"),
+                        vec![sym("g")],
+                        vec![Expr::bin(BinOp::Add, Expr::var("n"), Expr::int(1))],
+                    )
+                    .rc(),
+                )
+                .rc(),
+                Term::Guard(
+                    Expr::bin(BinOp::Lt, Expr::int(2), Expr::var("n")),
+                    Term::Exit(vec![Expr::var("ghost")]).rc(),
+                )
+                .rc(),
+            )
+            .rc(),
+        });
+        s.set_top(Term::Call(sym("Bad"), vec![sym("g")], vec![Expr::int(0)]).rc());
+        let seq = explore_partial(&s, &ExploreOptions::default());
+        let par = explore_partial(&s, &ExploreOptions::default().with_threads(4));
+        assert!(matches!(seq.aborted, Some(ExploreError::Semantics { .. })));
+        assert_eq!(seq.aborted, par.aborted);
+        assert_eq!(seq.explored.states, par.explored.states);
+    }
+
+    #[test]
     fn states_where_inspects_terms() {
         let s = counter_spec(3);
         let e = explore(&s, &ExploreOptions::default()).expect("explores");
         // All states are process calls Count(..) — count those with arg 0.
-        let zeros = e.states_where(|t| matches!(t, Term::Call(_, _, args)
-            if args == &vec![Expr::int(0)]));
+        let zeros = e.states_where(|t| {
+            matches!(t, Term::Call(_, _, args)
+            if args == &vec![Expr::int(0)])
+        });
         assert_eq!(zeros.len(), 1);
     }
 
@@ -287,10 +644,7 @@ mod tests {
         let mut s = Spec::new();
         s.set_top(
             Term::Prefix(
-                Action {
-                    gate: sym("g"),
-                    offers: vec![Offer::Recv(sym("x"), Type::Int(0, 4))],
-                },
+                Action { gate: sym("g"), offers: vec![Offer::Recv(sym("x"), Type::Int(0, 4))] },
                 Term::Stop.rc(),
             )
             .rc(),

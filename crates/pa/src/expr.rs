@@ -145,10 +145,9 @@ impl Expr {
     pub fn eval(&self, env: &HashMap<Sym, Value>) -> Result<Value, EvalError> {
         match self {
             Expr::Const(v) => Ok(v.clone()),
-            Expr::Var(x) => env
-                .get(x)
-                .cloned()
-                .ok_or_else(|| EvalError(format!("unbound variable `{x}`"))),
+            Expr::Var(x) => {
+                env.get(x).cloned().ok_or_else(|| EvalError(format!("unbound variable `{x}`")))
+            }
             Expr::Un(op, e) => {
                 let v = e.eval(env)?;
                 match op {
@@ -256,11 +255,9 @@ impl Expr {
             },
             Expr::Un(op, e) => Expr::Un(*op, Box::new(e.subst(env))),
             Expr::Bin(op, a, b) => Expr::Bin(*op, Box::new(a.subst(env)), Box::new(b.subst(env))),
-            Expr::Ite(c, a, b) => Expr::Ite(
-                Box::new(c.subst(env)),
-                Box::new(a.subst(env)),
-                Box::new(b.subst(env)),
-            ),
+            Expr::Ite(c, a, b) => {
+                Expr::Ite(Box::new(c.subst(env)), Box::new(a.subst(env)), Box::new(b.subst(env)))
+            }
         }
     }
 
@@ -309,7 +306,8 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        let e = Expr::bin(BinOp::Add, Expr::int(2), Expr::bin(BinOp::Mul, Expr::int(3), Expr::int(4)));
+        let e =
+            Expr::bin(BinOp::Add, Expr::int(2), Expr::bin(BinOp::Mul, Expr::int(3), Expr::int(4)));
         assert_eq!(e.eval_closed(), Ok(Value::Int(14)));
     }
 
@@ -332,7 +330,8 @@ mod tests {
     #[test]
     fn short_circuit_avoids_errors() {
         // false and (1 div 0 == 1) must evaluate to false, not error.
-        let bad = Expr::bin(BinOp::Eq, Expr::bin(BinOp::Div, Expr::int(1), Expr::int(0)), Expr::int(1));
+        let bad =
+            Expr::bin(BinOp::Eq, Expr::bin(BinOp::Div, Expr::int(1), Expr::int(0)), Expr::int(1));
         let e = Expr::bin(BinOp::And, Expr::bool(false), bad.clone());
         assert_eq!(e.eval_closed(), Ok(Value::Bool(false)));
         let o = Expr::bin(BinOp::Or, Expr::bool(true), bad);
@@ -363,17 +362,18 @@ mod tests {
 
     #[test]
     fn ite_selects_branch() {
-        let e = Expr::Ite(
-            Box::new(Expr::bool(false)),
-            Box::new(Expr::int(1)),
-            Box::new(Expr::int(2)),
-        );
+        let e =
+            Expr::Ite(Box::new(Expr::bool(false)), Box::new(Expr::int(1)), Box::new(Expr::int(2)));
         assert_eq!(e.eval_closed(), Ok(Value::Int(2)));
     }
 
     #[test]
     fn free_vars_collected() {
-        let e = Expr::bin(BinOp::Add, Expr::var("x"), Expr::bin(BinOp::Mul, Expr::var("y"), Expr::int(2)));
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::var("x"),
+            Expr::bin(BinOp::Mul, Expr::var("y"), Expr::int(2)),
+        );
         let mut vars = std::collections::HashSet::new();
         e.free_vars(&mut vars);
         assert_eq!(vars.len(), 2);

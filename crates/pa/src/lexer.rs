@@ -114,9 +114,34 @@ impl fmt::Display for Tok {
 
 /// Reserved words of the dialect.
 pub const KEYWORDS: &[&str] = &[
-    "process", "endproc", "type", "endtype", "is", "behaviour", "behavior", "endspec", "stop",
-    "exit", "hide", "rename", "in", "let", "accept", "choice", "bool", "int", "and", "or",
-    "not", "div", "mod", "if", "then", "else", "true", "false",
+    "process",
+    "endproc",
+    "type",
+    "endtype",
+    "is",
+    "behaviour",
+    "behavior",
+    "endspec",
+    "stop",
+    "exit",
+    "hide",
+    "rename",
+    "in",
+    "let",
+    "accept",
+    "choice",
+    "bool",
+    "int",
+    "and",
+    "or",
+    "not",
+    "div",
+    "mod",
+    "if",
+    "then",
+    "else",
+    "true",
+    "false",
 ];
 
 /// A token plus its 1-based source line (for diagnostics).

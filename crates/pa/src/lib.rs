@@ -41,7 +41,10 @@ pub mod spec;
 pub mod term;
 pub mod value;
 
-pub use explorer::{explore, explore_term, ExploreError, ExploreOptions, Explored};
+pub use explorer::{
+    explore, explore_partial, explore_term, explore_term_partial, Exploration, ExploreError,
+    ExploreOptions, Explored,
+};
 pub use lint::{lint, Lint};
 pub use parser::{parse_behaviour, parse_spec, ParseError};
 pub use semantics::{transitions, Label, SemError};

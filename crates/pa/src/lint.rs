@@ -60,10 +60,9 @@ impl fmt::Display for Lint {
             Lint::DeadGuard { context } => {
                 write!(f, "in `{context}`: guard is constant false (dead branch)")
             }
-            Lint::UselessHide { gate, context } => write!(
-                f,
-                "in `{context}`: gate `{gate}` is hidden but never offered by the body"
-            ),
+            Lint::UselessHide { gate, context } => {
+                write!(f, "in `{context}`: gate `{gate}` is hidden but never offered by the body")
+            }
         }
     }
 }
@@ -92,11 +91,7 @@ pub fn term_gates(term: &Arc<Term>, spec: &Spec) -> HashSet<Sym> {
     gates_of(term, spec, &memo)
 }
 
-fn gates_of(
-    term: &Arc<Term>,
-    spec: &Spec,
-    memo: &HashMap<Sym, HashSet<Sym>>,
-) -> HashSet<Sym> {
+fn gates_of(term: &Arc<Term>, spec: &Spec, memo: &HashMap<Sym, HashSet<Sym>>) -> HashSet<Sym> {
     match &**term {
         Term::Stop => HashSet::new(),
         Term::Exit(_) => {
@@ -153,12 +148,8 @@ fn gates_of(
             let Some(def) = spec.process(name) else { return HashSet::new() };
             let formals = memo.get(name).cloned().unwrap_or_default();
             // Map formal gates to actual gates.
-            let map: HashMap<&Sym, &Sym> =
-                def.gates.iter().zip(actual_gates.iter()).collect();
-            formals
-                .into_iter()
-                .map(|g| map.get(&g).map(|&a| a.clone()).unwrap_or(g))
-                .collect()
+            let map: HashMap<&Sym, &Sym> = def.gates.iter().zip(actual_gates.iter()).collect();
+            formals.into_iter().map(|g| map.get(&g).map(|&a| a.clone()).unwrap_or(g)).collect()
         }
     }
 }
@@ -189,10 +180,8 @@ pub fn lint(spec: &Spec) -> Vec<Lint> {
     }
 
     // Per-term lints, in every process body and the top behaviour.
-    let mut contexts: Vec<(String, Arc<Term>)> = spec
-        .processes()
-        .map(|d| (d.name.to_string(), d.body.clone()))
-        .collect();
+    let mut contexts: Vec<(String, Arc<Term>)> =
+        spec.processes().map(|d| (d.name.to_string(), d.body.clone())).collect();
     contexts.sort_by(|a, b| a.0.cmp(&b.0));
     if let Some(top) = spec.try_top() {
         contexts.push(("<top>".to_owned(), top.clone()));
@@ -207,7 +196,10 @@ fn collect_calls(term: &Arc<Term>, f: &mut impl FnMut(Sym)) {
     match &**term {
         Term::Call(name, _, _) => f(name.clone()),
         Term::Stop | Term::Exit(_) => {}
-        Term::Prefix(_, b) | Term::Guard(_, b) | Term::Hide(_, b) | Term::Rename(_, b)
+        Term::Prefix(_, b)
+        | Term::Guard(_, b)
+        | Term::Hide(_, b)
+        | Term::Rename(_, b)
         | Term::Let(_, b) => collect_calls(b, f),
         Term::Choice(l, r) | Term::Par(_, l, r) | Term::Disable(l, r) => {
             collect_calls(l, f);
@@ -256,18 +248,14 @@ fn walk(term: &Arc<Term>, spec: &Spec, ctx: &str, findings: &mut Vec<Lint>) {
             let bg = term_gates(b, spec);
             for g in gs.iter() {
                 if !bg.contains(g) {
-                    findings.push(Lint::UselessHide {
-                        gate: g.to_string(),
-                        context: ctx.to_owned(),
-                    });
+                    findings
+                        .push(Lint::UselessHide { gate: g.to_string(), context: ctx.to_owned() });
                 }
             }
             walk(b, spec, ctx, findings);
         }
         Term::Stop | Term::Exit(_) | Term::Call(..) => {}
-        Term::Prefix(_, b) | Term::Rename(_, b) | Term::Let(_, b) => {
-            walk(b, spec, ctx, findings)
-        }
+        Term::Prefix(_, b) | Term::Rename(_, b) | Term::Let(_, b) => walk(b, spec, ctx, findings),
         Term::Choice(l, r) | Term::Par(_, l, r) | Term::Disable(l, r) => {
             walk(l, spec, ctx, findings);
             walk(r, spec, ctx, findings);
@@ -286,10 +274,7 @@ mod tests {
 
     #[test]
     fn blocked_sync_gate_detected() {
-        let spec = parse_spec(
-            "behaviour (a; stop) |[a, b]| (a; stop)",
-        )
-        .expect("parses");
+        let spec = parse_spec("behaviour (a; stop) |[a, b]| (a; stop)").expect("parses");
         let findings = lint(&spec);
         assert!(
             findings.iter().any(|l| matches!(
@@ -302,8 +287,7 @@ mod tests {
 
     #[test]
     fn clean_sync_not_flagged() {
-        let spec = parse_spec("behaviour (a; b; stop) |[a, b]| (a; b; stop)")
-            .expect("parses");
+        let spec = parse_spec("behaviour (a; b; stop) |[a, b]| (a; b; stop)").expect("parses");
         let findings = lint(&spec);
         assert!(
             !findings.iter().any(|l| matches!(l, Lint::BlockedSyncGate { .. })),

@@ -197,9 +197,8 @@ impl Parser {
                     return Ok(());
                 }
                 other => {
-                    return Err(self.err(format!(
-                        "expected `type`, `process` or `behaviour`, found {other}"
-                    )))
+                    return Err(self
+                        .err(format!("expected `type`, `process` or `behaviour`, found {other}")))
                 }
             }
         }
@@ -645,11 +644,8 @@ mod tests {
         .expect("parses");
         let e = explore(&spec, &ExploreOptions::default()).expect("explores");
         assert_eq!(e.lts.num_states(), 3);
-        let labels: Vec<String> = e
-            .lts
-            .iter_transitions()
-            .map(|(_, l, _)| e.lts.labels().name(l).to_owned())
-            .collect();
+        let labels: Vec<String> =
+            e.lts.iter_transitions().map(|(_, l, _)| e.lts.labels().name(l).to_owned()).collect();
         // Gate `req` was instantiated as `r` at the top behaviour.
         assert!(labels.contains(&"r !S".to_owned()), "labels: {labels:?}");
     }
@@ -669,26 +665,18 @@ mod tests {
 
     #[test]
     fn parses_data_offers() {
-        let spec = parse_spec(
-            "behaviour ch ?x:int 0..2 !x; stop",
-        )
-        .expect("parses");
+        let spec = parse_spec("behaviour ch ?x:int 0..2 !x; stop").expect("parses");
         let e = explore(&spec, &ExploreOptions::default()).expect("explores");
         assert_eq!(e.lts.num_transitions(), 3);
     }
 
     #[test]
     fn parses_enable_and_accept() {
-        let spec = parse_spec(
-            "behaviour (a; exit(3)) >> accept n:int 0..9 in b !n; stop",
-        )
-        .expect("parses");
+        let spec = parse_spec("behaviour (a; exit(3)) >> accept n:int 0..9 in b !n; stop")
+            .expect("parses");
         let e = explore(&spec, &ExploreOptions::default()).expect("explores");
-        let labels: Vec<String> = e
-            .lts
-            .iter_transitions()
-            .map(|(_, l, _)| e.lts.labels().name(l).to_owned())
-            .collect();
+        let labels: Vec<String> =
+            e.lts.iter_transitions().map(|(_, l, _)| e.lts.labels().name(l).to_owned()).collect();
         assert!(labels.contains(&"b !3".to_owned()));
     }
 
@@ -696,11 +684,8 @@ mod tests {
     fn parses_disable() {
         let spec = parse_spec("behaviour (a; stop) [> (kill; stop)").expect("parses");
         let e = explore(&spec, &ExploreOptions::default()).expect("explores");
-        let labels: Vec<String> = e
-            .lts
-            .iter_transitions()
-            .map(|(_, l, _)| e.lts.labels().name(l).to_owned())
-            .collect();
+        let labels: Vec<String> =
+            e.lts.iter_transitions().map(|(_, l, _)| e.lts.labels().name(l).to_owned()).collect();
         assert!(labels.contains(&"kill".to_owned()));
     }
 
@@ -712,11 +697,8 @@ mod tests {
         )
         .expect("parses");
         let e = explore(&spec, &ExploreOptions::default()).expect("explores");
-        let labels: Vec<String> = e
-            .lts
-            .iter_transitions()
-            .map(|(_, l, _)| e.lts.labels().name(l).to_owned())
-            .collect();
+        let labels: Vec<String> =
+            e.lts.iter_transitions().map(|(_, l, _)| e.lts.labels().name(l).to_owned()).collect();
         assert_eq!(labels, vec!["h !4"]);
     }
 
@@ -758,8 +740,8 @@ mod tests {
     fn parse_behaviour_against_library() {
         let spec = parse_spec("process P[g] := g; P[g] endproc").expect("parses");
         let b = parse_behaviour("P[tick] ||| P[tock]", &spec).expect("parses");
-        let e = crate::explorer::explore_term(b, &spec, &ExploreOptions::default())
-            .expect("explores");
+        let e =
+            crate::explorer::explore_term(b, &spec, &ExploreOptions::default()).expect("explores");
         assert_eq!(e.lts.num_states(), 1);
         assert_eq!(e.lts.num_transitions(), 2);
     }
@@ -767,15 +749,11 @@ mod tests {
     #[test]
     fn value_choice_desugars_to_finite_sum() {
         // choice d:int 0..2 [] send !d; stop ≡ the 3-way [] sum.
-        let spec = parse_spec("behaviour choice d:int 0..2 [] send !d; stop")
-            .expect("parses");
+        let spec = parse_spec("behaviour choice d:int 0..2 [] send !d; stop").expect("parses");
         let e = explore(&spec, &ExploreOptions::default()).expect("explores");
         assert_eq!(e.lts.transitions_from(0).len(), 3);
-        let labels: Vec<String> = e
-            .lts
-            .iter_transitions()
-            .map(|(_, l, _)| e.lts.labels().name(l).to_owned())
-            .collect();
+        let labels: Vec<String> =
+            e.lts.iter_transitions().map(|(_, l, _)| e.lts.labels().name(l).to_owned()).collect();
         assert!(labels.contains(&"send !0".to_owned()));
         assert!(labels.contains(&"send !2".to_owned()));
     }
@@ -794,8 +772,7 @@ mod tests {
     #[test]
     fn value_choice_binds_like_recv() {
         // Equivalent to g ?d:int 0..1; use !d; stop.
-        let a = parse_spec("behaviour choice d:int 0..1 [] g !d; use !d; stop")
-            .expect("parses");
+        let a = parse_spec("behaviour choice d:int 0..1 [] g !d; use !d; stop").expect("parses");
         let b = parse_spec("behaviour g ?d:int 0..1; use !d; stop").expect("parses");
         let la = explore(&a, &ExploreOptions::default()).expect("explores").lts;
         let lb = explore(&b, &ExploreOptions::default()).expect("explores").lts;
@@ -805,10 +782,7 @@ mod tests {
 
     #[test]
     fn guard_chains_with_arith() {
-        let spec = parse_spec(
-            "behaviour [1 + 2 * 3 == 7] -> ok; stop",
-        )
-        .expect("parses");
+        let spec = parse_spec("behaviour [1 + 2 * 3 == 7] -> ok; stop").expect("parses");
         let e = explore(&spec, &ExploreOptions::default()).expect("explores");
         assert_eq!(e.lts.num_transitions(), 1);
     }

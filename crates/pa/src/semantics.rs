@@ -182,9 +182,8 @@ fn derive(
             if unfolds >= MAX_UNFOLD {
                 return Err(SemError::UnguardedRecursion(name.to_string()));
             }
-            let def = spec
-                .process(name)
-                .ok_or_else(|| SemError::UndefinedProcess(name.to_string()))?;
+            let def =
+                spec.process(name).ok_or_else(|| SemError::UndefinedProcess(name.to_string()))?;
             if def.gates.len() != gates.len() {
                 return Err(SemError::Arity(format!(
                     "`{name}` expects {} gates, got {}",
@@ -388,10 +387,9 @@ fn derive_par(
                         // Joint termination: the whole composition terminates.
                         out.push((Label::Exit(vals.clone()), Term::Stop.rc()));
                     }
-                    _ => out.push((
-                        ll.clone(),
-                        Term::Par(kind.clone(), tl.clone(), tr.clone()).rc(),
-                    )),
+                    _ => {
+                        out.push((ll.clone(), Term::Par(kind.clone(), tl.clone(), tr.clone()).rc()))
+                    }
                 }
             }
         }
@@ -434,10 +432,7 @@ mod tests {
         let t = Term::Prefix(
             Action {
                 gate: sym("g"),
-                offers: vec![
-                    Offer::Send(Expr::int(1)),
-                    Offer::Recv(sym("x"), Type::Bool),
-                ],
+                offers: vec![Offer::Send(Expr::int(1)), Offer::Recv(sym("x"), Type::Bool)],
             },
             Term::Stop.rc(),
         )
@@ -451,10 +446,7 @@ mod tests {
         let t = Term::Prefix(
             Action {
                 gate: sym("g"),
-                offers: vec![
-                    Offer::Recv(sym("x"), Type::Int(1, 2)),
-                    Offer::Send(Expr::var("x")),
-                ],
+                offers: vec![Offer::Recv(sym("x"), Type::Int(1, 2)), Offer::Send(Expr::var("x"))],
             },
             Term::Stop.rc(),
         )
@@ -464,11 +456,9 @@ mod tests {
 
     #[test]
     fn guard_filters() {
-        let t = Term::Guard(
-            Expr::bool(false),
-            Term::Prefix(Action::bare("a"), Term::Stop.rc()).rc(),
-        )
-        .rc();
+        let t =
+            Term::Guard(Expr::bool(false), Term::Prefix(Action::bare("a"), Term::Stop.rc()).rc())
+                .rc();
         assert!(labels_of(&t, &spec()).is_empty());
     }
 
@@ -553,12 +543,9 @@ mod tests {
 
     #[test]
     fn enable_arity_mismatch_is_error() {
-        let t = Term::Enable(
-            Term::Exit(vec![]).rc(),
-            vec![(sym("n"), Type::Bool)],
-            Term::Stop.rc(),
-        )
-        .rc();
+        let t =
+            Term::Enable(Term::Exit(vec![]).rc(), vec![(sym("n"), Type::Bool)], Term::Stop.rc())
+                .rc();
         assert!(matches!(transitions(&t, &spec()), Err(SemError::ExitArity(_))));
     }
 
@@ -646,12 +633,8 @@ mod tests {
     #[test]
     fn exit_synchronizes_across_par() {
         // exit ||| exit still terminates jointly (δ always syncs).
-        let t = Term::Par(
-            SyncKind::Interleave,
-            Term::Exit(vec![]).rc(),
-            Term::Exit(vec![]).rc(),
-        )
-        .rc();
+        let t =
+            Term::Par(SyncKind::Interleave, Term::Exit(vec![]).rc(), Term::Exit(vec![]).rc()).rc();
         let trans = transitions(&t, &spec()).expect("derivable");
         assert_eq!(trans.len(), 1);
         assert!(matches!(trans[0].0, Label::Exit(_)));

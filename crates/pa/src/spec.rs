@@ -112,12 +112,7 @@ impl Spec {
         Ok(())
     }
 
-    fn check_expr(
-        &self,
-        e: &Expr,
-        bound: &HashSet<Sym>,
-        ctx: &Sym,
-    ) -> Result<(), ValidateError> {
+    fn check_expr(&self, e: &Expr, bound: &HashSet<Sym>, ctx: &Sym) -> Result<(), ValidateError> {
         let mut vars = HashSet::new();
         e.free_vars(&mut vars);
         for v in vars {
@@ -314,7 +309,12 @@ mod tests {
     #[test]
     fn validate_rejects_wrong_arity() {
         let mut s = Spec::new();
-        s.add_process(ProcDef { name: sym("P"), gates: vec![sym("g")], params: vec![], body: stop() });
+        s.add_process(ProcDef {
+            name: sym("P"),
+            gates: vec![sym("g")],
+            params: vec![],
+            body: stop(),
+        });
         s.set_top(Term::Call(sym("P"), vec![], vec![]).rc());
         let err = s.validate().expect_err("gate arity");
         assert!(err.0.contains("expects 1 gates"));
@@ -343,10 +343,7 @@ mod tests {
         // g ?x:bool; exit(x) — fine.
         s.set_top(
             Term::Prefix(
-                Action {
-                    gate: sym("g"),
-                    offers: vec![Offer::Recv(sym("x"), Type::Bool)],
-                },
+                Action { gate: sym("g"), offers: vec![Offer::Recv(sym("x"), Type::Bool)] },
                 Term::Exit(vec![Expr::var("x")]).rc(),
             )
             .rc(),

@@ -156,7 +156,8 @@ impl Term {
             Term::Hide(gs, b) => Term::Hide(gs.clone(), b.subst_vars(env)).rc(),
             Term::Rename(m, b) => Term::Rename(m.clone(), b.subst_vars(env)).rc(),
             Term::Call(p, gs, es) => {
-                Term::Call(p.clone(), gs.clone(), es.iter().map(|e| e.subst_fold(env)).collect()).rc()
+                Term::Call(p.clone(), gs.clone(), es.iter().map(|e| e.subst_fold(env)).collect())
+                    .rc()
             }
             Term::Enable(l, binders, r) => {
                 let mut inner = env.clone();
@@ -369,10 +370,7 @@ mod tests {
         let t = Term::Prefix(
             Action {
                 gate: sym("g"),
-                offers: vec![
-                    Offer::Send(Expr::var("x")),
-                    Offer::Recv(sym("x"), Type::Int(0, 1)),
-                ],
+                offers: vec![Offer::Send(Expr::var("x")), Offer::Recv(sym("x"), Type::Int(0, 1))],
             },
             Term::Prefix(
                 Action { gate: sym("h"), offers: vec![Offer::Send(Expr::var("x"))] },

@@ -165,10 +165,7 @@ mod tests {
     #[test]
     fn int_range_values() {
         let t = Type::Int(-1, 2);
-        assert_eq!(
-            t.values(),
-            vec![Value::Int(-1), Value::Int(0), Value::Int(1), Value::Int(2)]
-        );
+        assert_eq!(t.values(), vec![Value::Int(-1), Value::Int(0), Value::Int(1), Value::Int(2)]);
         assert_eq!(t.cardinality(), 4);
     }
 
@@ -181,7 +178,8 @@ mod tests {
 
     #[test]
     fn enum_membership() {
-        let def = Arc::new(EnumDef { name: sym("mesi"), variants: vec![sym("I"), sym("S"), sym("M")] });
+        let def =
+            Arc::new(EnumDef { name: sym("mesi"), variants: vec![sym("I"), sym("S"), sym("M")] });
         let t = Type::Enum(def);
         assert!(t.contains(&Value::Sym(sym("S"))));
         assert!(!t.contains(&Value::Sym(sym("E"))));

@@ -17,18 +17,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     let v = verify_router(ports, &ExploreOptions::default())?;
     println!("router with {} ports:", v.ports);
     println!("  state space: {} states, {} transitions", v.states, v.transitions);
-    println!(
-        "  deadlock freedom: {}",
-        if v.deadlock.is_none() { "OK" } else { "FAILED" }
-    );
+    println!("  deadlock freedom: {}", if v.deadlock.is_none() { "OK" } else { "FAILED" });
     println!(
         "  delivery correctness (no misroute): {}",
         if v.misroute.is_none() { "OK" } else { "FAILED" }
     );
-    println!(
-        "  delivery always possible: {}",
-        if v.delivery_live { "OK" } else { "FAILED" }
-    );
+    println!("  delivery always possible: {}", if v.delivery_live { "OK" } else { "FAILED" });
     println!(
         "  branching minimization: {} → {} states",
         v.reduction.states_before, v.reduction.states_after
@@ -50,10 +44,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     let bad = verify_mesh(Some(4), &ExploreOptions::with_max_states(4_000_000))?;
     match &bad.deadlock {
-        Some(w) => println!(
-            "  4 packets in flight: head-of-line blocking DEADLOCK — {}",
-            w.join(" → ")
-        ),
+        Some(w) => {
+            println!("  4 packets in flight: head-of-line blocking DEADLOCK — {}", w.join(" → "))
+        }
         None => println!("  4 packets in flight: unexpectedly deadlock-free"),
     }
 

@@ -100,9 +100,7 @@ behaviour Buffer[put, get]
 ";
 
 fn build(src: &str) -> Lts {
-    explore(&parse_spec(src).expect("parses"), &ExploreOptions::default())
-        .expect("explores")
-        .lts
+    explore(&parse_spec(src).expect("parses"), &ExploreOptions::default()).expect("explores").lts
 }
 
 #[test]
@@ -123,10 +121,7 @@ fn abp_equals_buffer_modulo_branching() {
 fn abp_diverges_so_sensitive_equivalence_fails() {
     let abp = build(ABP);
     let spec = build(SPEC);
-    assert!(
-        !divergent_states(&abp).is_empty(),
-        "loss/retransmit cycles are internal divergences"
-    );
+    assert!(!divergent_states(&abp).is_empty(), "loss/retransmit cycles are internal divergences");
     assert!(
         !equivalent(&abp, &spec, Equivalence::BranchingDivergence).holds(),
         "the buffer never diverges, the lossy protocol does"

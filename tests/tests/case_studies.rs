@@ -18,10 +18,9 @@ fn xstream_results_reproduce() {
         .expect("explores")
         .lts;
     assert!(multival::lts::analysis::deadlock_witness(&good).is_none());
-    let buggy =
-        explore(&queue::buggy_credit_spec().expect("parses"), &ExploreOptions::default())
-            .expect("explores")
-            .lts;
+    let buggy = explore(&queue::buggy_credit_spec().expect("parses"), &ExploreOptions::default())
+        .expect("explores")
+        .lts;
     assert!(multival::lts::analysis::deadlock_witness(&buggy).is_some());
 
     // "Latency, throughputs, occupancy" (E6).
@@ -57,12 +56,9 @@ fn fame2_results_reproduce() {
     // the orderings the paper's flow is meant to expose.
     let rates = RateConfig::default();
     let lat = |topology, protocol, implementation| {
-        ping_pong_latency(
-            &MpiConfig { topology, protocol, implementation, payload: 1 },
-            &rates,
-        )
-        .expect("analyzes")
-        .latency
+        ping_pong_latency(&MpiConfig { topology, protocol, implementation, payload: 1 }, &rates)
+            .expect("analyzes")
+            .latency
     };
     // Topology ordering: farther peers are slower.
     let near = lat(Topology::Crossbar(8), Protocol::Msi, MpiImpl::Eager);
@@ -94,11 +90,7 @@ fn fame2_latency_scales_with_distance() {
             &rates,
         )
         .expect("analyzes");
-        assert!(
-            row.latency > last,
-            "ring({n}): {} should exceed {last}",
-            row.latency
-        );
+        assert!(row.latency > last, "ring({n}): {} should exceed {last}", row.latency);
         last = row.latency;
     }
 }

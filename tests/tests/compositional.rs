@@ -7,9 +7,7 @@ use multival::imc::to_ctmc::{probe_throughputs, to_ctmc, NondetPolicy};
 use multival::imc::{Imc, ImcBuilder};
 use multival::lts::equiv::equivalent;
 use multival::lts::minimize::Equivalence;
-use multival::models::xstream::pipeline::{
-    build_compositional, build_monolithic, PipelineConfig,
-};
+use multival::models::xstream::pipeline::{build_compositional, build_monolithic, PipelineConfig};
 
 #[test]
 fn xstream_pipeline_orders_agree() {
@@ -62,8 +60,7 @@ fn lumped_and_unlumped_pipelines_give_same_throughput() {
     let (plain, stages_off) = compose_minimize(&comps, &options(false));
     assert!(lumped.num_states() <= plain.num_states());
     assert!(
-        stages_on.iter().all(|s| s.lump.is_some())
-            && stages_off.iter().all(|s| s.lump.is_none())
+        stages_on.iter().all(|s| s.lump.is_some()) && stages_off.iter().all(|s| s.lump.is_none())
     );
 
     let solve = |imc: &Imc| -> f64 {
@@ -104,12 +101,8 @@ fn symmetric_components_lump_aggressively() {
         ));
     }
     let on = compose_minimize(&comps, &PipelineOptions::default());
-    let off =
-        compose_minimize(&comps, &PipelineOptions { minimize: false, ..Default::default() });
+    let off = compose_minimize(&comps, &PipelineOptions { minimize: false, ..Default::default() });
     let peak_on = multival::imc::compositional::peak_states(&on.1);
     let peak_off = multival::imc::compositional::peak_states(&off.1);
-    assert!(
-        peak_on < peak_off,
-        "lumping should shrink intermediates: {peak_on} vs {peak_off}"
-    );
+    assert!(peak_on < peak_off, "lumping should shrink intermediates: {peak_on} vs {peak_off}");
 }

@@ -72,10 +72,7 @@ fn styles_agree_for_erlang_delays() {
         let rest = Delay::Exponential { rate: 4.0 }; // mean 0.25
         let a = direct_style(&work, &rest);
         let b = constraint_style(&work, &rest);
-        assert!(
-            (a - b).abs() < 1e-9,
-            "k={phases}: direct {a} vs constraint-oriented {b}"
-        );
+        assert!((a - b).abs() < 1e-9, "k={phases}: direct {a} vs constraint-oriented {b}");
         // Mean cycle = 0.75 → throughput 4/3 (independent of phase count:
         // only the mean matters for the long-run rate of a serial cycle).
         assert!((a - 4.0 / 3.0).abs() < 1e-9, "k={phases}: {a}");
@@ -104,8 +101,11 @@ fn lumping_the_constraint_style_matches_too() {
         (3, "rest", 0),
     ]);
     let base = Imc::from_lts(&functional);
-    let with_work =
-        compose(&base, &work.to_imc_process("start_work", "work"), &Sync::on(["start_work", "work"]));
+    let with_work = compose(
+        &base,
+        &work.to_imc_process("start_work", "work"),
+        &Sync::on(["start_work", "work"]),
+    );
     let full = compose(
         &with_work,
         &rest.to_imc_process("start_rest", "rest"),

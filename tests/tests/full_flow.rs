@@ -20,10 +20,7 @@ fn verify_then_evaluate() {
     let flow = Flow::from_source(MODEL).expect("parses and explores");
     // Functional: deadlock-free, grant never precedes req.
     assert!(flow.deadlock().is_none());
-    assert!(flow
-        .check("nu X. [\"grant\"] false and [not \"req\"] X")
-        .expect("mc")
-        .holds);
+    assert!(flow.check("nu X. [\"grant\"] false and [not \"req\"] X").expect("mc").holds);
 
     // Performance: decorate all three actions.
     let mut rates = HashMap::new();
@@ -48,15 +45,11 @@ fn numeric_flow_matches_simulation() {
     rates.insert("req".to_owned(), 3.0);
     rates.insert("grant".to_owned(), 1.0);
     rates.insert("release".to_owned(), 2.0);
-    let solved =
-        flow.with_rates(&rates).solve(NondetPolicy::Reject, &[]).expect("solves");
+    let solved = flow.with_rates(&rates).solve(NondetPolicy::Reject, &[]).expect("solves");
     let pi = solved.steady_state().expect("steady");
     let est = Simulator::new(solved.ctmc(), 2024).occupancy(50_000.0);
     for (s, (&exact, &sim)) in pi.iter().zip(&est.occupancy).enumerate() {
-        assert!(
-            (exact - sim).abs() < 0.02,
-            "state {s}: exact {exact} vs simulated {sim}"
-        );
+        assert!((exact - sim).abs() < 0.02, "state {s}: exact {exact} vs simulated {sim}");
     }
 }
 

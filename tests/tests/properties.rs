@@ -18,10 +18,7 @@ fn arb_lts(max_states: usize) -> impl Strategy<Value = Lts> {
     let labels = prop::sample::select(vec!["a", "b", "c", "i"]);
     (2..=max_states).prop_flat_map(move |n| {
         let chain = prop::collection::vec(labels.clone(), n - 1);
-        let extra = prop::collection::vec(
-            (0..n as u32, labels.clone(), 0..n as u32),
-            0..(2 * n),
-        );
+        let extra = prop::collection::vec((0..n as u32, labels.clone(), 0..n as u32), 0..(2 * n));
         (chain, extra).prop_map(move |(chain, extra)| {
             let mut b = LtsBuilder::new();
             for _ in 0..n {
