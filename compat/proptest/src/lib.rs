@@ -387,7 +387,7 @@ pub mod prop {
         use crate::{Strategy, TestRng};
         use std::ops::{Range, RangeInclusive};
 
-        /// Admissible length specs for [`vec`].
+        /// Admissible length specs for [`vec()`](fn@vec).
         #[derive(Debug, Clone, Copy)]
         pub struct SizeRange {
             lo: usize,

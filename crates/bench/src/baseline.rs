@@ -9,6 +9,11 @@
 
 use multival::imc::compositional::{compose_minimize, peak_states, Component, PipelineOptions};
 use multival::imc::ImcBuilder;
+use multival::lts::ops::compose_all;
+use multival::lts::reach::{deadlock_search, ReachOptions};
+use multival::lts::ts::LazyProduct;
+use multival::lts::Lts;
+use multival::models::rings::{ring_parts, ring_sync};
 use multival::pa::{explore, parse_spec, ExploreOptions};
 use std::error::Error;
 use std::fmt::Write as _;
@@ -126,6 +131,29 @@ pub fn bench_baseline() -> Result<String, Box<dyn Error>> {
         wall_t1.as_secs_f64() / wall_t4.as_secs_f64().max(1e-9)
     );
 
+    // E1 on-the-fly: deadlock search over the lazy counter-ring product
+    // visits a fraction of what eager composition materializes.
+    out.push_str("  \"e1_on_the_fly\": [\n");
+    let rings = [(2usize, 8usize), (3, 8), (3, 16)];
+    for (i, &(n, len)) in rings.iter().enumerate() {
+        let parts = ring_parts(n, len);
+        let refs: Vec<&Lts> = parts.iter().collect();
+        let sync = ring_sync();
+        let (materialized, wall_eager) = timed(|| compose_all(&refs, &sync).num_states());
+        let (outcome, wall_fly) =
+            timed(|| deadlock_search(&LazyProduct::new(&refs, &sync), &ReachOptions::default()));
+        let _ = write!(
+            out,
+            "    {{\"rings\": {n}, \"len\": {len}, \"materialized_states\": {materialized}, \
+             \"visited_states\": {}, \"wall_ms_eager\": {}, \"wall_ms_fly\": {}}}",
+            outcome.stats.visited,
+            ms(wall_eager),
+            ms(wall_fly)
+        );
+        out.push_str(if i + 1 < rings.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+
     // E9: compositional IMC generation with lumping.
     out.push_str("  \"e9_farm\": [\n");
     let sizes = [4usize, 6, 8];
@@ -158,12 +186,32 @@ mod tests {
         // the acceptance gate and CI consumers look for.
         assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
         assert_eq!(json.matches('[').count(), json.matches(']').count(), "{json}");
-        for key in ["e1_three_queues", "e1_largest_threads", "speedup_t4", "e9_farm"] {
+        for key in
+            ["e1_three_queues", "e1_largest_threads", "speedup_t4", "e1_on_the_fly", "e9_farm"]
+        {
             assert!(json.contains(key), "missing {key}:\n{json}");
         }
         // Three queues of capacity 8 interleaved: 9^3 = 729 states; the
         // five-queue thread-scaling instance has 9^5 = 59049.
         assert!(json.contains("\"cap\": 8, \"states\": 729"), "{json}");
         assert!(json.contains("\"states\": 59049"), "{json}");
+        // Three rings of 8: the eager product is 8^3 + 1 = 513 states; the
+        // on-the-fly search must get away with strictly fewer.
+        assert!(json.contains("\"materialized_states\": 513"), "{json}");
+        let fly = json.split("\"e1_on_the_fly\"").nth(1).expect("section");
+        for entry in fly.split('{').skip(1).take(3) {
+            let grab = |key: &str| -> usize {
+                entry
+                    .split(key)
+                    .nth(1)
+                    .and_then(|s| s[2..].split(|c: char| !c.is_ascii_digit()).next())
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("missing {key} in {entry}"))
+            };
+            assert!(
+                grab("\"visited_states\"") < grab("\"materialized_states\""),
+                "on-the-fly visited no fewer states: {entry}"
+            );
+        }
     }
 }

@@ -9,6 +9,10 @@ use multival::imc::to_ctmc::{to_ctmc, to_ctmdp, NondetPolicy};
 use multival::imc::{Imc, ImcBuilder};
 use multival::lts::analysis::deadlock_witness;
 use multival::lts::equiv::{weak_trace_equivalent, Verdict};
+use multival::lts::ops::compose_all;
+use multival::lts::reach::{deadlock_search, ReachOptions};
+use multival::lts::ts::LazyProduct;
+use multival::lts::Lts;
 use multival::models::fame2::benchmark::{
     latency_table, ping_pong_bandwidth, ping_pong_latency, RateConfig,
 };
@@ -18,6 +22,7 @@ use multival::models::fame2::topology::Topology;
 use multival::models::faust::fork::run_fork_study;
 use multival::models::faust::noc::{single_packet_latency, verify_mesh};
 use multival::models::faust::router::verify_router;
+use multival::models::rings::{ring_parts, ring_sync};
 use multival::models::xstream::perf::{analyze, first_delivery_cdf, PerfConfig};
 use multival::models::xstream::pipeline::{
     build_buffer_chain, build_compositional, build_monolithic, PipelineConfig,
@@ -102,6 +107,30 @@ pub fn e1_state_spaces() -> Result<String, Box<dyn Error>> {
     }
     out.push('\n');
     out.push_str(&c.render());
+
+    // Materialized vs. visited states: the counter-ring product explodes
+    // geometrically while its single deadlock is one step deep, so the
+    // on-the-fly search over the lazy product settles the verdict after
+    // a fraction of what eager composition must build.
+    let mut f =
+        Table::new(&["ring system", "materialized (eager)", "visited (on-the-fly)", "saving"]);
+    for (n, len) in [(2usize, 8usize), (3, 8), (3, 16)] {
+        let parts = ring_parts(n, len);
+        let refs: Vec<&Lts> = parts.iter().collect();
+        let sync = ring_sync();
+        let eager = compose_all(&refs, &sync).num_states();
+        let lazy = LazyProduct::new(&refs, &sync);
+        let outcome = deadlock_search(&lazy, &ReachOptions::default());
+        f.row_owned(vec![
+            format!("{n} rings of {len}"),
+            eager.to_string(),
+            outcome.stats.visited.to_string(),
+            format!("{:.1}x", eager as f64 / outcome.stats.visited.max(1) as f64),
+        ]);
+    }
+    out.push('\n');
+    out.push_str("deadlock search, eager product vs on-the-fly lazy product:\n");
+    out.push_str(&f.render());
     Ok(out)
 }
 

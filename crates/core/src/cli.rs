@@ -4,11 +4,14 @@
 //! The logic lives here (testable); `src/bin/multival.rs` is a thin wrapper.
 
 use crate::flow::Flow;
-use crate::report::{fmt_f, ParStats, Table};
+use crate::report::{fmt_f, FlyStats, ParStats, Table};
 use multival_imc::to_ctmc::NondetPolicy;
-use multival_lts::equiv::{equivalent, weak_trace_equivalent, Verdict};
+use multival_lts::equiv::{
+    compare_determinized, determinize_ts, equivalent, weak_trace_equivalent, Determinized, Verdict,
+};
 use multival_lts::io::{read_aut, write_aut, write_dot};
 use multival_lts::minimize::{minimize, Equivalence};
+use multival_lts::reach::ReachOptions;
 use multival_lts::Lts;
 use multival_pa::{explore, explore_partial, parse_spec, ExploreOptions};
 use std::collections::HashMap;
@@ -19,7 +22,7 @@ use std::fmt::Write as _;
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `explore <model.lot> [--aut out.aut] [--dot out.dot] [--max-states N]
-    /// [--threads N]`
+    /// [--threads N] [--on-the-fly]`
     Explore {
         /// Input model path.
         input: String,
@@ -31,13 +34,19 @@ pub enum Command {
         max_states: usize,
         /// Worker threads (1 = sequential, 0 = one per hardware thread).
         threads: usize,
+        /// Scan the state space on the fly instead of materializing it.
+        on_the_fly: bool,
     },
-    /// `check <model.lot|lts.aut> <formula>` — μ-calculus model checking.
+    /// `check <model.lot|lts.aut> <formula> [--on-the-fly]` — μ-calculus
+    /// model checking.
     Check {
         /// Input model or LTS path.
         input: String,
         /// Formula text.
         formula: String,
+        /// Decide fragment formulas by a short-circuiting search instead of
+        /// the eager fixpoint evaluator.
+        on_the_fly: bool,
     },
     /// `minimize <in> [--eq strong|branching] [--aut out.aut]`
     Minimize {
@@ -48,7 +57,7 @@ pub enum Command {
         /// Output path.
         aut: Option<String>,
     },
-    /// `compare <a> <b> [--eq strong|branching|traces]`
+    /// `compare <a> <b> [--eq strong|branching|traces] [--on-the-fly]`
     Compare {
         /// Left input.
         left: String,
@@ -56,6 +65,8 @@ pub enum Command {
         right: String,
         /// Comparison relation.
         relation: Relation,
+        /// Determinize straight from the term graphs (traces only).
+        on_the_fly: bool,
     },
     /// `solve <model.lot> --rate GATE=λ ... [--probe GATE ...]`
     Solve {
@@ -111,9 +122,10 @@ multival — functional verification + performance evaluation (DATE'08 flow)
 USAGE:
   multival explore  <model.lot> [--aut OUT] [--dot OUT] [--max-states N]
                     [--threads N]   (1 = sequential, 0 = all hardware threads)
-  multival check    <model.lot|lts.aut> <FORMULA>
+                    [--on-the-fly]  (scan without materializing the LTS)
+  multival check    <model.lot|lts.aut> <FORMULA> [--on-the-fly]
   multival minimize <model.lot|lts.aut> [--eq strong|branching] [--aut OUT]
-  multival compare  <A> <B> [--eq strong|branching|traces]
+  multival compare  <A> <B> [--eq strong|branching|traces] [--on-the-fly]
   multival solve    <model.lot> --rate GATE=RATE ... [--probe GATE ...]
   multival walk     <model.lot> [--steps N] [--seed S]
   multival refines  <IMP> <SPEC> [--weak]
@@ -121,6 +133,12 @@ USAGE:
 
 Inputs ending in .aut are read as Aldebaran LTSs; anything else is parsed as
 mini-LOTOS. FORMULA is modal mu-calculus, e.g. 'nu X. <true> true and [true] X'.
+
+--on-the-fly walks the implicit transition system instead of generating the
+full LTS first: explore reports visited states, check decides the
+safety/possibility/inevitability fragment by a short-circuiting search (other
+formulas fall back to the eager evaluator), and compare --eq traces
+determinizes straight from the term graphs.
 ";
 
 /// Parses argv (without the program name).
@@ -138,6 +156,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut dot = None;
             let mut max_states = 1_000_000;
             let mut threads = 1usize;
+            let mut on_the_fly = false;
             while let Some(a) = it.next() {
                 match a {
                     "--aut" => aut = Some(next_value(&mut it, "--aut")?),
@@ -152,9 +171,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             .parse()
                             .map_err(|_| "--threads needs a number".to_owned())?
                     }
+                    "--on-the-fly" => on_the_fly = true,
                     other if input.is_none() => input = Some(other.to_owned()),
                     other => return Err(format!("unexpected argument `{other}`")),
                 }
+            }
+            if on_the_fly && (aut.is_some() || dot.is_some()) {
+                return Err("--on-the-fly materializes no LTS to write; \
+                            drop --aut/--dot or the flag"
+                    .to_owned());
             }
             Ok(Command::Explore {
                 input: input.ok_or("explore needs a model path")?,
@@ -162,15 +187,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 dot,
                 max_states,
                 threads,
+                on_the_fly,
             })
         }
         Some("check") => {
-            let input = it.next().ok_or("check needs a model path")?.to_owned();
-            let formula = it.next().ok_or("check needs a formula")?.to_owned();
-            if let Some(extra) = it.next() {
-                return Err(format!("unexpected argument `{extra}`"));
+            let mut positional = Vec::new();
+            let mut on_the_fly = false;
+            for a in it.by_ref() {
+                match a {
+                    "--on-the-fly" => on_the_fly = true,
+                    other => positional.push(other.to_owned()),
+                }
             }
-            Ok(Command::Check { input, formula })
+            if positional.len() != 2 {
+                return Err("check needs a model path and a formula".to_owned());
+            }
+            let formula = positional.pop().expect("len 2");
+            let input = positional.pop().expect("len 1");
+            Ok(Command::Check { input, formula, on_the_fly })
         }
         Some("minimize") => {
             let mut input = None;
@@ -195,6 +229,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         Some("compare") => {
             let mut paths = Vec::new();
             let mut relation = Relation::Branching;
+            let mut on_the_fly = false;
             while let Some(a) = it.next() {
                 match a {
                     "--eq" => {
@@ -205,15 +240,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             other => return Err(format!("unknown relation `{other}`")),
                         }
                     }
+                    "--on-the-fly" => on_the_fly = true,
                     other => paths.push(other.to_owned()),
                 }
             }
             if paths.len() != 2 {
                 return Err("compare needs exactly two inputs".to_owned());
             }
+            if on_the_fly && relation != Relation::Traces {
+                return Err("--on-the-fly compare supports --eq traces only; bisimulations \
+                     need the materialized LTSs"
+                    .to_owned());
+            }
             let right = paths.pop().expect("len 2");
             let left = paths.pop().expect("len 1");
-            Ok(Command::Compare { left, right, relation })
+            Ok(Command::Compare { left, right, relation, on_the_fly })
         }
         Some("lint") => {
             let input = it.next().ok_or("lint needs a model path")?.to_owned();
@@ -293,6 +334,56 @@ fn next_value<'a>(it: &mut impl Iterator<Item = &'a str>, flag: &str) -> Result<
     it.next().map(str::to_owned).ok_or_else(|| format!("{flag} needs a value"))
 }
 
+/// Runs `check --on-the-fly`. Returns `Ok(None)` when the formula is
+/// outside the searchable fragment, directing the caller to the eager
+/// evaluator.
+fn check_on_the_fly(input: &str, formula: &str) -> Result<Option<String>, Box<dyn Error>> {
+    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read `{input}`: {e}"))?;
+    let options = ReachOptions::default();
+    let (report, materialized) = if input.ends_with(".aut") {
+        let lts = read_aut(&text)?;
+        let f = multival_mcl::parse_formula(formula)?;
+        match multival_mcl::check_on_the_fly(&lts, &f, &options) {
+            None => return Ok(None),
+            Some(r) => (r?, lts.num_states()),
+        }
+    } else {
+        match Flow::check_on_the_fly(&text, formula, &options)? {
+            None => return Ok(None),
+            Some(r) => (r, 0),
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", if report.holds { "TRUE" } else { "FALSE" });
+    if let Some(trace) = &report.trace {
+        let kind = if report.holds { "witness" } else { "counterexample" };
+        let _ = writeln!(out, "{kind} trace: {}", trace.join(" "));
+    }
+    let stats = FlyStats {
+        visited: report.stats.visited,
+        transitions: report.stats.transitions,
+        materialized,
+        // A truncated search is an error, caught above — never a verdict.
+        truncated: false,
+    };
+    out.push_str(&stats.render());
+    Ok(Some(out))
+}
+
+/// Determinizes one `compare --on-the-fly` input: a `.aut` file via its
+/// explicit LTS, a mini-LOTOS source straight from the term graph.
+fn determinize_input(path: &str) -> Result<Determinized, Box<dyn Error>> {
+    const CAP: usize = 1 << 20;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    if path.ends_with(".aut") {
+        let lts = read_aut(&text)?;
+        determinize_ts(&lts, CAP)
+            .ok_or_else(|| format!("determinization cap of {CAP} subset states exceeded").into())
+    } else {
+        Ok(Flow::determinize_source(&text, CAP)?)
+    }
+}
+
 /// Loads an input: `.aut` files are parsed as LTSs, everything else as
 /// mini-LOTOS (explored with the given cap).
 fn load(path: &str, max_states: usize) -> Result<Lts, Box<dyn Error>> {
@@ -313,8 +404,31 @@ fn load(path: &str, max_states: usize) -> Result<Lts, Box<dyn Error>> {
 pub fn execute(cmd: &Command) -> Result<String, Box<dyn Error>> {
     match cmd {
         Command::Help => Ok(USAGE.to_owned()),
-        Command::Explore { input, aut, dot, max_states, threads } => {
+        Command::Explore { input, aut, dot, max_states, threads, on_the_fly } => {
             let mut out = String::new();
+            if *on_the_fly {
+                let text = std::fs::read_to_string(input)
+                    .map_err(|e| format!("cannot read `{input}`: {e}"))?;
+                let options = ReachOptions::with_max_states(*max_states);
+                // A .aut input is already an explicit LTS, so the scan walks
+                // materialized states; a mini-LOTOS source is walked straight
+                // over its term graph.
+                let (summary, materialized) = if input.ends_with(".aut") {
+                    let lts = read_aut(&text)?;
+                    (multival_lts::reach::scan(&lts, &options), lts.num_states())
+                } else {
+                    (Flow::scan_on_the_fly(&text, &options)?, 0)
+                };
+                let stats = FlyStats {
+                    visited: summary.states,
+                    transitions: summary.transitions,
+                    materialized,
+                    truncated: summary.truncated,
+                };
+                out.push_str(&stats.render());
+                let _ = writeln!(out, "deadlock states: {}", summary.deadlocks);
+                return Ok(out);
+            }
             let lts = if input.ends_with(".aut") {
                 load(input, *max_states)?
             } else {
@@ -365,16 +479,33 @@ pub fn execute(cmd: &Command) -> Result<String, Box<dyn Error>> {
             }
             Ok(out)
         }
-        Command::Check { input, formula } => {
+        Command::Check { input, formula, on_the_fly } => {
+            if *on_the_fly {
+                if let Some(out) = check_on_the_fly(input, formula)? {
+                    return Ok(out);
+                }
+                // Outside the fragment: fall through to the eager evaluator.
+            }
             let lts = load(input, 1_000_000)?;
             let f = multival_mcl::parse_formula(formula)?;
             let result = multival_mcl::check(&lts, &f)?;
-            Ok(format!(
-                "{}  ({} of {} states satisfy the formula)\n",
+            let mut out = String::new();
+            if *on_the_fly {
+                let _ = writeln!(
+                    out,
+                    "note: formula outside the on-the-fly fragment; \
+                     evaluated eagerly over {} materialized states",
+                    lts.num_states()
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}  ({} of {} states satisfy the formula)",
                 if result.holds { "TRUE" } else { "FALSE" },
                 result.satisfying,
                 result.total
-            ))
+            );
+            Ok(out)
         }
         Command::Minimize { input, eq, aut } => {
             let lts = load(input, 1_000_000)?;
@@ -393,13 +524,20 @@ pub fn execute(cmd: &Command) -> Result<String, Box<dyn Error>> {
             }
             Ok(out)
         }
-        Command::Compare { left, right, relation } => {
-            let a = load(left, 1_000_000)?;
-            let b = load(right, 1_000_000)?;
-            let verdict = match relation {
-                Relation::Strong => equivalent(&a, &b, Equivalence::Strong),
-                Relation::Branching => equivalent(&a, &b, Equivalence::Branching),
-                Relation::Traces => weak_trace_equivalent(&a, &b, 1 << 20),
+        Command::Compare { left, right, relation, on_the_fly } => {
+            let verdict = if *on_the_fly {
+                // parse_args guarantees Relation::Traces here.
+                let da = determinize_input(left)?;
+                let db = determinize_input(right)?;
+                compare_determinized(&da, &db)
+            } else {
+                let a = load(left, 1_000_000)?;
+                let b = load(right, 1_000_000)?;
+                match relation {
+                    Relation::Strong => equivalent(&a, &b, Equivalence::Strong),
+                    Relation::Branching => equivalent(&a, &b, Equivalence::Branching),
+                    Relation::Traces => weak_trace_equivalent(&a, &b, 1 << 20),
+                }
             };
             Ok(match verdict {
                 Verdict::Equivalent => "EQUIVALENT\n".to_owned(),
@@ -508,7 +646,8 @@ mod tests {
                 aut: Some("o.aut".into()),
                 dot: None,
                 max_states: 1_000_000,
-                threads: 1
+                threads: 1,
+                on_the_fly: false
             }
         );
     }
@@ -523,10 +662,111 @@ mod tests {
                 aut: None,
                 dot: None,
                 max_states: 1_000_000,
-                threads: 4
+                threads: 4,
+                on_the_fly: false
             }
         );
         assert!(parse_args(&args(&["explore", "m.lot", "--threads", "four"])).is_err());
+    }
+
+    #[test]
+    fn parses_on_the_fly_flags() {
+        let cmd = parse_args(&args(&["explore", "m.lot", "--on-the-fly"])).expect("parses");
+        assert!(matches!(cmd, Command::Explore { on_the_fly: true, .. }));
+        let cmd =
+            parse_args(&args(&["check", "m.lot", "formula", "--on-the-fly"])).expect("parses");
+        assert!(matches!(cmd, Command::Check { on_the_fly: true, .. }));
+        let cmd =
+            parse_args(&args(&["compare", "a.lot", "b.lot", "--eq", "traces", "--on-the-fly"]))
+                .expect("parses");
+        assert!(matches!(
+            cmd,
+            Command::Compare { relation: Relation::Traces, on_the_fly: true, .. }
+        ));
+
+        // The flag conflicts with output files (nothing is materialized to
+        // write) and with the bisimulations (they need explicit LTSs).
+        assert!(parse_args(&args(&["explore", "m.lot", "--on-the-fly", "--aut", "o.aut"])).is_err());
+        assert!(parse_args(&args(&["explore", "m.lot", "--on-the-fly", "--dot", "o.dot"])).is_err());
+        assert!(parse_args(&args(&["compare", "a.lot", "b.lot", "--on-the-fly"])).is_err());
+        assert!(parse_args(&args(&[
+            "compare",
+            "a.lot",
+            "b.lot",
+            "--eq",
+            "strong",
+            "--on-the-fly"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn on_the_fly_commands_execute() {
+        let dir = std::env::temp_dir().join("multival-cli-test5");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let model = dir.join("fly.lot");
+        std::fs::write(&model, "behaviour hide m in (a; m; stop |[m]| m; b; stop)").expect("write");
+        let model = model.to_string_lossy().into_owned();
+
+        let out = execute(&Command::Explore {
+            input: model.clone(),
+            aut: None,
+            dot: None,
+            max_states: 1000,
+            threads: 1,
+            on_the_fly: true,
+        })
+        .expect("explore");
+        assert!(out.contains("visited states       4"), "{out}");
+        assert!(out.contains("materialized states  0"), "{out}");
+        assert!(out.contains("deadlock states: 1"), "{out}");
+
+        // In-fragment formula: decided by the search, with a trace.
+        let out = execute(&Command::Check {
+            input: model.clone(),
+            formula: "mu X. <\"b\"> true or <true> X".into(),
+            on_the_fly: true,
+        })
+        .expect("check");
+        assert!(out.starts_with("TRUE"), "{out}");
+        assert!(out.contains("witness trace:"), "{out}");
+        assert!(out.contains("materialized states  0"), "{out}");
+
+        // Out-of-fragment formula: falls back to the eager evaluator.
+        let out = execute(&Command::Check {
+            input: model.clone(),
+            formula: "<\"a\"> true".into(),
+            on_the_fly: true,
+        })
+        .expect("check");
+        assert!(out.contains("outside the on-the-fly fragment"), "{out}");
+        assert!(out.contains("TRUE"), "{out}");
+
+        // Trace comparison straight from the term graphs.
+        let plain = dir.join("plain.lot");
+        std::fs::write(&plain, "behaviour a; b; stop").expect("write");
+        let plain = plain.to_string_lossy().into_owned();
+        let out = execute(&Command::Compare {
+            left: model.clone(),
+            right: plain.clone(),
+            relation: Relation::Traces,
+            on_the_fly: true,
+        })
+        .expect("compare");
+        assert!(out.starts_with("EQUIVALENT"), "{out}");
+
+        let other = dir.join("other.lot");
+        std::fs::write(&other, "behaviour a; c; stop").expect("write");
+        let other = other.to_string_lossy().into_owned();
+        let out = execute(&Command::Compare {
+            left: plain,
+            right: other,
+            relation: Relation::Traces,
+            on_the_fly: true,
+        })
+        .expect("compare");
+        assert!(out.starts_with("NOT EQUIVALENT"), "{out}");
+        assert!(out.contains("distinguishing trace:"), "{out}");
     }
 
     #[test]
@@ -627,6 +867,7 @@ mod tests {
             dot: None,
             max_states: 10_000,
             threads: 4,
+            on_the_fly: false,
         })
         .expect("explore");
         assert!(out.contains("states: 1681"), "{out}");
@@ -639,6 +880,7 @@ mod tests {
             dot: None,
             max_states: 100,
             threads: 1,
+            on_the_fly: false,
         })
         .expect("partial result, not an error");
         assert!(out.contains("warning: exploration aborted"), "{out}");
@@ -669,6 +911,7 @@ mod tests {
             dot: None,
             max_states: 1000,
             threads: 1,
+            on_the_fly: false,
         })
         .expect("explore");
         assert!(out.contains("states: 2"));
@@ -678,6 +921,7 @@ mod tests {
             let out = execute(&Command::Check {
                 input: input.clone(),
                 formula: "nu X. <true> true and [true] X".into(),
+                on_the_fly: false,
             })
             .expect("check");
             assert!(out.starts_with("TRUE"), "{out}");
@@ -694,6 +938,7 @@ mod tests {
             left: model.clone(),
             right: aut.clone(),
             relation: Relation::Strong,
+            on_the_fly: false,
         })
         .expect("compare");
         assert!(out.starts_with("EQUIVALENT"));

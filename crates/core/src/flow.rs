@@ -17,10 +17,12 @@ use multival_imc::phase_type::Delay;
 use multival_imc::to_ctmc::{probe_throughputs, to_ctmc, CtmcConversion, NondetPolicy};
 use multival_imc::Imc;
 use multival_lts::analysis::{deadlock_witness, Trace};
+use multival_lts::equiv::{compare_determinized, determinize_ts, Determinized, Verdict};
 use multival_lts::minimize::{divergent_states, minimize, Equivalence, ReductionStats};
+use multival_lts::reach::{deadlock_search, scan, ReachOptions, ScanSummary, SearchOutcome};
 use multival_lts::Lts;
-use multival_mcl::{check, parse_formula, CheckResult};
-use multival_pa::{explore, explore_partial, parse_spec, ExploreOptions};
+use multival_mcl::{check, parse_formula, CheckResult, OnTheFlyReport};
+use multival_pa::{explore, explore_partial, parse_spec, ExploreOptions, PaTs};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -196,6 +198,109 @@ impl Flow {
     pub fn with_delays_by_label(&self, f: impl FnMut(&str) -> Option<Delay>) -> PerfFlow {
         PerfFlow { imc: decorate_by_label(&self.lts, f) }
     }
+
+    /// Scans the state space of `src` on the fly — counting states,
+    /// transitions, and deadlocks — without ever materializing an LTS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors and semantic errors hit during the walk.
+    pub fn scan_on_the_fly(src: &str, options: &ReachOptions) -> Result<ScanSummary, FlowError> {
+        let spec = parse_spec(src)?;
+        let ts = PaTs::new(&spec);
+        let summary = scan(&ts, options);
+        take_pa_error(&ts)?;
+        Ok(summary)
+    }
+
+    /// Searches `src` for a deadlock on the fly; the walk stops at the
+    /// first deadlocked state instead of generating the full state space.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors and semantic errors hit during the walk.
+    pub fn deadlock_on_the_fly(
+        src: &str,
+        options: &ReachOptions,
+    ) -> Result<SearchOutcome, FlowError> {
+        let spec = parse_spec(src)?;
+        let ts = PaTs::new(&spec);
+        let outcome = deadlock_search(&ts, options);
+        take_pa_error(&ts)?;
+        Ok(outcome)
+    }
+
+    /// Model-checks a formula over `src` on the fly, if the formula falls
+    /// in the safety/possibility/inevitability fragment. Returns `Ok(None)`
+    /// when it does not — callers then materialize and use [`Flow::check`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors, semantic errors hit during the walk, and
+    /// truncation (cap hit before a verdict).
+    pub fn check_on_the_fly(
+        src: &str,
+        formula: &str,
+        options: &ReachOptions,
+    ) -> Result<Option<OnTheFlyReport>, FlowError> {
+        let spec = parse_spec(src)?;
+        let f = parse_formula(formula).map_err(|e| FlowError::Formula(e.to_string()))?;
+        let ts = PaTs::new(&spec);
+        let report = match multival_mcl::check_on_the_fly(&ts, &f, options) {
+            None => return Ok(None),
+            Some(r) => r,
+        };
+        take_pa_error(&ts)?;
+        report.map(Some).map_err(|e| FlowError::Formula(e.to_string()))
+    }
+
+    /// Weak-trace-compares two sources on the fly: each side is
+    /// determinized straight from its term graph (τ-closure + subset
+    /// construction over the implicit states), never materializing either
+    /// LTS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse and semantic errors; [`FlowError::Formula`] when a
+    /// side exceeds `cap` subset states.
+    pub fn weak_traces_on_the_fly(
+        left: &str,
+        right: &str,
+        cap: usize,
+    ) -> Result<Verdict, FlowError> {
+        let da = Self::determinize_source(left, cap)?;
+        let db = Self::determinize_source(right, cap)?;
+        Ok(compare_determinized(&da, &db))
+    }
+
+    /// Determinizes a mini-LOTOS source straight from its term graph
+    /// (τ-closure + subset construction, no intermediate LTS). The result
+    /// feeds [`compare_determinized`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse and semantic errors; [`FlowError::Formula`] when
+    /// the subset construction exceeds `cap` states.
+    pub fn determinize_source(src: &str, cap: usize) -> Result<Determinized, FlowError> {
+        let spec = parse_spec(src)?;
+        let ts = PaTs::new(&spec);
+        let d = determinize_ts(&ts, cap);
+        take_pa_error(&ts)?;
+        d.ok_or_else(|| {
+            FlowError::Formula(format!("determinization cap of {cap} subset states exceeded"))
+        })
+    }
+}
+
+/// Converts a semantic error parked in a [`PaTs`] into a [`FlowError`].
+fn take_pa_error(ts: &PaTs<'_>) -> Result<(), FlowError> {
+    match ts.take_error() {
+        Some((error, term)) => Err(FlowError::Explore(multival_pa::ExploreError::Semantics {
+            error,
+            state: term.to_string(),
+        })),
+        None => Ok(()),
+    }
 }
 
 /// A performance model in flight (an IMC about to become a CTMC).
@@ -370,6 +475,52 @@ mod tests {
             .expect("tp")[0]
             .1;
         assert!((a - b).abs() < 1e-9, "lumping must not change throughput");
+    }
+
+    #[test]
+    fn on_the_fly_scan_matches_eager_counts() {
+        let flow = Flow::from_source(WORK_REST).expect("parses");
+        let summary = Flow::scan_on_the_fly(WORK_REST, &ReachOptions::default()).expect("scans");
+        assert_eq!(summary.states, flow.lts().num_states());
+        assert_eq!(summary.transitions, flow.lts().num_transitions());
+        assert_eq!(summary.deadlocks, 0);
+    }
+
+    #[test]
+    fn on_the_fly_deadlock_agrees_with_eager_witness() {
+        let src = "behaviour a; b; stop";
+        let eager = Flow::from_source(src).expect("parses").deadlock().expect("deadlocks");
+        let otf = Flow::deadlock_on_the_fly(src, &ReachOptions::default()).expect("searches");
+        assert_eq!(otf.witness.as_ref().map(Vec::len), Some(eager.len()));
+    }
+
+    #[test]
+    fn on_the_fly_check_covers_fragment_and_declines_rest() {
+        let src = "behaviour a; b; stop";
+        let r =
+            Flow::check_on_the_fly(src, "mu X. <\"b\"> true or <true> X", &ReachOptions::default())
+                .expect("checks")
+                .expect("in fragment");
+        assert!(r.holds);
+        assert_eq!(r.trace, Some(vec!["a".to_owned(), "b".to_owned()]));
+        // Outside the fragment: caller falls back to the eager path.
+        let none =
+            Flow::check_on_the_fly(src, "<\"a\"> true", &ReachOptions::default()).expect("parses");
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn on_the_fly_weak_traces() {
+        let with_tau = "behaviour hide m in (m; a; stop)";
+        let plain = "behaviour a; stop";
+        assert!(Flow::weak_traces_on_the_fly(with_tau, plain, 1 << 16).expect("compares").holds());
+        let other = "behaviour b; stop";
+        match Flow::weak_traces_on_the_fly(plain, other, 1 << 16).expect("compares") {
+            multival_lts::equiv::Verdict::Inequivalent { witness: Some(w) } => {
+                assert_eq!(w.len(), 1)
+            }
+            v => panic!("expected inequivalent with witness, got {v:?}"),
+        }
     }
 
     #[test]

@@ -149,6 +149,41 @@ impl ParStats {
     }
 }
 
+/// Report for an on-the-fly run: how much of the implicit state space the
+/// search actually visited versus what was materialized as an explicit LTS.
+///
+/// Rendered by the `--on-the-fly` paths of `multival explore` and
+/// `multival check`.
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct FlyStats {
+    /// States the search visited.
+    pub visited: usize,
+    /// Transitions the search crossed.
+    pub transitions: usize,
+    /// States held in memory as an explicit LTS (0 when the walk ran
+    /// straight over the term graph or lazy product).
+    pub materialized: usize,
+    /// Whether the state cap truncated the walk.
+    pub truncated: bool,
+}
+
+impl FlyStats {
+    /// Renders the report as an aligned two-column table, with a warning
+    /// line when the cap cut the walk short.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&["on-the-fly", "value"]);
+        t.row_owned(vec!["visited states".into(), self.visited.to_string()]);
+        t.row_owned(vec!["transitions".into(), self.transitions.to_string()]);
+        t.row_owned(vec!["materialized states".into(), self.materialized.to_string()]);
+        let mut out = t.render();
+        if self.truncated {
+            out.push_str("warning: state cap hit; the walk is incomplete\n");
+        }
+        out
+    }
+}
+
 /// Formats a float with 4 significant decimals, trimming noise.
 pub fn fmt_f(x: f64) -> String {
     if x == f64::INFINITY {
@@ -201,6 +236,17 @@ mod tests {
         let solo = ParStats { baseline_wall: None, ..stats };
         assert!(solo.speedup().is_none());
         assert!(!solo.render().contains("speedup"), "{}", solo.render());
+    }
+
+    #[test]
+    fn fly_stats_report() {
+        let stats = FlyStats { visited: 12, transitions: 30, materialized: 0, truncated: false };
+        let text = stats.render();
+        assert!(text.contains("visited states"), "{text}");
+        assert!(text.contains("materialized states  0"), "{text}");
+        assert!(!text.contains("warning"), "{text}");
+        let cut = FlyStats { truncated: true, ..stats };
+        assert!(cut.render().contains("state cap hit"), "{}", cut.render());
     }
 
     #[test]

@@ -52,6 +52,53 @@ fn explore_check_pipeline() {
 }
 
 #[test]
+fn on_the_fly_pipeline() {
+    let model = write_model("fly.lot", "behaviour hide m in (a; m; stop |[m]| m; b; stop)");
+
+    // explore --on-the-fly: visited counts, nothing materialized.
+    let (stdout, _, ok) = multival(&["explore", &model, "--on-the-fly"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("visited states       4"), "{stdout}");
+    assert!(stdout.contains("materialized states  0"), "{stdout}");
+    assert!(stdout.contains("deadlock states: 1"), "{stdout}");
+
+    // check --on-the-fly: in-fragment formulas are decided by the search.
+    let (stdout, _, ok) =
+        multival(&["check", &model, "mu X. <\"b\"> true or <true> X", "--on-the-fly"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.starts_with("TRUE"), "{stdout}");
+    assert!(stdout.contains("witness trace:"), "{stdout}");
+    assert!(stdout.contains("materialized states  0"), "{stdout}");
+
+    // Out-of-fragment formulas fall back to the eager evaluator.
+    let (stdout, _, ok) = multival(&["check", &model, "<\"a\"> true", "--on-the-fly"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("outside the on-the-fly fragment"), "{stdout}");
+    assert!(stdout.contains("TRUE"), "{stdout}");
+
+    // compare --eq traces --on-the-fly: τ-abstracted trace equality holds
+    // between the hidden handshake and the plain sequence.
+    let plain = write_model("fly-plain.lot", "behaviour a; b; stop");
+    let (stdout, _, ok) = multival(&["compare", &model, &plain, "--eq", "traces", "--on-the-fly"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.starts_with("EQUIVALENT"), "{stdout}");
+
+    let other = write_model("fly-other.lot", "behaviour a; c; stop");
+    let (stdout, _, ok) = multival(&["compare", &plain, &other, "--eq", "traces", "--on-the-fly"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.starts_with("NOT EQUIVALENT"), "{stdout}");
+    assert!(stdout.contains("distinguishing trace:"), "{stdout}");
+
+    // The flag refuses combinations that need a materialized LTS.
+    let (_, stderr, ok) = multival(&["compare", &model, &plain, "--on-the-fly"]);
+    assert!(!ok);
+    assert!(stderr.contains("traces only"), "{stderr}");
+    let (_, stderr, ok) = multival(&["explore", &model, "--on-the-fly", "--aut", "out.aut"]);
+    assert!(!ok);
+    assert!(stderr.contains("materializes no LTS"), "{stderr}");
+}
+
+#[test]
 fn parse_error_is_reported_on_stderr() {
     let model = write_model("broken.lot", "behaviour a;;; stop");
     let (_, stderr, ok) = multival(&["explore", &model]);

@@ -8,7 +8,8 @@
 
 use crate::label::{LabelId, LabelTable};
 use crate::lts::{Lts, LtsBuilder, StateId};
-use crate::minimize::{partition_refinement, Equivalence};
+use crate::minimize::{partition_refinement, Equivalence, Partition};
+use crate::ts::TransitionSystem;
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// The verdict of an equivalence comparison.
@@ -16,12 +17,13 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 pub enum Verdict {
     /// The two systems are equivalent.
     Equivalent,
-    /// Not equivalent; when the comparison is trace-based, a distinguishing
-    /// trace (sequence of visible labels enabled in one but not the other)
-    /// is provided.
+    /// Not equivalent; a distinguishing trace (sequence of labels leading
+    /// to a state where one side enables an action the other does not) is
+    /// provided when one could be constructed.
     Inequivalent {
-        /// A witness trace, if one could be constructed (always present for
-        /// weak-trace comparison, absent for bisimulations).
+        /// A witness trace: always present for weak-trace comparison and
+        /// strong bisimulation, best-effort for branching bisimulation
+        /// (τ-based distinctions need not have a trace-shaped witness).
         witness: Option<Vec<String>>,
     },
 }
@@ -83,8 +85,80 @@ pub fn equivalent(a: &Lts, b: &Lts, eq: Equivalence) -> Verdict {
     if part.block(ia) == part.block(ib) {
         Verdict::Equivalent
     } else {
-        Verdict::Inequivalent { witness: None }
+        Verdict::Inequivalent { witness: bisim_witness(&union, &part, ia, ib) }
     }
+}
+
+/// Derives a distinguishing trace for two states the refined partition put
+/// in different blocks: a BFS over pairs of inequivalent states, following
+/// equal labels, until a pair with different enabled-action sets is found
+/// (the mismatching action ends the trace).
+///
+/// For strong bisimulation such a pair always exists along inequivalent
+/// pairs (the first refinement round splits exactly on enabled-action
+/// sets), so the witness is guaranteed. For branching bisimulation the
+/// distinction can hinge on τ-branching structure with no trace-shaped
+/// witness; `None` is returned when the search exhausts.
+fn bisim_witness(union: &Lts, part: &Partition, ia: StateId, ib: StateId) -> Option<Vec<String>> {
+    // Pair-BFS bookkeeping: dense pair ids with predecessor edges.
+    let mut index: HashMap<(StateId, StateId), u32> = HashMap::new();
+    let mut pairs: Vec<(StateId, StateId)> = Vec::new();
+    let mut pred: Vec<Option<(u32, LabelId)>> = Vec::new();
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    index.insert((ia, ib), 0);
+    pairs.push((ia, ib));
+    pred.push(None);
+    queue.push_back(0);
+
+    let trace_to = |pred: &[Option<(u32, LabelId)>], mut cur: u32| -> Vec<String> {
+        let mut labels = Vec::new();
+        while let Some((prev, label)) = pred[cur as usize] {
+            labels.push(union.labels().name(label).to_owned());
+            cur = prev;
+        }
+        labels.reverse();
+        labels
+    };
+
+    while let Some(p) = queue.pop_front() {
+        let (x, y) = pairs[p as usize];
+        let ex: BTreeSet<LabelId> = union.transitions_from(x).iter().map(|t| t.label).collect();
+        let ey: BTreeSet<LabelId> = union.transitions_from(y).iter().map(|t| t.label).collect();
+        if ex != ey {
+            // The first label enabled on exactly one side ends the trace.
+            let mismatch = ex
+                .symmetric_difference(&ey)
+                .next()
+                .copied()
+                .expect("unequal sets have a symmetric difference");
+            let mut witness = trace_to(&pred, p);
+            witness.push(union.labels().name(mismatch).to_owned());
+            return Some(witness);
+        }
+        for label in ex {
+            for tx in union.transitions_from(x) {
+                if tx.label != label {
+                    continue;
+                }
+                for ty in union.transitions_from(y) {
+                    if ty.label != label || part.block(tx.target) == part.block(ty.target) {
+                        continue;
+                    }
+                    // Only inequivalent pairs can carry a distinction.
+                    if let std::collections::hash_map::Entry::Vacant(e) =
+                        index.entry((tx.target, ty.target))
+                    {
+                        let id = pairs.len() as u32;
+                        e.insert(id);
+                        pairs.push((tx.target, ty.target));
+                        pred.push(Some((p, label)));
+                        queue.push_back(id);
+                    }
+                }
+            }
+        }
+    }
+    None
 }
 
 /// A deterministic automaton over visible labels obtained by τ-closure +
@@ -155,6 +229,112 @@ pub fn determinize(lts: &Lts, cap: usize) -> Option<Determinized> {
     Some(Determinized { edges, initial: 0 })
 }
 
+/// [`determinize`] generalized to any [`TransitionSystem`]: the implicit
+/// graph is walked directly (states hash-consed into dense ids on first
+/// sight), so a lazy product or a process-algebra term can be determinized
+/// without materializing its LTS first.
+///
+/// `cap` bounds the number of *subset* states; exceeding it returns `None`.
+pub fn determinize_ts<T: TransitionSystem>(ts: &T, cap: usize) -> Option<Determinized> {
+    // Dense first-sight numbering of the underlying states, with memoized
+    // successor lists (τ-closure revisits states).
+    let mut ids: HashMap<T::State, u32> = HashMap::new();
+    let mut states: Vec<T::State> = Vec::new();
+    let mut succs: Vec<Option<Vec<(LabelId, u32)>>> = Vec::new();
+    let init = ts.initial_state();
+    ids.insert(init.clone(), 0);
+    states.push(init);
+    succs.push(None);
+
+    // Mutually-growing state table makes this a closure-over-index helper.
+    fn successors_of<T: TransitionSystem>(
+        ts: &T,
+        s: u32,
+        ids: &mut HashMap<T::State, u32>,
+        states: &mut Vec<T::State>,
+        succs: &mut Vec<Option<Vec<(LabelId, u32)>>>,
+    ) -> Vec<(LabelId, u32)> {
+        if let Some(cached) = &succs[s as usize] {
+            return cached.clone();
+        }
+        let mut out = Vec::new();
+        for (label, target) in ts.successors(&states[s as usize]) {
+            let id = match ids.get(&target) {
+                Some(&i) => i,
+                None => {
+                    let i = states.len() as u32;
+                    ids.insert(target.clone(), i);
+                    states.push(target);
+                    succs.push(None);
+                    i
+                }
+            };
+            out.push((label, id));
+        }
+        succs[s as usize] = Some(out.clone());
+        out
+    }
+
+    let closure = |set: &BTreeSet<u32>,
+                   ids: &mut HashMap<T::State, u32>,
+                   states: &mut Vec<T::State>,
+                   succs: &mut Vec<Option<Vec<(LabelId, u32)>>>|
+     -> BTreeSet<u32> {
+        let mut closed = set.clone();
+        let mut stack: Vec<u32> = set.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for (label, target) in successors_of(ts, s, ids, states, succs) {
+                if label.is_tau() && closed.insert(target) {
+                    stack.push(target);
+                }
+            }
+        }
+        closed
+    };
+
+    let init_set = closure(&BTreeSet::from([0]), &mut ids, &mut states, &mut succs);
+    let mut index: HashMap<BTreeSet<u32>, u32> = HashMap::new();
+    let mut edges: Vec<BTreeMap<String, u32>> = Vec::new();
+    let mut queue: VecDeque<BTreeSet<u32>> = VecDeque::new();
+    index.insert(init_set.clone(), 0);
+    edges.push(BTreeMap::new());
+    queue.push_back(init_set);
+    while let Some(set) = queue.pop_front() {
+        let src = index[&set];
+        let mut by_label: BTreeMap<String, BTreeSet<u32>> = BTreeMap::new();
+        for &s in &set {
+            for (label, target) in successors_of(ts, s, &mut ids, &mut states, &mut succs) {
+                if !label.is_tau() {
+                    // Resolve names against a fresh snapshot: lazily
+                    // interning systems grow their table as we explore.
+                    by_label
+                        .entry(ts.label_table().name(label).to_owned())
+                        .or_default()
+                        .insert(target);
+                }
+            }
+        }
+        for (label, targets) in by_label {
+            let closed = closure(&targets, &mut ids, &mut states, &mut succs);
+            let dst = match index.get(&closed) {
+                Some(&d) => d,
+                None => {
+                    if edges.len() >= cap {
+                        return None;
+                    }
+                    let d = edges.len() as u32;
+                    index.insert(closed.clone(), d);
+                    edges.push(BTreeMap::new());
+                    queue.push_back(closed);
+                    d
+                }
+            };
+            edges[src as usize].insert(label, dst);
+        }
+    }
+    Some(Determinized { edges, initial: 0 })
+}
+
 /// Weak-trace equivalence: the two systems have the same sets of visible
 /// traces. Returns a shortest distinguishing trace on failure.
 ///
@@ -167,8 +347,13 @@ pub fn determinize(lts: &Lts, cap: usize) -> Option<Determinized> {
 pub fn weak_trace_equivalent(a: &Lts, b: &Lts, cap: usize) -> Verdict {
     let da = determinize(a, cap).expect("determinization cap exceeded (left)");
     let db = determinize(b, cap).expect("determinization cap exceeded (right)");
-    // BFS over the synchronized product of the two DFAs; a mismatch in the
-    // enabled label sets yields a distinguishing trace.
+    compare_determinized(&da, &db)
+}
+
+/// Compares two determinized automata for language equality by BFS over
+/// their synchronized product; a mismatch in the enabled label sets yields
+/// a shortest distinguishing trace.
+pub fn compare_determinized(da: &Determinized, db: &Determinized) -> Verdict {
     let mut seen: HashMap<(u32, u32), ()> = HashMap::new();
     let mut queue: VecDeque<(u32, u32, Vec<String>)> = VecDeque::new();
     seen.insert((da.initial, db.initial), ());
@@ -286,6 +471,57 @@ mod tests {
         assert_eq!(d.edges[0].len(), 1);
         let mid = d.edges[0]["a"] as usize;
         assert_eq!(d.edges[mid].len(), 2);
+    }
+
+    #[test]
+    fn strong_inequivalence_has_witness() {
+        // a.b vs a.c: the distinguishing trace is ["a", "b"] or ["a", "c"].
+        let p = lts_from_triples(&[(0, "a", 1), (1, "b", 2)]);
+        let q = lts_from_triples(&[(0, "a", 1), (1, "c", 2)]);
+        match equivalent(&p, &q, Equivalence::Strong) {
+            Verdict::Inequivalent { witness: Some(w) } => {
+                assert_eq!(w.len(), 2);
+                assert_eq!(w[0], "a");
+                assert!(w[1] == "b" || w[1] == "c", "unexpected witness {w:?}");
+            }
+            v => panic!("expected inequivalent with witness, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn nondeterministic_split_has_witness() {
+        // a.(b+c) vs a.b + a.c: strongly inequivalent; after "a" one side
+        // enables both b and c, the other only one of them.
+        let p = lts_from_triples(&[(0, "a", 1), (1, "b", 2), (1, "c", 3)]);
+        let q = lts_from_triples(&[(0, "a", 1), (1, "b", 3), (0, "a", 2), (2, "c", 4)]);
+        match equivalent(&p, &q, Equivalence::Strong) {
+            Verdict::Inequivalent { witness: Some(w) } => {
+                assert_eq!(w[0], "a");
+                assert_eq!(w.len(), 2);
+            }
+            v => panic!("expected inequivalent with witness, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn branching_witness_when_visible_actions_differ() {
+        let p = lts_from_triples(&[(0, "a", 1)]);
+        let q = lts_from_triples(&[(0, "b", 1)]);
+        match equivalent(&p, &q, Equivalence::Branching) {
+            Verdict::Inequivalent { witness: Some(w) } => assert_eq!(w.len(), 1),
+            v => panic!("expected inequivalent with witness, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn determinize_ts_matches_eager_determinize() {
+        let p =
+            lts_from_triples(&[(0, "a", 1), (0, "a", 2), (1, "i", 3), (3, "b", 4), (2, "c", 4)]);
+        let eager = determinize(&p, 1024).expect("determinizes");
+        let lazy = determinize_ts(&p, 1024).expect("determinizes");
+        assert_eq!(eager.edges, lazy.edges);
+        assert_eq!(eager.initial, lazy.initial);
+        assert!(determinize_ts(&p, 1).is_none());
     }
 
     #[test]

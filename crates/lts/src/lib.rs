@@ -14,6 +14,10 @@
 //! * [`simulation`] — strong/weak simulation preorders for refinement
 //!   checking (implementation ≤ specification);
 //! * [`analysis`] — reachability searches, deadlock/invariant witnesses;
+//! * [`ts`] / [`reach`] — the on-the-fly layer: a [`TransitionSystem`]
+//!   successor-function trait (the CADP Open/Caesar analogue) with lazy
+//!   products, hide/rename views, and a generic exploration engine that
+//!   walks implicit graphs without materializing them;
 //! * [`io`] — Aldebaran `.aut` and Graphviz `.dot` interchange.
 //!
 //! # Examples
@@ -39,9 +43,13 @@ pub mod label;
 pub mod lts;
 pub mod minimize;
 pub mod ops;
+pub mod reach;
 pub mod simulation;
+pub mod ts;
 
 pub use label::{LabelId, LabelTable};
 pub use lts::{Lts, LtsBuilder, StateId, Transition};
 pub use minimize::{Equivalence, Partition, ReductionStats};
 pub use multival_par::Workers;
+pub use reach::{ReachOptions, ReachStats, ScanSummary, SearchOutcome};
+pub use ts::{HideView, LazyProduct, RenameView, TransitionSystem};

@@ -66,10 +66,16 @@ impl Lts {
         initial: StateId,
         transitions: Vec<(StateId, LabelId, StateId)>,
     ) -> Self {
-        assert!(initial < num_states.max(1), "initial state out of range");
+        assert!(
+            initial < num_states,
+            "initial state {initial} out of range for {num_states} states"
+        );
         let mut counts = vec![0u32; num_states as usize + 1];
         for &(s, _, t) in &transitions {
-            assert!(s < num_states && t < num_states, "transition endpoint out of range");
+            assert!(
+                s < num_states && t < num_states,
+                "transition endpoint out of range: {s} -> {t} with {num_states} states"
+            );
             counts[s as usize + 1] += 1;
         }
         for i in 1..counts.len() {
@@ -398,5 +404,23 @@ mod tests {
         let lts = b.build(0);
         assert_eq!(lts.num_states(), 1);
         assert_eq!(lts.num_transitions(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial state 0 out of range for 0 states")]
+    fn from_parts_rejects_empty_state_space() {
+        Lts::from_parts(LabelTable::new(), 0, 0, Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "initial state 5 out of range for 2 states")]
+    fn from_parts_rejects_out_of_range_initial() {
+        Lts::from_parts(LabelTable::new(), 2, 5, Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "transition endpoint out of range: 1 -> 9 with 2 states")]
+    fn from_parts_rejects_out_of_range_endpoint() {
+        Lts::from_parts(LabelTable::new(), 2, 0, vec![(1, LabelId::TAU, 9)]);
     }
 }

@@ -5,10 +5,12 @@
 //! separately, minimized, then composed — the key weapon against state-space
 //! explosion (§3 of the paper).
 
-use crate::label::{gate_of, LabelId};
-use crate::lts::{Lts, LtsBuilder, StateId};
-use multival_par::{par_map, ShardedIndex, Workers};
-use std::collections::{HashMap, HashSet, VecDeque};
+use crate::label::gate_of;
+use crate::lts::Lts;
+use crate::reach::materialize_with;
+use crate::ts::LazyProduct;
+use multival_par::Workers;
+use std::collections::{HashMap, HashSet};
 
 /// Synchronization discipline for [`compose`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,7 +41,7 @@ impl Sync {
         Sync::Gates(gates.into_iter().map(Into::into).collect())
     }
 
-    fn synchronizes(&self, gate: &str) -> bool {
+    pub(crate) fn synchronizes(&self, gate: &str) -> bool {
         match self {
             Sync::Interleave => false,
             Sync::Gates(set) => set.contains(gate),
@@ -80,188 +82,30 @@ pub fn compose(left: &Lts, right: &Lts, sync: &Sync) -> Lts {
     compose_with(left, right, sync, Workers::sequential())
 }
 
-/// Per-label data precomputed once per [`compose`] call, taking every
-/// string comparison and allocation out of the product hot loop.
-struct SyncPlan {
-    /// Product-table label id for each left label.
-    left_prod: Vec<LabelId>,
-    /// Product-table label id for each right label.
-    right_prod: Vec<LabelId>,
-    /// Does this left label synchronize?
-    left_sync: Vec<bool>,
-    /// Does this right label synchronize?
-    right_sync: Vec<bool>,
-    /// For each synchronizing left label: the right label with the
-    /// *identical full name* (LOTOS value negotiation), if any.
-    partner: Vec<Option<LabelId>>,
-}
-
-impl SyncPlan {
-    fn new(builder: &mut LtsBuilder, left: &Lts, right: &Lts, sync: &Sync) -> Self {
-        let synchronizes = |id: LabelId, name: &str| {
-            !id.is_tau() && (gate_of(name) == "exit" || sync.synchronizes(gate_of(name)))
-        };
-        let mut right_prod = Vec::with_capacity(right.labels().len());
-        let mut right_sync = Vec::with_capacity(right.labels().len());
-        for (id, name) in right.labels().iter() {
-            right_prod.push(builder.intern(name));
-            right_sync.push(synchronizes(id, name));
-        }
-        let mut left_prod = Vec::with_capacity(left.labels().len());
-        let mut left_sync = Vec::with_capacity(left.labels().len());
-        let mut partner = Vec::with_capacity(left.labels().len());
-        for (id, name) in left.labels().iter() {
-            left_prod.push(builder.intern(name));
-            let syncs = synchronizes(id, name);
-            left_sync.push(syncs);
-            partner.push(if syncs {
-                right.labels().lookup(name).filter(|p| right_sync[p.index()])
-            } else {
-                None
-            });
-        }
-        SyncPlan { left_prod, right_prod, left_sync, right_sync, partner }
-    }
-
-    /// Successors of the product state `(ls, rs)`, in the canonical order
-    /// (left-independent, right-independent, synchronized).
-    fn successors(
-        &self,
-        left: &Lts,
-        right: &Lts,
-        (ls, rs): (StateId, StateId),
-    ) -> Vec<(LabelId, (StateId, StateId))> {
-        let mut out = Vec::new();
-        for t in left.transitions_from(ls) {
-            if !self.left_sync[t.label.index()] {
-                out.push((self.left_prod[t.label.index()], (t.target, rs)));
-            }
-        }
-        for t in right.transitions_from(rs) {
-            if !self.right_sync[t.label.index()] {
-                out.push((self.right_prod[t.label.index()], (ls, t.target)));
-            }
-        }
-        for lt in left.transitions_from(ls) {
-            let Some(p) = self.partner[lt.label.index()] else { continue };
-            for rt in right.transitions_from(rs) {
-                if rt.label == p {
-                    out.push((self.left_prod[lt.label.index()], (lt.target, rt.target)));
-                }
-            }
-        }
-        out
-    }
-}
-
 /// [`compose`] with an explicit worker count for product-state successor
 /// generation. The result — state numbering, label table, transitions —
-/// is identical at any worker count: workers only derive successor lists
-/// level by level, and a sequential merge in canonical frontier order
-/// assigns state numbers exactly as the sequential BFS would.
+/// is identical at any worker count: this is a thin wrapper that explores
+/// a [`LazyProduct`] with [`materialize_with`], whose parallel path only
+/// derives successor lists level by level and renumbers sequentially.
 pub fn compose_with(left: &Lts, right: &Lts, sync: &Sync, workers: Workers) -> Lts {
-    let mut builder = LtsBuilder::new();
-    let plan = SyncPlan::new(&mut builder, left, right, sync);
-    if workers.is_sequential() {
-        return compose_sequential(left, right, &plan, builder);
-    }
-
-    let index: ShardedIndex<(StateId, StateId)> = ShardedIndex::new();
-    // Provisional id -> canonical (BFS discovery order) id.
-    const NO_CANON: StateId = StateId::MAX;
-    let mut prov2canon: Vec<StateId> = Vec::new();
-    let mut pairs: Vec<(StateId, StateId)> = Vec::new();
-
-    let init = (left.initial(), right.initial());
-    let init_id = builder.add_state();
-    index.get_or_insert(init);
-    prov2canon.push(init_id);
-    pairs.push(init);
-
-    let mut frontier: Vec<StateId> = vec![init_id];
-    while !frontier.is_empty() {
-        // Parallel stage: successor derivation + provisional numbering.
-        type LevelOut = (Vec<(LabelId, u32)>, Vec<(u32, (StateId, StateId))>);
-        let results: Vec<LevelOut> = par_map(workers, &frontier, |_, &s| {
-            let mut succ = Vec::new();
-            let mut fresh = Vec::new();
-            for (label, target) in plan.successors(left, right, pairs[s as usize]) {
-                let (prov, was_new) = index.get_or_insert(target);
-                if was_new {
-                    fresh.push((prov, target));
-                }
-                succ.push((label, prov));
-            }
-            (succ, fresh)
-        });
-
-        let first_new = prov2canon.len() as u32;
-        let new_count = (index.next_id() - first_new) as usize;
-        let mut fresh_pairs: Vec<Option<(StateId, StateId)>> = vec![None; new_count];
-        for (_, fresh) in &results {
-            for &(prov, pair) in fresh {
-                fresh_pairs[(prov - first_new) as usize] = Some(pair);
-            }
-        }
-        prov2canon.resize(index.next_id() as usize, NO_CANON);
-
-        // Sequential merge: canonical numbering in frontier order.
-        let mut next_frontier: Vec<StateId> = Vec::new();
-        for (i, (succ, _)) in results.into_iter().enumerate() {
-            let src = frontier[i];
-            for (label, prov) in succ {
-                let mut dst = prov2canon[prov as usize];
-                if dst == NO_CANON {
-                    dst = builder.add_state();
-                    prov2canon[prov as usize] = dst;
-                    pairs.push(
-                        fresh_pairs[(prov - first_new) as usize]
-                            .expect("every provisional id has a registered pair"),
-                    );
-                    next_frontier.push(dst);
-                }
-                builder.add_transition_id(src, label, dst);
-            }
-        }
-        frontier = next_frontier;
-    }
-    builder.build(init_id)
+    materialize_with(&LazyProduct::new(&[left, right], sync), workers)
 }
 
-fn compose_sequential(left: &Lts, right: &Lts, plan: &SyncPlan, mut builder: LtsBuilder) -> Lts {
-    let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
-    let mut queue: VecDeque<(StateId, StateId)> = VecDeque::new();
-
-    let init = (left.initial(), right.initial());
-    let init_id = builder.add_state();
-    index.insert(init, init_id);
-    queue.push_back(init);
-
-    while let Some(pair) = queue.pop_front() {
-        let src = index[&pair];
-        for (label, target) in plan.successors(left, right, pair) {
-            let dst = *index.entry(target).or_insert_with(|| {
-                queue.push_back(target);
-                builder.add_state()
-            });
-            builder.add_transition_id(src, label, dst);
-        }
-    }
-    builder.build(init_id)
-}
-
-/// N-ary left fold of [`compose`] over `parts` with a single sync discipline.
+/// N-ary parallel composition of `parts` under a single sync discipline,
+/// exploring the flat product on the fly (every component participates in
+/// each synchronized move, with identical full labels).
 ///
 /// # Panics
 ///
 /// Panics if `parts` is empty.
 pub fn compose_all(parts: &[&Lts], sync: &Sync) -> Lts {
+    compose_all_with(parts, sync, Workers::sequential())
+}
+
+/// [`compose_all`] with an explicit worker count.
+pub fn compose_all_with(parts: &[&Lts], sync: &Sync, workers: Workers) -> Lts {
     assert!(!parts.is_empty(), "compose_all needs at least one LTS");
-    let mut acc = parts[0].clone();
-    for p in &parts[1..] {
-        acc = compose(&acc, p, sync);
-    }
-    acc
+    materialize_with(&LazyProduct::new(parts, sync), workers)
 }
 
 /// Hides every label whose gate is in `gates`, turning it into τ

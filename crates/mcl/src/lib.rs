@@ -29,10 +29,12 @@
 pub mod bitset;
 pub mod eval;
 pub mod formula;
+pub mod onthefly;
 pub mod parser;
 pub mod patterns;
 
 pub use bitset::BitSet;
 pub use eval::{check, satisfying_states, CheckResult, EvalError};
 pub use formula::{ActionFormula, Formula};
+pub use onthefly::{check_on_the_fly, classify, Fragment, OnTheFlyReport};
 pub use parser::{parse_formula, ParseFormulaError};

@@ -1,0 +1,214 @@
+//! On-the-fly checking for the safety/possibility/inevitability fragment
+//! of the μ-calculus — the observer-style searches of CADP's on-the-fly
+//! `evaluator`, generalized over any [`TransitionSystem`].
+//!
+//! Formulas matching one of the [`patterns`](crate::patterns) shapes
+//! (deadlock freedom, `possibly`, `never`, `inevitably`) are decided by a
+//! short-circuiting walk of the implicit state space: the first state that
+//! settles the verdict stops the exploration, and a witness or
+//! counterexample trace is reported. Formulas outside the fragment return
+//! `None` from [`classify`] so callers can fall back to the eager bitset
+//! fixpoint evaluator over a materialized LTS.
+
+use crate::eval::EvalError;
+use crate::formula::{ActionFormula, Formula};
+use multival_lts::reach::{
+    action_search, avoid_search, deadlock_search, ReachOptions, ReachStats, SearchOutcome,
+};
+use multival_lts::TransitionSystem;
+
+/// The on-the-fly-checkable fragment: the four single-fixpoint shapes of
+/// [`crate::patterns`], recognized modulo bound-variable name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fragment {
+    /// `nu X. <true> true and [true] X` — no reachable deadlock.
+    DeadlockFree,
+    /// `mu X. <af> true or <true> X` — some execution performs `af`.
+    Possibly(ActionFormula),
+    /// `nu X. [af] false and [true] X` — no execution ever performs `af`.
+    Never(ActionFormula),
+    /// `mu X. <true> true and [not af] X` — every execution performs `af`.
+    Inevitably(ActionFormula),
+}
+
+/// Recognizes the on-the-fly fragment. Returns `None` for any other
+/// formula (including the nested-fixpoint templates), directing the
+/// caller to the eager evaluator.
+pub fn classify(f: &Formula) -> Option<Fragment> {
+    use ActionFormula as AF;
+    use Formula::*;
+    match f {
+        Nu(x, body) => match &**body {
+            // nu X. <true> true and [true] X
+            And(l, r) => match (&**l, &**r) {
+                (Diamond(AF::Any, t), Box(AF::Any, v)) if matches!(&**t, True) && var_is(v, x) => {
+                    Some(Fragment::DeadlockFree)
+                }
+                // nu X. [af] false and [true] X
+                (Box(af, fls), Box(AF::Any, v)) if matches!(&**fls, False) && var_is(v, x) => {
+                    Some(Fragment::Never(af.clone()))
+                }
+                _ => None,
+            },
+            _ => None,
+        },
+        Mu(x, body) => match &**body {
+            // mu X. <af> true or <true> X
+            Or(l, r) => match (&**l, &**r) {
+                (Diamond(af, t), Diamond(AF::Any, v)) if matches!(&**t, True) && var_is(v, x) => {
+                    Some(Fragment::Possibly(af.clone()))
+                }
+                _ => None,
+            },
+            // mu X. <true> true and [not af] X
+            And(l, r) => match (&**l, &**r) {
+                (Diamond(AF::Any, t), Box(AF::Not(af), v))
+                    if matches!(&**t, True) && var_is(v, x) =>
+                {
+                    Some(Fragment::Inevitably((**af).clone()))
+                }
+                _ => None,
+            },
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn var_is(f: &Formula, x: &str) -> bool {
+    matches!(f, Formula::Var(v) if v == x)
+}
+
+/// The result of an on-the-fly check.
+#[derive(Debug, Clone)]
+pub struct OnTheFlyReport {
+    /// Whether the formula holds in the initial state.
+    pub holds: bool,
+    /// A trace explaining the verdict: the counterexample when the formula
+    /// fails, or (for `possibly`) the witnessing execution when it holds.
+    pub trace: Option<Vec<String>>,
+    /// How much of the state space the search actually visited.
+    pub stats: ReachStats,
+}
+
+/// Checks `f` on the fly over `ts` if it falls in the recognized
+/// fragment.
+///
+/// Returns `None` when the formula is outside the fragment (fall back to
+/// materializing + [`crate::check`]). Returns an [`EvalError`] when the
+/// state cap truncated the search before a verdict was reached.
+pub fn check_on_the_fly<T: TransitionSystem>(
+    ts: &T,
+    f: &Formula,
+    options: &ReachOptions,
+) -> Option<Result<OnTheFlyReport, EvalError>> {
+    let fragment = classify(f)?;
+    Some(run_fragment(ts, &fragment, options))
+}
+
+/// Runs an already-classified fragment query.
+pub fn run_fragment<T: TransitionSystem>(
+    ts: &T,
+    fragment: &Fragment,
+    options: &ReachOptions,
+) -> Result<OnTheFlyReport, EvalError> {
+    let (outcome, holds_when_found) = match fragment {
+        Fragment::DeadlockFree => (deadlock_search(ts, options), false),
+        Fragment::Possibly(af) => (action_search(ts, |name| af.matches(name), options), true),
+        Fragment::Never(af) => (action_search(ts, |name| af.matches(name), options), false),
+        Fragment::Inevitably(af) => (avoid_search(ts, |name| af.matches(name), options), false),
+    };
+    report(outcome, holds_when_found)
+}
+
+fn report(outcome: SearchOutcome, holds_when_found: bool) -> Result<OnTheFlyReport, EvalError> {
+    match outcome.witness {
+        Some(trace) => {
+            Ok(OnTheFlyReport { holds: holds_when_found, trace: Some(trace), stats: outcome.stats })
+        }
+        None if outcome.stats.truncated => Err(EvalError(format!(
+            "on-the-fly search truncated after {} states with no verdict; raise the cap",
+            outcome.stats.visited
+        ))),
+        None => Ok(OnTheFlyReport { holds: !holds_when_found, trace: None, stats: outcome.stats }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+    use crate::patterns;
+    use multival_lts::equiv::lts_from_triples;
+
+    #[test]
+    fn classify_recognizes_all_templates() {
+        let af = ActionFormula::pattern("win");
+        assert_eq!(classify(&patterns::deadlock_free()), Some(Fragment::DeadlockFree));
+        assert_eq!(classify(&patterns::possibly(af.clone())), Some(Fragment::Possibly(af.clone())));
+        assert_eq!(classify(&patterns::never(af.clone())), Some(Fragment::Never(af.clone())));
+        assert_eq!(
+            classify(&patterns::inevitably(af.clone())),
+            Some(Fragment::Inevitably(af.clone()))
+        );
+        // Nested fixpoints and other shapes stay with the eager evaluator.
+        assert_eq!(classify(&patterns::always_possible(af.clone())), None);
+        assert_eq!(classify(&patterns::no_before(af.clone(), af)), None);
+        assert_eq!(classify(&Formula::True), None);
+    }
+
+    #[test]
+    fn classify_ignores_bound_variable_name() {
+        let f = parse_formula("nu Z. <true> true and [true] Z").expect("parses");
+        assert_eq!(classify(&f), Some(Fragment::DeadlockFree));
+    }
+
+    #[test]
+    fn fragment_verdicts_match_eager_evaluator() {
+        let lts = lts_from_triples(&[(0, "a", 1), (1, "win", 2), (2, "spin", 2)]);
+        let dead = lts_from_triples(&[(0, "a", 1)]);
+        let formulas = [
+            patterns::deadlock_free(),
+            patterns::possibly(ActionFormula::pattern("win")),
+            patterns::never(ActionFormula::pattern("win")),
+            patterns::inevitably(ActionFormula::pattern("win")),
+        ];
+        for lts in [&lts, &dead] {
+            for f in &formulas {
+                let eager = crate::eval::check(lts, f).expect("eager check").holds;
+                let otf = check_on_the_fly(lts, f, &ReachOptions::default())
+                    .expect("in fragment")
+                    .expect("not truncated");
+                assert_eq!(otf.holds, eager, "formula {f:?} on {lts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn counterexamples_are_traces() {
+        let lts = lts_from_triples(&[(0, "a", 1), (1, "ERROR", 2), (2, "spin", 2)]);
+        let r = check_on_the_fly(
+            &lts,
+            &patterns::never(ActionFormula::pattern("ERROR")),
+            &ReachOptions::default(),
+        )
+        .expect("in fragment")
+        .expect("not truncated");
+        assert!(!r.holds);
+        assert_eq!(r.trace, Some(vec!["a".to_owned(), "ERROR".to_owned()]));
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_verdict() {
+        // A long tail hides the deadlock beyond the cap.
+        let triples: Vec<(u32, String, u32)> =
+            (0..50u32).map(|i| (i, format!("s{i}"), i + 1)).collect();
+        let borrowed: Vec<(u32, &str, u32)> =
+            triples.iter().map(|(s, l, t)| (*s, l.as_str(), *t)).collect();
+        let lts = lts_from_triples(&borrowed);
+        let out =
+            check_on_the_fly(&lts, &patterns::deadlock_free(), &ReachOptions::with_max_states(5))
+                .expect("in fragment");
+        assert!(out.is_err(), "truncated search must not produce a verdict");
+    }
+}

@@ -14,7 +14,10 @@
 //!   ring/mesh/crossbar interconnects, the MPI software layer (eager and
 //!   rendezvous), and the ping-pong latency benchmark;
 //! * [`common`] — a generic explicit-state explorer for programmatic
-//!   models.
+//!   models;
+//! * [`rings`] — a parameterizable counter-ring system whose product
+//!   explodes geometrically while its single deadlock is one step deep,
+//!   used to demonstrate on-the-fly vs. eager exploration (E1).
 //!
 //! The models are *synthesized* — the industrial RTL is proprietary — but
 //! preserve the axes of variation the paper's results depend on (see
@@ -23,4 +26,5 @@
 pub mod common;
 pub mod fame2;
 pub mod faust;
+pub mod rings;
 pub mod xstream;

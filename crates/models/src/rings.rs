@@ -1,0 +1,92 @@
+//! A parameterizable "counter ring" demo system for the on-the-fly
+//! experiments: `n` independent cyclic counters that can jointly `HALT`
+//! from their start position into an absorbing stop state.
+//!
+//! The full product has `len^n (+1)` states — it explodes geometrically —
+//! while the one deadlock (everybody halted) sits a single step from the
+//! initial state. Eager composition must materialize the whole product;
+//! an on-the-fly deadlock search finds the halt immediately, which is the
+//! gap the E1 "materialized vs. visited" column quantifies.
+
+use multival_lts::ops::Sync;
+use multival_lts::{Lts, LtsBuilder};
+
+/// The gate on which all ring components synchronize to stop.
+pub const HALT_GATE: &str = "HALT";
+
+/// One cyclic counter of length `len` with private stepping labels
+/// (`STEP_<id> !<pos>`) and a joint `HALT` from its start position into an
+/// absorbing state.
+///
+/// # Panics
+///
+/// Panics if `len` is zero.
+pub fn ring_component(id: usize, len: usize) -> Lts {
+    assert!(len > 0, "ring length must be positive");
+    let mut b = LtsBuilder::new();
+    let states: Vec<_> = (0..len).map(|_| b.add_state()).collect();
+    let halted = b.add_state();
+    for (pos, &s) in states.iter().enumerate() {
+        b.add_transition(s, &format!("STEP_{id} !{pos}"), states[(pos + 1) % len]);
+    }
+    b.add_transition(states[0], HALT_GATE, halted);
+    b.build(states[0])
+}
+
+/// `n` ring components of length `len`, ready for `compose_all` or a
+/// `LazyProduct` under [`ring_sync`].
+pub fn ring_parts(n: usize, len: usize) -> Vec<Lts> {
+    (0..n).map(|id| ring_component(id, len)).collect()
+}
+
+/// The synchronization discipline for the ring system: joint `HALT`,
+/// everything else interleaved.
+pub fn ring_sync() -> Sync {
+    Sync::on([HALT_GATE])
+}
+
+/// The number of states of the *full* ring product: `len^n` free
+/// combinations plus the halted state.
+pub fn full_product_states(n: usize, len: usize) -> usize {
+    len.pow(n as u32) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multival_lts::ops::compose_all;
+    use multival_lts::reach::{deadlock_search, materialize, ReachOptions};
+    use multival_lts::ts::LazyProduct;
+
+    #[test]
+    fn eager_product_is_the_full_state_space() {
+        let parts = ring_parts(3, 8);
+        let refs: Vec<&Lts> = parts.iter().collect();
+        let product = compose_all(&refs, &ring_sync());
+        assert_eq!(product.num_states() as usize, full_product_states(3, 8));
+    }
+
+    #[test]
+    fn deadlock_is_one_step_away() {
+        let parts = ring_parts(3, 8);
+        let refs: Vec<&Lts> = parts.iter().collect();
+        let lazy = LazyProduct::new(&refs, &ring_sync());
+        let outcome = deadlock_search(&lazy, &ReachOptions::default());
+        assert_eq!(outcome.witness, Some(vec![HALT_GATE.to_owned()]));
+        assert!(
+            outcome.stats.visited < full_product_states(3, 8) / 10,
+            "search visited {} of {} product states",
+            outcome.stats.visited,
+            full_product_states(3, 8)
+        );
+    }
+
+    #[test]
+    fn lazy_and_eager_products_agree() {
+        let parts = ring_parts(2, 4);
+        let refs: Vec<&Lts> = parts.iter().collect();
+        let lazy = materialize(&LazyProduct::new(&refs, &ring_sync()));
+        let eager = compose_all(&refs, &ring_sync());
+        assert_eq!(multival_lts::io::write_aut(&lazy), multival_lts::io::write_aut(&eager));
+    }
+}

@@ -39,6 +39,7 @@ pub mod parser;
 pub mod semantics;
 pub mod spec;
 pub mod term;
+pub mod ts;
 pub mod value;
 
 pub use explorer::{
@@ -50,4 +51,5 @@ pub use parser::{parse_behaviour, parse_spec, ParseError};
 pub use semantics::{transitions, Label, SemError};
 pub use spec::{ProcDef, Spec};
 pub use term::{Action, Offer, SyncKind, Term};
+pub use ts::PaTs;
 pub use value::{sym, EnumDef, Sym, Type, Value};

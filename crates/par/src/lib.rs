@@ -140,8 +140,8 @@ impl<U> SendSlices<U> {
 /// well above typical worker counts keeps contention negligible.
 const SHARDS: usize = 64;
 
-/// A concurrent `key -> u32 id` interning map, striped over [`SHARDS`]
-/// mutex-guarded shards selected by key hash.
+/// A concurrent `key -> u32 id` interning map, striped over a fixed number
+/// of mutex-guarded shards selected by key hash.
 ///
 /// Ids come from a single atomic counter, so they are dense but their
 /// order depends on scheduling. Callers needing canonical numbering must
