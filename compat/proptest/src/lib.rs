@@ -10,8 +10,11 @@
 //!
 //! Differences from real proptest: generation is driven by a fixed
 //! deterministic RNG seeded from the test's name (so failures reproduce
-//! exactly across runs), and there is no shrinking — a failing case
-//! reports its inputs' case number rather than a minimized example.
+//! exactly across runs), and shrinking is a greedy deterministic descent
+//! over [`Strategy::shrink`] candidates rather than a binary-search value
+//! tree — a failing case reports both its case number and the minimized
+//! counterexample. Only `prop_assert!`-style failures shrink; a plain
+//! `panic!` inside the body propagates with the unshrunk inputs.
 
 use std::fmt;
 use std::ops::{Range, RangeInclusive};
@@ -131,6 +134,16 @@ pub trait Strategy {
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Proposes strictly-simpler candidates for a failing `value`, most
+    /// aggressive first (e.g. the range start before `value - 1`). The
+    /// shrink loop re-runs the test on each candidate and greedily descends
+    /// into the first one that still fails; returning an empty vector (the
+    /// default) ends the descent at `value`.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Transforms generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -192,6 +205,23 @@ where
 
 // --- numeric ranges --------------------------------------------------------
 
+/// Candidates below `value` pulling toward `start`: the start itself, the
+/// midpoint (halve), then the predecessor (retry) — most aggressive first.
+fn shrink_int(start: i128, value: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if value > start {
+        out.push(start);
+        let half = start + (value - start) / 2;
+        if half != start {
+            out.push(half);
+        }
+        if value - 1 != start && value - 1 != half {
+            out.push(value - 1);
+        }
+    }
+    out
+}
+
 macro_rules! impl_int_strategies {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -202,6 +232,13 @@ macro_rules! impl_int_strategies {
                 let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
                 (self.start as i128 + rng.below(span) as i128) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -211,6 +248,13 @@ macro_rules! impl_int_strategies {
                 assert!(start <= end, "empty range strategy");
                 let span = (end as u128).wrapping_sub(start as u128) as u64 + 1;
                 (start as i128 + rng.below(span) as i128) as $t
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
             }
         }
     )*};
@@ -225,17 +269,47 @@ impl Strategy for Range<f64> {
         assert!(self.start < self.end, "empty range strategy");
         self.start + rng.unit_f64() * (self.end - self.start)
     }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if *value > self.start {
+            out.push(self.start);
+            let half = self.start + (*value - self.start) / 2.0;
+            if half > self.start && half < *value {
+                out.push(half);
+            }
+        }
+        out
+    }
 }
 
 // --- tuples ----------------------------------------------------------------
 
 macro_rules! impl_tuple_strategy {
     ($($s:ident / $idx:tt),+) => {
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
 
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component at a time, leftmost first; the greedy
+                // descent in the test loop composes these into a
+                // coordinate-wise minimum.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
             }
         }
     };
@@ -261,6 +335,32 @@ impl Strategy for &str {
         let len = lo + rng.below((hi - lo + 1) as u64) as usize;
         (0..len).map(|_| chars[rng.below(chars.len() as u64) as usize]).collect()
     }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let Some((_, lo, _)) = parse_class_pattern(self) else { return Vec::new() };
+        let chars: Vec<char> = value.chars().collect();
+        shrink_prefix_lens(lo, chars.len())
+            .into_iter()
+            .map(|len| chars[..len].iter().collect())
+            .collect()
+    }
+}
+
+/// Shorter prefix lengths respecting the minimum `lo`: the minimum itself,
+/// the halved length, then one-shorter — most aggressive first.
+fn shrink_prefix_lens(lo: usize, len: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    if len > lo {
+        out.push(lo);
+        let half = lo + (len - lo) / 2;
+        if half != lo {
+            out.push(half);
+        }
+        if len - 1 != lo && len - 1 != half {
+            out.push(len - 1);
+        }
+    }
+    out
 }
 
 /// Parses `[class]{lo,hi}`, `[class]{n}`, or a bare `[class]` (one char).
@@ -373,11 +473,19 @@ pub mod prop {
             Select { items }
         }
 
-        impl<T: Clone> Strategy for Select<T> {
+        impl<T: Clone + PartialEq> Strategy for Select<T> {
             type Value = T;
 
             fn generate(&self, rng: &mut TestRng) -> T {
                 self.items[rng.below(self.items.len() as u64) as usize].clone()
+            }
+
+            fn shrink(&self, value: &T) -> Vec<T> {
+                // Earlier items count as simpler; index 0 is the simplest.
+                match self.items.iter().position(|item| item == value) {
+                    Some(pos) => self.items[..pos].to_vec(),
+                    None => Vec::new(),
+                }
             }
         }
     }
@@ -427,7 +535,10 @@ pub mod prop {
             VecStrategy { element, size: size.into() }
         }
 
-        impl<S: Strategy> Strategy for VecStrategy<S> {
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: Clone,
+        {
             type Value = Vec<S::Value>;
 
             fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
@@ -435,6 +546,74 @@ pub mod prop {
                 let len = self.size.lo + rng.below(span) as usize;
                 (0..len).map(|_| self.element.generate(rng)).collect()
             }
+
+            fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+                // Prefixes first (shorter is simpler), then per-element
+                // candidates at the surviving length.
+                let mut out: Vec<Vec<S::Value>> =
+                    crate::shrink_prefix_lens(self.size.lo, value.len())
+                        .into_iter()
+                        .map(|len| value[..len].to_vec())
+                        .collect();
+                for (i, item) in value.iter().enumerate() {
+                    for cand in self.element.shrink(item) {
+                        let mut v = value.clone();
+                        v[i] = cand;
+                        out.push(v);
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test runner
+// ---------------------------------------------------------------------------
+
+/// Drives one property test: `cases` generated inputs, and on failure a
+/// greedy deterministic descent over [`Strategy::shrink`] candidates before
+/// panicking with the minimized counterexample. Called by [`proptest!`];
+/// not part of the public proptest API.
+#[doc(hidden)]
+pub fn run_proptest<S: Strategy>(
+    name: &str,
+    config: &ProptestConfig,
+    strat: &S,
+    run: impl Fn(&S::Value) -> Result<(), TestCaseError>,
+) where
+    S::Value: Clone + fmt::Debug,
+{
+    let mut rng = TestRng::from_name(name);
+    for case in 0..config.cases {
+        let mut vals = strat.generate(&mut rng);
+        if let Err(mut err) = run(&vals) {
+            // Take the first shrink candidate that still fails, restart
+            // from it, and stop when no candidate fails or the step
+            // budget runs out. No RNG involved: the descent is replayable.
+            let mut steps = 0usize;
+            'descend: while steps < 1000 {
+                for cand in strat.shrink(&vals) {
+                    steps += 1;
+                    match run(&cand) {
+                        Err(e) => {
+                            vals = cand;
+                            err = e;
+                            continue 'descend;
+                        }
+                        Ok(()) if steps >= 1000 => break 'descend,
+                        Ok(()) => {}
+                    }
+                }
+                break;
+            }
+            panic!(
+                "proptest case {}/{} of `{name}` failed: {err}\n\
+                 minimal failing input (after {steps} shrink steps): {vals:#?}",
+                case + 1,
+                config.cases,
+            );
         }
     }
 }
@@ -475,20 +654,15 @@ macro_rules! __proptest_body {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $config;
-                let mut rng = $crate::TestRng::from_name(stringify!($name));
-                for case in 0..config.cases {
-                    $( let $pat = $crate::Strategy::generate(&($strat), &mut rng); )+
-                    let run = || -> ::std::result::Result<(), $crate::TestCaseError> {
-                        $body
-                        Ok(())
-                    };
-                    if let Err(err) = run() {
-                        panic!(
-                            "proptest case {}/{} of `{}` failed: {}",
-                            case + 1, config.cases, stringify!($name), err
-                        );
-                    }
-                }
+                // All bindings form one tuple strategy; the tuple generates
+                // its components left to right, so the random stream is the
+                // same as generating each binding in declaration order.
+                let strat = ($(($strat),)+);
+                $crate::run_proptest(stringify!($name), &config, &strat, |vals| {
+                    let ($($pat,)+) = ::std::clone::Clone::clone(vals);
+                    $body
+                    Ok(())
+                });
             }
         )*
     };
@@ -598,6 +772,54 @@ mod tests {
         assert_ne!(a.next_u64(), c.next_u64());
     }
 
+    #[test]
+    fn int_shrink_candidates_descend() {
+        let s = 0u32..100;
+        assert_eq!(Strategy::shrink(&s, &40), vec![0, 20, 39]);
+        assert_eq!(Strategy::shrink(&s, &1), vec![0]);
+        assert!(Strategy::shrink(&s, &0).is_empty());
+        // Signed ranges pull toward the start, not toward zero.
+        assert_eq!(Strategy::shrink(&(-8i32..=8), &0), vec![-8, -4, -1]);
+    }
+
+    #[test]
+    fn vec_shrink_prefers_prefixes() {
+        let s = prop::collection::vec(0u8..10, 0..8);
+        let c = Strategy::shrink(&s, &vec![5, 7, 9]);
+        assert_eq!(c[0], Vec::<u8>::new());
+        assert_eq!(c[1], vec![5]);
+        assert_eq!(c[2], vec![5, 7]);
+        // Element-wise candidates follow the prefixes.
+        assert!(c.contains(&vec![0, 7, 9]), "{c:?}");
+        // The length floor is respected.
+        let s = prop::collection::vec(0u8..10, 2..8);
+        assert!(Strategy::shrink(&s, &vec![5, 7, 9]).iter().all(|v| v.len() >= 2));
+    }
+
+    #[test]
+    fn select_and_string_shrink() {
+        let s = prop::sample::select(vec!["a", "b", "c"]);
+        assert_eq!(Strategy::shrink(&s, &"c"), vec!["a", "b"]);
+        assert!(Strategy::shrink(&s, &"a").is_empty());
+
+        let s = "[a-z]{2,6}";
+        let c = Strategy::shrink(&s, &"qwxyz".to_owned());
+        assert_eq!(c, vec!["qw".to_owned(), "qwx".to_owned(), "qwxy".to_owned()]);
+    }
+
+    #[test]
+    fn greedy_descent_reaches_boundary() {
+        // The smallest x in 0..1000 with x >= 10 is exactly 10: the
+        // halve/decrement candidates must land on it, not overshoot.
+        let s = 0u32..1000;
+        let fails = |x: &u32| *x >= 10;
+        let mut v = 977u32;
+        while let Some(c) = Strategy::shrink(&s, &v).into_iter().find(fails) {
+            v = c;
+        }
+        assert_eq!(v, 10);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -607,6 +829,14 @@ mod tests {
             prop_assert!(x < 100, "x out of bounds: {x}");
             prop_assert_eq!(v.len(), v.iter().len());
             prop_assert_eq!(x, x, "reflexivity for {}", x);
+        }
+
+        /// A failing property panics with the minimized counterexample,
+        /// not just whatever case tripped first.
+        #[test]
+        #[should_panic(expected = "minimal failing input")]
+        fn macro_reports_minimized_case(x in 0u32..1000) {
+            prop_assert!(x < 10, "too big: {x}");
         }
     }
 }

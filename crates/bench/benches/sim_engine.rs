@@ -1,0 +1,63 @@
+//! Statistical-engine timing: CSR vs dense transient kernels, and
+//! Monte-Carlo occupancy per thread count on a birth–death chain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multival::ctmc::dense::transient_dense;
+use multival::ctmc::transient::transient;
+use multival::ctmc::{Ctmc, CtmcBuilder, McOptions, McSim, TransientOptions, Workers};
+
+fn birth_death(n: usize) -> Ctmc {
+    let mut b = CtmcBuilder::new(n);
+    for i in 0..n {
+        if i + 1 < n {
+            b.rate(i, i + 1, 3.0).expect("rate");
+        }
+        if i > 0 {
+            b.rate(i, i - 1, 2.0).expect("rate");
+        }
+    }
+    b.build().expect("chain")
+}
+
+fn bench_transient_kernels(c: &mut Criterion) {
+    let opts = TransientOptions::default();
+    let mut group = c.benchmark_group("transient_kernel");
+    for n in [128usize, 512] {
+        let chain = birth_death(n);
+        group.bench_with_input(BenchmarkId::new("csr", n), &chain, |b, chain| {
+            b.iter(|| transient(chain, 1.0, &opts).expect("csr")[0])
+        });
+        group.bench_with_input(BenchmarkId::new("dense", n), &chain, |b, chain| {
+            b.iter(|| transient_dense(chain, 1.0, &opts).expect("dense")[0])
+        });
+    }
+    group.finish();
+}
+
+fn bench_mc_threads(c: &mut Criterion) {
+    let sim = McSim::new(&birth_death(64));
+    let mut group = c.benchmark_group("mc_occupancy");
+    for threads in [1usize, 4] {
+        // Width rule off: every run burns the full trajectory budget, so
+        // thread counts are compared on identical work.
+        let opts = McOptions {
+            seed: 7,
+            workers: Workers::new(threads),
+            max_trajectories: 2048,
+            rel_width: 0.0,
+            abs_width: 0.0,
+            ..McOptions::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &opts, |b, opts| {
+            b.iter(|| sim.occupancy(50.0, opts).trajectories)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_transient_kernels, bench_mc_threads
+}
+criterion_main!(benches);

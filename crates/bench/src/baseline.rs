@@ -7,6 +7,9 @@
 //! number is either an integer or a `{:.3}`-formatted millisecond float,
 //! so the output is stable enough to diff across commits.
 
+use multival::ctmc::dense::transient_dense;
+use multival::ctmc::transient::transient;
+use multival::ctmc::{Ctmc, CtmcBuilder, McOptions, McSim, TransientOptions, Workers};
 use multival::imc::compositional::{compose_minimize, peak_states, Component, PipelineOptions};
 use multival::imc::ImcBuilder;
 use multival::lts::ops::compose_all;
@@ -61,6 +64,21 @@ fn timed<T>(mut f: impl FnMut() -> T) -> (T, Duration) {
 
 fn ms(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// A birth–death chain with `n` states: two transitions per row, so the
+/// uniformization step is the sparse regime where CSR beats a dense matrix.
+fn birth_death(n: usize) -> Ctmc {
+    let mut b = CtmcBuilder::new(n);
+    for i in 0..n {
+        if i + 1 < n {
+            b.rate(i, i + 1, 3.0).expect("rate");
+        }
+        if i > 0 {
+            b.rate(i, i - 1, 2.0).expect("rate");
+        }
+    }
+    b.build().expect("chain")
 }
 
 /// The E9 server-farm workload (same shape as the `lumping` bench).
@@ -154,6 +172,60 @@ pub fn bench_baseline() -> Result<String, Box<dyn Error>> {
     }
     out.push_str("  ],\n");
 
+    // Sparse kernels: the dense n×n uniformization reference vs the CSR
+    // path on birth–death chains (2 transitions per row).
+    out.push_str("  \"kernels_transient\": [\n");
+    let chain_sizes = [128usize, 512, 2048];
+    let t_opts = TransientOptions::default();
+    for (i, &n) in chain_sizes.iter().enumerate() {
+        let chain = birth_death(n);
+        let (dense, wall_dense) =
+            timed(|| transient_dense(&chain, 1.0, &t_opts).expect("dense transient"));
+        let (csr, wall_csr) = timed(|| transient(&chain, 1.0, &t_opts).expect("csr transient"));
+        let max_diff = dense.iter().zip(&csr).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+        let _ = write!(
+            out,
+            "    {{\"states\": {n}, \"wall_ms_dense\": {}, \"wall_ms_csr\": {}, \
+             \"max_abs_diff\": {max_diff:.3e}}}",
+            ms(wall_dense),
+            ms(wall_csr)
+        );
+        out.push_str(if i + 1 < chain_sizes.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+
+    // Monte-Carlo thread scaling: occupancy estimation with the width
+    // stopping rule disabled, so both runs sample the full trajectory
+    // budget and the walls are comparable. The estimates must come out
+    // bit-identical — that equality is the determinism acceptance gate.
+    let sim = McSim::new(&birth_death(64));
+    let sim_opts = |threads: usize| McOptions {
+        seed: 7,
+        workers: Workers::new(threads),
+        max_trajectories: 4096,
+        rel_width: 0.0,
+        abs_width: 0.0,
+        ..McOptions::default()
+    };
+    let (run_t1, sim_wall_t1) = timed(|| sim.occupancy(50.0, &sim_opts(1)));
+    let (run_t4, sim_wall_t4) = timed(|| sim.occupancy(50.0, &sim_opts(4)));
+    let estimates_equal = run_t1
+        .estimates
+        .iter()
+        .zip(&run_t4.estimates)
+        .all(|(a, b)| a.mean.to_bits() == b.mean.to_bits());
+    let _ = writeln!(
+        out,
+        "  \"mc_simulation_threads\": {{\"model\": \"birth_death_64\", \
+         \"trajectories\": {}, \"hardware_threads\": {hw}, \
+         \"wall_ms_t1\": {}, \"wall_ms_t4\": {}, \"speedup_t4\": {:.2}, \
+         \"estimates_equal\": {estimates_equal}}},",
+        run_t1.trajectories,
+        ms(sim_wall_t1),
+        ms(sim_wall_t4),
+        sim_wall_t1.as_secs_f64() / sim_wall_t4.as_secs_f64().max(1e-9)
+    );
+
     // E9: compositional IMC generation with lumping.
     out.push_str("  \"e9_farm\": [\n");
     let sizes = [4usize, 6, 8];
@@ -186,11 +258,21 @@ mod tests {
         // the acceptance gate and CI consumers look for.
         assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
         assert_eq!(json.matches('[').count(), json.matches(']').count(), "{json}");
-        for key in
-            ["e1_three_queues", "e1_largest_threads", "speedup_t4", "e1_on_the_fly", "e9_farm"]
-        {
+        for key in [
+            "e1_three_queues",
+            "e1_largest_threads",
+            "speedup_t4",
+            "e1_on_the_fly",
+            "kernels_transient",
+            "mc_simulation_threads",
+            "e9_farm",
+        ] {
             assert!(json.contains(key), "missing {key}:\n{json}");
         }
+        // CSR and dense kernels run the same truncation, so they agree far
+        // below solver tolerance, and the threaded simulation must be
+        // bit-deterministic.
+        assert!(json.contains("\"estimates_equal\": true"), "{json}");
         // Three queues of capacity 8 interleaved: 9^3 = 729 states; the
         // five-queue thread-scaling instance has 9^5 = 59049.
         assert!(json.contains("\"cap\": 8, \"states\": 729"), "{json}");

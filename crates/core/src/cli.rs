@@ -4,7 +4,8 @@
 //! The logic lives here (testable); `src/bin/multival.rs` is a thin wrapper.
 
 use crate::flow::Flow;
-use crate::report::{fmt_f, FlyStats, ParStats, Table};
+use crate::report::{fmt_f, FlyStats, ParStats, SimStats, Table};
+use multival_ctmc::McOptions;
 use multival_imc::to_ctmc::NondetPolicy;
 use multival_lts::equiv::{
     compare_determinized, determinize_ts, equivalent, weak_trace_equivalent, Determinized, Verdict,
@@ -14,6 +15,7 @@ use multival_lts::minimize::{minimize, Equivalence};
 use multival_lts::reach::ReachOptions;
 use multival_lts::Lts;
 use multival_pa::{explore, explore_partial, parse_spec, ExploreOptions};
+use multival_par::Workers;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt::Write as _;
@@ -77,6 +79,32 @@ pub enum Command {
         /// Throughput probes.
         probes: Vec<String>,
     },
+    /// `simulate <model.lot|lts.aut> --rate GATE=λ ... [--probe GATE ...]
+    /// [--horizon T] [--time T] [--trajectories N] [--seed S] [--threads N]
+    /// [--rel-width W] [--confidence C]` — Monte-Carlo estimation
+    /// cross-checked against the numerical solvers.
+    Simulate {
+        /// Input model or LTS path.
+        input: String,
+        /// Gate → exponential rate.
+        rates: Vec<(String, f64)>,
+        /// Throughput probes.
+        probes: Vec<String>,
+        /// Occupancy horizon per trajectory.
+        horizon: f64,
+        /// Optional transient comparison time.
+        time: Option<f64>,
+        /// Trajectory cap.
+        trajectories: usize,
+        /// Base seed of the deterministic per-trajectory streams.
+        seed: u64,
+        /// Worker threads (1 = sequential, 0 = one per hardware thread).
+        threads: usize,
+        /// Relative CI half-width stopping target.
+        rel_width: f64,
+        /// Confidence level of the intervals.
+        confidence: f64,
+    },
     /// `walk <model.lot> [--steps N] [--seed S]` — random execution trace.
     Walk {
         /// Input model path.
@@ -127,6 +155,9 @@ USAGE:
   multival minimize <model.lot|lts.aut> [--eq strong|branching] [--aut OUT]
   multival compare  <A> <B> [--eq strong|branching|traces] [--on-the-fly]
   multival solve    <model.lot> --rate GATE=RATE ... [--probe GATE ...]
+  multival simulate <model.lot|lts.aut> --rate GATE=RATE ... [--probe GATE ...]
+                    [--horizon T] [--time T] [--trajectories N] [--seed S]
+                    [--threads N] [--rel-width W] [--confidence C]
   multival walk     <model.lot> [--steps N] [--seed S]
   multival refines  <IMP> <SPEC> [--weak]
   multival lint     <model.lot>
@@ -139,6 +170,11 @@ full LTS first: explore reports visited states, check decides the
 safety/possibility/inevitability fragment by a short-circuiting search (other
 formulas fall back to the eager evaluator), and compare --eq traces
 determinizes straight from the term graphs.
+
+simulate runs the statistical engine: batched Monte-Carlo trajectories with
+Welford statistics and CI-width stopping, reported next to the numerical
+steady-state (and, with --time, transient) answers. Estimates depend only on
+--seed, never on --threads.
 ";
 
 /// Parses argv (without the program name).
@@ -325,6 +361,89 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 return Err("solve needs at least one --rate GATE=RATE".to_owned());
             }
             Ok(Command::Solve { input: input.ok_or("solve needs a model path")?, rates, probes })
+        }
+        Some("simulate") => {
+            let mut input = None;
+            let mut rates = Vec::new();
+            let mut probes = Vec::new();
+            let mut horizon = 100.0f64;
+            let mut time = None;
+            let mut trajectories = 20_000usize;
+            let mut seed = 42u64;
+            let mut threads = 1usize;
+            let mut rel_width = 0.05f64;
+            let mut confidence = 0.99f64;
+            while let Some(a) = it.next() {
+                match a {
+                    "--rate" => {
+                        let spec = next_value(&mut it, "--rate")?;
+                        let (gate, rate) = spec
+                            .split_once('=')
+                            .ok_or_else(|| format!("--rate `{spec}` must be GATE=RATE"))?;
+                        let rate: f64 =
+                            rate.parse().map_err(|_| format!("invalid rate in `{spec}`"))?;
+                        rates.push((gate.to_owned(), rate));
+                    }
+                    "--probe" => probes.push(next_value(&mut it, "--probe")?),
+                    "--horizon" => {
+                        horizon = next_value(&mut it, "--horizon")?
+                            .parse()
+                            .map_err(|_| "--horizon needs a number".to_owned())?
+                    }
+                    "--time" => {
+                        time = Some(
+                            next_value(&mut it, "--time")?
+                                .parse()
+                                .map_err(|_| "--time needs a number".to_owned())?,
+                        )
+                    }
+                    "--trajectories" => {
+                        trajectories = next_value(&mut it, "--trajectories")?
+                            .parse()
+                            .map_err(|_| "--trajectories needs an integer".to_owned())?
+                    }
+                    "--seed" => {
+                        seed = next_value(&mut it, "--seed")?
+                            .parse()
+                            .map_err(|_| "--seed needs an integer".to_owned())?
+                    }
+                    "--threads" => {
+                        threads = next_value(&mut it, "--threads")?
+                            .parse()
+                            .map_err(|_| "--threads needs an integer".to_owned())?
+                    }
+                    "--rel-width" => {
+                        rel_width = next_value(&mut it, "--rel-width")?
+                            .parse()
+                            .map_err(|_| "--rel-width needs a number".to_owned())?
+                    }
+                    "--confidence" => {
+                        confidence = next_value(&mut it, "--confidence")?
+                            .parse()
+                            .map_err(|_| "--confidence needs a number".to_owned())?
+                    }
+                    other if input.is_none() => input = Some(other.to_owned()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            if rates.is_empty() {
+                return Err("simulate needs at least one --rate GATE=RATE".to_owned());
+            }
+            if !(confidence > 0.0 && confidence < 1.0) {
+                return Err("--confidence must lie in (0, 1)".to_owned());
+            }
+            Ok(Command::Simulate {
+                input: input.ok_or("simulate needs a model path")?,
+                rates,
+                probes,
+                horizon,
+                time,
+                trajectories,
+                seed,
+                threads,
+                rel_width,
+                confidence,
+            })
         }
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -625,7 +744,77 @@ pub fn execute(cmd: &Command) -> Result<String, Box<dyn Error>> {
             }
             Ok(out)
         }
+        Command::Simulate {
+            input,
+            rates,
+            probes,
+            horizon,
+            time,
+            trajectories,
+            seed,
+            threads,
+            rel_width,
+            confidence,
+        } => {
+            let flow = Flow::from_lts(load(input, 1_000_000)?);
+            let rate_map: HashMap<String, f64> = rates.iter().cloned().collect();
+            let probe_refs: Vec<&str> = probes.iter().map(String::as_str).collect();
+            let solved = flow.with_rates(&rate_map).solve(NondetPolicy::Uniform, &probe_refs)?;
+            let workers = if *threads == 0 { Workers::auto() } else { Workers::new(*threads) };
+            let opts = McOptions {
+                seed: *seed,
+                workers,
+                max_trajectories: *trajectories,
+                rel_width: *rel_width,
+                confidence: *confidence,
+                ..McOptions::default()
+            };
+            let mut out = String::new();
+            let _ = writeln!(out, "ctmc states: {}", solved.ctmc().num_states());
+
+            let pi = solved.steady_state()?;
+            let run = solved.simulate_occupancy(*horizon, &opts);
+            let _ = writeln!(out, "occupancy vs steady state (horizon {horizon}):");
+            out.push_str(&comparison_table(&pi, &run, opts.abs_width));
+            out.push_str(&SimStats::from(&run).render());
+
+            if let Some(t) = time {
+                let exact = solved.transient(*t)?;
+                let run_t = solved.simulate_transient(*t, &opts);
+                let _ = writeln!(out, "transient vs uniformization (t = {t}):");
+                out.push_str(&comparison_table(&exact, &run_t, opts.abs_width));
+                out.push_str(&SimStats::from(&run_t).render());
+            }
+            Ok(out)
+        }
     }
+}
+
+/// Renders a numerical-vs-simulated comparison with a per-state CI verdict
+/// and a closing agreement line. `slack` widens the interval by a small
+/// absolute margin (finite-horizon bias of occupancy estimates).
+fn comparison_table(exact: &[f64], run: &multival_ctmc::McRun, slack: f64) -> String {
+    let mut t = Table::new(&["state", "numerical", "simulated", "half-width", "inside CI"]);
+    let mut agree = 0usize;
+    for (s, (&want, e)) in exact.iter().zip(&run.estimates).enumerate() {
+        let inside = (e.mean - want).abs() <= e.half_width + slack;
+        agree += usize::from(inside);
+        if s < 20 {
+            t.row_owned(vec![
+                s.to_string(),
+                format!("{want:.6}"),
+                format!("{:.6}", e.mean),
+                format!("{:.6}", e.half_width),
+                if inside { "yes".into() } else { "NO".into() },
+            ]);
+        }
+    }
+    let mut out = t.render();
+    if exact.len() > 20 {
+        let _ = writeln!(out, "... ({} states total)", exact.len());
+    }
+    let _ = writeln!(out, "agreement: {agree}/{} estimates inside their CI", exact.len());
+    out
 }
 
 #[cfg(test)]
@@ -783,6 +972,116 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_simulate() {
+        let cmd = parse_args(&args(&[
+            "simulate",
+            "m.lot",
+            "--rate",
+            "put=2.5",
+            "--horizon",
+            "50",
+            "--time",
+            "3",
+            "--trajectories",
+            "1000",
+            "--seed",
+            "7",
+            "--threads",
+            "4",
+            "--rel-width",
+            "0.1",
+            "--confidence",
+            "0.95",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Simulate {
+                input,
+                rates,
+                horizon,
+                time,
+                trajectories,
+                seed,
+                threads,
+                rel_width,
+                confidence,
+                ..
+            } => {
+                assert_eq!(input, "m.lot");
+                assert_eq!(rates, vec![("put".to_owned(), 2.5)]);
+                assert_eq!(horizon, 50.0);
+                assert_eq!(time, Some(3.0));
+                assert_eq!(trajectories, 1000);
+                assert_eq!(seed, 7);
+                assert_eq!(threads, 4);
+                assert_eq!(rel_width, 0.1);
+                assert_eq!(confidence, 0.95);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A rate is required, and confidence must lie strictly inside (0, 1).
+        assert!(parse_args(&args(&["simulate", "m.lot"])).is_err());
+        assert!(parse_args(&args(&["simulate", "m.lot", "--rate", "a=1", "--confidence", "1.0"]))
+            .is_err());
+    }
+
+    #[test]
+    fn simulate_executes_and_is_thread_invariant() {
+        let dir = std::env::temp_dir().join("multival-cli-test5");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let model = dir.join("sim.lot");
+        std::fs::write(
+            &model,
+            "process Buf[put, get](full: bool) :=
+                 [not full] -> put; Buf[put, get](true)
+              [] [full] -> get; Buf[put, get](false)
+             endproc
+             behaviour Buf[put, get](false)",
+        )
+        .expect("write");
+        let model = model.to_string_lossy().into_owned();
+
+        let run = |threads: usize| {
+            execute(&Command::Simulate {
+                input: model.clone(),
+                rates: vec![("put".to_owned(), 2.0), ("get".to_owned(), 3.0)],
+                probes: Vec::new(),
+                horizon: 80.0,
+                time: Some(1.5),
+                trajectories: 2048,
+                seed: 11,
+                threads,
+                rel_width: 0.05,
+                confidence: 0.99,
+            })
+            .expect("simulate")
+        };
+        let out = run(1);
+        assert!(out.contains("ctmc states: 2"), "{out}");
+        assert!(out.contains("occupancy vs steady state"), "{out}");
+        assert!(out.contains("transient vs uniformization"), "{out}");
+        // Every estimate must agree with the numerical answer.
+        assert!(out.contains("agreement: 2/2"), "{out}");
+        assert!(!out.contains("NO"), "{out}");
+
+        // Estimates depend on the seed only: threads=4 gives bit-identical
+        // output once the timing lines are stripped.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| {
+                    !l.contains("wall-clock")
+                        && !l.contains("trajectories/sec")
+                        && !l.contains("threads")
+                        // Separator width tracks the widest (timed) cell.
+                        && !l.chars().all(|c| c == '-')
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&out), strip(&run(4)));
     }
 
     #[test]

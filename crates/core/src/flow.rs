@@ -12,6 +12,7 @@
 
 use multival_ctmc::absorb::mean_time_to_target;
 use multival_ctmc::steady::{steady_state, SolveOptions};
+use multival_ctmc::{McOptions, McRun, McSim};
 use multival_imc::decorate::{decorate, decorate_by_label};
 use multival_imc::phase_type::Delay;
 use multival_imc::to_ctmc::{probe_throughputs, to_ctmc, CtmcConversion, NondetPolicy};
@@ -395,6 +396,55 @@ impl Solved {
             .filter_map(|&s| self.conv.state_map.get(s as usize).copied().flatten())
             .collect();
         Ok(mean_time_to_target(&self.conv.ctmc, &targets, &SolveOptions::default())?)
+    }
+
+    /// Transient (time `t`) distribution — the numerical counterpart of
+    /// [`Self::simulate_transient`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn transient(&self, t: f64) -> Result<Vec<f64>, FlowError> {
+        Ok(multival_ctmc::transient::transient(
+            &self.conv.ctmc,
+            t,
+            &multival_ctmc::TransientOptions::default(),
+        )?)
+    }
+
+    /// A Monte-Carlo evaluator over the solved chain (CSR view built once;
+    /// reuse it across measures).
+    pub fn simulator(&self) -> McSim {
+        McSim::new(&self.conv.ctmc)
+    }
+
+    /// Statistical estimate of the per-state long-run occupancy: fraction
+    /// of `[0, horizon]` each trajectory spends per state. Cross-validates
+    /// [`Self::steady_state`] on ergodic chains.
+    pub fn simulate_occupancy(&self, horizon: f64, opts: &McOptions) -> McRun {
+        self.simulator().occupancy(horizon, opts)
+    }
+
+    /// Statistical estimate of the transient distribution at time `t`.
+    /// Cross-validates [`Self::transient`].
+    pub fn simulate_transient(&self, t: f64, opts: &McOptions) -> McRun {
+        self.simulator().transient(t, opts)
+    }
+
+    /// Statistical estimate of the mean time to reach the given functional
+    /// states (trajectories truncated at `time_cap`). Cross-validates
+    /// [`Self::mean_time_to_states`].
+    pub fn simulate_time_to_states(
+        &self,
+        functional: &[u32],
+        time_cap: f64,
+        opts: &McOptions,
+    ) -> McRun {
+        let targets: Vec<usize> = functional
+            .iter()
+            .filter_map(|&s| self.conv.state_map.get(s as usize).copied().flatten())
+            .collect();
+        self.simulator().hitting_time(&targets, time_cap, opts)
     }
 }
 

@@ -184,6 +184,69 @@ impl FlyStats {
     }
 }
 
+/// Report for a Monte-Carlo simulation run.
+///
+/// Rendered by the `multival simulate` path and the `Flow` simulation entry
+/// points.
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct SimStats {
+    /// Trajectories sampled.
+    pub trajectories: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Confidence level of the intervals (e.g. `0.99`).
+    pub confidence: f64,
+    /// Largest confidence-interval half-width over all estimates.
+    pub max_half_width: f64,
+    /// Whether the width stopping rule was met before the trajectory cap.
+    pub converged: bool,
+    /// Wall-clock time of the run.
+    pub wall: Duration,
+}
+
+impl From<&multival_ctmc::McRun> for SimStats {
+    fn from(run: &multival_ctmc::McRun) -> SimStats {
+        SimStats {
+            trajectories: run.trajectories,
+            threads: run.threads,
+            confidence: run.confidence,
+            max_half_width: run.max_half_width(),
+            converged: run.converged,
+            wall: run.wall,
+        }
+    }
+}
+
+impl SimStats {
+    /// Trajectories sampled per second of wall-clock time.
+    pub fn trajectories_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.trajectories as f64 / secs
+        }
+    }
+
+    /// Renders the report as an aligned two-column table, with a warning
+    /// line when the trajectory cap stopped the run before convergence.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&["simulation", "value"]);
+        t.row_owned(vec!["trajectories".into(), self.trajectories.to_string()]);
+        t.row_owned(vec!["threads".into(), self.threads.to_string()]);
+        t.row_owned(vec!["confidence".into(), format!("{:.1}%", self.confidence * 100.0)]);
+        t.row_owned(vec!["max CI half-width".into(), format!("{:.6}", self.max_half_width)]);
+        t.row_owned(vec!["wall-clock".into(), format!("{:.1} ms", self.wall.as_secs_f64() * 1e3)]);
+        t.row_owned(vec!["trajectories/sec".into(), fmt_f(self.trajectories_per_sec())]);
+        let mut out = t.render();
+        if !self.converged {
+            out.push_str("warning: trajectory cap hit before the requested CI width\n");
+        }
+        out
+    }
+}
+
 /// Formats a float with 4 significant decimals, trimming noise.
 pub fn fmt_f(x: f64) -> String {
     if x == f64::INFINITY {
@@ -247,6 +310,25 @@ mod tests {
         assert!(!text.contains("warning"), "{text}");
         let cut = FlyStats { truncated: true, ..stats };
         assert!(cut.render().contains("state cap hit"), "{}", cut.render());
+    }
+
+    #[test]
+    fn sim_stats_report() {
+        let stats = SimStats {
+            trajectories: 4096,
+            threads: 4,
+            confidence: 0.99,
+            max_half_width: 0.0123,
+            converged: true,
+            wall: Duration::from_millis(12),
+        };
+        let text = stats.render();
+        assert!(text.contains("4096"), "{text}");
+        assert!(text.contains("99.0%"), "{text}");
+        assert!(text.contains("0.012300"), "{text}");
+        assert!(!text.contains("warning"), "{text}");
+        let capped = SimStats { converged: false, ..stats };
+        assert!(capped.render().contains("trajectory cap hit"), "{}", capped.render());
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Dense reference solvers.
+//!
+//! These run the same uniformization/power-iteration algorithms as the CSR
+//! production paths ([`crate::steady`], [`crate::transient`]) but through a
+//! naive dense `n × n` matrix kernel. They exist as oracles: the metamorphic
+//! property suite checks that the CSR and dense answers agree to 1e-9, and
+//! the bench harness reports the dense-vs-CSR wall-time ratio. O(n²) per
+//! step — keep `n` small.
+
+use crate::ctmc::{Ctmc, CtmcError};
+use crate::steady::SolveOptions;
+use crate::transient::{uniformize_with, TransientOptions};
+
+/// The dense uniformized jump matrix `P = I + Q/Λ` (row-major, `n × n`)
+/// and the uniformization rate `Λ = 1.02 · max exit rate`.
+#[must_use]
+pub fn uniformized_matrix(ctmc: &Ctmc) -> (Vec<f64>, f64) {
+    let n = ctmc.num_states();
+    let lambda = ctmc.max_exit_rate() * 1.02;
+    let mut p = vec![0.0; n * n];
+    for s in 0..n {
+        let mut exit = 0.0;
+        for t in ctmc.transitions_from(s) {
+            p[s * n + t.target] += t.rate / lambda;
+            exit += t.rate;
+        }
+        p[s * n + s] += 1.0 - exit / lambda;
+    }
+    (p, lambda)
+}
+
+/// Dense vector-matrix product `out = v · P`.
+fn dense_step(n: usize, p: &[f64], v: &[f64], out: &mut [f64]) {
+    out.fill(0.0);
+    for s in 0..n {
+        let mass = v[s];
+        if mass == 0.0 {
+            continue;
+        }
+        let row = &p[s * n..(s + 1) * n];
+        for (o, &q) in out.iter_mut().zip(row) {
+            *o += mass * q;
+        }
+    }
+}
+
+/// Transient distribution at time `t` via uniformization with the dense
+/// kernel — the reference against which [`crate::transient::transient`]
+/// (CSR) is cross-validated.
+///
+/// # Errors
+///
+/// As [`crate::transient::transient`].
+pub fn transient_dense(
+    ctmc: &Ctmc,
+    t: f64,
+    options: &TransientOptions,
+) -> Result<Vec<f64>, CtmcError> {
+    let n = ctmc.num_states();
+    let (p, _) = uniformized_matrix(ctmc);
+    uniformize_with(ctmc.initial_dense(), ctmc.max_exit_rate(), t, options, |v, out| {
+        dense_step(n, &p, v, out);
+    })
+}
+
+/// Long-run distribution via dense power iteration of `P = I + Q/Λ` from
+/// the initial distribution. The slack in Λ makes the chain aperiodic, so
+/// `π₀ Pᵏ` converges to the limiting distribution — for reducible chains
+/// this is the same BSCC mixture [`crate::steady::steady_state`] computes,
+/// though convergence degrades with slow absorption; its role here is as a
+/// small-chain oracle.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::NoConvergence`] when the iteration cap is exceeded.
+pub fn steady_state_dense(ctmc: &Ctmc, options: &SolveOptions) -> Result<Vec<f64>, CtmcError> {
+    let n = ctmc.num_states();
+    if ctmc.max_exit_rate() == 0.0 {
+        return Ok(ctmc.initial_dense());
+    }
+    let (p, _) = uniformized_matrix(ctmc);
+    let mut pi = ctmc.initial_dense();
+    let mut next = vec![0.0; n];
+    for iter in 0..options.max_iterations {
+        dense_step(n, &p, &pi, &mut next);
+        let total: f64 = next.iter().sum();
+        if total > 0.0 {
+            for x in &mut next {
+                *x /= total;
+            }
+        }
+        let delta = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+        std::mem::swap(&mut pi, &mut next);
+        if delta < options.tolerance {
+            return Ok(pi);
+        }
+        if iter == options.max_iterations - 1 {
+            return Err(CtmcError::NoConvergence {
+                what: "dense steady-state power iteration",
+                iterations: options.max_iterations,
+                residual: delta,
+            });
+        }
+    }
+    unreachable!("loop returns")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc::CtmcBuilder;
+    use crate::steady::steady_state;
+    use crate::transient::transient;
+
+    fn flip_flop() -> Ctmc {
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 2.0).unwrap();
+        b.rate(1, 2, 1.5).unwrap();
+        b.rate(2, 0, 0.7).unwrap();
+        b.rate(1, 0, 0.3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dense_transient_matches_csr() {
+        let c = flip_flop();
+        for t in [0.1, 1.0, 5.0, 25.0] {
+            let sparse = transient(&c, t, &TransientOptions::default()).expect("csr");
+            let dense = transient_dense(&c, t, &TransientOptions::default()).expect("dense");
+            for (a, b) in sparse.iter().zip(&dense) {
+                assert!((a - b).abs() < 1e-12, "t={t}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_steady_matches_bscc_solver() {
+        let c = flip_flop();
+        let fast = steady_state(&c, &SolveOptions::default()).expect("bscc");
+        let slow = steady_state_dense(&c, &SolveOptions::default()).expect("dense");
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+}

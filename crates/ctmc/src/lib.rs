@@ -14,7 +14,12 @@
 //! * [`csl`] — CSL-style time-bounded until and reachability quantiles;
 //! * [`dtmc`] — embedded jump chains and discrete-time analyses;
 //! * [`rewards`] — accumulated and long-run reward measures;
-//! * [`simulate`] — Monte-Carlo cross-validation;
+//! * [`simulate`] — single-trajectory Monte-Carlo walks;
+//! * [`mc`] — the parallel batched Monte-Carlo engine (deterministic seed
+//!   streams, Welford statistics, confidence-interval stopping);
+//! * [`sparse`] — the CSR kernels behind the iterative solvers;
+//! * [`dense`] — naive dense reference solvers for cross-validation;
+//! * [`stats`] — streaming statistics shared by the statistical engine;
 //! * [`mdp`] — CTMDPs with min/max value iteration (scheduler bounds).
 //!
 //! # Examples
@@ -40,15 +45,23 @@
 pub mod absorb;
 pub mod csl;
 pub mod ctmc;
+pub mod dense;
 pub mod dtmc;
+pub mod mc;
 pub mod mdp;
 pub mod rewards;
 pub mod simulate;
+pub mod sparse;
+pub mod stats;
 pub mod steady;
 pub mod transient;
 
 pub use ctmc::{Ctmc, CtmcBuilder, CtmcError, RateTransition, State};
 pub use dtmc::Dtmc;
+pub use mc::{Estimate, McOptions, McRun, McSim};
 pub use mdp::{ActionChoice, Ctmdp, Opt};
+pub use multival_par::Workers;
+pub use sparse::Csr;
+pub use stats::Welford;
 pub use steady::SolveOptions;
 pub use transient::TransientOptions;

@@ -6,6 +6,7 @@
 //! accrues per unit of time spent, an impulse reward per transition taken.
 
 use crate::ctmc::{Ctmc, CtmcError, State};
+use crate::sparse::Csr;
 use crate::steady::{steady_state, SolveOptions};
 
 /// Expected total reward accumulated until the target set is hit, from each
@@ -54,25 +55,27 @@ pub fn accumulated_until(
     let hitting = crate::absorb::expected_hitting_times(ctmc, targets, options)?;
     let mut g: Vec<f64> =
         hitting.iter().map(|h| if h.is_infinite() { f64::INFINITY } else { 0.0 }).collect();
+    let csr = Csr::new(ctmc);
     for iter in 0..options.max_iterations {
         let mut delta: f64 = 0.0;
         for s in 0..n {
             if is_target[s] || g[s].is_infinite() {
                 continue;
             }
-            let e = ctmc.exit_rate(s);
+            let e = csr.exit(s);
             if e == 0.0 {
                 g[s] = f64::INFINITY;
                 continue;
             }
             let mut acc = state_reward(s) / e;
-            for t in ctmc.transitions_from(s) {
-                let gt = g[t.target];
+            let (cols, rates) = csr.row(s);
+            for (&c, &r) in cols.iter().zip(rates) {
+                let gt = g[c as usize];
                 if gt.is_infinite() {
                     acc = f64::INFINITY;
                     break;
                 }
-                acc += (t.rate / e) * (impulse(s, t.target) + gt);
+                acc += (r / e) * (impulse(s, c as usize) + gt);
             }
             if acc.is_finite() {
                 delta = delta.max((acc - g[s]).abs());

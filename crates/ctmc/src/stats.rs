@@ -1,0 +1,201 @@
+//! Streaming statistics for the Monte-Carlo engine.
+//!
+//! [`Welford`] maintains count/mean/variance in one pass with the classic
+//! numerically-stable update; [`normal_quantile`] supplies the z-score for
+//! confidence intervals without a statistics dependency.
+
+/// One-pass mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    #[must_use]
+    pub fn new() -> Welford {
+        Welford::default()
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 below two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.variance() / self.n as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the two-sided confidence interval at level
+    /// `confidence` (e.g. `0.99`), using the normal approximation.
+    #[must_use]
+    pub fn ci_half_width(&self, confidence: f64) -> f64 {
+        if self.n < 2 {
+            return f64::INFINITY;
+        }
+        normal_quantile(0.5 + confidence / 2.0) * self.std_error()
+    }
+}
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, relative
+/// error below 1.2e-9 on (0, 1) after one Halley refinement).
+///
+/// # Panics
+///
+/// Panics when `p` is outside `(0, 1)`.
+#[must_use]
+#[allow(clippy::excessive_precision)] // published Acklam coefficients, kept verbatim
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile probability {p} outside (0, 1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley step against the exact CDF sharpens the tails.
+    let e = 0.5 * erfc(-x / std::f64::consts::SQRT_2) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Complementary error function (Numerical Recipes' Chebyshev fit,
+/// |error| < 1.2e-7 — ample for the Halley correction above).
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [3.0, 1.5, -2.0, 8.25, 0.5, 4.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 =
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        assert_eq!(w.count(), 6);
+    }
+
+    #[test]
+    fn quantiles_match_tables() {
+        // Standard z-scores to 4+ decimals.
+        for (p, z) in [
+            (0.975, 1.959_964),
+            (0.995, 2.575_829),
+            (0.95, 1.644_854),
+            (0.5, 0.0),
+            (0.025, -1.959_964),
+        ] {
+            assert!((normal_quantile(p) - z).abs() < 1e-5, "p={p}: {}", normal_quantile(p));
+        }
+    }
+
+    #[test]
+    fn half_width_shrinks_with_n() {
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for i in 0..100 {
+            a.push(f64::from(i % 7));
+        }
+        for i in 0..10_000 {
+            b.push(f64::from(i % 7));
+        }
+        assert!(b.ci_half_width(0.99) < a.ci_half_width(0.99));
+    }
+}

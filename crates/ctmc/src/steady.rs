@@ -7,6 +7,7 @@
 //! distribution, computed by iterating the embedded jump chain.
 
 use crate::ctmc::{Ctmc, CtmcError, State};
+use crate::sparse::Csr;
 
 /// Options for the iterative solvers.
 #[derive(Debug, Clone, Copy)]
@@ -23,10 +24,10 @@ impl Default for SolveOptions {
     }
 }
 
-/// Tarjan SCC over the rate graph. Returns (scc id per state, #sccs);
-/// ids are in reverse topological order.
-pub(crate) fn sccs(ctmc: &Ctmc) -> (Vec<u32>, u32) {
-    let n = ctmc.num_states();
+/// Tarjan SCC over the rate graph (CSR form). Returns (scc id per state,
+/// #sccs); ids are in reverse topological order.
+pub(crate) fn sccs(csr: &Csr) -> (Vec<u32>, u32) {
+    let n = csr.num_states();
     let mut index = vec![u32::MAX; n];
     let mut low = vec![0u32; n];
     let mut on_stack = vec![false; n];
@@ -56,8 +57,9 @@ pub(crate) fn sccs(ctmc: &Ctmc) -> (Vec<u32>, u32) {
                     stack.push(v);
                     on_stack[v] = true;
                     call.push(Frame::Post(v, v));
-                    for t in ctmc.transitions_from(v) {
-                        let w = t.target;
+                    let (cols, _) = csr.row(v);
+                    for &c in cols {
+                        let w = c as State;
                         if index[w] == u32::MAX {
                             call.push(Frame::Post(v, w));
                             call.push(Frame::Enter(w));
@@ -93,11 +95,12 @@ pub(crate) fn sccs(ctmc: &Ctmc) -> (Vec<u32>, u32) {
 
 /// Identifies the bottom SCCs: SCC ids with no transition leaving the SCC.
 /// Returns for each SCC id whether it is bottom.
-pub(crate) fn bottom_sccs(ctmc: &Ctmc, scc_of: &[u32], num_sccs: u32) -> Vec<bool> {
+pub(crate) fn bottom_sccs(csr: &Csr, scc_of: &[u32], num_sccs: u32) -> Vec<bool> {
     let mut bottom = vec![true; num_sccs as usize];
-    for s in 0..ctmc.num_states() {
-        for t in ctmc.transitions_from(s) {
-            if scc_of[t.target] != scc_of[s] {
+    for s in 0..csr.num_states() {
+        let (cols, _) = csr.row(s);
+        for &c in cols {
+            if scc_of[c as usize] != scc_of[s] {
                 bottom[scc_of[s] as usize] = false;
             }
         }
@@ -108,31 +111,33 @@ pub(crate) fn bottom_sccs(ctmc: &Ctmc, scc_of: &[u32], num_sccs: u32) -> Vec<boo
 /// Steady-state distribution of an *irreducible* sub-chain given by
 /// `members` (states of one BSCC). Solves πQ = 0, Σπ = 1 by Gauss–Seidel on
 /// the balance equations π(s)·E(s) = Σ_{s'→s} π(s')·rate(s'→s).
-fn solve_bscc(
-    ctmc: &Ctmc,
-    members: &[State],
-    options: &SolveOptions,
-) -> Result<Vec<f64>, CtmcError> {
+fn solve_bscc(csr: &Csr, members: &[State], options: &SolveOptions) -> Result<Vec<f64>, CtmcError> {
     let m = members.len();
     if m == 1 {
         return Ok(vec![1.0]);
     }
     let local: std::collections::HashMap<State, usize> =
         members.iter().enumerate().map(|(i, &s)| (s, i)).collect();
-    // Local uniformized transition structure P = I + Q/Λ: the stationary
-    // distribution of the CTMC equals the stationary distribution of P, and
-    // the slack above the maximum exit rate gives every state a self-loop,
-    // so the chain is aperiodic and power iteration converges geometrically
-    // (the balance-equation Gauss–Seidel can oscillate on long phase
-    // cycles, e.g. Erlang-decorated models).
-    let mut outgoing: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+    // Local uniformized transition structure P = I + Q/Λ in CSR form: the
+    // stationary distribution of the CTMC equals the stationary distribution
+    // of P, and the slack above the maximum exit rate gives every state a
+    // self-loop, so the chain is aperiodic and power iteration converges
+    // geometrically (the balance-equation Gauss–Seidel can oscillate on
+    // long phase cycles, e.g. Erlang-decorated models).
+    let mut row_ptr = Vec::with_capacity(m + 1);
+    let mut col: Vec<u32> = Vec::new();
+    let mut rate: Vec<f64> = Vec::new();
     let mut exit = vec![0.0; m];
+    row_ptr.push(0usize);
     for (i, &s) in members.iter().enumerate() {
-        for t in ctmc.transitions_from(s) {
-            let j = local[&t.target]; // BSCC: targets stay inside
-            outgoing[i].push((j, t.rate));
-            exit[i] += t.rate;
+        let (cols, rates) = csr.row(s);
+        for (&c, &r) in cols.iter().zip(rates) {
+            let j = local[&(c as State)]; // BSCC: targets stay inside
+            col.push(j as u32);
+            rate.push(r);
+            exit[i] += r;
         }
+        row_ptr.push(col.len());
     }
     let lambda = exit.iter().copied().fold(0.0f64, f64::max) * 1.02;
     let mut pi = vec![1.0 / m as f64; m];
@@ -140,10 +145,10 @@ fn solve_bscc(
     for iter in 0..options.max_iterations {
         next.fill(0.0);
         for i in 0..m {
-            let stay = pi[i] * (1.0 - exit[i] / lambda);
-            next[i] += stay;
-            for &(j, r) in &outgoing[i] {
-                next[j] += pi[i] * (r / lambda);
+            next[i] += pi[i] * (1.0 - exit[i] / lambda);
+            let scale = pi[i] / lambda;
+            for k in row_ptr[i]..row_ptr[i + 1] {
+                next[col[k] as usize] += scale * rate[k];
             }
         }
         // Normalize each sweep to stop drift.
@@ -173,13 +178,14 @@ fn solve_bscc(
 /// computed by iterating the embedded jump chain until the transient mass
 /// vanishes.
 fn absorption_probabilities(
-    ctmc: &Ctmc,
+    csr: &Csr,
+    initial: Vec<f64>,
     scc_of: &[u32],
     bottom: &[bool],
     options: &SolveOptions,
 ) -> Result<Vec<f64>, CtmcError> {
-    let n = ctmc.num_states();
-    let mut mass = ctmc.initial_dense();
+    let n = csr.num_states();
+    let mut mass = initial;
     let mut absorbed = vec![0.0; bottom.len()];
     // Move mass already in BSCCs.
     for s in 0..n {
@@ -205,19 +211,20 @@ fn absorption_probabilities(
             if mass[s] == 0.0 {
                 continue;
             }
-            let e = ctmc.exit_rate(s);
+            let e = csr.exit(s);
             if e == 0.0 {
                 // Absorbing singleton state: its SCC is bottom by definition.
                 absorbed[scc_of[s] as usize] += mass[s];
                 continue;
             }
-            for t in ctmc.transitions_from(s) {
-                let p = mass[s] * t.rate / e;
-                let c = scc_of[t.target] as usize;
+            let (cols, rates) = csr.row(s);
+            for (&tgt, &r) in cols.iter().zip(rates) {
+                let p = mass[s] * r / e;
+                let c = scc_of[tgt as usize] as usize;
                 if bottom[c] {
                     absorbed[c] += p;
                 } else {
-                    next[t.target] += p;
+                    next[tgt as usize] += p;
                 }
             }
         }
@@ -255,9 +262,10 @@ fn absorption_probabilities(
 /// # }
 /// ```
 pub fn steady_state(ctmc: &Ctmc, options: &SolveOptions) -> Result<Vec<f64>, CtmcError> {
-    let (scc_of, num_sccs) = sccs(ctmc);
-    let bottom = bottom_sccs(ctmc, &scc_of, num_sccs);
-    let absorbed = absorption_probabilities(ctmc, &scc_of, &bottom, options)?;
+    let csr = Csr::new(ctmc);
+    let (scc_of, num_sccs) = sccs(&csr);
+    let bottom = bottom_sccs(&csr, &scc_of, num_sccs);
+    let absorbed = absorption_probabilities(&csr, ctmc.initial_dense(), &scc_of, &bottom, options)?;
 
     let mut members: Vec<Vec<State>> = vec![Vec::new(); num_sccs as usize];
     for s in 0..ctmc.num_states() {
@@ -268,7 +276,7 @@ pub fn steady_state(ctmc: &Ctmc, options: &SolveOptions) -> Result<Vec<f64>, Ctm
         if !bottom[c] || absorbed[c] <= 0.0 {
             continue;
         }
-        let local = solve_bscc(ctmc, &members[c], options)?;
+        let local = solve_bscc(&csr, &members[c], options)?;
         for (i, &s) in members[c].iter().enumerate() {
             pi[s] = absorbed[c] * local[i];
         }

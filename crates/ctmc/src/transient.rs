@@ -4,8 +4,13 @@
 //! `π(t) = Σ_k PoissonPMF(Λt, k) · π(0) Pᵏ` where `P = I + Q/Λ` is the
 //! uniformized jump matrix and `Λ ≥ max exit rate`. The Poisson series is
 //! truncated once the accumulated mass exceeds `1 − ε`.
+//!
+//! The vector-matrix kernel runs on the CSR arrays of
+//! [`Csr`]; [`crate::dense`] drives the same Poisson
+//! machinery through a dense kernel as a cross-validation reference.
 
 use crate::ctmc::{Ctmc, CtmcError, State};
+use crate::sparse::Csr;
 
 /// Options for uniformization.
 #[derive(Debug, Clone, Copy)]
@@ -22,78 +27,42 @@ impl Default for TransientOptions {
     }
 }
 
-/// One step of the uniformized chain: `out = in · P` with
-/// `P = I + Q/Λ`.
-fn uniform_step(ctmc: &Ctmc, lambda: f64, v: &[f64], out: &mut [f64]) {
-    out.fill(0.0);
-    for s in 0..ctmc.num_states() {
-        let p = v[s];
-        if p == 0.0 {
-            continue;
-        }
-        let e = ctmc.exit_rate(s);
-        // Self mass: stays with probability 1 - E(s)/Λ.
-        out[s] += p * (1.0 - e / lambda);
-        for t in ctmc.transitions_from(s) {
-            out[t.target] += p * (t.rate / lambda);
-        }
-    }
-}
-
-/// Distribution over states at time `t`, starting from the chain's initial
-/// distribution.
-///
-/// # Errors
-///
-/// Returns [`CtmcError::NoConvergence`] if `max_terms` Poisson terms do not
-/// cover `1 − ε` of the mass, and [`CtmcError::Undefined`] for negative `t`.
-///
-/// # Examples
-///
-/// ```
-/// use multival_ctmc::{CtmcBuilder, transient::{transient, TransientOptions}};
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// // Single exponential decay at rate 1: P(still in 0 at t) = e^-t.
-/// let mut b = CtmcBuilder::new(2);
-/// b.rate(0, 1, 1.0)?;
-/// let p = transient(&b.build()?, 1.0, &TransientOptions::default())?;
-/// assert!((p[0] - (-1.0f64).exp()).abs() < 1e-9);
-/// # Ok(())
-/// # }
-/// ```
-pub fn transient(ctmc: &Ctmc, t: f64, options: &TransientOptions) -> Result<Vec<f64>, CtmcError> {
+/// Shared Poisson-weighted accumulation: `Σ_k w_k(Λt) · π(0) Pᵏ`, where one
+/// application of `P` is performed by `step(current, next)`. The truncation
+/// is adaptive: in the regular regime the series stops once `1 − ε` of the
+/// Poisson mass is covered; when `e^{−Λt}` underflows, weights are carried
+/// on a floating scale and the series stops once they have decayed past the
+/// peak (Fox–Glynn-lite).
+pub(crate) fn uniformize_with(
+    initial: Vec<f64>,
+    max_exit: f64,
+    t: f64,
+    options: &TransientOptions,
+    mut step: impl FnMut(&[f64], &mut [f64]),
+) -> Result<Vec<f64>, CtmcError> {
     if t < 0.0 || !t.is_finite() {
         return Err(CtmcError::Undefined(format!("transient time {t} must be finite and >= 0")));
     }
-    let mut current = ctmc.initial_dense();
-    if t == 0.0 {
-        return Ok(current);
-    }
-    let max_exit = ctmc.max_exit_rate();
-    if max_exit == 0.0 {
-        return Ok(current); // no transitions at all
+    let mut current = initial;
+    if t == 0.0 || max_exit == 0.0 {
+        return Ok(current); // nothing can move
     }
     // A little slack above the max exit rate improves convergence of P^k.
-    let lambda = max_exit * 1.02;
-    let q = lambda * t;
+    let q = max_exit * 1.02 * t;
 
-    let n = ctmc.num_states();
+    let n = current.len();
     let mut result = vec![0.0; n];
     let mut next = vec![0.0; n];
 
     // Stable Poisson pmf recurrence: w_0 = e^-q, w_{k} = w_{k-1} * q / k.
     // For large q, e^-q underflows; work with a scaled weight and renormalize
     // at the end (standard Fox-Glynn-lite trick).
-    let mut log_w = -q; // ln w_0
-    let mut scale_adjust = 0.0f64; // accumulated ln-scale taken out
-    let mut w = if log_w > -700.0 { log_w.exp() } else { 0.0 };
+    let mut w = if q < 700.0 { (-q).exp() } else { 0.0 };
     let underflow_mode = w == 0.0;
     if underflow_mode {
         // Start from a tiny representable weight; we renormalize by the true
         // total at the end, so only relative weights matter.
         w = f64::MIN_POSITIVE * 1e16;
-        scale_adjust = 1.0; // marker: weights are scaled, renormalize at end
     }
     let mut weight_sum = 0.0;
     let mut covered = 0.0;
@@ -124,10 +93,9 @@ pub fn transient(ctmc: &Ctmc, t: f64, options: &TransientOptions) -> Result<Vec<
                 residual: 1.0 - covered,
             });
         }
-        uniform_step(ctmc, lambda, &current, &mut next);
+        step(&current, &mut next);
         std::mem::swap(&mut current, &mut next);
         w *= q / k as f64;
-        log_w += (q / k as f64).ln();
         // Rescale if the weight grows too large (q big, pre-peak).
         if w > 1e280 {
             for r in result.iter_mut() {
@@ -137,8 +105,6 @@ pub fn transient(ctmc: &Ctmc, t: f64, options: &TransientOptions) -> Result<Vec<
             w /= 1e280;
         }
     }
-    let _ = scale_adjust;
-    let _ = log_w;
     // Renormalize: in un-scaled mode weight_sum ≈ 1 already; in scaled mode
     // this maps scaled weights back to probabilities.
     if weight_sum > 0.0 {
@@ -147,6 +113,50 @@ pub fn transient(ctmc: &Ctmc, t: f64, options: &TransientOptions) -> Result<Vec<
         }
     }
     Ok(result)
+}
+
+/// Distribution over states at time `t` on a prebuilt CSR view, starting
+/// from `initial`. Use this form to amortize the CSR build over repeated
+/// time points (see [`absorption_cdf`]).
+///
+/// # Errors
+///
+/// As [`transient`].
+pub fn transient_csr(
+    csr: &Csr,
+    initial: Vec<f64>,
+    t: f64,
+    options: &TransientOptions,
+) -> Result<Vec<f64>, CtmcError> {
+    let max_exit = csr.max_exit_rate();
+    let lambda = max_exit * 1.02;
+    uniformize_with(initial, max_exit, t, options, |v, out| csr.uniform_step(lambda, v, out))
+}
+
+/// Distribution over states at time `t`, starting from the chain's initial
+/// distribution.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::NoConvergence`] if `max_terms` Poisson terms do not
+/// cover `1 − ε` of the mass, and [`CtmcError::Undefined`] for negative `t`.
+///
+/// # Examples
+///
+/// ```
+/// use multival_ctmc::{CtmcBuilder, transient::{transient, TransientOptions}};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Single exponential decay at rate 1: P(still in 0 at t) = e^-t.
+/// let mut b = CtmcBuilder::new(2);
+/// b.rate(0, 1, 1.0)?;
+/// let p = transient(&b.build()?, 1.0, &TransientOptions::default())?;
+/// assert!((p[0] - (-1.0f64).exp()).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn transient(ctmc: &Ctmc, t: f64, options: &TransientOptions) -> Result<Vec<f64>, CtmcError> {
+    transient_csr(&Csr::new(ctmc), ctmc.initial_dense(), t, options)
 }
 
 /// Probability that the chain is in any state of `targets` at time `t`.
@@ -166,7 +176,8 @@ pub fn transient_probability(
 
 /// Cumulative distribution function of the time to absorption when the
 /// absorbing states are exactly `targets` (made absorbing implicitly by the
-/// caller). Evaluates `P(T ≤ t_i)` for each requested time point.
+/// caller). Evaluates `P(T ≤ t_i)` for each requested time point. The CSR
+/// view is built once and reused across time points.
 ///
 /// # Errors
 ///
@@ -177,7 +188,14 @@ pub fn absorption_cdf(
     times: &[f64],
     options: &TransientOptions,
 ) -> Result<Vec<f64>, CtmcError> {
-    times.iter().map(|&t| transient_probability(ctmc, targets, t, options)).collect()
+    let csr = Csr::new(ctmc);
+    times
+        .iter()
+        .map(|&t| {
+            let p = transient_csr(&csr, ctmc.initial_dense(), t, options)?;
+            Ok(targets.iter().map(|&s| p[s]).sum())
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -129,15 +129,28 @@ pub struct LatencyRow {
     pub ctmc_states: usize,
 }
 
-/// Computes the mean ping-pong round-trip latency for one configuration.
+/// The absorbing round-trip chain underlying [`ping_pong_latency`].
+#[derive(Debug)]
+pub struct PingPongChain {
+    /// IMC → CTMC conversion of the decorated benchmark.
+    pub conv: multival_imc::CtmcConversion,
+    /// CTMC states where the round trip has completed.
+    pub done: Vec<usize>,
+    /// Functional states explored before decoration.
+    pub functional_states: usize,
+}
+
+/// Builds the decorated ping-pong CTMC and its completion states — the
+/// chain [`ping_pong_latency`] solves, exposed so the statistical engine
+/// and the golden fixtures can cross-validate on the same model.
 ///
 /// # Errors
 ///
 /// See [`BenchmarkError`].
-pub fn ping_pong_latency(
+pub fn ping_pong_chain(
     config: &MpiConfig,
     rates: &RateConfig,
-) -> Result<LatencyRow, BenchmarkError> {
+) -> Result<PingPongChain, BenchmarkError> {
     let model = MpiModel::ping_pong(*config);
     let explored = explore_model(&model, 4_000_000).map_err(BenchmarkError::Explosion)?;
     let homes: Vec<usize> = model.lines.iter().map(|l| l.home).collect();
@@ -155,7 +168,20 @@ pub fn ping_pong_latency(
     if done.is_empty() {
         return Err(BenchmarkError::NoCompletion);
     }
-    let latency = mean_time_to_target(&conv.ctmc, &done, &SolveOptions::default())
+    Ok(PingPongChain { conv, done, functional_states: explored.lts.num_states() })
+}
+
+/// Computes the mean ping-pong round-trip latency for one configuration.
+///
+/// # Errors
+///
+/// See [`BenchmarkError`].
+pub fn ping_pong_latency(
+    config: &MpiConfig,
+    rates: &RateConfig,
+) -> Result<LatencyRow, BenchmarkError> {
+    let chain = ping_pong_chain(config, rates)?;
+    let latency = mean_time_to_target(&chain.conv.ctmc, &chain.done, &SolveOptions::default())
         .map_err(BenchmarkError::Solver)?;
     Ok(LatencyRow {
         topology: config.topology,
@@ -163,8 +189,8 @@ pub fn ping_pong_latency(
         implementation: config.implementation,
         payload: config.payload,
         latency,
-        states: explored.lts.num_states(),
-        ctmc_states: conv.ctmc.num_states(),
+        states: chain.functional_states,
+        ctmc_states: chain.conv.ctmc.num_states(),
     })
 }
 

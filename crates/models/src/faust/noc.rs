@@ -266,6 +266,27 @@ pub fn single_packet_latency(
     link_rate: f64,
     local_rate: f64,
 ) -> Result<f64, Box<dyn std::error::Error>> {
+    let (conv, done) = single_packet_chain(dest, link_rate, local_rate)?;
+    Ok(multival_ctmc::absorb::mean_time_to_target(
+        &conv.ctmc,
+        &done,
+        &multival_ctmc::SolveOptions::default(),
+    )?)
+}
+
+/// Builds the absorbing delivery CTMC behind [`single_packet_latency`] and
+/// its quiescent (delivered) states — exposed so the statistical engine and
+/// the golden fixtures can cross-validate on the same chain.
+///
+/// # Errors
+///
+/// Propagates parse/exploration/conversion errors; fails if the packet
+/// never quiesces.
+pub fn single_packet_chain(
+    dest: usize,
+    link_rate: f64,
+    local_rate: f64,
+) -> Result<(multival_imc::CtmcConversion, Vec<usize>), Box<dyn std::error::Error>> {
     use multival_imc::decorate::decorate_by_label;
     use multival_imc::ops::hide_all;
     use multival_imc::phase_type::Delay;
@@ -292,11 +313,7 @@ pub fn single_packet_latency(
     if done.is_empty() {
         return Err("packet never quiesces".into());
     }
-    Ok(multival_ctmc::absorb::mean_time_to_target(
-        &conv.ctmc,
-        &done,
-        &multival_ctmc::SolveOptions::default(),
-    )?)
+    Ok((conv, done))
 }
 
 #[cfg(test)]

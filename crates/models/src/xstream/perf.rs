@@ -194,6 +194,29 @@ pub fn analyze(config: &PerfConfig) -> Result<PerfReport, PerfError> {
     })
 }
 
+/// The CTMC conversion underlying [`analyze`]: the decorated pipeline with
+/// the four stage labels as probes. Exposed so the statistical engine and
+/// the golden fixtures can run simulation and numerics on exactly the same
+/// chain.
+///
+/// # Errors
+///
+/// Propagates exploration and conversion errors.
+pub fn perf_conversion(config: &PerfConfig) -> Result<multival_imc::CtmcConversion, PerfError> {
+    let explored = explore_pipeline(config)?;
+    let imc = decorate_by_label(&explored.lts, |label| {
+        let rate = match label {
+            "push" => config.producer_rate,
+            "xfer" => config.transfer_rate,
+            "pop" => config.consumer_rate,
+            "credit" => config.credit_rate,
+            _ => return None,
+        };
+        Some(Delay::Exponential { rate })
+    });
+    Ok(to_ctmc(&imc, NondetPolicy::Reject, &["push", "xfer", "pop", "credit"])?)
+}
+
 /// Like [`analyze`], with an arbitrary per-label delay assignment — used by
 /// the E7 bridge experiment where the NoC transfer is a *fixed* delay
 /// approximated by Erlang-k phases (intermediate phase states are tangible

@@ -78,8 +78,23 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
+    par_map_min(workers, PAR_THRESHOLD, items, f)
+}
+
+/// [`par_map`] with a caller-chosen sequential-fallback threshold.
+///
+/// The default threshold is tuned for fine-grained per-state work; callers
+/// whose items are orders of magnitude coarser (e.g. whole Monte-Carlo
+/// trajectories) pass a smaller `min_parallel` so that even modest batches
+/// are distributed. The ordered-results determinism contract is unchanged.
+pub fn par_map_min<T, U, F>(workers: Workers, min_parallel: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
     let n = items.len();
-    if workers.is_sequential() || n < PAR_THRESHOLD {
+    if workers.is_sequential() || n < min_parallel.max(2) {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     // Results are scheduling-independent, so oversubscribing the hardware
@@ -88,8 +103,10 @@ where
     let hw = std::thread::available_parallelism().map_or(usize::MAX, |p| p.get());
     let nworkers = workers.get().min(n).min(hw);
     // Chunks sized so each worker steals ~4 times: coarse enough to keep
-    // contention on the cursor negligible, fine enough to balance load.
-    let chunk = (n / (nworkers * 4)).max(32);
+    // contention on the cursor negligible, fine enough to balance load. The
+    // floor scales with the fallback threshold: fine-grained items keep the
+    // historical floor of 32, coarse items may be stolen one at a time.
+    let chunk = (n / (nworkers * 4)).max((min_parallel / 8).clamp(1, 32));
     let cursor = AtomicUsize::new(0);
     let mut out: Vec<Option<U>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
@@ -258,6 +275,15 @@ mod tests {
         let items = [1, 2, 3];
         let out = par_map(Workers::new(8), &items, |_, &x| x + 1);
         assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn par_map_min_distributes_small_batches() {
+        let items: Vec<u32> = (0..48).collect();
+        let seq =
+            par_map_min(Workers::sequential(), 2, &items, |i, &x| u64::from(x) * 7 + i as u64);
+        let par = par_map_min(Workers::new(4), 2, &items, |i, &x| u64::from(x) * 7 + i as u64);
+        assert_eq!(seq, par);
     }
 
     #[test]

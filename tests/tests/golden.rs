@@ -1,0 +1,162 @@
+//! Golden regression fixtures for the three case-study pipelines: the
+//! functional state space as `.aut` plus a measure snapshot combining the
+//! numerical answers with fixed-seed Monte-Carlo estimates. Any drift in
+//! exploration order, solver output, or the simulation's random stream
+//! shows up as a diff against `tests/data/`.
+//!
+//! Regenerate after a verified intentional change with
+//! `UPDATE_GOLDEN=1 cargo test -p multival-integration --test golden`.
+
+use multival::ctmc::absorb::mean_time_to_target;
+use multival::ctmc::steady::{steady_state, SolveOptions};
+use multival::ctmc::{McOptions, McRun, McSim, Workers};
+use multival::lts::io::write_aut;
+use multival::models::common::explore_model;
+use multival::models::fame2::benchmark::{ping_pong_chain, RateConfig};
+use multival::models::fame2::coherence::Protocol;
+use multival::models::fame2::mpi::{MpiConfig, MpiImpl, MpiModel};
+use multival::models::fame2::topology::Topology;
+use multival::models::faust::noc::{single_packet_chain, single_packet_source};
+use multival::models::xstream::perf::{explore_pipeline, perf_conversion, PerfConfig};
+use multival::pa::{explore, parse_spec, ExploreOptions};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("data").join(name)
+}
+
+/// Compares `contents` against the committed fixture, or rewrites the
+/// fixture when `UPDATE_GOLDEN=1`.
+fn check_golden(name: &str, contents: &str) {
+    let path = fixture_path(name);
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().expect("data dir")).expect("mkdir");
+        std::fs::write(&path, contents).expect("write fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {name} ({e}); create it with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        want, contents,
+        "golden mismatch for {name}; if the change is intentional and verified, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// Fixed-seed simulation options: deterministic across runs, platforms,
+/// and thread counts, so the estimates are safe to commit.
+fn mc_opts(abs_width: f64) -> McOptions {
+    McOptions {
+        seed: 42,
+        workers: Workers::new(2),
+        max_trajectories: 8192,
+        abs_width,
+        rel_width: 0.0,
+        ..McOptions::default()
+    }
+}
+
+fn fmt_run_scalar(run: &McRun) -> String {
+    let e = &run.estimates[0];
+    format!("{:.6} ± {:.6} ({} trajectories)", e.mean, e.half_width, run.trajectories)
+}
+
+/// xSTream pipeline: recurrent chain, so the measures are steady-state
+/// occupancies cross-validated by long-run simulation.
+#[test]
+fn xstream_pipeline_golden() {
+    let cfg = PerfConfig::default();
+    let explored = explore_pipeline(&cfg).expect("explores");
+    check_golden("xstream_pipeline.aut", &write_aut(&explored.lts));
+
+    let conv = perf_conversion(&cfg).expect("converts");
+    let pi = steady_state(&conv.ctmc, &SolveOptions::default()).expect("solves");
+    let run = McSim::new(&conv.ctmc).occupancy(300.0, &mc_opts(8e-3));
+
+    let mut snap = String::new();
+    let _ = writeln!(snap, "functional states: {}", explored.lts.num_states());
+    let _ = writeln!(snap, "ctmc states: {}", conv.ctmc.num_states());
+    for (s, p) in pi.iter().enumerate().take(6) {
+        let e = &run.estimates[s];
+        let _ = writeln!(snap, "state {s}: steady {p:.6}  mc {:.6} ± {:.6}", e.mean, e.half_width);
+    }
+    let _ = writeln!(snap, "mc trajectories: {}", run.trajectories);
+    check_golden("xstream_pipeline.measures.txt", &snap);
+
+    // Acceptance: every simulated occupancy brackets the numerical answer.
+    for (s, (e, want)) in run.estimates.iter().zip(&pi).enumerate() {
+        assert!(
+            (e.mean - want).abs() <= e.half_width + 6e-3,
+            "state {s}: mc {} ± {} vs steady {want}",
+            e.mean,
+            e.half_width
+        );
+    }
+}
+
+/// FAME2 MPI ping-pong: absorbing round trip, so the measure is the mean
+/// latency cross-validated by simulated hitting times.
+#[test]
+fn fame2_ping_pong_golden() {
+    let config = MpiConfig {
+        topology: Topology::Crossbar(2),
+        protocol: Protocol::Msi,
+        implementation: MpiImpl::Eager,
+        payload: 1,
+    };
+    let rates = RateConfig::default();
+    let explored = explore_model(&MpiModel::ping_pong(config), 4_000_000).expect("explores");
+    check_golden("fame2_ping_pong.aut", &write_aut(&explored.lts));
+
+    let chain = ping_pong_chain(&config, &rates).expect("builds chain");
+    let latency = mean_time_to_target(&chain.conv.ctmc, &chain.done, &SolveOptions::default())
+        .expect("solves");
+    let run = McSim::new(&chain.conv.ctmc).hitting_time(&chain.done, 1e4, &mc_opts(5e-3));
+
+    let mut snap = String::new();
+    let _ = writeln!(snap, "functional states: {}", chain.functional_states);
+    let _ = writeln!(snap, "ctmc states: {}", chain.conv.ctmc.num_states());
+    let _ = writeln!(snap, "completion states: {}", chain.done.len());
+    let _ = writeln!(snap, "mean latency: {latency:.6}");
+    let _ = writeln!(snap, "mc hitting time: {}", fmt_run_scalar(&run));
+    check_golden("fame2_ping_pong.measures.txt", &snap);
+
+    let e = &run.estimates[0];
+    assert!(
+        (e.mean - latency).abs() <= e.half_width + 2e-3,
+        "mc {} ± {} vs latency {latency}",
+        e.mean,
+        e.half_width
+    );
+}
+
+/// FAUST NoC single packet: absorbing delivery, measured as the mean
+/// quiescence time cross-validated by simulated hitting times.
+#[test]
+fn faust_single_packet_golden() {
+    let (dest, link_rate, local_rate) = (3, 4.0, 20.0);
+    let spec = parse_spec(&single_packet_source(dest)).expect("parses");
+    let explored = explore(&spec, &ExploreOptions::default()).expect("explores");
+    check_golden("faust_single_packet.aut", &write_aut(&explored.lts));
+
+    let (conv, done) = single_packet_chain(dest, link_rate, local_rate).expect("builds chain");
+    let latency = mean_time_to_target(&conv.ctmc, &done, &SolveOptions::default()).expect("solves");
+    let run = McSim::new(&conv.ctmc).hitting_time(&done, 1e4, &mc_opts(2e-2));
+
+    let mut snap = String::new();
+    let _ = writeln!(snap, "functional states: {}", explored.lts.num_states());
+    let _ = writeln!(snap, "ctmc states: {}", conv.ctmc.num_states());
+    let _ = writeln!(snap, "delivery states: {}", done.len());
+    let _ = writeln!(snap, "mean quiescence time: {latency:.6}");
+    let _ = writeln!(snap, "mc hitting time: {}", fmt_run_scalar(&run));
+    check_golden("faust_single_packet.measures.txt", &snap);
+
+    let e = &run.estimates[0];
+    assert!(
+        (e.mean - latency).abs() <= e.half_width + 5e-3,
+        "mc {} ± {} vs latency {latency}",
+        e.mean,
+        e.half_width
+    );
+}

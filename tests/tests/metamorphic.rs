@@ -1,0 +1,162 @@
+//! Metamorphic properties of the numerical engines: solving commutes with
+//! lumping (minimize-then-solve equals solve-then-project), and the CSR
+//! and dense uniformization/steady-state kernels agree on random CTMCs.
+
+use multival::ctmc::dense::{steady_state_dense, transient_dense};
+use multival::ctmc::steady::{steady_state, SolveOptions};
+use multival::ctmc::transient::{transient, TransientOptions};
+use multival::ctmc::{Ctmc, CtmcBuilder};
+use multival::imc::lump::{lump_partition, LumpOptions};
+use multival::imc::to_ctmc::to_ctmc;
+use multival::imc::{Imc, ImcBuilder, NondetPolicy};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Strategy: a purely-Markovian IMC with up to `max_states` states, every
+/// state reachable through a spanning chain. Rates come from a small
+/// discrete set so random instances actually contain lumpable symmetry.
+fn arb_markov_imc(max_states: usize) -> impl Strategy<Value = Imc> {
+    let rates = prop::sample::select(vec![0.5f64, 1.0, 2.0]);
+    (3..=max_states).prop_flat_map(move |n| {
+        let chain = prop::collection::vec(rates.clone(), n - 1);
+        let extra = prop::collection::vec((0..n as u32, 0..n as u32, rates.clone()), 0..(2 * n));
+        (chain, extra).prop_map(move |(chain, extra)| {
+            let mut b = ImcBuilder::new();
+            let states: Vec<_> = (0..n).map(|_| b.add_state()).collect();
+            for (i, &r) in chain.iter().enumerate() {
+                b.markovian(states[i], states[i + 1], r).expect("rate");
+            }
+            for (s, t, r) in extra {
+                if s != t {
+                    b.markovian(s, t, r).expect("rate");
+                }
+            }
+            b.build(states[0])
+        })
+    })
+}
+
+/// Strategy: a random CTMC with a spanning chain (so every state is
+/// reachable) and continuous rates.
+fn arb_ctmc(max_states: usize) -> impl Strategy<Value = Ctmc> {
+    (2..=max_states).prop_flat_map(move |n| {
+        let chain = prop::collection::vec(0.1f64..5.0, n - 1);
+        let extra = prop::collection::vec((0..n, 0..n, 0.1f64..5.0), 0..(2 * n));
+        (chain, extra).prop_map(move |(chain, extra)| {
+            let mut b = CtmcBuilder::new(n);
+            for (i, &r) in chain.iter().enumerate() {
+                b.rate(i, i + 1, r).expect("rate");
+            }
+            for (s, t, r) in extra {
+                if s != t {
+                    b.rate(s, t, r).expect("rate");
+                }
+            }
+            b.build().expect("ctmc")
+        })
+    })
+}
+
+/// Builds the lumped quotient CTMC from a partition: block-level rates read
+/// off one representative per block (lumpability guarantees every member
+/// gives the same numbers), initial mass on the initial state's block.
+fn quotient_ctmc(imc: &Imc, block: &[u32], num_blocks: u32) -> Ctmc {
+    let mut b = CtmcBuilder::new(num_blocks as usize);
+    let mut seen = vec![false; num_blocks as usize];
+    for s in 0..imc.num_states() {
+        let bs = block[s] as usize;
+        if seen[bs] {
+            continue;
+        }
+        seen[bs] = true;
+        let mut rates: BTreeMap<u32, f64> = BTreeMap::new();
+        for m in imc.markovian_from(s as u32) {
+            *rates.entry(block[m.target as usize]).or_insert(0.0) += m.rate;
+        }
+        for (tb, r) in rates {
+            if tb as usize != bs {
+                b.rate(bs, tb as usize, r).expect("rate");
+            }
+        }
+    }
+    let init_block = block[imc.initial() as usize] as usize;
+    b.set_initial(vec![(init_block, 1.0)]).expect("initial");
+    b.build().expect("quotient")
+}
+
+/// Sums a per-state distribution on the original chain into per-block mass,
+/// routing through the IMC→CTMC state map.
+fn project(dist: &[f64], state_map: &[Option<usize>], block: &[u32], num_blocks: u32) -> Vec<f64> {
+    let mut out = vec![0.0; num_blocks as usize];
+    for (s, m) in state_map.iter().enumerate() {
+        if let Some(cs) = m {
+            out[block[s] as usize] += dist[*cs];
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Steady state commutes with lumping: solving the original chain and
+    /// summing per block equals solving the quotient.
+    #[test]
+    fn lump_commutes_with_steady_state(imc in arb_markov_imc(8)) {
+        let (block, num_blocks, _) = lump_partition(&imc, &LumpOptions::default());
+        let conv = to_ctmc(&imc, NondetPolicy::Reject, &[]).expect("purely Markovian");
+        let opts = SolveOptions::default();
+
+        let pi = steady_state(&conv.ctmc, &opts).expect("original solves");
+        let projected = project(&pi, &conv.state_map, &block, num_blocks);
+        let quotient = quotient_ctmc(&imc, &block, num_blocks);
+        let pi_q = steady_state(&quotient, &opts).expect("quotient solves");
+
+        for (b, (got, want)) in projected.iter().zip(&pi_q).enumerate() {
+            prop_assert!((got - want).abs() < 1e-6,
+                "block {b}: projected {got} vs quotient {want}");
+        }
+    }
+
+    /// Transient probability commutes with lumping at a random time point.
+    #[test]
+    fn lump_commutes_with_transient(imc in arb_markov_imc(8), t in 0.2f64..3.0) {
+        let (block, num_blocks, _) = lump_partition(&imc, &LumpOptions::default());
+        let conv = to_ctmc(&imc, NondetPolicy::Reject, &[]).expect("purely Markovian");
+        let opts = TransientOptions::default();
+
+        let p = transient(&conv.ctmc, t, &opts).expect("original solves");
+        let projected = project(&p, &conv.state_map, &block, num_blocks);
+        let quotient = quotient_ctmc(&imc, &block, num_blocks);
+        let p_q = transient(&quotient, t, &opts).expect("quotient solves");
+
+        for (b, (got, want)) in projected.iter().zip(&p_q).enumerate() {
+            prop_assert!((got - want).abs() < 1e-6,
+                "block {b} at t={t}: projected {got} vs quotient {want}");
+        }
+    }
+
+    /// The CSR uniformization kernel and the dense n×n reference agree to
+    /// far below solver tolerance.
+    #[test]
+    fn csr_and_dense_transient_agree(ctmc in arb_ctmc(9), t in 0.1f64..2.0) {
+        let opts = TransientOptions::default();
+        let csr = transient(&ctmc, t, &opts).expect("csr");
+        let dense = transient_dense(&ctmc, t, &opts).expect("dense");
+        for (s, (a, b)) in csr.iter().zip(&dense).enumerate() {
+            prop_assert!((a - b).abs() < 1e-9, "state {s}: csr {a} vs dense {b}");
+        }
+    }
+
+    /// The BSCC-based steady-state solver and the dense power iteration
+    /// land on the same limit distribution.
+    #[test]
+    fn csr_and_dense_steady_state_agree(ctmc in arb_ctmc(9)) {
+        let opts = SolveOptions::default();
+        let csr = steady_state(&ctmc, &opts).expect("csr");
+        let dense = steady_state_dense(&ctmc, &opts).expect("dense");
+        for (s, (a, b)) in csr.iter().zip(&dense).enumerate() {
+            prop_assert!((a - b).abs() < 1e-9, "state {s}: csr {a} vs dense {b}");
+        }
+    }
+}

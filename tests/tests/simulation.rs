@@ -1,0 +1,93 @@
+//! Cross-validation of the statistical engine: Monte-Carlo estimates must
+//! land inside their own 99% confidence intervals of the numerical
+//! answers on random ergodic CTMCs. Seeds are fixed, so every run of this
+//! suite sees the same trajectories — a CI miss here is a bug, not noise.
+
+use multival::ctmc::absorb::mean_time_to_target;
+use multival::ctmc::steady::{steady_state, SolveOptions};
+use multival::ctmc::transient::{transient, TransientOptions};
+use multival::ctmc::{Ctmc, McOptions, McSim, Workers};
+use proptest::prelude::*;
+
+/// Strategy: an ergodic CTMC — a spanning cycle `0 → 1 → … → n-1 → 0`
+/// makes the chain irreducible, extra transitions add structure. Rates are
+/// bounded away from zero so mixing is fast relative to the horizons below.
+fn arb_ergodic_ctmc(max_states: usize) -> impl Strategy<Value = Ctmc> {
+    (3..=max_states).prop_flat_map(move |n| {
+        let cycle = prop::collection::vec(0.3f64..4.0, n);
+        let extra = prop::collection::vec((0..n, 0..n, 0.3f64..4.0), 0..n);
+        (cycle, extra).prop_map(move |(cycle, extra)| {
+            let mut b = multival::ctmc::CtmcBuilder::new(n);
+            for (i, &r) in cycle.iter().enumerate() {
+                b.rate(i, (i + 1) % n, r).expect("rate");
+            }
+            for (s, t, r) in extra {
+                if s != t {
+                    b.rate(s, t, r).expect("rate");
+                }
+            }
+            b.build().expect("ctmc")
+        })
+    })
+}
+
+/// One shared option set: 99% intervals, a fixed seed, and the absolute
+/// width floor doing the stopping (the per-state means can be tiny).
+fn mc_opts(seed: u64) -> McOptions {
+    McOptions {
+        seed,
+        workers: Workers::new(2),
+        max_trajectories: 16_384,
+        abs_width: 8e-3,
+        rel_width: 0.0,
+        ..McOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Long-run occupancy estimates bracket the steady-state solution.
+    /// The finite horizon biases occupancy by O(mixing time / horizon),
+    /// covered by the small slack added to the half-width.
+    #[test]
+    fn occupancy_brackets_steady_state(ctmc in arb_ergodic_ctmc(6), seed in 1u64..500) {
+        let pi = steady_state(&ctmc, &SolveOptions::default()).expect("solves");
+        let run = McSim::new(&ctmc).occupancy(400.0, &mc_opts(seed));
+        for (s, (e, want)) in run.estimates.iter().zip(&pi).enumerate() {
+            prop_assert!((e.mean - want).abs() <= e.half_width + 6e-3,
+                "state {s}: mc {} ± {} vs steady {want}", e.mean, e.half_width);
+        }
+    }
+
+    /// Transient one-hot sampling is unbiased: the estimate at time `t`
+    /// sits inside its CI of the uniformization answer.
+    #[test]
+    fn transient_estimates_inside_ci(
+        ctmc in arb_ergodic_ctmc(6),
+        t in 0.5f64..3.0,
+        seed in 1u64..500,
+    ) {
+        let exact = transient(&ctmc, t, &TransientOptions::default()).expect("solves");
+        let run = McSim::new(&ctmc).transient(t, &mc_opts(seed));
+        for (s, (e, want)) in run.estimates.iter().zip(&exact).enumerate() {
+            prop_assert!((e.mean - want).abs() <= e.half_width + 1e-3,
+                "state {s} at t={t}: mc {} ± {} vs exact {want}", e.mean, e.half_width);
+        }
+    }
+
+    /// Hitting-time estimates agree with the Gauss–Seidel expected hitting
+    /// time. The cycle keeps every target reachable, and the generous cap
+    /// keeps truncation bias below the CI width.
+    #[test]
+    fn hitting_time_inside_ci(ctmc in arb_ergodic_ctmc(6), seed in 1u64..500) {
+        let target = ctmc.num_states() - 1;
+        let exact = mean_time_to_target(&ctmc, &[target], &SolveOptions::default())
+            .expect("solves");
+        let opts = McOptions { abs_width: 5e-2, ..mc_opts(seed) };
+        let run = McSim::new(&ctmc).hitting_time(&[target], 1e4, &opts);
+        let e = &run.estimates[0];
+        prop_assert!((e.mean - exact).abs() <= e.half_width + 2e-2,
+            "mc {} ± {} vs exact {exact}", e.mean, e.half_width);
+    }
+}
