@@ -1,0 +1,100 @@
+//! Service-layer timing: job-engine submit→done round-trips (cold vs
+//! cached) and the full HTTP path over a loopback socket.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multival_svc::cache::ResultCache;
+use multival_svc::job::{JobEngine, JobState};
+use multival_svc::metrics::Metrics;
+use multival_svc::request::JobRequest;
+use multival_svc::server::{serve, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn request(seed: u64) -> JobRequest {
+    JobRequest::from_json_text(&format!(
+        r#"{{"kind":"explore","model":{{"source":"process Queue[enq, deq](n: int 0..4) := [n < 4] -> enq; Queue[enq, deq](n + 1) [] [n > 0] -> deq; Queue[enq, deq](n - 1) endproc behaviour Queue[a, b](0) ||| Queue[c, d](0)"}},"seed":{seed}}}"#
+    ))
+    .expect("request parses")
+}
+
+fn wait_done(engine: &JobEngine, id: u64) {
+    loop {
+        match engine.status(id).expect("job exists").state {
+            JobState::Queued | JobState::Running => std::thread::yield_now(),
+            _ => return,
+        }
+    }
+}
+
+fn bench_engine_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svc_engine");
+    // Cold: every iteration is a distinct request, so the cache never hits
+    // and the full evaluate path runs.
+    let seed = AtomicU64::new(0);
+    let cache = Arc::new(ResultCache::new(8, None).expect("cache"));
+    let engine = JobEngine::new(2, 64, 1, cache, Arc::new(Metrics::default()));
+    group.bench_function("submit_cold", |b| {
+        b.iter(|| {
+            let id =
+                engine.submit(request(seed.fetch_add(1, Ordering::Relaxed))).expect("accepted");
+            wait_done(&engine, id);
+            id
+        })
+    });
+    // Warm: one request resubmitted forever — after the first iteration
+    // every submission is a memory-tier cache hit born `done`.
+    group.bench_function("submit_cached", |b| {
+        b.iter(|| {
+            let id = engine.submit(request(u64::MAX)).expect("accepted");
+            wait_done(&engine, id);
+            id
+        })
+    });
+    group.finish();
+}
+
+fn bench_http_path(c: &mut Criterion) {
+    let handle = serve(&ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_cap: 256,
+        cache_capacity: 64,
+        cache_dir: None,
+        mc_workers: 1,
+    })
+    .expect("server starts");
+    let addr = handle.addr();
+    let exchange = |method: &str, path: &str, body: &str| -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        raw
+    };
+    let mut group = c.benchmark_group("svc_http");
+    group.bench_function(BenchmarkId::from_parameter("healthz"), |b| {
+        b.iter(|| exchange("GET", "/v1/healthz", "").len())
+    });
+    // Submit-and-poll of one cacheable job: after the first iteration the
+    // POST answers `done` immediately from the cache.
+    let body = r#"{"kind":"explore","model":{"builtin":"xstream_pipeline"}}"#;
+    group.bench_function(BenchmarkId::from_parameter("cached_job"), |b| {
+        b.iter(|| exchange("POST", "/v1/jobs", body).len())
+    });
+    group.finish();
+    let _ = handle.shutdown_and_drain();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine_roundtrip, bench_http_path
+}
+criterion_main!(benches);

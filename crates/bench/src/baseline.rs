@@ -18,8 +18,12 @@ use multival::lts::ts::LazyProduct;
 use multival::lts::Lts;
 use multival::models::rings::{ring_parts, ring_sync};
 use multival::pa::{explore, parse_spec, ExploreOptions};
+use multival_svc::json::{parse, Json};
+use multival_svc::server::{serve, ServerConfig};
 use std::error::Error;
 use std::fmt::Write as _;
+use std::io::{Read, Write as _};
+use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 /// The three-interleaved-queues E1 workload (same source as the
@@ -226,6 +230,11 @@ pub fn bench_baseline() -> Result<String, Box<dyn Error>> {
         sim_wall_t1.as_secs_f64() / sim_wall_t4.as_secs_f64().max(1e-9)
     );
 
+    // Service layer: end-to-end HTTP throughput on a loopback socket —
+    // eight concurrent clients, a cold round (results computed) and a warm
+    // round (identical jobs, answered from the content-addressed cache).
+    out.push_str(&serve_throughput_section()?);
+
     // E9: compositional IMC generation with lumping.
     out.push_str("  \"e9_farm\": [\n");
     let sizes = [4usize, 6, 8];
@@ -247,6 +256,97 @@ pub fn bench_baseline() -> Result<String, Box<dyn Error>> {
     Ok(out)
 }
 
+/// One blocking HTTP exchange against the benchmark server.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to bench server");
+    stream.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    raw.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default()
+}
+
+/// Submits one job and polls it to completion.
+fn run_job(addr: SocketAddr, request: &str) {
+    let body = http(addr, "POST", "/v1/jobs", request);
+    let id = parse(&body)
+        .ok()
+        .and_then(|v| v.get("id").and_then(Json::as_num))
+        .unwrap_or_else(|| panic!("submit failed: {body}")) as u64;
+    loop {
+        let body = http(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        match body.contains("\"status\":\"done\"") || body.contains("\"status\":\"failed\"") {
+            true => return,
+            false => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn cache_hits(addr: SocketAddr) -> u64 {
+    let metrics = parse(&http(addr, "GET", "/v1/metrics", "")).expect("metrics JSON");
+    let cache = metrics.get("cache").expect("cache section");
+    let grab = |k: &str| cache.get(k).and_then(Json::as_num).expect("counter") as u64;
+    grab("mem_hits") + grab("disk_hits")
+}
+
+/// The `serve_throughput` section: 8 clients × 4 jobs, cold then warm.
+fn serve_throughput_section() -> Result<String, Box<dyn Error>> {
+    const CLIENTS: usize = 8;
+    const DISTINCT: usize = 4;
+    let handle = serve(&ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_cap: 256,
+        cache_capacity: 64,
+        cache_dir: None,
+        mc_workers: 1,
+    })
+    .map_err(|e| format!("bench server failed to start: {e}"))?;
+    let addr = handle.addr();
+    let source = three_queues_src(2).replace('\n', " ").replace('"', "\\\"");
+    let requests: Vec<String> = (0..DISTINCT)
+        .map(|seed| {
+            format!(r#"{{"kind":"explore","model":{{"source":"{source}"}},"seed":{seed}}}"#)
+        })
+        .collect();
+    let round = || {
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..CLIENTS {
+                let requests = &requests;
+                scope.spawn(move || {
+                    for req in requests {
+                        run_job(addr, req);
+                    }
+                });
+            }
+        });
+        start.elapsed()
+    };
+    let wall_cold = round();
+    let hits_after_cold = cache_hits(addr);
+    let wall_warm = round();
+    // Strictly after the cold round every distinct result is cached, so
+    // the warm round's lookups all hit.
+    let warm_hits = cache_hits(addr) - hits_after_cold;
+    let stats = handle.shutdown_and_drain();
+    let jobs = CLIENTS * DISTINCT;
+    Ok(format!(
+        "  \"serve_throughput\": {{\"clients\": {CLIENTS}, \"jobs_per_round\": {jobs}, \
+         \"wall_ms_cold\": {}, \"wall_ms_warm\": {}, \"warm_cache_hits\": {warm_hits}, \
+         \"dropped\": {}, \"drained_done\": {}}},\n",
+        ms(wall_cold),
+        ms(wall_warm),
+        stats.rejected,
+        stats.done
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,10 +365,16 @@ mod tests {
             "e1_on_the_fly",
             "kernels_transient",
             "mc_simulation_threads",
+            "serve_throughput",
             "e9_farm",
         ] {
             assert!(json.contains(key), "missing {key}:\n{json}");
         }
+        // The service round trips 8 clients × 4 jobs twice: nothing may be
+        // dropped, and the warm round must be answered from the cache.
+        assert!(json.contains("\"dropped\": 0"), "{json}");
+        assert!(json.contains("\"warm_cache_hits\": 32"), "{json}");
+        assert!(json.contains("\"drained_done\": 64"), "{json}");
         // CSR and dense kernels run the same truncation, so they agree far
         // below solver tolerance, and the threaded simulation must be
         // bit-deterministic.

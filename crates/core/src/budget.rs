@@ -1,0 +1,91 @@
+//! Per-invocation resource budgets shared by the CLI verbs and the
+//! evaluation service: a wall-clock limit plus a state-count cap.
+//!
+//! Both engines below the facade understand these natively — the explorer
+//! takes a deadline ([`multival_pa::ExploreOptions::with_deadline`]) and a
+//! state cap, the Monte-Carlo driver a deadline between batches
+//! ([`multival_ctmc::McOptions::deadline`]) — so a `Budget` is just the
+//! user-facing bundle that turns `--timeout-secs`/`--max-states` flags (or
+//! JSON job fields) into those knobs at the moment the work starts.
+
+use std::time::{Duration, Instant};
+
+/// A resource budget for one evaluation: optional wall-clock limit and
+/// optional state-count cap. `Default` is unlimited.
+///
+/// # Examples
+///
+/// ```
+/// use multival::budget::Budget;
+///
+/// let b = Budget::default().with_timeout_secs(5).with_max_states(10_000);
+/// assert_eq!(b.max_states_or(1_000_000), 10_000);
+/// assert!(b.deadline().is_some());
+/// assert!(Budget::default().deadline().is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Wall-clock limit for the whole evaluation, `None` = unlimited.
+    pub timeout: Option<Duration>,
+    /// State-count cap for exploration, `None` = the verb's default.
+    pub max_states: Option<usize>,
+}
+
+impl Budget {
+    /// Sets the wall-clock limit in whole seconds.
+    #[must_use]
+    pub fn with_timeout_secs(mut self, secs: u64) -> Budget {
+        self.timeout = Some(Duration::from_secs(secs));
+        self
+    }
+
+    /// Sets the state-count cap.
+    #[must_use]
+    pub fn with_max_states(mut self, cap: usize) -> Budget {
+        self.max_states = Some(cap);
+        self
+    }
+
+    /// Resolves the timeout into an absolute deadline counted from *now*
+    /// (call this when the work starts, not when the flags are parsed).
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.timeout.map(|t| Instant::now() + t)
+    }
+
+    /// The state cap, or `default` when unset.
+    #[must_use]
+    pub fn max_states_or(&self, default: usize) -> usize {
+        self.max_states.unwrap_or(default)
+    }
+
+    /// `true` when neither limit is set.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.timeout.is_none() && self.max_states.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited() {
+        let b = Budget::default();
+        assert!(b.is_unlimited());
+        assert!(b.deadline().is_none());
+        assert_eq!(b.max_states_or(7), 7);
+    }
+
+    #[test]
+    fn builders_set_limits() {
+        let b = Budget::default().with_timeout_secs(2).with_max_states(99);
+        assert!(!b.is_unlimited());
+        assert_eq!(b.timeout, Some(Duration::from_secs(2)));
+        assert_eq!(b.max_states_or(7), 99);
+        let d = b.deadline().expect("deadline set");
+        assert!(d > Instant::now());
+        assert!(d <= Instant::now() + Duration::from_secs(3));
+    }
+}

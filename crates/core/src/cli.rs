@@ -3,6 +3,7 @@
 //!
 //! The logic lives here (testable); `src/bin/multival.rs` is a thin wrapper.
 
+use crate::budget::Budget;
 use crate::flow::Flow;
 use crate::report::{fmt_f, FlyStats, ParStats, SimStats, Table};
 use multival_ctmc::McOptions;
@@ -14,17 +15,92 @@ use multival_lts::io::{read_aut, write_aut, write_dot};
 use multival_lts::minimize::{minimize, Equivalence};
 use multival_lts::reach::ReachOptions;
 use multival_lts::Lts;
-use multival_pa::{explore, explore_partial, parse_spec, ExploreOptions};
+use multival_pa::{explore, explore_partial, parse_spec, ExploreError, ExploreOptions};
 use multival_par::Workers;
 use std::collections::HashMap;
 use std::error::Error;
+use std::fmt;
 use std::fmt::Write as _;
+
+/// Exit status of an executed command, carried next to the rendered text so
+/// the binary can turn soft failures (budget trips, non-convergence) into
+/// nonzero exit codes while tests keep matching on the text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CmdStatus {
+    /// Clean run.
+    #[default]
+    Ok,
+    /// The CI-width stopping rule was not met within the trajectory cap.
+    NotConverged,
+    /// A `--timeout-secs`/`--max-states` budget cut the run short; the text
+    /// reports partial results.
+    BudgetExceeded,
+}
+
+impl CmdStatus {
+    /// Process exit code for this status (`0`, `2`, `3`).
+    #[must_use]
+    pub fn exit_code(self) -> i32 {
+        match self {
+            CmdStatus::Ok => 0,
+            CmdStatus::NotConverged => 2,
+            CmdStatus::BudgetExceeded => 3,
+        }
+    }
+
+    /// The worse of two statuses (budget trips dominate non-convergence).
+    #[must_use]
+    pub fn worst(self, other: CmdStatus) -> CmdStatus {
+        if self.exit_code() >= other.exit_code() {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+/// Rendered output of one command plus its [`CmdStatus`]. Dereferences to
+/// the text so existing call sites can keep using `contains`/`starts_with`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmdOut {
+    /// The text to print.
+    pub text: String,
+    /// Exit status.
+    pub status: CmdStatus,
+}
+
+impl CmdOut {
+    /// Output with the given status.
+    #[must_use]
+    pub fn with_status(text: impl Into<String>, status: CmdStatus) -> CmdOut {
+        CmdOut { text: text.into(), status }
+    }
+}
+
+impl From<String> for CmdOut {
+    fn from(text: String) -> CmdOut {
+        CmdOut { text, status: CmdStatus::Ok }
+    }
+}
+
+impl std::ops::Deref for CmdOut {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.text
+    }
+}
+
+impl fmt::Display for CmdOut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `explore <model.lot> [--aut out.aut] [--dot out.dot] [--max-states N]
-    /// [--threads N] [--on-the-fly]`
+    /// [--timeout-secs T] [--threads N] [--on-the-fly]`
     Explore {
         /// Input model path.
         input: String,
@@ -32,15 +108,15 @@ pub enum Command {
         aut: Option<String>,
         /// Write a Graphviz rendering here.
         dot: Option<String>,
-        /// Exploration cap.
-        max_states: usize,
+        /// State-count / wall-clock budget.
+        budget: Budget,
         /// Worker threads (1 = sequential, 0 = one per hardware thread).
         threads: usize,
         /// Scan the state space on the fly instead of materializing it.
         on_the_fly: bool,
     },
-    /// `check <model.lot|lts.aut> <formula> [--on-the-fly]` — μ-calculus
-    /// model checking.
+    /// `check <model.lot|lts.aut> <formula> [--max-states N]
+    /// [--timeout-secs T] [--on-the-fly]` — μ-calculus model checking.
     Check {
         /// Input model or LTS path.
         input: String,
@@ -49,6 +125,8 @@ pub enum Command {
         /// Decide fragment formulas by a short-circuiting search instead of
         /// the eager fixpoint evaluator.
         on_the_fly: bool,
+        /// State-count / wall-clock budget for the exploration phase.
+        budget: Budget,
     },
     /// `minimize <in> [--eq strong|branching] [--aut out.aut]`
     Minimize {
@@ -81,8 +159,8 @@ pub enum Command {
     },
     /// `simulate <model.lot|lts.aut> --rate GATE=λ ... [--probe GATE ...]
     /// [--horizon T] [--time T] [--trajectories N] [--seed S] [--threads N]
-    /// [--rel-width W] [--confidence C]` — Monte-Carlo estimation
-    /// cross-checked against the numerical solvers.
+    /// [--rel-width W] [--confidence C] [--max-states N] [--timeout-secs T]`
+    /// — Monte-Carlo estimation cross-checked against the numerical solvers.
     Simulate {
         /// Input model or LTS path.
         input: String,
@@ -104,6 +182,24 @@ pub enum Command {
         rel_width: f64,
         /// Confidence level of the intervals.
         confidence: f64,
+        /// State-count / wall-clock budget (cap on exploration; deadline
+        /// checked between simulation batches).
+        budget: Budget,
+    },
+    /// `serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
+    /// [--queue-cap N] [--cache-capacity N]` — run the evaluation service
+    /// (handled by the `multival` binary in the `multival-svc` crate).
+    Serve {
+        /// Listen address.
+        addr: String,
+        /// On-disk cache tier directory (`None` = in-memory cache only).
+        cache_dir: Option<String>,
+        /// Worker threads evaluating jobs.
+        workers: usize,
+        /// Bounded submission-queue capacity (further posts are rejected).
+        queue_cap: usize,
+        /// In-memory cache entries per shard times shard count.
+        cache_capacity: usize,
     },
     /// `walk <model.lot> [--steps N] [--seed S]` — random execution trace.
     Walk {
@@ -149,18 +245,23 @@ multival — functional verification + performance evaluation (DATE'08 flow)
 
 USAGE:
   multival explore  <model.lot> [--aut OUT] [--dot OUT] [--max-states N]
+                    [--timeout-secs T]
                     [--threads N]   (1 = sequential, 0 = all hardware threads)
                     [--on-the-fly]  (scan without materializing the LTS)
-  multival check    <model.lot|lts.aut> <FORMULA> [--on-the-fly]
+  multival check    <model.lot|lts.aut> <FORMULA> [--max-states N]
+                    [--timeout-secs T] [--on-the-fly]
   multival minimize <model.lot|lts.aut> [--eq strong|branching] [--aut OUT]
   multival compare  <A> <B> [--eq strong|branching|traces] [--on-the-fly]
   multival solve    <model.lot> --rate GATE=RATE ... [--probe GATE ...]
   multival simulate <model.lot|lts.aut> --rate GATE=RATE ... [--probe GATE ...]
                     [--horizon T] [--time T] [--trajectories N] [--seed S]
                     [--threads N] [--rel-width W] [--confidence C]
+                    [--max-states N] [--timeout-secs T]
   multival walk     <model.lot> [--steps N] [--seed S]
   multival refines  <IMP> <SPEC> [--weak]
   multival lint     <model.lot>
+  multival serve    [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
+                    [--queue-cap N] [--cache-capacity N]
 
 Inputs ending in .aut are read as Aldebaran LTSs; anything else is parsed as
 mini-LOTOS. FORMULA is modal mu-calculus, e.g. 'nu X. <true> true and [true] X'.
@@ -174,7 +275,17 @@ determinizes straight from the term graphs.
 simulate runs the statistical engine: batched Monte-Carlo trajectories with
 Welford statistics and CI-width stopping, reported next to the numerical
 steady-state (and, with --time, transient) answers. Estimates depend only on
---seed, never on --threads.
+--seed, never on --threads. simulate exits nonzero (2) when the stopping
+rule is not met within the trajectory cap.
+
+--timeout-secs / --max-states bound a run: when a budget trips, partial
+results are reported with a `Budget exceeded` note and exit code 3.
+
+serve starts the long-running evaluation service: a bounded job queue and
+worker pool behind a std-only HTTP/1.1 JSON API (POST /v1/jobs,
+GET /v1/jobs/{id}, GET /v1/metrics, GET /v1/healthz), fronted by a
+content-addressed result cache. SIGTERM/SIGINT drains in-flight jobs, then
+prints the service report.
 ";
 
 /// Parses argv (without the program name).
@@ -190,23 +301,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut input = None;
             let mut aut = None;
             let mut dot = None;
-            let mut max_states = 1_000_000;
+            let mut budget = Budget::default();
             let mut threads = 1usize;
             let mut on_the_fly = false;
             while let Some(a) = it.next() {
                 match a {
                     "--aut" => aut = Some(next_value(&mut it, "--aut")?),
                     "--dot" => dot = Some(next_value(&mut it, "--dot")?),
-                    "--max-states" => {
-                        max_states = next_value(&mut it, "--max-states")?
-                            .parse()
-                            .map_err(|_| "--max-states needs a number".to_owned())?
-                    }
-                    "--threads" => {
-                        threads = next_value(&mut it, "--threads")?
-                            .parse()
-                            .map_err(|_| "--threads needs a number".to_owned())?
-                    }
+                    "--max-states" => budget.max_states = Some(parse_flag(&mut it, a)?),
+                    "--timeout-secs" => budget = budget.with_timeout_secs(parse_flag(&mut it, a)?),
+                    "--threads" => threads = parse_flag(&mut it, a)?,
                     "--on-the-fly" => on_the_fly = true,
                     other if input.is_none() => input = Some(other.to_owned()),
                     other => return Err(format!("unexpected argument `{other}`")),
@@ -217,11 +321,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             drop --aut/--dot or the flag"
                     .to_owned());
             }
+            if on_the_fly && budget.timeout.is_some() {
+                return Err("--timeout-secs applies to materializing exploration; \
+                            the on-the-fly scan is bounded by --max-states"
+                    .to_owned());
+            }
             Ok(Command::Explore {
                 input: input.ok_or("explore needs a model path")?,
                 aut,
                 dot,
-                max_states,
+                budget,
                 threads,
                 on_the_fly,
             })
@@ -229,9 +338,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         Some("check") => {
             let mut positional = Vec::new();
             let mut on_the_fly = false;
-            for a in it.by_ref() {
+            let mut budget = Budget::default();
+            while let Some(a) = it.next() {
                 match a {
                     "--on-the-fly" => on_the_fly = true,
+                    "--max-states" => budget.max_states = Some(parse_flag(&mut it, a)?),
+                    "--timeout-secs" => budget = budget.with_timeout_secs(parse_flag(&mut it, a)?),
                     other => positional.push(other.to_owned()),
                 }
             }
@@ -240,7 +352,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             let formula = positional.pop().expect("len 2");
             let input = positional.pop().expect("len 1");
-            Ok(Command::Check { input, formula, on_the_fly })
+            Ok(Command::Check { input, formula, on_the_fly, budget })
         }
         Some("minimize") => {
             let mut input = None;
@@ -373,6 +485,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut threads = 1usize;
             let mut rel_width = 0.05f64;
             let mut confidence = 0.99f64;
+            let mut budget = Budget::default();
             while let Some(a) = it.next() {
                 match a {
                     "--rate" => {
@@ -422,6 +535,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             .parse()
                             .map_err(|_| "--confidence needs a number".to_owned())?
                     }
+                    "--max-states" => budget.max_states = Some(parse_flag(&mut it, a)?),
+                    "--timeout-secs" => budget = budget.with_timeout_secs(parse_flag(&mut it, a)?),
                     other if input.is_none() => input = Some(other.to_owned()),
                     other => return Err(format!("unexpected argument `{other}`")),
                 }
@@ -443,7 +558,32 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 threads,
                 rel_width,
                 confidence,
+                budget,
             })
+        }
+        Some("serve") => {
+            let mut addr = "127.0.0.1:7171".to_owned();
+            let mut cache_dir = None;
+            let mut workers = 2usize;
+            let mut queue_cap = 64usize;
+            let mut cache_capacity = 256usize;
+            while let Some(a) = it.next() {
+                match a {
+                    "--addr" => addr = next_value(&mut it, "--addr")?,
+                    "--cache-dir" => cache_dir = Some(next_value(&mut it, "--cache-dir")?),
+                    "--workers" => workers = parse_flag(&mut it, a)?,
+                    "--queue-cap" => queue_cap = parse_flag(&mut it, a)?,
+                    "--cache-capacity" => cache_capacity = parse_flag(&mut it, a)?,
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            if workers == 0 {
+                return Err("--workers must be at least 1".to_owned());
+            }
+            if queue_cap == 0 {
+                return Err("--queue-cap must be at least 1".to_owned());
+            }
+            Ok(Command::Serve { addr, cache_dir, workers, queue_cap, cache_capacity })
         }
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -451,6 +591,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
 
 fn next_value<'a>(it: &mut impl Iterator<Item = &'a str>, flag: &str) -> Result<String, String> {
     it.next().map(str::to_owned).ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Takes and parses the value of a numeric flag.
+fn parse_flag<'a, T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = &'a str>,
+    flag: &str,
+) -> Result<T, String> {
+    next_value(it, flag)?.parse().map_err(|_| format!("{flag} needs a number"))
 }
 
 /// Runs `check --on-the-fly`. Returns `Ok(None)` when the formula is
@@ -515,20 +663,51 @@ fn load(path: &str, max_states: usize) -> Result<Lts, Box<dyn Error>> {
     }
 }
 
-/// Executes a command, returning the text to print.
+/// Budget-aware [`load`]: a `.aut` input is already materialized and loads
+/// fully; a mini-LOTOS source is explored under the budget, and a tripped
+/// budget comes back as `Ok(Err((partial_lts, reason)))` so callers can
+/// report partial results.
+#[allow(clippy::type_complexity)]
+fn load_budgeted(
+    path: &str,
+    budget: &Budget,
+) -> Result<Result<Lts, (Lts, ExploreError)>, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    if path.ends_with(".aut") {
+        Ok(Ok(read_aut(&text)?))
+    } else {
+        let spec = parse_spec(&text)?;
+        let mut options = ExploreOptions::with_max_states(budget.max_states_or(1_000_000));
+        if let Some(deadline) = budget.deadline() {
+            options = options.with_deadline(deadline);
+        }
+        let exploration = explore_partial(&spec, &options);
+        Ok(match exploration.aborted {
+            Some(err) => Err((exploration.explored.lts, err)),
+            None => Ok(exploration.explored.lts),
+        })
+    }
+}
+
+/// Executes a command, returning the text to print plus its exit status.
 ///
 /// # Errors
 ///
 /// Propagates I/O, parse, exploration, and solver errors.
-pub fn execute(cmd: &Command) -> Result<String, Box<dyn Error>> {
+pub fn execute(cmd: &Command) -> Result<CmdOut, Box<dyn Error>> {
     match cmd {
-        Command::Help => Ok(USAGE.to_owned()),
-        Command::Explore { input, aut, dot, max_states, threads, on_the_fly } => {
+        Command::Help => Ok(USAGE.to_owned().into()),
+        Command::Serve { .. } => Err("`multival serve` is provided by the full `multival` \
+             binary (crate multival-svc); the core library only parses the verb"
+            .into()),
+        Command::Explore { input, aut, dot, budget, threads, on_the_fly } => {
             let mut out = String::new();
+            let mut status = CmdStatus::Ok;
+            let max_states = budget.max_states_or(1_000_000);
             if *on_the_fly {
                 let text = std::fs::read_to_string(input)
                     .map_err(|e| format!("cannot read `{input}`: {e}"))?;
-                let options = ReachOptions::with_max_states(*max_states);
+                let options = ReachOptions::with_max_states(max_states);
                 // A .aut input is already an explicit LTS, so the scan walks
                 // materialized states; a mini-LOTOS source is walked straight
                 // over its term graph.
@@ -546,21 +725,26 @@ pub fn execute(cmd: &Command) -> Result<String, Box<dyn Error>> {
                 };
                 out.push_str(&stats.render());
                 let _ = writeln!(out, "deadlock states: {}", summary.deadlocks);
-                return Ok(out);
+                return Ok(out.into());
             }
             let lts = if input.ends_with(".aut") {
-                load(input, *max_states)?
+                load(input, max_states)?
             } else {
                 let text = std::fs::read_to_string(input)
                     .map_err(|e| format!("cannot read `{input}`: {e}"))?;
                 let spec = parse_spec(&text)?;
-                let options = ExploreOptions::with_max_states(*max_states).with_threads(*threads);
+                let mut options =
+                    ExploreOptions::with_max_states(max_states).with_threads(*threads);
+                if let Some(deadline) = budget.deadline() {
+                    options = options.with_deadline(deadline);
+                }
                 let start = std::time::Instant::now();
                 let exploration = explore_partial(&spec, &options);
                 let wall = start.elapsed();
                 if let Some(err) = &exploration.aborted {
                     let _ = writeln!(out, "warning: exploration aborted: {err}");
-                    let _ = writeln!(out, "warning: reporting the partial state space");
+                    let _ = writeln!(out, "Budget exceeded; reporting the partial state space");
+                    status = CmdStatus::BudgetExceeded;
                 }
                 let explored = exploration.explored;
                 if *threads != 1 {
@@ -596,16 +780,31 @@ pub fn execute(cmd: &Command) -> Result<String, Box<dyn Error>> {
                 std::fs::write(path, write_dot(&lts, input))?;
                 let _ = writeln!(out, "wrote {path}");
             }
-            Ok(out)
+            Ok(CmdOut::with_status(out, status))
         }
-        Command::Check { input, formula, on_the_fly } => {
+        Command::Check { input, formula, on_the_fly, budget } => {
             if *on_the_fly {
                 if let Some(out) = check_on_the_fly(input, formula)? {
-                    return Ok(out);
+                    return Ok(out.into());
                 }
                 // Outside the fragment: fall through to the eager evaluator.
             }
-            let lts = load(input, 1_000_000)?;
+            // A verdict on a partial state space would be unsound, so a
+            // tripped budget yields a clear no-verdict report instead.
+            let lts = match load_budgeted(input, budget)? {
+                Ok(lts) => lts,
+                Err((partial, err)) => {
+                    return Ok(CmdOut::with_status(
+                        format!(
+                            "Budget exceeded: {err}\n\
+                             NO VERDICT: the formula needs the full state space \
+                             ({} states explored)\n",
+                            partial.num_states()
+                        ),
+                        CmdStatus::BudgetExceeded,
+                    ));
+                }
+            };
             let f = multival_mcl::parse_formula(formula)?;
             let result = multival_mcl::check(&lts, &f)?;
             let mut out = String::new();
@@ -624,7 +823,7 @@ pub fn execute(cmd: &Command) -> Result<String, Box<dyn Error>> {
                 result.satisfying,
                 result.total
             );
-            Ok(out)
+            Ok(out.into())
         }
         Command::Minimize { input, eq, aut } => {
             let lts = load(input, 1_000_000)?;
@@ -641,7 +840,7 @@ pub fn execute(cmd: &Command) -> Result<String, Box<dyn Error>> {
                 std::fs::write(path, write_aut(&min))?;
                 let _ = writeln!(out, "wrote {path}");
             }
-            Ok(out)
+            Ok(out.into())
         }
         Command::Compare { left, right, relation, on_the_fly } => {
             let verdict = if *on_the_fly {
@@ -658,13 +857,13 @@ pub fn execute(cmd: &Command) -> Result<String, Box<dyn Error>> {
                     Relation::Traces => weak_trace_equivalent(&a, &b, 1 << 20),
                 }
             };
-            Ok(match verdict {
+            Ok(CmdOut::from(match verdict {
                 Verdict::Equivalent => "EQUIVALENT\n".to_owned(),
                 Verdict::Inequivalent { witness: Some(w) } => {
                     format!("NOT EQUIVALENT\ndistinguishing trace: {}\n", w.join(" "))
                 }
                 Verdict::Inequivalent { witness: None } => "NOT EQUIVALENT\n".to_owned(),
-            })
+            }))
         }
         Command::Lint { input } => {
             let text = std::fs::read_to_string(input)
@@ -672,13 +871,13 @@ pub fn execute(cmd: &Command) -> Result<String, Box<dyn Error>> {
             let spec = multival_pa::parse_spec(&text)?;
             let findings = multival_pa::lint(&spec);
             if findings.is_empty() {
-                Ok("no lint findings\n".to_owned())
+                Ok("no lint findings\n".to_owned().into())
             } else {
                 let mut out = String::new();
                 for f in findings {
                     let _ = writeln!(out, "warning: {f}");
                 }
-                Ok(out)
+                Ok(out.into())
             }
         }
         Command::Walk { input, steps, seed } => {
@@ -703,18 +902,18 @@ pub fn execute(cmd: &Command) -> Result<String, Box<dyn Error>> {
                 );
                 state = t.target;
             }
-            Ok(out)
+            Ok(out.into())
         }
         Command::Refines { imp, spec, weak } => {
             use multival_lts::simulation::{simulates, SimulationKind};
             let a = load(imp, 1_000_000)?;
             let b = load(spec, 1_000_000)?;
             let kind = if *weak { SimulationKind::Weak } else { SimulationKind::Strong };
-            Ok(if simulates(&a, &b, kind) {
+            Ok(CmdOut::from(if simulates(&a, &b, kind) {
                 "REFINES (the specification simulates the implementation)\n".to_owned()
             } else {
                 "DOES NOT REFINE\n".to_owned()
-            })
+            }))
         }
         Command::Solve { input, rates, probes } => {
             let text = std::fs::read_to_string(input)
@@ -742,7 +941,7 @@ pub fn execute(cmd: &Command) -> Result<String, Box<dyn Error>> {
                     let _ = writeln!(out, "... ({} states total)", pi.len());
                 }
             }
-            Ok(out)
+            Ok(out.into())
         }
         Command::Simulate {
             input,
@@ -755,21 +954,39 @@ pub fn execute(cmd: &Command) -> Result<String, Box<dyn Error>> {
             threads,
             rel_width,
             confidence,
+            budget,
         } => {
-            let flow = Flow::from_lts(load(input, 1_000_000)?);
+            let flow = Flow::from_lts(load(input, budget.max_states_or(1_000_000))?);
             let rate_map: HashMap<String, f64> = rates.iter().cloned().collect();
             let probe_refs: Vec<&str> = probes.iter().map(String::as_str).collect();
             let solved = flow.with_rates(&rate_map).solve(NondetPolicy::Uniform, &probe_refs)?;
             let workers = if *threads == 0 { Workers::auto() } else { Workers::new(*threads) };
+            // One wall-clock budget covers the whole invocation, so both
+            // sampling runs share the same absolute deadline.
             let opts = McOptions {
                 seed: *seed,
                 workers,
                 max_trajectories: *trajectories,
                 rel_width: *rel_width,
                 confidence: *confidence,
+                deadline: budget.deadline(),
                 ..McOptions::default()
             };
             let mut out = String::new();
+            let mut status = CmdStatus::Ok;
+            let mut account = |run: &multival_ctmc::McRun, out: &mut String| {
+                if run.budget_hit {
+                    let _ = writeln!(
+                        out,
+                        "Budget exceeded: wall-clock limit hit after {} trajectories; \
+                         the estimates above are partial",
+                        run.trajectories
+                    );
+                    status = status.worst(CmdStatus::BudgetExceeded);
+                } else if !run.converged {
+                    status = status.worst(CmdStatus::NotConverged);
+                }
+            };
             let _ = writeln!(out, "ctmc states: {}", solved.ctmc().num_states());
 
             let pi = solved.steady_state()?;
@@ -777,6 +994,7 @@ pub fn execute(cmd: &Command) -> Result<String, Box<dyn Error>> {
             let _ = writeln!(out, "occupancy vs steady state (horizon {horizon}):");
             out.push_str(&comparison_table(&pi, &run, opts.abs_width));
             out.push_str(&SimStats::from(&run).render());
+            account(&run, &mut out);
 
             if let Some(t) = time {
                 let exact = solved.transient(*t)?;
@@ -784,8 +1002,17 @@ pub fn execute(cmd: &Command) -> Result<String, Box<dyn Error>> {
                 let _ = writeln!(out, "transient vs uniformization (t = {t}):");
                 out.push_str(&comparison_table(&exact, &run_t, opts.abs_width));
                 out.push_str(&SimStats::from(&run_t).render());
+                account(&run_t, &mut out);
             }
-            Ok(out)
+            if status == CmdStatus::NotConverged {
+                let _ = writeln!(
+                    out,
+                    "error: the CI-width stopping rule was not met within \
+                     {trajectories} trajectories; raise --trajectories or \
+                     loosen --rel-width"
+                );
+            }
+            Ok(CmdOut::with_status(out, status))
         }
     }
 }
@@ -834,7 +1061,7 @@ mod tests {
                 input: "m.lot".into(),
                 aut: Some("o.aut".into()),
                 dot: None,
-                max_states: 1_000_000,
+                budget: Budget::default(),
                 threads: 1,
                 on_the_fly: false
             }
@@ -850,7 +1077,7 @@ mod tests {
                 input: "m.lot".into(),
                 aut: None,
                 dot: None,
-                max_states: 1_000_000,
+                budget: Budget::default(),
                 threads: 4,
                 on_the_fly: false
             }
@@ -901,7 +1128,7 @@ mod tests {
             input: model.clone(),
             aut: None,
             dot: None,
-            max_states: 1000,
+            budget: Budget::default().with_max_states(1000),
             threads: 1,
             on_the_fly: true,
         })
@@ -915,6 +1142,7 @@ mod tests {
             input: model.clone(),
             formula: "mu X. <\"b\"> true or <true> X".into(),
             on_the_fly: true,
+            budget: Budget::default(),
         })
         .expect("check");
         assert!(out.starts_with("TRUE"), "{out}");
@@ -926,6 +1154,7 @@ mod tests {
             input: model.clone(),
             formula: "<\"a\"> true".into(),
             on_the_fly: true,
+            budget: Budget::default(),
         })
         .expect("check");
         assert!(out.contains("outside the on-the-fly fragment"), "{out}");
@@ -1056,6 +1285,7 @@ mod tests {
                 threads,
                 rel_width: 0.05,
                 confidence: 0.99,
+                budget: Budget::default(),
             })
             .expect("simulate")
         };
@@ -1164,7 +1394,7 @@ mod tests {
             input: model.clone(),
             aut: None,
             dot: None,
-            max_states: 10_000,
+            budget: Budget::default().with_max_states(10_000),
             threads: 4,
             on_the_fly: false,
         })
@@ -1177,7 +1407,7 @@ mod tests {
             input: model,
             aut: None,
             dot: None,
-            max_states: 100,
+            budget: Budget::default().with_max_states(100),
             threads: 1,
             on_the_fly: false,
         })
@@ -1208,7 +1438,7 @@ mod tests {
             input: model.clone(),
             aut: Some(aut.clone()),
             dot: None,
-            max_states: 1000,
+            budget: Budget::default().with_max_states(1000),
             threads: 1,
             on_the_fly: false,
         })
@@ -1221,6 +1451,7 @@ mod tests {
                 input: input.clone(),
                 formula: "nu X. <true> true and [true] X".into(),
                 on_the_fly: false,
+                budget: Budget::default(),
             })
             .expect("check");
             assert!(out.starts_with("TRUE"), "{out}");

@@ -46,6 +46,7 @@
 //! # }
 //! ```
 
+pub mod budget;
 pub mod cli;
 pub mod flow;
 pub mod report;

@@ -247,6 +247,56 @@ impl SimStats {
     }
 }
 
+/// Report for one evaluation-service run, rendered when `multival serve`
+/// shuts down (and mirrored by the `/v1/metrics` endpoint as JSON).
+#[derive(Debug, Clone, Default)]
+#[must_use]
+pub struct ServeStats {
+    /// Jobs accepted into the queue.
+    pub accepted: usize,
+    /// Jobs finished successfully.
+    pub done: usize,
+    /// Jobs that failed (bad model, solver error, …).
+    pub failed: usize,
+    /// Jobs rejected because the submission queue was full.
+    pub rejected: usize,
+    /// Jobs cancelled before a worker picked them up.
+    pub cancelled: usize,
+    /// Result-cache hits (answers served without touching the engines).
+    pub cache_hits: usize,
+    /// Result-cache misses.
+    pub cache_misses: usize,
+    /// Wall-clock time the service was up.
+    pub uptime: Duration,
+}
+
+impl ServeStats {
+    /// Cache hit rate in `[0, 1]`; `0` when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Renders the report as an aligned two-column table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&["service", "value"]);
+        t.row_owned(vec!["jobs accepted".into(), self.accepted.to_string()]);
+        t.row_owned(vec!["jobs done".into(), self.done.to_string()]);
+        t.row_owned(vec!["jobs failed".into(), self.failed.to_string()]);
+        t.row_owned(vec!["jobs rejected".into(), self.rejected.to_string()]);
+        t.row_owned(vec!["jobs cancelled".into(), self.cancelled.to_string()]);
+        t.row_owned(vec!["cache hits".into(), self.cache_hits.to_string()]);
+        t.row_owned(vec!["cache misses".into(), self.cache_misses.to_string()]);
+        t.row_owned(vec!["cache hit rate".into(), format!("{:.1}%", self.hit_rate() * 100.0)]);
+        t.row_owned(vec!["uptime".into(), format!("{:.1} s", self.uptime.as_secs_f64())]);
+        t.render()
+    }
+}
+
 /// Formats a float with 4 significant decimals, trimming noise.
 pub fn fmt_f(x: f64) -> String {
     if x == f64::INFINITY {
@@ -329,6 +379,26 @@ mod tests {
         assert!(!text.contains("warning"), "{text}");
         let capped = SimStats { converged: false, ..stats };
         assert!(capped.render().contains("trajectory cap hit"), "{}", capped.render());
+    }
+
+    #[test]
+    fn serve_stats_report() {
+        let stats = ServeStats {
+            accepted: 10,
+            done: 8,
+            failed: 1,
+            rejected: 2,
+            cancelled: 1,
+            cache_hits: 3,
+            cache_misses: 9,
+            uptime: Duration::from_millis(2500),
+        };
+        assert!((stats.hit_rate() - 0.25).abs() < 1e-12);
+        let text = stats.render();
+        assert!(text.contains("jobs accepted"), "{text}");
+        assert!(text.contains("cache hit rate  25.0%"), "{text}");
+        assert!(text.contains("2.5 s"), "{text}");
+        assert_eq!(ServeStats::default().hit_rate(), 0.0);
     }
 
     #[test]

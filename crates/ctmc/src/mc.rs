@@ -41,6 +41,13 @@ pub struct McOptions {
     /// … or below this absolute width (whichever is larger per estimate;
     /// keeps near-zero means from demanding unbounded precision).
     pub abs_width: f64,
+    /// Wall-clock budget, checked between batches: when the instant passes
+    /// the run stops and reports the estimates accumulated so far with
+    /// [`McRun::budget_hit`] set. `None` (the default) runs to the
+    /// trajectory cap. A tripped deadline makes the trajectory count
+    /// machine-dependent, so deterministic callers leave this unset and cap
+    /// trajectories instead.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for McOptions {
@@ -53,6 +60,7 @@ impl Default for McOptions {
             confidence: 0.99,
             rel_width: 0.02,
             abs_width: 5e-3,
+            deadline: None,
         }
     }
 }
@@ -85,6 +93,9 @@ pub struct McRun {
     pub threads: usize,
     /// Confidence level of the reported half-widths.
     pub confidence: f64,
+    /// Whether the wall-clock deadline tripped before the stopping rule or
+    /// trajectory cap was reached (estimates are still valid, just wider).
+    pub budget_hit: bool,
 }
 
 impl McRun {
@@ -120,7 +131,12 @@ fn run_batched(
     let mut done = 0usize;
     let mut batches = 0usize;
     let mut converged = false;
+    let mut budget_hit = false;
     while done < opts.max_trajectories {
+        if opts.deadline.is_some_and(|d| Instant::now() >= d) {
+            budget_hit = true;
+            break;
+        }
         let size = batch.min(opts.max_trajectories - done);
         let indices: Vec<u64> = (done as u64..(done + size) as u64).collect();
         let samples = par_map_min(opts.workers, 2, &indices, |_, &i| {
@@ -157,6 +173,7 @@ fn run_batched(
         wall: start.elapsed(),
         threads: opts.workers.get(),
         confidence: opts.confidence,
+        budget_hit,
     }
 }
 

@@ -52,8 +52,49 @@ pub fn write_aut(lts: &Lts) -> String {
     let _ =
         writeln!(out, "des ({}, {}, {})", lts.initial(), lts.num_transitions(), lts.num_states());
     for (s, l, t) in lts.iter_transitions() {
-        let name = lts.labels().name(l).replace('"', "\\\"");
-        let _ = writeln!(out, "({}, \"{}\", {})", s, name, t);
+        let _ = writeln!(out, "({}, \"{}\", {})", s, escape_label(lts.labels().name(l)), t);
+    }
+    out
+}
+
+/// Escapes a label for a quoted Aldebaran string: backslashes first, then
+/// quotes, so the output re-parses unambiguously (and conforming third-party
+/// readers agree). The old writer left backslashes bare, which a conforming
+/// reader mis-interprets as escape introducers.
+fn escape_label(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Undoes [`escape_label`]: `\\` → `\`, `\"` → `"`. A backslash before any
+/// other character is kept verbatim (leniency for files written by the old
+/// writer, which never escaped backslashes).
+fn unescape_label(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.peek() {
+                Some('\\') => {
+                    out.push('\\');
+                    chars.next();
+                }
+                Some('"') => {
+                    out.push('"');
+                    chars.next();
+                }
+                _ => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
     }
     out
 }
@@ -126,7 +167,7 @@ pub fn read_aut(text: &str) -> Result<Lts, ParseAutError> {
         if label.len() >= 2 && label.starts_with('"') && label.ends_with('"') {
             label = &label[1..label.len() - 1];
         }
-        let unescaped = label.replace("\\\"", "\"");
+        let unescaped = unescape_label(label);
         if src >= nstates || dst >= nstates {
             return Err(ParseAutError {
                 line: no + 1,
@@ -167,7 +208,7 @@ pub fn write_dot(lts: &Lts, name: &str) -> String {
         }
     }
     for (s, l, t) in lts.iter_transitions() {
-        let label = lts.labels().name(l).replace('"', "\\\"");
+        let label = escape_label(lts.labels().name(l));
         let style = if l.is_tau() { ", style=dashed" } else { "" };
         let _ = writeln!(out, "  s{s} -> s{t} [label=\"{label}\"{style}];");
     }
@@ -235,5 +276,38 @@ mod tests {
         let back = read_aut(&write_aut(&lts)).expect("quoted label parses");
         let (_, l, _) = back.iter_transitions().next().expect("one transition");
         assert_eq!(back.labels().name(l), "SAY !\"hi\"");
+    }
+
+    #[test]
+    fn backslashes_are_escaped_on_write_and_roundtrip() {
+        // Every mix of backslashes, quotes, and spaces must survive a
+        // write/read cycle, and the written form must escape backslashes so
+        // conforming Aldebaran readers agree on the label.
+        for name in [r"a\b", r"a\\b", r"end\", r#"\""#, r#"mix \"q\" uo"#, r"  spaced \ out  "] {
+            let lts = lts_from_triples(&[(0, name, 1)]);
+            let text = write_aut(&lts);
+            let back = read_aut(&text).expect("escaped label parses");
+            let (_, l, _) = back.iter_transitions().next().expect("one transition");
+            assert_eq!(back.labels().name(l), name, "roundtrip of {name:?} via {text}");
+        }
+        let lts = lts_from_triples(&[(0, r"a\b", 1)]);
+        assert!(write_aut(&lts).contains(r"a\\b"), "bare backslash must be written escaped");
+    }
+
+    #[test]
+    fn conforming_escaped_backslash_is_unescaped() {
+        // A file written by a conforming tool: `\\` denotes one backslash.
+        let lts = read_aut("des (0, 1, 2)\n(0, \"a\\\\b\", 1)\n").expect("parses");
+        let (_, l, _) = lts.iter_transitions().next().expect("one transition");
+        assert_eq!(lts.labels().name(l), r"a\b");
+    }
+
+    #[test]
+    fn legacy_bare_backslash_still_parses() {
+        // Files written by the pre-escaping writer left backslashes bare; a
+        // lone backslash before an ordinary character is kept verbatim.
+        let lts = read_aut("des (0, 1, 2)\n(0, \"a\\b\", 1)\n").expect("parses");
+        let (_, l, _) = lts.iter_transitions().next().expect("one transition");
+        assert_eq!(lts.labels().name(l), r"a\b");
     }
 }

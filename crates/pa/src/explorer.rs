@@ -28,11 +28,21 @@ pub struct ExploreOptions {
     /// strictly sequential, `0` means one per hardware thread. The result
     /// is identical whatever the value.
     pub threads: usize,
+    /// Wall-clock budget: exploration aborts (keeping partial work) once
+    /// this instant passes. `None` (the default) runs unbounded. Unlike the
+    /// state caps, where the abort lands depends on machine speed — callers
+    /// wanting reproducible truncation should cap states instead.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for ExploreOptions {
     fn default() -> Self {
-        ExploreOptions { max_states: 1_000_000, max_transitions: 8_000_000, threads: 1 }
+        ExploreOptions {
+            max_states: 1_000_000,
+            max_transitions: 8_000_000,
+            threads: 1,
+            deadline: None,
+        }
     }
 }
 
@@ -49,6 +59,12 @@ impl ExploreOptions {
     /// Sets the worker-thread count (`0` = one per hardware thread).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -83,6 +99,14 @@ pub enum ExploreError {
         /// Display form of the state whose transitions failed to derive.
         state: String,
     },
+    /// The wall-clock budget ([`ExploreOptions::deadline`]) ran out. The
+    /// counts report the work admitted before the abort.
+    Deadline {
+        /// States enumerated when the budget ran out.
+        states: usize,
+        /// Transitions enumerated when the budget ran out.
+        transitions: usize,
+    },
 }
 
 impl fmt::Display for ExploreError {
@@ -96,6 +120,11 @@ impl fmt::Display for ExploreError {
             ExploreError::Semantics { error, state } => {
                 write!(f, "{error} (in state `{state}`)")
             }
+            ExploreError::Deadline { states, transitions } => write!(
+                f,
+                "wall-clock budget exhausted after {states} states / \
+                 {transitions} transitions"
+            ),
         }
     }
 }
@@ -226,6 +255,15 @@ impl LabelCache {
     }
 }
 
+/// How many dequeued states pass between wall-clock checks in the
+/// sequential loop — keeps `Instant::now` off the per-state hot path.
+const DEADLINE_STRIDE: usize = 128;
+
+/// Whether the options' wall-clock budget has run out.
+fn past_deadline(options: &ExploreOptions) -> bool {
+    options.deadline.is_some_and(|d| std::time::Instant::now() >= d)
+}
+
 fn explore_sequential(initial: Arc<Term>, spec: &Spec, options: &ExploreOptions) -> Exploration {
     let mut builder = LtsBuilder::new();
     let mut labels = LabelCache::default();
@@ -233,6 +271,7 @@ fn explore_sequential(initial: Arc<Term>, spec: &Spec, options: &ExploreOptions)
     let mut states: Vec<Arc<Term>> = Vec::new();
     let mut queue: VecDeque<(StateId, usize)> = VecDeque::new();
     let mut ntrans = 0usize;
+    let mut since_check = 0usize;
 
     let s0 = builder.add_state();
     index.insert(initial.clone(), s0);
@@ -240,6 +279,14 @@ fn explore_sequential(initial: Arc<Term>, spec: &Spec, options: &ExploreOptions)
     queue.push_back((s0, 0));
 
     while let Some((s, depth)) = queue.pop_front() {
+        since_check += 1;
+        if since_check >= DEADLINE_STRIDE {
+            since_check = 0;
+            if past_deadline(options) {
+                let aborted = ExploreError::Deadline { states: states.len(), transitions: ntrans };
+                return finish(builder, states, Some(aborted));
+            }
+        }
         let term = states[s as usize].clone();
         let outgoing = match transitions(&term, spec) {
             Ok(o) => o,
@@ -315,6 +362,12 @@ fn explore_parallel(
     let mut depth = 0usize;
 
     while !frontier.is_empty() {
+        // Wall-clock budget, checked once per BFS level (the sequential
+        // loop checks every few states; a level is the coarser analogue).
+        if past_deadline(options) {
+            let aborted = ExploreError::Deadline { states: states.len(), transitions: ntrans };
+            return finish(builder, states, Some(aborted));
+        }
         // Parallel stage: derive successors of every frontier state.
         // Workers touch only the sharded index; ids they hand out are
         // provisional (scheduling-dependent) and renumbered below.
@@ -499,18 +552,21 @@ mod tests {
         // exact counts must succeed, caps one below must fail and report
         // exactly the admitted work.
         let s = counter_spec(4);
-        let exact = ExploreOptions { max_states: 5, max_transitions: 8, threads: 1 };
+        let exact =
+            ExploreOptions { max_states: 5, max_transitions: 8, ..ExploreOptions::default() };
         let e = explore(&s, &exact).expect("caps equal to the space succeed");
         assert_eq!(e.lts.num_states(), 5);
         assert_eq!(e.lts.num_transitions(), 8);
 
-        let tight_states = ExploreOptions { max_states: 4, max_transitions: 8, threads: 1 };
+        let tight_states =
+            ExploreOptions { max_states: 4, max_transitions: 8, ..ExploreOptions::default() };
         match explore(&s, &tight_states).expect_err("state cap") {
             ExploreError::Explosion { states, .. } => assert_eq!(states, 4),
             other => panic!("unexpected {other}"),
         }
 
-        let tight_trans = ExploreOptions { max_states: 5, max_transitions: 7, threads: 1 };
+        let tight_trans =
+            ExploreOptions { max_states: 5, max_transitions: 7, ..ExploreOptions::default() };
         match explore(&s, &tight_trans).expect_err("transition cap") {
             ExploreError::Explosion { transitions, .. } => assert_eq!(transitions, 7),
             other => panic!("unexpected {other}"),
@@ -520,7 +576,8 @@ mod tests {
     #[test]
     fn explosion_retains_partial_work() {
         let s = counter_spec(100);
-        let opts = ExploreOptions { max_states: 10, max_transitions: 800, threads: 1 };
+        let opts =
+            ExploreOptions { max_states: 10, max_transitions: 800, ..ExploreOptions::default() };
         let partial = explore_partial(&s, &opts);
         let err = partial.aborted.expect("cap hit");
         match err {
@@ -582,7 +639,8 @@ mod tests {
     #[test]
     fn parallel_explosion_matches_sequential_partial_work() {
         let (s, top) = triple_counter_top();
-        let opts = ExploreOptions { max_states: 60, max_transitions: 480, threads: 1 };
+        let opts =
+            ExploreOptions { max_states: 60, max_transitions: 480, ..ExploreOptions::default() };
         let seq = explore_term_partial(top.clone(), &s, &opts);
         let par = explore_term_partial(top, &s, &opts.clone().with_threads(4));
         assert_eq!(seq.aborted, par.aborted, "identical abort report");

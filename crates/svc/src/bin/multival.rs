@@ -1,0 +1,93 @@
+//! The `multival` command-line tool.
+//!
+//! Every verb except `serve` is a thin wrapper over `multival::cli`; the
+//! exit code comes from the command's [`multival::cli::CmdStatus`] (0 ok,
+//! 2 stopping rule not met, 3 budget exceeded, 1 usage/internal error).
+//! `serve` starts the evaluation service from `multival_svc` and runs
+//! until SIGTERM/SIGINT, then drains the job queue and prints the final
+//! [`multival::report::ServeStats`].
+
+use multival::cli::{execute, parse_args, Command};
+use multival_svc::server::{serve, ServerConfig};
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse_args(&args) {
+        Ok(cmd) => cmd,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Command::Serve { addr, cache_dir, workers, queue_cap, cache_capacity } = &cmd {
+        return run_serve(&ServerConfig {
+            addr: addr.clone(),
+            workers: *workers,
+            queue_cap: *queue_cap,
+            cache_capacity: *cache_capacity,
+            cache_dir: cache_dir.as_ref().map(std::path::PathBuf::from),
+            mc_workers: 2,
+        });
+    }
+    match execute(&cmd) {
+        Ok(output) => {
+            print!("{output}");
+            u8::try_from(output.status.exit_code()).map_or(ExitCode::FAILURE, ExitCode::from)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: std::os::raw::c_int) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(
+            signum: std::os::raw::c_int,
+            handler: extern "C" fn(std::os::raw::c_int),
+        ) -> usize;
+    }
+    const SIGINT: std::os::raw::c_int = 2;
+    const SIGTERM: std::os::raw::c_int = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn run_serve(config: &ServerConfig) -> ExitCode {
+    install_signal_handlers();
+    let handle = match serve(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot start service on {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    // The smoke harness greps this line for the bound (possibly ephemeral)
+    // port, so print and flush it before blocking.
+    println!("multival-svc listening on http://{}", handle.addr());
+    let _ = std::io::stdout().flush();
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("shutting down: draining accepted jobs...");
+    let stats = handle.shutdown_and_drain();
+    print!("{}", stats.render());
+    ExitCode::SUCCESS
+}

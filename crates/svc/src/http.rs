@@ -1,0 +1,200 @@
+//! A deliberately small HTTP/1.1 codec: just enough to parse one request
+//! from a buffered stream and write one `Connection: close` JSON response.
+//!
+//! The server speaks one-request-per-connection (simple, robust under
+//! concurrent load tests) and enforces hard caps on header and body sizes
+//! so a misbehaving client cannot balloon memory.
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line or header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, in bytes (uploaded `.aut` texts fit).
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target, e.g. `/v1/jobs/7`.
+    pub path: String,
+    /// Decoded body (`Content-Length` framing only).
+    pub body: String,
+}
+
+/// Why a request could not be parsed; carries the status code to answer
+/// with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// HTTP status to send back.
+    pub status: u16,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> HttpError {
+        HttpError { status, message: message.into() }
+    }
+}
+
+fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE {
+                    return Err(HttpError::new(431, "header line too long"));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpError::new(400, format!("read failed: {e}"))),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::new(400, "header is not UTF-8"))
+}
+
+/// Reads and parses one request from `reader`.
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] carrying the proper status code (400 for
+/// malformed framing, 413 for oversized bodies, 431 for oversized
+/// headers).
+pub fn read_request(reader: &mut impl BufRead) -> Result<HttpRequest, HttpError> {
+    let request_line = read_line(reader)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(HttpError::new(400, format!("malformed request line `{request_line}`")));
+    };
+    let mut content_length = 0usize;
+    for _ in 0..MAX_HEADERS {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            let mut body_bytes = vec![0u8; content_length];
+            reader
+                .read_exact(&mut body_bytes)
+                .map_err(|e| HttpError::new(400, format!("body truncated: {e}")))?;
+            let body = String::from_utf8(body_bytes)
+                .map_err(|_| HttpError::new(400, "body is not UTF-8"))?;
+            return Ok(HttpRequest { method: method.to_owned(), path: path.to_owned(), body });
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length =
+                    value.trim().parse().map_err(|_| HttpError::new(400, "bad Content-Length"))?;
+                if content_length > MAX_BODY {
+                    return Err(HttpError::new(413, "body too large"));
+                }
+            }
+        }
+    }
+    Err(HttpError::new(431, "too many headers"))
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one JSON response and flushes. Always `Connection: close`.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the underlying stream.
+pub fn write_response(writer: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<HttpRequest, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse("GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n").expect("parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/healthz");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn parses_post_with_content_length_body() {
+        let req = parse(
+            "POST /v1/jobs HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 13\r\n\r\n{\"kind\":\"x\"}Z",
+        )
+        .expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, "{\"kind\":\"x\"}Z");
+    }
+
+    #[test]
+    fn tolerates_bare_lf_line_endings() {
+        let req = parse("GET /v1/metrics HTTP/1.1\nHost: x\n\n").expect("parses");
+        assert_eq!(req.path, "/v1/metrics");
+    }
+
+    #[test]
+    fn rejects_oversized_and_malformed() {
+        assert_eq!(parse("GARBAGE\r\n\r\n").expect_err("malformed").status, 400);
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n").expect_err("huge").status,
+            413
+        );
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").expect_err("bad").status,
+            400
+        );
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").expect_err("trunc").status,
+            400
+        );
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_LINE + 1));
+        assert_eq!(parse(&long).expect_err("long line").status, 431);
+    }
+
+    #[test]
+    fn response_has_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}").expect("writes");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

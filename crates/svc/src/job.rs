@@ -1,0 +1,414 @@
+//! The job engine: a bounded submission queue drained by a fixed worker
+//! pool, with cancellation for queued jobs and a graceful drain on
+//! shutdown.
+//!
+//! Submissions check the result cache first — a hit produces a job that is
+//! born `done` without ever touching the queue. Misses enqueue; when the
+//! queue is full the submission is *rejected* (backpressure surfaces to the
+//! HTTP layer as `429`), never silently dropped. `shutdown_and_drain`
+//! stops intake, lets the workers finish every accepted job, and joins
+//! them — accepted work is never lost.
+
+use crate::cache::ResultCache;
+use crate::metrics::Metrics;
+use crate::request::JobRequest;
+use multival_par::Workers;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Lifecycle of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is evaluating it.
+    Running,
+    /// Finished; the result body is available.
+    Done,
+    /// Evaluation failed; the error message is available.
+    Failed,
+    /// Cancelled while still queued.
+    Cancelled,
+}
+
+impl JobState {
+    /// The wire name used in status responses.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// A point-in-time copy of one job's externally visible state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSnapshot {
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Deterministic result JSON (done jobs only).
+    pub result: Option<String>,
+    /// Failure message (failed jobs only).
+    pub error: Option<String>,
+    /// Whether the result came from the cache.
+    pub cached: bool,
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full; retry later.
+    QueueFull,
+    /// The engine is shutting down.
+    ShuttingDown,
+}
+
+struct Job {
+    request: JobRequest,
+    canonical: String,
+    state: JobState,
+    result: Option<String>,
+    error: Option<String>,
+    cached: bool,
+    submitted: Instant,
+}
+
+struct EngineState {
+    jobs: HashMap<u64, Job>,
+    queue: VecDeque<u64>,
+    shutting_down: bool,
+}
+
+struct Inner {
+    state: Mutex<EngineState>,
+    work_ready: Condvar,
+    queue_cap: usize,
+    cache: Arc<ResultCache>,
+    metrics: Arc<Metrics>,
+    mc_workers: usize,
+}
+
+/// The engine: owns the queue, the worker pool, and the jobs table.
+pub struct JobEngine {
+    inner: Arc<Inner>,
+    next_id: AtomicU64,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl JobEngine {
+    /// Starts `workers` evaluation threads over a queue holding at most
+    /// `queue_cap` waiting jobs. `mc_workers` sizes the Monte-Carlo pool
+    /// *inside* each evaluation (estimates are identical for any value).
+    #[must_use]
+    pub fn new(
+        workers: usize,
+        queue_cap: usize,
+        mc_workers: usize,
+        cache: Arc<ResultCache>,
+        metrics: Arc<Metrics>,
+    ) -> JobEngine {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(EngineState {
+                jobs: HashMap::new(),
+                queue: VecDeque::new(),
+                shutting_down: false,
+            }),
+            work_ready: Condvar::new(),
+            queue_cap: queue_cap.max(1),
+            cache,
+            metrics,
+            mc_workers: mc_workers.max(1),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("svc-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn svc worker")
+            })
+            .collect();
+        JobEngine { inner, next_id: AtomicU64::new(1), workers: Mutex::new(handles) }
+    }
+
+    /// Submits a request. A cache hit returns a job that is already
+    /// `done`; a miss enqueues it for the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the bounded queue is at capacity,
+    /// [`SubmitError::ShuttingDown`] after [`JobEngine::shutdown_and_drain`]
+    /// has begun.
+    pub fn submit(&self, request: JobRequest) -> Result<u64, SubmitError> {
+        let canonical = request.canonical();
+        let now = Instant::now();
+        let hit = self.inner.cache.get(&canonical);
+        let mut st = self.inner.state.lock().expect("engine state poisoned");
+        if st.shutting_down {
+            Metrics::bump(&self.inner.metrics.rejected);
+            return Err(SubmitError::ShuttingDown);
+        }
+        if hit.is_none() && st.queue.len() >= self.inner.queue_cap {
+            Metrics::bump(&self.inner.metrics.rejected);
+            return Err(SubmitError::QueueFull);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        Metrics::bump(&self.inner.metrics.accepted);
+        let mut job = Job {
+            request,
+            canonical,
+            state: JobState::Queued,
+            result: None,
+            error: None,
+            cached: false,
+            submitted: now,
+        };
+        if let Some(body) = hit {
+            job.state = JobState::Done;
+            job.result = Some(body);
+            job.cached = true;
+            Metrics::bump(&self.inner.metrics.done);
+            self.inner.metrics.latency.record(now.elapsed());
+            st.jobs.insert(id, job);
+        } else {
+            st.jobs.insert(id, job);
+            st.queue.push_back(id);
+            self.inner.work_ready.notify_one();
+        }
+        Ok(id)
+    }
+
+    /// Snapshot of one job, or `None` for unknown ids.
+    #[must_use]
+    pub fn status(&self, id: u64) -> Option<JobSnapshot> {
+        let st = self.inner.state.lock().expect("engine state poisoned");
+        st.jobs.get(&id).map(|j| JobSnapshot {
+            state: j.state,
+            result: j.result.clone(),
+            error: j.error.clone(),
+            cached: j.cached,
+        })
+    }
+
+    /// Cancels a job that is still queued. Running or finished jobs are
+    /// not cancellable; returns whether the cancellation took effect.
+    pub fn cancel(&self, id: u64) -> bool {
+        let mut st = self.inner.state.lock().expect("engine state poisoned");
+        let Some(job) = st.jobs.get_mut(&id) else { return false };
+        if job.state != JobState::Queued {
+            return false;
+        }
+        job.state = JobState::Cancelled;
+        st.queue.retain(|&q| q != id);
+        Metrics::bump(&self.inner.metrics.cancelled);
+        true
+    }
+
+    /// Number of jobs waiting in the queue right now.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.inner.state.lock().expect("engine state poisoned").queue.len()
+    }
+
+    /// Stops intake, waits for every accepted job to finish, and joins the
+    /// worker pool. Idempotent.
+    pub fn shutdown_and_drain(&self) {
+        {
+            let mut st = self.inner.state.lock().expect("engine state poisoned");
+            st.shutting_down = true;
+            self.inner.work_ready.notify_all();
+        }
+        let handles = std::mem::take(&mut *self.workers.lock().expect("worker handles poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for JobEngine {
+    fn drop(&mut self) {
+        self.shutdown_and_drain();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    let mc = Workers::new(inner.mc_workers);
+    loop {
+        let (id, request, canonical, submitted) = {
+            let mut st = inner.state.lock().expect("engine state poisoned");
+            loop {
+                if let Some(id) = st.queue.pop_front() {
+                    let job = st.jobs.get_mut(&id).expect("queued job exists");
+                    job.state = JobState::Running;
+                    break (id, job.request.clone(), job.canonical.clone(), job.submitted);
+                }
+                if st.shutting_down {
+                    return;
+                }
+                st = inner.work_ready.wait(st).expect("engine state poisoned");
+            }
+        };
+        // Evaluation runs outside the lock; this is the expensive part.
+        let outcome = request.evaluate(mc).map(|json| json.to_string());
+        let mut st = inner.state.lock().expect("engine state poisoned");
+        let job = st.jobs.get_mut(&id).expect("running job exists");
+        match outcome {
+            Ok(body) => {
+                // Only successful results enter the cache: errors and
+                // tripped budgets must re-run on resubmission.
+                inner.cache.put(&canonical, &body);
+                job.state = JobState::Done;
+                job.result = Some(body);
+                Metrics::bump(&inner.metrics.done);
+            }
+            Err(message) => {
+                job.state = JobState::Failed;
+                job.error = Some(message);
+                Metrics::bump(&inner.metrics.failed);
+            }
+        }
+        inner.metrics.latency.record(submitted.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn engine(workers: usize, queue_cap: usize) -> (JobEngine, Arc<ResultCache>, Arc<Metrics>) {
+        let cache = Arc::new(ResultCache::new(64, None).expect("cache"));
+        let metrics = Arc::new(Metrics::default());
+        (
+            JobEngine::new(workers, queue_cap, 1, Arc::clone(&cache), Arc::clone(&metrics)),
+            cache,
+            metrics,
+        )
+    }
+
+    fn explore_request() -> JobRequest {
+        JobRequest::from_json_text(r#"{"kind":"explore","model":{"builtin":"xstream_pipeline"}}"#)
+            .expect("request")
+    }
+
+    fn wait_done(engine: &JobEngine, id: u64) -> JobSnapshot {
+        for _ in 0..2000 {
+            let snap = engine.status(id).expect("job exists");
+            if !matches!(snap.state, JobState::Queued | JobState::Running) {
+                return snap;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("job {id} never finished");
+    }
+
+    #[test]
+    fn submit_evaluate_and_cache_on_resubmit() {
+        let (engine, cache, metrics) = engine(2, 8);
+        let first = engine.submit(explore_request()).expect("accepted");
+        let snap = wait_done(&engine, first);
+        assert_eq!(snap.state, JobState::Done);
+        assert!(!snap.cached);
+        let body = snap.result.expect("result body");
+
+        let second = engine.submit(explore_request()).expect("accepted");
+        let snap2 = engine.status(second).expect("job exists");
+        assert_eq!(snap2.state, JobState::Done, "cache hits are born done");
+        assert!(snap2.cached);
+        assert_eq!(snap2.result.as_deref(), Some(body.as_str()), "byte-identical");
+        assert_eq!(cache.stats().hits(), 1);
+        assert_eq!(Metrics::get(&metrics.done), 2);
+    }
+
+    #[test]
+    fn failures_are_reported_and_not_cached() {
+        let (engine, cache, metrics) = engine(1, 8);
+        let req = JobRequest::from_json_text(
+            r#"{"kind":"explore","model":{"source":"behaviour undefined_gate_syntax ->"}}"#,
+        )
+        .expect("request parses; model is bad");
+        let id = engine.submit(req.clone()).expect("accepted");
+        let snap = wait_done(&engine, id);
+        assert_eq!(snap.state, JobState::Failed);
+        assert!(snap.error.is_some());
+        assert_eq!(cache.stats().resident, 0, "errors never enter the cache");
+        assert_eq!(Metrics::get(&metrics.failed), 1);
+
+        let again = engine.submit(req).expect("accepted");
+        let snap = wait_done(&engine, again);
+        assert_eq!(snap.state, JobState::Failed, "failures re-run, not served stale");
+    }
+
+    #[test]
+    fn full_queue_rejects_but_never_drops() {
+        let (engine, _cache, metrics) = engine(1, 1);
+        // Flood one worker with distinct requests (the varying seed keeps
+        // them out of the cache): submissions far outpace evaluation, so
+        // the bounded queue must reject some — and every *accepted* job
+        // must still finish.
+        let mut accepted = Vec::new();
+        let mut rejected = 0u64;
+        for seed in 0..64 {
+            let req = JobRequest::from_json_text(&format!(
+                r#"{{"kind":"explore","model":{{"builtin":"xstream_pipeline"}},"seed":{seed}}}"#
+            ))
+            .expect("request");
+            match engine.submit(req) {
+                Ok(id) => accepted.push(id),
+                Err(SubmitError::QueueFull) => rejected += 1,
+                Err(SubmitError::ShuttingDown) => panic!("not shutting down"),
+            }
+        }
+        assert!(rejected > 0, "a bounded queue of 1 must reject under a flood");
+        assert_eq!(Metrics::get(&metrics.rejected), rejected);
+        for id in accepted {
+            assert_eq!(wait_done(&engine, id).state, JobState::Done, "accepted jobs finish");
+        }
+    }
+
+    #[test]
+    fn cancel_only_affects_queued_jobs() {
+        let (engine, _cache, metrics) = engine(1, 8);
+        let slow = JobRequest::from_json_text(
+            r#"{"kind":"explore","model":{"builtin":"fame2_ping_pong"}}"#,
+        )
+        .expect("request");
+        let running = engine.submit(slow).expect("accepted");
+        let queued = engine.submit(explore_request()).expect("accepted");
+        let cancelled = engine.cancel(queued);
+        let done = wait_done(&engine, running);
+        assert_eq!(done.state, JobState::Done);
+        if cancelled {
+            assert_eq!(engine.status(queued).expect("exists").state, JobState::Cancelled);
+            assert_eq!(Metrics::get(&metrics.cancelled), 1);
+            assert!(!engine.cancel(queued), "cancel is not idempotent-true");
+        } else {
+            // The worker grabbed it first; it must then run to completion.
+            let snap = wait_done(&engine, queued);
+            assert_eq!(snap.state, JobState::Done);
+        }
+        assert!(!engine.cancel(running), "finished jobs cannot be cancelled");
+        assert!(!engine.cancel(999_999), "unknown ids cannot be cancelled");
+    }
+
+    #[test]
+    fn drain_finishes_accepted_work_then_rejects() {
+        let (engine, _cache, metrics) = engine(2, 16);
+        let ids: Vec<u64> =
+            (0..6).map(|_| engine.submit(explore_request()).expect("accepted")).collect();
+        engine.shutdown_and_drain();
+        for id in ids {
+            let snap = engine.status(id).expect("job exists");
+            assert_eq!(snap.state, JobState::Done, "drain must finish accepted jobs");
+        }
+        assert_eq!(engine.submit(explore_request()), Err(SubmitError::ShuttingDown));
+        assert_eq!(Metrics::get(&metrics.done), 6);
+        assert_eq!(engine.queue_depth(), 0);
+    }
+}

@@ -1,0 +1,516 @@
+//! Minimal JSON codec for the wire layer, in the spirit of `compat/`: no
+//! external dependencies, deterministic output.
+//!
+//! Two properties matter for the service:
+//!
+//! * **Determinism** — objects keep insertion order, floats print with
+//!   Rust's shortest-round-trip formatting, and there is exactly one byte
+//!   encoding per value, so identical results serialize to identical bodies.
+//! * **Totality** — the parser never panics, enforces a nesting-depth cap,
+//!   and rejects non-finite numbers (JSON has no NaN/Infinity, and a cache
+//!   key must never contain one).
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A JSON value. Object members keep their insertion order so that
+/// serialization is a pure function of construction order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error produced when parsing JSON fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the offending input position.
+    pub pos: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Deepest allowed nesting; prevents stack exhaustion on adversarial input.
+const MAX_DEPTH: usize = 64;
+
+impl Json {
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Builds a number value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or infinity — the service never produces those, and
+    /// they have no JSON encoding.
+    #[must_use]
+    pub fn num(x: f64) -> Json {
+        assert!(x.is_finite(), "JSON cannot encode {x}");
+        Json::Num(x)
+    }
+
+    /// Object member lookup (first match).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, when it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, when it is one.
+    #[must_use]
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, when it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, when it is one.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(x) => write_num(out, *x),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// The value with all object keys sorted recursively: the canonical
+    /// form hashed for content addressing, so member order in a request
+    /// never changes its cache key.
+    #[must_use]
+    pub fn canonicalized(&self) -> Json {
+        match self {
+            Json::Arr(items) => Json::Arr(items.iter().map(Json::canonicalized).collect()),
+            Json::Obj(members) => {
+                let mut sorted: Vec<(String, Json)> =
+                    members.iter().map(|(k, v)| (k.clone(), v.canonicalized())).collect();
+                sorted.sort_by(|a, b| a.0.cmp(&b.0));
+                Json::Obj(sorted)
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+/// `Display` is the serializer: `value.to_string()` yields the unique
+/// compact encoding.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+/// Writes a finite number: integers without a fraction, everything else via
+/// Rust's shortest-round-trip `{}` formatting (deterministic across
+/// platforms and thread counts).
+fn write_num(out: &mut String, x: f64) {
+    debug_assert!(x.is_finite(), "JSON cannot encode {x}");
+    if x == x.trunc() && x.abs() < 1e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one JSON document (surrounding whitespace allowed, trailing
+/// garbage rejected).
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on malformed input, nesting deeper than 64 levels,
+/// or numbers that overflow to infinity.
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError { pos: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut members = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let v = self.value(depth + 1)?;
+                    members.push((key, v));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(members));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let x: f64 = text.parse().map_err(|_| self.err(format!("invalid number `{text}`")))?;
+        if !x.is_finite() {
+            // e.g. 1e999: the grammar is fine but f64 overflows; NaN and
+            // Infinity literals never reach here (rejected by the grammar).
+            return Err(self.err(format!("number `{text}` is out of range")));
+        }
+        Ok(Json::Num(x))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(cp)
+                                } else {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid \\u escape")),
+                            }
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("raw control character in string"));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so this is
+                    // always well-formed).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("unexpected end"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_scalars() {
+        for (text, v) in [
+            ("null", Json::Null),
+            ("true", Json::Bool(true)),
+            ("false", Json::Bool(false)),
+            ("5", Json::Num(5.0)),
+            ("-3.25", Json::Num(-3.25)),
+            ("\"hi\"", Json::Str("hi".into())),
+        ] {
+            assert_eq!(parse(text).expect(text), v);
+            assert_eq!(v.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn roundtrips_structures() {
+        let v = Json::Obj(vec![
+            ("b".into(), Json::Arr(vec![Json::Num(1.0), Json::Null])),
+            ("a".into(), Json::Str("x\"y\\z\n".into())),
+        ]);
+        let text = v.to_string();
+        assert_eq!(text, "{\"b\":[1,null],\"a\":\"x\\\"y\\\\z\\n\"}");
+        assert_eq!(parse(&text).expect("parses"), v);
+    }
+
+    #[test]
+    fn canonical_sorts_keys_recursively() {
+        let v = parse("{\"b\":1,\"a\":{\"d\":2,\"c\":3}}").expect("parses");
+        assert_eq!(v.canonicalized().to_string(), "{\"a\":{\"c\":3,\"d\":2},\"b\":1}");
+    }
+
+    #[test]
+    fn rejects_nan_and_infinity() {
+        assert!(parse("NaN").is_err());
+        assert!(parse("Infinity").is_err());
+        assert!(parse("-Infinity").is_err());
+        assert!(parse("1e999").is_err(), "overflow to inf must be rejected");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in
+            ["", "{", "[1,", "{\"a\"}", "\"\\x\"", "\"unterminated", "01x", "{}extra", "\u{7}"]
+        {
+            assert!(parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn rejects_deep_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(parse("\"\\u0041\"").expect("parses"), Json::Str("A".into()));
+        assert_eq!(parse("\"\\ud83d\\ude00\"").expect("parses"), Json::Str("😀".into()));
+        assert!(parse("\"\\ud83d\"").is_err(), "unpaired surrogate");
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(Json::num(42.0).to_string(), "42");
+        assert_eq!(Json::num(0.5).to_string(), "0.5");
+        assert_eq!(Json::num(-0.0).to_string(), "0");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot encode")]
+    fn num_constructor_rejects_nan() {
+        let _ = Json::num(f64::NAN);
+    }
+}

@@ -1,0 +1,38 @@
+//! `multival-svc` — the long-running evaluation service for the multival
+//! flow.
+//!
+//! The library layers, bottom up:
+//!
+//! 1. [`hash`] + [`json`] — FNV-1a content addressing over a canonical,
+//!    deterministic JSON codec (no external dependencies).
+//! 2. [`cache`] — a sharded in-memory LRU tier over an optional on-disk
+//!    tier, keyed by canonical request bytes.
+//! 3. [`request`] + [`job`] — parsed job requests, the bounded submission
+//!    queue, the worker pool, cancellation, and graceful drain.
+//! 4. [`http`] + [`server`] — a std-only HTTP/1.1 JSON API
+//!    (`POST /v1/jobs`, `GET /v1/jobs/{id}`, `GET /v1/metrics`,
+//!    `GET /v1/healthz`).
+//!
+//! The crate also owns the `multival` binary: the service needs the whole
+//! flow facade, so the binary lives above `multival` (the core crate)
+//! rather than inside it.
+//!
+//! Determinism is the design invariant throughout: identical requests
+//! produce byte-identical response bodies regardless of worker counts,
+//! submission order, or whether the answer came from the cache.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod hash;
+pub mod http;
+pub mod job;
+pub mod json;
+pub mod metrics;
+pub mod request;
+pub mod server;
+
+pub use cache::{CacheStats, ResultCache};
+pub use job::{JobEngine, JobSnapshot, JobState, SubmitError};
+pub use request::JobRequest;
+pub use server::{serve, ServerConfig, ServerHandle};

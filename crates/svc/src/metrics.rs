@@ -1,0 +1,130 @@
+//! Service observability: lock-free counters plus a fixed-bucket latency
+//! histogram with percentile extraction — everything `/v1/metrics` reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Fixed logarithmic bucket upper bounds, in microseconds. The last bucket
+/// is open-ended.
+const BOUNDS_US: [u64; 16] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 5_000_000, 30_000_000,
+];
+
+/// A fixed-bucket latency histogram. Recording is one atomic increment;
+/// percentiles walk the cumulative counts and report the bucket's upper
+/// bound (a conservative estimate, stable across runs).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    counts: [AtomicU64; BOUNDS_US.len() + 1],
+    total: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        let idx = BOUNDS_US.iter().position(|&b| us <= b).unwrap_or(BOUNDS_US.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed).checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// The upper bound (µs) of the bucket containing the `p`-th percentile
+    /// (`p` in `[0, 100]`); 0 when empty. The open-ended last bucket
+    /// reports its lower bound.
+    #[must_use]
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return BOUNDS_US.get(i).copied().unwrap_or(BOUNDS_US[BOUNDS_US.len() - 1]);
+            }
+        }
+        BOUNDS_US[BOUNDS_US.len() - 1]
+    }
+}
+
+/// Job-lifecycle counters, shared between the engine and the HTTP layer.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Jobs accepted into the queue (including cache-served ones).
+    pub accepted: AtomicU64,
+    /// Jobs finished successfully (including cache-served ones).
+    pub done: AtomicU64,
+    /// Jobs that failed.
+    pub failed: AtomicU64,
+    /// Submissions rejected because the queue was full.
+    pub rejected: AtomicU64,
+    /// Jobs cancelled while still queued.
+    pub cancelled: AtomicU64,
+    /// End-to-end latency (submit → finished), cache hits included.
+    pub latency: Histogram,
+}
+
+impl Metrics {
+    /// Relaxed load of one counter.
+    pub(crate) fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Relaxed increment of one counter.
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_walk_buckets() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile_us(99.0), 0);
+        for _ in 0..99 {
+            h.record(Duration::from_micros(80)); // bucket ≤ 100
+        }
+        h.record(Duration::from_millis(40)); // bucket ≤ 50_000
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile_us(50.0), 100);
+        assert_eq!(h.percentile_us(99.0), 100);
+        assert_eq!(h.percentile_us(100.0), 50_000);
+        assert!(h.mean_us() >= 80);
+    }
+
+    #[test]
+    fn histogram_clamps_huge_samples() {
+        let h = Histogram::default();
+        h.record(Duration::from_secs(3600));
+        assert_eq!(h.percentile_us(100.0), BOUNDS_US[BOUNDS_US.len() - 1]);
+    }
+
+    #[test]
+    fn counters_bump() {
+        let m = Metrics::default();
+        Metrics::bump(&m.accepted);
+        Metrics::bump(&m.accepted);
+        assert_eq!(Metrics::get(&m.accepted), 2);
+        assert_eq!(Metrics::get(&m.failed), 0);
+    }
+}

@@ -1,0 +1,557 @@
+//! Job requests: the JSON surface of `POST /v1/jobs`, their canonical form
+//! (the cache key), and their evaluation against the flow engines.
+//!
+//! A request names a *kind* (`explore`, `check`, `steady`, `transient`,
+//! `simulate`), a *model* (a built-in case study, an inline mini-LOTOS
+//! `source`, or an uploaded Aldebaran `aut` text), and kind-specific
+//! parameters. Canonicalization fills every default in and sorts object
+//! keys, so two requests that mean the same thing hash to the same cache
+//! key regardless of member order or omitted fields.
+//!
+//! Evaluation is deterministic: results carry no timestamps, job ids, or
+//! wall-clock readings, and the Monte-Carlo engine is bit-identical across
+//! thread counts, so the same canonical request always produces the same
+//! response body — the property the content-addressed cache rests on.
+
+use crate::json::{parse, Json};
+use multival::budget::Budget;
+use multival::flow::Flow;
+use multival::imc::NondetPolicy;
+use multival_ctmc::McOptions;
+use multival_lts::io::read_aut;
+use multival_lts::Lts;
+use multival_models::common::explore_model;
+use multival_models::fame2::coherence::Protocol;
+use multival_models::fame2::mpi::{MpiConfig, MpiImpl, MpiModel};
+use multival_models::fame2::topology::Topology;
+use multival_models::faust::noc::single_packet_source;
+use multival_models::xstream::perf::{explore_pipeline, PerfConfig};
+use multival_pa::{explore_partial, parse_spec, ExploreOptions};
+use multival_par::Workers;
+use std::collections::HashMap;
+
+/// What the job computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// State-space statistics (states, transitions, deadlocks).
+    Explore,
+    /// μ-calculus model checking (`formula` required).
+    Check,
+    /// Steady-state distribution and probe throughputs (`rates` required).
+    Steady,
+    /// Transient distribution at `time` (`rates` required).
+    Transient,
+    /// Monte-Carlo occupancy estimation (`rates` required).
+    Simulate,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Explore => "explore",
+            Kind::Check => "check",
+            Kind::Steady => "steady",
+            Kind::Transient => "transient",
+            Kind::Simulate => "simulate",
+        }
+    }
+}
+
+/// Where the model comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelSource {
+    /// A named built-in case study (see [`builtin_names`]).
+    Builtin(String),
+    /// Inline mini-LOTOS source text.
+    Source(String),
+    /// Inline Aldebaran `.aut` text.
+    Aut(String),
+}
+
+/// A fully parsed job request with every default resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// What to compute.
+    pub kind: Kind,
+    /// The model under evaluation.
+    pub model: ModelSource,
+    /// μ-calculus formula (check only).
+    pub formula: Option<String>,
+    /// Gate → exponential rate (performance kinds).
+    pub rates: Vec<(String, f64)>,
+    /// Throughput probes (steady only).
+    pub probes: Vec<String>,
+    /// Transient evaluation time.
+    pub time: f64,
+    /// Occupancy horizon per trajectory (simulate).
+    pub horizon: f64,
+    /// Trajectory cap (simulate).
+    pub trajectories: usize,
+    /// Base RNG seed (simulate; estimates depend on this only).
+    pub seed: u64,
+    /// Resource budget (state cap + wall-clock limit).
+    pub budget: Budget,
+}
+
+/// The names accepted by `{"model":{"builtin":...}}`, in stable order.
+#[must_use]
+pub fn builtin_names() -> [&'static str; 3] {
+    ["xstream_pipeline", "fame2_ping_pong", "faust_single_packet"]
+}
+
+/// Materializes a built-in case study as an LTS.
+///
+/// # Errors
+///
+/// Returns a message for unknown names or (theoretical) exploration caps.
+pub fn builtin_lts(name: &str) -> Result<Lts, String> {
+    match name {
+        "xstream_pipeline" => Ok(explore_pipeline(&PerfConfig::default())
+            .map_err(|e| format!("xstream_pipeline: {e}"))?
+            .lts),
+        "fame2_ping_pong" => {
+            let config = MpiConfig {
+                topology: Topology::Crossbar(2),
+                protocol: Protocol::Msi,
+                implementation: MpiImpl::Eager,
+                payload: 1,
+            };
+            Ok(explore_model(&MpiModel::ping_pong(config), 4_000_000)
+                .map_err(|e| format!("fame2_ping_pong: {e}"))?
+                .lts)
+        }
+        "faust_single_packet" => {
+            let spec = parse_spec(&single_packet_source(3))
+                .map_err(|e| format!("faust_single_packet: {e}"))?;
+            let explored = explore_partial(&spec, &ExploreOptions::default());
+            match explored.aborted {
+                Some(e) => Err(format!("faust_single_packet: {e}")),
+                None => Ok(explored.explored.lts),
+            }
+        }
+        other => Err(format!(
+            "unknown builtin model `{other}` (expected one of {})",
+            builtin_names().join(", ")
+        )),
+    }
+}
+
+fn opt_str(v: &Json, key: &str) -> Result<Option<String>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(format!("`{key}` must be a string")),
+    }
+}
+
+fn opt_num(v: &Json, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(x)) => Ok(Some(*x)),
+        Some(_) => Err(format!("`{key}` must be a number")),
+    }
+}
+
+fn opt_uint(v: &Json, key: &str) -> Result<Option<u64>, String> {
+    match opt_num(v, key)? {
+        None => Ok(None),
+        Some(x) if x >= 0.0 && x.fract() == 0.0 && x <= 2u64.pow(53) as f64 => Ok(Some(x as u64)),
+        Some(x) => Err(format!("`{key}` must be a non-negative integer, got {x}")),
+    }
+}
+
+impl JobRequest {
+    /// Parses a request from JSON text, filling defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed field.
+    pub fn from_json_text(text: &str) -> Result<JobRequest, String> {
+        let v = parse(text).map_err(|e| e.to_string())?;
+        JobRequest::from_json(&v)
+    }
+
+    /// Parses a request from a JSON value, filling defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed field.
+    pub fn from_json(v: &Json) -> Result<JobRequest, String> {
+        let kind = match v.get("kind").and_then(Json::as_str) {
+            Some("explore") => Kind::Explore,
+            Some("check") => Kind::Check,
+            Some("steady") => Kind::Steady,
+            Some("transient") => Kind::Transient,
+            Some("simulate") => Kind::Simulate,
+            Some(other) => return Err(format!("unknown kind `{other}`")),
+            None => return Err("`kind` is required".to_owned()),
+        };
+        let model_obj = v.get("model").ok_or("`model` is required")?;
+        let model = match (
+            opt_str(model_obj, "builtin")?,
+            opt_str(model_obj, "source")?,
+            opt_str(model_obj, "aut")?,
+        ) {
+            (Some(name), None, None) => ModelSource::Builtin(name),
+            (None, Some(src), None) => ModelSource::Source(src),
+            (None, None, Some(aut)) => ModelSource::Aut(aut),
+            _ => {
+                return Err("`model` must have exactly one of `builtin`, `source`, `aut`".to_owned())
+            }
+        };
+        let formula = opt_str(v, "formula")?;
+        if kind == Kind::Check && formula.is_none() {
+            return Err("`formula` is required for kind `check`".to_owned());
+        }
+        let mut rates = Vec::new();
+        if let Some(rv) = v.get("rates") {
+            let Json::Obj(members) = rv else {
+                return Err("`rates` must be an object of gate: rate".to_owned());
+            };
+            for (gate, rate) in members {
+                let rate = rate.as_num().ok_or(format!("rate for `{gate}` must be a number"))?;
+                if rate <= 0.0 {
+                    return Err(format!("rate for `{gate}` must be positive"));
+                }
+                rates.push((gate.clone(), rate));
+            }
+        }
+        // Canonical rate order is alphabetical, not submission order.
+        rates.sort_by(|a, b| a.0.cmp(&b.0));
+        rates.dedup_by(|a, b| a.0 == b.0);
+        if matches!(kind, Kind::Steady | Kind::Transient | Kind::Simulate) && rates.is_empty() {
+            return Err(format!("`rates` is required for kind `{}`", kind.name()));
+        }
+        let mut probes = match v.get("probes") {
+            None => Vec::new(),
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|p| p.as_str().map(str::to_owned).ok_or("probes must be strings"))
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err("`probes` must be an array of strings".to_owned()),
+        };
+        probes.sort();
+        probes.dedup();
+        let time = opt_num(v, "time")?.unwrap_or(1.0);
+        let horizon = opt_num(v, "horizon")?.unwrap_or(100.0);
+        if !time.is_finite() || time < 0.0 || !horizon.is_finite() || horizon <= 0.0 {
+            return Err("`time`/`horizon` must be finite and non-negative".to_owned());
+        }
+        let trajectories = opt_uint(v, "trajectories")?.unwrap_or(8192) as usize;
+        let seed = opt_uint(v, "seed")?.unwrap_or(42);
+        let mut budget = Budget::default();
+        if let Some(cap) = opt_uint(v, "max_states")? {
+            budget = budget.with_max_states(cap as usize);
+        }
+        if let Some(secs) = opt_uint(v, "timeout_secs")? {
+            budget = budget.with_timeout_secs(secs);
+        }
+        Ok(JobRequest {
+            kind,
+            model,
+            formula,
+            rates,
+            probes,
+            time,
+            horizon,
+            trajectories,
+            seed,
+            budget,
+        })
+    }
+
+    /// The canonical serialization: every field (defaults included) in
+    /// sorted-key order. Hashing this string is the job's cache key.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        let model = match &self.model {
+            ModelSource::Builtin(n) => Json::Obj(vec![("builtin".into(), Json::str(n.clone()))]),
+            ModelSource::Source(s) => Json::Obj(vec![("source".into(), Json::str(s.clone()))]),
+            ModelSource::Aut(a) => Json::Obj(vec![("aut".into(), Json::str(a.clone()))]),
+        };
+        let mut members: Vec<(String, Json)> = vec![
+            ("kind".into(), Json::str(self.kind.name())),
+            ("model".into(), model),
+            ("formula".into(), self.formula.as_ref().map_or(Json::Null, |f| Json::str(f.clone()))),
+            (
+                "rates".into(),
+                Json::Obj(self.rates.iter().map(|(g, r)| (g.clone(), Json::num(*r))).collect()),
+            ),
+            (
+                "probes".into(),
+                Json::Arr(self.probes.iter().map(|p| Json::str(p.clone())).collect()),
+            ),
+            ("time".into(), Json::num(self.time)),
+            ("horizon".into(), Json::num(self.horizon)),
+            ("trajectories".into(), Json::num(self.trajectories as f64)),
+            ("seed".into(), Json::num(self.seed as f64)),
+            (
+                "max_states".into(),
+                self.budget.max_states.map_or(Json::Null, |c| Json::num(c as f64)),
+            ),
+            (
+                "timeout_secs".into(),
+                self.budget.timeout.map_or(Json::Null, |t| Json::num(t.as_secs() as f64)),
+            ),
+        ];
+        members.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::Obj(members).canonicalized().to_string()
+    }
+
+    /// Materializes the model as an LTS under the request's budget.
+    fn load_model(&self) -> Result<Lts, String> {
+        match &self.model {
+            ModelSource::Builtin(name) => builtin_lts(name),
+            ModelSource::Aut(text) => read_aut(text).map_err(|e| e.to_string()),
+            ModelSource::Source(text) => {
+                let spec = parse_spec(text).map_err(|e| e.to_string())?;
+                let mut options =
+                    ExploreOptions::with_max_states(self.budget.max_states_or(1_000_000));
+                if let Some(deadline) = self.budget.deadline() {
+                    options = options.with_deadline(deadline);
+                }
+                let exploration = explore_partial(&spec, &options);
+                match exploration.aborted {
+                    Some(e) => Err(format!("Budget exceeded: {e}")),
+                    None => Ok(exploration.explored.lts),
+                }
+            }
+        }
+    }
+
+    /// Evaluates the request to its deterministic result JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on model/formula/solver failures or tripped
+    /// budgets; errors are never cached.
+    pub fn evaluate(&self, workers: Workers) -> Result<Json, String> {
+        let lts = self.load_model()?;
+        match self.kind {
+            Kind::Explore => {
+                let deadlocks = lts.deadlock_states().len();
+                Ok(Json::Obj(vec![
+                    ("states".into(), Json::num(lts.num_states() as f64)),
+                    ("transitions".into(), Json::num(lts.num_transitions() as f64)),
+                    ("deadlocks".into(), Json::num(deadlocks as f64)),
+                ]))
+            }
+            Kind::Check => {
+                let formula = self.formula.as_deref().expect("validated at parse");
+                let f = multival::mcl::parse_formula(formula).map_err(|e| e.to_string())?;
+                let result = multival::mcl::check(&lts, &f).map_err(|e| e.to_string())?;
+                Ok(Json::Obj(vec![
+                    ("holds".into(), Json::Bool(result.holds)),
+                    ("satisfying".into(), Json::num(result.satisfying as f64)),
+                    ("total".into(), Json::num(result.total as f64)),
+                ]))
+            }
+            Kind::Steady | Kind::Transient | Kind::Simulate => self.evaluate_perf(lts, workers),
+        }
+    }
+
+    fn evaluate_perf(&self, lts: Lts, workers: Workers) -> Result<Json, String> {
+        let rate_map: HashMap<String, f64> = self.rates.iter().cloned().collect();
+        let probe_refs: Vec<&str> = self.probes.iter().map(String::as_str).collect();
+        let solved = Flow::from_lts(lts)
+            .with_rates(&rate_map)
+            .solve(NondetPolicy::Uniform, &probe_refs)
+            .map_err(|e| e.to_string())?;
+        let states = solved.ctmc().num_states();
+        match self.kind {
+            Kind::Steady => {
+                let pi = solved.steady_state().map_err(|e| e.to_string())?;
+                let throughputs = solved.throughputs().map_err(|e| e.to_string())?;
+                Ok(Json::Obj(vec![
+                    ("states".into(), Json::num(states as f64)),
+                    ("steady_state".into(), vector_json(&pi)),
+                    (
+                        "throughputs".into(),
+                        Json::Obj(
+                            throughputs
+                                .into_iter()
+                                .map(|(probe, tp)| (probe, Json::num(tp)))
+                                .collect(),
+                        ),
+                    ),
+                ]))
+            }
+            Kind::Transient => {
+                let dist = solved.transient(self.time).map_err(|e| e.to_string())?;
+                Ok(Json::Obj(vec![
+                    ("states".into(), Json::num(states as f64)),
+                    ("time".into(), Json::num(self.time)),
+                    ("distribution".into(), vector_json(&dist)),
+                ]))
+            }
+            Kind::Simulate => {
+                let opts = McOptions {
+                    seed: self.seed,
+                    workers,
+                    max_trajectories: self.trajectories,
+                    deadline: self.budget.deadline(),
+                    ..McOptions::default()
+                };
+                let run = solved.simulate_occupancy(self.horizon, &opts);
+                if run.budget_hit {
+                    return Err(format!(
+                        "Budget exceeded: wall-clock limit hit after {} trajectories",
+                        run.trajectories
+                    ));
+                }
+                let estimates: Vec<Json> = run
+                    .estimates
+                    .iter()
+                    .take(VECTOR_CAP)
+                    .map(|e| {
+                        Json::Obj(vec![
+                            ("mean".into(), Json::num(e.mean)),
+                            ("half_width".into(), Json::num(e.half_width)),
+                        ])
+                    })
+                    .collect();
+                Ok(Json::Obj(vec![
+                    ("states".into(), Json::num(states as f64)),
+                    ("horizon".into(), Json::num(self.horizon)),
+                    ("trajectories".into(), Json::num(run.trajectories as f64)),
+                    ("converged".into(), Json::Bool(run.converged)),
+                    ("estimates".into(), Json::Arr(estimates)),
+                ]))
+            }
+            _ => unreachable!("evaluate_perf only handles performance kinds"),
+        }
+    }
+}
+
+/// Largest vector echoed back in a response body; longer ones are
+/// truncated (the `states` field always carries the true size).
+const VECTOR_CAP: usize = 64;
+
+fn vector_json(xs: &[f64]) -> Json {
+    Json::Arr(xs.iter().take(VECTOR_CAP).map(|&x| Json::num(x)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BUF: &str = "process Buf[put, get](full: bool) :=
+         [not full] -> put; Buf[put, get](true)
+      [] [full] -> get; Buf[put, get](false)
+     endproc
+     behaviour Buf[put, get](false)";
+
+    fn req(text: &str) -> JobRequest {
+        JobRequest::from_json_text(text).expect("parses")
+    }
+
+    #[test]
+    fn parse_fills_defaults_and_canonicalizes() {
+        let a = req(r#"{"kind":"explore","model":{"builtin":"xstream_pipeline"}}"#);
+        let b =
+            req(r#"{"model":{"builtin":"xstream_pipeline"},"kind":"explore","seed":42,"time":1}"#);
+        assert_eq!(a.canonical(), b.canonical(), "field order and defaults must not matter");
+        assert!(a.canonical().contains("\"trajectories\":8192"));
+    }
+
+    #[test]
+    fn different_requests_have_different_canonicals() {
+        let a = req(r#"{"kind":"explore","model":{"builtin":"xstream_pipeline"}}"#);
+        let b = req(r#"{"kind":"explore","model":{"builtin":"fame2_ping_pong"}}"#);
+        let c = req(r#"{"kind":"explore","model":{"builtin":"xstream_pipeline"},"seed":43}"#);
+        assert_ne!(a.canonical(), b.canonical());
+        assert_ne!(a.canonical(), c.canonical());
+    }
+
+    #[test]
+    fn rate_order_is_canonicalized() {
+        let a = req(&format!(
+            r#"{{"kind":"steady","model":{{"source":{src}}},"rates":{{"put":2,"get":1}}}}"#,
+            src = Json::str(BUF)
+        ));
+        let b = req(&format!(
+            r#"{{"kind":"steady","model":{{"source":{src}}},"rates":{{"get":1,"put":2}}}}"#,
+            src = Json::str(BUF)
+        ));
+        assert_eq!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            r#"{}"#,
+            r#"{"kind":"explode","model":{"builtin":"x"}}"#,
+            r#"{"kind":"explore"}"#,
+            r#"{"kind":"explore","model":{}}"#,
+            r#"{"kind":"explore","model":{"builtin":"a","source":"b"}}"#,
+            r#"{"kind":"check","model":{"builtin":"xstream_pipeline"}}"#,
+            r#"{"kind":"steady","model":{"builtin":"xstream_pipeline"}}"#,
+            r#"{"kind":"steady","model":{"builtin":"xstream_pipeline"},"rates":{"a":-1}}"#,
+            r#"{"kind":"simulate","model":{"builtin":"xstream_pipeline"},"rates":{"a":1},"seed":-3}"#,
+        ] {
+            assert!(JobRequest::from_json_text(bad).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn explore_and_check_evaluate() {
+        let r = req(&format!(
+            r#"{{"kind":"explore","model":{{"source":{src}}}}}"#,
+            src = Json::str(BUF)
+        ));
+        let out = r.evaluate(Workers::sequential()).expect("evaluates");
+        assert_eq!(out.get("states").and_then(Json::as_num), Some(2.0));
+
+        let r = req(&format!(
+            r#"{{"kind":"check","model":{{"source":{src}}},"formula":"nu X. <true> true and [true] X"}}"#,
+            src = Json::str(BUF)
+        ));
+        let out = r.evaluate(Workers::sequential()).expect("evaluates");
+        assert_eq!(out.get("holds").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn steady_evaluates_and_is_deterministic() {
+        let text = format!(
+            r#"{{"kind":"steady","model":{{"source":{src}}},"rates":{{"put":2,"get":1}},"probes":["get"]}}"#,
+            src = Json::str(BUF)
+        );
+        let a = req(&text).evaluate(Workers::sequential()).expect("evaluates").to_string();
+        let b = req(&text).evaluate(Workers::new(4)).expect("evaluates").to_string();
+        assert_eq!(a, b, "solver output must not depend on workers");
+        assert!(a.contains("\"throughputs\":{\"get\":"), "{a}");
+    }
+
+    #[test]
+    fn simulate_is_thread_invariant() {
+        let text = format!(
+            r#"{{"kind":"simulate","model":{{"source":{src}}},"rates":{{"put":2,"get":3}},"trajectories":512,"horizon":20}}"#,
+            src = Json::str(BUF)
+        );
+        let a = req(&text).evaluate(Workers::sequential()).expect("evaluates").to_string();
+        let b = req(&text).evaluate(Workers::new(4)).expect("evaluates").to_string();
+        assert_eq!(a, b, "MC estimates depend on the seed only");
+    }
+
+    #[test]
+    fn budget_trips_are_errors_not_results() {
+        let r = req(&format!(
+            r#"{{"kind":"explore","model":{{"source":{src}}},"max_states":1}}"#,
+            src = Json::str(
+                "process C[t](n: int 0..9) := [n < 9] -> t; C[t](n + 1) endproc
+                 behaviour C[t](0)"
+            )
+        ));
+        let err = r.evaluate(Workers::sequential()).expect_err("budget trips");
+        assert!(err.contains("Budget exceeded"), "{err}");
+    }
+
+    #[test]
+    fn builtins_all_materialize() {
+        for name in builtin_names() {
+            let lts = builtin_lts(name).expect(name);
+            assert!(lts.num_states() > 1, "{name}");
+        }
+        assert!(builtin_lts("nope").is_err());
+    }
+}

@@ -1,0 +1,304 @@
+//! The HTTP server: a nonblocking accept loop, one short-lived thread per
+//! connection, and a tiny router over the job engine.
+//!
+//! Endpoints:
+//!
+//! | Method + path        | Meaning                                       |
+//! |----------------------|-----------------------------------------------|
+//! | `POST /v1/jobs`      | Submit a job (`202` queued, `200` cache hit)  |
+//! | `GET /v1/jobs/{id}`  | Poll one job                                  |
+//! | `DELETE /v1/jobs/{id}` | Cancel a still-queued job                   |
+//! | `GET /v1/metrics`    | Queue depth, counters, latency, cache stats   |
+//! | `GET /v1/healthz`    | Liveness probe                                |
+//!
+//! Shutdown is graceful: the accept loop stops, in-flight connections are
+//! joined, and the engine drains every accepted job before
+//! [`ServerHandle::shutdown_and_drain`] returns its [`ServeStats`].
+
+use crate::cache::ResultCache;
+use crate::http::{read_request, write_response, HttpRequest};
+use crate::job::{JobEngine, JobState, SubmitError};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::request::JobRequest;
+pub use multival::report::ServeStats;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything `multival serve` needs to start.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7171` (`:0` picks an ephemeral port).
+    pub addr: String,
+    /// Evaluation worker threads.
+    pub workers: usize,
+    /// Bounded submission-queue capacity.
+    pub queue_cap: usize,
+    /// In-memory cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Optional on-disk cache tier.
+    pub cache_dir: Option<PathBuf>,
+    /// Monte-Carlo worker threads inside each evaluation.
+    pub mc_workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7171".to_owned(),
+            workers: 2,
+            queue_cap: 64,
+            cache_capacity: 256,
+            cache_dir: None,
+            mc_workers: 2,
+        }
+    }
+}
+
+struct Ctx {
+    engine: JobEngine,
+    cache: Arc<ResultCache>,
+    metrics: Arc<Metrics>,
+    started: Instant,
+}
+
+/// A running server. Dropping it without calling
+/// [`ServerHandle::shutdown_and_drain`] still shuts the engine down (via
+/// the engine's own `Drop`), but the graceful path returns the stats.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    ctx: Arc<Ctx>,
+}
+
+impl ServerHandle {
+    /// The actually bound address (resolves `:0` to the ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Flags the accept loop to stop; safe to call from a signal context
+    /// follow-up thread. Does not wait.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Stops accepting, joins every in-flight connection, drains the job
+    /// queue, and reports final statistics.
+    pub fn shutdown_and_drain(mut self) -> ServeStats {
+        self.request_shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.ctx.engine.shutdown_and_drain();
+        let cache = self.ctx.cache.stats();
+        let count = |v: u64| usize::try_from(v).unwrap_or(usize::MAX);
+        ServeStats {
+            accepted: count(Metrics::get(&self.ctx.metrics.accepted)),
+            done: count(Metrics::get(&self.ctx.metrics.done)),
+            failed: count(Metrics::get(&self.ctx.metrics.failed)),
+            rejected: count(Metrics::get(&self.ctx.metrics.rejected)),
+            cancelled: count(Metrics::get(&self.ctx.metrics.cancelled)),
+            cache_hits: count(cache.hits()),
+            cache_misses: count(cache.misses),
+            uptime: self.ctx.started.elapsed(),
+        }
+    }
+}
+
+/// Binds the listener and starts the accept loop and worker pool.
+///
+/// # Errors
+///
+/// Fails when the address cannot be bound or the cache directory cannot
+/// be created.
+pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let cache = Arc::new(ResultCache::new(config.cache_capacity.max(1), config.cache_dir.clone())?);
+    let metrics = Arc::new(Metrics::default());
+    let ctx = Arc::new(Ctx {
+        engine: JobEngine::new(
+            config.workers,
+            config.queue_cap,
+            config.mc_workers,
+            Arc::clone(&cache),
+            Arc::clone(&metrics),
+        ),
+        cache,
+        metrics,
+        started: Instant::now(),
+    });
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept_thread = {
+        let ctx = Arc::clone(&ctx);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("svc-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &ctx, &shutdown))?
+    };
+    Ok(ServerHandle { addr, shutdown, accept_thread: Some(accept_thread), ctx })
+}
+
+fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>, shutdown: &Arc<AtomicBool>) {
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let ctx = Arc::clone(ctx);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("svc-conn".to_owned())
+                    .spawn(move || handle_connection(stream, &ctx))
+                {
+                    connections.push(handle);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+        connections.retain(|c| !c.is_finished());
+    }
+    for c in connections {
+        let _ = c.join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, ctx: &Ctx) {
+    // A stalled client must not wedge the connection thread forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_nonblocking(false);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let (status, body) = match read_request(&mut reader) {
+        Ok(req) => route(&req, ctx),
+        Err(e) => (e.status, error_body(&e.message)),
+    };
+    let _ = write_response(&mut writer, status, &body);
+}
+
+fn error_body(message: &str) -> String {
+    Json::Obj(vec![("error".to_owned(), Json::str(message))]).to_string()
+}
+
+fn route(req: &HttpRequest, ctx: &Ctx) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/jobs") => submit(req, ctx),
+        ("GET", "/v1/healthz") => (200, "{\"status\":\"ok\"}".to_owned()),
+        ("GET", "/v1/metrics") => (200, metrics_body(ctx)),
+        (method, path) => {
+            if let Some(id) = path.strip_prefix("/v1/jobs/").and_then(|s| s.parse::<u64>().ok()) {
+                match method {
+                    "GET" => job_status(id, ctx),
+                    "DELETE" => {
+                        let cancelled = ctx.engine.cancel(id);
+                        (
+                            200,
+                            Json::Obj(vec![("cancelled".to_owned(), Json::Bool(cancelled))])
+                                .to_string(),
+                        )
+                    }
+                    _ => (405, error_body("use GET or DELETE on /v1/jobs/{id}")),
+                }
+            } else {
+                (404, error_body(&format!("no route for {method} {path}")))
+            }
+        }
+    }
+}
+
+fn submit(req: &HttpRequest, ctx: &Ctx) -> (u16, String) {
+    let parsed = match JobRequest::from_json_text(&req.body) {
+        Ok(p) => p,
+        Err(message) => return (400, error_body(&message)),
+    };
+    match ctx.engine.submit(parsed) {
+        Ok(id) => {
+            let snap = ctx.engine.status(id).expect("just submitted");
+            let status = if snap.state == JobState::Done { 200 } else { 202 };
+            let body = Json::Obj(vec![
+                ("id".to_owned(), Json::num(id as f64)),
+                ("status".to_owned(), Json::str(snap.state.name())),
+            ])
+            .to_string();
+            (status, body)
+        }
+        Err(SubmitError::QueueFull) => (429, error_body("queue full; retry later")),
+        Err(SubmitError::ShuttingDown) => (503, error_body("shutting down")),
+    }
+}
+
+/// The `GET /v1/jobs/{id}` body deliberately excludes the job id (it is in
+/// the URL) and the cache-hit flag (visible in `/v1/metrics` instead), so
+/// identical requests yield *byte-identical* bodies whether computed or
+/// cached.
+fn job_status(id: u64, ctx: &Ctx) -> (u16, String) {
+    let Some(snap) = ctx.engine.status(id) else {
+        return (404, error_body(&format!("no job {id}")));
+    };
+    let body = match snap.state {
+        JobState::Done => format!(
+            "{{\"result\":{},\"status\":\"done\"}}",
+            snap.result.as_deref().unwrap_or("null")
+        ),
+        JobState::Failed => Json::Obj(vec![
+            ("error".to_owned(), Json::str(snap.error.as_deref().unwrap_or("unknown"))),
+            ("status".to_owned(), Json::str("failed")),
+        ])
+        .to_string(),
+        other => format!("{{\"status\":\"{}\"}}", other.name()),
+    };
+    (200, body)
+}
+
+fn metrics_body(ctx: &Ctx) -> String {
+    let m = &ctx.metrics;
+    let c = ctx.cache.stats();
+    let counter = |v: u64| Json::num(v as f64);
+    Json::Obj(vec![
+        ("queue_depth".to_owned(), counter(ctx.engine.queue_depth() as u64)),
+        (
+            "jobs".to_owned(),
+            Json::Obj(vec![
+                ("accepted".to_owned(), counter(Metrics::get(&m.accepted))),
+                ("done".to_owned(), counter(Metrics::get(&m.done))),
+                ("failed".to_owned(), counter(Metrics::get(&m.failed))),
+                ("rejected".to_owned(), counter(Metrics::get(&m.rejected))),
+                ("cancelled".to_owned(), counter(Metrics::get(&m.cancelled))),
+            ]),
+        ),
+        (
+            "latency_us".to_owned(),
+            Json::Obj(vec![
+                ("count".to_owned(), counter(m.latency.count())),
+                ("mean".to_owned(), counter(m.latency.mean_us())),
+                ("p50".to_owned(), counter(m.latency.percentile_us(50.0))),
+                ("p90".to_owned(), counter(m.latency.percentile_us(90.0))),
+                ("p99".to_owned(), counter(m.latency.percentile_us(99.0))),
+            ]),
+        ),
+        (
+            "cache".to_owned(),
+            Json::Obj(vec![
+                ("mem_hits".to_owned(), counter(c.mem_hits)),
+                ("disk_hits".to_owned(), counter(c.disk_hits)),
+                ("misses".to_owned(), counter(c.misses)),
+                ("evictions".to_owned(), counter(c.evictions)),
+                ("resident".to_owned(), counter(c.resident)),
+            ]),
+        ),
+    ])
+    .to_string()
+}

@@ -122,6 +122,132 @@ fn solve_reports_throughput() {
     assert!(stdout.contains("0.6667"), "{stdout}");
 }
 
+/// Like [`multival`], but returns the numeric exit code.
+fn multival_code(args: &[&str]) -> (String, String, Option<i32>) {
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_multival")).args(args).output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn budget_flags_yield_exit_code_3() {
+    let model = write_model(
+        "budget.lot",
+        "process Count[tick](n: int 0..40) :=
+             [n < 40] -> tick; Count[tick](n + 1)
+         endproc
+         behaviour Count[tick](0) ||| Count[tick](0)",
+    );
+    // A tripped state cap reports the partial space and exits 3.
+    let (stdout, _, code) = multival_code(&["explore", &model, "--max-states", "10"]);
+    assert_eq!(code, Some(3), "{stdout}");
+    assert!(stdout.contains("Budget exceeded"), "{stdout}");
+    assert!(stdout.contains("states: 10"), "partial space still reported: {stdout}");
+
+    // A verdict on a partial space would be unsound: no verdict, exit 3.
+    let (stdout, _, code) =
+        multival_code(&["check", &model, "mu X. <true> true or <true> X", "--max-states", "10"]);
+    assert_eq!(code, Some(3), "{stdout}");
+    assert!(stdout.contains("NO VERDICT"), "{stdout}");
+
+    // An immediate wall-clock deadline trips too.
+    let (stdout, _, code) = multival_code(&["explore", &model, "--timeout-secs", "0"]);
+    assert_eq!(code, Some(3), "{stdout}");
+
+    // Within budget everything is exit 0, byte-for-byte as before.
+    let (stdout, _, code) = multival_code(&["explore", &model]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("states: 1681"), "{stdout}");
+}
+
+#[test]
+fn simulate_exits_2_when_stopping_rule_unmet() {
+    let model = write_model(
+        "sim-exit.lot",
+        "process Buf[put, get](full: bool) :=
+             [not full] -> put; Buf[put, get](true)
+          [] [full] -> get; Buf[put, get](false)
+         endproc
+         behaviour Buf[put, get](false)",
+    );
+    // 16 trajectories cannot reach a 0.01% relative CI width.
+    let (stdout, _, code) = multival_code(&[
+        "simulate",
+        &model,
+        "--rate",
+        "put=2",
+        "--rate",
+        "get=3",
+        "--trajectories",
+        "16",
+        "--rel-width",
+        "0.0001",
+    ]);
+    assert_eq!(code, Some(2), "{stdout}");
+    assert!(stdout.contains("stopping rule was not met"), "{stdout}");
+
+    // The default width converges easily and exits clean.
+    let (stdout, _, code) =
+        multival_code(&["simulate", &model, "--rate", "put=2", "--rate", "get=3"]);
+    assert_eq!(code, Some(0), "{stdout}");
+}
+
+#[test]
+fn serve_smoke_sigterm_drains() {
+    use std::io::{BufRead, BufReader, Read as _, Write as _};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_multival"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "1"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("listening line");
+    let addr: std::net::SocketAddr = line
+        .trim()
+        .rsplit("http://")
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| panic!("no address in {line:?}"));
+
+    let exchange = |method: &str, path: &str, body: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        raw
+    };
+
+    assert!(exchange("GET", "/v1/healthz", "").contains("\"status\":\"ok\""));
+    let posted = exchange(
+        "POST",
+        "/v1/jobs",
+        r#"{"kind":"explore","model":{"builtin":"xstream_pipeline"}}"#,
+    );
+    assert!(posted.contains("\"id\":1"), "{posted}");
+
+    // SIGTERM while the job may still be in flight: the drain must finish
+    // it and the final report must land on stdout before a clean exit.
+    let _ =
+        Command::new("kill").args(["-TERM", &child.id().to_string()]).status().expect("kill runs");
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "graceful shutdown exits 0: {status:?}");
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).expect("drain report");
+    assert!(rest.contains("jobs accepted"), "{rest}");
+    assert!(rest.contains("jobs done"), "{rest}");
+}
+
 #[test]
 fn lint_flags_blocked_gate() {
     let model = write_model("blocked.lot", "behaviour (a; stop) |[a, b]| (a; stop)");

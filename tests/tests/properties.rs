@@ -197,6 +197,28 @@ proptest! {
     fn aut_reader_never_panics(src in "[ -~\\n]{0,200}") {
         let _ = read_aut(&src);
     }
+
+    /// Labels with quotes, backslashes, commas, and spaces survive a
+    /// write/read cycle byte-for-byte (the escaping satellite of the
+    /// service PR: bare backslashes used to be written unescaped).
+    #[test]
+    fn aut_label_roundtrip(labels in prop::collection::vec("[a-z \\\\\"(),!.]{0,12}", 1..6)) {
+        let mut b = LtsBuilder::new();
+        for _ in 0..=labels.len() {
+            b.add_state();
+        }
+        for (i, l) in labels.iter().enumerate() {
+            b.add_transition(i as u32, l, i as u32 + 1);
+        }
+        let lts = b.build(0);
+        let back = read_aut(&write_aut(&lts)).expect("written files parse");
+        let names = |l: &Lts| -> Vec<(u32, String, u32)> {
+            l.iter_transitions()
+                .map(|(s, lab, t)| (s, l.labels().name(lab).to_owned(), t))
+                .collect()
+        };
+        prop_assert_eq!(names(&lts), names(&back));
+    }
 }
 
 proptest! {

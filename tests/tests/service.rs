@@ -1,0 +1,218 @@
+//! End-to-end tests of the evaluation service: a real `TcpListener` on an
+//! ephemeral port, concurrent raw-socket clients, cache verification via
+//! `/v1/metrics`, byte-identical determinism across server configurations,
+//! and graceful drain.
+
+use multival_svc::json::{parse, Json};
+use multival_svc::server::{serve, ServeStats, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_cap: 256,
+        cache_capacity: 64,
+        cache_dir: None,
+        mc_workers: 1,
+    }
+}
+
+/// One blocking HTTP exchange over a fresh connection.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: svc\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {raw}"));
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+    (status, body)
+}
+
+/// Submits a job and polls it to completion, returning the final
+/// `GET /v1/jobs/{id}` body.
+fn run_job(addr: SocketAddr, request: &str) -> String {
+    let (status, body) = http(addr, "POST", "/v1/jobs", request);
+    assert!(status == 200 || status == 202, "submit failed: {status} {body}");
+    let id = parse(&body)
+        .expect("submit response is JSON")
+        .get("id")
+        .and_then(Json::as_num)
+        .expect("submit response has id") as u64;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = http(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(status, 200, "{body}");
+        let state = parse(&body)
+            .expect("status body is JSON")
+            .get("status")
+            .and_then(|s| s.as_str().map(str::to_owned))
+            .expect("status field");
+        match state.as_str() {
+            "done" | "failed" => return body,
+            _ if Instant::now() > deadline => panic!("job {id} stuck in `{state}`"),
+            _ => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+const EXPLORE: &str = r#"{"kind":"explore","model":{"builtin":"xstream_pipeline"}}"#;
+const CHECK: &str = r#"{"kind":"check","model":{"builtin":"faust_single_packet"},"formula":"mu X. <true> true or <true> X"}"#;
+const SIMULATE: &str = r#"{"kind":"simulate","model":{"builtin":"xstream_pipeline"},"rates":{"push":1,"xfer":4,"pop":2,"credit":8},"horizon":20,"trajectories":256}"#;
+
+#[test]
+fn concurrent_clients_zero_drops_and_cache_hits() {
+    let handle = serve(&config()).expect("server starts");
+    let addr = handle.addr();
+
+    let (status, body) = http(addr, "GET", "/v1/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "{\"status\":\"ok\"}"));
+
+    // Twelve concurrent clients, each running one of the three case-study
+    // jobs twice: 24 jobs, 8 distinct-first submissions at most — the rest
+    // must be answered from the cache.
+    let requests = [EXPLORE, CHECK, SIMULATE];
+    let bodies: Vec<(usize, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..12)
+            .map(|i| {
+                scope.spawn(move || {
+                    let req = requests[i % requests.len()];
+                    (i % requests.len(), run_job(addr, req), run_job(addr, req))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| {
+                let (kind, a, b) = h.join().expect("client thread");
+                [(kind, a), (kind, b)]
+            })
+            .collect()
+    });
+
+    // Every job finished (zero drops), and all bodies of the same request
+    // are byte-identical whether computed or cached.
+    assert_eq!(bodies.len(), 24);
+    for kind in 0..requests.len() {
+        let of_kind: Vec<&str> =
+            bodies.iter().filter(|(k, _)| *k == kind).map(|(_, b)| b.as_str()).collect();
+        assert_eq!(of_kind.len(), 8);
+        assert!(
+            of_kind.iter().all(|b| *b == of_kind[0]),
+            "bodies diverge for request {kind}: {of_kind:?}"
+        );
+        assert!(of_kind[0].contains("\"status\":\"done\""), "{}", of_kind[0]);
+    }
+
+    // The metrics endpoint must show the resubmissions as cache hits.
+    let (status, body) = http(addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    let metrics = parse(&body).expect("metrics JSON");
+    let jobs = metrics.get("jobs").expect("jobs section");
+    let done = jobs.get("done").and_then(Json::as_num).expect("done");
+    let rejected = jobs.get("rejected").and_then(Json::as_num).expect("rejected");
+    assert_eq!(done, 24.0, "{body}");
+    assert_eq!(rejected, 0.0, "{body}");
+    let cache = metrics.get("cache").expect("cache section");
+    let hits = cache.get("mem_hits").and_then(Json::as_num).expect("mem_hits");
+    // Identical jobs submitted concurrently may race the first result into
+    // the cache (in-flight duplicates are not coalesced), but every
+    // client's *second* submission runs after its first finished and must
+    // be a memory hit: at least 12 of the 24 jobs.
+    assert!(hits >= 12.0, "resubmissions must be served from cache: {body}");
+
+    let stats: ServeStats = handle.shutdown_and_drain();
+    assert_eq!(stats.accepted, 24);
+    assert_eq!(stats.done, 24);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn responses_are_byte_identical_across_configurations() {
+    // Same requests against two servers with different worker counts and
+    // Monte-Carlo pool sizes: the bodies must match byte for byte.
+    let reference = {
+        let handle = serve(&config()).expect("server starts");
+        let bodies: Vec<String> =
+            [EXPLORE, CHECK, SIMULATE].iter().map(|r| run_job(handle.addr(), r)).collect();
+        let _ = handle.shutdown_and_drain();
+        bodies
+    };
+    let other_config = ServerConfig { workers: 4, mc_workers: 4, cache_capacity: 1, ..config() };
+    let handle = serve(&other_config).expect("server starts");
+    for (i, request) in [EXPLORE, CHECK, SIMULATE].iter().enumerate() {
+        let body = run_job(handle.addr(), request);
+        assert_eq!(body, reference[i], "request {i} diverged across configurations");
+    }
+    let _ = handle.shutdown_and_drain();
+}
+
+#[test]
+fn error_paths_map_to_http_statuses() {
+    let handle = serve(&config()).expect("server starts");
+    let addr = handle.addr();
+
+    let (status, body) = http(addr, "POST", "/v1/jobs", "{not json");
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = http(addr, "POST", "/v1/jobs", r#"{"kind":"explore"}"#);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("model"), "{body}");
+    let (status, _) = http(addr, "GET", "/v1/jobs/424242", "");
+    assert_eq!(status, 404);
+    let (status, _) = http(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = http(addr, "PUT", "/v1/jobs/1", "");
+    assert_eq!(status, 405);
+
+    // A job that fails (unparsable model) reports `failed`, not a hang.
+    let body = run_job(addr, r#"{"kind":"explore","model":{"source":"behaviour ;;;"}}"#);
+    assert!(body.contains("\"status\":\"failed\""), "{body}");
+
+    // An uploaded `.aut` model works end to end.
+    let body = run_job(
+        addr,
+        r#"{"kind":"explore","model":{"aut":"des (0, 2, 2)\n(0, \"a\", 1)\n(1, \"b\", 0)\n"}}"#,
+    );
+    assert!(body.contains("\"states\":2"), "{body}");
+
+    let _ = handle.shutdown_and_drain();
+}
+
+#[test]
+fn shutdown_drains_accepted_jobs() {
+    let handle = serve(&ServerConfig { workers: 1, ..config() }).expect("server starts");
+    let addr = handle.addr();
+    // Queue several jobs on a single worker and shut down immediately:
+    // drain must finish them all.
+    let mut accepted = 0usize;
+    for seed in 0..5 {
+        let (status, _) = http(
+            addr,
+            "POST",
+            "/v1/jobs",
+            &format!(
+                r#"{{"kind":"explore","model":{{"builtin":"xstream_pipeline"}},"seed":{seed}}}"#
+            ),
+        );
+        if status == 200 || status == 202 {
+            accepted += 1;
+        }
+    }
+    assert_eq!(accepted, 5, "queue_cap 256 must accept all five");
+    let stats = handle.shutdown_and_drain();
+    assert_eq!(stats.accepted, 5);
+    assert_eq!(stats.done, 5, "drain must finish every accepted job");
+    assert_eq!(stats.failed, 0);
+}
