@@ -13,10 +13,16 @@ use multival::ctmc::{Ctmc, CtmcBuilder, McOptions, McSim, TransientOptions, Work
 use multival::imc::compositional::{compose_minimize, peak_states, Component, PipelineOptions};
 use multival::imc::ImcBuilder;
 use multival::lts::ops::compose_all;
+use multival::lts::pipeline::{
+    monolithic, run_pipeline, Network, PipelineOptions as ReduceOptions,
+};
 use multival::lts::reach::{deadlock_search, ReachOptions};
 use multival::lts::ts::LazyProduct;
 use multival::lts::Lts;
+use multival::models::fame2::network::ping_pong_network;
+use multival::models::faust::noc::complement_network;
 use multival::models::rings::{ring_parts, ring_sync};
+use multival::models::xstream::pipeline::{network as xstream_network, PipelineConfig};
 use multival::pa::{explore, parse_spec, ExploreOptions};
 use multival_svc::json::{parse, Json};
 use multival_svc::server::{serve, ServerConfig};
@@ -235,6 +241,11 @@ pub fn bench_baseline() -> Result<String, Box<dyn Error>> {
     // round (identical jobs, answered from the content-addressed cache).
     out.push_str(&serve_throughput_section()?);
 
+    // Reduction pipeline: the smart compositional order vs the monolithic
+    // product on the three case-study networks. The paper's flow rests on
+    // `peak_states` staying strictly below `product_states`.
+    out.push_str(&pipeline_reduction_section());
+
     // E9: compositional IMC generation with lumping.
     out.push_str("  \"e9_farm\": [\n");
     let sizes = [4usize, 6, 8];
@@ -254,6 +265,44 @@ pub fn bench_baseline() -> Result<String, Box<dyn Error>> {
     }
     out.push_str("  ]\n}\n");
     Ok(out)
+}
+
+/// The `pipeline_reduction` section: monolithic product size vs the smart
+/// pipeline's peak intermediate on the three case-study networks. Timed
+/// once per side — the numbers of record here are state counts, not walls.
+fn pipeline_reduction_section() -> String {
+    use multival::lts::minimize::Equivalence;
+    let cases: [(&str, Network); 3] = [
+        ("xstream_pipeline", xstream_network(&PipelineConfig::default())),
+        ("fame2_ping_pong", ping_pong_network(2)),
+        ("faust_complement", complement_network()),
+    ];
+    let mut out = String::from("  \"pipeline_reduction\": [\n");
+    let last = cases.len() - 1;
+    for (i, (name, net)) in cases.into_iter().enumerate() {
+        let start = Instant::now();
+        let mono = monolithic(&net, Equivalence::Branching, Workers::sequential());
+        let wall_mono = start.elapsed();
+        let start = Instant::now();
+        let run = run_pipeline(&net, &ReduceOptions::default());
+        let wall_smart = start.elapsed();
+        assert!(run.complete(), "case-study networks reduce without a budget");
+        let _ = write!(
+            out,
+            "    {{\"network\": \"{name}\", \"components\": {}, \
+             \"product_states\": {}, \"peak_states\": {}, \"final_states\": {}, \
+             \"wall_ms_monolithic\": {}, \"wall_ms_smart\": {}}}",
+            net.components().len(),
+            mono.product_states,
+            run.peak_states(),
+            run.lts.num_states(),
+            ms(wall_mono),
+            ms(wall_smart)
+        );
+        out.push_str(if i < last { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out
 }
 
 /// One blocking HTTP exchange against the benchmark server.
@@ -366,6 +415,7 @@ mod tests {
             "kernels_transient",
             "mc_simulation_threads",
             "serve_throughput",
+            "pipeline_reduction",
             "e9_farm",
         ] {
             assert!(json.contains(key), "missing {key}:\n{json}");
@@ -399,6 +449,24 @@ mod tests {
             assert!(
                 grab("\"visited_states\"") < grab("\"materialized_states\""),
                 "on-the-fly visited no fewer states: {entry}"
+            );
+        }
+        // The compositional win: on every case-study network the smart
+        // pipeline's peak intermediate stays strictly below the monolithic
+        // product.
+        let reduction = json.split("\"pipeline_reduction\"").nth(1).expect("section");
+        for entry in reduction.split('{').skip(1).take(3) {
+            let grab = |key: &str| -> usize {
+                entry
+                    .split(key)
+                    .nth(1)
+                    .and_then(|s| s[2..].split(|c: char| !c.is_ascii_digit()).next())
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("missing {key} in {entry}"))
+            };
+            assert!(
+                grab("\"peak_states\"") < grab("\"product_states\""),
+                "pipeline peak must undercut the monolithic product: {entry}"
             );
         }
     }

@@ -5,7 +5,7 @@
 
 use crate::budget::Budget;
 use crate::flow::Flow;
-use crate::report::{fmt_f, FlyStats, ParStats, SimStats, Table};
+use crate::report::{fmt_f, FlyStats, ParStats, ReduceStageRow, ReduceStats, SimStats, Table};
 use multival_ctmc::McOptions;
 use multival_imc::to_ctmc::NondetPolicy;
 use multival_lts::equiv::{
@@ -137,6 +137,26 @@ pub enum Command {
         /// Output path.
         aut: Option<String>,
     },
+    /// `reduce <model.lot> [--eq strong|branching] [--order smart|given|seed:N]
+    /// [--aut out.aut] [--checkpoint DIR] [--threads N] [--max-states N]
+    /// [--timeout-secs T]` — compositional reduction over the model's
+    /// component network.
+    Reduce {
+        /// Input model path (mini-LOTOS with a parallel top behaviour).
+        input: String,
+        /// Equivalence to minimize modulo at every stage.
+        eq: Equivalence,
+        /// Composition-order policy.
+        order: multival_lts::pipeline::Order,
+        /// Write the reduced LTS in Aldebaran format here.
+        aut: Option<String>,
+        /// Per-stage checkpoint directory (resumes when it matches).
+        checkpoint: Option<String>,
+        /// Worker threads (1 = sequential, 0 = one per hardware thread).
+        threads: usize,
+        /// Cap on intermediate products / wall-clock deadline.
+        budget: Budget,
+    },
     /// `compare <a> <b> [--eq strong|branching|traces] [--on-the-fly]`
     Compare {
         /// Left input.
@@ -251,6 +271,9 @@ USAGE:
   multival check    <model.lot|lts.aut> <FORMULA> [--max-states N]
                     [--timeout-secs T] [--on-the-fly]
   multival minimize <model.lot|lts.aut> [--eq strong|branching] [--aut OUT]
+  multival reduce   <model.lot> [--eq strong|branching] [--order smart|given|seed:N]
+                    [--aut OUT] [--checkpoint DIR] [--threads N]
+                    [--max-states N] [--timeout-secs T]
   multival compare  <A> <B> [--eq strong|branching|traces] [--on-the-fly]
   multival solve    <model.lot> --rate GATE=RATE ... [--probe GATE ...]
   multival simulate <model.lot|lts.aut> --rate GATE=RATE ... [--probe GATE ...]
@@ -271,6 +294,12 @@ full LTS first: explore reports visited states, check decides the
 safety/possibility/inevitability fragment by a short-circuiting search (other
 formulas fall back to the eager evaluator), and compare --eq traces
 determinizes straight from the term graphs.
+
+reduce folds the model's parallel components into the product one at a time,
+hiding each gate as soon as all of its owners are folded and minimizing after
+every stage (compositional smart reduction). The result is canonical: every
+--order policy and --threads count produces byte-identical output. With
+--checkpoint DIR, per-stage .aut files let an interrupted run resume.
 
 simulate runs the statistical engine: batched Monte-Carlo trajectories with
 Welford statistics and CI-width stopping, reported next to the numerical
@@ -373,6 +402,43 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
             }
             Ok(Command::Minimize { input: input.ok_or("minimize needs an input")?, eq, aut })
+        }
+        Some("reduce") => {
+            let mut input = None;
+            let mut eq = Equivalence::Branching;
+            let mut order = multival_lts::pipeline::Order::Smart;
+            let mut aut = None;
+            let mut checkpoint = None;
+            let mut threads = 1usize;
+            let mut budget = Budget::default();
+            while let Some(a) = it.next() {
+                match a {
+                    "--eq" => {
+                        eq = match next_value(&mut it, "--eq")?.as_str() {
+                            "strong" => Equivalence::Strong,
+                            "branching" => Equivalence::Branching,
+                            other => return Err(format!("unknown equivalence `{other}`")),
+                        }
+                    }
+                    "--order" => order = parse_order(&next_value(&mut it, "--order")?)?,
+                    "--aut" => aut = Some(next_value(&mut it, "--aut")?),
+                    "--checkpoint" => checkpoint = Some(next_value(&mut it, "--checkpoint")?),
+                    "--threads" => threads = parse_flag(&mut it, a)?,
+                    "--max-states" => budget.max_states = Some(parse_flag(&mut it, a)?),
+                    "--timeout-secs" => budget = budget.with_timeout_secs(parse_flag(&mut it, a)?),
+                    other if input.is_none() => input = Some(other.to_owned()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            Ok(Command::Reduce {
+                input: input.ok_or("reduce needs a model path")?,
+                eq,
+                order,
+                aut,
+                checkpoint,
+                threads,
+                budget,
+            })
         }
         Some("compare") => {
             let mut paths = Vec::new();
@@ -586,6 +652,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             Ok(Command::Serve { addr, cache_dir, workers, queue_cap, cache_capacity })
         }
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+/// Parses an `--order` value: `smart`, `given`, or `seed:N`.
+fn parse_order(value: &str) -> Result<multival_lts::pipeline::Order, String> {
+    use multival_lts::pipeline::Order;
+    match value {
+        "smart" => Ok(Order::Smart),
+        "given" => Ok(Order::Given),
+        other => match other.strip_prefix("seed:").and_then(|s| s.parse().ok()) {
+            Some(seed) => Ok(Order::Seeded(seed)),
+            None => Err(format!("unknown order `{other}` (expected smart, given, or seed:N)")),
+        },
     }
 }
 
@@ -841,6 +920,69 @@ pub fn execute(cmd: &Command) -> Result<CmdOut, Box<dyn Error>> {
                 let _ = writeln!(out, "wrote {path}");
             }
             Ok(out.into())
+        }
+        Command::Reduce { input, eq, order, aut, checkpoint, threads, budget } => {
+            use multival_lts::pipeline::PipelineOptions;
+            if input.ends_with(".aut") {
+                return Err("reduce needs a mini-LOTOS model: a .aut file has no \
+                     parallel structure left to reduce compositionally"
+                    .into());
+            }
+            let text = std::fs::read_to_string(input)
+                .map_err(|e| format!("cannot read `{input}`: {e}"))?;
+            let spec = parse_spec(&text)?;
+            // Component exploration keeps the default cap: the budget below
+            // bounds the intermediate *products*, which is where
+            // compositional state spaces actually blow up.
+            let network = multival_pa::extract_network(&spec, &ExploreOptions::default())?;
+            let options = PipelineOptions {
+                equivalence: *eq,
+                order: *order,
+                workers: if *threads == 0 { Workers::auto() } else { Workers::new(*threads) },
+                max_states: budget.max_states,
+                deadline: budget.deadline(),
+                checkpoint_dir: checkpoint.as_ref().map(std::path::PathBuf::from),
+            };
+            let run = multival_lts::pipeline::run_pipeline(&network, &options);
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{} components, {:?} minimization, {} order",
+                network.components().len(),
+                eq,
+                order
+            );
+            let stats = ReduceStats {
+                stages: run
+                    .stages
+                    .iter()
+                    .map(|s| ReduceStageRow {
+                        stage: s.stage,
+                        component: s.component.clone(),
+                        states_before: s.states_before,
+                        transitions_before: s.transitions_before,
+                        states_after: s.states_after,
+                        transitions_after: s.transitions_after,
+                        hidden: s.hidden.clone(),
+                    })
+                    .collect(),
+                peak_states: run.peak_states(),
+                final_states: run.lts.num_states(),
+                final_transitions: run.lts.num_transitions(),
+                resumed_stages: run.resumed_stages,
+            };
+            out.push_str(&stats.render());
+            let mut status = CmdStatus::Ok;
+            if let Some(reason) = &run.abort {
+                let _ = writeln!(out, "warning: pipeline aborted: {reason}");
+                let _ = writeln!(out, "Budget exceeded; reporting the partial reduction");
+                status = CmdStatus::BudgetExceeded;
+            }
+            if let Some(path) = aut {
+                std::fs::write(path, write_aut(&run.lts))?;
+                let _ = writeln!(out, "wrote {path}");
+            }
+            Ok(CmdOut::with_status(out, status))
         }
         Command::Compare { left, right, relation, on_the_fly } => {
             let verdict = if *on_the_fly {
@@ -1372,6 +1514,153 @@ mod tests {
         let not =
             execute(&Command::Refines { imp: spec, spec: imp, weak: false }).expect("refines");
         assert!(not.starts_with("DOES NOT"), "{not}");
+    }
+
+    #[test]
+    fn parses_reduce() {
+        use multival_lts::pipeline::Order;
+        let cmd = parse_args(&args(&["reduce", "m.lot"])).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Reduce {
+                input: "m.lot".into(),
+                eq: Equivalence::Branching,
+                order: Order::Smart,
+                aut: None,
+                checkpoint: None,
+                threads: 1,
+                budget: Budget::default(),
+            }
+        );
+        let cmd = parse_args(&args(&[
+            "reduce",
+            "m.lot",
+            "--eq",
+            "strong",
+            "--order",
+            "seed:42",
+            "--aut",
+            "out.aut",
+            "--checkpoint",
+            "ckpt",
+            "--threads",
+            "4",
+            "--max-states",
+            "100",
+        ]))
+        .expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Reduce {
+                input: "m.lot".into(),
+                eq: Equivalence::Strong,
+                order: Order::Seeded(42),
+                aut: Some("out.aut".into()),
+                checkpoint: Some("ckpt".into()),
+                threads: 4,
+                budget: Budget::default().with_max_states(100),
+            }
+        );
+        assert!(parse_args(&args(&["reduce", "m.lot", "--order", "bogus"])).is_err());
+        assert!(parse_args(&args(&["reduce"])).is_err());
+    }
+
+    /// A three-component buffer chain whose interior gates are hidden.
+    const CHAIN_NET: &str = "process Gen[a, m] := a; m; Gen[a, m] endproc
+         process Buf[m, n] := m; n; Buf[m, n] endproc
+         process Sink[n, b] := n; b; Sink[n, b] endproc
+         behaviour hide m, n in ( Gen[a, m] |[m]| ( Buf[m, n] |[n]| Sink[n, b] ) )";
+
+    #[test]
+    fn reduce_executes_canonically_and_trips_its_budget() {
+        use multival_lts::pipeline::Order;
+        let dir = std::env::temp_dir().join("multival-cli-test6");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let model = dir.join("chain.lot");
+        std::fs::write(&model, CHAIN_NET).expect("write");
+        let model = model.to_string_lossy().into_owned();
+
+        let reduce = |order: Order, threads: usize, aut: &str| Command::Reduce {
+            input: model.clone(),
+            eq: Equivalence::Branching,
+            order,
+            aut: Some(dir.join(aut).to_string_lossy().into_owned()),
+            checkpoint: None,
+            threads,
+            budget: Budget::default(),
+        };
+        let out = execute(&reduce(Order::Smart, 1, "smart.aut")).expect("reduce");
+        assert_eq!(out.status, CmdStatus::Ok);
+        assert!(out.contains("Gen"), "{}", out.text);
+        assert!(out.contains("peak intermediate states:"), "{}", out.text);
+        assert!(out.contains("reduced:"), "{}", out.text);
+
+        // Every order and worker count must produce byte-identical output.
+        execute(&reduce(Order::Given, 4, "given.aut")).expect("reduce");
+        execute(&reduce(Order::Seeded(9), 2, "seeded.aut")).expect("reduce");
+        let smart = std::fs::read(dir.join("smart.aut")).expect("read");
+        assert!(!smart.is_empty());
+        assert_eq!(smart, std::fs::read(dir.join("given.aut")).expect("read"));
+        assert_eq!(smart, std::fs::read(dir.join("seeded.aut")).expect("read"));
+
+        // A one-state cap trips before any product materializes: partial
+        // report, budget exit status.
+        let out = execute(&Command::Reduce {
+            input: model.clone(),
+            eq: Equivalence::Branching,
+            order: Order::Smart,
+            aut: None,
+            checkpoint: None,
+            threads: 1,
+            budget: Budget::default().with_max_states(1),
+        })
+        .expect("reduce");
+        assert_eq!(out.status, CmdStatus::BudgetExceeded);
+        assert!(out.contains("Budget exceeded"), "{}", out.text);
+
+        // A .aut input has no component network to reduce.
+        let aut_path = dir.join("smart.aut").to_string_lossy().into_owned();
+        let err = execute(&Command::Reduce {
+            input: aut_path,
+            eq: Equivalence::Branching,
+            order: Order::Smart,
+            aut: None,
+            checkpoint: None,
+            threads: 1,
+            budget: Budget::default(),
+        })
+        .expect_err("rejects .aut input");
+        assert!(err.to_string().contains("parallel structure"), "{err}");
+    }
+
+    #[test]
+    fn reduce_resumes_from_its_checkpoint() {
+        use multival_lts::pipeline::Order;
+        let dir = std::env::temp_dir().join("multival-cli-test7");
+        // A stale checkpoint from a previous test run must not leak in.
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let model = dir.join("chain.lot");
+        std::fs::write(&model, CHAIN_NET).expect("write");
+        let model = model.to_string_lossy().into_owned();
+        let ckpt = dir.join("ckpt").to_string_lossy().into_owned();
+
+        let cmd = Command::Reduce {
+            input: model,
+            eq: Equivalence::Branching,
+            order: Order::Smart,
+            aut: None,
+            checkpoint: Some(ckpt),
+            threads: 1,
+            budget: Budget::default(),
+        };
+        let first = execute(&cmd).expect("reduce");
+        assert!(!first.contains("resumed"), "{}", first.text);
+        let second = execute(&cmd).expect("reduce");
+        assert!(second.contains("resumed"), "{}", second.text);
+        // The resumed run reports the same reduction.
+        let tail = |s: &str| s.lines().rfind(|l| l.starts_with("reduced:")).map(str::to_owned);
+        assert_eq!(tail(&first), tail(&second));
     }
 
     #[test]

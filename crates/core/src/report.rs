@@ -1,6 +1,7 @@
 //! Plain-text table rendering for the experiment harness, plus the
 //! parallel-exploration throughput report.
 
+use std::fmt::Write as _;
 use std::time::Duration;
 
 /// A simple left-padded ASCII table.
@@ -297,6 +298,72 @@ impl ServeStats {
     }
 }
 
+/// One stage of a compositional reduction run, as rendered by
+/// `multival reduce` (a de-coupled mirror of the pipeline's stage stats so
+/// the report layer stays engine-agnostic).
+#[derive(Debug, Clone)]
+pub struct ReduceStageRow {
+    /// Stage index (0-based).
+    pub stage: usize,
+    /// Component folded in at this stage.
+    pub component: String,
+    /// Product states before hiding/minimization.
+    pub states_before: usize,
+    /// Product transitions before hiding/minimization.
+    pub transitions_before: usize,
+    /// States after hiding + minimization.
+    pub states_after: usize,
+    /// Transitions after hiding + minimization.
+    pub transitions_after: usize,
+    /// Gates whose possessor sets completed at this stage (now hidden).
+    pub hidden: Vec<String>,
+}
+
+/// Report for a `multival reduce` run: the per-stage fold table plus the
+/// peak/final summary.
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct ReduceStats {
+    /// Completed stages, in execution order.
+    pub stages: Vec<ReduceStageRow>,
+    /// Largest intermediate state count (inclusive of pre-minimization
+    /// products).
+    pub peak_states: usize,
+    /// States of the final (or last completed) reduced LTS.
+    pub final_states: usize,
+    /// Transitions of the final reduced LTS.
+    pub final_transitions: usize,
+    /// Leading stages restored from a checkpoint instead of recomputed.
+    pub resumed_stages: usize,
+}
+
+impl ReduceStats {
+    /// Renders the stage table plus the summary lines.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&["stage", "component", "product", "reduced", "hides"]);
+        for s in &self.stages {
+            t.row_owned(vec![
+                s.stage.to_string(),
+                s.component.clone(),
+                format!("{}/{}", s.states_before, s.transitions_before),
+                format!("{}/{}", s.states_after, s.transitions_after),
+                if s.hidden.is_empty() { "-".to_owned() } else { s.hidden.join(",") },
+            ]);
+        }
+        let mut out = t.render();
+        if self.resumed_stages > 0 {
+            let _ = writeln!(out, "resumed {} stage(s) from checkpoint", self.resumed_stages);
+        }
+        let _ = writeln!(out, "peak intermediate states: {}", self.peak_states);
+        let _ = writeln!(
+            out,
+            "reduced: {} states / {} transitions",
+            self.final_states, self.final_transitions
+        );
+        out
+    }
+}
+
 /// Formats a float with 4 significant decimals, trimming noise.
 pub fn fmt_f(x: f64) -> String {
     if x == f64::INFINITY {
@@ -399,6 +466,43 @@ mod tests {
         assert!(text.contains("cache hit rate  25.0%"), "{text}");
         assert!(text.contains("2.5 s"), "{text}");
         assert_eq!(ServeStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn reduce_stats_report() {
+        let stats = ReduceStats {
+            stages: vec![
+                ReduceStageRow {
+                    stage: 0,
+                    component: "Window".into(),
+                    states_before: 3,
+                    transitions_before: 4,
+                    states_after: 3,
+                    transitions_after: 4,
+                    hidden: vec![],
+                },
+                ReduceStageRow {
+                    stage: 1,
+                    component: "Hop".into(),
+                    states_before: 6,
+                    transitions_before: 11,
+                    states_after: 4,
+                    transitions_after: 6,
+                    hidden: vec!["f1".into(), "f2".into()],
+                },
+            ],
+            peak_states: 6,
+            final_states: 4,
+            final_transitions: 6,
+            resumed_stages: 1,
+        };
+        let text = stats.render();
+        assert!(text.contains("6/11"), "{text}");
+        assert!(text.contains("f1,f2"), "{text}");
+        assert!(text.contains("resumed 1 stage(s)"), "{text}");
+        assert!(text.contains("peak intermediate states: 6"), "{text}");
+        let fresh = ReduceStats { resumed_stages: 0, ..stats };
+        assert!(!fresh.render().contains("resumed"), "{}", fresh.render());
     }
 
     #[test]

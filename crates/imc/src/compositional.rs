@@ -112,6 +112,9 @@ pub fn compose_minimize(
     let mut stats = Vec::new();
     let mut acc = components[0].imc.clone();
     let mut acc_name = components[0].name.clone();
+    // The initial stage is recorded whether or not minimization is on:
+    // `peak_states` uses an *inclusive* peak, and with minimization off the
+    // first component can be the largest intermediate of the whole run.
     if options.minimize {
         let (m, ls) = lump(&acc, &options.lump);
         stats.push(StageStats {
@@ -121,6 +124,13 @@ pub fn compose_minimize(
             lump: Some(ls),
         });
         acc = m;
+    } else {
+        stats.push(StageStats {
+            stage: acc_name.clone(),
+            states_before: acc.num_states(),
+            states_after: acc.num_states(),
+            lump: None,
+        });
     }
     for c in &components[1..] {
         let product = compose(&acc, &c.imc, &c.sync);
@@ -156,8 +166,13 @@ pub fn compose_minimize(
 
 /// Peak intermediate state count of a pipeline run — the quantity that
 /// compositional minimization is designed to keep small.
+///
+/// The peak is *inclusive*: it counts the pre-minimization product of
+/// every stage (matching the inclusive-cap convention of the exploration
+/// budgets) as well as each stage's result, so a run whose largest state
+/// space was an un-minimized intermediate reports that intermediate.
 pub fn peak_states(stages: &[StageStats]) -> usize {
-    stages.iter().map(|s| s.states_before).max().unwrap_or(0)
+    stages.iter().map(|s| s.states_before.max(s.states_after)).max().unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -205,6 +220,45 @@ mod tests {
         let opts = PipelineOptions { hide_after: vec!["SYNC".to_owned()], ..Default::default() };
         let (imc, _) = compose_minimize(&comps, &opts);
         assert!(!imc.has_visible());
+    }
+
+    #[test]
+    fn peak_is_inclusive_of_the_initial_component() {
+        // Regression: with minimization off, the first component used to be
+        // absent from the stage stats, so a pipeline whose *largest* state
+        // space was component 0 under-reported its peak. Craft a network
+        // where the big component sits first and every later product is
+        // smaller than it.
+        let big = {
+            let mut b = ImcBuilder::new();
+            let states: Vec<_> = (0..12).map(|_| b.add_state()).collect();
+            for w in states.windows(2) {
+                b.interactive(w[0], "step", w[1]);
+            }
+            b.interactive(states[11], "SYNC", states[0]);
+            b.build(states[0])
+        };
+        // `small` blocks SYNC forever, so the product collapses onto the
+        // big component's chain: 12 · 1 = 12 states, never larger.
+        let small = {
+            let mut b = ImcBuilder::new();
+            let s0 = b.add_state();
+            b.build(s0)
+        };
+        let comps = vec![
+            Component::new("big", big, [] as [&str; 0]),
+            Component::new("s1", small.clone(), ["SYNC"]),
+            Component::new("s2", small, ["SYNC"]),
+        ];
+        let (_, stages) =
+            compose_minimize(&comps, &PipelineOptions { minimize: false, ..Default::default() });
+        assert_eq!(stages.len(), 3, "the initial component must be a recorded stage");
+        assert_eq!(stages[0].stage, "big");
+        assert_eq!(
+            peak_states(&stages),
+            12,
+            "the inclusive peak must count the un-minimized first component"
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!   successor-function trait (the CADP Open/Caesar analogue) with lazy
 //!   products, hide/rename views, and a generic exploration engine that
 //!   walks implicit graphs without materializing them;
-//! * [`io`] — Aldebaran `.aut` and Graphviz `.dot` interchange.
+//! * [`io`] — Aldebaran `.aut` and Graphviz `.dot` interchange;
+//! * [`pipeline`] — the smart compositional reduction pipeline: heuristic
+//!   composition orders, early hiding, per-stage minimization, resumable
+//!   checkpoints, and a canonical serialization for differential testing.
 //!
 //! # Examples
 //!
@@ -43,6 +46,7 @@ pub mod label;
 pub mod lts;
 pub mod minimize;
 pub mod ops;
+pub mod pipeline;
 pub mod reach;
 pub mod simulation;
 pub mod ts;
@@ -51,5 +55,9 @@ pub use label::{LabelId, LabelTable};
 pub use lts::{Lts, LtsBuilder, StateId, Transition};
 pub use minimize::{Equivalence, Partition, ReductionStats};
 pub use multival_par::Workers;
+pub use pipeline::{
+    canonicalize, monolithic, run_pipeline, AbortReason, MonolithicRun, Network, Order,
+    PipelineOptions, PipelineRun, StageStats,
+};
 pub use reach::{ReachOptions, ReachStats, ScanSummary, SearchOutcome};
 pub use ts::{HideView, LazyProduct, RenameView, TransitionSystem};

@@ -21,4 +21,5 @@
 pub mod benchmark;
 pub mod coherence;
 pub mod mpi;
+pub mod network;
 pub mod topology;

@@ -162,6 +162,24 @@ pub fn mesh_spec(max_in_flight: Option<usize>) -> Result<Spec, multival_pa::Pars
     parse_spec(&mesh_source(max_in_flight))
 }
 
+/// The mesh as a component [`Network`](multival_lts::pipeline::Network)
+/// for the smart reduction pipeline:
+/// four routers, the link buffers, and (when flow-controlled) the
+/// injection pool, extracted from the spec's top behaviour via
+/// [`multival_pa::extract_network`], with the link gates hidden.
+///
+/// # Errors
+///
+/// Propagates parse and extraction errors (the generated tree is
+/// EXP.OPEN-well-formed, so extraction succeeds on the shipped source).
+pub fn mesh_network(
+    max_in_flight: Option<usize>,
+    options: &ExploreOptions,
+) -> Result<multival_lts::pipeline::Network, Box<dyn std::error::Error>> {
+    let spec = mesh_spec(max_in_flight)?;
+    Ok(multival_pa::extract_network(&spec, options)?)
+}
+
 /// The mesh verification verdicts.
 #[derive(Debug, Clone)]
 pub struct MeshVerification {
@@ -200,6 +218,122 @@ pub fn verify_mesh(
         deadlock,
         misdelivery,
     })
+}
+
+/// The unique packet value carried by each directed link under
+/// bit-complement traffic (router `r` sends to `3 - r`) with XY routing.
+///
+/// Every link of the 2×2 mesh lies on exactly one of the four flows, so
+/// the map is total over [`LINKS`] and each link carries a single value.
+fn complement_link_values() -> std::collections::BTreeMap<(usize, usize), usize> {
+    let mut values = std::collections::BTreeMap::new();
+    for r in 0..4 {
+        let d = 3 - r;
+        let mut at = r;
+        while let Some(next) = xy_next_hop(at, d) {
+            values.insert((at, next), d);
+            at = next;
+        }
+    }
+    debug_assert_eq!(values.len(), LINKS.len());
+    values
+}
+
+/// Generates the mini-LOTOS source of the mesh under *bit-complement*
+/// traffic: every router injects packets for the opposite corner
+/// (`r → 3 - r`), the permutation pattern NoC evaluations use as the
+/// worst-case stress load for XY routing.
+///
+/// Because each directed link then carries exactly one packet value, the
+/// routers and buffers specialize to tiny processes — the case-study
+/// instance the reduction pipeline is benchmarked on (experiment E11).
+pub fn complement_source() -> String {
+    let values = complement_link_values();
+    let mut src = String::new();
+
+    // One buffer process per packet value (a link only ever carries one).
+    for v in 0..4 {
+        let _ = writeln!(
+            src,
+            "process Buf{v}[takein, handout] := takein !{v}; handout !{v}; Buf{v}[takein, handout] endproc\n"
+        );
+    }
+
+    for r in 0..4 {
+        let outs: Vec<String> =
+            LINKS.iter().filter(|&&(a, _)| a == r).map(|&(a, b)| format!("l{a}{b}")).collect();
+        let ins: Vec<(usize, usize)> = LINKS.iter().filter(|&&(_, b)| b == r).copied().collect();
+        let in_gates: Vec<String> = ins.iter().map(|&(a, b)| format!("i{a}{b}")).collect();
+        let gates = format!("inj{r}, dlv{r}, {}, {}", outs.join(", "), in_gates.join(", "));
+        let _ = writeln!(src, "process R{r}[{gates}] :=");
+        let d = 3 - r;
+        let next = xy_next_hop(r, d).expect("complement traffic never self-delivers");
+        let _ = writeln!(src, "     inj{r} !{d}; l{r}{next} !{d}; R{r}[{gates}]");
+        for &(a, b) in &ins {
+            let v = values[&(a, b)];
+            match xy_next_hop(r, v) {
+                None => {
+                    let _ = writeln!(src, "  [] i{a}{b} !{v}; dlv{r} !{v}; R{r}[{gates}]");
+                }
+                Some(hop) => {
+                    let _ = writeln!(src, "  [] i{a}{b} !{v}; l{r}{hop} !{v}; R{r}[{gates}]");
+                }
+            }
+        }
+        let _ = writeln!(src, "endproc\n");
+    }
+
+    let router_insts: Vec<String> = (0..4)
+        .map(|r| {
+            let outs: Vec<String> =
+                LINKS.iter().filter(|&&(a, _)| a == r).map(|&(a, b)| format!("l{a}{b}")).collect();
+            let ins: Vec<String> =
+                LINKS.iter().filter(|&&(_, b)| b == r).map(|&(a, b)| format!("i{a}{b}")).collect();
+            format!("R{r}[inj{r}, dlv{r}, {}, {}]", outs.join(", "), ins.join(", "))
+        })
+        .collect();
+    let buf_insts: Vec<String> =
+        LINKS.iter().map(|&(a, b)| format!("Buf{}[l{a}{b}, i{a}{b}]", values[&(a, b)])).collect();
+    let link_gates: Vec<String> =
+        LINKS.iter().flat_map(|&(a, b)| [format!("l{a}{b}"), format!("i{a}{b}")]).collect();
+
+    let _ = writeln!(src, "behaviour");
+    let _ = writeln!(src, "  hide {} in", link_gates.join(", "));
+    let _ = writeln!(
+        src,
+        "    ( ({})\n      |[{}]|\n      ({}) )",
+        router_insts.join("\n   ||| "),
+        link_gates.join(", "),
+        buf_insts.join(" ||| ")
+    );
+    src
+}
+
+/// Parses the bit-complement mesh model.
+///
+/// # Errors
+///
+/// Propagates parser errors (the generator is tested).
+pub fn complement_spec() -> Result<Spec, multival_pa::ParseError> {
+    parse_spec(&complement_source())
+}
+
+/// The bit-complement mesh as a pipeline
+/// [`Network`](multival_lts::pipeline::Network): four specialized
+/// routers and eight single-value link buffers, link gates hidden.
+///
+/// This is the FAUST case-study network of experiment E11: small enough
+/// to minimize per stage in milliseconds, yet its monolithic product is
+/// strictly larger than every intermediate the smart order visits.
+///
+/// # Panics
+///
+/// Panics only if the embedded source stops parsing or extracting
+/// (covered by tests).
+pub fn complement_network() -> multival_lts::pipeline::Network {
+    let spec = complement_spec().expect("embedded complement source parses");
+    multival_pa::extract_network(&spec, &ExploreOptions::default())
+        .unwrap_or_else(|e| panic!("embedded complement source must extract: {e}"))
 }
 
 /// Generates a *single-shot* mesh source: an environment injects exactly
@@ -343,6 +477,43 @@ mod tests {
         assert!(v.deadlock.is_none(), "witness: {:?}", v.deadlock);
         assert!(v.misdelivery.is_none(), "witness: {:?}", v.misdelivery);
         assert!(v.states > 100, "nontrivial interleaving: {}", v.states);
+    }
+
+    #[test]
+    fn mesh_network_extracts_with_the_expected_shape() {
+        // Routers, link buffers, and the injection pool all become
+        // components; the link gates stay hidden.
+        let net = mesh_network(Some(2), &ExploreOptions::default()).expect("extracts");
+        assert_eq!(net.components().len(), 13);
+        assert_eq!(net.hidden().len(), 2 * LINKS.len());
+        // Link gates plus the pooled inj/dlv gates all synchronize.
+        assert_eq!(net.sync_gates().len(), 2 * LINKS.len() + 8);
+    }
+
+    #[test]
+    fn complement_pipeline_beats_monolithic_and_agrees() {
+        use multival_lts::io::write_aut;
+        use multival_lts::minimize::Equivalence;
+        use multival_lts::pipeline::{monolithic, run_pipeline, PipelineOptions};
+        use multival_lts::Workers;
+
+        let net = complement_network();
+        assert_eq!(net.components().len(), 12);
+        let mono = monolithic(&net, Equivalence::Branching, Workers::default());
+        let run = run_pipeline(&net, &PipelineOptions::default());
+        assert!(run.complete());
+        assert_eq!(write_aut(&run.lts), write_aut(&mono.lts));
+        assert!(
+            run.peak_states() < mono.product_states,
+            "pipeline peak {} must undercut the monolithic product {}",
+            run.peak_states(),
+            mono.product_states
+        );
+        // The network semantics must agree with exploring the tree whole.
+        let whole = explore(&complement_spec().expect("parses"), &ExploreOptions::default())
+            .expect("explores")
+            .lts;
+        assert_eq!(mono.product_states, whole.num_states());
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod explorer;
 pub mod expr;
 pub mod lexer;
 pub mod lint;
+pub mod network;
 pub mod parser;
 pub mod semantics;
 pub mod spec;
@@ -47,6 +48,7 @@ pub use explorer::{
     ExploreOptions, Explored,
 };
 pub use lint::{lint, Lint};
+pub use network::{extract_network, NetworkError};
 pub use parser::{parse_behaviour, parse_spec, ParseError};
 pub use semantics::{transitions, Label, SemError};
 pub use spec::{ProcDef, Spec};

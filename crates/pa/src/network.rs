@@ -1,0 +1,336 @@
+//! Network extraction: turning a spec's top behaviour into a
+//! [`Network`] of component LTSs for the compositional reduction pipeline.
+//!
+//! The pipeline's network semantics are *alphabet-scoped*: a single global
+//! set of sync gates, each synchronizing among exactly the components
+//! whose alphabet contains it. A LOTOS top behaviour, by contrast, is a
+//! *tree* of binary `|[G]|` operators with per-node gate sets. The two
+//! agree only when the tree is well-formed in the EXP.OPEN sense, so
+//! extraction validates (and otherwise rejects — the caller falls back to
+//! whole-term exploration):
+//!
+//! * every gate listed at a `|[G]|` node must actually be offered by both
+//!   sides (a gate synchronized against an absent partner would deadlock
+//!   in the tree but roam free under the network's scoping);
+//! * every gate offered by both sides of a node must be listed at that
+//!   node (an unlisted shared gate interleaves in the tree, but would be
+//!   forced to synchronize by the network's global sync set whenever some
+//!   other node lists it).
+//!
+//! Together these make the folded network semantics equal to the tree
+//! semantics; `exit` needs no rule (both sides force it joint) and `||`
+//! (full synchronization) is rejected outright since its gate set depends
+//! on the dynamic alphabets.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::explorer::{explore_term, ExploreError, ExploreOptions};
+use crate::spec::Spec;
+use crate::term::{SyncKind, Term};
+use multival_lts::pipeline::Network;
+
+/// Why a top behaviour could not be extracted as a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// The spec has no top behaviour.
+    NoTop,
+    /// A `||` (full-sync) operator was found: its effective gate set is
+    /// not syntactically scoped, so it cannot be mapped to a global set.
+    FullSync,
+    /// A gate listed at a `|[G]|` node is never offered by one side.
+    MissingPossessor {
+        /// The offending gate.
+        gate: String,
+        /// `"left"` or `"right"` — the side that never offers it.
+        side: &'static str,
+    },
+    /// A gate offered by both sides of a parallel node is not in its sync
+    /// set, so the tree interleaves what the network would synchronize.
+    UnsyncedSharedGate {
+        /// The offending gate.
+        gate: String,
+    },
+    /// Exploring a leaf component failed.
+    Explore {
+        /// The leaf's display name.
+        component: String,
+        /// The underlying exploration error.
+        error: ExploreError,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::NoTop => write!(f, "spec has no top behaviour"),
+            NetworkError::FullSync => {
+                write!(f, "`||` (full synchronization) cannot be scoped to a gate network")
+            }
+            NetworkError::MissingPossessor { gate, side } => {
+                write!(f, "gate `{gate}` is synchronized but never offered by the {side} operand")
+            }
+            NetworkError::UnsyncedSharedGate { gate } => write!(
+                f,
+                "gate `{gate}` is offered on both sides of an interleaving; the network \
+                 semantics would synchronize it"
+            ),
+            NetworkError::Explore { component, error } => {
+                write!(f, "exploring component `{component}`: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// An explored leaf, before assembly into the network.
+struct Leaf {
+    name: String,
+    lts: multival_lts::Lts,
+}
+
+/// Extracts the spec's top behaviour as a pipeline [`Network`].
+///
+/// The top-level `hide` chain becomes the network's hidden-gate set, each
+/// maximal non-parallel subterm becomes one component (explored with
+/// `options`), and the union of all `|[G]|` gate sets becomes the global
+/// synchronization set, after validating that the tree's per-node scoping
+/// agrees with the network's alphabet scoping (see the module docs).
+///
+/// # Errors
+///
+/// Returns a [`NetworkError`] when the spec has no top behaviour, the tree
+/// cannot be scoped (full sync, a one-sided sync gate, or an unlisted
+/// shared gate), or a leaf fails to explore.
+pub fn extract_network(spec: &Spec, options: &ExploreOptions) -> Result<Network, NetworkError> {
+    let top = spec.try_top().ok_or(NetworkError::NoTop)?.clone();
+
+    // Peel the top-level hide chain.
+    let mut hidden: BTreeSet<String> = BTreeSet::new();
+    let mut term = top;
+    while let Term::Hide(gates, inner) = &*term {
+        hidden.extend(gates.iter().map(|g| g.to_string()));
+        term = inner.clone();
+    }
+
+    let mut sync_gates: BTreeSet<String> = BTreeSet::new();
+    let mut leaves: Vec<Leaf> = Vec::new();
+    collect(&term, spec, options, &mut sync_gates, &mut leaves)?;
+    debug_assert!(!leaves.is_empty());
+
+    let mut net = Network::new();
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    for leaf in leaves {
+        let mut name = leaf.name;
+        if used.contains(&name) {
+            let mut k = 2usize;
+            while used.contains(&format!("{name}_{k}")) {
+                k += 1;
+            }
+            name = format!("{name}_{k}");
+        }
+        used.insert(name.clone());
+        net.add_component(name, leaf.lts);
+    }
+    net.sync_on(sync_gates);
+    net.hide(hidden);
+    Ok(net)
+}
+
+/// Recurses into pure `Par` nodes, exploring every other subterm as a
+/// leaf component; returns the subtree's explored alphabet and pushes its
+/// leaves (left before right, preserving the source order).
+fn collect(
+    term: &Arc<Term>,
+    spec: &Spec,
+    options: &ExploreOptions,
+    sync_gates: &mut BTreeSet<String>,
+    leaves: &mut Vec<Leaf>,
+) -> Result<BTreeSet<String>, NetworkError> {
+    match &**term {
+        Term::Par(kind, left, right) => {
+            let la = collect(left, spec, options, sync_gates, leaves)?;
+            let ra = collect(right, spec, options, sync_gates, leaves)?;
+            let listed: BTreeSet<String> = match kind {
+                SyncKind::Full => return Err(NetworkError::FullSync),
+                SyncKind::Interleave => BTreeSet::new(),
+                SyncKind::Gates(gs) => gs.iter().map(|g| g.to_string()).collect(),
+            };
+            for gate in &listed {
+                if special_gate(gate) {
+                    continue;
+                }
+                if !la.contains(gate) {
+                    return Err(NetworkError::MissingPossessor {
+                        gate: gate.clone(),
+                        side: "left",
+                    });
+                }
+                if !ra.contains(gate) {
+                    return Err(NetworkError::MissingPossessor {
+                        gate: gate.clone(),
+                        side: "right",
+                    });
+                }
+            }
+            for gate in la.intersection(&ra) {
+                if !special_gate(gate) && !listed.contains(gate) {
+                    return Err(NetworkError::UnsyncedSharedGate { gate: gate.clone() });
+                }
+            }
+            sync_gates.extend(listed.into_iter().filter(|g| !special_gate(g)));
+            Ok(la.union(&ra).cloned().collect())
+        }
+        _ => {
+            let name = leaf_name(term);
+            let explored = explore_term(term.clone(), spec, options)
+                .map_err(|error| NetworkError::Explore { component: name.clone(), error })?;
+            let alphabet: BTreeSet<String> =
+                explored.lts.used_gates().into_iter().filter(|g| g != "i").collect();
+            leaves.push(Leaf { name, lts: explored.lts });
+            Ok(alphabet)
+        }
+    }
+}
+
+/// Gates exempt from the scoping rules: τ never synchronizes and `exit`
+/// is forced joint by every composition operator.
+fn special_gate(gate: &str) -> bool {
+    gate == "i" || gate == "exit"
+}
+
+/// A short display name for a leaf: the process name for instantiations,
+/// `leaf` otherwise (disambiguated by the caller).
+fn leaf_name(term: &Term) -> String {
+    match term {
+        Term::Call(p, _, _) => p.to_string(),
+        _ => "leaf".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_spec;
+    use multival_lts::io::write_aut;
+    use multival_lts::minimize::Equivalence;
+    use multival_lts::pipeline::{monolithic, run_pipeline, PipelineOptions};
+    use multival_lts::Workers;
+
+    const CHAIN: &str = "
+        process Cell[inp, outp] := inp; outp; Cell[inp, outp] endproc
+        behaviour
+          hide h1, h2 in
+            ( Cell[enq, h1] |[h1]| ( Cell[h1, h2] |[h2]| Cell[h2, deq] ) )
+    ";
+
+    #[test]
+    fn chain_extracts_and_pipeline_matches_whole_term_exploration() {
+        let spec = parse_spec(CHAIN).expect("spec parses");
+        let options = ExploreOptions::default();
+        let net = extract_network(&spec, &options).expect("extraction succeeds");
+        assert_eq!(net.components().len(), 3);
+        assert_eq!(
+            net.sync_gates().iter().cloned().collect::<Vec<_>>(),
+            vec!["h1".to_owned(), "h2".to_owned()]
+        );
+        assert_eq!(
+            net.hidden().iter().cloned().collect::<Vec<_>>(),
+            vec!["h1".to_owned(), "h2".to_owned()]
+        );
+        // The network semantics must agree with exploring the tree whole.
+        let whole = crate::explorer::explore(&spec, &options).expect("whole exploration").lts;
+        let (whole_min, _) = multival_lts::minimize::minimize(&whole, Equivalence::Branching);
+        let mono = monolithic(&net, Equivalence::Branching, Workers::default());
+        assert_eq!(
+            write_aut(&multival_lts::pipeline::canonicalize(&whole_min)),
+            write_aut(&mono.lts),
+            "network fold must equal whole-term exploration"
+        );
+        let run = run_pipeline(&net, &PipelineOptions::default());
+        assert_eq!(write_aut(&run.lts), write_aut(&mono.lts));
+    }
+
+    #[test]
+    fn component_names_come_from_process_calls() {
+        let spec = parse_spec(CHAIN).expect("spec parses");
+        let net = extract_network(&spec, &ExploreOptions::default()).expect("extracts");
+        let names: Vec<&str> = net.components().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["Cell", "Cell_2", "Cell_3"]);
+    }
+
+    #[test]
+    fn full_sync_is_rejected() {
+        let spec = parse_spec(
+            "process P[a] := a; P[a] endproc
+             behaviour P[x] || P[x]",
+        )
+        .expect("spec parses");
+        assert_eq!(
+            extract_network(&spec, &ExploreOptions::default()).err(),
+            Some(NetworkError::FullSync)
+        );
+    }
+
+    #[test]
+    fn one_sided_sync_gate_is_rejected() {
+        // `b` is listed but the right operand never offers it: the tree
+        // would block `b` forever; the network would let it roam.
+        let spec = parse_spec(
+            "process P[a, b] := a; b; P[a, b] endproc
+             process Q[a] := a; Q[a] endproc
+             behaviour P[x, y] |[x, y]| Q[x]",
+        )
+        .expect("spec parses");
+        assert_eq!(
+            extract_network(&spec, &ExploreOptions::default()).err(),
+            Some(NetworkError::MissingPossessor { gate: "y".to_owned(), side: "right" })
+        );
+    }
+
+    #[test]
+    fn guard_blocked_gate_counts_as_absent() {
+        // Q *syntactically* owns `b` but its guard never lets it fire, so
+        // the explored alphabet lacks it — extraction must reject rather
+        // than silently free P's `b`.
+        let spec = parse_spec(
+            "process P[a, b] := a; b; P[a, b] endproc
+             process Q[a, b](n: int 0..1) := a; Q[a, b](n) [] [n > 0] -> b; Q[a, b](n)
+             endproc
+             behaviour P[x, y] |[x, y]| Q[x, y](0)",
+        )
+        .expect("spec parses");
+        assert_eq!(
+            extract_network(&spec, &ExploreOptions::default()).err(),
+            Some(NetworkError::MissingPossessor { gate: "y".to_owned(), side: "right" })
+        );
+    }
+
+    #[test]
+    fn unlisted_shared_gate_is_rejected() {
+        let spec = parse_spec(
+            "process P[a, b] := a; b; P[a, b] endproc
+             behaviour P[x, y] |[x]| P[x, y]",
+        )
+        .expect("spec parses");
+        assert_eq!(
+            extract_network(&spec, &ExploreOptions::default()).err(),
+            Some(NetworkError::UnsyncedSharedGate { gate: "y".to_owned() })
+        );
+    }
+
+    #[test]
+    fn non_parallel_top_is_a_single_component() {
+        let spec = parse_spec(
+            "process P[a] := a; P[a] endproc
+             behaviour hide a in P[a]",
+        )
+        .expect("spec parses");
+        let net = extract_network(&spec, &ExploreOptions::default()).expect("extracts");
+        assert_eq!(net.components().len(), 1);
+        assert!(net.sync_gates().is_empty());
+        assert_eq!(net.hidden().iter().cloned().collect::<Vec<_>>(), vec!["a".to_owned()]);
+    }
+}

@@ -2,7 +2,7 @@
 //! (the cache key), and their evaluation against the flow engines.
 //!
 //! A request names a *kind* (`explore`, `check`, `steady`, `transient`,
-//! `simulate`), a *model* (a built-in case study, an inline mini-LOTOS
+//! `simulate`, `reduce`), a *model* (a built-in case study, an inline mini-LOTOS
 //! `source`, or an uploaded Aldebaran `aut` text), and kind-specific
 //! parameters. Canonicalization fills every default in and sorts object
 //! keys, so two requests that mean the same thing hash to the same cache
@@ -19,6 +19,8 @@ use multival::flow::Flow;
 use multival::imc::NondetPolicy;
 use multival_ctmc::McOptions;
 use multival_lts::io::read_aut;
+use multival_lts::minimize::Equivalence;
+use multival_lts::pipeline::{run_pipeline, Order, PipelineOptions};
 use multival_lts::Lts;
 use multival_models::common::explore_model;
 use multival_models::fame2::coherence::Protocol;
@@ -43,6 +45,9 @@ pub enum Kind {
     Transient,
     /// Monte-Carlo occupancy estimation (`rates` required).
     Simulate,
+    /// Compositional smart reduction over the model's component network
+    /// (inline `source` models only).
+    Reduce,
 }
 
 impl Kind {
@@ -53,6 +58,7 @@ impl Kind {
             Kind::Steady => "steady",
             Kind::Transient => "transient",
             Kind::Simulate => "simulate",
+            Kind::Reduce => "reduce",
         }
     }
 }
@@ -89,6 +95,10 @@ pub struct JobRequest {
     pub trajectories: usize,
     /// Base RNG seed (simulate; estimates depend on this only).
     pub seed: u64,
+    /// Equivalence minimized modulo at every stage (reduce).
+    pub eq: Equivalence,
+    /// Composition-order policy (reduce; the result never depends on it).
+    pub order: Order,
     /// Resource budget (state cap + wall-clock limit).
     pub budget: Budget,
 }
@@ -183,6 +193,7 @@ impl JobRequest {
             Some("steady") => Kind::Steady,
             Some("transient") => Kind::Transient,
             Some("simulate") => Kind::Simulate,
+            Some("reduce") => Kind::Reduce,
             Some(other) => return Err(format!("unknown kind `{other}`")),
             None => return Err("`kind` is required".to_owned()),
         };
@@ -199,6 +210,11 @@ impl JobRequest {
                 return Err("`model` must have exactly one of `builtin`, `source`, `aut`".to_owned())
             }
         };
+        if kind == Kind::Reduce && !matches!(model, ModelSource::Source(_)) {
+            return Err("kind `reduce` needs an inline `source` model: built-in and `aut` \
+                 models are already flat LTSs with no parallel structure to reduce"
+                .to_owned());
+        }
         let formula = opt_str(v, "formula")?;
         if kind == Kind::Check && formula.is_none() {
             return Err("`formula` is required for kind `check`".to_owned());
@@ -239,6 +255,23 @@ impl JobRequest {
         }
         let trajectories = opt_uint(v, "trajectories")?.unwrap_or(8192) as usize;
         let seed = opt_uint(v, "seed")?.unwrap_or(42);
+        let eq = match opt_str(v, "eq")?.as_deref() {
+            None | Some("branching") => Equivalence::Branching,
+            Some("strong") => Equivalence::Strong,
+            Some(other) => return Err(format!("unknown equivalence `{other}`")),
+        };
+        let order = match opt_str(v, "order")?.as_deref() {
+            None | Some("smart") => Order::Smart,
+            Some("given") => Order::Given,
+            Some(other) => match other.strip_prefix("seed:").and_then(|s| s.parse().ok()) {
+                Some(seed) => Order::Seeded(seed),
+                None => {
+                    return Err(format!(
+                        "unknown order `{other}` (expected smart, given, or seed:N)"
+                    ))
+                }
+            },
+        };
         let mut budget = Budget::default();
         if let Some(cap) = opt_uint(v, "max_states")? {
             budget = budget.with_max_states(cap as usize);
@@ -256,6 +289,8 @@ impl JobRequest {
             horizon,
             trajectories,
             seed,
+            eq,
+            order,
             budget,
         })
     }
@@ -285,6 +320,17 @@ impl JobRequest {
             ("horizon".into(), Json::num(self.horizon)),
             ("trajectories".into(), Json::num(self.trajectories as f64)),
             ("seed".into(), Json::num(self.seed as f64)),
+            (
+                "eq".into(),
+                Json::str(match self.eq {
+                    Equivalence::Strong => "strong",
+                    Equivalence::Branching => "branching",
+                    // Not reachable from `from_json` (the API surface only
+                    // accepts strong/branching), kept total for safety.
+                    Equivalence::BranchingDivergence => "divbranching",
+                }),
+            ),
+            ("order".into(), Json::str(self.order.to_string())),
             (
                 "max_states".into(),
                 self.budget.max_states.map_or(Json::Null, |c| Json::num(c as f64)),
@@ -326,6 +372,9 @@ impl JobRequest {
     /// Returns a message on model/formula/solver failures or tripped
     /// budgets; errors are never cached.
     pub fn evaluate(&self, workers: Workers) -> Result<Json, String> {
+        if self.kind == Kind::Reduce {
+            return self.evaluate_reduce(workers);
+        }
         let lts = self.load_model()?;
         match self.kind {
             Kind::Explore => {
@@ -347,7 +396,60 @@ impl JobRequest {
                 ]))
             }
             Kind::Steady | Kind::Transient | Kind::Simulate => self.evaluate_perf(lts, workers),
+            Kind::Reduce => unreachable!("handled before the model is flattened"),
         }
+    }
+
+    /// Runs the compositional reduction pipeline on an inline source model.
+    ///
+    /// A tripped budget is an error (never cached); everything else is
+    /// deterministic — the canonical reduced LTS and the stage accounting
+    /// are byte-identical across worker counts and order seeds.
+    fn evaluate_reduce(&self, workers: Workers) -> Result<Json, String> {
+        let ModelSource::Source(text) = &self.model else {
+            unreachable!("validated at parse: reduce needs a source model")
+        };
+        let spec = parse_spec(text).map_err(|e| e.to_string())?;
+        let network = multival_pa::extract_network(&spec, &ExploreOptions::default())
+            .map_err(|e| e.to_string())?;
+        let options = PipelineOptions {
+            equivalence: self.eq,
+            order: self.order,
+            workers,
+            max_states: self.budget.max_states,
+            deadline: self.budget.deadline(),
+            checkpoint_dir: None,
+        };
+        let run = run_pipeline(&network, &options);
+        if let Some(reason) = &run.abort {
+            return Err(format!("Budget exceeded: {reason}"));
+        }
+        let order: Vec<Json> =
+            run.order.iter().map(|&i| Json::str(network.components()[i].0.clone())).collect();
+        let stages: Vec<Json> = run
+            .stages
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("component".into(), Json::str(s.component.clone())),
+                    ("states_before".into(), Json::num(s.states_before as f64)),
+                    ("transitions_before".into(), Json::num(s.transitions_before as f64)),
+                    ("states_after".into(), Json::num(s.states_after as f64)),
+                    ("transitions_after".into(), Json::num(s.transitions_after as f64)),
+                    (
+                        "hidden".into(),
+                        Json::Arr(s.hidden.iter().map(|g| Json::str(g.clone())).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Ok(Json::Obj(vec![
+            ("states".into(), Json::num(run.lts.num_states() as f64)),
+            ("transitions".into(), Json::num(run.lts.num_transitions() as f64)),
+            ("peak_states".into(), Json::num(run.peak_states() as f64)),
+            ("order".into(), Json::Arr(order)),
+            ("stages".into(), Json::Arr(stages)),
+        ]))
     }
 
     fn evaluate_perf(&self, lts: Lts, workers: Workers) -> Result<Json, String> {
@@ -543,6 +645,62 @@ mod tests {
             )
         ));
         let err = r.evaluate(Workers::sequential()).expect_err("budget trips");
+        assert!(err.contains("Budget exceeded"), "{err}");
+    }
+
+    /// A two-component producer/consumer network with a hidden middle gate.
+    const NET: &str = "process P[a, m] := a; m; P[a, m] endproc
+         process Q[m, b] := m; b; Q[m, b] endproc
+         behaviour hide m in ( P[a, m] |[m]| Q[m, b] )";
+
+    #[test]
+    fn reduce_evaluates_deterministically_across_workers_and_orders() {
+        let smart =
+            format!(r#"{{"kind":"reduce","model":{{"source":{src}}}}}"#, src = Json::str(NET));
+        let a = req(&smart).evaluate(Workers::sequential()).expect("evaluates").to_string();
+        let b = req(&smart).evaluate(Workers::new(4)).expect("evaluates").to_string();
+        assert_eq!(a, b, "reduction must not depend on workers");
+        assert!(a.contains("\"peak_states\":"), "{a}");
+        assert!(a.contains("\"stages\":"), "{a}");
+
+        // A different order policy folds in a different sequence but the
+        // reduced LTS is identical.
+        let given = format!(
+            r#"{{"kind":"reduce","model":{{"source":{src}}},"order":"given"}}"#,
+            src = Json::str(NET)
+        );
+        let g = req(&given).evaluate(Workers::sequential()).expect("evaluates");
+        let a = parse(&a).expect("json");
+        assert_eq!(a.get("states").and_then(Json::as_num), g.get("states").and_then(Json::as_num));
+        assert_eq!(
+            a.get("transitions").and_then(Json::as_num),
+            g.get("transitions").and_then(Json::as_num)
+        );
+        // The two requests are distinct cache entries.
+        assert_ne!(req(&smart).canonical(), req(&given).canonical());
+    }
+
+    #[test]
+    fn reduce_validates_its_model_and_budget() {
+        assert!(JobRequest::from_json_text(
+            r#"{"kind":"reduce","model":{"builtin":"xstream_pipeline"}}"#
+        )
+        .is_err());
+        assert!(JobRequest::from_json_text(
+            r#"{"kind":"reduce","model":{"aut":"des (0, 1, 2)\n(0, \"a\", 1)\n"}}"#
+        )
+        .is_err());
+        let bad_order = format!(
+            r#"{{"kind":"reduce","model":{{"source":{src}}},"order":"bogus"}}"#,
+            src = Json::str(NET)
+        );
+        assert!(JobRequest::from_json_text(&bad_order).is_err());
+
+        let capped = format!(
+            r#"{{"kind":"reduce","model":{{"source":{src}}},"max_states":1}}"#,
+            src = Json::str(NET)
+        );
+        let err = req(&capped).evaluate(Workers::sequential()).expect_err("budget trips");
         assert!(err.contains("Budget exceeded"), "{err}");
     }
 

@@ -11,13 +11,16 @@ use multival::ctmc::absorb::mean_time_to_target;
 use multival::ctmc::steady::{steady_state, SolveOptions};
 use multival::ctmc::{McOptions, McRun, McSim, Workers};
 use multival::lts::io::write_aut;
+use multival::lts::pipeline::{monolithic, run_pipeline, Network, PipelineOptions};
 use multival::models::common::explore_model;
 use multival::models::fame2::benchmark::{ping_pong_chain, RateConfig};
 use multival::models::fame2::coherence::Protocol;
 use multival::models::fame2::mpi::{MpiConfig, MpiImpl, MpiModel};
+use multival::models::fame2::network::ping_pong_network;
 use multival::models::fame2::topology::Topology;
-use multival::models::faust::noc::{single_packet_chain, single_packet_source};
+use multival::models::faust::noc::{complement_network, single_packet_chain, single_packet_source};
 use multival::models::xstream::perf::{explore_pipeline, perf_conversion, PerfConfig};
+use multival::models::xstream::pipeline::{network as xstream_network, PipelineConfig};
 use multival::pa::{explore, parse_spec, ExploreOptions};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -129,6 +132,76 @@ fn fame2_ping_pong_golden() {
         e.mean,
         e.half_width
     );
+}
+
+/// Snapshots a reduction-pipeline run: the resolved order, every stage's
+/// product → reduced counts with the gates hidden there, the peak, and the
+/// monolithic product it must strictly undercut.
+fn pipeline_snapshot(net: &Network) -> (String, String) {
+    use multival::lts::minimize::Equivalence;
+    let run = run_pipeline(net, &PipelineOptions::default());
+    assert!(run.complete(), "case-study networks reduce without a budget");
+    let mono = monolithic(net, Equivalence::Branching, Workers::sequential());
+    assert_eq!(
+        write_aut(&run.lts),
+        write_aut(&mono.lts),
+        "pipeline must agree with the monolithic reference"
+    );
+    assert!(
+        run.peak_states() < mono.product_states,
+        "pipeline peak {} must undercut the monolithic product {}",
+        run.peak_states(),
+        mono.product_states
+    );
+    let mut snap = String::new();
+    let _ = writeln!(snap, "components: {}", net.components().len());
+    let names: Vec<&str> = run.order.iter().map(|&i| net.components()[i].0.as_str()).collect();
+    let _ = writeln!(snap, "order: {}", names.join(" "));
+    for s in &run.stages {
+        let hidden = if s.hidden.is_empty() { "-".to_owned() } else { s.hidden.join(",") };
+        let _ = writeln!(
+            snap,
+            "stage {} fold {}: {}/{} -> {}/{} hide {}",
+            s.stage,
+            s.component,
+            s.states_before,
+            s.transitions_before,
+            s.states_after,
+            s.transitions_after,
+            hidden
+        );
+    }
+    let _ = writeln!(snap, "peak intermediate states: {}", run.peak_states());
+    let _ = writeln!(
+        snap,
+        "monolithic product: {} states / {} transitions",
+        mono.product_states, mono.product_transitions
+    );
+    let _ = writeln!(
+        snap,
+        "reduced: {} states / {} transitions",
+        run.lts.num_states(),
+        run.lts.num_transitions()
+    );
+    (snap, write_aut(&run.lts))
+}
+
+/// Smart reduction over the three case-study networks: the per-stage
+/// accounting and the canonical reduced LTSs are golden, and on every
+/// network the pipeline's peak stays strictly below the monolithic
+/// product (the compositional win the paper's flow rests on).
+#[test]
+fn reduction_pipeline_golden() {
+    let cases: [(&str, Network); 3] = [
+        ("xstream_pipeline", xstream_network(&PipelineConfig::default())),
+        ("fame2_ping_pong", ping_pong_network(2)),
+        ("faust_complement", complement_network()),
+    ];
+    for (name, net) in cases {
+        let (snap, aut) = pipeline_snapshot(&net);
+        check_golden(&format!("pipeline_{name}.stages.txt"), &snap);
+        check_golden(&format!("pipeline_{name}.aut"), &aut);
+    }
 }
 
 /// FAUST NoC single packet: absorbing delivery, measured as the mean

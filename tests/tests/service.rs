@@ -140,6 +140,40 @@ fn concurrent_clients_zero_drops_and_cache_hits() {
 }
 
 #[test]
+fn reduce_jobs_are_cached_and_byte_identical() {
+    let handle = serve(&config()).expect("server starts");
+    let addr = handle.addr();
+
+    let chain = "process Gen[a, m] := a; m; Gen[a, m] endproc
+         process Buf[m, n] := m; n; Buf[m, n] endproc
+         process Sink[n, b] := n; b; Sink[n, b] endproc
+         behaviour hide m, n in ( Gen[a, m] |[m]| ( Buf[m, n] |[n]| Sink[n, b] ) )";
+    let request =
+        format!(r#"{{"kind":"reduce","model":{{"source":{src}}}}}"#, src = Json::str(chain));
+
+    let first = run_job(addr, &request);
+    assert!(first.contains("\"status\":\"done\""), "{first}");
+    assert!(first.contains("\"peak_states\":"), "{first}");
+    assert!(first.contains("\"stages\":"), "{first}");
+
+    // The same request again must be answered from the cache, byte for
+    // byte.
+    let second = run_job(addr, &request);
+    assert_eq!(first, second, "cached reduce body must be byte-identical");
+    let (status, body) = http(addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    let metrics = parse(&body).expect("metrics JSON");
+    let hits = metrics
+        .get("cache")
+        .and_then(|c| c.get("mem_hits"))
+        .and_then(Json::as_num)
+        .expect("mem_hits");
+    assert!(hits >= 1.0, "second submission must hit the cache: {body}");
+
+    let _ = handle.shutdown_and_drain();
+}
+
+#[test]
 fn responses_are_byte_identical_across_configurations() {
     // Same requests against two servers with different worker counts and
     // Monte-Carlo pool sizes: the bodies must match byte for byte.
