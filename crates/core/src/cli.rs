@@ -5,13 +5,15 @@
 
 use crate::budget::Budget;
 use crate::flow::Flow;
-use crate::report::{fmt_f, FlyStats, ParStats, ReduceStageRow, ReduceStats, SimStats, Table};
+use crate::report::{
+    fmt_f, FlyStats, ParStats, ReduceStageRow, ReduceStats, SimStats, StoreReport, Table,
+};
 use multival_ctmc::McOptions;
 use multival_imc::to_ctmc::NondetPolicy;
 use multival_lts::equiv::{
     compare_determinized, determinize_ts, equivalent, weak_trace_equivalent, Determinized, Verdict,
 };
-use multival_lts::io::{read_aut, write_aut, write_dot};
+use multival_lts::io::{read_aut, read_blts, write_aut, write_blts, write_dot};
 use multival_lts::minimize::{minimize, Equivalence};
 use multival_lts::reach::ReachOptions;
 use multival_lts::Lts;
@@ -99,13 +101,16 @@ impl fmt::Display for CmdOut {
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// `explore <model.lot> [--aut out.aut] [--dot out.dot] [--max-states N]
-    /// [--timeout-secs T] [--threads N] [--on-the-fly]`
+    /// `explore <model.lot> [--aut out.aut] [--blts out.blts] [--dot out.dot]
+    /// [--max-states N] [--timeout-secs T] [--threads N] [--on-the-fly]
+    /// [--store hash|arena|spill] [--mem-budget BYTES]`
     Explore {
         /// Input model path.
         input: String,
         /// Write the LTS in Aldebaran format here.
         aut: Option<String>,
+        /// Write the LTS in compact binary BLTS format here.
+        blts: Option<String>,
         /// Write a Graphviz rendering here.
         dot: Option<String>,
         /// State-count / wall-clock budget.
@@ -114,6 +119,11 @@ pub enum Command {
         threads: usize,
         /// Scan the state space on the fly instead of materializing it.
         on_the_fly: bool,
+        /// Dedup states through this store backend instead of the
+        /// term-retaining index (`None` = classic exploration).
+        store: Option<multival_lts::StoreKind>,
+        /// Resident-memory budget for the spill backend, in bytes.
+        mem_budget: Option<usize>,
     },
     /// `check <model.lot|lts.aut> <formula> [--max-states N]
     /// [--timeout-secs T] [--on-the-fly]` — μ-calculus model checking.
@@ -150,12 +160,18 @@ pub enum Command {
         order: multival_lts::pipeline::Order,
         /// Write the reduced LTS in Aldebaran format here.
         aut: Option<String>,
+        /// Write the reduced LTS in compact binary BLTS format here.
+        blts: Option<String>,
         /// Per-stage checkpoint directory (resumes when it matches).
         checkpoint: Option<String>,
         /// Worker threads (1 = sequential, 0 = one per hardware thread).
         threads: usize,
         /// Cap on intermediate products / wall-clock deadline.
         budget: Budget,
+        /// Stage products dedup through this store backend.
+        store: Option<multival_lts::StoreKind>,
+        /// Resident-memory budget for the spill backend, in bytes.
+        mem_budget: Option<usize>,
     },
     /// `compare <a> <b> [--eq strong|branching|traces] [--on-the-fly]`
     Compare {
@@ -264,16 +280,18 @@ pub const USAGE: &str = "\
 multival — functional verification + performance evaluation (DATE'08 flow)
 
 USAGE:
-  multival explore  <model.lot> [--aut OUT] [--dot OUT] [--max-states N]
-                    [--timeout-secs T]
+  multival explore  <model.lot> [--aut OUT] [--blts OUT] [--dot OUT]
+                    [--max-states N] [--timeout-secs T]
                     [--threads N]   (1 = sequential, 0 = all hardware threads)
                     [--on-the-fly]  (scan without materializing the LTS)
+                    [--store hash|arena|spill] [--mem-budget BYTES]
   multival check    <model.lot|lts.aut> <FORMULA> [--max-states N]
                     [--timeout-secs T] [--on-the-fly]
   multival minimize <model.lot|lts.aut> [--eq strong|branching] [--aut OUT]
   multival reduce   <model.lot> [--eq strong|branching] [--order smart|given|seed:N]
-                    [--aut OUT] [--checkpoint DIR] [--threads N]
+                    [--aut OUT] [--blts OUT] [--checkpoint DIR] [--threads N]
                     [--max-states N] [--timeout-secs T]
+                    [--store hash|arena|spill] [--mem-budget BYTES]
   multival compare  <A> <B> [--eq strong|branching|traces] [--on-the-fly]
   multival solve    <model.lot> --rate GATE=RATE ... [--probe GATE ...]
   multival simulate <model.lot|lts.aut> --rate GATE=RATE ... [--probe GATE ...]
@@ -286,8 +304,16 @@ USAGE:
   multival serve    [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
                     [--queue-cap N] [--cache-capacity N]
 
-Inputs ending in .aut are read as Aldebaran LTSs; anything else is parsed as
-mini-LOTOS. FORMULA is modal mu-calculus, e.g. 'nu X. <true> true and [true] X'.
+Inputs ending in .aut are read as Aldebaran LTSs, inputs ending in .blts as
+compact binary LTSs; anything else is parsed as mini-LOTOS. FORMULA is modal
+mu-calculus, e.g. 'nu X. <true> true and [true] X'.
+
+--store picks the state-dedup backend for explore/reduce: `hash` retains a
+term per state (the classic layout), `arena` packs state keys into a
+contiguous arena with a fingerprint index, and `spill` additionally pages
+sealed arena segments to a temp file once resident bytes exceed
+--mem-budget (accepts k/m/g suffixes). Every backend produces byte-identical
+output.
 
 --on-the-fly walks the implicit transition system instead of generating the
 full LTS first: explore reports visited states, check decides the
@@ -329,25 +355,33 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         Some("explore") => {
             let mut input = None;
             let mut aut = None;
+            let mut blts = None;
             let mut dot = None;
             let mut budget = Budget::default();
             let mut threads = 1usize;
             let mut on_the_fly = false;
+            let mut store = None;
+            let mut mem_budget = None;
             while let Some(a) = it.next() {
                 match a {
                     "--aut" => aut = Some(next_value(&mut it, "--aut")?),
+                    "--blts" => blts = Some(next_value(&mut it, "--blts")?),
                     "--dot" => dot = Some(next_value(&mut it, "--dot")?),
                     "--max-states" => budget.max_states = Some(parse_flag(&mut it, a)?),
                     "--timeout-secs" => budget = budget.with_timeout_secs(parse_flag(&mut it, a)?),
                     "--threads" => threads = parse_flag(&mut it, a)?,
                     "--on-the-fly" => on_the_fly = true,
+                    "--store" => store = Some(parse_store(&next_value(&mut it, "--store")?)?),
+                    "--mem-budget" => {
+                        mem_budget = Some(parse_mem(&next_value(&mut it, "--mem-budget")?)?)
+                    }
                     other if input.is_none() => input = Some(other.to_owned()),
                     other => return Err(format!("unexpected argument `{other}`")),
                 }
             }
-            if on_the_fly && (aut.is_some() || dot.is_some()) {
+            if on_the_fly && (aut.is_some() || dot.is_some() || blts.is_some()) {
                 return Err("--on-the-fly materializes no LTS to write; \
-                            drop --aut/--dot or the flag"
+                            drop --aut/--blts/--dot or the flag"
                     .to_owned());
             }
             if on_the_fly && budget.timeout.is_some() {
@@ -355,13 +389,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             the on-the-fly scan is bounded by --max-states"
                     .to_owned());
             }
+            if on_the_fly && store.is_some() {
+                return Err("--store applies to materializing exploration; \
+                            the on-the-fly scan keeps no state table to back"
+                    .to_owned());
+            }
             Ok(Command::Explore {
                 input: input.ok_or("explore needs a model path")?,
                 aut,
+                blts,
                 dot,
                 budget,
                 threads,
                 on_the_fly,
+                store,
+                mem_budget,
             })
         }
         Some("check") => {
@@ -408,9 +450,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut eq = Equivalence::Branching;
             let mut order = multival_lts::pipeline::Order::Smart;
             let mut aut = None;
+            let mut blts = None;
             let mut checkpoint = None;
             let mut threads = 1usize;
             let mut budget = Budget::default();
+            let mut store = None;
+            let mut mem_budget = None;
             while let Some(a) = it.next() {
                 match a {
                     "--eq" => {
@@ -422,10 +467,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     }
                     "--order" => order = parse_order(&next_value(&mut it, "--order")?)?,
                     "--aut" => aut = Some(next_value(&mut it, "--aut")?),
+                    "--blts" => blts = Some(next_value(&mut it, "--blts")?),
                     "--checkpoint" => checkpoint = Some(next_value(&mut it, "--checkpoint")?),
                     "--threads" => threads = parse_flag(&mut it, a)?,
                     "--max-states" => budget.max_states = Some(parse_flag(&mut it, a)?),
                     "--timeout-secs" => budget = budget.with_timeout_secs(parse_flag(&mut it, a)?),
+                    "--store" => store = Some(parse_store(&next_value(&mut it, "--store")?)?),
+                    "--mem-budget" => {
+                        mem_budget = Some(parse_mem(&next_value(&mut it, "--mem-budget")?)?)
+                    }
                     other if input.is_none() => input = Some(other.to_owned()),
                     other => return Err(format!("unexpected argument `{other}`")),
                 }
@@ -435,9 +485,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 eq,
                 order,
                 aut,
+                blts,
                 checkpoint,
                 threads,
                 budget,
+                store,
+                mem_budget,
             })
         }
         Some("compare") => {
@@ -668,6 +721,27 @@ fn parse_order(value: &str) -> Result<multival_lts::pipeline::Order, String> {
     }
 }
 
+/// Parses a `--store` value: `hash`, `arena`, or `spill`.
+fn parse_store(value: &str) -> Result<multival_lts::StoreKind, String> {
+    value
+        .parse()
+        .map_err(|_| format!("unknown store backend `{value}` (expected hash, arena, or spill)"))
+}
+
+/// Parses a `--mem-budget` value: plain bytes, or with a `k`/`m`/`g`
+/// (KiB/MiB/GiB) suffix, e.g. `512m`.
+fn parse_mem(value: &str) -> Result<usize, String> {
+    let err = || format!("--mem-budget `{value}` must be BYTES or BYTES{{k|m|g}}");
+    let (digits, shift) = match value.as_bytes().last() {
+        Some(b'k' | b'K') => (&value[..value.len() - 1], 10),
+        Some(b'm' | b'M') => (&value[..value.len() - 1], 20),
+        Some(b'g' | b'G') => (&value[..value.len() - 1], 30),
+        _ => (value, 0),
+    };
+    let n: usize = digits.parse().map_err(|_| err())?;
+    n.checked_shl(shift).filter(|_| n.leading_zeros() >= shift).ok_or_else(err)
+}
+
 fn next_value<'a>(it: &mut impl Iterator<Item = &'a str>, flag: &str) -> Result<String, String> {
     it.next().map(str::to_owned).ok_or_else(|| format!("{flag} needs a value"))
 }
@@ -684,16 +758,17 @@ fn parse_flag<'a, T: std::str::FromStr>(
 /// outside the searchable fragment, directing the caller to the eager
 /// evaluator.
 fn check_on_the_fly(input: &str, formula: &str) -> Result<Option<String>, Box<dyn Error>> {
-    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read `{input}`: {e}"))?;
     let options = ReachOptions::default();
-    let (report, materialized) = if input.ends_with(".aut") {
-        let lts = read_aut(&text)?;
+    let (report, materialized) = if is_lts_file(input) {
+        let lts = load(input, 0)?;
         let f = multival_mcl::parse_formula(formula)?;
         match multival_mcl::check_on_the_fly(&lts, &f, &options) {
             None => return Ok(None),
             Some(r) => (r?, lts.num_states()),
         }
     } else {
+        let text =
+            std::fs::read_to_string(input).map_err(|e| format!("cannot read `{input}`: {e}"))?;
         match Flow::check_on_the_fly(&text, formula, &options)? {
             None => return Ok(None),
             Some(r) => (r, 0),
@@ -720,19 +795,35 @@ fn check_on_the_fly(input: &str, formula: &str) -> Result<Option<String>, Box<dy
 /// explicit LTS, a mini-LOTOS source straight from the term graph.
 fn determinize_input(path: &str) -> Result<Determinized, Box<dyn Error>> {
     const CAP: usize = 1 << 20;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    if path.ends_with(".aut") {
-        let lts = read_aut(&text)?;
+    if is_lts_file(path) {
+        let lts = load(path, CAP)?;
         determinize_ts(&lts, CAP)
             .ok_or_else(|| format!("determinization cap of {CAP} subset states exceeded").into())
     } else {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
         Ok(Flow::determinize_source(&text, CAP)?)
     }
 }
 
-/// Loads an input: `.aut` files are parsed as LTSs, everything else as
-/// mini-LOTOS (explored with the given cap).
+/// True when a path names an already-materialized LTS file rather than a
+/// mini-LOTOS source: Aldebaran text (`.aut`) or compact binary (`.blts`).
+fn is_lts_file(path: &str) -> bool {
+    path.ends_with(".aut") || path.ends_with(".blts")
+}
+
+/// Loads a `.blts` file (binary, so outside the `read_to_string` path).
+fn load_blts(path: &str) -> Result<Lts, Box<dyn Error>> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    Ok(read_blts(&bytes)?)
+}
+
+/// Loads an input: `.aut`/`.blts` files are parsed as LTSs, everything
+/// else as mini-LOTOS (explored with the given cap).
 fn load(path: &str, max_states: usize) -> Result<Lts, Box<dyn Error>> {
+    if path.ends_with(".blts") {
+        return load_blts(path);
+    }
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     if path.ends_with(".aut") {
         Ok(read_aut(&text)?)
@@ -751,6 +842,9 @@ fn load_budgeted(
     path: &str,
     budget: &Budget,
 ) -> Result<Result<Lts, (Lts, ExploreError)>, Box<dyn Error>> {
+    if path.ends_with(".blts") {
+        return Ok(Ok(load_blts(path)?));
+    }
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     if path.ends_with(".aut") {
         Ok(Ok(read_aut(&text)?))
@@ -779,21 +873,31 @@ pub fn execute(cmd: &Command) -> Result<CmdOut, Box<dyn Error>> {
         Command::Serve { .. } => Err("`multival serve` is provided by the full `multival` \
              binary (crate multival-svc); the core library only parses the verb"
             .into()),
-        Command::Explore { input, aut, dot, budget, threads, on_the_fly } => {
+        Command::Explore {
+            input,
+            aut,
+            blts,
+            dot,
+            budget,
+            threads,
+            on_the_fly,
+            store,
+            mem_budget,
+        } => {
             let mut out = String::new();
             let mut status = CmdStatus::Ok;
             let max_states = budget.max_states_or(1_000_000);
             if *on_the_fly {
-                let text = std::fs::read_to_string(input)
-                    .map_err(|e| format!("cannot read `{input}`: {e}"))?;
                 let options = ReachOptions::with_max_states(max_states);
-                // A .aut input is already an explicit LTS, so the scan walks
-                // materialized states; a mini-LOTOS source is walked straight
-                // over its term graph.
-                let (summary, materialized) = if input.ends_with(".aut") {
-                    let lts = read_aut(&text)?;
+                // A .aut/.blts input is already an explicit LTS, so the scan
+                // walks materialized states; a mini-LOTOS source is walked
+                // straight over its term graph.
+                let (summary, materialized) = if is_lts_file(input) {
+                    let lts = load(input, max_states)?;
                     (multival_lts::reach::scan(&lts, &options), lts.num_states())
                 } else {
+                    let text = std::fs::read_to_string(input)
+                        .map_err(|e| format!("cannot read `{input}`: {e}"))?;
                     (Flow::scan_on_the_fly(&text, &options)?, 0)
                 };
                 let stats = FlyStats {
@@ -806,7 +910,7 @@ pub fn execute(cmd: &Command) -> Result<CmdOut, Box<dyn Error>> {
                 let _ = writeln!(out, "deadlock states: {}", summary.deadlocks);
                 return Ok(out.into());
             }
-            let lts = if input.ends_with(".aut") {
+            let lts = if is_lts_file(input) {
                 load(input, max_states)?
             } else {
                 let text = std::fs::read_to_string(input)
@@ -817,42 +921,67 @@ pub fn execute(cmd: &Command) -> Result<CmdOut, Box<dyn Error>> {
                 if let Some(deadline) = budget.deadline() {
                     options = options.with_deadline(deadline);
                 }
-                let start = std::time::Instant::now();
-                let exploration = explore_partial(&spec, &options);
-                let wall = start.elapsed();
-                if let Some(err) = &exploration.aborted {
-                    let _ = writeln!(out, "warning: exploration aborted: {err}");
-                    let _ = writeln!(out, "Budget exceeded; reporting the partial state space");
-                    status = CmdStatus::BudgetExceeded;
-                }
-                let explored = exploration.explored;
-                if *threads != 1 {
-                    // Time a one-thread reference run so the report can show
-                    // the parallel speedup on this exact model.
+                if store.is_some() || mem_budget.is_some() {
+                    // Store-backed exploration: states are deduplicated on
+                    // packed bytes in the selected backend instead of a term
+                    // table, trading CPU for a bounded resident footprint.
+                    let kind = store.unwrap_or_default();
+                    let config = multival_lts::store::StoreConfig { kind, mem_budget: *mem_budget };
+                    let run = multival_pa::explore_term_store_partial(
+                        spec.top().clone(),
+                        &spec,
+                        &options,
+                        &config,
+                    );
+                    if let Some(err) = &run.aborted {
+                        let _ = writeln!(out, "warning: exploration aborted: {err}");
+                        let _ = writeln!(out, "Budget exceeded; reporting the partial state space");
+                        status = CmdStatus::BudgetExceeded;
+                    }
+                    out.push_str(&StoreReport { kind, stats: run.store }.render());
+                    run.lts
+                } else {
                     let start = std::time::Instant::now();
-                    let _ = explore_partial(&spec, &options.clone().with_threads(1));
-                    let baseline_wall = start.elapsed();
-                    let resolved = if *threads == 0 {
-                        std::thread::available_parallelism().map_or(1, |n| n.get())
-                    } else {
-                        *threads
-                    };
-                    let stats = ParStats {
-                        threads: resolved,
-                        states: explored.lts.num_states(),
-                        transitions: explored.lts.num_transitions(),
-                        wall,
-                        baseline_wall: Some(baseline_wall),
-                    };
-                    out.push_str(&stats.render());
+                    let exploration = explore_partial(&spec, &options);
+                    let wall = start.elapsed();
+                    if let Some(err) = &exploration.aborted {
+                        let _ = writeln!(out, "warning: exploration aborted: {err}");
+                        let _ = writeln!(out, "Budget exceeded; reporting the partial state space");
+                        status = CmdStatus::BudgetExceeded;
+                    }
+                    let explored = exploration.explored;
+                    if *threads != 1 {
+                        // Time a one-thread reference run so the report can
+                        // show the parallel speedup on this exact model.
+                        let start = std::time::Instant::now();
+                        let _ = explore_partial(&spec, &options.clone().with_threads(1));
+                        let baseline_wall = start.elapsed();
+                        let resolved = if *threads == 0 {
+                            std::thread::available_parallelism().map_or(1, |n| n.get())
+                        } else {
+                            *threads
+                        };
+                        let stats = ParStats {
+                            threads: resolved,
+                            states: explored.lts.num_states(),
+                            transitions: explored.lts.num_transitions(),
+                            wall,
+                            baseline_wall: Some(baseline_wall),
+                        };
+                        out.push_str(&stats.render());
+                    }
+                    explored.lts
                 }
-                explored.lts
             };
             let _ = writeln!(out, "{}", lts.summary());
             let deadlocks = lts.deadlock_states();
             let _ = writeln!(out, "deadlock states: {}", deadlocks.len());
             if let Some(path) = aut {
                 std::fs::write(path, write_aut(&lts))?;
+                let _ = writeln!(out, "wrote {path}");
+            }
+            if let Some(path) = blts {
+                std::fs::write(path, write_blts(&lts))?;
                 let _ = writeln!(out, "wrote {path}");
             }
             if let Some(path) = dot {
@@ -921,10 +1050,21 @@ pub fn execute(cmd: &Command) -> Result<CmdOut, Box<dyn Error>> {
             }
             Ok(out.into())
         }
-        Command::Reduce { input, eq, order, aut, checkpoint, threads, budget } => {
+        Command::Reduce {
+            input,
+            eq,
+            order,
+            aut,
+            blts,
+            checkpoint,
+            threads,
+            budget,
+            store,
+            mem_budget,
+        } => {
             use multival_lts::pipeline::PipelineOptions;
-            if input.ends_with(".aut") {
-                return Err("reduce needs a mini-LOTOS model: a .aut file has no \
+            if is_lts_file(input) {
+                return Err("reduce needs a mini-LOTOS model: a .aut/.blts file has no \
                      parallel structure left to reduce compositionally"
                     .into());
             }
@@ -942,6 +1082,10 @@ pub fn execute(cmd: &Command) -> Result<CmdOut, Box<dyn Error>> {
                 max_states: budget.max_states,
                 deadline: budget.deadline(),
                 checkpoint_dir: checkpoint.as_ref().map(std::path::PathBuf::from),
+                store: multival_lts::store::StoreConfig {
+                    kind: store.unwrap_or_default(),
+                    mem_budget: *mem_budget,
+                },
             };
             let run = multival_lts::pipeline::run_pipeline(&network, &options);
             let mut out = String::new();
@@ -980,6 +1124,10 @@ pub fn execute(cmd: &Command) -> Result<CmdOut, Box<dyn Error>> {
             }
             if let Some(path) = aut {
                 std::fs::write(path, write_aut(&run.lts))?;
+                let _ = writeln!(out, "wrote {path}");
+            }
+            if let Some(path) = blts {
+                std::fs::write(path, write_blts(&run.lts))?;
                 let _ = writeln!(out, "wrote {path}");
             }
             Ok(CmdOut::with_status(out, status))
@@ -1202,10 +1350,13 @@ mod tests {
             Command::Explore {
                 input: "m.lot".into(),
                 aut: Some("o.aut".into()),
+                blts: None,
                 dot: None,
                 budget: Budget::default(),
                 threads: 1,
-                on_the_fly: false
+                on_the_fly: false,
+                store: None,
+                mem_budget: None,
             }
         );
     }
@@ -1218,10 +1369,13 @@ mod tests {
             Command::Explore {
                 input: "m.lot".into(),
                 aut: None,
+                blts: None,
                 dot: None,
                 budget: Budget::default(),
                 threads: 4,
-                on_the_fly: false
+                on_the_fly: false,
+                store: None,
+                mem_budget: None,
             }
         );
         assert!(parse_args(&args(&["explore", "m.lot", "--threads", "four"])).is_err());
@@ -1269,10 +1423,13 @@ mod tests {
         let out = execute(&Command::Explore {
             input: model.clone(),
             aut: None,
+            blts: None,
             dot: None,
             budget: Budget::default().with_max_states(1000),
             threads: 1,
             on_the_fly: true,
+            store: None,
+            mem_budget: None,
         })
         .expect("explore");
         assert!(out.contains("visited states       4"), "{out}");
@@ -1527,9 +1684,12 @@ mod tests {
                 eq: Equivalence::Branching,
                 order: Order::Smart,
                 aut: None,
+                blts: None,
                 checkpoint: None,
                 threads: 1,
                 budget: Budget::default(),
+                store: None,
+                mem_budget: None,
             }
         );
         let cmd = parse_args(&args(&[
@@ -1547,6 +1707,12 @@ mod tests {
             "4",
             "--max-states",
             "100",
+            "--blts",
+            "out.blts",
+            "--store",
+            "spill",
+            "--mem-budget",
+            "64m",
         ]))
         .expect("parses");
         assert_eq!(
@@ -1556,13 +1722,44 @@ mod tests {
                 eq: Equivalence::Strong,
                 order: Order::Seeded(42),
                 aut: Some("out.aut".into()),
+                blts: Some("out.blts".into()),
                 checkpoint: Some("ckpt".into()),
                 threads: 4,
                 budget: Budget::default().with_max_states(100),
+                store: Some(multival_lts::StoreKind::Spill),
+                mem_budget: Some(64 << 20),
             }
         );
         assert!(parse_args(&args(&["reduce", "m.lot", "--order", "bogus"])).is_err());
         assert!(parse_args(&args(&["reduce"])).is_err());
+    }
+
+    #[test]
+    fn parses_store_flags() {
+        use multival_lts::StoreKind;
+        let cmd =
+            parse_args(&args(&["explore", "m.lot", "--store", "arena", "--mem-budget", "512k"]))
+                .expect("parses");
+        assert!(matches!(
+            cmd,
+            Command::Explore { store: Some(StoreKind::Arena), mem_budget: Some(524_288), .. }
+        ));
+        // Plain bytes and every suffix case parse; garbage does not.
+        assert_eq!(parse_mem("123"), Ok(123));
+        assert_eq!(parse_mem("2K"), Ok(2048));
+        assert_eq!(parse_mem("3g"), Ok(3 << 30));
+        assert!(parse_mem("").is_err());
+        assert!(parse_mem("12q").is_err());
+        assert!(parse_mem("m").is_err());
+        assert!(parse_store("hash").is_ok() && parse_store("spill").is_ok());
+        assert!(parse_store("disk").is_err());
+        // The scan keeps no state table, so --store conflicts with it.
+        assert!(
+            parse_args(&args(&["explore", "m.lot", "--on-the-fly", "--store", "hash"])).is_err()
+        );
+        assert!(
+            parse_args(&args(&["explore", "m.lot", "--on-the-fly", "--blts", "o.blts"])).is_err()
+        );
     }
 
     /// A three-component buffer chain whose interior gates are hidden.
@@ -1585,9 +1782,12 @@ mod tests {
             eq: Equivalence::Branching,
             order,
             aut: Some(dir.join(aut).to_string_lossy().into_owned()),
+            blts: None,
             checkpoint: None,
             threads,
             budget: Budget::default(),
+            store: None,
+            mem_budget: None,
         };
         let out = execute(&reduce(Order::Smart, 1, "smart.aut")).expect("reduce");
         assert_eq!(out.status, CmdStatus::Ok);
@@ -1610,9 +1810,12 @@ mod tests {
             eq: Equivalence::Branching,
             order: Order::Smart,
             aut: None,
+            blts: None,
             checkpoint: None,
             threads: 1,
             budget: Budget::default().with_max_states(1),
+            store: None,
+            mem_budget: None,
         })
         .expect("reduce");
         assert_eq!(out.status, CmdStatus::BudgetExceeded);
@@ -1625,9 +1828,12 @@ mod tests {
             eq: Equivalence::Branching,
             order: Order::Smart,
             aut: None,
+            blts: None,
             checkpoint: None,
             threads: 1,
             budget: Budget::default(),
+            store: None,
+            mem_budget: None,
         })
         .expect_err("rejects .aut input");
         assert!(err.to_string().contains("parallel structure"), "{err}");
@@ -1650,9 +1856,12 @@ mod tests {
             eq: Equivalence::Branching,
             order: Order::Smart,
             aut: None,
+            blts: None,
             checkpoint: Some(ckpt),
             threads: 1,
             budget: Budget::default(),
+            store: None,
+            mem_budget: None,
         };
         let first = execute(&cmd).expect("reduce");
         assert!(!first.contains("resumed"), "{}", first.text);
@@ -1682,10 +1891,13 @@ mod tests {
         let out = execute(&Command::Explore {
             input: model.clone(),
             aut: None,
+            blts: None,
             dot: None,
             budget: Budget::default().with_max_states(10_000),
             threads: 4,
             on_the_fly: false,
+            store: None,
+            mem_budget: None,
         })
         .expect("explore");
         assert!(out.contains("states: 1681"), "{out}");
@@ -1695,10 +1907,13 @@ mod tests {
         let out = execute(&Command::Explore {
             input: model,
             aut: None,
+            blts: None,
             dot: None,
             budget: Budget::default().with_max_states(100),
             threads: 1,
             on_the_fly: false,
+            store: None,
+            mem_budget: None,
         })
         .expect("partial result, not an error");
         assert!(out.contains("warning: exploration aborted"), "{out}");
@@ -1726,10 +1941,13 @@ mod tests {
         let out = execute(&Command::Explore {
             input: model.clone(),
             aut: Some(aut.clone()),
+            blts: None,
             dot: None,
             budget: Budget::default().with_max_states(1000),
             threads: 1,
             on_the_fly: false,
+            store: None,
+            mem_budget: None,
         })
         .expect("explore");
         assert!(out.contains("states: 2"));

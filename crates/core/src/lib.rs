@@ -57,5 +57,6 @@ pub use multival_lts as lts;
 pub use multival_mcl as mcl;
 pub use multival_models as models;
 pub use multival_pa as pa;
+pub use multival_par as par;
 
 pub use flow::{Flow, FlowError, PerfFlow, Solved};

@@ -185,6 +185,40 @@ impl FlyStats {
     }
 }
 
+/// Report for the state-store backend of a store-backed exploration or
+/// reduction (`--store arena|spill`).
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct StoreReport {
+    /// Backend used.
+    pub kind: multival_lts::StoreKind,
+    /// Counter snapshot at the end of the run.
+    pub stats: multival_lts::StoreStats,
+}
+
+impl StoreReport {
+    /// Renders the one-line store summary.
+    pub fn render(&self) -> String {
+        let mib = |b: usize| (b as f64) / (1024.0 * 1024.0);
+        let mut line = format!(
+            "store {}: {} states, {:.1} MiB keys, {:.1} MiB resident",
+            self.kind,
+            self.stats.states,
+            mib(self.stats.key_bytes),
+            mib(self.stats.mem_bytes),
+        );
+        if self.stats.spilled_segments > 0 {
+            line.push_str(&format!(
+                ", {:.1} MiB spilled across {} segments",
+                mib(self.stats.spilled_bytes),
+                self.stats.spilled_segments
+            ));
+        }
+        line.push('\n');
+        line
+    }
+}
+
 /// Report for a Monte-Carlo simulation run.
 ///
 /// Rendered by the `multival simulate` path and the `Flow` simulation entry

@@ -5,7 +5,7 @@
 //! are data offers. The internal action τ is always interned with id 0 and
 //! displayed as `i`, following the Aldebaran/CADP convention.
 
-use std::collections::HashMap;
+use multival_par::fx::FxHashMap;
 use std::fmt;
 
 /// Identifier of an interned label inside a [`LabelTable`].
@@ -54,13 +54,15 @@ pub const TAU_NAME: &str = "i";
 #[derive(Debug, Clone, Default)]
 pub struct LabelTable {
     names: Vec<String>,
-    index: HashMap<String, LabelId>,
+    // Fx-hashed: label interning sits on the hot path of composition and
+    // exploration, and the keys are short strings where SipHash dominates.
+    index: FxHashMap<String, LabelId>,
 }
 
 impl LabelTable {
     /// Creates a table already containing τ (as id 0).
     pub fn new() -> Self {
-        let mut t = LabelTable { names: Vec::new(), index: HashMap::new() };
+        let mut t = LabelTable { names: Vec::new(), index: FxHashMap::default() };
         let tau = t.intern_raw(TAU_NAME.to_owned());
         debug_assert_eq!(tau, LabelId::TAU);
         t

@@ -18,7 +18,11 @@
 //!   successor-function trait (the CADP Open/Caesar analogue) with lazy
 //!   products, hide/rename views, and a generic exploration engine that
 //!   walks implicit graphs without materializing them;
-//! * [`io`] — Aldebaran `.aut` and Graphviz `.dot` interchange;
+//! * [`io`] — Aldebaran `.aut`, compact binary BLTS, and Graphviz `.dot`
+//!   interchange;
+//! * [`store`] — pluggable state stores for million-state frontiers:
+//!   hash-map, packed-arena, and spill-to-disk dedup backends behind one
+//!   [`store::StateStore`] trait;
 //! * [`pipeline`] — the smart compositional reduction pipeline: heuristic
 //!   composition orders, early hiding, per-stage minimization, resumable
 //!   checkpoints, and a canonical serialization for differential testing.
@@ -44,12 +48,15 @@ pub mod equiv;
 pub mod io;
 pub mod label;
 pub mod lts;
+pub mod lzss;
 pub mod minimize;
 pub mod ops;
 pub mod pipeline;
 pub mod reach;
 pub mod simulation;
+pub mod store;
 pub mod ts;
+pub mod vbyte;
 
 pub use label::{LabelId, LabelTable};
 pub use lts::{Lts, LtsBuilder, StateId, Transition};
@@ -60,4 +67,5 @@ pub use pipeline::{
     PipelineOptions, PipelineRun, StageStats,
 };
 pub use reach::{ReachOptions, ReachStats, ScanSummary, SearchOutcome};
+pub use store::{make_store, PackState, StateStore, StoreConfig, StoreKind, StoreStats};
 pub use ts::{HideView, LazyProduct, RenameView, TransitionSystem};

@@ -17,9 +17,9 @@
 //!    chosen [`Equivalence`] (both strong and branching bisimulation are
 //!    congruences for parallel composition and hiding, so intermediate
 //!    minimization is sound);
-//! 4. **Checkpoint** — each stage can be persisted as a `.aut` file plus a
-//!    fingerprinted manifest, so an interrupted pipeline resumes instead
-//!    of recomputing.
+//! 4. **Checkpoint** — each stage can be persisted as a compact binary
+//!    `.blts` file ([`crate::io::write_blts`]) plus a fingerprinted
+//!    manifest, so an interrupted pipeline resumes instead of recomputing.
 //!
 //! The final result is passed through [`canonicalize`], which renumbers
 //! states and labels into a form that depends only on the structure of
@@ -42,12 +42,13 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use crate::io::{read_aut, write_aut};
+use crate::io::{read_blts, write_aut, write_blts};
 use crate::label::gate_of;
 use crate::lts::{Lts, LtsBuilder};
 use crate::minimize::{minimize_with, Equivalence};
 use crate::ops::{self, Sync};
 use crate::reach::{self, ReachOptions};
+use crate::store::{StoreConfig, StoreKind};
 use crate::ts::LazyProduct;
 use multival_par::Workers;
 
@@ -190,10 +191,14 @@ pub struct PipelineOptions {
     pub max_states: Option<usize>,
     /// Wall-clock deadline, checked between stages.
     pub deadline: Option<Instant>,
-    /// Directory for per-stage `.aut` checkpoints plus a manifest; if it
+    /// Directory for per-stage `.blts` checkpoints plus a manifest; if it
     /// already holds a manifest matching this network and options, the
     /// pipeline resumes from the last completed stage.
     pub checkpoint_dir: Option<PathBuf>,
+    /// State-store backend for the stage products (and memory budget for
+    /// the spill backend). Every backend yields byte-identical results;
+    /// see [`crate::store`].
+    pub store: StoreConfig,
 }
 
 impl Default for PipelineOptions {
@@ -205,6 +210,7 @@ impl Default for PipelineOptions {
             max_states: None,
             deadline: None,
             checkpoint_dir: None,
+            store: StoreConfig::default(),
         }
     }
 }
@@ -410,7 +416,11 @@ pub fn run_pipeline(network: &Network, options: &PipelineOptions) -> PipelineRun
                     break;
                 }
             }
-            ops::compose_with(prev, comp, &sync, options.workers)
+            if options.store.kind == StoreKind::Hash {
+                ops::compose_with(prev, comp, &sync, options.workers)
+            } else {
+                ops::compose_all_store(&[prev, comp], &sync, options.workers, &options.store)
+            }
         } else {
             if let Some(cap) = options.max_states {
                 if comp.num_states() > cap {
@@ -767,7 +777,9 @@ pub fn canonicalize(lts: &Lts) -> Lts {
 // ---------------------------------------------------------------------------
 
 const MANIFEST_NAME: &str = "pipeline.manifest";
-const MANIFEST_HEADER: &str = "multival-pipeline-checkpoint v1";
+// v2: stage snapshots moved from `.aut` text to `.blts` binary. v1
+// checkpoints fail the header check and are recomputed from scratch.
+const MANIFEST_HEADER: &str = "multival-pipeline-checkpoint v2";
 
 struct Checkpoint {
     dir: PathBuf,
@@ -789,7 +801,7 @@ fn checkpoint_fingerprint(network: &Network, options: &PipelineOptions, order: &
 
 impl Checkpoint {
     fn stage_path(&self, stage: usize) -> PathBuf {
-        self.dir.join(format!("stage_{stage}.aut"))
+        self.dir.join(format!("stage_{stage}.blts"))
     }
 
     /// Clears stale checkpoint state and writes a fresh manifest header.
@@ -801,12 +813,12 @@ impl Checkpoint {
         }
     }
 
-    /// Persists one completed stage: its `.aut` plus a rewritten manifest
+    /// Persists one completed stage: its `.blts` plus a rewritten manifest
     /// listing every stage done so far (the manifest is small; rewriting
     /// it whole keeps the format trivially robust).
     fn record_stage(&self, stat: &StageStats, lts: &Lts, done: &[StageStats]) {
         let _ = std::fs::create_dir_all(&self.dir);
-        if std::fs::write(self.stage_path(stat.stage), write_aut(lts)).is_err() {
+        if std::fs::write(self.stage_path(stat.stage), write_blts(lts)).is_err() {
             return;
         }
         let mut manifest = String::new();
@@ -877,8 +889,8 @@ impl Checkpoint {
             return None;
         }
         let last = stages.len() - 1;
-        let aut = std::fs::read_to_string(self.stage_path(last)).ok()?;
-        let lts = read_aut(&aut).ok()?;
+        let bytes = std::fs::read(self.stage_path(last)).ok()?;
+        let lts = read_blts(&bytes).ok()?;
         if lts.num_states() != stages[last].states_after {
             return None;
         }
@@ -887,11 +899,11 @@ impl Checkpoint {
 }
 
 /// Lists the checkpoint files a pipeline writes for a network of `n`
-/// components into `dir` (manifest plus per-stage `.aut`), for callers
+/// components into `dir` (manifest plus per-stage `.blts`), for callers
 /// that want to report or clean them.
 pub fn checkpoint_files(dir: &Path, n: usize) -> Vec<PathBuf> {
     let mut files = vec![dir.join(MANIFEST_NAME)];
-    files.extend((0..n).map(|k| dir.join(format!("stage_{k}.aut"))));
+    files.extend((0..n).map(|k| dir.join(format!("stage_{k}.blts"))));
     files
 }
 
@@ -998,6 +1010,27 @@ mod tests {
                     "seed {seed} × {workers} workers broke canonical determinism"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn pipeline_is_store_invariant() {
+        let net = chain();
+        let reference = run_pipeline(&net, &PipelineOptions::default());
+        for kind in StoreKind::ALL {
+            // A 1-byte budget forces the spill backend to page everything.
+            let run = run_pipeline(
+                &net,
+                &PipelineOptions {
+                    store: StoreConfig { kind, mem_budget: Some(1) },
+                    ..PipelineOptions::default()
+                },
+            );
+            assert_eq!(
+                write_aut(&run.lts),
+                write_aut(&reference.lts),
+                "store backend {kind} diverged"
+            );
         }
     }
 

@@ -10,6 +10,7 @@
 
 use crate::label::{LabelId, LabelTable};
 use crate::lts::{Lts, StateId};
+use crate::store::{PackState, StateStore};
 use crate::ts::TransitionSystem;
 use multival_par::{par_map, ShardedIndex, Workers};
 use std::collections::{HashMap, VecDeque};
@@ -149,6 +150,53 @@ pub fn materialize_with<T: TransitionSystem>(ts: &T, workers: Workers) -> Lts {
         frontier = next_frontier;
     }
     Lts::from_parts(ts.label_table(), num_states, 0, transitions)
+}
+
+/// [`materialize_with`] over a pluggable [`StateStore`]: visited-state
+/// dedup runs on *packed byte keys* owned by the store instead of a
+/// `HashMap` of cloned state values, so the resident set can live in a
+/// packed arena or spill to disk (see [`crate::store`]).
+///
+/// The result is byte-identical to [`materialize_with`] at any worker
+/// count and with any backend: workers only derive successor lists level
+/// by level, and the sequential merge interns targets in canonical
+/// frontier order — exactly the discovery order of the sequential BFS.
+/// Only frontier states are kept as live values; the interior of the
+/// visited set exists solely as packed keys inside the store.
+pub fn materialize_store<T>(ts: &T, workers: Workers, store: &mut dyn StateStore) -> Lts
+where
+    T: TransitionSystem,
+    T::State: PackState,
+{
+    let mut key = Vec::new();
+    let init = ts.initial_state();
+    init.pack(&mut key);
+    let (id, fresh) = store.get_or_insert(&key);
+    assert!(fresh && id == 0, "materialize_store needs an empty store");
+    let mut frontier: Vec<(StateId, T::State)> = vec![(0, init)];
+    let mut transitions: Vec<(StateId, LabelId, StateId)> = Vec::new();
+
+    while !frontier.is_empty() {
+        // Parallel stage: derivation only — dedup is the merge's job, so
+        // the store needs no synchronization at all.
+        let results: Vec<Vec<(LabelId, T::State)>> =
+            par_map(workers, &frontier, |_, (_, s)| ts.successors(s));
+
+        let mut next: Vec<(StateId, T::State)> = Vec::new();
+        for ((src, _), succ) in frontier.iter().zip(results) {
+            for (label, target) in succ {
+                key.clear();
+                target.pack(&mut key);
+                let (dst, new) = store.get_or_insert(&key);
+                if new {
+                    next.push((dst, target));
+                }
+                transitions.push((*src, label, dst));
+            }
+        }
+        frontier = next;
+    }
+    Lts::from_parts(ts.label_table(), store.len() as u32, 0, transitions)
 }
 
 fn materialize_sequential<T: TransitionSystem>(ts: &T) -> Lts {
@@ -625,6 +673,44 @@ mod tests {
         let straight = b.build(s[0]);
         let dead = avoid_search(&straight, |name| name == "goal", &ReachOptions::default());
         assert_eq!(dead.witness, Some(vec!["a".into(), "b".into(), "c".into()]));
+    }
+
+    #[test]
+    fn materialize_store_matches_hashmap_on_every_backend() {
+        use crate::store::{make_store, StoreConfig, StoreKind};
+        // A 60-state product with both interleaved and synchronized moves.
+        let mut left = LtsBuilder::new();
+        let ls: Vec<_> = (0..10).map(|_| left.add_state()).collect();
+        for (i, w) in ls.windows(2).enumerate() {
+            left.add_transition(w[0], &format!("L !{i}"), w[1]);
+        }
+        left.add_transition(ls[9], "S", ls[0]);
+        let left = left.build(ls[0]);
+        let mut right = LtsBuilder::new();
+        let rs: Vec<_> = (0..6).map(|_| right.add_state()).collect();
+        for (i, w) in rs.windows(2).enumerate() {
+            right.add_transition(w[0], &format!("R !{i}"), w[1]);
+        }
+        right.add_transition(rs[5], "S", rs[0]);
+        let right = right.build(rs[0]);
+
+        let parts = [&left, &right];
+        let product = LazyProduct::new(&parts, &ops::Sync::on(["S"]));
+        let want = crate::io::write_aut(&materialize(&product));
+        for kind in StoreKind::ALL {
+            for workers in [1, 4] {
+                // A 1-byte budget forces the spill backend to page out
+                // every sealed segment; other backends ignore it.
+                let mut store = make_store(&StoreConfig { kind, mem_budget: Some(1) });
+                let got = materialize_store(&product, Workers::new(workers), store.as_mut());
+                assert_eq!(
+                    want,
+                    crate::io::write_aut(&got),
+                    "store {kind} at {workers} workers diverged"
+                );
+                assert_eq!(store.len(), got.num_states());
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Variable-length integer coding shared by the BLTS format and the
+//! packed state stores.
+//!
+//! Unsigned values use LEB128: seven payload bits per byte, high bit set
+//! on every byte except the last. Signed deltas are zigzag-folded first
+//! (`0, -1, 1, -2, …` → `0, 1, 2, 3, …`) so small negative jumps stay
+//! small on the wire.
+
+/// Appends `v` to `out` in LEB128.
+#[inline]
+pub fn write_uv(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 value at `*pos`, advancing it. Returns `None` on
+/// truncation or on an over-long encoding (more than 10 bytes).
+#[inline]
+pub fn read_uv(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &b = bytes.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-folds a signed value into an unsigned one.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uv_round_trips() {
+        let mut buf = Vec::new();
+        let values =
+            [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX, 42, 1 << 40];
+        for &v in &values {
+            write_uv(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_uv(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn uv_rejects_truncation() {
+        let mut buf = Vec::new();
+        write_uv(&mut buf, 1 << 20);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(read_uv(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn uv_rejects_overlong() {
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(read_uv(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [-5i64, -1, 0, 1, 5, i64::MIN, i64::MAX, -1_000_000, 1_000_000] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+}

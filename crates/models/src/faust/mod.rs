@@ -17,5 +17,6 @@
 //!   counterexample trace (experiment E4).
 
 pub mod fork;
+pub mod mesh;
 pub mod noc;
 pub mod router;

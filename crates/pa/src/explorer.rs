@@ -8,12 +8,15 @@
 //! sequential merge that walks the frontier in canonical order. See
 //! `DESIGN.md` §6 for the full scheme.
 
+use crate::pack::pack_term;
 use crate::semantics::{transitions, Label, SemError};
 use crate::spec::Spec;
 use crate::term::Term;
+use multival_lts::store::{make_store, StateStore, StoreConfig, StoreStats};
 use multival_lts::{LabelId, Lts, LtsBuilder, StateId};
+use multival_par::fx::FxHashMap;
 use multival_par::{par_map, ShardedIndex, Workers};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
@@ -239,7 +242,8 @@ pub fn explore_term_partial(
 /// of once per transition.
 #[derive(Default)]
 struct LabelCache {
-    ids: HashMap<Label, LabelId>,
+    // Fx-hashed: looked up once per derived transition.
+    ids: FxHashMap<Label, LabelId>,
 }
 
 impl LabelCache {
@@ -267,7 +271,7 @@ fn past_deadline(options: &ExploreOptions) -> bool {
 fn explore_sequential(initial: Arc<Term>, spec: &Spec, options: &ExploreOptions) -> Exploration {
     let mut builder = LtsBuilder::new();
     let mut labels = LabelCache::default();
-    let mut index: HashMap<Arc<Term>, StateId> = HashMap::new();
+    let mut index: FxHashMap<Arc<Term>, StateId> = FxHashMap::default();
     let mut states: Vec<Arc<Term>> = Vec::new();
     let mut queue: VecDeque<(StateId, usize)> = VecDeque::new();
     let mut ntrans = 0usize;
@@ -326,6 +330,9 @@ fn explore_sequential(initial: Arc<Term>, spec: &Spec, options: &ExploreOptions)
     }
     finish(builder, states, None)
 }
+
+/// Outgoing transitions derived from one term: `(label, successor term)`.
+type Outgoing = Vec<(Label, Arc<Term>)>;
 
 /// Per-frontier-state output of a parallel derivation worker.
 struct LevelOut {
@@ -454,6 +461,151 @@ fn finish(
     aborted: Option<ExploreError>,
 ) -> Exploration {
     Exploration { explored: Explored { lts: builder.build(0), states }, aborted }
+}
+
+/// Result of a store-backed exploration: the LTS plus the dedup store's
+/// accounting. Unlike [`Explored`], per-state terms are *not* retained —
+/// only the current BFS frontier's terms stay resident, and the dedup
+/// index holds packed byte keys (see [`crate::pack`]) in the configured
+/// [`StateStore`] backend. This is the
+/// million-state entry point: with [`StoreKind::Spill`], resident memory
+/// is bounded by the budget plus the frontier.
+///
+/// [`StoreKind::Spill`]: multival_lts::store::StoreKind::Spill
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct StoreExploration {
+    /// The generated LTS; numbering is identical to [`explore`]'s.
+    pub lts: Lts,
+    /// Dedup-store counters (states, key bytes, resident/spilled bytes).
+    pub store: StoreStats,
+    /// `None` when exploration ran to completion; the abort reason
+    /// otherwise (partial work is kept in `lts`).
+    pub aborted: Option<ExploreError>,
+}
+
+/// Explores `spec`'s top behaviour through a pluggable state store,
+/// without retaining a term per state.
+///
+/// The LTS — state numbering, label table, transitions — is byte-identical
+/// to [`explore`]'s at any backend and worker count.
+///
+/// # Errors
+///
+/// Same as [`explore`].
+pub fn explore_store(
+    spec: &Spec,
+    options: &ExploreOptions,
+    config: &StoreConfig,
+) -> Result<Lts, ExploreError> {
+    explore_term_store(spec.top().clone(), spec, options, config)
+}
+
+/// [`explore_store`] from an explicit initial term.
+///
+/// # Errors
+///
+/// Same as [`explore`].
+pub fn explore_term_store(
+    initial: Arc<Term>,
+    spec: &Spec,
+    options: &ExploreOptions,
+    config: &StoreConfig,
+) -> Result<Lts, ExploreError> {
+    let run = explore_term_store_partial(initial, spec, options, config);
+    match run.aborted {
+        None => Ok(run.lts),
+        Some(e) => Err(e),
+    }
+}
+
+/// Like [`explore_term_store`], but retains partial work when exploration
+/// aborts. The wall-clock budget is checked once per BFS level (as in the
+/// parallel path), so deadline aborts land on level boundaries.
+pub fn explore_term_store_partial(
+    initial: Arc<Term>,
+    spec: &Spec,
+    options: &ExploreOptions,
+    config: &StoreConfig,
+) -> StoreExploration {
+    let workers = options.workers();
+    let mut store = make_store(config);
+    let mut builder = LtsBuilder::new();
+    let mut labels = LabelCache::default();
+    let mut buf: Vec<u8> = Vec::new();
+
+    pack_term(&initial, &mut buf);
+    let s0 = builder.add_state();
+    let (k0, _) = store.get_or_insert(&buf);
+    debug_assert_eq!(k0, s0);
+
+    // States of the last discovered BFS level, in id order: frontier[i]
+    // denotes state `level_base + i`. Terms live only this long.
+    let mut frontier: Vec<Arc<Term>> = vec![initial];
+    let mut level_base = 0usize;
+    let mut nstates = 1usize;
+    let mut ntrans = 0usize;
+    let mut depth = 0usize;
+
+    while !frontier.is_empty() {
+        if past_deadline(options) {
+            let aborted = ExploreError::Deadline { states: nstates, transitions: ntrans };
+            return store_finish(builder, store, Some(aborted));
+        }
+        // Parallel stage: derive successor terms of every frontier state.
+        let results: Vec<Result<Outgoing, ExploreError>> =
+            par_map(workers, &frontier, |_, term| {
+                transitions(term, spec)
+                    .map_err(|error| ExploreError::Semantics { error, state: term.to_string() })
+            });
+        // Sequential merge in frontier order: packing, dedup, numbering,
+        // label interning, and cap checks — the same admission order as
+        // the sequential loop, hence identical ids and abort reports.
+        let mut next: Vec<Arc<Term>> = Vec::new();
+        for (i, result) in results.into_iter().enumerate() {
+            let src = (level_base + i) as StateId;
+            let outgoing = match result {
+                Ok(o) => o,
+                Err(aborted) => return store_finish(builder, store, Some(aborted)),
+            };
+            for (label, target) in outgoing {
+                buf.clear();
+                pack_term(&target, &mut buf);
+                let (dst, is_new) = store.get_or_insert(&buf);
+                if is_new {
+                    if nstates >= options.max_states {
+                        let aborted =
+                            ExploreError::Explosion { states: nstates, transitions: ntrans, depth };
+                        return store_finish(builder, store, Some(aborted));
+                    }
+                    let b = builder.add_state();
+                    debug_assert_eq!(b, dst);
+                    nstates += 1;
+                    next.push(target);
+                }
+                if ntrans >= options.max_transitions {
+                    let aborted =
+                        ExploreError::Explosion { states: nstates, transitions: ntrans, depth };
+                    return store_finish(builder, store, Some(aborted));
+                }
+                ntrans += 1;
+                let lid = labels.id(&mut builder, label);
+                builder.add_transition_id(src, lid, dst);
+            }
+        }
+        level_base += frontier.len();
+        frontier = next;
+        depth += 1;
+    }
+    store_finish(builder, store, None)
+}
+
+fn store_finish(
+    builder: LtsBuilder,
+    store: Box<dyn StateStore>,
+    aborted: Option<ExploreError>,
+) -> StoreExploration {
+    StoreExploration { lts: builder.build(0), store: store.stats(), aborted }
 }
 
 /// Renders a semantic label in the LTS textual convention
@@ -683,6 +835,50 @@ mod tests {
         assert!(matches!(seq.aborted, Some(ExploreError::Semantics { .. })));
         assert_eq!(seq.aborted, par.aborted);
         assert_eq!(seq.explored.states, par.explored.states);
+    }
+
+    #[test]
+    fn store_backed_exploration_is_backend_and_thread_invariant() {
+        use multival_lts::store::StoreKind;
+        let (s, top) = triple_counter_top();
+        let base = explore_term(top.clone(), &s, &ExploreOptions::default()).expect("baseline");
+        for kind in StoreKind::ALL {
+            // A 1-byte budget forces the spill backend to page on every
+            // sealed segment.
+            let config = StoreConfig { kind, mem_budget: Some(1) };
+            for threads in [1, 4] {
+                let opts = ExploreOptions::default().with_threads(threads);
+                let lts = explore_term_store(top.clone(), &s, &opts, &config).expect("store run");
+                assert_eq!(write_aut(&lts), write_aut(&base.lts), "{kind:?} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn store_backed_explosion_matches_sequential_partial_work() {
+        let (s, top) = triple_counter_top();
+        let opts =
+            ExploreOptions { max_states: 60, max_transitions: 480, ..ExploreOptions::default() };
+        let seq = explore_term_partial(top.clone(), &s, &opts);
+        let run = explore_term_store_partial(top, &s, &opts, &StoreConfig::default());
+        assert_eq!(seq.aborted, run.aborted, "identical abort report");
+        assert!(run.aborted.is_some(), "cap must trigger");
+        assert_eq!(write_aut(&seq.explored.lts), write_aut(&run.lts));
+        assert!(run.store.states >= run.lts.num_states(), "store saw every admitted state");
+    }
+
+    #[test]
+    fn store_backed_semantic_error_matches_sequential() {
+        let mut s = Spec::new();
+        s.set_top(Term::Exit(vec![Expr::var("ghost")]).rc());
+        let seq = explore_partial(&s, &ExploreOptions::default());
+        let run = explore_term_store_partial(
+            s.top().clone(),
+            &s,
+            &ExploreOptions::default(),
+            &StoreConfig::default(),
+        );
+        assert_eq!(seq.aborted, run.aborted);
     }
 
     #[test]

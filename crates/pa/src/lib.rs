@@ -36,6 +36,7 @@ pub mod expr;
 pub mod lexer;
 pub mod lint;
 pub mod network;
+pub mod pack;
 pub mod parser;
 pub mod semantics;
 pub mod spec;
@@ -44,11 +45,13 @@ pub mod ts;
 pub mod value;
 
 pub use explorer::{
-    explore, explore_partial, explore_term, explore_term_partial, Exploration, ExploreError,
-    ExploreOptions, Explored,
+    explore, explore_partial, explore_store, explore_term, explore_term_partial,
+    explore_term_store, explore_term_store_partial, Exploration, ExploreError, ExploreOptions,
+    Explored, StoreExploration,
 };
 pub use lint::{lint, Lint};
 pub use network::{extract_network, NetworkError};
+pub use pack::pack_term;
 pub use parser::{parse_behaviour, parse_spec, ParseError};
 pub use semantics::{transitions, Label, SemError};
 pub use spec::{ProcDef, Spec};

@@ -1,0 +1,136 @@
+//! A fast, deterministic, std-only hasher for hot interning paths.
+//!
+//! The default `RandomState`/SipHash is DoS-resistant but costs ~1ns per
+//! byte with a long setup; state dedup and label interning hash millions of
+//! short keys that are never attacker-controlled. This module provides the
+//! multiply-rotate scheme popularized by Firefox and rustc ("FxHash"):
+//! one rotate, one xor, one multiply per 8-byte word.
+//!
+//! Determinism matters as much as speed here: the hasher has no per-process
+//! seed, so shard selection, probe order and any hash-derived statistics
+//! are reproducible across runs (the engine's bit-for-bit determinism
+//! contract never depends on hash order, but reproducible internals make
+//! performance measurements stable too).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplier from the original Fx scheme (a 64-bit odd constant with
+/// good bit dispersion; `0x51_7c_c1_b7_27_22_0a_95`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher; see the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+        // Mix in the length so zero-padded tails of different lengths
+        // cannot collide when raw byte slices are hashed directly.
+        self.add(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, deterministic).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+/// Hashes a byte slice in one call (used for fingerprint tables that store
+/// the full 64-bit hash alongside each key).
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = hash_bytes(b"PUSH !1");
+        let b = hash_bytes(b"PUSH !1");
+        assert_eq!(a, b);
+        assert_ne!(hash_bytes(b"PUSH !1"), hash_bytes(b"PUSH !2"));
+    }
+
+    #[test]
+    fn zero_padded_tails_do_not_collide() {
+        assert_ne!(hash_bytes(&[1]), hash_bytes(&[1, 0]));
+        assert_ne!(hash_bytes(&[]), hash_bytes(&[0]));
+        assert_ne!(hash_bytes(&[0; 8]), hash_bytes(&[0; 16]));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("a".into(), 1);
+        assert_eq!(m.get("a"), Some(&1));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+}

@@ -17,10 +17,14 @@
 //!   canonical numbering renumber during their sequential merge phase
 //!   (see `multival-pa`'s explorer).
 
+pub mod fx;
+
+use fx::FxBuildHasher;
 use std::collections::HashMap;
-use std::hash::{BuildHasher, Hash, Hasher, RandomState};
+use std::hash::{BuildHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Worker-count knob shared by every parallel entry point.
 ///
@@ -93,21 +97,78 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
+    par_map_stats(workers, min_parallel, items, f).0
+}
+
+/// How a [`par_map_stats`] call actually scheduled its work. Because the
+/// ordered-results contract makes chunking invisible in the output, these
+/// numbers exist purely for performance reporting (the bench emitter
+/// records them next to wall times).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParStats {
+    /// Items mapped.
+    pub items: usize,
+    /// Threads that actually ran (1 means the sequential fast path: no
+    /// thread was spawned and no atomics were touched).
+    pub workers: usize,
+    /// Stride of the first grab from the shared cursor.
+    pub initial_chunk: usize,
+    /// Largest stride any worker grew to.
+    pub max_chunk: usize,
+    /// Number of grabs from the shared cursor (1 on the sequential path).
+    pub grabs: usize,
+}
+
+/// Per-grab wall-time target for the adaptive stride: long enough that the
+/// cursor `fetch_add` and the timing call are noise, short enough that a
+/// straggler's final grab cannot dominate the tail.
+const TARGET_GRAB: Duration = Duration::from_micros(200);
+
+/// [`par_map_min`] that also reports the chosen chunking ([`ParStats`]).
+///
+/// Scheduling is adaptive to per-item cost: every worker starts with a
+/// small probe stride and doubles it after each grab that completes faster
+/// than `TARGET_GRAB` (200 µs) (halving after grabs 8× over target), capped so at
+/// least two grabs per worker remain for load balancing. Cheap items
+/// therefore converge to coarse chunks (amortizing the shared cursor),
+/// expensive items stay fine-grained (balancing stragglers) — with zero
+/// effect on the output, which is written to per-index slots.
+///
+/// When the *effective* worker count is 1 — sequential request, tiny
+/// input, or a single-core machine — the map runs inline on the calling
+/// thread with no spawn and no atomics. Spawning a lone scoped thread
+/// costs tens of microseconds per call, which is exactly the overhead that
+/// made BFS levels slower at `t4` than `t1` on one-core hosts.
+pub fn par_map_stats<T, U, F>(
+    workers: Workers,
+    min_parallel: usize,
+    items: &[T],
+    f: F,
+) -> (Vec<U>, ParStats)
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
     let n = items.len();
-    if workers.is_sequential() || n < min_parallel.max(2) {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
     // Results are scheduling-independent, so oversubscribing the hardware
     // cannot change them — it only adds context-switch overhead. Cap the
     // actual thread count at the machine's parallelism.
     let hw = std::thread::available_parallelism().map_or(usize::MAX, |p| p.get());
     let nworkers = workers.get().min(n).min(hw);
-    // Chunks sized so each worker steals ~4 times: coarse enough to keep
-    // contention on the cursor negligible, fine enough to balance load. The
-    // floor scales with the fallback threshold: fine-grained items keep the
-    // historical floor of 32, coarse items may be stolen one at a time.
-    let chunk = (n / (nworkers * 4)).max((min_parallel / 8).clamp(1, 32));
+    if nworkers <= 1 || n < min_parallel.max(2) {
+        let out = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let stats = ParStats { items: n, workers: 1, initial_chunk: n, max_chunk: n, grabs: 1 };
+        return (out, stats);
+    }
+    // Probe stride: fine-grained items keep the historical floor of 32,
+    // coarse items (small `min_parallel`) may be grabbed one at a time.
+    let initial_chunk = (min_parallel / 8).clamp(1, 32);
+    // Growth cap: leave every worker at least ~2 grabs for balancing.
+    let stride_cap = (n / (nworkers * 2)).max(initial_chunk);
     let cursor = AtomicUsize::new(0);
+    let grabs = AtomicUsize::new(0);
+    let max_chunk = AtomicUsize::new(initial_chunk);
     let mut out: Vec<Option<U>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
     let slots = SendSlices(out.as_mut_ptr());
@@ -115,25 +176,46 @@ where
     std::thread::scope(|scope| {
         for _ in 0..nworkers {
             let cursor = &cursor;
+            let grabs = &grabs;
+            let max_chunk = &max_chunk;
             let f = &f;
             let slots = &slots;
-            scope.spawn(move || loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + chunk).min(n);
-                for (i, item) in items.iter().enumerate().take(end).skip(start) {
-                    // SAFETY: each index is visited by exactly one worker
-                    // (disjoint chunks from the atomic cursor), so no slot
-                    // is written twice or concurrently.
-                    unsafe { slots.write(i, f(i, item)) };
+            scope.spawn(move || {
+                let mut stride = initial_chunk;
+                loop {
+                    let start = cursor.fetch_add(stride, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + stride).min(n);
+                    let t0 = Instant::now();
+                    for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                        // SAFETY: each index is visited by exactly one worker
+                        // (disjoint chunks from the atomic cursor), so no slot
+                        // is written twice or concurrently.
+                        unsafe { slots.write(i, f(i, item)) };
+                    }
+                    grabs.fetch_add(1, Ordering::Relaxed);
+                    let dt = t0.elapsed();
+                    if dt < TARGET_GRAB && stride < stride_cap {
+                        stride = stride.saturating_mul(2).min(stride_cap);
+                        max_chunk.fetch_max(stride, Ordering::Relaxed);
+                    } else if dt > TARGET_GRAB * 8 && stride > 1 {
+                        stride /= 2;
+                    }
                 }
             });
         }
     });
 
-    out.into_iter().map(|slot| slot.expect("slot filled")).collect()
+    let stats = ParStats {
+        items: n,
+        workers: nworkers,
+        initial_chunk,
+        max_chunk: max_chunk.into_inner(),
+        grabs: grabs.into_inner(),
+    };
+    (out.into_iter().map(|slot| slot.expect("slot filled")).collect(), stats)
 }
 
 /// Shared mutable access to the result slots of [`par_map`], restricted
@@ -168,10 +250,12 @@ const SHARDS: usize = 64;
 /// Keys are hashed **once** per operation: the full hash picks the shard
 /// and is stored alongside the key, so the inner map only re-mixes the
 /// cached 8 bytes instead of re-walking a potentially deep key (state
-/// terms are trees).
+/// terms are trees). Hashing uses the deterministic [`fx`] scheme — state
+/// keys are never attacker-controlled, and Fx is several times cheaper
+/// than SipHash on the deep tree keys this index interns.
 pub struct ShardedIndex<K> {
     shards: Vec<Mutex<HashMap<PreHashed<K>, u32>>>,
-    hasher: RandomState,
+    hasher: FxBuildHasher,
     next: AtomicU32,
 }
 
@@ -206,7 +290,7 @@ impl<K: Hash + Eq> ShardedIndex<K> {
     pub fn new() -> Self {
         ShardedIndex {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            hasher: RandomState::new(),
+            hasher: FxBuildHasher::default(),
             next: AtomicU32::new(0),
         }
     }
@@ -299,6 +383,27 @@ mod tests {
         });
         assert_eq!(out.len(), items.len());
         assert!(out.iter().enumerate().all(|(i, &(x, _))| x == i as u64));
+    }
+
+    #[test]
+    fn par_map_stats_sequential_path_reports_one_worker() {
+        let items: Vec<u32> = (0..10_000).collect();
+        let (out, stats) = par_map_stats(Workers::sequential(), 2, &items, |_, &x| x);
+        assert_eq!(out.len(), 10_000);
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.grabs, 1);
+        assert_eq!(stats.items, 10_000);
+    }
+
+    #[test]
+    fn par_map_stats_parallel_matches_sequential() {
+        let items: Vec<u64> = (0..5_000).collect();
+        let (seq, _) = par_map_stats(Workers::sequential(), 2, &items, |i, &x| x + i as u64);
+        let (par, stats) = par_map_stats(Workers::new(4), 2, &items, |i, &x| x + i as u64);
+        assert_eq!(seq, par);
+        assert!(stats.workers >= 1);
+        assert!(stats.max_chunk >= stats.initial_chunk);
+        assert!(stats.grabs >= 1);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use multival_ctmc::McOptions;
 use multival_lts::io::read_aut;
 use multival_lts::minimize::Equivalence;
 use multival_lts::pipeline::{run_pipeline, Order, PipelineOptions};
+use multival_lts::store::{StoreConfig, StoreKind};
 use multival_lts::Lts;
 use multival_models::common::explore_model;
 use multival_models::fame2::coherence::Protocol;
@@ -99,6 +100,11 @@ pub struct JobRequest {
     pub eq: Equivalence,
     /// Composition-order policy (reduce; the result never depends on it).
     pub order: Order,
+    /// State-store backend for product exploration (reduce; the result
+    /// never depends on it).
+    pub store: StoreKind,
+    /// Resident-memory budget in bytes for the spill backend (reduce).
+    pub mem_budget: Option<usize>,
     /// Resource budget (state cap + wall-clock limit).
     pub budget: Budget,
 }
@@ -272,6 +278,17 @@ impl JobRequest {
                 }
             },
         };
+        let store = match opt_str(v, "store")?.as_deref() {
+            None | Some("hash") => StoreKind::Hash,
+            Some("arena") => StoreKind::Arena,
+            Some("spill") => StoreKind::Spill,
+            Some(other) => {
+                return Err(format!(
+                    "unknown store backend `{other}` (expected hash, arena, or spill)"
+                ))
+            }
+        };
+        let mem_budget = opt_uint(v, "mem_budget")?.map(|b| b as usize);
         let mut budget = Budget::default();
         if let Some(cap) = opt_uint(v, "max_states")? {
             budget = budget.with_max_states(cap as usize);
@@ -291,6 +308,8 @@ impl JobRequest {
             seed,
             eq,
             order,
+            store,
+            mem_budget,
             budget,
         })
     }
@@ -331,6 +350,8 @@ impl JobRequest {
                 }),
             ),
             ("order".into(), Json::str(self.order.to_string())),
+            ("store".into(), Json::str(self.store.to_string())),
+            ("mem_budget".into(), self.mem_budget.map_or(Json::Null, |b| Json::num(b as f64))),
             (
                 "max_states".into(),
                 self.budget.max_states.map_or(Json::Null, |c| Json::num(c as f64)),
@@ -419,6 +440,7 @@ impl JobRequest {
             max_states: self.budget.max_states,
             deadline: self.budget.deadline(),
             checkpoint_dir: None,
+            store: StoreConfig { kind: self.store, mem_budget: self.mem_budget },
         };
         let run = run_pipeline(&network, &options);
         if let Some(reason) = &run.abort {
@@ -678,6 +700,26 @@ mod tests {
         );
         // The two requests are distinct cache entries.
         assert_ne!(req(&smart).canonical(), req(&given).canonical());
+    }
+
+    #[test]
+    fn reduce_accepts_store_backend_params() {
+        let spill = format!(
+            r#"{{"kind":"reduce","model":{{"source":{src}}},"store":"spill","mem_budget":65536}}"#,
+            src = Json::str(NET)
+        );
+        let s = req(&spill).evaluate(Workers::sequential()).expect("evaluates").to_string();
+        let default =
+            format!(r#"{{"kind":"reduce","model":{{"source":{src}}}}}"#, src = Json::str(NET));
+        let d = req(&default).evaluate(Workers::sequential()).expect("evaluates").to_string();
+        assert_eq!(s, d, "the reduced LTS must not depend on the store backend");
+        // Distinct cache entries nonetheless: the backend is part of the key.
+        assert_ne!(req(&spill).canonical(), req(&default).canonical());
+        let bad = format!(
+            r#"{{"kind":"reduce","model":{{"source":{src}}},"store":"disk"}}"#,
+            src = Json::str(NET)
+        );
+        assert!(JobRequest::from_json_text(&bad).is_err());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use multival::ctmc::absorb::mean_time_to_target;
 use multival::ctmc::steady::{steady_state, SolveOptions};
 use multival::ctmc::{McOptions, McRun, McSim, Workers};
-use multival::lts::io::write_aut;
+use multival::lts::io::{read_blts, write_aut, write_blts};
 use multival::lts::pipeline::{monolithic, run_pipeline, Network, PipelineOptions};
 use multival::models::common::explore_model;
 use multival::models::fame2::benchmark::{ping_pong_chain, RateConfig};
@@ -42,6 +42,27 @@ fn check_golden(name: &str, contents: &str) {
         .unwrap_or_else(|e| panic!("missing fixture {name} ({e}); create it with UPDATE_GOLDEN=1"));
     assert_eq!(
         want, contents,
+        "golden mismatch for {name}; if the change is intentional and verified, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// Binary-fixture variant of [`check_golden`] for `.blts` snapshots, with
+/// a decode round-trip so a committed fixture is guaranteed readable.
+fn check_golden_blts(name: &str, lts: &multival::lts::Lts) {
+    let bytes = write_blts(lts);
+    let back = read_blts(&bytes).expect("fresh BLTS bytes decode");
+    assert_eq!(write_aut(&back), write_aut(lts), "BLTS round-trip must be exact");
+    let path = fixture_path(name);
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().expect("data dir")).expect("mkdir");
+        std::fs::write(&path, &bytes).expect("write fixture");
+        return;
+    }
+    let want = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {name} ({e}); create it with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        want, bytes,
         "golden mismatch for {name}; if the change is intentional and verified, \
          regenerate with UPDATE_GOLDEN=1"
     );
@@ -137,7 +158,7 @@ fn fame2_ping_pong_golden() {
 /// Snapshots a reduction-pipeline run: the resolved order, every stage's
 /// product → reduced counts with the gates hidden there, the peak, and the
 /// monolithic product it must strictly undercut.
-fn pipeline_snapshot(net: &Network) -> (String, String) {
+fn pipeline_snapshot(net: &Network) -> (String, multival::lts::Lts) {
     use multival::lts::minimize::Equivalence;
     let run = run_pipeline(net, &PipelineOptions::default());
     assert!(run.complete(), "case-study networks reduce without a budget");
@@ -183,13 +204,18 @@ fn pipeline_snapshot(net: &Network) -> (String, String) {
         run.lts.num_states(),
         run.lts.num_transitions()
     );
-    (snap, write_aut(&run.lts))
+    (snap, run.lts)
 }
 
 /// Smart reduction over the three case-study networks: the per-stage
 /// accounting and the canonical reduced LTSs are golden, and on every
 /// network the pipeline's peak stays strictly below the monolithic
 /// product (the compositional win the paper's flow rests on).
+///
+/// The FAUST complement mesh renders to an ~82k-line `.aut`, so its
+/// fixture is the compact binary `.blts` plus the SHA-256 of the
+/// canonical text render — any drift still fails, without megabytes of
+/// committed text.
 #[test]
 fn reduction_pipeline_golden() {
     let cases: [(&str, Network); 3] = [
@@ -198,9 +224,16 @@ fn reduction_pipeline_golden() {
         ("faust_complement", complement_network()),
     ];
     for (name, net) in cases {
-        let (snap, aut) = pipeline_snapshot(&net);
+        let (snap, lts) = pipeline_snapshot(&net);
         check_golden(&format!("pipeline_{name}.stages.txt"), &snap);
-        check_golden(&format!("pipeline_{name}.aut"), &aut);
+        if name == "faust_complement" {
+            check_golden_blts("pipeline_faust_complement.blts", &lts);
+            let digest =
+                format!("{}\n", multival_integration::sha256_hex(write_aut(&lts).as_bytes()));
+            check_golden("pipeline_faust_complement.aut.sha256", &digest);
+        } else {
+            check_golden(&format!("pipeline_{name}.aut"), &write_aut(&lts));
+        }
     }
 }
 
