@@ -61,8 +61,8 @@ fn bench_http_path(c: &mut Criterion) {
         workers: 2,
         queue_cap: 256,
         cache_capacity: 64,
-        cache_dir: None,
         mc_workers: 1,
+        ..ServerConfig::default()
     })
     .expect("server starts");
     let addr = handle.addr();

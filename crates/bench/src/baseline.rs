@@ -522,54 +522,106 @@ fn cache_hits(addr: SocketAddr) -> u64 {
     grab("mem_hits") + grab("disk_hits")
 }
 
-/// The `serve_throughput` section: 8 clients × 4 jobs, cold then warm.
+/// Client-observed percentile over submit→done round-trip latencies.
+fn pct_us(samples: &mut [u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let rank = ((p / 100.0) * samples.len() as f64).ceil().max(1.0) as usize;
+    samples[rank.min(samples.len()) - 1]
+}
+
+fn jobs_counter(addr: SocketAddr, name: &str) -> u64 {
+    let metrics = parse(&http(addr, "GET", "/v1/metrics", "")).expect("metrics JSON");
+    metrics
+        .get("jobs")
+        .and_then(|j| j.get(name))
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| panic!("metrics counter jobs.{name}")) as u64
+}
+
+/// The `serve_throughput` section: one submit→done round trip per client
+/// per row, against the event-loop server. `cold` is all-distinct
+/// evaluations, `warm` re-submits them (pure cache hits), `coalesced`
+/// piles every client onto one fresh request so exactly one evaluation
+/// runs. Fast mode keeps a small client count for CI; `BENCH_FULL=1`
+/// scales to 128 concurrent clients.
 fn serve_throughput_section() -> Result<String, Box<dyn Error>> {
-    const CLIENTS: usize = 8;
-    const DISTINCT: usize = 4;
+    let clients: usize = if full_mode() { 128 } else { 16 };
     let handle = serve(&ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
         workers: 2,
-        queue_cap: 256,
-        cache_capacity: 64,
-        cache_dir: None,
+        queue_cap: clients.max(256),
+        // The cache shards its capacity 8 ways; size it so even a shard
+        // that drew every key keeps the whole working set resident, or
+        // the warm round sees spurious evictions.
+        cache_capacity: 8 * (clients + 1),
         mc_workers: 1,
+        ..ServerConfig::default()
     })
     .map_err(|e| format!("bench server failed to start: {e}"))?;
     let addr = handle.addr();
     let source = three_queues_src(2).replace('\n', " ").replace('"', "\\\"");
-    let requests: Vec<String> = (0..DISTINCT)
-        .map(|seed| {
-            format!(r#"{{"kind":"explore","model":{{"source":"{source}"}},"seed":{seed}}}"#)
-        })
-        .collect();
-    let round = || {
-        let start = Instant::now();
-        std::thread::scope(|scope| {
-            for _ in 0..CLIENTS {
-                let requests = &requests;
-                scope.spawn(move || {
-                    for req in requests {
-                        run_job(addr, req);
-                    }
-                });
-            }
-        });
-        start.elapsed()
+    let request = |seed: usize| {
+        format!(r#"{{"kind":"explore","model":{{"source":"{source}"}},"seed":{seed}}}"#)
     };
-    let wall_cold = round();
-    let hits_after_cold = cache_hits(addr);
-    let wall_warm = round();
-    // Strictly after the cold round every distinct result is cached, so
-    // the warm round's lookups all hit.
-    let warm_hits = cache_hits(addr) - hits_after_cold;
+    // Runs one round: client `i` submits `seeds[i]` and polls it to done,
+    // all clients concurrent. Returns (wall, per-client latencies in µs).
+    let round = |seeds: Vec<usize>| {
+        let start = Instant::now();
+        let latencies: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .iter()
+                .map(|&seed| {
+                    let req = request(seed);
+                    scope.spawn(move || {
+                        let t = Instant::now();
+                        run_job(addr, &req);
+                        u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("bench client")).collect()
+        });
+        (start.elapsed(), latencies)
+    };
+    let row = |name: &str, wall: Duration, mut lat: Vec<u64>, extra: String| {
+        format!(
+            "\"{name}\": {{\"jobs\": {}, \"wall_ms\": {}, \"p50_us\": {}, \"p99_us\": {}{extra}}}",
+            lat.len(),
+            ms(wall),
+            pct_us(&mut lat, 50.0),
+            pct_us(&mut lat, 99.0),
+        )
+    };
+
+    // Cold: every client evaluates its own distinct request.
+    let (cold_wall, cold_lat) = round((0..clients).collect());
+    let cold_evaluated = jobs_counter(addr, "evaluated");
+    // Warm: the same requests again — all answered from the cache.
+    let hits_before = cache_hits(addr);
+    let (warm_wall, warm_lat) = round((0..clients).collect());
+    let warm_hits = cache_hits(addr) - hits_before;
+    let warm_evaluated = jobs_counter(addr, "evaluated");
+    // Coalesced: everyone submits one identical fresh request at once;
+    // in-flight coalescing must collapse the pile to a single evaluation.
+    let (co_wall, co_lat) = round(vec![clients + 1; clients]);
+    let co_evaluated = jobs_counter(addr, "evaluated") - warm_evaluated;
+    let co_count = jobs_counter(addr, "coalesced");
+
     let stats = handle.shutdown_and_drain();
-    let jobs = CLIENTS * DISTINCT;
     Ok(format!(
-        "  \"serve_throughput\": {{\"clients\": {CLIENTS}, \"jobs_per_round\": {jobs}, \
-         \"wall_ms_cold\": {}, \"wall_ms_warm\": {}, \"warm_cache_hits\": {warm_hits}, \
+        "  \"serve_throughput\": {{\"clients\": {clients}, {}, {}, {}, \
          \"dropped\": {}, \"drained_done\": {}}},\n",
-        ms(wall_cold),
-        ms(wall_warm),
+        row("cold", cold_wall, cold_lat, format!(", \"evaluated\": {cold_evaluated}")),
+        row("warm", warm_wall, warm_lat, format!(", \"cache_hits\": {warm_hits}")),
+        row(
+            "coalesced",
+            co_wall,
+            co_lat,
+            format!(", \"evaluated\": {co_evaluated}, \"coalesced\": {co_count}")
+        ),
         stats.rejected,
         stats.done
     ))
@@ -602,11 +654,18 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key}:\n{json}");
         }
-        // The service round trips 8 clients × 4 jobs twice: nothing may be
-        // dropped, and the warm round must be answered from the cache.
+        // The service rows: nothing may be dropped, the warm round must be
+        // answered entirely from the cache, and the coalesced round must
+        // collapse every concurrent identical submission onto exactly one
+        // evaluation.
         assert!(json.contains("\"dropped\": 0"), "{json}");
-        assert!(json.contains("\"warm_cache_hits\": 32"), "{json}");
-        assert!(json.contains("\"drained_done\": 64"), "{json}");
+        for row in ["\"cold\": {", "\"warm\": {", "\"coalesced\": {"] {
+            assert!(json.contains(row), "missing serve row {row}:\n{json}");
+        }
+        assert!(json.contains("\"cache_hits\": 16"), "{json}");
+        assert!(json.contains("\"evaluated\": 1,"), "{json}");
+        assert!(json.contains("\"p99_us\":"), "{json}");
+        assert!(json.contains("\"drained_done\": 48"), "{json}");
         // CSR and dense kernels run the same truncation, so they agree far
         // below solver tolerance, and the threaded simulation must be
         // bit-deterministic.

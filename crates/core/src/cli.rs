@@ -223,12 +223,14 @@ pub enum Command {
         budget: Budget,
     },
     /// `serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
-    /// [--queue-cap N] [--cache-capacity N]` — run the evaluation service
-    /// (handled by the `multival` binary in the `multival-svc` crate).
+    /// [--queue-cap N] [--cache-capacity N] [--journal DIR]
+    /// [--event-threads N]` — run the evaluation service (handled by the
+    /// `multival` binary in the `multival-svc` crate).
     Serve {
         /// Listen address.
         addr: String,
-        /// On-disk cache tier directory (`None` = in-memory cache only).
+        /// On-disk cache tier directory (`None` = in-memory cache only,
+        /// unless `--journal` supplies a default).
         cache_dir: Option<String>,
         /// Worker threads evaluating jobs.
         workers: usize,
@@ -236,6 +238,10 @@ pub enum Command {
         queue_cap: usize,
         /// In-memory cache entries per shard times shard count.
         cache_capacity: usize,
+        /// Crash-recovery journal directory (`None` = no durability).
+        journal: Option<String>,
+        /// Event-loop I/O threads sharing the listener.
+        event_threads: usize,
     },
     /// `walk <model.lot> [--steps N] [--seed S]` — random execution trace.
     Walk {
@@ -302,7 +308,8 @@ USAGE:
   multival refines  <IMP> <SPEC> [--weak]
   multival lint     <model.lot>
   multival serve    [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
-                    [--queue-cap N] [--cache-capacity N]
+                    [--queue-cap N] [--cache-capacity N] [--journal DIR]
+                    [--event-threads N]
 
 Inputs ending in .aut are read as Aldebaran LTSs, inputs ending in .blts as
 compact binary LTSs; anything else is parsed as mini-LOTOS. FORMULA is modal
@@ -686,6 +693,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut workers = 2usize;
             let mut queue_cap = 64usize;
             let mut cache_capacity = 256usize;
+            let mut journal = None;
+            let mut event_threads = 2usize;
             while let Some(a) = it.next() {
                 match a {
                     "--addr" => addr = next_value(&mut it, "--addr")?,
@@ -693,6 +702,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--workers" => workers = parse_flag(&mut it, a)?,
                     "--queue-cap" => queue_cap = parse_flag(&mut it, a)?,
                     "--cache-capacity" => cache_capacity = parse_flag(&mut it, a)?,
+                    "--journal" => journal = Some(next_value(&mut it, "--journal")?),
+                    "--event-threads" => event_threads = parse_flag(&mut it, a)?,
                     other => return Err(format!("unexpected argument `{other}`")),
                 }
             }
@@ -702,7 +713,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             if queue_cap == 0 {
                 return Err("--queue-cap must be at least 1".to_owned());
             }
-            Ok(Command::Serve { addr, cache_dir, workers, queue_cap, cache_capacity })
+            if event_threads == 0 {
+                return Err("--event-threads must be at least 1".to_owned());
+            }
+            Ok(Command::Serve {
+                addr,
+                cache_dir,
+                workers,
+                queue_cap,
+                cache_capacity,
+                journal,
+                event_threads,
+            })
         }
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }

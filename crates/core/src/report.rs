@@ -297,6 +297,10 @@ pub struct ServeStats {
     pub rejected: usize,
     /// Jobs cancelled before a worker picked them up.
     pub cancelled: usize,
+    /// Jobs coalesced behind an identical in-flight evaluation.
+    pub coalesced: usize,
+    /// Jobs replayed from the journal on startup.
+    pub recovered: usize,
     /// Result-cache hits (answers served without touching the engines).
     pub cache_hits: usize,
     /// Result-cache misses.
@@ -324,6 +328,8 @@ impl ServeStats {
         t.row_owned(vec!["jobs failed".into(), self.failed.to_string()]);
         t.row_owned(vec!["jobs rejected".into(), self.rejected.to_string()]);
         t.row_owned(vec!["jobs cancelled".into(), self.cancelled.to_string()]);
+        t.row_owned(vec!["jobs coalesced".into(), self.coalesced.to_string()]);
+        t.row_owned(vec!["jobs recovered".into(), self.recovered.to_string()]);
         t.row_owned(vec!["cache hits".into(), self.cache_hits.to_string()]);
         t.row_owned(vec!["cache misses".into(), self.cache_misses.to_string()]);
         t.row_owned(vec!["cache hit rate".into(), format!("{:.1}%", self.hit_rate() * 100.0)]);
@@ -490,6 +496,8 @@ mod tests {
             failed: 1,
             rejected: 2,
             cancelled: 1,
+            coalesced: 4,
+            recovered: 2,
             cache_hits: 3,
             cache_misses: 9,
             uptime: Duration::from_millis(2500),
@@ -497,6 +505,8 @@ mod tests {
         assert!((stats.hit_rate() - 0.25).abs() < 1e-12);
         let text = stats.render();
         assert!(text.contains("jobs accepted"), "{text}");
+        assert!(text.contains("jobs coalesced  4"), "{text}");
+        assert!(text.contains("jobs recovered  2"), "{text}");
         assert!(text.contains("cache hit rate  25.0%"), "{text}");
         assert!(text.contains("2.5 s"), "{text}");
         assert_eq!(ServeStats::default().hit_rate(), 0.0);

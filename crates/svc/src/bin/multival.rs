@@ -23,7 +23,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Command::Serve { addr, cache_dir, workers, queue_cap, cache_capacity } = &cmd {
+    if let Command::Serve {
+        addr,
+        cache_dir,
+        workers,
+        queue_cap,
+        cache_capacity,
+        journal,
+        event_threads,
+    } = &cmd
+    {
         return run_serve(&ServerConfig {
             addr: addr.clone(),
             workers: *workers,
@@ -31,6 +40,9 @@ fn main() -> ExitCode {
             cache_capacity: *cache_capacity,
             cache_dir: cache_dir.as_ref().map(std::path::PathBuf::from),
             mc_workers: 2,
+            event_threads: *event_threads,
+            journal_dir: journal.as_ref().map(std::path::PathBuf::from),
+            read_deadline: Duration::from_secs(10),
         });
     }
     match execute(&cmd) {

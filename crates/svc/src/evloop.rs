@@ -1,0 +1,386 @@
+//! `svc::evloop` — a readiness-based event loop over `poll(2)`.
+//!
+//! The serving core runs a handful of event threads, each owning a private
+//! set of nonblocking connections and sharing the nonblocking listener.
+//! Every thread polls `{listener} ∪ {its connections}`; readiness drives an
+//! incremental HTTP parser ([`crate::http::Parser`]) on reads and a
+//! partial-write cursor on writes, so thousands of concurrent connections
+//! cost a few file descriptors and zero dedicated threads.
+//!
+//! The `poll(2)` shim is a thin std-only `extern "C"` declaration (the
+//! same no-external-deps stance as the signal handling in the binary) —
+//! there is no epoll registration state to keep consistent, and at a few
+//! thousand descriptors per thread the O(n) scan is far from the
+//! bottleneck (evaluating jobs is).
+//!
+//! Slowloris defence lives here: every connection carries a read deadline;
+//! a client that has not produced a complete request by then gets `408
+//! Request Timeout` and the slot back, instead of holding it forever.
+
+use crate::http::{format_response, HttpRequest, Parser, Reply};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// The request handler: routes one parsed request to one reply. Shared by
+/// every event thread.
+pub type Handler = dyn Fn(&HttpRequest) -> Reply + Send + Sync;
+
+/// Per-connection knobs of the event loop.
+#[derive(Debug, Clone, Copy)]
+pub struct EvloopConfig {
+    /// A connection must deliver a complete request within this window or
+    /// be answered `408` (slowloris guard).
+    pub read_deadline: Duration,
+}
+
+impl Default for EvloopConfig {
+    fn default() -> EvloopConfig {
+        EvloopConfig { read_deadline: Duration::from_secs(10) }
+    }
+}
+
+/// Grace period granted to flush a response after it is ready.
+const WRITE_GRACE: Duration = Duration::from_secs(10);
+/// Longest poll sleep; bounds shutdown latency and deadline resolution.
+const MAX_POLL_MS: i32 = 50;
+
+#[cfg(unix)]
+mod sys {
+    //! The `poll(2)` syscall shim: one `#[repr(C)]` struct and one extern
+    //! declaration, nothing more.
+
+    use std::io;
+
+    /// Mirror of `struct pollfd`.
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct PollFd {
+        /// File descriptor to watch.
+        pub fd: i32,
+        /// Requested events (`POLLIN` / `POLLOUT`).
+        pub events: i16,
+        /// Kernel-reported ready events.
+        pub revents: i16,
+    }
+
+    /// Readable (or a pending accept on a listener).
+    pub const POLLIN: i16 = 0x001;
+    /// Writable without blocking.
+    pub const POLLOUT: i16 = 0x004;
+    /// Error condition (always reported, never requested).
+    pub const POLLERR: i16 = 0x008;
+    /// Peer hung up.
+    pub const POLLHUP: i16 = 0x010;
+
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    type Nfds = std::os::raw::c_ulong;
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    type Nfds = std::os::raw::c_uint;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: Nfds, timeout: std::os::raw::c_int) -> std::os::raw::c_int;
+    }
+
+    /// Blocks until a descriptor is ready or `timeout_ms` elapses.
+    /// `EINTR` is reported as zero ready descriptors, not an error.
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd mirrors for the duration of the call.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as Nfds, timeout_ms) };
+        if rc < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        Ok(rc as usize)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Accumulating request bytes through the incremental parser.
+    Reading,
+    /// Flushing the response buffer.
+    Writing,
+}
+
+struct Conn {
+    stream: TcpStream,
+    parser: Parser,
+    state: ConnState,
+    out: Vec<u8>,
+    written: usize,
+    deadline: Instant,
+}
+
+enum Step {
+    Keep,
+    Drop,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, now: Instant, config: &EvloopConfig) -> Conn {
+        Conn {
+            stream,
+            parser: Parser::default(),
+            state: ConnState::Reading,
+            out: Vec::new(),
+            written: 0,
+            deadline: now + config.read_deadline,
+        }
+    }
+
+    fn wants(&self) -> i16 {
+        match self.state {
+            ConnState::Reading => sys::POLLIN,
+            ConnState::Writing => sys::POLLOUT,
+        }
+    }
+
+    /// Moves to the writing state with a formatted reply queued.
+    fn respond(&mut self, reply: &Reply, now: Instant) {
+        self.out = format_response(reply);
+        self.written = 0;
+        self.state = ConnState::Writing;
+        self.deadline = now + WRITE_GRACE;
+    }
+
+    /// Drains readable bytes through the parser; may transition to
+    /// writing (a complete request or a protocol error).
+    fn on_readable(&mut self, handler: &Handler, now: Instant) -> Step {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Peer half-closed before completing a request; no
+                    // response can be delivered reliably.
+                    return Step::Drop;
+                }
+                Ok(n) => match self.parser.feed(&chunk[..n]) {
+                    Ok(Some(request)) => {
+                        let reply = handler(&request);
+                        self.respond(&reply, now);
+                        return self.on_writable();
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        self.respond(&Reply::new(e.status, error_body(&e.message)), now);
+                        return self.on_writable();
+                    }
+                },
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Step::Keep,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return Step::Drop,
+            }
+        }
+    }
+
+    /// Pushes response bytes until done or the socket would block.
+    fn on_writable(&mut self) -> Step {
+        while self.written < self.out.len() {
+            match self.stream.write(&self.out[self.written..]) {
+                Ok(0) => return Step::Drop,
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Step::Keep,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return Step::Drop,
+            }
+        }
+        let _ = self.stream.flush();
+        Step::Drop // one request per connection: close after the response
+    }
+
+    /// Deadline enforcement: a stalled reader gets `408`, a stalled
+    /// writer is dropped.
+    fn on_deadline(&mut self, now: Instant) -> Step {
+        match self.state {
+            ConnState::Reading => {
+                self.respond(
+                    &Reply::new(408, error_body("request not received within the read deadline")),
+                    now,
+                );
+                self.on_writable()
+            }
+            ConnState::Writing => Step::Drop,
+        }
+    }
+}
+
+fn error_body(message: &str) -> String {
+    crate::json::Json::Obj(vec![("error".to_owned(), crate::json::Json::str(message))]).to_string()
+}
+
+/// Runs one event thread until `shutdown` is set *and* its connections
+/// have drained. Many threads may run this concurrently over the same
+/// shared nonblocking listener — accepts race benignly (`WouldBlock`).
+#[cfg(unix)]
+pub fn run(
+    listener: &TcpListener,
+    handler: &Handler,
+    shutdown: &AtomicBool,
+    config: &EvloopConfig,
+) {
+    use std::os::unix::io::AsRawFd;
+
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut fds: Vec<sys::PollFd> = Vec::new();
+    loop {
+        let stopping = shutdown.load(Ordering::SeqCst);
+        if stopping && conns.is_empty() {
+            return;
+        }
+        fds.clear();
+        // Slot 0 is the listener (skipped once shutdown begins).
+        let watch_listener = !stopping;
+        if watch_listener {
+            fds.push(sys::PollFd { fd: listener.as_raw_fd(), events: sys::POLLIN, revents: 0 });
+        }
+        let now = Instant::now();
+        let mut timeout = MAX_POLL_MS;
+        for c in &conns {
+            let remaining = c.deadline.saturating_duration_since(now).as_millis() as i32;
+            timeout = timeout.min(remaining.max(1));
+            fds.push(sys::PollFd { fd: c.stream.as_raw_fd(), events: c.wants(), revents: 0 });
+        }
+        if sys::poll_fds(&mut fds, timeout).is_err() {
+            // A failed poll with live connections would spin; back off.
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+        let now = Instant::now();
+        // Process existing connections first (their indices line up with
+        // the pollfd slice), then accept — fresh connections are polled on
+        // the next iteration.
+        let base = usize::from(watch_listener);
+        let mut keep = Vec::with_capacity(conns.len());
+        for (i, mut c) in conns.drain(..).enumerate() {
+            let revents = fds[base + i].revents;
+            let step =
+                if revents & (sys::POLLERR | sys::POLLHUP) != 0 && c.state == ConnState::Reading {
+                    // Half-close with queued bytes still surfaces POLLIN; a
+                    // bare error/hangup on a reader is fatal.
+                    if revents & sys::POLLIN != 0 {
+                        c.on_readable(handler, now)
+                    } else {
+                        Step::Drop
+                    }
+                } else if revents & sys::POLLIN != 0 && c.state == ConnState::Reading {
+                    c.on_readable(handler, now)
+                } else if revents & (sys::POLLOUT | sys::POLLERR | sys::POLLHUP) != 0
+                    && c.state == ConnState::Writing
+                {
+                    c.on_writable()
+                } else if now >= c.deadline {
+                    c.on_deadline(now)
+                } else {
+                    Step::Keep
+                };
+            if matches!(step, Step::Keep) {
+                keep.push(c);
+            }
+        }
+        conns = keep;
+        if watch_listener && fds[0].revents & (sys::POLLIN | sys::POLLERR) != 0 {
+            accept_ready(listener, &mut conns, now, config);
+        }
+    }
+}
+
+/// Accepts every pending connection (until `WouldBlock`), making each
+/// nonblocking and registering it with a fresh parser and deadline.
+#[cfg(unix)]
+fn accept_ready(listener: &TcpListener, conns: &mut Vec<Conn>, now: Instant, cfg: &EvloopConfig) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_ok() {
+                    conns.push(Conn::new(stream, now, cfg));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn spawn_loop(
+        deadline: Duration,
+    ) -> (std::net::SocketAddr, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.set_nonblocking(true).expect("nonblocking");
+        let addr = listener.local_addr().expect("addr");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || {
+            let handler = |req: &HttpRequest| {
+                Reply::new(200, format!("{{\"echo\":\"{} {}\"}}", req.method, req.path))
+            };
+            run(&listener, &handler, &flag, &EvloopConfig { read_deadline: deadline });
+        });
+        (addr, shutdown, handle)
+    }
+
+    fn finish(shutdown: &AtomicBool, handle: std::thread::JoinHandle<()>) {
+        shutdown.store(true, Ordering::SeqCst);
+        handle.join().expect("event thread exits");
+    }
+
+    #[test]
+    fn serves_fragmented_requests() {
+        let (addr, shutdown, handle) = spawn_loop(Duration::from_secs(5));
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        // Dribble the request across writes with pauses: the incremental
+        // parser must assemble it.
+        for part in ["GET /v1/he", "althz HTT", "P/1.1\r\nHost: x", "\r\n\r\n"] {
+            stream.write_all(part.as_bytes()).expect("write");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.ends_with("{\"echo\":\"GET /v1/healthz\"}"), "{response}");
+        finish(&shutdown, handle);
+    }
+
+    #[test]
+    fn stalled_connection_gets_408_not_a_held_slot() {
+        let (addr, shutdown, handle) = spawn_loop(Duration::from_millis(150));
+        let mut stalled = TcpStream::connect(addr).expect("connect");
+        stalled.write_all(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 10\r\n\r\n").expect("write");
+        // ... and never send the body.
+        let mut response = String::new();
+        stalled.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 408 "), "{response}");
+
+        // The loop still serves a well-behaved client afterwards.
+        let mut ok = TcpStream::connect(addr).expect("connect");
+        ok.write_all(b"GET /ping HTTP/1.1\r\n\r\n").expect("write");
+        let mut response = String::new();
+        ok.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        finish(&shutdown, handle);
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_immediately() {
+        let (addr, shutdown, handle) = spawn_loop(Duration::from_secs(5));
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n")
+            .expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 413 "), "{response}");
+        finish(&shutdown, handle);
+    }
+}

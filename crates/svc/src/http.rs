@@ -1,9 +1,14 @@
-//! A deliberately small HTTP/1.1 codec: just enough to parse one request
-//! from a buffered stream and write one `Connection: close` JSON response.
+//! A deliberately small HTTP/1.1 codec built around an *incremental*
+//! parser state machine: bytes arrive in arbitrary fragments (the event
+//! loop reads whatever the socket has), and [`Parser::feed`] consumes them
+//! until one full request materializes.
 //!
 //! The server speaks one-request-per-connection (simple, robust under
 //! concurrent load tests) and enforces hard caps on header and body sizes
-//! so a misbehaving client cannot balloon memory.
+//! so a misbehaving client cannot balloon memory: oversized lines answer
+//! `431`, oversized bodies `413`, and a connection that stalls past its
+//! read deadline (a slowloris) gets `408` from the event loop instead of
+//! holding a slot forever.
 
 use std::io::{self, BufRead, Write};
 
@@ -41,67 +46,193 @@ impl HttpError {
     }
 }
 
-fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
-    let mut line = Vec::new();
-    let mut byte = [0u8; 1];
-    loop {
-        match reader.read(&mut byte) {
-            Ok(0) => break,
-            Ok(_) => {
-                if byte[0] == b'\n' {
-                    break;
-                }
-                line.push(byte[0]);
-                if line.len() > MAX_LINE {
-                    return Err(HttpError::new(431, "header line too long"));
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(HttpError::new(400, format!("read failed: {e}"))),
-        }
-    }
-    if line.last() == Some(&b'\r') {
-        line.pop();
-    }
-    String::from_utf8(line).map_err(|_| HttpError::new(400, "header is not UTF-8"))
+/// One response: status, extra headers (beyond the always-present
+/// `Content-Type`/`Content-Length`/`Connection: close`), and a JSON body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra response headers, e.g. `Retry-After` on `429`.
+    pub headers: Vec<(String, String)>,
+    /// JSON body.
+    pub body: String,
 }
 
-/// Reads and parses one request from `reader`.
+impl Reply {
+    /// A headerless reply.
+    #[must_use]
+    pub fn new(status: u16, body: impl Into<String>) -> Reply {
+        Reply { status, headers: Vec::new(), body: body.into() }
+    }
+
+    /// Adds one extra header.
+    #[must_use]
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Reply {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ParseState {
+    RequestLine,
+    Headers,
+    Body,
+    Done,
+}
+
+/// The incremental request parser: feed it byte fragments as they arrive;
+/// it yields the request once framing completes. Tolerates any split of
+/// the input — one byte at a time parses identically to one big read.
+#[derive(Debug)]
+pub struct Parser {
+    state: ParseState,
+    buf: Vec<u8>,
+    consumed: usize,
+    method: String,
+    path: String,
+    headers_seen: usize,
+    content_length: usize,
+}
+
+impl Default for Parser {
+    fn default() -> Parser {
+        Parser {
+            state: ParseState::RequestLine,
+            buf: Vec::new(),
+            consumed: 0,
+            method: String::new(),
+            path: String::new(),
+            headers_seen: 0,
+            content_length: 0,
+        }
+    }
+}
+
+impl Parser {
+    /// Whether any bytes have arrived yet (distinguishes an idle probe
+    /// connection from a stalled mid-request one when timing out).
+    #[must_use]
+    pub fn started(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Consumes one fragment. Returns `Ok(Some(_))` once the request is
+    /// complete, `Ok(None)` while more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`HttpError`] carrying the proper status code (400 for
+    /// malformed framing, 413 for oversized bodies, 431 for oversized
+    /// headers) as soon as the violation is visible — without waiting for
+    /// the rest of the request.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Option<HttpRequest>, HttpError> {
+        self.buf.extend_from_slice(bytes);
+        loop {
+            match self.state {
+                ParseState::RequestLine => {
+                    let Some(line) = self.take_line()? else { return Ok(None) };
+                    let mut parts = line.split_whitespace();
+                    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+                        return Err(HttpError::new(
+                            400,
+                            format!("malformed request line `{line}`"),
+                        ));
+                    };
+                    self.method = method.to_owned();
+                    self.path = path.to_owned();
+                    self.state = ParseState::Headers;
+                }
+                ParseState::Headers => {
+                    let Some(line) = self.take_line()? else { return Ok(None) };
+                    if line.is_empty() {
+                        self.state = ParseState::Body;
+                        continue;
+                    }
+                    self.headers_seen += 1;
+                    if self.headers_seen > MAX_HEADERS {
+                        return Err(HttpError::new(431, "too many headers"));
+                    }
+                    if let Some((name, value)) = line.split_once(':') {
+                        if name.eq_ignore_ascii_case("content-length") {
+                            self.content_length = value
+                                .trim()
+                                .parse()
+                                .map_err(|_| HttpError::new(400, "bad Content-Length"))?;
+                            if self.content_length > MAX_BODY {
+                                return Err(HttpError::new(413, "body too large"));
+                            }
+                        }
+                    }
+                }
+                ParseState::Body => {
+                    if self.buf.len() - self.consumed < self.content_length {
+                        return Ok(None);
+                    }
+                    let body_bytes = &self.buf[self.consumed..self.consumed + self.content_length];
+                    let body = String::from_utf8(body_bytes.to_vec())
+                        .map_err(|_| HttpError::new(400, "body is not UTF-8"))?;
+                    self.state = ParseState::Done;
+                    return Ok(Some(HttpRequest {
+                        method: std::mem::take(&mut self.method),
+                        path: std::mem::take(&mut self.path),
+                        body,
+                    }));
+                }
+                ParseState::Done => {
+                    return Err(HttpError::new(400, "request already complete"));
+                }
+            }
+        }
+    }
+
+    /// Extracts the next CRLF- (or bare-LF-) terminated line, or `None`
+    /// when the terminator has not arrived yet.
+    fn take_line(&mut self) -> Result<Option<String>, HttpError> {
+        let pending = &self.buf[self.consumed..];
+        let Some(nl) = pending.iter().position(|&b| b == b'\n') else {
+            if pending.len() > MAX_LINE {
+                return Err(HttpError::new(431, "header line too long"));
+            }
+            return Ok(None);
+        };
+        let mut line = &pending[..nl];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        if line.len() > MAX_LINE {
+            return Err(HttpError::new(431, "header line too long"));
+        }
+        let text = std::str::from_utf8(line)
+            .map_err(|_| HttpError::new(400, "header is not UTF-8"))?
+            .to_owned();
+        self.consumed += nl + 1;
+        Ok(Some(text))
+    }
+}
+
+/// Reads and parses one request from a blocking reader (the non-event-loop
+/// entry point, shared by tests and the portable fallback server).
 ///
 /// # Errors
 ///
-/// Returns an [`HttpError`] carrying the proper status code (400 for
-/// malformed framing, 413 for oversized bodies, 431 for oversized
-/// headers).
+/// Returns an [`HttpError`] carrying the proper status code.
 pub fn read_request(reader: &mut impl BufRead) -> Result<HttpRequest, HttpError> {
-    let request_line = read_line(reader)?;
-    let mut parts = request_line.split_whitespace();
-    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
-        return Err(HttpError::new(400, format!("malformed request line `{request_line}`")));
-    };
-    let mut content_length = 0usize;
-    for _ in 0..MAX_HEADERS {
-        let line = read_line(reader)?;
-        if line.is_empty() {
-            let mut body_bytes = vec![0u8; content_length];
-            reader
-                .read_exact(&mut body_bytes)
-                .map_err(|e| HttpError::new(400, format!("body truncated: {e}")))?;
-            let body = String::from_utf8(body_bytes)
-                .map_err(|_| HttpError::new(400, "body is not UTF-8"))?;
-            return Ok(HttpRequest { method: method.to_owned(), path: path.to_owned(), body });
+    let mut parser = Parser::default();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let n = match reader.read(&mut chunk) {
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::new(400, format!("read failed: {e}"))),
+        };
+        if n == 0 {
+            return Err(HttpError::new(400, "request truncated"));
         }
-        if let Some((name, value)) = line.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length =
-                    value.trim().parse().map_err(|_| HttpError::new(400, "bad Content-Length"))?;
-                if content_length > MAX_BODY {
-                    return Err(HttpError::new(413, "body too large"));
-                }
-            }
+        if let Some(req) = parser.feed(&chunk[..n])? {
+            return Ok(req);
         }
     }
-    Err(HttpError::new(431, "too many headers"))
 }
 
 fn reason(status: u16) -> &'static str {
@@ -112,6 +243,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
@@ -120,18 +252,35 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes one JSON response and flushes. Always `Connection: close`.
+/// Renders one complete JSON response (status line, headers, body) as the
+/// byte buffer the event loop writes incrementally. Always
+/// `Connection: close`.
+#[must_use]
+pub fn format_response(reply: &Reply) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        reply.status,
+        reason(reply.status),
+        reply.body.len(),
+    );
+    for (name, value) in &reply.headers {
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
+        out.push_str("\r\n");
+    }
+    out.push_str("Connection: close\r\n\r\n");
+    out.push_str(&reply.body);
+    out.into_bytes()
+}
+
+/// Writes one headerless JSON response and flushes.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures from the underlying stream.
 pub fn write_response(writer: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
-    write!(
-        writer,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        reason(status),
-        body.len(),
-    )?;
+    writer.write_all(&format_response(&Reply::new(status, body)))?;
     writer.flush()
 }
 
@@ -188,6 +337,55 @@ mod tests {
     }
 
     #[test]
+    fn byte_at_a_time_feed_matches_single_feed() {
+        let raw = "POST /v1/jobs HTTP/1.1\r\nHost: a\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        let mut whole = Parser::default();
+        let expected = whole.feed(raw.as_bytes()).expect("parses").expect("complete");
+        let mut dribble = Parser::default();
+        let mut got = None;
+        for b in raw.as_bytes() {
+            assert!(got.is_none(), "request completed early");
+            got = dribble.feed(std::slice::from_ref(b)).expect("parses");
+        }
+        assert_eq!(got.expect("complete at last byte"), expected);
+    }
+
+    #[test]
+    fn incremental_parser_reports_progress_and_violations_early() {
+        let mut p = Parser::default();
+        assert!(!p.started());
+        assert_eq!(p.feed(b"POST /v1/jobs HT").expect("partial"), None);
+        assert!(p.started());
+        assert_eq!(p.feed(b"TP/1.1\r\nContent-Le").expect("partial"), None);
+        // The oversized Content-Length is rejected the moment the header
+        // line completes, long before any body bytes arrive.
+        let err = p.feed(b"ngth: 99999999\r\n").expect_err("too big");
+        assert_eq!(err.status, 413);
+
+        // An endless header line is rejected without a terminator.
+        let mut p = Parser::default();
+        assert_eq!(p.feed(b"GET / HTTP/1.1\r\n").expect("line"), None);
+        let err = p.feed(&vec![b'x'; MAX_LINE + 2]).expect_err("unterminated line");
+        assert_eq!(err.status, 431);
+
+        // Too many headers.
+        let mut p = Parser::default();
+        p.feed(b"GET / HTTP/1.1\r\n").expect("line");
+        let mut err = None;
+        for i in 0..=MAX_HEADERS {
+            match p.feed(format!("H{i}: v\r\n").as_bytes()) {
+                Ok(None) => {}
+                Ok(Some(_)) => panic!("never completes"),
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(err.expect("rejected").status, 431);
+    }
+
+    #[test]
     fn response_has_length_and_close() {
         let mut out = Vec::new();
         write_response(&mut out, 200, "{\"ok\":true}").expect("writes");
@@ -196,5 +394,14 @@ mod tests {
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn formatted_reply_carries_extra_headers() {
+        let reply = Reply::new(429, "{\"error\":\"queue full\"}").with_header("Retry-After", "1");
+        let text = String::from_utf8(format_response(&reply)).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n\r\n{\"error\":\"queue full\"}"), "{text}");
     }
 }

@@ -8,10 +8,13 @@
 //! 2. [`cache`] — a sharded in-memory LRU tier over an optional on-disk
 //!    tier, keyed by canonical request bytes.
 //! 3. [`request`] + [`job`] — parsed job requests, the bounded submission
-//!    queue, the worker pool, cancellation, and graceful drain.
-//! 4. [`http`] + [`server`] — a std-only HTTP/1.1 JSON API
+//!    queue, the worker pool, in-flight coalescing, cancellation, and
+//!    graceful drain.
+//! 4. [`journal`] — the append-only, checksummed job journal that makes
+//!    accepted work survive a crash (`multival serve --journal`).
+//! 5. [`http`] + [`evloop`] + [`server`] — a std-only HTTP/1.1 JSON API
 //!    (`POST /v1/jobs`, `GET /v1/jobs/{id}`, `GET /v1/metrics`,
-//!    `GET /v1/healthz`).
+//!    `GET /v1/healthz`) served by a readiness-based `poll(2)` event loop.
 //!
 //! The crate also owns the `multival` binary: the service needs the whole
 //! flow facade, so the binary lives above `multival` (the core crate)
@@ -24,9 +27,12 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+#[cfg(unix)]
+pub mod evloop;
 pub mod hash;
 pub mod http;
 pub mod job;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod request;
@@ -34,5 +40,6 @@ pub mod server;
 
 pub use cache::{CacheStats, ResultCache};
 pub use job::{JobEngine, JobSnapshot, JobState, SubmitError};
+pub use journal::{Journal, Record};
 pub use request::JobRequest;
 pub use server::{serve, ServerConfig, ServerHandle};

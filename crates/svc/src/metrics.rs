@@ -67,14 +67,26 @@ impl Histogram {
 /// Job-lifecycle counters, shared between the engine and the HTTP layer.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    /// Jobs accepted into the queue (including cache-served ones).
+    /// Jobs accepted (queued + cache-served + coalesced + recovered).
     pub accepted: AtomicU64,
+    /// Accepted jobs that actually entered the evaluation queue.
+    pub queued: AtomicU64,
+    /// Accepted jobs served straight from the result cache (born done).
+    pub cache_served: AtomicU64,
+    /// Accepted jobs coalesced behind an identical in-flight evaluation.
+    pub coalesced: AtomicU64,
+    /// Jobs replayed from the journal on restart.
+    pub recovered: AtomicU64,
+    /// Evaluations actually executed by the worker pool.
+    pub evaluated: AtomicU64,
     /// Jobs finished successfully (including cache-served ones).
     pub done: AtomicU64,
     /// Jobs that failed.
     pub failed: AtomicU64,
-    /// Submissions rejected because the queue was full.
-    pub rejected: AtomicU64,
+    /// Submissions rejected because the bounded queue was full.
+    pub rejected_queue_full: AtomicU64,
+    /// Submissions rejected because the engine was shutting down.
+    pub rejected_shutdown: AtomicU64,
     /// Jobs cancelled while still queued.
     pub cancelled: AtomicU64,
     /// End-to-end latency (submit → finished), cache hits included.
@@ -90,6 +102,12 @@ impl Metrics {
     /// Relaxed increment of one counter.
     pub(crate) fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total rejections across all causes (the pre-split `rejected` view).
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        Metrics::get(&self.rejected_queue_full) + Metrics::get(&self.rejected_shutdown)
     }
 }
 
@@ -126,5 +144,14 @@ mod tests {
         Metrics::bump(&m.accepted);
         assert_eq!(Metrics::get(&m.accepted), 2);
         assert_eq!(Metrics::get(&m.failed), 0);
+    }
+
+    #[test]
+    fn rejected_sums_both_causes() {
+        let m = Metrics::default();
+        Metrics::bump(&m.rejected_queue_full);
+        Metrics::bump(&m.rejected_queue_full);
+        Metrics::bump(&m.rejected_shutdown);
+        assert_eq!(m.rejected(), 3);
     }
 }

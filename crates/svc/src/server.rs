@@ -1,5 +1,6 @@
-//! The HTTP server: a nonblocking accept loop, one short-lived thread per
-//! connection, and a tiny router over the job engine.
+//! The HTTP server: a readiness-based event loop (a few threads polling
+//! many nonblocking connections, see [`crate::evloop`]) and a tiny router
+//! over the job engine.
 //!
 //! Endpoints:
 //!
@@ -11,19 +12,25 @@
 //! | `GET /v1/metrics`    | Queue depth, counters, latency, cache stats   |
 //! | `GET /v1/healthz`    | Liveness probe                                |
 //!
-//! Shutdown is graceful: the accept loop stops, in-flight connections are
-//! joined, and the engine drains every accepted job before
+//! Backpressure is explicit: a full queue answers `429` with a
+//! `Retry-After` header and a structured error body. With `--journal` the
+//! engine runs over an append-only record log and a restart replays it —
+//! see [`crate::journal`].
+//!
+//! Shutdown is graceful: the event threads stop accepting, drain their
+//! connections, and the engine finishes every accepted job before
 //! [`ServerHandle::shutdown_and_drain`] returns its [`ServeStats`].
 
 use crate::cache::ResultCache;
-use crate::http::{read_request, write_response, HttpRequest};
+use crate::http::{HttpRequest, Reply};
 use crate::job::{JobEngine, JobState, SubmitError};
+use crate::journal::Journal;
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::request::JobRequest;
 pub use multival::report::ServeStats;
-use std::io::{self, BufReader};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -40,10 +47,18 @@ pub struct ServerConfig {
     pub queue_cap: usize,
     /// In-memory cache capacity (entries).
     pub cache_capacity: usize,
-    /// Optional on-disk cache tier.
+    /// Optional on-disk cache tier. Defaults to `<journal_dir>/cache` when
+    /// a journal is configured, so recovery always has a disk tier.
     pub cache_dir: Option<PathBuf>,
     /// Monte-Carlo worker threads inside each evaluation.
     pub mc_workers: usize,
+    /// Event-loop threads sharing the listener.
+    pub event_threads: usize,
+    /// Directory for the crash-recovery job journal (`None` disables it).
+    pub journal_dir: Option<PathBuf>,
+    /// Slowloris guard: a connection must deliver its request within this
+    /// window or be answered `408`.
+    pub read_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +70,9 @@ impl Default for ServerConfig {
             cache_capacity: 256,
             cache_dir: None,
             mc_workers: 2,
+            event_threads: 2,
+            journal_dir: None,
+            read_deadline: Duration::from_secs(10),
         }
     }
 }
@@ -63,6 +81,7 @@ struct Ctx {
     engine: JobEngine,
     cache: Arc<ResultCache>,
     metrics: Arc<Metrics>,
+    journal: Option<Arc<Journal>>,
     started: Instant,
 }
 
@@ -72,7 +91,7 @@ struct Ctx {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    event_threads: Vec<std::thread::JoinHandle<()>>,
     ctx: Arc<Ctx>,
 }
 
@@ -83,28 +102,31 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Flags the accept loop to stop; safe to call from a signal context
+    /// Flags the event loops to stop; safe to call from a signal context
     /// follow-up thread. Does not wait.
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
     }
 
-    /// Stops accepting, joins every in-flight connection, drains the job
+    /// Stops accepting, drains every in-flight connection, drains the job
     /// queue, and reports final statistics.
     pub fn shutdown_and_drain(mut self) -> ServeStats {
         self.request_shutdown();
-        if let Some(t) = self.accept_thread.take() {
+        for t in self.event_threads.drain(..) {
             let _ = t.join();
         }
         self.ctx.engine.shutdown_and_drain();
         let cache = self.ctx.cache.stats();
+        let m = &self.ctx.metrics;
         let count = |v: u64| usize::try_from(v).unwrap_or(usize::MAX);
         ServeStats {
-            accepted: count(Metrics::get(&self.ctx.metrics.accepted)),
-            done: count(Metrics::get(&self.ctx.metrics.done)),
-            failed: count(Metrics::get(&self.ctx.metrics.failed)),
-            rejected: count(Metrics::get(&self.ctx.metrics.rejected)),
-            cancelled: count(Metrics::get(&self.ctx.metrics.cancelled)),
+            accepted: count(Metrics::get(&m.accepted)),
+            done: count(Metrics::get(&m.done)),
+            failed: count(Metrics::get(&m.failed)),
+            rejected: count(m.rejected()),
+            cancelled: count(Metrics::get(&m.cancelled)),
+            coalesced: count(Metrics::get(&m.coalesced)),
+            recovered: count(Metrics::get(&m.recovered)),
             cache_hits: count(cache.hits()),
             cache_misses: count(cache.misses),
             uptime: self.ctx.started.elapsed(),
@@ -112,117 +134,171 @@ impl ServerHandle {
     }
 }
 
-/// Binds the listener and starts the accept loop and worker pool.
+/// Binds the listener and starts the event threads and worker pool. With
+/// `journal_dir` set, replays the journal first: completed jobs come back
+/// `done` from the disk cache; accepted-but-unfinished ones re-enqueue.
 ///
 /// # Errors
 ///
-/// Fails when the address cannot be bound or the cache directory cannot
-/// be created.
+/// Fails when the address cannot be bound, the cache directory cannot be
+/// created, or the journal cannot be opened.
 pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
-    let cache = Arc::new(ResultCache::new(config.cache_capacity.max(1), config.cache_dir.clone())?);
+    let cache_dir =
+        config.cache_dir.clone().or_else(|| config.journal_dir.as_ref().map(|d| d.join("cache")));
+    let cache = Arc::new(ResultCache::new(config.cache_capacity.max(1), cache_dir)?);
     let metrics = Arc::new(Metrics::default());
+    let (journal, replayed) = match &config.journal_dir {
+        Some(dir) => {
+            let (journal, replayed) = Journal::open(dir)?;
+            (Some(Arc::new(journal)), replayed)
+        }
+        None => (None, Vec::new()),
+    };
     let ctx = Arc::new(Ctx {
-        engine: JobEngine::new(
+        engine: JobEngine::with_journal(
             config.workers,
             config.queue_cap,
             config.mc_workers,
             Arc::clone(&cache),
             Arc::clone(&metrics),
+            journal.clone(),
+            replayed,
         ),
         cache,
         metrics,
+        journal,
         started: Instant::now(),
     });
     let shutdown = Arc::new(AtomicBool::new(false));
-    let accept_thread = {
-        let ctx = Arc::clone(&ctx);
-        let shutdown = Arc::clone(&shutdown);
-        std::thread::Builder::new()
-            .name("svc-accept".to_owned())
-            .spawn(move || accept_loop(&listener, &ctx, &shutdown))?
-    };
-    Ok(ServerHandle { addr, shutdown, accept_thread: Some(accept_thread), ctx })
+    let event_threads = spawn_event_threads(listener, config, &ctx, &shutdown)?;
+    Ok(ServerHandle { addr, shutdown, event_threads, ctx })
 }
 
-fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>, shutdown: &Arc<AtomicBool>) {
-    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let ctx = Arc::clone(ctx);
-                if let Ok(handle) = std::thread::Builder::new()
-                    .name("svc-conn".to_owned())
-                    .spawn(move || handle_connection(stream, &ctx))
-                {
-                    connections.push(handle);
+#[cfg(unix)]
+fn spawn_event_threads(
+    listener: TcpListener,
+    config: &ServerConfig,
+    ctx: &Arc<Ctx>,
+    shutdown: &Arc<AtomicBool>,
+) -> io::Result<Vec<std::thread::JoinHandle<()>>> {
+    let evcfg = crate::evloop::EvloopConfig { read_deadline: config.read_deadline };
+    (0..config.event_threads.max(1))
+        .map(|i| {
+            let listener = listener.try_clone()?;
+            let ctx = Arc::clone(ctx);
+            let shutdown = Arc::clone(shutdown);
+            std::thread::Builder::new().name(format!("svc-evloop-{i}")).spawn(move || {
+                let handler = move |req: &HttpRequest| route(req, &ctx);
+                crate::evloop::run(&listener, &handler, &shutdown, &evcfg);
+            })
+        })
+        .collect()
+}
+
+/// Portable fallback (non-unix targets have no `poll(2)` shim): blocking
+/// one-thread-per-connection serving with the same router and limits.
+#[cfg(not(unix))]
+fn spawn_event_threads(
+    listener: TcpListener,
+    config: &ServerConfig,
+    ctx: &Arc<Ctx>,
+    shutdown: &Arc<AtomicBool>,
+) -> io::Result<Vec<std::thread::JoinHandle<()>>> {
+    let read_deadline = config.read_deadline;
+    let ctx = Arc::clone(ctx);
+    let shutdown = Arc::clone(shutdown);
+    let accept = std::thread::Builder::new().name("svc-accept".to_owned()).spawn(move || {
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let ctx = Arc::clone(&ctx);
+                    if let Ok(handle) = std::thread::Builder::new()
+                        .name("svc-conn".to_owned())
+                        .spawn(move || handle_connection_blocking(stream, &ctx, read_deadline))
+                    {
+                        connections.push(handle);
+                    }
                 }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            connections.retain(|c| !c.is_finished());
         }
-        connections.retain(|c| !c.is_finished());
-    }
-    for c in connections {
-        let _ = c.join();
-    }
+        for c in connections {
+            let _ = c.join();
+        }
+    })?;
+    Ok(vec![accept])
 }
 
-fn handle_connection(stream: TcpStream, ctx: &Ctx) {
-    // A stalled client must not wedge the connection thread forever.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+#[cfg(not(unix))]
+fn handle_connection_blocking(
+    stream: std::net::TcpStream,
+    ctx: &Ctx,
+    read_deadline: Duration,
+) -> () {
+    use crate::http::{format_response, read_request};
+    use std::io::Write;
+
+    let _ = stream.set_read_timeout(Some(read_deadline));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_nonblocking(false);
-    let mut reader = BufReader::new(match stream.try_clone() {
+    let mut reader = std::io::BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
     let mut writer = stream;
-    let (status, body) = match read_request(&mut reader) {
+    let reply = match read_request(&mut reader) {
         Ok(req) => route(&req, ctx),
-        Err(e) => (e.status, error_body(&e.message)),
+        Err(e) => Reply::new(e.status, error_body(&e.message)),
     };
-    let _ = write_response(&mut writer, status, &body);
+    let _ = writer.write_all(&format_response(&reply));
+    let _ = writer.flush();
 }
 
 fn error_body(message: &str) -> String {
     Json::Obj(vec![("error".to_owned(), Json::str(message))]).to_string()
 }
 
-fn route(req: &HttpRequest, ctx: &Ctx) -> (u16, String) {
+fn route(req: &HttpRequest, ctx: &Ctx) -> Reply {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/jobs") => submit(req, ctx),
-        ("GET", "/v1/healthz") => (200, "{\"status\":\"ok\"}".to_owned()),
-        ("GET", "/v1/metrics") => (200, metrics_body(ctx)),
+        ("GET", "/v1/healthz") => Reply::new(200, "{\"status\":\"ok\"}"),
+        ("GET", "/v1/metrics") => Reply::new(200, metrics_body(ctx)),
         (method, path) => {
             if let Some(id) = path.strip_prefix("/v1/jobs/").and_then(|s| s.parse::<u64>().ok()) {
                 match method {
                     "GET" => job_status(id, ctx),
                     "DELETE" => {
                         let cancelled = ctx.engine.cancel(id);
-                        (
+                        Reply::new(
                             200,
                             Json::Obj(vec![("cancelled".to_owned(), Json::Bool(cancelled))])
                                 .to_string(),
                         )
                     }
-                    _ => (405, error_body("use GET or DELETE on /v1/jobs/{id}")),
+                    _ => Reply::new(405, error_body("use GET or DELETE on /v1/jobs/{id}")),
                 }
             } else {
-                (404, error_body(&format!("no route for {method} {path}")))
+                Reply::new(404, error_body(&format!("no route for {method} {path}")))
             }
         }
     }
 }
 
-fn submit(req: &HttpRequest, ctx: &Ctx) -> (u16, String) {
+/// Seconds a `429`-rejected client is told to wait before retrying.
+const RETRY_AFTER_SECS: u64 = 1;
+
+fn submit(req: &HttpRequest, ctx: &Ctx) -> Reply {
     let parsed = match JobRequest::from_json_text(&req.body) {
         Ok(p) => p,
-        Err(message) => return (400, error_body(&message)),
+        Err(message) => return Reply::new(400, error_body(&message)),
     };
     match ctx.engine.submit(parsed) {
         Ok(id) => {
@@ -233,20 +309,27 @@ fn submit(req: &HttpRequest, ctx: &Ctx) -> (u16, String) {
                 ("status".to_owned(), Json::str(snap.state.name())),
             ])
             .to_string();
-            (status, body)
+            Reply::new(status, body)
         }
-        Err(SubmitError::QueueFull) => (429, error_body("queue full; retry later")),
-        Err(SubmitError::ShuttingDown) => (503, error_body("shutting down")),
+        Err(SubmitError::QueueFull) => {
+            let body = Json::Obj(vec![
+                ("error".to_owned(), Json::str("queue full; retry later")),
+                ("retry_after_secs".to_owned(), Json::num(RETRY_AFTER_SECS as f64)),
+            ])
+            .to_string();
+            Reply::new(429, body).with_header("Retry-After", RETRY_AFTER_SECS.to_string())
+        }
+        Err(SubmitError::ShuttingDown) => Reply::new(503, error_body("shutting down")),
     }
 }
 
 /// The `GET /v1/jobs/{id}` body deliberately excludes the job id (it is in
 /// the URL) and the cache-hit flag (visible in `/v1/metrics` instead), so
-/// identical requests yield *byte-identical* bodies whether computed or
-/// cached.
-fn job_status(id: u64, ctx: &Ctx) -> (u16, String) {
+/// identical requests yield *byte-identical* bodies whether computed,
+/// cached, coalesced, or recovered from the journal.
+fn job_status(id: u64, ctx: &Ctx) -> Reply {
     let Some(snap) = ctx.engine.status(id) else {
-        return (404, error_body(&format!("no job {id}")));
+        return Reply::new(404, error_body(&format!("no job {id}")));
     };
     let body = match snap.state {
         JobState::Done => format!(
@@ -260,22 +343,36 @@ fn job_status(id: u64, ctx: &Ctx) -> (u16, String) {
         .to_string(),
         other => format!("{{\"status\":\"{}\"}}", other.name()),
     };
-    (200, body)
+    Reply::new(200, body)
 }
 
 fn metrics_body(ctx: &Ctx) -> String {
     let m = &ctx.metrics;
     let c = ctx.cache.stats();
     let counter = |v: u64| Json::num(v as f64);
+    let journal = match &ctx.journal {
+        Some(j) => Json::Obj(vec![
+            ("records_appended".to_owned(), counter(j.records_appended())),
+            ("fsyncs".to_owned(), counter(j.fsyncs())),
+        ]),
+        None => Json::Null,
+    };
     Json::Obj(vec![
         ("queue_depth".to_owned(), counter(ctx.engine.queue_depth() as u64)),
         (
             "jobs".to_owned(),
             Json::Obj(vec![
                 ("accepted".to_owned(), counter(Metrics::get(&m.accepted))),
+                ("queued".to_owned(), counter(Metrics::get(&m.queued))),
+                ("cache_served".to_owned(), counter(Metrics::get(&m.cache_served))),
+                ("coalesced".to_owned(), counter(Metrics::get(&m.coalesced))),
+                ("recovered".to_owned(), counter(Metrics::get(&m.recovered))),
+                ("evaluated".to_owned(), counter(Metrics::get(&m.evaluated))),
                 ("done".to_owned(), counter(Metrics::get(&m.done))),
                 ("failed".to_owned(), counter(Metrics::get(&m.failed))),
-                ("rejected".to_owned(), counter(Metrics::get(&m.rejected))),
+                ("rejected".to_owned(), counter(m.rejected())),
+                ("rejected_queue_full".to_owned(), counter(Metrics::get(&m.rejected_queue_full))),
+                ("rejected_shutdown".to_owned(), counter(Metrics::get(&m.rejected_shutdown))),
                 ("cancelled".to_owned(), counter(Metrics::get(&m.cancelled))),
             ]),
         ),
@@ -299,6 +396,7 @@ fn metrics_body(ctx: &Ctx) -> String {
                 ("resident".to_owned(), counter(c.resident)),
             ]),
         ),
+        ("journal".to_owned(), journal),
     ])
     .to_string()
 }

@@ -1,0 +1,164 @@
+//! Crash-recovery test of the `multival serve --journal` path: a real
+//! subprocess is SIGKILLed mid-queue and restarted over the same journal
+//! directory; previously accepted jobs must reach a terminal state under
+//! their original ids with byte-identical results.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const EXPLORE: &str = r#"{"kind":"explore","model":{"builtin":"xstream_pipeline"}}"#;
+const QUEUED: &str = r#"{"kind":"explore","model":{"builtin":"xstream_pipeline"},"seed":7}"#;
+/// Slow enough (9^5 = 59049 explored states, over a second of wall
+/// clock) that the SIGKILL below lands while it is still evaluating.
+const BLOCKER: &str = r#"{"kind":"explore","model":{"source":"process Queue[enq, deq](n: int 0..8, c: int 1..8) := [n < c] -> enq; Queue[enq, deq](n + 1, c) [] [n > 0] -> deq; Queue[enq, deq](n - 1, c) endproc behaviour Queue[a, b](0, 8) ||| Queue[c, d](0, 8) ||| Queue[e, f](0, 8) ||| Queue[g, h](0, 8) ||| Queue[i, j](0, 8)"},"seed":5}"#;
+
+fn spawn_serve(journal: &std::path::Path) -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_multival"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--journal",
+            journal.to_str().expect("utf-8 temp path"),
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("listening line");
+    let addr = line
+        .trim()
+        .rsplit("http://")
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| panic!("no address in {line:?}"));
+    (child, addr)
+}
+
+fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    raw
+}
+
+fn body_of(raw: &str) -> String {
+    raw.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default()
+}
+
+fn submit(addr: SocketAddr, request: &str) -> u64 {
+    let raw = exchange(addr, "POST", "/v1/jobs", request);
+    let body = body_of(&raw);
+    body.split("\"id\":")
+        .nth(1)
+        .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("submit failed: {raw}"))
+}
+
+/// Polls one job id until it reports `done`, returning the final body.
+fn poll_done(addr: SocketAddr, id: u64) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let body = body_of(&exchange(addr, "GET", &format!("/v1/jobs/{id}"), ""));
+        if body.contains("\"status\":\"done\"") {
+            return body;
+        }
+        assert!(
+            !body.contains("\"status\":\"failed\"") && !body.contains("\"status\":\"cancelled\""),
+            "job {id} reached a wrong terminal state: {body}"
+        );
+        assert!(Instant::now() < deadline, "job {id} stuck: {body}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn wait_state(addr: SocketAddr, id: u64, state: &str) {
+    let needle = format!("\"status\":\"{state}\"");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let body = body_of(&exchange(addr, "GET", &format!("/v1/jobs/{id}"), ""));
+        if body.contains(&needle) {
+            return;
+        }
+        assert!(
+            body.contains("\"status\":\"queued\"") || body.contains("\"status\":\"running\""),
+            "job {id} terminated before it reached {state}: {body}"
+        );
+        assert!(Instant::now() < deadline, "job {id} never reached {state}: {body}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn sigkill_mid_queue_then_restart_recovers_all_jobs() {
+    let dir = std::env::temp_dir().join("multival-journal-recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    // First incarnation: finish one job, pin the single worker on a slow
+    // one, queue a third behind it — then pull the plug with SIGKILL (no
+    // drain, no flush beyond the acknowledged fsyncs).
+    let (mut child, addr) = spawn_serve(&dir);
+    let done_id = submit(addr, EXPLORE);
+    let done_body = poll_done(addr, done_id);
+    let blocker_id = submit(addr, BLOCKER);
+    wait_state(addr, blocker_id, "running");
+    let queued_id = submit(addr, QUEUED);
+    child.kill().expect("SIGKILL");
+    let _ = child.wait();
+
+    // Second incarnation over the same journal directory: every accepted
+    // job is visible again under its original id.
+    let (mut child, addr) = spawn_serve(&dir);
+    let recovered = body_of(&exchange(addr, "GET", &format!("/v1/jobs/{done_id}"), ""));
+    assert_eq!(recovered, done_body, "finished job survives the crash byte-identically");
+    // The interrupted and the queued job re-run to completion.
+    let blocker_body = poll_done(addr, blocker_id);
+    let queued_body = poll_done(addr, queued_id);
+    assert!(blocker_body.contains("\"result\":"), "{blocker_body}");
+    child.kill().expect("stop recovered server");
+    let _ = child.wait();
+
+    // Reference run on a journal-less server: the recovered results must
+    // be byte-identical to an independent evaluation of the same requests.
+    let reference = {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_multival"))
+            .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("serve starts");
+        let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("listening line");
+        let addr: SocketAddr = line
+            .trim()
+            .rsplit("http://")
+            .next()
+            .and_then(|a| a.parse().ok())
+            .unwrap_or_else(|| panic!("no address in {line:?}"));
+        let ids = [submit(addr, EXPLORE), submit(addr, QUEUED)];
+        let bodies = [poll_done(addr, ids[0]), poll_done(addr, ids[1])];
+        child.kill().expect("stop reference server");
+        let _ = child.wait();
+        bodies
+    };
+    assert_eq!(done_body, reference[0], "recovered done body matches a fresh evaluation");
+    assert_eq!(queued_body, reference[1], "re-run queued job matches a fresh evaluation");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
