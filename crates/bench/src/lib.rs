@@ -1,6 +1,7 @@
 //! # multival-bench — the experiment harness
 //!
-//! One module per experiment of the reproduction (E1–E9, see DESIGN.md §5);
+//! One module per experiment of the reproduction (E1–E9 and E13, see
+//! DESIGN.md §5);
 //! each returns rendered tables so the `experiments` binary can print them
 //! and the Criterion benches can reuse the underlying workloads.
 

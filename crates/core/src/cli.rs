@@ -4,9 +4,10 @@
 //! The logic lives here (testable); `src/bin/multival.rs` is a thin wrapper.
 
 use crate::budget::Budget;
-use crate::flow::Flow;
+use crate::flow::{BoundsSolved, Flow, Interval, Solved};
 use crate::report::{
-    fmt_f, FlyStats, ParStats, ReduceStageRow, ReduceStats, SimStats, StoreReport, Table,
+    fmt_f, BoundsReport, BoundsRow, BoundsVerdict, FlyStats, ParStats, ReduceStageRow, ReduceStats,
+    SimStats, StoreReport, Table,
 };
 use multival_ctmc::McOptions;
 use multival_imc::to_ctmc::NondetPolicy;
@@ -126,12 +127,21 @@ pub enum Command {
         mem_budget: Option<usize>,
     },
     /// `check <model.lot|lts.aut> <formula> [--max-states N]
-    /// [--timeout-secs T] [--on-the-fly]` — μ-calculus model checking.
+    /// [--timeout-secs T] [--on-the-fly]` — μ-calculus model checking; with
+    /// `--rate GATE=λ` the formula is a performance predicate instead,
+    /// evaluated under the `--scheduler` treatment of nondeterminism.
     Check {
         /// Input model or LTS path.
         input: String,
-        /// Formula text.
+        /// Formula text (μ-calculus, or a measure predicate in performance
+        /// mode).
         formula: String,
+        /// Gate → exponential rate; non-empty selects performance mode.
+        rates: Vec<(String, f64)>,
+        /// Throughput probes kept visible through the conversion.
+        probes: Vec<String>,
+        /// Treatment of internal nondeterminism in performance mode.
+        scheduler: Scheduler,
         /// Decide fragment formulas by a short-circuiting search instead of
         /// the eager fixpoint evaluator.
         on_the_fly: bool,
@@ -221,6 +231,9 @@ pub enum Command {
         /// State-count / wall-clock budget (cap on exploration; deadline
         /// checked between simulation batches).
         budget: Budget,
+        /// `Bounds` adds the per-state occupancy interval over all
+        /// schedulers next to the sampled estimates.
+        scheduler: Scheduler,
     },
     /// `serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
     /// [--queue-cap N] [--cache-capacity N] [--journal DIR]
@@ -270,6 +283,22 @@ pub enum Command {
     Help,
 }
 
+/// How the performance side treats internal (τ) nondeterminism left after
+/// lumping: one concrete resolution, or quantification over all schedulers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Resolve every τ-choice uniformly at random (the historical
+    /// single-number answer).
+    #[default]
+    Uniform,
+    /// Guaranteed worst case: the infimum over all schedulers.
+    Min,
+    /// Best case: the supremum over all schedulers.
+    Max,
+    /// The full `[min, max]` interval over all schedulers.
+    Bounds,
+}
+
 /// Comparison relation for `compare`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Relation {
@@ -293,6 +322,8 @@ USAGE:
                     [--store hash|arena|spill] [--mem-budget BYTES]
   multival check    <model.lot|lts.aut> <FORMULA> [--max-states N]
                     [--timeout-secs T] [--on-the-fly]
+                    [--rate GATE=RATE ...] [--probe GATE ...]
+                    [--scheduler min|max|bounds|uniform]
   multival minimize <model.lot|lts.aut> [--eq strong|branching] [--aut OUT]
   multival reduce   <model.lot> [--eq strong|branching] [--order smart|given|seed:N]
                     [--aut OUT] [--blts OUT] [--checkpoint DIR] [--threads N]
@@ -304,6 +335,7 @@ USAGE:
                     [--horizon T] [--time T] [--trajectories N] [--seed S]
                     [--threads N] [--rel-width W] [--confidence C]
                     [--max-states N] [--timeout-secs T]
+                    [--scheduler uniform|bounds]
   multival walk     <model.lot> [--steps N] [--seed S]
   multival refines  <IMP> <SPEC> [--weak]
   multival lint     <model.lot>
@@ -314,6 +346,18 @@ USAGE:
 Inputs ending in .aut are read as Aldebaran LTSs, inputs ending in .blts as
 compact binary LTSs; anything else is parsed as mini-LOTOS. FORMULA is modal
 mu-calculus, e.g. 'nu X. <true> true and [true] X'.
+
+check with --rate enters performance mode: FORMULA is then a measure
+predicate — throughput(GATE), occupancy(STATE,...), latency(STATE,...), or
+transient(STATE,... @ TIME) compared with >= or <= — evaluated on the
+model's Markov semantics (states are functional state ids). --scheduler
+picks how internal nondeterminism left after hiding is treated: uniform
+resolves every choice uniformly (one number), min/max answer with the
+guaranteed worst/best case over all schedulers, and bounds reports the full
+[min, max] interval. The verdict is NO VERDICT (exit 2) exactly when the
+interval straddles the threshold. simulate --scheduler bounds prints the
+per-state occupancy interval over all schedulers next to the sampled
+estimates, which must fall inside it.
 
 --store picks the state-dedup backend for explore/reduce: `hash` retains a
 term per state (the classic layout), `arena` packs state keys into a
@@ -417,20 +461,46 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut positional = Vec::new();
             let mut on_the_fly = false;
             let mut budget = Budget::default();
+            let mut rates = Vec::new();
+            let mut probes = Vec::new();
+            let mut scheduler = None;
             while let Some(a) = it.next() {
                 match a {
                     "--on-the-fly" => on_the_fly = true,
                     "--max-states" => budget.max_states = Some(parse_flag(&mut it, a)?),
                     "--timeout-secs" => budget = budget.with_timeout_secs(parse_flag(&mut it, a)?),
+                    "--rate" => rates.push(parse_rate(&next_value(&mut it, "--rate")?)?),
+                    "--probe" => probes.push(next_value(&mut it, "--probe")?),
+                    "--scheduler" => {
+                        scheduler = Some(parse_scheduler(&next_value(&mut it, "--scheduler")?)?)
+                    }
                     other => positional.push(other.to_owned()),
                 }
             }
             if positional.len() != 2 {
                 return Err("check needs a model path and a formula".to_owned());
             }
+            if rates.is_empty() && (scheduler.is_some() || !probes.is_empty()) {
+                return Err("--scheduler/--probe select the performance side of check; \
+                            add at least one --rate GATE=RATE"
+                    .to_owned());
+            }
+            if on_the_fly && !rates.is_empty() {
+                return Err("--on-the-fly applies to mu-calculus check; performance \
+                            predicates need the materialized Markov model"
+                    .to_owned());
+            }
             let formula = positional.pop().expect("len 2");
             let input = positional.pop().expect("len 1");
-            Ok(Command::Check { input, formula, on_the_fly, budget })
+            Ok(Command::Check {
+                input,
+                formula,
+                rates,
+                probes,
+                scheduler: scheduler.unwrap_or_default(),
+                on_the_fly,
+                budget,
+            })
         }
         Some("minimize") => {
             let mut input = None;
@@ -581,15 +651,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut probes = Vec::new();
             while let Some(a) = it.next() {
                 match a {
-                    "--rate" => {
-                        let spec = next_value(&mut it, "--rate")?;
-                        let (gate, rate) = spec
-                            .split_once('=')
-                            .ok_or_else(|| format!("--rate `{spec}` must be GATE=RATE"))?;
-                        let rate: f64 =
-                            rate.parse().map_err(|_| format!("invalid rate in `{spec}`"))?;
-                        rates.push((gate.to_owned(), rate));
-                    }
+                    "--rate" => rates.push(parse_rate(&next_value(&mut it, "--rate")?)?),
                     "--probe" => probes.push(next_value(&mut it, "--probe")?),
                     other if input.is_none() => input = Some(other.to_owned()),
                     other => return Err(format!("unexpected argument `{other}`")),
@@ -612,17 +674,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut rel_width = 0.05f64;
             let mut confidence = 0.99f64;
             let mut budget = Budget::default();
+            let mut scheduler = Scheduler::Uniform;
             while let Some(a) = it.next() {
                 match a {
-                    "--rate" => {
-                        let spec = next_value(&mut it, "--rate")?;
-                        let (gate, rate) = spec
-                            .split_once('=')
-                            .ok_or_else(|| format!("--rate `{spec}` must be GATE=RATE"))?;
-                        let rate: f64 =
-                            rate.parse().map_err(|_| format!("invalid rate in `{spec}`"))?;
-                        rates.push((gate.to_owned(), rate));
-                    }
+                    "--rate" => rates.push(parse_rate(&next_value(&mut it, "--rate")?)?),
                     "--probe" => probes.push(next_value(&mut it, "--probe")?),
                     "--horizon" => {
                         horizon = next_value(&mut it, "--horizon")?
@@ -663,6 +718,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     }
                     "--max-states" => budget.max_states = Some(parse_flag(&mut it, a)?),
                     "--timeout-secs" => budget = budget.with_timeout_secs(parse_flag(&mut it, a)?),
+                    "--scheduler" => {
+                        scheduler = parse_scheduler(&next_value(&mut it, "--scheduler")?)?
+                    }
                     other if input.is_none() => input = Some(other.to_owned()),
                     other => return Err(format!("unexpected argument `{other}`")),
                 }
@@ -672,6 +730,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             if !(confidence > 0.0 && confidence < 1.0) {
                 return Err("--confidence must lie in (0, 1)".to_owned());
+            }
+            if matches!(scheduler, Scheduler::Min | Scheduler::Max) {
+                return Err("simulate samples one concrete resolution; --scheduler min|max \
+                            have no sampling semantics (use bounds here, or `check`)"
+                    .to_owned());
             }
             Ok(Command::Simulate {
                 input: input.ok_or("simulate needs a model path")?,
@@ -685,6 +748,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 rel_width,
                 confidence,
                 budget,
+                scheduler,
             })
         }
         Some("serve") => {
@@ -740,6 +804,27 @@ fn parse_order(value: &str) -> Result<multival_lts::pipeline::Order, String> {
             Some(seed) => Ok(Order::Seeded(seed)),
             None => Err(format!("unknown order `{other}` (expected smart, given, or seed:N)")),
         },
+    }
+}
+
+/// Parses a `--rate` value: `GATE=RATE`.
+fn parse_rate(spec: &str) -> Result<(String, f64), String> {
+    let (gate, rate) =
+        spec.split_once('=').ok_or_else(|| format!("--rate `{spec}` must be GATE=RATE"))?;
+    let rate: f64 = rate.parse().map_err(|_| format!("invalid rate in `{spec}`"))?;
+    Ok((gate.to_owned(), rate))
+}
+
+/// Parses a `--scheduler` value: `min`, `max`, `bounds`, or `uniform`.
+fn parse_scheduler(value: &str) -> Result<Scheduler, String> {
+    match value {
+        "uniform" => Ok(Scheduler::Uniform),
+        "min" => Ok(Scheduler::Min),
+        "max" => Ok(Scheduler::Max),
+        "bounds" => Ok(Scheduler::Bounds),
+        other => {
+            Err(format!("unknown scheduler `{other}` (expected min, max, bounds, or uniform)"))
+        }
     }
 }
 
@@ -811,6 +896,290 @@ fn check_on_the_fly(input: &str, formula: &str) -> Result<Option<String>, Box<dy
     };
     out.push_str(&stats.render());
     Ok(Some(out))
+}
+
+/// A performance measure named in a `check` predicate. State arguments are
+/// functional state ids of the pre-decoration LTS.
+#[derive(Debug, Clone, PartialEq)]
+enum Measure {
+    /// Long-run throughput of a probe gate.
+    Throughput(String),
+    /// Long-run fraction of time spent in a set of functional states.
+    Occupancy(Vec<u32>),
+    /// Expected time to first reach a set of functional states.
+    Latency(Vec<u32>),
+    /// Probability of reaching a set of functional states by a deadline.
+    Transient(Vec<u32>, f64),
+}
+
+impl fmt::Display for Measure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let join = |ids: &[u32]| ids.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(",");
+        match self {
+            Measure::Throughput(gate) => write!(f, "throughput({gate})"),
+            Measure::Occupancy(ids) => write!(f, "occupancy({})", join(ids)),
+            Measure::Latency(ids) => write!(f, "latency({})", join(ids)),
+            Measure::Transient(ids, t) => write!(f, "transient({} @ {t})", join(ids)),
+        }
+    }
+}
+
+/// Comparison direction of a performance predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cmp {
+    /// `>=`.
+    Ge,
+    /// `<=`.
+    Le,
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Cmp::Ge => ">=",
+            Cmp::Le => "<=",
+        })
+    }
+}
+
+/// A parsed performance predicate: `MEASURE >= V` or `MEASURE <= V`.
+#[derive(Debug, Clone, PartialEq)]
+struct PerfPredicate {
+    measure: Measure,
+    cmp: Cmp,
+    threshold: f64,
+}
+
+impl PerfPredicate {
+    /// Three-valued verdict of a scheduler interval against the threshold:
+    /// `TRUE`/`FALSE` when every scheduler agrees, `NO VERDICT` when the
+    /// interval straddles it.
+    fn verdict(&self, i: &Interval) -> BoundsVerdict {
+        match self.cmp {
+            Cmp::Ge if i.min >= self.threshold => BoundsVerdict::True,
+            Cmp::Ge if i.max < self.threshold => BoundsVerdict::False,
+            Cmp::Le if i.max <= self.threshold => BoundsVerdict::True,
+            Cmp::Le if i.min > self.threshold => BoundsVerdict::False,
+            _ => BoundsVerdict::NoVerdict,
+        }
+    }
+}
+
+/// Parses a performance predicate, e.g. `throughput(push) >= 0.5`,
+/// `occupancy(1,2) <= 0.8`, `latency(3) <= 2`, `transient(3 @ 0.5) >= 0.9`.
+fn parse_perf_predicate(text: &str) -> Result<PerfPredicate, String> {
+    let (lhs, cmp, rhs) = if let Some((l, r)) = text.split_once(">=") {
+        (l, Cmp::Ge, r)
+    } else if let Some((l, r)) = text.split_once("<=") {
+        (l, Cmp::Le, r)
+    } else {
+        return Err(format!(
+            "performance predicate `{text}` must compare a measure with >= or <=, \
+             e.g. `throughput(push) >= 0.5`"
+        ));
+    };
+    let threshold: f64 =
+        rhs.trim().parse().map_err(|_| format!("invalid threshold `{}`", rhs.trim()))?;
+    let lhs = lhs.trim();
+    let (name, args) = lhs
+        .split_once('(')
+        .and_then(|(n, a)| a.strip_suffix(')').map(|a| (n.trim(), a.trim())))
+        .ok_or_else(|| format!("measure `{lhs}` must be NAME(ARGS), e.g. `latency(3)`"))?;
+    let measure = match name {
+        "throughput" => {
+            if args.is_empty() || args.contains(',') {
+                return Err("throughput takes exactly one probe gate".to_owned());
+            }
+            Measure::Throughput(args.to_owned())
+        }
+        "occupancy" => Measure::Occupancy(parse_state_ids(args)?),
+        "latency" => Measure::Latency(parse_state_ids(args)?),
+        "transient" => {
+            let (ids, t) = args.split_once('@').ok_or_else(|| {
+                "transient needs a deadline: `transient(STATE,... @ TIME)`".to_owned()
+            })?;
+            let time: f64 = t.trim().parse().map_err(|_| format!("invalid time `{}`", t.trim()))?;
+            if time < 0.0 {
+                return Err("transient time must be nonnegative".to_owned());
+            }
+            Measure::Transient(parse_state_ids(ids)?, time)
+        }
+        other => {
+            return Err(format!(
+                "unknown measure `{other}` (expected throughput, occupancy, latency, or transient)"
+            ))
+        }
+    };
+    Ok(PerfPredicate { measure, cmp, threshold })
+}
+
+/// Parses a comma-separated, non-empty list of functional state ids.
+fn parse_state_ids(args: &str) -> Result<Vec<u32>, String> {
+    let ids: Vec<u32> = args
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse::<u32>().map_err(|_| format!("invalid state id `{s}`")))
+        .collect::<Result<_, _>>()?;
+    if ids.is_empty() {
+        return Err("at least one functional state id is required".to_owned());
+    }
+    Ok(ids)
+}
+
+/// Evaluates a measure on a concretely resolved CTMC.
+fn eval_measure(solved: &Solved, measure: &Measure) -> Result<f64, Box<dyn Error>> {
+    Ok(match measure {
+        Measure::Throughput(gate) => solved
+            .throughputs()?
+            .into_iter()
+            .find(|(name, _)| name == gate)
+            .map(|(_, tp)| tp)
+            .ok_or_else(|| format!("probe `{gate}` was not converted"))?,
+        Measure::Occupancy(ids) => solved.occupancy(ids)?,
+        Measure::Latency(ids) => solved.mean_time_to_states(ids)?,
+        Measure::Transient(ids, t) => solved.timed_reach(ids, *t)?,
+    })
+}
+
+/// Evaluates a measure's `[min, max]` interval over all schedulers.
+fn eval_measure_bounds(
+    bounds: &BoundsSolved,
+    measure: &Measure,
+) -> Result<Interval, Box<dyn Error>> {
+    Ok(match measure {
+        Measure::Throughput(gate) => bounds
+            .throughput_bounds()?
+            .into_iter()
+            .find(|(name, _)| name == gate)
+            .map(|(_, i)| i)
+            .ok_or_else(|| format!("probe `{gate}` was not converted"))?,
+        Measure::Occupancy(ids) => bounds.occupancy_bounds(ids)?,
+        Measure::Latency(ids) => bounds.latency_bounds(ids)?,
+        Measure::Transient(ids, t) => bounds.transient_bounds(ids, *t)?,
+    })
+}
+
+/// Runs `check` in performance mode (any `--rate` present): the formula is
+/// a measure predicate, decided under the selected scheduler treatment.
+/// `NO VERDICT` (exit 2) exactly when the `[min, max]` interval straddles
+/// the threshold, so neither verdict holds for all schedulers.
+fn check_performance(
+    input: &str,
+    predicate: &str,
+    rates: &[(String, f64)],
+    probes: &[String],
+    scheduler: Scheduler,
+    budget: &Budget,
+) -> Result<CmdOut, Box<dyn Error>> {
+    let pred = parse_perf_predicate(predicate)?;
+    let mut probes: Vec<String> = probes.to_vec();
+    if let Measure::Throughput(gate) = &pred.measure {
+        if !probes.iter().any(|p| p == gate) {
+            probes.push(gate.clone());
+        }
+    }
+    let lts = match load_budgeted(input, budget)? {
+        Ok(lts) => lts,
+        Err((partial, err)) => {
+            return Ok(CmdOut::with_status(
+                format!(
+                    "Budget exceeded: {err}\n\
+                     NO VERDICT: the measure needs the full state space \
+                     ({} states explored)\n",
+                    partial.num_states()
+                ),
+                CmdStatus::BudgetExceeded,
+            ));
+        }
+    };
+    let rate_map: HashMap<String, f64> = rates.iter().cloned().collect();
+    let perf = Flow::from_lts(lts).with_rates(&rate_map);
+    let probe_refs: Vec<&str> = probes.iter().map(String::as_str).collect();
+    let mut out = String::new();
+    let interval = if scheduler == Scheduler::Uniform {
+        let solved = perf.solve(NondetPolicy::Uniform, &probe_refs)?;
+        let _ = writeln!(out, "ctmc states: {}", solved.ctmc().num_states());
+        let v = eval_measure(&solved, &pred.measure)?;
+        Interval { min: v, max: v }
+    } else {
+        let bounds = perf.solve_bounds(&probe_refs)?;
+        let mdp = bounds.mdp();
+        let instant = (0..mdp.num_states()).filter(|&s| mdp.is_instant(s)).count();
+        let _ = writeln!(out, "ctmdp states: {} ({instant} instant)", mdp.num_states());
+        let full = eval_measure_bounds(&bounds, &pred.measure)?;
+        match scheduler {
+            Scheduler::Min => Interval { min: full.min, max: full.min },
+            Scheduler::Max => Interval { min: full.max, max: full.max },
+            _ => full,
+        }
+    };
+    let verdict = pred.verdict(&interval);
+    let report = BoundsReport {
+        rows: vec![BoundsRow {
+            measure: pred.measure.to_string(),
+            interval,
+            verdict: Some((format!("{} {}", pred.cmp, fmt_f(pred.threshold)), verdict)),
+        }],
+        point: scheduler != Scheduler::Bounds,
+    };
+    out.push_str(&report.render());
+    let status = if verdict == BoundsVerdict::NoVerdict {
+        let _ = writeln!(
+            out,
+            "NO VERDICT: the [min, max] interval straddles the threshold; \
+             the answer depends on the scheduler"
+        );
+        CmdStatus::NotConverged
+    } else {
+        CmdStatus::Ok
+    };
+    Ok(CmdOut::with_status(out, status))
+}
+
+/// Renders the per-state occupancy `[min, max]` over all schedulers next to
+/// the uniform-resolution sampled estimates, which must fall inside (the
+/// statistical leg of the sandwich property).
+fn occupancy_bounds_table(
+    solved: &Solved,
+    bounds: &BoundsSolved,
+    run: &multival_ctmc::McRun,
+    slack: f64,
+) -> Result<String, Box<dyn Error>> {
+    // Invert the CTMC state map: tangible states survive both conversions,
+    // so the originating IMC index keys the CTMDP occupancy query.
+    let map = &solved.conversion().state_map;
+    let mut source = vec![None; solved.ctmc().num_states()];
+    for (imc, &c) in map.iter().enumerate() {
+        if let Some(c) = c {
+            source[c] = Some(imc as u32);
+        }
+    }
+    let mut out =
+        String::from("occupancy scheduler bounds (sampled estimates must fall inside):\n");
+    let mut t = Table::new(&["state", "min", "max", "simulated", "inside bounds"]);
+    let mut agree = 0usize;
+    let shown = source.len().min(20);
+    for (s, src) in source.iter().enumerate().take(shown) {
+        let src = src.ok_or("internal: CTMC state without an IMC source")?;
+        let i = bounds.occupancy_bounds(&[src])?;
+        let e = &run.estimates[s];
+        let inside = i.contains(e.mean, e.half_width + slack);
+        agree += usize::from(inside);
+        t.row_owned(vec![
+            s.to_string(),
+            format!("{:.6}", i.min),
+            format!("{:.6}", i.max),
+            format!("{:.6}", e.mean),
+            if inside { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    out.push_str(&t.render());
+    if source.len() > shown {
+        let _ = writeln!(out, "... ({} states total)", source.len());
+    }
+    let _ = writeln!(out, "bounds agreement: {agree}/{shown} estimates inside [min, max]");
+    Ok(out)
 }
 
 /// Determinizes one `compare --on-the-fly` input: a `.aut` file via its
@@ -1012,7 +1381,10 @@ pub fn execute(cmd: &Command) -> Result<CmdOut, Box<dyn Error>> {
             }
             Ok(CmdOut::with_status(out, status))
         }
-        Command::Check { input, formula, on_the_fly, budget } => {
+        Command::Check { input, formula, rates, probes, scheduler, on_the_fly, budget } => {
+            if !rates.is_empty() {
+                return check_performance(input, formula, rates, probes, *scheduler, budget);
+            }
             if *on_the_fly {
                 if let Some(out) = check_on_the_fly(input, formula)? {
                     return Ok(out.into());
@@ -1267,11 +1639,13 @@ pub fn execute(cmd: &Command) -> Result<CmdOut, Box<dyn Error>> {
             rel_width,
             confidence,
             budget,
+            scheduler,
         } => {
             let flow = Flow::from_lts(load(input, budget.max_states_or(1_000_000))?);
             let rate_map: HashMap<String, f64> = rates.iter().cloned().collect();
             let probe_refs: Vec<&str> = probes.iter().map(String::as_str).collect();
-            let solved = flow.with_rates(&rate_map).solve(NondetPolicy::Uniform, &probe_refs)?;
+            let perf = flow.with_rates(&rate_map);
+            let solved = perf.solve(NondetPolicy::Uniform, &probe_refs)?;
             let workers = if *threads == 0 { Workers::auto() } else { Workers::new(*threads) };
             // One wall-clock budget covers the whole invocation, so both
             // sampling runs share the same absolute deadline.
@@ -1315,6 +1689,10 @@ pub fn execute(cmd: &Command) -> Result<CmdOut, Box<dyn Error>> {
                 out.push_str(&comparison_table(&exact, &run_t, opts.abs_width));
                 out.push_str(&SimStats::from(&run_t).render());
                 account(&run_t, &mut out);
+            }
+            if *scheduler == Scheduler::Bounds {
+                let bounds = perf.solve_bounds(&probe_refs)?;
+                out.push_str(&occupancy_bounds_table(&solved, &bounds, &run, opts.abs_width)?);
             }
             if status == CmdStatus::NotConverged {
                 let _ = writeln!(
@@ -1462,6 +1840,9 @@ mod tests {
         let out = execute(&Command::Check {
             input: model.clone(),
             formula: "mu X. <\"b\"> true or <true> X".into(),
+            rates: Vec::new(),
+            probes: Vec::new(),
+            scheduler: Scheduler::Uniform,
             on_the_fly: true,
             budget: Budget::default(),
         })
@@ -1474,6 +1855,9 @@ mod tests {
         let out = execute(&Command::Check {
             input: model.clone(),
             formula: "<\"a\"> true".into(),
+            rates: Vec::new(),
+            probes: Vec::new(),
+            scheduler: Scheduler::Uniform,
             on_the_fly: true,
             budget: Budget::default(),
         })
@@ -1579,6 +1963,193 @@ mod tests {
     }
 
     #[test]
+    fn parses_check_performance_flags() {
+        let cmd = parse_args(&args(&[
+            "check",
+            "m.lot",
+            "throughput(done) >= 2",
+            "--rate",
+            "fast=4",
+            "--rate",
+            "slow=1",
+            "--probe",
+            "done",
+            "--scheduler",
+            "bounds",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Check { formula, rates, probes, scheduler, .. } => {
+                assert_eq!(formula, "throughput(done) >= 2");
+                assert_eq!(rates.len(), 2);
+                assert_eq!(probes, vec!["done"]);
+                assert_eq!(scheduler, Scheduler::Bounds);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Scheduler/probe flags imply performance mode, which needs rates.
+        assert!(parse_args(&args(&["check", "m.lot", "f", "--scheduler", "min"])).is_err());
+        assert!(parse_args(&args(&["check", "m.lot", "f", "--probe", "g"])).is_err());
+        // Unknown scheduler values are rejected.
+        assert!(parse_args(&args(&[
+            "check",
+            "m.lot",
+            "f",
+            "--rate",
+            "a=1",
+            "--scheduler",
+            "median"
+        ]))
+        .is_err());
+        // Performance mode conflicts with --on-the-fly.
+        assert!(
+            parse_args(&args(&["check", "m.lot", "f", "--rate", "a=1", "--on-the-fly"])).is_err()
+        );
+        // simulate rejects one-sided schedulers; bounds parses.
+        assert!(parse_args(&args(&["simulate", "m.lot", "--rate", "a=1", "--scheduler", "min"]))
+            .is_err());
+        let cmd =
+            parse_args(&args(&["simulate", "m.lot", "--rate", "a=1", "--scheduler", "bounds"]))
+                .expect("parses");
+        assert!(matches!(cmd, Command::Simulate { scheduler: Scheduler::Bounds, .. }));
+    }
+
+    #[test]
+    fn parses_perf_predicates() {
+        let p = parse_perf_predicate("throughput(push) >= 0.5").expect("parses");
+        assert_eq!(p.measure, Measure::Throughput("push".into()));
+        assert_eq!(p.cmp, Cmp::Ge);
+        assert_eq!(p.threshold, 0.5);
+        assert_eq!(p.measure.to_string(), "throughput(push)");
+
+        let p = parse_perf_predicate("occupancy(1, 2) <= 0.8").expect("parses");
+        assert_eq!(p.measure, Measure::Occupancy(vec![1, 2]));
+        assert_eq!(p.cmp, Cmp::Le);
+
+        let p = parse_perf_predicate("latency(3) <= 2").expect("parses");
+        assert_eq!(p.measure, Measure::Latency(vec![3]));
+
+        let p = parse_perf_predicate("transient(3,4 @ 0.5) >= 0.9").expect("parses");
+        assert_eq!(p.measure, Measure::Transient(vec![3, 4], 0.5));
+        assert_eq!(p.measure.to_string(), "transient(3,4 @ 0.5)");
+
+        assert!(parse_perf_predicate("throughput(push) == 1").is_err());
+        assert!(parse_perf_predicate("speed(push) >= 1").is_err());
+        assert!(parse_perf_predicate("throughput(a,b) >= 1").is_err());
+        assert!(parse_perf_predicate("occupancy() >= 1").is_err());
+        assert!(parse_perf_predicate("transient(1) >= 0.5").is_err());
+        assert!(parse_perf_predicate("latency(x) <= 2").is_err());
+        assert!(parse_perf_predicate("latency(1) <= fast").is_err());
+    }
+
+    /// Two τ-guarded service paths: after hiding, the initial state picks
+    /// internally between an exp(4) and an exp(1) round, each ending in the
+    /// (instantaneous) probe `done`.
+    const ARBITER: &str = "process Arb[pa, pb, fast, slow, done] :=
+            pa; fast; done; Arb[pa, pb, fast, slow, done]
+         [] pb; slow; done; Arb[pa, pb, fast, slow, done]
+         endproc
+         behaviour Arb[pa, pb, fast, slow, done]";
+
+    #[test]
+    fn check_performance_quantifies_schedulers() {
+        let dir = std::env::temp_dir().join("multival-cli-test8");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let model = dir.join("arbiter.lot");
+        std::fs::write(&model, ARBITER).expect("write");
+        let model = model.to_string_lossy().into_owned();
+
+        let check = |formula: &str, scheduler: Scheduler| {
+            execute(&Command::Check {
+                input: model.clone(),
+                formula: formula.into(),
+                rates: vec![("fast".to_owned(), 4.0), ("slow".to_owned(), 1.0)],
+                probes: vec!["done".to_owned()],
+                scheduler,
+                on_the_fly: false,
+                budget: Budget::default(),
+            })
+            .expect("check")
+        };
+
+        // Uniform resolution: mean round 0.5·(1/4) + 0.5·1 → throughput 1.6.
+        let out = check("throughput(done) >= 2", Scheduler::Uniform);
+        assert_eq!(out.status, CmdStatus::Ok);
+        assert!(out.contains("FALSE"), "{out}");
+        assert!(out.contains("1.6000"), "{out}");
+
+        // Worst case 1, best case 4: the interval straddles 2 → exit 2.
+        let out = check("throughput(done) >= 2", Scheduler::Bounds);
+        assert_eq!(out.status, CmdStatus::NotConverged);
+        assert!(out.contains("NO VERDICT"), "{out}");
+        assert!(out.contains("1.0000"), "{out}");
+        assert!(out.contains("4.0000"), "{out}");
+        assert!(out.contains("ctmdp states:"), "{out}");
+
+        // One-sided quantification gives a definite verdict on each side.
+        let out = check("throughput(done) >= 2", Scheduler::Min);
+        assert_eq!(out.status, CmdStatus::Ok);
+        assert!(out.contains("FALSE"), "{out}");
+        let out = check("throughput(done) >= 2", Scheduler::Max);
+        assert!(out.contains("TRUE"), "{out}");
+
+        // A threshold below the whole interval holds for every scheduler.
+        let out = check("throughput(done) >= 0.5", Scheduler::Bounds);
+        assert_eq!(out.status, CmdStatus::Ok);
+        assert!(out.contains("TRUE"), "{out}");
+    }
+
+    #[test]
+    fn check_performance_measures_on_a_deterministic_model() {
+        let dir = std::env::temp_dir().join("multival-cli-test9");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let model = dir.join("buf.lot");
+        std::fs::write(
+            &model,
+            "process Buf[put, get](full: bool) :=
+                 [not full] -> put; Buf[put, get](true)
+              [] [full] -> get; Buf[put, get](false)
+             endproc
+             behaviour Buf[put, get](false)",
+        )
+        .expect("write");
+        let model = model.to_string_lossy().into_owned();
+
+        let check = |formula: &str, scheduler: Scheduler| {
+            execute(&Command::Check {
+                input: model.clone(),
+                formula: formula.into(),
+                rates: vec![("put".to_owned(), 2.0), ("get".to_owned(), 1.0)],
+                probes: Vec::new(),
+                scheduler,
+                on_the_fly: false,
+                budget: Budget::default(),
+            })
+            .expect("check")
+        };
+
+        // Functional state 1 (full) holds exp(1): occupied 2/3 of the time.
+        let out = check("occupancy(1) >= 0.5", Scheduler::Uniform);
+        assert!(out.contains("TRUE"), "{out}");
+        assert!(out.contains("0.6667"), "{out}");
+        // No nondeterminism: the interval is a point with the same verdict.
+        let out = check("occupancy(1) >= 0.5", Scheduler::Bounds);
+        assert_eq!(out.status, CmdStatus::Ok);
+        assert!(out.contains("TRUE"), "{out}");
+
+        // Expected first fill takes 1/put = 0.5.
+        let out = check("latency(1) <= 0.6", Scheduler::Bounds);
+        assert!(out.contains("TRUE"), "{out}");
+        assert!(out.contains("0.5000"), "{out}");
+
+        // P(full by t = 0.3) = 1 − e^{−0.6} ≈ 0.4512.
+        let out = check("transient(1 @ 0.3) >= 0.5", Scheduler::Bounds);
+        assert!(out.contains("FALSE"), "{out}");
+        let out = check("transient(1 @ 0.3) >= 0.4", Scheduler::Uniform);
+        assert!(out.contains("TRUE"), "{out}");
+    }
+
+    #[test]
     fn simulate_executes_and_is_thread_invariant() {
         let dir = std::env::temp_dir().join("multival-cli-test5");
         std::fs::create_dir_all(&dir).expect("mkdir");
@@ -1607,6 +2178,7 @@ mod tests {
                 rel_width: 0.05,
                 confidence: 0.99,
                 budget: Budget::default(),
+                scheduler: Scheduler::Bounds,
             })
             .expect("simulate")
         };
@@ -1616,6 +2188,11 @@ mod tests {
         assert!(out.contains("transient vs uniformization"), "{out}");
         // Every estimate must agree with the numerical answer.
         assert!(out.contains("agreement: 2/2"), "{out}");
+        // --scheduler bounds adds the interval cross-check; a deterministic
+        // model collapses it onto the steady state, and the sampled
+        // estimates must fall inside.
+        assert!(out.contains("occupancy scheduler bounds"), "{out}");
+        assert!(out.contains("bounds agreement: 2/2"), "{out}");
         assert!(!out.contains("NO"), "{out}");
 
         // Estimates depend on the seed only: threads=4 gives bit-identical
@@ -1979,6 +2556,9 @@ mod tests {
             let out = execute(&Command::Check {
                 input: input.clone(),
                 formula: "nu X. <true> true and [true] X".into(),
+                rates: Vec::new(),
+                probes: Vec::new(),
+                scheduler: Scheduler::Uniform,
                 on_the_fly: false,
                 budget: Budget::default(),
             })

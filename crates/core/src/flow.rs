@@ -11,11 +11,14 @@
 //! ```
 
 use multival_ctmc::absorb::mean_time_to_target;
+use multival_ctmc::mdp::Opt;
 use multival_ctmc::steady::{steady_state, SolveOptions};
 use multival_ctmc::{McOptions, McRun, McSim};
 use multival_imc::decorate::{decorate, decorate_by_label};
 use multival_imc::phase_type::Delay;
-use multival_imc::to_ctmc::{probe_throughputs, to_ctmc, CtmcConversion, NondetPolicy};
+use multival_imc::to_ctmc::{
+    probe_throughputs, to_ctmc, to_ctmdp_lifted, CtmcConversion, CtmdpConversion, NondetPolicy,
+};
 use multival_imc::Imc;
 use multival_lts::analysis::{deadlock_witness, Trace};
 use multival_lts::equiv::{compare_determinized, determinize_ts, Determinized, Verdict};
@@ -335,17 +338,33 @@ impl PerfFlow {
     /// Propagates conversion errors (visible labels, nondeterminism under
     /// the chosen policy, timelocks).
     pub fn solve(&self, policy: NondetPolicy, probes: &[&str]) -> Result<Solved, FlowError> {
-        // Hide everything that is not a probe.
+        let conv = to_ctmc(&self.closed(probes), policy, probes)?;
+        Ok(Solved { conv })
+    }
+
+    /// Converts to a CTMDP keeping internal nondeterminism as scheduler
+    /// choices: every measure of the resulting [`BoundsSolved`] is a
+    /// `[min, max]` interval over all schedulers — the quantified answer
+    /// where [`PerfFlow::solve`] with [`NondetPolicy::Reject`] errors out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion errors (visible labels, timelocks).
+    pub fn solve_bounds(&self, probes: &[&str]) -> Result<BoundsSolved, FlowError> {
+        let conv = to_ctmdp_lifted(&self.closed(probes), probes)?;
+        Ok(BoundsSolved { conv })
+    }
+
+    /// Hides everything that is not a probe.
+    fn closed(&self, probes: &[&str]) -> Imc {
         let keep: Vec<String> = probes.iter().map(|s| s.to_string()).collect();
-        let hidden = multival_imc::ops::relabel(&self.imc, |name| {
+        multival_imc::ops::relabel(&self.imc, |name| {
             if keep.iter().any(|p| p == name) {
                 Some(name.to_owned())
             } else {
                 None
             }
-        });
-        let conv = to_ctmc(&hidden, policy, probes)?;
-        Ok(Solved { conv })
+        })
     }
 }
 
@@ -398,6 +417,23 @@ impl Solved {
         Ok(mean_time_to_target(&self.conv.ctmc, &targets, &SolveOptions::default())?)
     }
 
+    /// Long-run fraction of time spent in the given functional states —
+    /// the CTMC reference measure for [`BoundsSolved::occupancy_bounds`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn occupancy(&self, functional: &[u32]) -> Result<f64, FlowError> {
+        let pi = self.steady_state()?;
+        let mut states: Vec<usize> = functional
+            .iter()
+            .filter_map(|&s| self.conv.state_map.get(s as usize).copied().flatten())
+            .collect();
+        states.sort_unstable();
+        states.dedup();
+        Ok(states.iter().map(|&c| pi[c]).sum())
+    }
+
     /// Transient (time `t`) distribution — the numerical counterpart of
     /// [`Self::simulate_transient`].
     ///
@@ -445,6 +481,190 @@ impl Solved {
             .filter_map(|&s| self.conv.state_map.get(s as usize).copied().flatten())
             .collect();
         self.simulator().hitting_time(&targets, time_cap, opts)
+    }
+
+    /// Probability that the chain has reached any of the given functional
+    /// states within time `t` (CSL bounded reachability) — the CTMC
+    /// reference measure for [`BoundsSolved::transient_bounds`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn timed_reach(&self, functional: &[u32], t: f64) -> Result<f64, FlowError> {
+        let mut is_target = vec![false; self.conv.ctmc.num_states()];
+        for &f in functional {
+            if let Some(Some(c)) = self.conv.state_map.get(f as usize) {
+                is_target[*c] = true;
+            }
+        }
+        Ok(multival_ctmc::csl::bounded_reach(
+            &self.conv.ctmc,
+            |s| is_target[s],
+            t,
+            &multival_ctmc::TransientOptions::default(),
+        )?)
+    }
+}
+
+/// A `[min, max]` interval over all schedulers of a nondeterministic model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Best case over schedulers (for "larger is better" measures, the
+    /// guaranteed floor is `min`).
+    pub min: f64,
+    /// Worst case over schedulers.
+    pub max: f64,
+}
+
+impl Interval {
+    /// The spread between the two scheduler extremes.
+    pub fn width(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Whether `x` lies inside the interval (with slack `tol` on both
+    /// sides) — every concrete scheduler resolution must.
+    pub fn contains(&self, x: f64, tol: f64) -> bool {
+        self.min - tol <= x && x <= self.max + tol
+    }
+
+    /// Whether a threshold falls strictly between the extremes, so neither
+    /// `TRUE` nor `FALSE` holds for all schedulers (`NO VERDICT`).
+    pub fn straddles(&self, threshold: f64) -> bool {
+        self.min < threshold && threshold < self.max
+    }
+}
+
+/// Value-iteration tolerance for bounds measures.
+const BOUNDS_TOL: f64 = 1e-12;
+/// Iteration cap for bounds value iteration.
+const BOUNDS_MAX_ITERS: usize = 1_000_000;
+
+/// A performance model solved for scheduler bounds: each measure answers
+/// with an [`Interval`] covering every scheduler, instead of one number
+/// under one arbitrary resolution.
+#[derive(Debug, Clone)]
+pub struct BoundsSolved {
+    conv: CtmdpConversion,
+}
+
+impl BoundsSolved {
+    /// The underlying CTMDP.
+    pub fn mdp(&self) -> &multival_ctmc::Ctmdp {
+        &self.conv.mdp
+    }
+
+    /// The conversion record (state maps, probe impulses).
+    pub fn conversion(&self) -> &CtmdpConversion {
+        &self.conv
+    }
+
+    /// Maps functional state ids to CTMDP states (through eliminated
+    /// deterministic τ-chains).
+    fn targets(&self, functional: &[u32]) -> Vec<usize> {
+        let mut ts: Vec<usize> = functional
+            .iter()
+            .filter_map(|&s| self.conv.resolved.get(s as usize).copied())
+            .collect();
+        ts.sort_unstable();
+        ts.dedup();
+        ts
+    }
+
+    /// Long-run throughput interval of every probe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (including the Zeno guard).
+    pub fn throughput_bounds(&self) -> Result<Vec<(String, Interval)>, FlowError> {
+        let zeros = vec![0.0; self.conv.mdp.num_states()];
+        self.conv
+            .probe_impulse
+            .iter()
+            .map(|(name, imp)| {
+                let min = self.conv.mdp.long_run_average(
+                    &zeros,
+                    Some(imp),
+                    Opt::Min,
+                    BOUNDS_TOL,
+                    BOUNDS_MAX_ITERS,
+                )?;
+                let max = self.conv.mdp.long_run_average(
+                    &zeros,
+                    Some(imp),
+                    Opt::Max,
+                    BOUNDS_TOL,
+                    BOUNDS_MAX_ITERS,
+                )?;
+                Ok((name.clone(), Interval { min, max }))
+            })
+            .collect()
+    }
+
+    /// Long-run occupancy interval of a set of functional states (fraction
+    /// of time spent there — queue-fill levels, functional modes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn occupancy_bounds(&self, functional: &[u32]) -> Result<Interval, FlowError> {
+        let mut reward = vec![0.0; self.conv.mdp.num_states()];
+        for &f in functional {
+            if let Some(Some(c)) = self.conv.state_map.get(f as usize) {
+                reward[*c] = 1.0;
+            }
+        }
+        let min = self.conv.mdp.long_run_average(
+            &reward,
+            None,
+            Opt::Min,
+            BOUNDS_TOL,
+            BOUNDS_MAX_ITERS,
+        )?;
+        let max = self.conv.mdp.long_run_average(
+            &reward,
+            None,
+            Opt::Max,
+            BOUNDS_TOL,
+            BOUNDS_MAX_ITERS,
+        )?;
+        Ok(Interval { min, max })
+    }
+
+    /// Expected-latency interval: time to first reach any of the given
+    /// functional states, from the initial state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn latency_bounds(&self, functional: &[u32]) -> Result<Interval, FlowError> {
+        let targets = self.targets(functional);
+        let min = self.conv.mdp.expected_time_to_reach(
+            &targets,
+            Opt::Min,
+            BOUNDS_TOL,
+            BOUNDS_MAX_ITERS,
+        )?;
+        let max = self.conv.mdp.expected_time_to_reach(
+            &targets,
+            Opt::Max,
+            BOUNDS_TOL,
+            BOUNDS_MAX_ITERS,
+        )?;
+        Ok(Interval { min: min[self.conv.initial], max: max[self.conv.initial] })
+    }
+
+    /// Transient-probability interval: probability of having reached any of
+    /// the given functional states within time `t`, from the initial state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn transient_bounds(&self, functional: &[u32], t: f64) -> Result<Interval, FlowError> {
+        let targets = self.targets(functional);
+        let min = self.conv.mdp.timed_reach_probability(&targets, t, Opt::Min, BOUNDS_TOL)?;
+        let max = self.conv.mdp.timed_reach_probability(&targets, t, Opt::Max, BOUNDS_TOL)?;
+        Ok(Interval { min: min[self.conv.initial], max: max[self.conv.initial] })
     }
 }
 
@@ -495,6 +715,24 @@ mod tests {
         let tp = solved.throughputs().expect("throughputs");
         // Alternating exp(2)/exp(1): cycle time 1.5, work throughput 2/3.
         assert!((tp[0].1 - 2.0 / 3.0).abs() < 1e-9, "{}", tp[0].1);
+    }
+
+    #[test]
+    fn occupancy_matches_bounds_on_a_deterministic_model() {
+        let flow = Flow::from_source(WORK_REST).expect("parses");
+        let mut rates = HashMap::new();
+        rates.insert("work".to_owned(), 2.0);
+        rates.insert("rest".to_owned(), 1.0);
+        let perf = flow.with_rates(&rates);
+        let solved = perf.solve(NondetPolicy::Reject, &[]).expect("solves");
+        // Functional state 1 (between work and rest) holds exp(1): the
+        // chain spends 1/(1/2 + 1) · 1 = 2/3 of its time there.
+        let occ = solved.occupancy(&[1]).expect("occupancy");
+        assert!((occ - 2.0 / 3.0).abs() < 1e-9, "{occ}");
+        // No nondeterminism: the scheduler interval collapses onto it.
+        let bounds = perf.solve_bounds(&[]).expect("bounds");
+        let i = bounds.occupancy_bounds(&[1]).expect("bounds");
+        assert!((i.min - occ).abs() < 1e-9 && (i.max - occ).abs() < 1e-9, "{i:?}");
     }
 
     #[test]

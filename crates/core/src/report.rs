@@ -1,6 +1,8 @@
 //! Plain-text table rendering for the experiment harness, plus the
 //! parallel-exploration throughput report.
 
+use crate::flow::Interval;
+use std::fmt;
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -404,6 +406,95 @@ impl ReduceStats {
     }
 }
 
+/// Three-valued verdict of a scheduler interval against a threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundsVerdict {
+    /// The predicate holds under every scheduler.
+    True,
+    /// The predicate fails under every scheduler.
+    False,
+    /// The interval straddles the threshold: the answer is
+    /// scheduler-dependent.
+    NoVerdict,
+}
+
+impl fmt::Display for BoundsVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BoundsVerdict::True => "TRUE",
+            BoundsVerdict::False => "FALSE",
+            BoundsVerdict::NoVerdict => "NO VERDICT",
+        })
+    }
+}
+
+/// One row of a [`BoundsReport`]: a measure with its scheduler interval and
+/// an optional threshold verdict.
+#[derive(Debug, Clone)]
+pub struct BoundsRow {
+    /// Measure label, e.g. `throughput(push)`.
+    pub measure: String,
+    /// `[min, max]` over all schedulers (equal endpoints for a single
+    /// resolved value).
+    pub interval: Interval,
+    /// Rendered threshold (e.g. `>= 0.5`) and its verdict, in check mode.
+    pub verdict: Option<(String, BoundsVerdict)>,
+}
+
+/// Report for a scheduler-quantified evaluation (`--scheduler`): one row
+/// per measure.
+///
+/// Rendered by `multival check` in performance mode and by the bounds
+/// sections of `simulate` and the experiment harness.
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct BoundsReport {
+    /// Measures, in evaluation order.
+    pub rows: Vec<BoundsRow>,
+    /// Render a single `value` column instead of `min`/`max`/`width`
+    /// (uniform/min/max schedulers resolve to one number per measure).
+    pub point: bool,
+}
+
+impl BoundsReport {
+    /// Renders the measure table; threshold/verdict columns appear only
+    /// when at least one row carries a verdict.
+    pub fn render(&self) -> String {
+        let with_verdict = self.rows.iter().any(|r| r.verdict.is_some());
+        let mut header: Vec<&str> = if self.point {
+            vec!["measure", "value"]
+        } else {
+            vec!["measure", "min", "max", "width"]
+        };
+        if with_verdict {
+            header.push("threshold");
+            header.push("verdict");
+        }
+        let mut t = Table::new(&header);
+        for r in &self.rows {
+            let mut cells = vec![r.measure.clone(), fmt_f(r.interval.min)];
+            if !self.point {
+                cells.push(fmt_f(r.interval.max));
+                cells.push(fmt_f(r.interval.width()));
+            }
+            if with_verdict {
+                match &r.verdict {
+                    Some((threshold, v)) => {
+                        cells.push(threshold.clone());
+                        cells.push(v.to_string());
+                    }
+                    None => {
+                        cells.push("-".to_owned());
+                        cells.push("-".to_owned());
+                    }
+                }
+            }
+            t.row_owned(cells);
+        }
+        t.render()
+    }
+}
+
 /// Formats a float with 4 significant decimals, trimming noise.
 pub fn fmt_f(x: f64) -> String {
     if x == f64::INFINITY {
@@ -547,6 +638,36 @@ mod tests {
         assert!(text.contains("peak intermediate states: 6"), "{text}");
         let fresh = ReduceStats { resumed_stages: 0, ..stats };
         assert!(!fresh.render().contains("resumed"), "{}", fresh.render());
+    }
+
+    #[test]
+    fn bounds_report_renders_intervals_and_points() {
+        let report = BoundsReport {
+            rows: vec![BoundsRow {
+                measure: "throughput(push)".into(),
+                interval: Interval { min: 1.0, max: 4.0 },
+                verdict: Some((">= 2".into(), BoundsVerdict::NoVerdict)),
+            }],
+            point: false,
+        };
+        let text = report.render();
+        assert!(text.contains("min"), "{text}");
+        assert!(text.contains("width"), "{text}");
+        assert!(text.contains("3.0000"), "{text}");
+        assert!(text.contains("NO VERDICT"), "{text}");
+
+        let point = BoundsReport {
+            rows: vec![BoundsRow {
+                measure: "latency(2)".into(),
+                interval: Interval { min: 0.5, max: 0.5 },
+                verdict: None,
+            }],
+            point: true,
+        };
+        let text = point.render();
+        assert!(text.contains("value"), "{text}");
+        assert!(!text.contains("width"), "{text}");
+        assert!(!text.contains("verdict"), "{text}");
     }
 
     #[test]

@@ -5,9 +5,23 @@
 //! whose τ-nondeterminism cannot be resolved does not induce a single CTMC.
 //! This module provides the missing piece — a CTMDP with value-iteration
 //! solvers giving *best-case/worst-case bounds* over all schedulers
-//! (experiment E8).
+//! (experiments E8 and E13).
+//!
+//! Two kinds of states coexist (a Markov-automaton flavor): *tangible*
+//! states whose choices are sets of rate transitions racing exponentially,
+//! and *instant* states ([`Ctmdp::set_instant`]) whose choices are
+//! probability distributions taken in zero time. Instant states are how
+//! nondeterministic vanishing states of an IMC survive the lifting without
+//! being forced into a single resolution (see `multival_imc::to_ctmdp_lifted`).
 
 use crate::ctmc::{CtmcError, State};
+
+/// Inner fixpoint tolerance for instant-state propagation.
+const INSTANT_TOL: f64 = 1e-13;
+/// Iteration cap for the instant-state fixpoint: generous, because a slow
+/// geometric escape out of an instant cycle is legitimate; a *divergent*
+/// series (Zeno cycle accumulating impulse reward) must still be caught.
+const INSTANT_MAX_ITERS: usize = 100_000;
 
 /// One nondeterministic choice available in a state: a set of rate
 /// transitions taken together (a "Markovian action").
@@ -73,12 +87,13 @@ impl Opt {
 #[derive(Debug, Clone, Default)]
 pub struct Ctmdp {
     choices: Vec<Vec<ActionChoice>>,
+    instant: Vec<bool>,
 }
 
 impl Ctmdp {
     /// A CTMDP with `n` states and no choices yet.
     pub fn new(n: usize) -> Self {
-        Ctmdp { choices: vec![Vec::new(); n] }
+        Ctmdp { choices: vec![Vec::new(); n], instant: vec![false; n] }
     }
 
     /// Number of states.
@@ -89,7 +104,25 @@ impl Ctmdp {
     /// Appends a new state.
     pub fn add_state(&mut self) -> State {
         self.choices.push(Vec::new());
+        self.instant.push(false);
         self.choices.len() - 1
+    }
+
+    /// Marks `s` as *instant*: its sojourn time is zero and each of its
+    /// choices is read as a probability distribution (transition weights
+    /// normalized by their sum) instead of a race of exponentials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn set_instant(&mut self, s: State) {
+        assert!(s < self.choices.len(), "state out of range");
+        self.instant[s] = true;
+    }
+
+    /// Whether `s` is an instant (zero-sojourn) state.
+    pub fn is_instant(&self, s: State) -> bool {
+        self.instant[s]
     }
 
     /// Adds a nondeterministic choice to `s`.
@@ -113,12 +146,89 @@ impl Ctmdp {
         &self.choices[s]
     }
 
-    /// The maximum exit rate over all choices (uniformization base).
+    /// The maximum exit rate over all choices (including instant states,
+    /// whose "rates" are probability weights — prefer
+    /// [`Ctmdp::uniformization_rate`] when instant states are present).
     pub fn max_exit_rate(&self) -> f64 {
         self.choices
             .iter()
             .flat_map(|cs| cs.iter().map(ActionChoice::exit_rate))
             .fold(0.0, f64::max)
+    }
+
+    /// The uniformization base: maximum exit rate over *tangible* states
+    /// only. Instant states take zero time, so their weights must not widen
+    /// the Poisson rate.
+    pub fn uniformization_rate(&self) -> f64 {
+        self.choices
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| !self.instant[s])
+            .flat_map(|(_, cs)| cs.iter().map(ActionChoice::exit_rate))
+            .fold(0.0, f64::max)
+    }
+
+    /// Propagates values through instant states by Gauss-Seidel until the
+    /// fixpoint `v(s) = opt_a [impulse(s,a) + Σ p·v(t)]`. States where
+    /// `fixed` holds (targets, tangible states) keep their value. When
+    /// `reset` is set, non-fixed instant states restart from 0, yielding the
+    /// *least* fixpoint — the sound direction for reachability-style values
+    /// (a zero-probability instant cycle stays at 0 instead of retaining a
+    /// stale warm-start value).
+    ///
+    /// Returns [`CtmcError::NoConvergence`] when the fixpoint does not
+    /// settle — the Zeno guard: an instant cycle a Max scheduler can spin in
+    /// while accumulating impulse reward has no finite value.
+    fn solve_instant(
+        &self,
+        v: &mut [f64],
+        fixed: &[bool],
+        impulse: Option<&[Vec<f64>]>,
+        opt: Opt,
+        reset: bool,
+    ) -> Result<(), CtmcError> {
+        let n = self.num_states();
+        let mut any = false;
+        for s in 0..n {
+            if self.instant[s] && !fixed[s] && !self.choices[s].is_empty() {
+                any = true;
+                if reset {
+                    v[s] = 0.0;
+                }
+            }
+        }
+        if !any {
+            return Ok(());
+        }
+        let mut residual = 0.0;
+        for _ in 0..INSTANT_MAX_ITERS {
+            let mut delta: f64 = 0.0;
+            for s in 0..n {
+                if !self.instant[s] || fixed[s] || self.choices[s].is_empty() {
+                    continue;
+                }
+                let mut best = opt.unit();
+                for (i, c) in self.choices[s].iter().enumerate() {
+                    let e = c.exit_rate();
+                    let mut acc = impulse.map_or(0.0, |imp| imp[s][i]);
+                    for &(t, w) in &c.transitions {
+                        acc += (w / e) * v[t];
+                    }
+                    best = opt.pick(best, acc);
+                }
+                delta = delta.max((best - v[s]).abs());
+                v[s] = best;
+            }
+            if delta < INSTANT_TOL {
+                return Ok(());
+            }
+            residual = delta;
+        }
+        Err(CtmcError::NoConvergence {
+            what: "CTMDP instant-state fixpoint (Zeno cycle?)",
+            iterations: INSTANT_MAX_ITERS,
+            residual,
+        })
     }
 
     /// Min/max probability of eventually reaching `targets`, by value
@@ -175,7 +285,8 @@ impl Ctmdp {
 
     /// Min/max expected time to reach `targets`, by value iteration on
     /// `h(s) = opt_a [1/E_a + Σ P_a(s,s')·h(s')]`. States from which a
-    /// scheduler can (Min)/must (Max) avoid the target get `∞`.
+    /// scheduler can (Min)/must (Max) avoid the target get `∞`. Instant
+    /// states contribute zero sojourn time.
     ///
     /// # Errors
     ///
@@ -208,7 +319,7 @@ impl Ctmdp {
                 let mut best = opt.unit();
                 for c in &self.choices[s] {
                     let e = c.exit_rate();
-                    let mut v = 1.0 / e;
+                    let mut v = if self.instant[s] { 0.0 } else { 1.0 / e };
                     for &(t, r) in &c.transitions {
                         if h[t].is_infinite() {
                             v = f64::INFINITY;
@@ -265,7 +376,7 @@ impl Ctmdp {
             let mut best: Option<(usize, f64)> = None;
             for (i, c) in self.choices[s].iter().enumerate() {
                 let e = c.exit_rate();
-                let mut v = 1.0 / e;
+                let mut v = if self.instant[s] { 0.0 } else { 1.0 / e };
                 for &(t, r) in &c.transitions {
                     if h[t].is_infinite() {
                         v = f64::INFINITY;
@@ -291,11 +402,14 @@ impl Ctmdp {
 
     /// Min/max probability of reaching `targets` *within time bound `t`*,
     /// via uniformization-based value iteration (ε-approximation in the
-    /// style of time-bounded CTMDP analysis).
+    /// style of time-bounded CTMDP analysis). Instant states are folded in
+    /// by a zero-time fixpoint between Poisson steps.
     ///
     /// # Errors
     ///
-    /// Returns [`CtmcError::Undefined`] for a negative bound.
+    /// Returns [`CtmcError::Undefined`] for a negative bound and
+    /// [`CtmcError::NoConvergence`] when an instant-state cycle does not
+    /// settle.
     pub fn timed_reach_probability(
         &self,
         targets: &[State],
@@ -311,7 +425,7 @@ impl Ctmdp {
         for &s in targets {
             is_target[s] = true;
         }
-        let lambda = self.max_exit_rate().max(1e-12) * 1.02;
+        let lambda = self.uniformization_rate().max(1e-12) * 1.02;
         let q = lambda * bound;
         // Uniformization with Poisson weights (exact for a single-choice
         // CTMDP, a greedy ε-approximation otherwise, per the uniform-CTMDP
@@ -321,7 +435,11 @@ impl Ctmdp {
         // within k jumps of the uniformized step chain:
         //   r_0 = 1_target,
         //   r_{k+1}(s) = 1 if target, else opt_a [(1-E_a/Λ)·r_k(s) + Σ r/Λ·r_k(s')].
+        // Instant states take no Poisson step: after every tangible update
+        // (and once at k = 0) their values are the least fixpoint of
+        // zero-time propagation toward the tangible/target frontier.
         let mut r: Vec<f64> = (0..n).map(|s| if is_target[s] { 1.0 } else { 0.0 }).collect();
+        self.solve_instant(&mut r, &is_target, None, opt, true)?;
         let mut result = vec![0.0f64; n];
         let mut w = (-q).exp();
         let scaled = w == 0.0;
@@ -349,10 +467,11 @@ impl Ctmdp {
             if k > max_terms {
                 break;
             }
-            // r ← one optimal step of the uniformized chain.
+            // r ← one optimal step of the uniformized chain (tangible states
+            // only), then re-propagate through the instant layer.
             let mut next = r.clone();
             for s in 0..n {
-                if is_target[s] || self.choices[s].is_empty() {
+                if is_target[s] || self.instant[s] || self.choices[s].is_empty() {
                     continue;
                 }
                 let mut best = opt.unit();
@@ -366,6 +485,7 @@ impl Ctmdp {
                 }
                 next[s] = best;
             }
+            self.solve_instant(&mut next, &is_target, None, opt, true)?;
             r = next;
             w *= q / k as f64;
             if w > 1e280 {
@@ -385,6 +505,130 @@ impl Ctmdp {
             // partial sum (an under-approximation within ε).
         }
         Ok(result)
+    }
+
+    /// Min/max *long-run average reward* over all schedulers, by relative
+    /// value iteration on the uniformized chain (span-seminorm stopping).
+    ///
+    /// `rate_reward[s]` accrues per unit of time spent in `s` (occupancy
+    /// measures); `impulse[s][a]` is earned per transition taken from `s`
+    /// under choice `a` (throughput measures — for a tangible choice the
+    /// reward rate is `E_a · impulse`, for an instant choice it is earned at
+    /// each zero-time traversal). The model is assumed unichain under every
+    /// scheduler (every memoryless policy yields one recurrent class —
+    /// true for the lumped ergodic chains of the case studies); a multichain
+    /// model surfaces as [`CtmcError::NoConvergence`] because the span of
+    /// the value differences cannot close.
+    ///
+    /// # Errors
+    ///
+    /// [`CtmcError::Undefined`] when no tangible Markovian choice exists
+    /// (time never advances), [`CtmcError::NoConvergence`] on iteration-cap
+    /// overrun or a Zeno instant cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_reward` or `impulse` are not shaped like the state
+    /// and choice vectors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use multival_ctmc::mdp::{ActionChoice, Ctmdp, Opt};
+    ///
+    /// // Flip-flop where the scheduler picks the 0→1 rate from {1, 2}:
+    /// // occupancy of state 0 is (1/E)/(1/E + 1) → bounds [1/3, 1/2].
+    /// let mut m = Ctmdp::new(2);
+    /// m.add_choice(0, ActionChoice { name: None, transitions: vec![(1, 2.0)] });
+    /// m.add_choice(0, ActionChoice { name: None, transitions: vec![(1, 1.0)] });
+    /// m.add_choice(1, ActionChoice { name: None, transitions: vec![(0, 1.0)] });
+    /// let occ = [1.0, 0.0];
+    /// let lo = m.long_run_average(&occ, None, Opt::Min, 1e-12, 100_000).unwrap();
+    /// let hi = m.long_run_average(&occ, None, Opt::Max, 1e-12, 100_000).unwrap();
+    /// assert!((lo - 1.0 / 3.0).abs() < 1e-9);
+    /// assert!((hi - 0.5).abs() < 1e-9);
+    /// ```
+    pub fn long_run_average(
+        &self,
+        rate_reward: &[f64],
+        impulse: Option<&[Vec<f64>]>,
+        opt: Opt,
+        tolerance: f64,
+        max_iterations: usize,
+    ) -> Result<f64, CtmcError> {
+        let n = self.num_states();
+        assert_eq!(rate_reward.len(), n, "rate_reward must have one entry per state");
+        if let Some(imp) = impulse {
+            assert_eq!(imp.len(), n, "impulse must have one row per state");
+            for (s, row) in imp.iter().enumerate() {
+                assert_eq!(row.len(), self.choices[s].len(), "impulse arity mismatch at {s}");
+            }
+        }
+        let lambda = self.uniformization_rate() * 1.02;
+        if lambda <= 0.0 {
+            return Err(CtmcError::Undefined(
+                "long-run average needs at least one tangible Markovian choice".to_owned(),
+            ));
+        }
+        let tangible: Vec<State> = (0..n).filter(|&s| !self.instant[s]).collect();
+        let fixed: Vec<bool> = (0..n).map(|s| !self.instant[s]).collect();
+        let mut h = vec![0.0f64; n];
+        self.solve_instant(&mut h, &fixed, impulse, opt, false)?;
+        let mut new_h = h.clone();
+        let mut span = f64::INFINITY;
+        for iter in 0..max_iterations {
+            // One Jacobi sweep over tangible states; instant successors carry
+            // the values of the previous instant fixpoint, so a tangible →
+            // instant → tangible path contributes consistently.
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &s in &tangible {
+                let v = if self.choices[s].is_empty() {
+                    // Absorbing tangible state: drifts at its own reward
+                    // rate. If that differs from the rest, the span below
+                    // never closes and the honest answer is NoConvergence.
+                    rate_reward[s] / lambda + h[s]
+                } else {
+                    let mut best = opt.unit();
+                    for (i, c) in self.choices[s].iter().enumerate() {
+                        let e = c.exit_rate();
+                        let mut acc = rate_reward[s] / lambda
+                            + (e / lambda) * impulse.map_or(0.0, |imp| imp[s][i])
+                            + (1.0 - e / lambda) * h[s];
+                        for &(t, r) in &c.transitions {
+                            acc += (r / lambda) * h[t];
+                        }
+                        best = opt.pick(best, acc);
+                    }
+                    best
+                };
+                new_h[s] = v;
+                let d = v - h[s];
+                lo = lo.min(d);
+                hi = hi.max(d);
+            }
+            span = hi - lo;
+            if span < tolerance {
+                // Every tangible state gains the same amount per uniformized
+                // step: the common drift is g/Λ.
+                return Ok(lambda * (hi + lo) / 2.0);
+            }
+            // Commit, pin the first tangible state to 0 to stop the drift
+            // from overflowing h, and refresh the instant layer.
+            let reference = new_h[tangible[0]];
+            for s in 0..n {
+                h[s] = if self.instant[s] { h[s] - reference } else { new_h[s] - reference };
+            }
+            self.solve_instant(&mut h, &fixed, impulse, opt, false)?;
+            if iter == max_iterations - 1 {
+                break;
+            }
+        }
+        Err(CtmcError::NoConvergence {
+            what: "CTMDP long-run relative value iteration",
+            iterations: max_iterations,
+            residual: span,
+        })
     }
 }
 
@@ -472,5 +716,131 @@ mod tests {
         let hi = m.timed_reach_probability(&[2], 0.5, Opt::Max, 1e-9).unwrap();
         assert!(lo[0] <= hi[0] + 1e-12);
         assert!(hi[0] > lo[0] + 0.1, "choices should matter: {lo:?} {hi:?}");
+    }
+
+    /// 0 --(rate 2)--> [instant 1] --(prob 1)--> 2: the instant hop is
+    /// invisible in every time-dependent measure.
+    fn instant_relay() -> Ctmdp {
+        let mut m = Ctmdp::new(3);
+        m.add_choice(0, ActionChoice { name: None, transitions: vec![(1, 2.0)] });
+        m.set_instant(1);
+        m.add_choice(1, ActionChoice { name: None, transitions: vec![(2, 1.0)] });
+        m
+    }
+
+    #[test]
+    fn instant_state_adds_no_time() {
+        let m = instant_relay();
+        for opt in [Opt::Min, Opt::Max] {
+            let h = m.expected_time_to_reach(&[2], opt, 1e-12, 10_000).unwrap();
+            assert!((h[0] - 0.5).abs() < 1e-9, "{opt:?}: {}", h[0]);
+            assert!(h[1].abs() < 1e-9, "instant state itself takes no time");
+            let p = m.timed_reach_probability(&[2], 1.0, opt, 1e-9).unwrap();
+            let want = 1.0 - (-2.0f64).exp();
+            assert!((p[0] - want).abs() < 1e-4, "{opt:?}: {} vs {want}", p[0]);
+        }
+    }
+
+    #[test]
+    fn instant_choice_splits_expected_time() {
+        // [instant 0] picks the rate-4 or the rate-1 branch to 2.
+        let mut m = Ctmdp::new(4);
+        m.set_instant(0);
+        m.add_choice(0, ActionChoice { name: None, transitions: vec![(1, 1.0)] });
+        m.add_choice(0, ActionChoice { name: None, transitions: vec![(3, 1.0)] });
+        m.add_choice(1, ActionChoice { name: None, transitions: vec![(2, 4.0)] });
+        m.add_choice(3, ActionChoice { name: None, transitions: vec![(2, 1.0)] });
+        let lo = m.expected_time_to_reach(&[2], Opt::Min, 1e-12, 10_000).unwrap();
+        let hi = m.expected_time_to_reach(&[2], Opt::Max, 1e-12, 10_000).unwrap();
+        assert!((lo[0] - 0.25).abs() < 1e-9);
+        assert!((hi[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_run_occupancy_bounds() {
+        // Doc example, plus: a single-choice model must collapse to the
+        // CTMC steady-state answer on both sides.
+        let mut m = Ctmdp::new(2);
+        m.add_choice(0, ActionChoice { name: None, transitions: vec![(1, 2.0)] });
+        m.add_choice(1, ActionChoice { name: None, transitions: vec![(0, 1.0)] });
+        let occ = [1.0, 0.0];
+        let lo = m.long_run_average(&occ, None, Opt::Min, 1e-12, 100_000).unwrap();
+        let hi = m.long_run_average(&occ, None, Opt::Max, 1e-12, 100_000).unwrap();
+        assert!((lo - 1.0 / 3.0).abs() < 1e-9, "{lo}");
+        assert!((hi - 1.0 / 3.0).abs() < 1e-9, "{hi}");
+    }
+
+    #[test]
+    fn long_run_impulse_is_throughput() {
+        // Flip-flop rates (2, 1); impulse 1 on the 1→0 jump: the long-run
+        // rate of that jump is π₁·1 = 2/3.
+        let mut m = Ctmdp::new(2);
+        m.add_choice(0, ActionChoice { name: None, transitions: vec![(1, 2.0)] });
+        m.add_choice(1, ActionChoice { name: None, transitions: vec![(0, 1.0)] });
+        let imp = vec![vec![0.0], vec![1.0]];
+        let rr = [0.0, 0.0];
+        for opt in [Opt::Min, Opt::Max] {
+            let g = m.long_run_average(&rr, Some(&imp), opt, 1e-12, 100_000).unwrap();
+            assert!((g - 2.0 / 3.0).abs() < 1e-9, "{opt:?}: {g}");
+        }
+    }
+
+    #[test]
+    fn long_run_bounds_with_instant_arbitration() {
+        // Tangible 0 --(rate 1)--> [instant 1] which routes to a fast
+        // (rate 4) or slow (rate 1) server back to 0. Cycle time is
+        // 1 + 1/rate, and the impulse on the server completion counts
+        // round trips: bounds are [1/(1+1), 1/(1+1/4)] = [0.5, 0.8].
+        let mut m = Ctmdp::new(4);
+        m.add_choice(0, ActionChoice { name: None, transitions: vec![(1, 1.0)] });
+        m.set_instant(1);
+        m.add_choice(1, ActionChoice { name: Some("fast".into()), transitions: vec![(2, 1.0)] });
+        m.add_choice(1, ActionChoice { name: Some("slow".into()), transitions: vec![(3, 1.0)] });
+        m.add_choice(2, ActionChoice { name: None, transitions: vec![(0, 4.0)] });
+        m.add_choice(3, ActionChoice { name: None, transitions: vec![(0, 1.0)] });
+        let imp = vec![vec![0.0], vec![0.0, 0.0], vec![1.0], vec![1.0]];
+        let rr = [0.0; 4];
+        let lo = m.long_run_average(&rr, Some(&imp), Opt::Min, 1e-12, 100_000).unwrap();
+        let hi = m.long_run_average(&rr, Some(&imp), Opt::Max, 1e-12, 100_000).unwrap();
+        assert!((lo - 0.5).abs() < 1e-9, "{lo}");
+        assert!((hi - 0.8).abs() < 1e-9, "{hi}");
+    }
+
+    #[test]
+    fn zeno_cycle_is_caught() {
+        // Two instant states spinning on each other with impulse reward:
+        // a Max scheduler accumulates unbounded reward in zero time. The
+        // solver must refuse rather than loop or return garbage.
+        let mut m = Ctmdp::new(3);
+        m.add_choice(0, ActionChoice { name: None, transitions: vec![(1, 1.0)] });
+        m.set_instant(1);
+        m.set_instant(2);
+        m.add_choice(1, ActionChoice { name: None, transitions: vec![(2, 1.0)] });
+        m.add_choice(2, ActionChoice { name: None, transitions: vec![(1, 1.0)] });
+        let imp = vec![vec![0.0], vec![1.0], vec![1.0]];
+        let rr = [0.0; 3];
+        let err = m.long_run_average(&rr, Some(&imp), Opt::Max, 1e-9, 10_000);
+        assert!(
+            matches!(err, Err(CtmcError::NoConvergence { .. })),
+            "Zeno cycle must not converge: {err:?}"
+        );
+    }
+
+    #[test]
+    fn instant_cycle_with_escape_converges() {
+        // Instant 1 can re-enter itself via 2 or escape to tangible 3;
+        // uniform-style resolutions escape with probability 1, and the
+        // bounds stay finite because impulses are only on the escape.
+        let mut m = Ctmdp::new(4);
+        m.add_choice(0, ActionChoice { name: None, transitions: vec![(1, 1.0)] });
+        m.set_instant(1);
+        m.set_instant(2);
+        m.add_choice(1, ActionChoice { name: None, transitions: vec![(2, 1.0), (3, 1.0)] });
+        m.add_choice(2, ActionChoice { name: None, transitions: vec![(1, 1.0)] });
+        m.add_choice(3, ActionChoice { name: None, transitions: vec![(0, 2.0)] });
+        for opt in [Opt::Min, Opt::Max] {
+            let h = m.expected_time_to_reach(&[3], opt, 1e-12, 100_000).unwrap();
+            assert!((h[0] - 1.0).abs() < 1e-9, "{opt:?}: {}", h[0]);
+        }
     }
 }

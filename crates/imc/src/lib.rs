@@ -54,4 +54,6 @@ pub use imc::{Imc, ImcBuilder, ImcError, Interactive, Markovian, State};
 pub use lump::{lump, lump_with, LumpOptions, LumpStats};
 pub use multival_par::Workers;
 pub use phase_type::Delay;
-pub use to_ctmc::{to_ctmc, to_ctmdp, CtmcConversion, NondetPolicy, ToCtmcError};
+pub use to_ctmc::{
+    to_ctmc, to_ctmdp, to_ctmdp_lifted, CtmcConversion, CtmdpConversion, NondetPolicy, ToCtmcError,
+};

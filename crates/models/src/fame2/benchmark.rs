@@ -12,11 +12,13 @@ use crate::fame2::coherence::Protocol;
 use crate::fame2::mpi::{MpiConfig, MpiImpl, MpiModel};
 use crate::fame2::topology::Topology;
 use multival_ctmc::absorb::mean_time_to_target;
+use multival_ctmc::mdp::Opt;
 use multival_ctmc::steady::SolveOptions;
 use multival_imc::decorate::decorate_by_label;
 use multival_imc::ops::hide_all;
 use multival_imc::phase_type::Delay;
-use multival_imc::to_ctmc::{probe_throughputs, to_ctmc, NondetPolicy};
+use multival_imc::to_ctmc::{probe_throughputs, to_ctmc, to_ctmdp_lifted, NondetPolicy};
+use multival_imc::Imc;
 use std::fmt;
 
 /// Rates of the memory-system events. All are events-per-microsecond-ish
@@ -62,6 +64,8 @@ pub enum BenchmarkError {
     Solver(multival_ctmc::CtmcError),
     /// The model never reaches completion (would give infinite latency).
     NoCompletion,
+    /// An inline source model failed to parse or explore.
+    Source(String),
 }
 
 impl fmt::Display for BenchmarkError {
@@ -71,6 +75,7 @@ impl fmt::Display for BenchmarkError {
             BenchmarkError::Conversion(e) => write!(f, "{e}"),
             BenchmarkError::Solver(e) => write!(f, "{e}"),
             BenchmarkError::NoCompletion => write!(f, "ping-pong never completes"),
+            BenchmarkError::Source(e) => write!(f, "{e}"),
         }
     }
 }
@@ -224,6 +229,31 @@ pub fn ping_pong_bandwidth(
     config: &MpiConfig,
     rates: &RateConfig,
 ) -> Result<BandwidthRow, BenchmarkError> {
+    let hidden = cyclic_probe_imc(config, rates)?;
+    let conv = to_ctmc(&hidden, NondetPolicy::Uniform, &[ROUND_PROBE])
+        .map_err(BenchmarkError::Conversion)?;
+    let tp = probe_throughputs(&conv, &SolveOptions::default()).map_err(BenchmarkError::Solver)?;
+    let rounds = tp.first().map(|&(_, t)| t).unwrap_or(0.0);
+    Ok(BandwidthRow {
+        topology: config.topology,
+        protocol: config.protocol,
+        implementation: config.implementation,
+        payload: config.payload,
+        rounds_per_time: rounds,
+        lines_per_time: rounds * 2.0 * config.payload as f64,
+        ctmc_states: conv.ctmc.num_states(),
+    })
+}
+
+/// The round-trip throughput probe of the cyclic benchmark.
+const ROUND_PROBE: &str = "MARK !round";
+
+/// Builds the decorated cyclic ping-pong IMC with only [`ROUND_PROBE`]
+/// visible — the interleaving of the two ranks' memory transactions
+/// survives as τ-nondeterminism, shared by [`ping_pong_bandwidth`] (which
+/// averages it away uniformly) and [`ping_pong_bandwidth_bounds`] (which
+/// quantifies it).
+fn cyclic_probe_imc(config: &MpiConfig, rates: &RateConfig) -> Result<Imc, BenchmarkError> {
     let model = MpiModel::ping_pong_cyclic(*config);
     let explored = explore_model(&model, 4_000_000).map_err(BenchmarkError::Explosion)?;
     let homes: Vec<usize> = model.lines.iter().map(|l| l.home).collect();
@@ -235,31 +265,158 @@ pub fn ping_pong_bandwidth(
             label_delay(label, rates, &config.topology, &home_of)
         }
     });
-    // Keep only the probe visible; everything else becomes τ.
-    let probe = "MARK !round";
+    Ok(multival_imc::ops::relabel(&imc, |name| {
+        if name == ROUND_PROBE {
+            Some(name.to_owned())
+        } else {
+            None
+        }
+    }))
+}
+
+/// Scheduler-quantified bandwidth: the min/max round rate over *every*
+/// resolution of the arbitration nondeterminism that
+/// [`ping_pong_bandwidth`] resolves with the uniform policy.
+#[derive(Debug, Clone)]
+pub struct BandwidthBounds {
+    /// Interconnect.
+    pub topology: Topology,
+    /// Coherence protocol.
+    pub protocol: Protocol,
+    /// MPI implementation.
+    pub implementation: MpiImpl,
+    /// Payload lines per message.
+    pub payload: usize,
+    /// Round rate under the worst fabric arbitration.
+    pub min_rounds_per_time: f64,
+    /// Round rate under the best fabric arbitration.
+    pub max_rounds_per_time: f64,
+    /// CTMDP states solved.
+    pub ctmdp_states: usize,
+    /// Instant (arbitration) states among them.
+    pub instant_states: usize,
+}
+
+/// Computes [`BandwidthBounds`] for one configuration via the lifted
+/// CTMDP — the E13 spread for FAME2.
+///
+/// # Errors
+///
+/// See [`BenchmarkError`].
+pub fn ping_pong_bandwidth_bounds(
+    config: &MpiConfig,
+    rates: &RateConfig,
+) -> Result<BandwidthBounds, BenchmarkError> {
+    let hidden = cyclic_probe_imc(config, rates)?;
+    let conv = to_ctmdp_lifted(&hidden, &[ROUND_PROBE]).map_err(BenchmarkError::Conversion)?;
+    let (min, max, instant_states) = probe_rate_bounds(&conv)?;
+    Ok(BandwidthBounds {
+        topology: config.topology,
+        protocol: config.protocol,
+        implementation: config.implementation,
+        payload: config.payload,
+        min_rounds_per_time: min,
+        max_rounds_per_time: max,
+        ctmdp_states: conv.mdp.num_states(),
+        instant_states,
+    })
+}
+
+/// Min/max long-run rate of the (single) probe of a lifted conversion,
+/// plus its instant-state count.
+fn probe_rate_bounds(
+    conv: &multival_imc::CtmdpConversion,
+) -> Result<(f64, f64, usize), BenchmarkError> {
+    let zeros = vec![0.0; conv.mdp.num_states()];
+    let imp = &conv.probe_impulse[0].1;
+    let min = conv
+        .mdp
+        .long_run_average(&zeros, Some(imp), Opt::Min, 1e-12, 1_000_000)
+        .map_err(BenchmarkError::Solver)?;
+    let max = conv
+        .mdp
+        .long_run_average(&zeros, Some(imp), Opt::Max, 1e-12, 1_000_000)
+        .map_err(BenchmarkError::Solver)?;
+    let instant = (0..conv.mdp.num_states()).filter(|&s| conv.mdp.is_instant(s)).count();
+    Ok((min, max, instant))
+}
+
+/// Mini-LOTOS source of the *contended-fabric* round: each message is
+/// serviced either by a cache-to-cache flush or by a fetch through the home
+/// node, and the selection gates `c2c`/`home` are deliberately left without
+/// rates — the fabric arbitration stays nondeterministic, so the model is a
+/// genuine CTMDP once decorated. This is the FAME2 example fed to
+/// `multival check --scheduler bounds` (the plain conversion rejects it).
+#[must_use]
+pub fn contended_fabric_source() -> String {
+    "process Round[issue, c2c, home, flush, mem, consume, mark] :=
+        issue; (   c2c; flush; consume; mark;
+                       Round[issue, c2c, home, flush, mem, consume, mark]
+                [] home; mem; consume; mark;
+                       Round[issue, c2c, home, flush, mem, consume, mark] )
+     endproc
+     behaviour Round[issue, c2c, home, flush, mem, consume, mark]"
+        .to_owned()
+}
+
+/// Scheduler-quantified round rate of the contended-fabric model.
+#[derive(Debug, Clone, Copy)]
+pub struct FabricBounds {
+    /// Round rate when the fabric always routes through the home node.
+    pub min_rounds_per_time: f64,
+    /// Round rate when every miss is served cache-to-cache.
+    pub max_rounds_per_time: f64,
+    /// CTMDP states solved.
+    pub ctmdp_states: usize,
+    /// Instant (arbitration) states among them.
+    pub instant_states: usize,
+}
+
+/// Min/max round rate of [`contended_fabric_source`] over every fabric
+/// arbitration, with `flush`/`mem` slowed by the given hop distance —
+/// the genuine-spread half of the FAME2 E13 section.
+///
+/// # Errors
+///
+/// See [`BenchmarkError`].
+pub fn contended_fabric_bounds(
+    rates: &RateConfig,
+    hops: usize,
+) -> Result<FabricBounds, BenchmarkError> {
+    let spec = multival_pa::parse_spec(&contended_fabric_source())
+        .map_err(|e| BenchmarkError::Source(e.to_string()))?;
+    let explored = multival_pa::explore(&spec, &multival_pa::ExploreOptions::default())
+        .map_err(|e| BenchmarkError::Source(e.to_string()))?;
+    let hops = hops.max(1);
+    let imc = decorate_by_label(&explored.lts, |label| {
+        let rate = match label {
+            "issue" => rates.issue_rate,
+            "flush" => rates.transfer_rate / hops as f64,
+            "mem" => rates.memory_rate / (1 + hops) as f64,
+            "consume" => rates.cache_rate,
+            // c2c/home (the arbitration) and mark (the probe) stay interactive.
+            _ => return None,
+        };
+        Some(Delay::Exponential { rate })
+    });
     let hidden =
         multival_imc::ops::relabel(
             &imc,
             |name| {
-                if name == probe {
+                if name == "mark" {
                     Some(name.to_owned())
                 } else {
                     None
                 }
             },
         );
-    let conv =
-        to_ctmc(&hidden, NondetPolicy::Uniform, &[probe]).map_err(BenchmarkError::Conversion)?;
-    let tp = probe_throughputs(&conv, &SolveOptions::default()).map_err(BenchmarkError::Solver)?;
-    let rounds = tp.first().map(|&(_, t)| t).unwrap_or(0.0);
-    Ok(BandwidthRow {
-        topology: config.topology,
-        protocol: config.protocol,
-        implementation: config.implementation,
-        payload: config.payload,
-        rounds_per_time: rounds,
-        lines_per_time: rounds * 2.0 * config.payload as f64,
-        ctmc_states: conv.ctmc.num_states(),
+    let conv = to_ctmdp_lifted(&hidden, &["mark"]).map_err(BenchmarkError::Conversion)?;
+    let (min, max, instant_states) = probe_rate_bounds(&conv)?;
+    Ok(FabricBounds {
+        min_rounds_per_time: min,
+        max_rounds_per_time: max,
+        ctmdp_states: conv.mdp.num_states(),
+        instant_states,
     })
 }
 
@@ -406,6 +563,58 @@ mod tests {
             "bounded by fabric serialization: {} vs {}",
             bw.rounds_per_time,
             inverse
+        );
+    }
+
+    #[test]
+    fn bandwidth_bounds_validate_the_uniform_resolution() {
+        // The cyclic benchmark's τ-nondeterminism turns out to be confluent:
+        // every vanishing state resolves deterministically, so the interval
+        // collapses to a point and the uniform policy the plain bandwidth
+        // analysis relies on is *provably* harmless — the bounds flow turns
+        // an assumption of the seed analysis into a theorem about the model.
+        let rates = RateConfig::default();
+        let cfg = base(Topology::Crossbar(2), Protocol::Msi, MpiImpl::Eager);
+        let uniform = ping_pong_bandwidth(&cfg, &rates).expect("uniform");
+        let b = ping_pong_bandwidth_bounds(&cfg, &rates).expect("bounds");
+        assert!(
+            (b.max_rounds_per_time - b.min_rounds_per_time).abs() < 1e-9,
+            "confluent interleaving must give a point interval: [{}, {}]",
+            b.min_rounds_per_time,
+            b.max_rounds_per_time
+        );
+        assert!(
+            (b.min_rounds_per_time - uniform.rounds_per_time).abs() < 1e-6,
+            "the point must be the uniform answer: {} vs {}",
+            b.min_rounds_per_time,
+            uniform.rounds_per_time
+        );
+    }
+
+    #[test]
+    fn contended_fabric_bounds_have_a_genuine_spread() {
+        let b = contended_fabric_bounds(&RateConfig::default(), 1).expect("bounds");
+        assert!(b.instant_states > 0, "the arbitration must survive as instant states");
+        // The endpoints are the two pure servicing policies: every round via
+        // the cache-to-cache flush (fast) or via the home-memory fetch
+        // (slow). Round time = issue + service + consume; at 1 hop the
+        // memory rate halves.
+        let rates = RateConfig::default();
+        let fast =
+            1.0 / (1.0 / rates.issue_rate + 1.0 / rates.transfer_rate + 1.0 / rates.cache_rate);
+        let slow =
+            1.0 / (1.0 / rates.issue_rate + 2.0 / rates.memory_rate + 1.0 / rates.cache_rate);
+        assert!(
+            (b.min_rounds_per_time - slow).abs() < 1e-6,
+            "{} vs {}",
+            b.min_rounds_per_time,
+            slow
+        );
+        assert!(
+            (b.max_rounds_per_time - fast).abs() < 1e-6,
+            "{} vs {}",
+            b.max_rounds_per_time,
+            fast
         );
     }
 

@@ -13,11 +13,15 @@
 
 use crate::common::{explore_model, ExploredModel, Model};
 use multival_ctmc::absorb::mean_time_to_target;
+use multival_ctmc::mdp::Opt;
 use multival_ctmc::steady::{steady_state, SolveOptions};
 use multival_ctmc::CtmcError;
 use multival_imc::decorate::{decorate_by_label, decorate_by_label_with_map};
+use multival_imc::ops::hide;
 use multival_imc::phase_type::Delay;
-use multival_imc::to_ctmc::{probe_throughputs, to_ctmc, NondetPolicy, ToCtmcError};
+use multival_imc::to_ctmc::{
+    probe_throughputs, to_ctmc, to_ctmdp_lifted, NondetPolicy, ToCtmcError,
+};
 use std::fmt;
 
 /// Rates of the pipeline stages.
@@ -266,6 +270,139 @@ pub fn analyze_with_delays(
     })
 }
 
+/// Configuration of the scheduler-quantified pipeline variant: the NoC
+/// offers a fast and a slow route, and an instantaneous arbiter picks one
+/// per transfer. The arbiter is *not* decorated with a delay, so its choice
+/// survives as genuine nondeterminism — the scheduler of the lifted CTMDP.
+#[derive(Debug, Clone, Copy)]
+pub struct NocBoundsConfig {
+    /// The underlying pipeline (its `transfer_rate` is superseded by the
+    /// per-route rates below).
+    pub base: PerfConfig,
+    /// Transfer rate over the fast route.
+    pub fast_rate: f64,
+    /// Transfer rate over the slow route.
+    pub slow_rate: f64,
+}
+
+impl Default for NocBoundsConfig {
+    fn default() -> Self {
+        NocBoundsConfig { base: PerfConfig::default(), fast_rate: 8.0, slow_rate: 1.0 }
+    }
+}
+
+/// Scheduler-quantified delivery throughput: the guaranteed floor (`min`),
+/// the achievable ceiling (`max`), and the CTMDP accounting behind them.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputBounds {
+    /// Throughput under the worst scheduler (every resolution is ≥ this).
+    pub min: f64,
+    /// Throughput under the best scheduler.
+    pub max: f64,
+    /// CTMDP states solved.
+    pub ctmdp_states: usize,
+    /// Instant (nondeterministic arbitration) states among them.
+    pub instant_states: usize,
+}
+
+/// Which route the arbiter granted for the pending transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Route {
+    Fast,
+    Slow,
+}
+
+/// Pipeline state plus the granted route, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RoutedState {
+    pipe: PipeState,
+    route: Option<Route>,
+}
+
+/// The pipeline with a two-route NoC: `grab_*` transitions (instantaneous,
+/// undecorated) commit a pending transfer to a route; the transfer then
+/// proceeds at that route's rate while producer/consumer/credits continue
+/// concurrently.
+#[derive(Debug, Clone, Copy)]
+struct RoutedModel {
+    config: PerfConfig,
+}
+
+impl Model for RoutedModel {
+    type State = RoutedState;
+
+    fn initial(&self) -> RoutedState {
+        RoutedState { pipe: PipeModel { config: self.config }.initial(), route: None }
+    }
+
+    fn successors(&self, s: &RoutedState) -> Vec<(String, RoutedState)> {
+        let inner = PipeModel { config: self.config };
+        let mut out = Vec::new();
+        for (label, next) in inner.successors(&s.pipe) {
+            match (label.as_str(), s.route) {
+                ("xfer", Some(Route::Fast)) => {
+                    out.push(("xfer_fast".to_owned(), RoutedState { pipe: next, route: None }));
+                }
+                ("xfer", Some(Route::Slow)) => {
+                    out.push(("xfer_slow".to_owned(), RoutedState { pipe: next, route: None }));
+                }
+                ("xfer", None) => {
+                    for (grab, route) in [("grab_fast", Route::Fast), ("grab_slow", Route::Slow)] {
+                        out.push((
+                            grab.to_owned(),
+                            RoutedState { pipe: s.pipe, route: Some(route) },
+                        ));
+                    }
+                }
+                _ => out.push((label, RoutedState { pipe: next, ..*s })),
+            }
+        }
+        out
+    }
+}
+
+/// Min/max delivery throughput of the two-route pipeline over *every*
+/// scheduler — the E13 spread for xSTream. Every concrete route policy
+/// (always-fast, always-slow, any state-dependent mix) lands inside the
+/// returned interval; always-fast and always-slow are its endpoints
+/// because throughput is monotone in the granted rate.
+///
+/// # Errors
+///
+/// Propagates exploration, conversion, and solver errors.
+pub fn throughput_bounds(config: &NocBoundsConfig) -> Result<ThroughputBounds, PerfError> {
+    let c = config.base;
+    let explored = explore_model(&RoutedModel { config: c }, 1_000_000)?;
+    let imc = decorate_by_label(&explored.lts, |label| {
+        let rate = match label {
+            "push" => c.producer_rate,
+            "xfer_fast" => config.fast_rate,
+            "xfer_slow" => config.slow_rate,
+            "pop" => c.consumer_rate,
+            "credit" => c.credit_rate,
+            // grab_* stay interactive: the arbiter's nondeterministic choice.
+            _ => return None,
+        };
+        Some(Delay::Exponential { rate })
+    });
+    // Keep the delivery probe visible; the grabs and the other stage labels
+    // become τ, so every pending grant is a nondeterministic instant state.
+    let hidden = hide(&imc, ["push", "xfer_fast", "xfer_slow", "credit", "grab_fast", "grab_slow"]);
+    let conv = to_ctmdp_lifted(&hidden, &["pop"]).map_err(PerfError::Conversion)?;
+    let zeros = vec![0.0; conv.mdp.num_states()];
+    let imp = &conv.probe_impulse[0].1;
+    let min = conv
+        .mdp
+        .long_run_average(&zeros, Some(imp), Opt::Min, 1e-12, 1_000_000)
+        .map_err(PerfError::Solver)?;
+    let max = conv
+        .mdp
+        .long_run_average(&zeros, Some(imp), Opt::Max, 1e-12, 1_000_000)
+        .map_err(PerfError::Solver)?;
+    let instant_states = (0..conv.mdp.num_states()).filter(|&s| conv.mdp.is_instant(s)).count();
+    Ok(ThroughputBounds { min, max, ctmdp_states: conv.mdp.num_states(), instant_states })
+}
+
 /// CDF of the time to the first delivery (`P(first pop ≤ t)` for each
 /// requested time point) — the transient "figure" series of experiment E6,
 /// computed by uniformization on the absorbing first-pop chain.
@@ -440,6 +577,48 @@ mod tests {
             erl.throughput,
             exp.throughput
         );
+    }
+
+    #[test]
+    fn noc_route_bounds_bracket_the_fixed_route_pipelines() {
+        let cfg = NocBoundsConfig::default();
+        let b = throughput_bounds(&cfg).expect("bounds");
+        assert!(b.instant_states > 0, "arbitration must survive as instant states");
+        assert!(b.max > b.min + 1e-6, "route choice must matter: [{}, {}]", b.min, b.max);
+        // Always-slow and always-fast are two concrete schedulers, so their
+        // throughputs (computed by the plain CTMC flow on the single-route
+        // pipeline) must land inside the interval — and, because throughput
+        // is monotone in the granted rate, exactly at its endpoints.
+        let slow = analyze(&PerfConfig { transfer_rate: cfg.slow_rate, ..cfg.base })
+            .expect("slow pipeline");
+        let fast = analyze(&PerfConfig { transfer_rate: cfg.fast_rate, ..cfg.base })
+            .expect("fast pipeline");
+        assert!(
+            (b.min - slow.throughput).abs() < 1e-6,
+            "floor {} vs always-slow {}",
+            b.min,
+            slow.throughput
+        );
+        assert!(
+            (b.max - fast.throughput).abs() < 1e-6,
+            "ceiling {} vs always-fast {}",
+            b.max,
+            fast.throughput
+        );
+    }
+
+    #[test]
+    fn equal_routes_collapse_onto_the_deterministic_pipeline() {
+        let base = PerfConfig::default();
+        let b = throughput_bounds(&NocBoundsConfig {
+            base,
+            fast_rate: base.transfer_rate,
+            slow_rate: base.transfer_rate,
+        })
+        .expect("bounds");
+        let r = analyze(&base).expect("analyzes");
+        assert!((b.max - b.min).abs() < 1e-9, "identical routes: [{}, {}]", b.min, b.max);
+        assert!((b.min - r.throughput).abs() < 1e-6, "{} vs {}", b.min, r.throughput);
     }
 
     #[test]

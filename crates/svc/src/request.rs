@@ -2,7 +2,7 @@
 //! (the cache key), and their evaluation against the flow engines.
 //!
 //! A request names a *kind* (`explore`, `check`, `steady`, `transient`,
-//! `simulate`, `reduce`), a *model* (a built-in case study, an inline mini-LOTOS
+//! `simulate`, `bounds`, `reduce`), a *model* (a built-in case study, an inline mini-LOTOS
 //! `source`, or an uploaded Aldebaran `aut` text), and kind-specific
 //! parameters. Canonicalization fills every default in and sorts object
 //! keys, so two requests that mean the same thing hash to the same cache
@@ -46,6 +46,10 @@ pub enum Kind {
     Transient,
     /// Monte-Carlo occupancy estimation (`rates` required).
     Simulate,
+    /// Scheduler-quantified throughput bounds over every resolution of the
+    /// model's nondeterminism (`rates` required): min/max per probe via the
+    /// lifted CTMDP.
+    Bounds,
     /// Compositional smart reduction over the model's component network
     /// (inline `source` models only).
     Reduce,
@@ -59,6 +63,7 @@ impl Kind {
             Kind::Steady => "steady",
             Kind::Transient => "transient",
             Kind::Simulate => "simulate",
+            Kind::Bounds => "bounds",
             Kind::Reduce => "reduce",
         }
     }
@@ -199,6 +204,7 @@ impl JobRequest {
             Some("steady") => Kind::Steady,
             Some("transient") => Kind::Transient,
             Some("simulate") => Kind::Simulate,
+            Some("bounds") => Kind::Bounds,
             Some("reduce") => Kind::Reduce,
             Some(other) => return Err(format!("unknown kind `{other}`")),
             None => return Err("`kind` is required".to_owned()),
@@ -241,7 +247,9 @@ impl JobRequest {
         // Canonical rate order is alphabetical, not submission order.
         rates.sort_by(|a, b| a.0.cmp(&b.0));
         rates.dedup_by(|a, b| a.0 == b.0);
-        if matches!(kind, Kind::Steady | Kind::Transient | Kind::Simulate) && rates.is_empty() {
+        if matches!(kind, Kind::Steady | Kind::Transient | Kind::Simulate | Kind::Bounds)
+            && rates.is_empty()
+        {
             return Err(format!("`rates` is required for kind `{}`", kind.name()));
         }
         let mut probes = match v.get("probes") {
@@ -416,7 +424,9 @@ impl JobRequest {
                     ("total".into(), Json::num(result.total as f64)),
                 ]))
             }
-            Kind::Steady | Kind::Transient | Kind::Simulate => self.evaluate_perf(lts, workers),
+            Kind::Steady | Kind::Transient | Kind::Simulate | Kind::Bounds => {
+                self.evaluate_perf(lts, workers)
+            }
             Kind::Reduce => unreachable!("handled before the model is flattened"),
         }
     }
@@ -477,6 +487,31 @@ impl JobRequest {
     fn evaluate_perf(&self, lts: Lts, workers: Workers) -> Result<Json, String> {
         let rate_map: HashMap<String, f64> = self.rates.iter().cloned().collect();
         let probe_refs: Vec<&str> = self.probes.iter().map(String::as_str).collect();
+        if self.kind == Kind::Bounds {
+            let bounds = Flow::from_lts(lts)
+                .with_rates(&rate_map)
+                .solve_bounds(&probe_refs)
+                .map_err(|e| e.to_string())?;
+            let mdp = bounds.mdp();
+            let instant = (0..mdp.num_states()).filter(|&s| mdp.is_instant(s)).count();
+            let throughputs: Vec<(String, Json)> = bounds
+                .throughput_bounds()
+                .map_err(|e| e.to_string())?
+                .into_iter()
+                .map(|(probe, i)| {
+                    let member = Json::Obj(vec![
+                        ("min".into(), Json::num(i.min)),
+                        ("max".into(), Json::num(i.max)),
+                    ]);
+                    (probe, member)
+                })
+                .collect();
+            return Ok(Json::Obj(vec![
+                ("states".into(), Json::num(bounds.mdp().num_states() as f64)),
+                ("instant".into(), Json::num(instant as f64)),
+                ("throughput_bounds".into(), Json::Obj(throughputs)),
+            ]));
+        }
         let solved = Flow::from_lts(lts)
             .with_rates(&rate_map)
             .solve(NondetPolicy::Uniform, &probe_refs)
@@ -610,6 +645,7 @@ mod tests {
             r#"{"kind":"explore","model":{"builtin":"a","source":"b"}}"#,
             r#"{"kind":"check","model":{"builtin":"xstream_pipeline"}}"#,
             r#"{"kind":"steady","model":{"builtin":"xstream_pipeline"}}"#,
+            r#"{"kind":"bounds","model":{"builtin":"xstream_pipeline"}}"#,
             r#"{"kind":"steady","model":{"builtin":"xstream_pipeline"},"rates":{"a":-1}}"#,
             r#"{"kind":"simulate","model":{"builtin":"xstream_pipeline"},"rates":{"a":1},"seed":-3}"#,
         ] {
@@ -655,6 +691,66 @@ mod tests {
         let a = req(&text).evaluate(Workers::sequential()).expect("evaluates").to_string();
         let b = req(&text).evaluate(Workers::new(4)).expect("evaluates").to_string();
         assert_eq!(a, b, "MC estimates depend on the seed only");
+    }
+
+    /// Two rounds racing for an arbiter: the winning branch is decided by an
+    /// interactive (hence nondeterministic) choice, so throughput genuinely
+    /// depends on the scheduler — exp(4) rounds give 4/s, exp(1) rounds 1/s.
+    const ARB: &str = "process Arb[pa, pb, fast, slow, done] :=
+            pa; fast; done; Arb[pa, pb, fast, slow, done]
+         [] pb; slow; done; Arb[pa, pb, fast, slow, done]
+         endproc
+         behaviour Arb[pa, pb, fast, slow, done]";
+
+    fn probe_bounds(out: &Json, probe: &str) -> (f64, f64) {
+        let tp = out
+            .get("throughput_bounds")
+            .and_then(|t| t.get(probe))
+            .unwrap_or_else(|| panic!("probe `{probe}` missing in {out}"));
+        let min = tp.get("min").and_then(Json::as_num).expect("min");
+        let max = tp.get("max").and_then(Json::as_num).expect("max");
+        (min, max)
+    }
+
+    #[test]
+    fn bounds_evaluates_and_is_thread_invariant() {
+        let text = format!(
+            r#"{{"kind":"bounds","model":{{"source":{src}}},"rates":{{"fast":4,"slow":1}},"probes":["done"]}}"#,
+            src = Json::str(ARB)
+        );
+        let a = req(&text).evaluate(Workers::sequential()).expect("evaluates").to_string();
+        let b = req(&text).evaluate(Workers::new(4)).expect("evaluates").to_string();
+        assert_eq!(a, b, "value iteration must not depend on workers");
+        let out = parse(&a).expect("json");
+        let (min, max) = probe_bounds(&out, "done");
+        assert!((min - 1.0).abs() < 1e-6, "worst scheduler always takes the slow round: {a}");
+        assert!((max - 4.0).abs() < 1e-6, "best scheduler always takes the fast round: {a}");
+        assert!(out.get("instant").and_then(Json::as_num) > Some(0.0), "{a}");
+    }
+
+    #[test]
+    fn bounds_collapse_onto_steady_without_nondeterminism() {
+        let bounds = req(&format!(
+            r#"{{"kind":"bounds","model":{{"source":{src}}},"rates":{{"put":2,"get":1}},"probes":["get"]}}"#,
+            src = Json::str(BUF)
+        ))
+        .evaluate(Workers::sequential())
+        .expect("evaluates");
+        let (min, max) = probe_bounds(&bounds, "get");
+        assert!((max - min).abs() < 1e-9, "a deterministic model has a point interval");
+
+        let steady = req(&format!(
+            r#"{{"kind":"steady","model":{{"source":{src}}},"rates":{{"put":2,"get":1}},"probes":["get"]}}"#,
+            src = Json::str(BUF)
+        ))
+        .evaluate(Workers::sequential())
+        .expect("evaluates");
+        let tp = steady
+            .get("throughputs")
+            .and_then(|t| t.get("get"))
+            .and_then(Json::as_num)
+            .expect("steady throughput");
+        assert!((min - tp).abs() < 1e-9, "bounds {min} vs steady {tp}");
     }
 
     #[test]

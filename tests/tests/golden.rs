@@ -13,13 +13,18 @@ use multival::ctmc::{McOptions, McRun, McSim, Workers};
 use multival::lts::io::{read_blts, write_aut, write_blts};
 use multival::lts::pipeline::{monolithic, run_pipeline, Network, PipelineOptions};
 use multival::models::common::explore_model;
-use multival::models::fame2::benchmark::{ping_pong_chain, RateConfig};
+use multival::models::fame2::benchmark::{
+    contended_fabric_bounds, ping_pong_bandwidth, ping_pong_bandwidth_bounds, ping_pong_chain,
+    RateConfig,
+};
 use multival::models::fame2::coherence::Protocol;
 use multival::models::fame2::mpi::{MpiConfig, MpiImpl, MpiModel};
 use multival::models::fame2::network::ping_pong_network;
 use multival::models::fame2::topology::Topology;
 use multival::models::faust::noc::{complement_network, single_packet_chain, single_packet_source};
-use multival::models::xstream::perf::{explore_pipeline, perf_conversion, PerfConfig};
+use multival::models::xstream::perf::{
+    analyze, explore_pipeline, perf_conversion, throughput_bounds, NocBoundsConfig, PerfConfig,
+};
 use multival::models::xstream::pipeline::{network as xstream_network, PipelineConfig};
 use multival::pa::{explore, parse_spec, ExploreOptions};
 use std::fmt::Write as _;
@@ -235,6 +240,83 @@ fn reduction_pipeline_golden() {
             check_golden(&format!("pipeline_{name}.aut"), &write_aut(&lts));
         }
     }
+}
+
+/// Scheduler-quantified bounds for the two nondeterministic case studies:
+/// the xSTream routed pipeline (fast/slow NoC route chosen per transfer)
+/// and the FAME2 contended fabric (cache-to-cache flush vs home-memory
+/// fetch). Each fixture pins the CTMDP shape and the `[min, max]`
+/// interval, plus the deterministic references the endpoints must match —
+/// so a regression in the lifting, the uniformization, or the value
+/// iteration shows up as a one-line diff.
+#[test]
+fn scheduler_bounds_golden() {
+    // xSTream: the interval endpoints are provably the always-slow and
+    // always-fast single-route pipelines.
+    let cfg = NocBoundsConfig::default();
+    let b = throughput_bounds(&cfg).expect("bounds");
+    let slow =
+        analyze(&PerfConfig { transfer_rate: cfg.slow_rate, ..cfg.base }).expect("slow pipeline");
+    let fast =
+        analyze(&PerfConfig { transfer_rate: cfg.fast_rate, ..cfg.base }).expect("fast pipeline");
+    let mut snap = String::new();
+    let _ = writeln!(
+        snap,
+        "routed pipeline ctmdp states: {} ({} instant)",
+        b.ctmdp_states, b.instant_states
+    );
+    let _ = writeln!(snap, "throughput bounds: [{:.6}, {:.6}]", b.min, b.max);
+    let _ = writeln!(snap, "always-slow pipeline: {:.6}", slow.throughput);
+    let _ = writeln!(snap, "always-fast pipeline: {:.6}", fast.throughput);
+    check_golden("bounds_xstream.txt", &snap);
+    assert!(b.max > b.min + 1e-6, "the routed pipeline must have a genuine spread");
+    assert!((b.min - slow.throughput).abs() < 1e-6 && (b.max - fast.throughput).abs() < 1e-6);
+
+    // FAME2: the contended fabric has a genuine spread; the cyclic
+    // ping-pong benchmark is confluent, so its interval collapses onto the
+    // seed's uniform-policy answer — both facts are part of the fixture.
+    let rates = RateConfig::default();
+    let fabric = contended_fabric_bounds(&rates, 1).expect("fabric bounds");
+    let config = MpiConfig {
+        topology: Topology::Crossbar(2),
+        protocol: Protocol::Msi,
+        implementation: MpiImpl::Eager,
+        payload: 1,
+    };
+    let cyclic = ping_pong_bandwidth_bounds(&config, &rates).expect("cyclic bounds");
+    let uniform = ping_pong_bandwidth(&config, &rates).expect("uniform bandwidth");
+    let mut snap = String::new();
+    let _ = writeln!(
+        snap,
+        "contended fabric ctmdp states: {} ({} instant)",
+        fabric.ctmdp_states, fabric.instant_states
+    );
+    let _ = writeln!(
+        snap,
+        "rounds/time bounds: [{:.6}, {:.6}]",
+        fabric.min_rounds_per_time, fabric.max_rounds_per_time
+    );
+    let _ = writeln!(
+        snap,
+        "cyclic ping-pong ctmdp states: {} ({} instant)",
+        cyclic.ctmdp_states, cyclic.instant_states
+    );
+    let _ = writeln!(
+        snap,
+        "cyclic ping-pong bounds: [{:.6}, {:.6}]",
+        cyclic.min_rounds_per_time, cyclic.max_rounds_per_time
+    );
+    let _ = writeln!(snap, "cyclic ping-pong uniform: {:.6}", uniform.rounds_per_time);
+    check_golden("bounds_fame2.txt", &snap);
+    assert!(
+        fabric.max_rounds_per_time > fabric.min_rounds_per_time + 1e-6,
+        "the fabric arbitration must have a genuine spread"
+    );
+    assert!(
+        (cyclic.max_rounds_per_time - cyclic.min_rounds_per_time).abs() < 1e-9
+            && (cyclic.min_rounds_per_time - uniform.rounds_per_time).abs() < 1e-6,
+        "the confluent cyclic benchmark must collapse onto the uniform policy"
+    );
 }
 
 /// FAUST NoC single packet: absorbing delivery, measured as the mean

@@ -1,16 +1,20 @@
 //! Metamorphic properties of the numerical engines: solving commutes with
-//! lumping (minimize-then-solve equals solve-then-project), and the CSR
-//! and dense uniformization/steady-state kernels agree on random CTMCs.
+//! lumping (minimize-then-solve equals solve-then-project), the CSR
+//! and dense uniformization/steady-state kernels agree on random CTMCs,
+//! and scheduler bounds sandwich every concrete resolution of random
+//! nondeterministic models (with proptest shrinking to a minimal witness).
 
 use multival::ctmc::dense::{steady_state_dense, transient_dense};
 use multival::ctmc::steady::{steady_state, SolveOptions};
 use multival::ctmc::transient::{transient, TransientOptions};
 use multival::ctmc::{Ctmc, CtmcBuilder};
+use multival::flow::Flow;
 use multival::imc::lump::{lump_partition, LumpOptions};
 use multival::imc::to_ctmc::to_ctmc;
 use multival::imc::{Imc, ImcBuilder, NondetPolicy};
+use multival::lts::equiv::lts_from_triples;
 use proptest::prelude::*;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Strategy: a purely-Markovian IMC with up to `max_states` states, every
 /// state reachable through a spanning chain. Rates come from a small
@@ -96,6 +100,56 @@ fn project(dist: &[f64], state_map: &[Option<usize>], block: &[u32], num_blocks:
     out
 }
 
+type Triple = (u32, &'static str, u32);
+
+/// Strategy: a random nondeterministic model as LTS triples — a Markovian
+/// spanning cycle over rated gates plus strictly forward internal edges
+/// (`choice` hidden, `tick` probed), so τ-cycles cannot arise and every
+/// scheduler keeps the whole cycle live. Shrinking drops extra edges and
+/// states toward a minimal counterexample.
+fn arb_nondet_triples() -> impl Strategy<Value = Vec<Triple>> {
+    let gates = prop::sample::select(vec!["ga", "gb", "gc"]);
+    (4..=7u32).prop_flat_map(move |n| {
+        let cycle = prop::collection::vec(gates.clone(), n as usize);
+        let extra = prop::collection::vec((0..n, 0..n, gates.clone()), 0..n as usize);
+        let internal = prop::collection::vec((0..n - 1, 0..n, 0..2u32), 1..=n as usize);
+        (cycle, extra, internal).prop_map(move |(cycle, extra, internal)| {
+            let mut t: Vec<Triple> = Vec::new();
+            for (i, g) in cycle.iter().take(n as usize - 1).enumerate() {
+                t.push((i as u32, g, i as u32 + 1));
+            }
+            t.push((n - 1, cycle[n as usize - 1], 0));
+            for (a, b, g) in extra {
+                if a != b {
+                    t.push((a, g, b));
+                }
+            }
+            for (a, off, tick) in internal {
+                let b = a + 1 + off % (n - 1 - a);
+                t.push((a, if tick == 1 { "tick" } else { "choice" }, b));
+            }
+            t
+        })
+    })
+}
+
+/// Keeps the first internal edge per state — the first-choice stationary
+/// deterministic scheduler.
+fn first_choice(triples: &[Triple]) -> Vec<Triple> {
+    let mut taken: HashMap<u32, usize> = HashMap::new();
+    triples
+        .iter()
+        .enumerate()
+        .filter(|&(i, &(a, l, _))| {
+            if l != "choice" && l != "tick" {
+                return true;
+            }
+            *taken.entry(a).or_insert(i) == i
+        })
+        .map(|(_, &t)| t)
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -157,6 +211,58 @@ proptest! {
         let dense = steady_state_dense(&ctmc, &opts).expect("dense");
         for (s, (a, b)) in csr.iter().zip(&dense).enumerate() {
             prop_assert!((a - b).abs() < 1e-9, "state {s}: csr {a} vs dense {b}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Scheduler sandwich: on a random nondeterministic model, the uniform
+    /// policy and the first-choice resolution both land inside the lifted
+    /// CTMDP's `[min, max]` interval, for throughput and occupancy alike.
+    #[test]
+    fn scheduler_bounds_sandwich_concrete_resolutions(triples in arb_nondet_triples()) {
+        let rates: HashMap<String, f64> =
+            [("ga".to_owned(), 0.7), ("gb".to_owned(), 1.3), ("gc".to_owned(), 2.9)]
+                .into_iter()
+                .collect();
+        let n = triples.iter().map(|&(a, _, b)| a.max(b)).max().unwrap_or(0) + 1;
+        let occ: Vec<u32> = (0..n).filter(|s| s % 2 == 0).collect();
+
+        let perf = Flow::from_lts(lts_from_triples(&triples)).with_rates(&rates);
+        let bounds = perf.solve_bounds(&["tick"]).expect("bounds solve");
+        let tick = bounds
+            .throughput_bounds()
+            .expect("throughput bounds")
+            .into_iter()
+            .find(|(l, _)| l == "tick")
+            .map(|(_, i)| i)
+            .expect("tick probe");
+        let occ_iv = bounds.occupancy_bounds(&occ).expect("occupancy bounds");
+
+        let resolutions = [
+            ("uniform", perf.solve(NondetPolicy::Uniform, &["tick"]).expect("uniform")),
+            (
+                "first-choice",
+                Flow::from_lts(lts_from_triples(&first_choice(&triples)))
+                    .with_rates(&rates)
+                    .solve(NondetPolicy::Uniform, &["tick"])
+                    .expect("first-choice"),
+            ),
+        ];
+        for (name, solved) in &resolutions {
+            let tp = solved
+                .throughputs()
+                .expect("throughputs")
+                .into_iter()
+                .find(|(l, _)| l == "tick")
+                .map_or(0.0, |(_, v)| v);
+            let oc = solved.occupancy(&occ).expect("occupancy");
+            prop_assert!(tick.contains(tp, 1e-9),
+                "{name} throughput {tp} outside [{}, {}]", tick.min, tick.max);
+            prop_assert!(occ_iv.contains(oc, 1e-9),
+                "{name} occupancy {oc} outside [{}, {}]", occ_iv.min, occ_iv.max);
         }
     }
 }
