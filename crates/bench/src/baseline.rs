@@ -10,6 +10,7 @@
 use multival::ctmc::dense::transient_dense;
 use multival::ctmc::transient::transient;
 use multival::ctmc::{Ctmc, CtmcBuilder, McOptions, McSim, TransientOptions, Workers};
+use multival::fuzz::{run_fuzz, FuzzOptions};
 use multival::imc::compositional::{compose_minimize, peak_states, Component, PipelineOptions};
 use multival::imc::ImcBuilder;
 use multival::lts::ops::compose_all;
@@ -24,6 +25,7 @@ use multival::models::fame2::network::ping_pong_network;
 use multival::models::faust::mesh::{complement_network_n, complement_spec_n};
 use multival::models::faust::noc::complement_network;
 use multival::models::rings::{ring_parts, ring_sync};
+use multival::models::xmas::GenConfig;
 use multival::models::xstream::pipeline::{network as xstream_network, PipelineConfig};
 use multival::pa::{explore, explore_term_store_partial, parse_spec, ExploreOptions};
 use multival::par::fx::FxHashMap;
@@ -281,8 +283,47 @@ pub fn bench_baseline() -> Result<String, Box<dyn Error>> {
         );
         out.push_str(if i + 1 < sizes.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+
+    // xMAS workbench: differential fuzzing throughput at two size tiers.
+    out.push_str(&fuzz_fabrics_section(full_mode()));
+    out.push_str("}\n");
     Ok(out)
+}
+
+/// The `fuzz_fabrics` section: end-to-end throughput of the xMAS
+/// differential fuzz harness (generate → compile → reduce → four oracles)
+/// at two topology size tiers. `fabrics_per_sec` is the sweep rate over
+/// seeds; `states_per_sec` counts the states visited by the per-component
+/// pipeline reductions inside those sweeps. The sweep doubles as a cheap
+/// correctness gate — a baseline run with any oracle mismatch panics.
+fn fuzz_fabrics_section(full: bool) -> String {
+    let mut out = String::from("  \"fuzz_fabrics\": [\n");
+    let tiers: [(&str, usize, u64); 2] =
+        [("small", 7, if full { 32 } else { 8 }), ("large", 10, if full { 12 } else { 4 })];
+    for (i, &(tier, max_steps, seeds)) in tiers.iter().enumerate() {
+        let options = FuzzOptions {
+            seed_end: seeds,
+            gen: GenConfig { max_steps, ..GenConfig::default() },
+            ..FuzzOptions::default()
+        };
+        let (report, wall) = timed(|| run_fuzz(&options));
+        assert!(report.mismatches.is_empty(), "baseline fuzz sweep must be clean");
+        let secs = wall.as_secs_f64().max(1e-9);
+        let _ = write!(
+            out,
+            "    {{\"tier\": \"{tier}\", \"max_steps\": {max_steps}, \"seeds\": {seeds}, \
+             \"states\": {}, \"fabrics_per_sec\": {:.2}, \"states_per_sec\": {:.0}, \
+             \"wall_ms\": {}}}",
+            report.states_explored,
+            seeds as f64 / secs,
+            report.states_explored as f64 / secs,
+            ms(wall)
+        );
+        out.push_str(if i + 1 < tiers.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n");
+    out
 }
 
 /// `BENCH_FULL=1` adds the slow E12 frontier rows (the 4×4 mesh
@@ -651,6 +692,7 @@ mod tests {
             "par_chunking",
             "pipeline_reduction",
             "e9_farm",
+            "fuzz_fabrics",
         ] {
             assert!(json.contains(key), "missing {key}:\n{json}");
         }

@@ -279,6 +279,33 @@ pub enum Command {
         /// Input model path.
         input: String,
     },
+    /// `fuzz [--seeds A..B] [--corpus DIR] [--threads N] [--max-states N]
+    /// [--timeout-secs T] [--max-steps N] [--max-colors N] [--max-cap N]
+    /// [--inject-flip] [--store hash|arena|spill] [--mem-budget BYTES]` —
+    /// differential fuzzing over generated xMAS fabrics.
+    Fuzz {
+        /// Seed range, start inclusive, end exclusive.
+        seeds: (u64, u64),
+        /// Directory for minimized reproducers (skipped on budget trips).
+        corpus: Option<String>,
+        /// Worker threads (1 = sequential, 0 = one per hardware thread).
+        threads: usize,
+        /// State-count / wall-clock budget for the whole sweep.
+        budget: Budget,
+        /// Generator growth steps per fabric.
+        max_steps: usize,
+        /// Generator color-palette size (1..=4).
+        max_colors: usize,
+        /// Generator queue-capacity bound (1..=3).
+        max_cap: usize,
+        /// Plant the switch-polarity renderer bug (harness self-test: the
+        /// sweep must then report mismatches).
+        inject_flip: bool,
+        /// Stage products dedup through this store backend.
+        store: Option<multival_lts::StoreKind>,
+        /// Resident-memory budget for the spill backend, in bytes.
+        mem_budget: Option<usize>,
+    },
     /// `help`
     Help,
 }
@@ -339,6 +366,10 @@ USAGE:
   multival walk     <model.lot> [--steps N] [--seed S]
   multival refines  <IMP> <SPEC> [--weak]
   multival lint     <model.lot>
+  multival fuzz     [--seeds A..B] [--corpus DIR] [--threads N]
+                    [--max-states N] [--timeout-secs T]
+                    [--max-steps N] [--max-colors N] [--max-cap N]
+                    [--inject-flip] [--store hash|arena|spill] [--mem-budget BYTES]
   multival serve    [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
                     [--queue-cap N] [--cache-capacity N] [--journal DIR]
                     [--event-threads N]
@@ -386,6 +417,17 @@ rule is not met within the trajectory cap.
 
 --timeout-secs / --max-states bound a run: when a budget trips, partial
 results are reported with a `Budget exceeded` note and exit code 3.
+
+fuzz sweeps seeded random xMAS fabrics (--seeds A..B, end exclusive; size
+shaped by --max-steps/--max-colors/--max-cap) through the whole flow and
+differentially cross-checks it against itself: smart compositional reduction
+vs monolithic composition, the direct network builder vs the rendered
+mini-LOTOS frontend, on-the-fly deadlock search vs reduced-model detection,
+and scheduler throughput-bound sanity. Any disagreement is minimized and, with
+--corpus DIR, written as a standalone .lot reproducer; mismatches exit 1.
+--inject-flip plants a switch-polarity bug in the renderer to prove the
+harness catches miscompilation. A budget trip (exit 3) skips the corpus
+write.
 
 serve starts the long-running evaluation service: a bounded job queue and
 worker pool behind a std-only HTTP/1.1 JSON API (POST /v1/jobs,
@@ -606,6 +648,48 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 return Err(format!("unexpected argument `{extra}`"));
             }
             Ok(Command::Lint { input })
+        }
+        Some("fuzz") => {
+            let mut seeds = (0u64, 16u64);
+            let mut corpus = None;
+            let mut threads = 1usize;
+            let mut budget = Budget::default();
+            let mut max_steps = 7usize;
+            let mut max_colors = 2usize;
+            let mut max_cap = 2usize;
+            let mut inject_flip = false;
+            let mut store = None;
+            let mut mem_budget = None;
+            while let Some(a) = it.next() {
+                match a {
+                    "--seeds" => seeds = parse_seed_range(&next_value(&mut it, "--seeds")?)?,
+                    "--corpus" => corpus = Some(next_value(&mut it, "--corpus")?),
+                    "--threads" => threads = parse_flag(&mut it, a)?,
+                    "--max-states" => budget.max_states = Some(parse_flag(&mut it, a)?),
+                    "--timeout-secs" => budget = budget.with_timeout_secs(parse_flag(&mut it, a)?),
+                    "--max-steps" => max_steps = parse_flag(&mut it, a)?,
+                    "--max-colors" => max_colors = parse_flag(&mut it, a)?,
+                    "--max-cap" => max_cap = parse_flag(&mut it, a)?,
+                    "--inject-flip" => inject_flip = true,
+                    "--store" => store = Some(parse_store(&next_value(&mut it, "--store")?)?),
+                    "--mem-budget" => {
+                        mem_budget = Some(parse_mem(&next_value(&mut it, "--mem-budget")?)?)
+                    }
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            Ok(Command::Fuzz {
+                seeds,
+                corpus,
+                threads,
+                budget,
+                max_steps,
+                max_colors,
+                max_cap,
+                inject_flip,
+                store,
+                mem_budget,
+            })
         }
         Some("walk") => {
             let mut input = None;
@@ -847,6 +931,18 @@ fn parse_mem(value: &str) -> Result<usize, String> {
     };
     let n: usize = digits.parse().map_err(|_| err())?;
     n.checked_shl(shift).filter(|_| n.leading_zeros() >= shift).ok_or_else(err)
+}
+
+/// Parses a `--seeds` value: `A..B` (start inclusive, end exclusive).
+fn parse_seed_range(value: &str) -> Result<(u64, u64), String> {
+    let err = || format!("--seeds `{value}` must be A..B with A < B");
+    let (a, b) = value.split_once("..").ok_or_else(err)?;
+    let start: u64 = a.parse().map_err(|_| err())?;
+    let end: u64 = b.parse().map_err(|_| err())?;
+    if start >= end {
+        return Err(err());
+    }
+    Ok((start, end))
 }
 
 fn next_value<'a>(it: &mut impl Iterator<Item = &'a str>, flag: &str) -> Result<String, String> {
@@ -1549,6 +1645,49 @@ pub fn execute(cmd: &Command) -> Result<CmdOut, Box<dyn Error>> {
                 Verdict::Inequivalent { witness: None } => "NOT EQUIVALENT\n".to_owned(),
             }))
         }
+        Command::Fuzz {
+            seeds,
+            corpus,
+            threads,
+            budget,
+            max_steps,
+            max_colors,
+            max_cap,
+            inject_flip,
+            store,
+            mem_budget,
+        } => {
+            let options = crate::fuzz::FuzzOptions {
+                seed_start: seeds.0,
+                seed_end: seeds.1,
+                corpus_dir: corpus.as_ref().map(std::path::PathBuf::from),
+                budget: *budget,
+                workers: if *threads == 0 { Workers::auto() } else { Workers::new(*threads) },
+                gen: multival_models::xmas::GenConfig {
+                    max_steps: *max_steps,
+                    max_colors: *max_colors,
+                    max_cap: *max_cap,
+                    credit_rings: true,
+                },
+                inject_flip: *inject_flip,
+                max_shrink_rounds: 64,
+                store: multival_lts::store::StoreConfig {
+                    kind: store.unwrap_or_default(),
+                    mem_budget: *mem_budget,
+                },
+            };
+            let report = crate::fuzz::run_fuzz(&options);
+            let mut out = report.render();
+            if report.budget_tripped {
+                return Ok(CmdOut::with_status(out, CmdStatus::BudgetExceeded));
+            }
+            if !report.mismatches.is_empty() {
+                let _ = writeln!(out, "DIFFERENTIAL MISMATCH");
+                return Err(out.into());
+            }
+            let _ = writeln!(out, "all oracles agree");
+            Ok(CmdOut::from(out))
+        }
         Command::Lint { input } => {
             let text = std::fs::read_to_string(input)
                 .map_err(|e| format!("cannot read `{input}`: {e}"))?;
@@ -1779,6 +1918,70 @@ mod tests {
             }
         );
         assert!(parse_args(&args(&["explore", "m.lot", "--threads", "four"])).is_err());
+    }
+
+    #[test]
+    fn parses_fuzz() {
+        let cmd = parse_args(&args(&["fuzz"])).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Fuzz {
+                seeds: (0, 16),
+                corpus: None,
+                threads: 1,
+                budget: Budget::default(),
+                max_steps: 7,
+                max_colors: 2,
+                max_cap: 2,
+                inject_flip: false,
+                store: None,
+                mem_budget: None,
+            }
+        );
+        let cmd = parse_args(&args(&[
+            "fuzz",
+            "--seeds",
+            "5..64",
+            "--corpus",
+            "corp",
+            "--threads",
+            "0",
+            "--max-states",
+            "1000",
+            "--timeout-secs",
+            "30",
+            "--max-steps",
+            "9",
+            "--max-colors",
+            "3",
+            "--max-cap",
+            "1",
+            "--inject-flip",
+            "--store",
+            "arena",
+        ]))
+        .expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Fuzz {
+                seeds: (5, 64),
+                corpus: Some("corp".into()),
+                threads: 0,
+                budget: Budget::default().with_max_states(1000).with_timeout_secs(30),
+                max_steps: 9,
+                max_colors: 3,
+                max_cap: 1,
+                inject_flip: true,
+                store: Some(multival_lts::StoreKind::Arena),
+                mem_budget: None,
+            }
+        );
+
+        // Seed ranges must be well-formed and non-empty.
+        assert!(parse_args(&args(&["fuzz", "--seeds", "7"])).is_err());
+        assert!(parse_args(&args(&["fuzz", "--seeds", "9..9"])).is_err());
+        assert!(parse_args(&args(&["fuzz", "--seeds", "a..b"])).is_err());
+        assert!(parse_args(&args(&["fuzz", "stray"])).is_err());
     }
 
     #[test]

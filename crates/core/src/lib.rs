@@ -49,6 +49,7 @@
 pub mod budget;
 pub mod cli;
 pub mod flow;
+pub mod fuzz;
 pub mod report;
 
 pub use multival_ctmc as ctmc;

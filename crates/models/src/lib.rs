@@ -17,7 +17,11 @@
 //!   models;
 //! * [`rings`] — a parameterizable counter-ring system whose product
 //!   explodes geometrically while its single deadlock is one step deep,
-//!   used to demonstrate on-the-fly vs. eager exploration (E1).
+//!   used to demonstrate on-the-fly vs. eager exploration (E1);
+//! * [`xmas`] — an xMAS fabric workbench: a typed primitive algebra with
+//!   a compiler onto the process-algebra layer, a seeded topology
+//!   generator, and a minimizing shrinker, turning the fixed case studies
+//!   into an unbounded differential-testing workload family.
 //!
 //! The models are *synthesized* — the industrial RTL is proprietary — but
 //! preserve the axes of variation the paper's results depend on (see
@@ -27,4 +31,5 @@ pub mod common;
 pub mod fame2;
 pub mod faust;
 pub mod rings;
+pub mod xmas;
 pub mod xstream;

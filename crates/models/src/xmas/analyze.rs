@@ -1,0 +1,685 @@
+//! Fabric type-checking and compilation analysis: channel colorsets
+//! (a monotone fixpoint), firing enumeration (deterministic forward
+//! propagation per origin color), gate grouping, and the per-cell
+//! automata both compile paths share.
+
+use super::{is_identifier, Channel, Color, Fabric, Prim, XmasError, MAX_CAP, MAX_COLOR};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// State of a one-place queue cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CellState {
+    /// The cell holds nothing.
+    Empty,
+    /// The cell holds one token of the given color.
+    Hold(Color),
+}
+
+/// One queue cell: a one-place buffer process of the compiled network.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Index of the owning queue primitive.
+    pub queue: usize,
+    /// Position within the queue (0 = input side, `cap - 1` = output side).
+    pub pos: usize,
+    /// Component name (`{queue}_{pos}`).
+    pub name: String,
+    /// The colors this cell can hold (the queue's colorset, sorted).
+    pub colors: Vec<Color>,
+    /// Initially held token, if any.
+    pub init: Option<Color>,
+    /// Transitions `(from, label, to)`, sorted and deduplicated.
+    pub transitions: Vec<(CellState, String, CellState)>,
+    /// Gate base names used by this cell.
+    pub gates: BTreeSet<String>,
+}
+
+/// One atomic fabric event: a maximal forward propagation from an origin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Firing {
+    /// Origin primitive (a source, or a queue draining its tail cell).
+    pub origin: usize,
+    /// The color emitted/drained at the origin.
+    pub origin_color: Color,
+    /// Queues drained value-blind as join secondaries.
+    pub secondaries: Vec<usize>,
+    /// Queues filled, with the arriving color.
+    pub fills: Vec<(usize, Color)>,
+    /// Traversed label, if any: `(name, carried color, show_value)`.
+    pub label: Option<(String, Color, bool)>,
+}
+
+/// A synchronization gate of the compiled network.
+#[derive(Debug, Clone)]
+pub struct Gate {
+    /// Final rendered gate name.
+    pub name: String,
+    /// Whether the gate is internalized (τ) in the composed result.
+    pub hidden: bool,
+    /// Participating cells (global cell indices, sorted).
+    pub participants: Vec<usize>,
+}
+
+/// The complete compilation analysis of a fabric.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Per-channel colorsets (sorted).
+    pub chan_colors: Vec<Vec<Color>>,
+    /// All firings, in enumeration order.
+    pub firings: Vec<Firing>,
+    /// All gates (firing gates and hop gates).
+    pub gates: Vec<Gate>,
+    /// All queue cells with their derived automata.
+    pub cells: Vec<Cell>,
+}
+
+impl Analysis {
+    /// Gates that synchronize (≥ 2 participating cells), sorted.
+    #[must_use]
+    pub fn sync_gates(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .gates
+            .iter()
+            .filter(|g| g.participants.len() >= 2)
+            .map(|g| g.name.clone())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Gates hidden in the composed result, sorted.
+    #[must_use]
+    pub fn hidden_gates(&self) -> Vec<String> {
+        let mut v: Vec<String> =
+            self.gates.iter().filter(|g| g.hidden).map(|g| g.name.clone()).collect();
+        v.sort();
+        v
+    }
+
+    /// Visible gate base names, sorted.
+    #[must_use]
+    pub fn visible_gates(&self) -> Vec<String> {
+        let mut v: Vec<String> =
+            self.gates.iter().filter(|g| !g.hidden).map(|g| g.name.clone()).collect();
+        v.sort();
+        v
+    }
+}
+
+/// How a firing affects one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum DrainKind {
+    None,
+    Specific(Color),
+    Any,
+}
+
+type Effect = (DrainKind, Option<Color>);
+
+/// Runs the full analysis. `flip_switch` inverts every switch's routing
+/// polarity — the injected-bug hook for the differential fuzzer (only the
+/// mini-LOTOS render path uses `true`).
+///
+/// # Errors
+///
+/// Returns the first well-formedness violation found.
+pub fn analyze(fabric: &Fabric, flip_switch: bool) -> Result<Analysis, XmasError> {
+    check_prims(fabric)?;
+    let (out_ch, in_ch) = port_maps(fabric)?;
+    check_join_secondaries(fabric, &in_ch)?;
+    let chan_colors = color_fixpoint(fabric, &out_ch, &in_ch, flip_switch)?;
+    for (c, colors) in chan_colors.iter().enumerate() {
+        if colors.is_empty() {
+            let from = fabric.prims()[fabric.channels()[c].from.0].0.clone();
+            return Err(XmasError::DeadChannel { channel: c, from });
+        }
+    }
+    let firings = enumerate_firings(fabric, &out_ch, &in_ch, &chan_colors, flip_switch)?;
+    let (mut cells, cell_base) = make_cells(fabric, &out_ch, &chan_colors)?;
+    let gates = assign_gates(fabric, &firings, &cell_base, &mut cells)?;
+    let chan_colors = chan_colors.into_iter().map(|s| s.into_iter().collect()).collect();
+    Ok(Analysis { chan_colors, firings, gates, cells })
+}
+
+fn check_prims(fabric: &Fabric) -> Result<(), XmasError> {
+    let mut seen = BTreeSet::new();
+    let mut any_queue = false;
+    for (name, prim) in fabric.prims() {
+        if !is_identifier(name) {
+            return Err(XmasError::BadName { name: name.clone(), role: "primitive" });
+        }
+        if !seen.insert(name.clone()) {
+            return Err(XmasError::DuplicateName { name: name.clone() });
+        }
+        match prim {
+            Prim::Source { colors } => {
+                if colors.is_empty() {
+                    return Err(XmasError::BadPrim {
+                        prim: name.clone(),
+                        detail: "source declares no colors".to_owned(),
+                    });
+                }
+                check_colors(colors)?;
+                let set: BTreeSet<_> = colors.iter().collect();
+                if set.len() != colors.len() {
+                    return Err(XmasError::BadPrim {
+                        prim: name.clone(),
+                        detail: "source repeats a color".to_owned(),
+                    });
+                }
+            }
+            Prim::Queue { cap, init } => {
+                any_queue = true;
+                if *cap == 0 || *cap > MAX_CAP || init.len() > *cap {
+                    return Err(XmasError::BadQueue { prim: name.clone() });
+                }
+                check_colors(init)?;
+            }
+            Prim::Switch { on } => check_colors(on)?,
+            Prim::Function { map } => {
+                let keys: BTreeSet<_> = map.iter().map(|(k, _)| *k).collect();
+                if keys.len() != map.len() {
+                    return Err(XmasError::BadPrim {
+                        prim: name.clone(),
+                        detail: "function map repeats a key".to_owned(),
+                    });
+                }
+                for (k, v) in map {
+                    check_colors(&[*k, *v])?;
+                }
+            }
+            Prim::Sink | Prim::Fork | Prim::Join | Prim::Merge => {}
+        }
+    }
+    if !any_queue {
+        return Err(XmasError::NoQueues);
+    }
+    for ch in fabric.channels() {
+        if let Some(label) = &ch.label {
+            let reserved = !is_identifier(&label.name)
+                || label.name.starts_with("h_")
+                || label.name.starts_with("t_")
+                || label.name == "i"
+                || label.name == "exit";
+            if reserved {
+                return Err(XmasError::BadName { name: label.name.clone(), role: "label" });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_colors(colors: &[Color]) -> Result<(), XmasError> {
+    for &c in colors {
+        if !(0..=MAX_COLOR).contains(&c) {
+            return Err(XmasError::BadColor { color: c });
+        }
+    }
+    Ok(())
+}
+
+/// Port connectivity: every port wired exactly once. Returns
+/// `(out_channel, in_channel)` maps indexed `[prim][port] -> channel`.
+type PortMaps = (Vec<Vec<usize>>, Vec<Vec<usize>>);
+
+fn port_maps(fabric: &Fabric) -> Result<PortMaps, XmasError> {
+    let prims = fabric.prims();
+    let mut out_ch: Vec<Vec<Option<usize>>> =
+        prims.iter().map(|(_, p)| vec![None; p.out_ports()]).collect();
+    let mut in_ch: Vec<Vec<Option<usize>>> =
+        prims.iter().map(|(_, p)| vec![None; p.in_ports()]).collect();
+    for (c, ch) in fabric.channels().iter().enumerate() {
+        let (fp, fo) = ch.from;
+        let (tp, ti) = ch.to;
+        if fp >= prims.len() || tp >= prims.len() {
+            return Err(XmasError::BadPort { channel: c });
+        }
+        let out_slot = out_ch[fp].get_mut(fo).ok_or(XmasError::BadPort { channel: c })?;
+        if out_slot.replace(c).is_some() {
+            return Err(XmasError::DuplicatePort {
+                prim: prims[fp].0.clone(),
+                port: fo,
+                dir: "out",
+            });
+        }
+        let in_slot = in_ch[tp].get_mut(ti).ok_or(XmasError::BadPort { channel: c })?;
+        if in_slot.replace(c).is_some() {
+            return Err(XmasError::DuplicatePort {
+                prim: prims[tp].0.clone(),
+                port: ti,
+                dir: "in",
+            });
+        }
+    }
+    let check =
+        |slots: &[Vec<Option<usize>>], dir: &'static str| -> Result<Vec<Vec<usize>>, XmasError> {
+            slots
+                .iter()
+                .enumerate()
+                .map(|(p, ports)| {
+                    ports
+                        .iter()
+                        .enumerate()
+                        .map(|(port, slot)| {
+                            slot.ok_or_else(|| XmasError::UnconnectedPort {
+                                prim: prims[p].0.clone(),
+                                port,
+                                dir,
+                            })
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+    Ok((check(&out_ch, "out")?, check(&in_ch, "in")?))
+}
+
+fn check_join_secondaries(fabric: &Fabric, in_ch: &[Vec<usize>]) -> Result<(), XmasError> {
+    for (p, (name, prim)) in fabric.prims().iter().enumerate() {
+        if matches!(prim, Prim::Join) {
+            let sec_chan = in_ch[p][1];
+            let (sp, _) = fabric.channels()[sec_chan].from;
+            if !matches!(fabric.prims()[sp].1, Prim::Queue { .. } | Prim::Source { .. }) {
+                return Err(XmasError::JoinSecondaryNotDirect { prim: name.clone() });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn apply_function(
+    fabric: &Fabric,
+    prim: usize,
+    map: &[(Color, Color)],
+    color: Color,
+) -> Result<Color, XmasError> {
+    map.iter().find(|(k, _)| *k == color).map(|(_, v)| *v).ok_or_else(|| {
+        XmasError::FunctionIncomplete { prim: fabric.prims()[prim].0.clone(), color }
+    })
+}
+
+/// The monotone colorset fixpoint over all channels.
+fn color_fixpoint(
+    fabric: &Fabric,
+    out_ch: &[Vec<usize>],
+    in_ch: &[Vec<usize>],
+    flip_switch: bool,
+) -> Result<Vec<BTreeSet<Color>>, XmasError> {
+    let prims = fabric.prims();
+    let mut colors: Vec<BTreeSet<Color>> = vec![BTreeSet::new(); fabric.num_channels()];
+    loop {
+        let mut changed = false;
+        for (p, (_, prim)) in prims.iter().enumerate() {
+            let inflow = |port: usize, colors: &[BTreeSet<Color>]| colors[in_ch[p][port]].clone();
+            let outs: Vec<(usize, BTreeSet<Color>)> = match prim {
+                Prim::Source { colors: cs } => {
+                    vec![(out_ch[p][0], cs.iter().copied().collect())]
+                }
+                Prim::Sink => vec![],
+                Prim::Queue { init, .. } => {
+                    let mut s = inflow(0, &colors);
+                    s.extend(init.iter().copied());
+                    vec![(out_ch[p][0], s)]
+                }
+                Prim::Fork => {
+                    let s = inflow(0, &colors);
+                    vec![(out_ch[p][0], s.clone()), (out_ch[p][1], s)]
+                }
+                Prim::Join => vec![(out_ch[p][0], inflow(0, &colors))],
+                Prim::Switch { on } => {
+                    let s = inflow(0, &colors);
+                    let on: BTreeSet<Color> = on.iter().copied().collect();
+                    let hit: BTreeSet<Color> =
+                        s.iter().copied().filter(|c| on.contains(c)).collect();
+                    let miss: BTreeSet<Color> =
+                        s.iter().copied().filter(|c| !on.contains(c)).collect();
+                    if flip_switch {
+                        vec![(out_ch[p][0], miss), (out_ch[p][1], hit)]
+                    } else {
+                        vec![(out_ch[p][0], hit), (out_ch[p][1], miss)]
+                    }
+                }
+                Prim::Merge => {
+                    let mut s = inflow(0, &colors);
+                    s.extend(inflow(1, &colors));
+                    vec![(out_ch[p][0], s)]
+                }
+                Prim::Function { map } => {
+                    let mut s = BTreeSet::new();
+                    for c in inflow(0, &colors) {
+                        s.insert(apply_function(fabric, p, map, c)?);
+                    }
+                    vec![(out_ch[p][0], s)]
+                }
+            };
+            for (chan, set) in outs {
+                if set != colors[chan] {
+                    // The flow is monotone, so sets only ever grow.
+                    colors[chan].extend(set);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Ok(colors);
+        }
+    }
+}
+
+/// Whether primitive `p`'s single output feeds a join's *secondary*
+/// input (such a queue/source never originates firings of its own).
+fn feeds_join_secondary(fabric: &Fabric, out_ch: &[Vec<usize>], p: usize) -> bool {
+    let chan = out_ch[p][0];
+    let (tp, ti) = fabric.channels()[chan].to;
+    ti == 1 && matches!(fabric.prims()[tp].1, Prim::Join)
+}
+
+/// Deterministic forward propagation of one origin color.
+fn propagate(
+    fabric: &Fabric,
+    out_ch: &[Vec<usize>],
+    in_ch: &[Vec<usize>],
+    origin: usize,
+    origin_color: Color,
+    flip_switch: bool,
+) -> Result<Firing, XmasError> {
+    let mut fills = Vec::new();
+    let mut secondaries = Vec::new();
+    let mut label: Option<(String, Color, bool)> = None;
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![(out_ch[origin][0], origin_color)];
+    while let Some((chan, color)) = stack.pop() {
+        if !seen.insert(chan) {
+            return Err(XmasError::ReconvergentFiring { channel: chan });
+        }
+        let Channel { to: (tp, ti), label: chan_label, .. } = &fabric.channels()[chan];
+        if let Some(l) = chan_label {
+            if let Some((prev, _, _)) = &label {
+                return Err(XmasError::AmbiguousLabel { names: (prev.clone(), l.name.clone()) });
+            }
+            label = Some((l.name.clone(), color, l.show_value));
+        }
+        let (tp, ti) = (*tp, *ti);
+        match &fabric.prims()[tp].1 {
+            Prim::Sink => {}
+            Prim::Queue { .. } => fills.push((tp, color)),
+            Prim::Fork => {
+                stack.push((out_ch[tp][0], color));
+                stack.push((out_ch[tp][1], color));
+            }
+            Prim::Function { map } => {
+                stack.push((out_ch[tp][0], apply_function(fabric, tp, map, color)?));
+            }
+            Prim::Switch { on } => {
+                let hit = on.contains(&color) != flip_switch;
+                stack.push((out_ch[tp][if hit { 0 } else { 1 }], color));
+            }
+            Prim::Merge => stack.push((out_ch[tp][0], color)),
+            Prim::Join => {
+                debug_assert_eq!(ti, 0, "secondary feeders never originate propagation");
+                let sec_chan = in_ch[tp][1];
+                let (sp, _) = fabric.channels()[sec_chan].from;
+                if matches!(fabric.prims()[sp].1, Prim::Queue { .. }) {
+                    secondaries.push(sp);
+                }
+                stack.push((out_ch[tp][0], color));
+            }
+            Prim::Source { .. } => unreachable!("sources have no input ports"),
+        }
+    }
+    fills.sort_unstable();
+    secondaries.sort_unstable();
+    Ok(Firing { origin, origin_color, secondaries, fills, label })
+}
+
+fn enumerate_firings(
+    fabric: &Fabric,
+    out_ch: &[Vec<usize>],
+    in_ch: &[Vec<usize>],
+    chan_colors: &[BTreeSet<Color>],
+    flip_switch: bool,
+) -> Result<Vec<Firing>, XmasError> {
+    let mut firings = Vec::new();
+    for (p, (name, prim)) in fabric.prims().iter().enumerate() {
+        let colors: Vec<Color> = match prim {
+            Prim::Source { colors } => {
+                let mut cs = colors.clone();
+                cs.sort_unstable();
+                cs
+            }
+            Prim::Queue { .. } => chan_colors[out_ch[p][0]].iter().copied().collect(),
+            _ => continue,
+        };
+        if feeds_join_secondary(fabric, out_ch, p) {
+            continue;
+        }
+        for v in colors {
+            let firing = propagate(fabric, out_ch, in_ch, p, v, flip_switch)?;
+            let has_storage = matches!(prim, Prim::Queue { .. })
+                || !firing.secondaries.is_empty()
+                || !firing.fills.is_empty();
+            if !has_storage {
+                return Err(XmasError::FiringWithoutStorage { origin: name.clone() });
+            }
+            firings.push(firing);
+        }
+    }
+    Ok(firings)
+}
+
+/// Builds the cell skeletons (hop transitions included) and the
+/// `(queue prim) -> first global cell` index.
+fn make_cells(
+    fabric: &Fabric,
+    out_ch: &[Vec<usize>],
+    chan_colors: &[BTreeSet<Color>],
+) -> Result<(Vec<Cell>, BTreeMap<usize, usize>), XmasError> {
+    let mut cells = Vec::new();
+    let mut cell_base = BTreeMap::new();
+    for (p, (name, prim)) in fabric.prims().iter().enumerate() {
+        let Prim::Queue { cap, init } = prim else { continue };
+        let colors: Vec<Color> = chan_colors[out_ch[p][0]].iter().copied().collect();
+        cell_base.insert(p, cells.len());
+        for pos in 0..*cap {
+            // init[0] is next out and sits at the output side (pos cap-1).
+            let back = cap - 1 - pos;
+            let init_token = init.get(back).copied();
+            cells.push(Cell {
+                queue: p,
+                pos,
+                name: format!("{name}_{pos}"),
+                colors: colors.clone(),
+                init: init_token,
+                transitions: Vec::new(),
+                gates: BTreeSet::new(),
+            });
+        }
+    }
+    // Hop transitions between adjacent cells of each queue.
+    let mut hop_transitions: Vec<(usize, CellState, String, CellState)> = Vec::new();
+    for (p, (name, prim)) in fabric.prims().iter().enumerate() {
+        let Prim::Queue { cap, .. } = prim else { continue };
+        let base = cell_base[&p];
+        for j in 0..cap.saturating_sub(1) {
+            let gate = format!("h_{name}_{j}");
+            for &v in &cells[base + j].colors.clone() {
+                let lbl = format!("{gate} !{v}");
+                hop_transitions.push((base + j, CellState::Hold(v), lbl.clone(), CellState::Empty));
+                hop_transitions.push((base + j + 1, CellState::Empty, lbl, CellState::Hold(v)));
+            }
+            cells[base + j].gates.insert(gate.clone());
+            cells[base + j + 1].gates.insert(gate);
+        }
+    }
+    for (cell, from, lbl, to) in hop_transitions {
+        cells[cell].transitions.push((from, lbl, to));
+    }
+    Ok((cells, cell_base))
+}
+
+/// Per-firing cell effects, participant grouping, gate naming, and the
+/// resulting cell transitions. Returns all gates (hop gates included).
+fn assign_gates(
+    fabric: &Fabric,
+    firings: &[Firing],
+    cell_base: &BTreeMap<usize, usize>,
+    cells: &mut [Cell],
+) -> Result<Vec<Gate>, XmasError> {
+    let tail_cell = |q: usize| -> usize {
+        let Prim::Queue { cap, .. } = &fabric.prims()[q].1 else { unreachable!() };
+        cell_base[&q] + cap - 1
+    };
+    let head_cell = |q: usize| -> usize { cell_base[&q] };
+
+    // Effects per firing.
+    let mut effects: Vec<BTreeMap<usize, Effect>> = Vec::with_capacity(firings.len());
+    for f in firings {
+        let mut eff: BTreeMap<usize, Effect> = BTreeMap::new();
+        if matches!(fabric.prims()[f.origin].1, Prim::Queue { .. }) {
+            eff.entry(tail_cell(f.origin)).or_insert((DrainKind::None, None)).0 =
+                DrainKind::Specific(f.origin_color);
+        }
+        for &s in &f.secondaries {
+            eff.entry(tail_cell(s)).or_insert((DrainKind::None, None)).0 = DrainKind::Any;
+        }
+        for &(q, c) in &f.fills {
+            eff.entry(head_cell(q)).or_insert((DrainKind::None, None)).1 = Some(c);
+        }
+        effects.push(eff);
+    }
+
+    // Group firings into gates. Visible: by (label name, participants);
+    // hidden: by (origin, participants) so the shown origin color stays
+    // injective per gate.
+    type Parts = Vec<usize>;
+    let mut visible: BTreeMap<(String, Parts), Vec<usize>> = BTreeMap::new();
+    let mut hidden: BTreeMap<(usize, Parts), Vec<usize>> = BTreeMap::new();
+    for (i, f) in firings.iter().enumerate() {
+        let parts: Parts = effects[i].keys().copied().collect();
+        match &f.label {
+            Some((name, _, _)) => visible.entry((name.clone(), parts)).or_default().push(i),
+            None => hidden.entry((f.origin, parts)).or_default().push(i),
+        }
+    }
+
+    // Final names: first group of a base name keeps it, later ones get
+    // deterministic suffixes.
+    let mut taken: BTreeSet<String> = BTreeSet::new();
+    let mut gates: Vec<Gate> = Vec::new();
+    let mut seen_base: BTreeMap<String, usize> = BTreeMap::new();
+    let emit = |name: String,
+                hidden: bool,
+                parts: &Parts,
+                taken: &mut BTreeSet<String>,
+                gates: &mut Vec<Gate>|
+     -> Result<usize, XmasError> {
+        if !taken.insert(name.clone()) {
+            return Err(XmasError::GateNameClash { name });
+        }
+        gates.push(Gate { name, hidden, participants: parts.clone() });
+        Ok(gates.len() - 1)
+    };
+
+    // label strings per firing (filled below), then transitions.
+    let mut firing_gate: Vec<usize> = vec![usize::MAX; firings.len()];
+    let mut firing_label: Vec<String> = vec![String::new(); firings.len()];
+
+    for ((base, parts), members) in &visible {
+        let n = seen_base.entry(base.clone()).or_insert(0);
+        let name = if *n == 0 {
+            base.clone()
+        } else if *n <= 25 {
+            format!("{base}_{}", (b'a' + *n as u8) as char)
+        } else {
+            format!("{base}_x{n}")
+        };
+        *n += 1;
+        // show_value must be consistent within the gate.
+        let shows: BTreeSet<bool> =
+            members.iter().map(|&i| firings[i].label.as_ref().is_some_and(|l| l.2)).collect();
+        if shows.len() > 1 {
+            return Err(XmasError::MixedLabelStyle { name: base.clone() });
+        }
+        let show = shows.into_iter().next().unwrap_or(false);
+        if !show && members.len() > 1 {
+            return Err(XmasError::BareLabelMultiPattern { name: base.clone() });
+        }
+        let g = emit(name.clone(), false, parts, &mut taken, &mut gates)?;
+        for &i in members {
+            firing_gate[i] = g;
+            firing_label[i] = if show {
+                let (_, v, _) = firings[i].label.as_ref().expect("visible firing has a label");
+                format!("{name} !{v}")
+            } else {
+                name.clone()
+            };
+        }
+    }
+    for (hidden_idx, ((_, parts), members)) in hidden.iter().enumerate() {
+        let name = format!("t_{hidden_idx}");
+        let g = emit(name.clone(), true, parts, &mut taken, &mut gates)?;
+        for &i in members {
+            firing_gate[i] = g;
+            firing_label[i] = format!("{name} !{}", firings[i].origin_color);
+        }
+    }
+    // The hop gates of every multi-place queue chain: hidden, two-party.
+    for (p, (name, prim)) in fabric.prims().iter().enumerate() {
+        let Prim::Queue { cap, .. } = prim else { continue };
+        let base = cell_base[&p];
+        for j in 0..cap.saturating_sub(1) {
+            let parts = vec![base + j, base + j + 1];
+            emit(format!("h_{name}_{j}"), true, &parts, &mut taken, &mut gates)?;
+        }
+    }
+    // Injectivity: within one gate, a label string must map to a unique
+    // effect set, otherwise synchronization would conflate firings.
+    let mut by_gate: BTreeMap<usize, BTreeMap<&str, &BTreeMap<usize, Effect>>> = BTreeMap::new();
+    for i in 0..firings.len() {
+        let slot = by_gate.entry(firing_gate[i]).or_default();
+        if let Some(prev) = slot.insert(&firing_label[i], &effects[i]) {
+            if prev != &effects[i] {
+                return Err(XmasError::AmbiguousLabelValue {
+                    gate: gates[firing_gate[i]].name.clone(),
+                });
+            }
+        }
+    }
+
+    // Cell transitions from effects.
+    let mut tset: Vec<BTreeSet<(CellState, String, CellState)>> =
+        cells.iter().map(|c| c.transitions.iter().cloned().collect()).collect();
+    for (i, eff) in effects.iter().enumerate() {
+        let gate_name = gates[firing_gate[i]].name.clone();
+        let lbl = &firing_label[i];
+        for (&cell, &(drain, fill)) in eff {
+            cells[cell].gates.insert(gate_name.clone());
+            let colors = cells[cell].colors.clone();
+            let push = |set: &mut BTreeSet<(CellState, String, CellState)>,
+                        from: CellState,
+                        to: CellState| {
+                set.insert((from, lbl.clone(), to));
+            };
+            let to = match fill {
+                Some(x) => CellState::Hold(x),
+                None => CellState::Empty,
+            };
+            match drain {
+                DrainKind::Specific(v) => push(&mut tset[cell], CellState::Hold(v), to),
+                DrainKind::Any => {
+                    for &w in &colors {
+                        push(&mut tset[cell], CellState::Hold(w), to);
+                    }
+                }
+                DrainKind::None => {
+                    debug_assert!(fill.is_some(), "effect with neither drain nor fill");
+                    push(&mut tset[cell], CellState::Empty, to);
+                }
+            }
+        }
+    }
+    for (cell, set) in tset.into_iter().enumerate() {
+        cells[cell].transitions = set.into_iter().collect();
+    }
+    Ok(gates)
+}

@@ -1,0 +1,168 @@
+//! The paper's case-study networks re-expressed as xMAS fabrics.
+//!
+//! These validate the compiler on known answers: each fabric, compiled
+//! through [`super::compile_network`] and reduced, must be
+//! branching-bisimilar to the corresponding hand-written model
+//! ([`crate::xstream::pipeline::network`] and
+//! [`crate::faust::noc::complement_network`]).
+
+use super::{Fabric, Prim};
+use crate::faust::noc::{xy_next_hop, LINKS};
+
+/// The xSTream producer/consumer pipeline as an xMAS fabric.
+///
+/// Mirrors [`crate::xstream::pipeline::PipelineConfig::default`]: a
+/// 2-place push queue, a 2-place pop queue guarded by a 2-credit ring,
+/// and a 1-place returner stage. Visible gates: bare `push` and `pop`
+/// (the hand-written model's external interface); the transfer and
+/// credit-return hops stay hidden.
+#[must_use]
+pub fn xstream_fabric() -> Fabric {
+    let mut fab = Fabric::new();
+    let producer = fab.add("producer", Prim::Source { colors: vec![1] });
+    let push_q = fab.add("pushq", Prim::Queue { cap: 2, init: vec![] });
+    let credits = fab.add("credits", Prim::Queue { cap: 2, init: vec![1, 1] });
+    let xfer = fab.add("xfer", Prim::Join);
+    let pop_q = fab.add("popq", Prim::Queue { cap: 2, init: vec![] });
+    let fork = fab.add("tap", Prim::Fork);
+    let consumer = fab.add("consumer", Prim::Sink);
+    let returner = fab.add("returner", Prim::Queue { cap: 1, init: vec![] });
+
+    fab.wire_labeled(producer, 0, push_q, 0, "push", false);
+    fab.wire(push_q, 0, xfer, 0);
+    fab.wire(credits, 0, xfer, 1);
+    fab.wire(xfer, 0, pop_q, 0);
+    fab.wire_labeled(pop_q, 0, fork, 0, "pop", false);
+    fab.wire(fork, 0, consumer, 0);
+    fab.wire(fork, 1, returner, 0);
+    fab.wire(returner, 0, credits, 0);
+    fab.set_rate("push", 1.0);
+    fab.set_rate("pop", 1.0);
+    fab
+}
+
+/// The FAUST 2×2 mesh under bit-complement traffic as an xMAS fabric.
+///
+/// Per router `r`: a source injecting color `3 - r` (labeled
+/// `inj{r} !d`), a merge cascade gathering the two in-links and the
+/// injection, a 1-place router queue, then a switch cascade delivering
+/// color `r` locally (labeled `dlv{r} !d`) and peeling the two out-links
+/// by XY next hop. Each directed link is a 1-place queue carrying a
+/// single color — 12 queues total, matching the 12 components of
+/// [`crate::faust::noc::complement_network`].
+#[must_use]
+pub fn complement_fabric() -> Fabric {
+    // The unique value each directed link carries under complement
+    // traffic with XY routing (same computation as the hand model).
+    let mut link_value = std::collections::BTreeMap::new();
+    for r in 0..4usize {
+        let d = 3 - r;
+        let mut at = r;
+        while let Some(next) = xy_next_hop(at, d) {
+            link_value.insert((at, next), d as super::Color);
+            at = next;
+        }
+    }
+
+    let mut fab = Fabric::new();
+    // One 1-place queue per directed link.
+    let mut link_q = std::collections::BTreeMap::new();
+    for &(a, b) in &LINKS {
+        link_q.insert((a, b), fab.add(&format!("b{a}{b}"), Prim::Queue { cap: 1, init: vec![] }));
+    }
+
+    for r in 0..4usize {
+        let inject: super::Color = (3 - r) as super::Color;
+        let ins: Vec<(usize, usize)> = LINKS.iter().filter(|&&(_, b)| b == r).copied().collect();
+        let outs: Vec<(usize, usize)> = LINKS.iter().filter(|&&(a, _)| a == r).copied().collect();
+
+        let src = fab.add(&format!("src{r}"), Prim::Source { colors: vec![inject] });
+        let m_in = fab.add(&format!("min{r}"), Prim::Merge);
+        let m_inj = fab.add(&format!("mij{r}"), Prim::Merge);
+        let rq = fab.add(&format!("rq{r}"), Prim::Queue { cap: 1, init: vec![] });
+        let sw_dlv = fab.add(&format!("swd{r}"), Prim::Switch { on: vec![r as super::Color] });
+        let local = fab.add(&format!("loc{r}"), Prim::Sink);
+        let sw_route = fab.add(&format!("swr{r}"), Prim::Switch { on: vec![link_value[&outs[0]]] });
+
+        // Merge cascade: the two in-links, then the injection.
+        fab.wire(link_q[&ins[0]], 0, m_in, 0);
+        fab.wire(link_q[&ins[1]], 0, m_in, 1);
+        fab.wire(m_in, 0, m_inj, 0);
+        fab.wire_labeled(src, 0, m_inj, 1, &format!("inj{r}"), true);
+        fab.wire(m_inj, 0, rq, 0);
+
+        // Switch cascade: local delivery, then XY-routed out-links.
+        fab.wire(rq, 0, sw_dlv, 0);
+        fab.wire_labeled(sw_dlv, 0, local, 0, &format!("dlv{r}"), true);
+        fab.wire(sw_dlv, 1, sw_route, 0);
+        fab.wire(sw_route, 0, link_q[&outs[0]], 0);
+        fab.wire(sw_route, 1, link_q[&outs[1]], 0);
+
+        fab.set_rate(&format!("inj{r}"), 1.0);
+        fab.set_rate(&format!("dlv{r}"), 2.0);
+    }
+    fab
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::compile_network;
+    use super::*;
+    use multival_lts::equiv::equivalent;
+    use multival_lts::minimize::Equivalence;
+    use multival_lts::pipeline::{run_pipeline, PipelineOptions};
+
+    #[test]
+    fn xstream_fabric_validates_with_the_expected_cells() {
+        let fab = xstream_fabric();
+        let analysis = fab.validate().expect("well-typed");
+        // pushq(2) + credits(2) + popq(2) + returner(1) = 7 cells.
+        assert_eq!(analysis.cells.len(), 7);
+        let visible = analysis.visible_gates();
+        assert_eq!(visible, vec!["pop".to_owned(), "push".to_owned()]);
+    }
+
+    #[test]
+    fn complement_fabric_validates_with_the_expected_cells() {
+        let fab = complement_fabric();
+        let analysis = fab.validate().expect("well-typed");
+        // 4 router queues + 8 link queues, all 1-place = 12 cells, the
+        // same component count as the hand-written network.
+        assert_eq!(analysis.cells.len(), 12);
+        assert_eq!(analysis.visible_gates().len(), 8, "inj0..3 + dlv0..3");
+    }
+
+    #[test]
+    fn xstream_fabric_bisimilar_to_hand_written_pipeline() {
+        let net = compile_network(&xstream_fabric()).expect("compiles");
+        let compiled = run_pipeline(&net, &PipelineOptions::default());
+        assert!(compiled.complete());
+        let hand = crate::xstream::pipeline::network(&Default::default());
+        let hand_run = run_pipeline(&hand, &PipelineOptions::default());
+        assert!(hand_run.complete());
+        assert!(
+            equivalent(&compiled.lts, &hand_run.lts, Equivalence::Branching).holds(),
+            "compiled xMAS pipeline must be branching-bisimilar to the hand model \
+             ({} vs {} states)",
+            compiled.lts.num_states(),
+            hand_run.lts.num_states()
+        );
+    }
+
+    #[test]
+    fn complement_fabric_bisimilar_to_hand_written_mesh() {
+        let net = compile_network(&complement_fabric()).expect("compiles");
+        let compiled = run_pipeline(&net, &PipelineOptions::default());
+        assert!(compiled.complete());
+        let hand = crate::faust::noc::complement_network();
+        let hand_run = run_pipeline(&hand, &PipelineOptions::default());
+        assert!(hand_run.complete());
+        assert!(
+            equivalent(&compiled.lts, &hand_run.lts, Equivalence::Branching).holds(),
+            "compiled xMAS mesh must be branching-bisimilar to the hand model \
+             ({} vs {} states)",
+            compiled.lts.num_states(),
+            hand_run.lts.num_states()
+        );
+    }
+}

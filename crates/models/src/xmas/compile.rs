@@ -1,0 +1,241 @@
+//! The two compile paths of the xMAS workbench.
+//!
+//! * [`compile_network`] builds every queue cell as an explicit LTS (via
+//!   [`LtsBuilder`]) and wires them into a pipeline
+//!   [`multival_lts::pipeline::Network`] directly — no parser,
+//!   no term rewriting.
+//! * [`render_lot`] emits the same cell automata as mini-LOTOS source
+//!   (one mutually recursive process per cell state, a linear `|[G]|`
+//!   fold, a top-level `hide`), to be consumed by the `pa` frontend's
+//!   [`parse_spec`](multival_pa::parse_spec) +
+//!   [`extract_network`](multival_pa::extract_network).
+//!
+//! The two paths share the [`Analysis`] but nothing else, which is what
+//! makes them a meaningful differential-testing oracle: a bug in either
+//! path (or in the pipeline layers underneath) shows up as a canonical
+//! LTS mismatch. [`RenderOptions::flip_switch`] deliberately injects
+//! such a bug for harness self-tests.
+
+use super::analyze::{analyze, Analysis, CellState};
+use super::{Fabric, XmasError};
+use multival_lts::pipeline::Network;
+use multival_lts::{Lts, LtsBuilder};
+use std::fmt::Write as _;
+
+/// Options for [`render_lot`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RenderOptions {
+    /// Invert every switch's routing polarity — an intentionally injected
+    /// compiler bug used to validate that the differential fuzzing oracle
+    /// catches miscompilation (never set outside tests/harness).
+    pub flip_switch: bool,
+}
+
+/// Compiles a fabric into a pipeline [`Network`] of queue-cell LTSs.
+///
+/// # Errors
+///
+/// Propagates [`Fabric::validate`] errors.
+pub fn compile_network(fabric: &Fabric) -> Result<Network, XmasError> {
+    let analysis = fabric.validate()?;
+    Ok(network_from_analysis(&analysis))
+}
+
+/// Builds the [`Network`] from an existing analysis (shared with the
+/// fuzz harness, which needs the analysis for other oracles too).
+#[must_use]
+pub fn network_from_analysis(analysis: &Analysis) -> Network {
+    let mut net = Network::new();
+    for cell in &analysis.cells {
+        net.add_component(&cell.name, cell_lts(cell));
+    }
+    net.sync_on(analysis.sync_gates());
+    net.hide(analysis.hidden_gates());
+    net
+}
+
+/// One cell automaton as an explicit LTS: state 0 is `Empty`, state
+/// `1 + i` holds the `i`-th color of the cell's (sorted) colorset.
+fn cell_lts(cell: &super::analyze::Cell) -> Lts {
+    let mut b = LtsBuilder::new();
+    b.ensure_states(1 + cell.colors.len() as u32);
+    let state_id = |s: &CellState| -> u32 {
+        match s {
+            CellState::Empty => 0,
+            CellState::Hold(v) => {
+                1 + cell.colors.binary_search(v).expect("cell colors cover transitions") as u32
+            }
+        }
+    };
+    for (from, label, to) in &cell.transitions {
+        b.add_transition(state_id(from), label, state_id(to));
+    }
+    let initial = match cell.init {
+        Some(v) => state_id(&CellState::Hold(v)),
+        None => 0,
+    };
+    b.build(initial)
+}
+
+/// Renders a fabric as a standalone mini-LOTOS model: per-state cell
+/// processes plus a `behaviour` composing all cells with alphabet-scoped
+/// synchronization and hidden internal gates. The output parses with
+/// [`multival_pa::parse_spec`] and extracts with
+/// [`multival_pa::extract_network`] (and is therefore directly usable as
+/// a `multival reduce`/`explore` input file).
+///
+/// # Errors
+///
+/// Propagates [`Fabric::validate`] errors (computed under
+/// [`RenderOptions::flip_switch`] when set).
+pub fn render_lot(fabric: &Fabric, options: &RenderOptions) -> Result<String, XmasError> {
+    let analysis = analyze(fabric, options.flip_switch)?;
+    Ok(render_from_analysis(&analysis))
+}
+
+/// Process name of one cell state.
+fn proc_name(cell: &super::analyze::Cell, state: &CellState) -> String {
+    match state {
+        CellState::Empty => format!("X_{}_e", cell.name),
+        CellState::Hold(v) => format!("X_{}_v{v}", cell.name),
+    }
+}
+
+/// Renders the mini-LOTOS text from an existing analysis.
+#[must_use]
+pub fn render_from_analysis(analysis: &Analysis) -> String {
+    let mut src = String::new();
+    let _ = writeln!(src, "-- generated xMAS fabric ({} cells)", analysis.cells.len());
+    for cell in &analysis.cells {
+        let gates: Vec<&str> = cell.gates.iter().map(String::as_str).collect();
+        let gate_list = gates.join(", ");
+        let mut states: Vec<CellState> = vec![CellState::Empty];
+        states.extend(cell.colors.iter().map(|&v| CellState::Hold(v)));
+        for state in &states {
+            let outs: Vec<&(CellState, String, CellState)> =
+                cell.transitions.iter().filter(|(from, _, _)| from == state).collect();
+            let _ = writeln!(src, "process {}[{gate_list}] :=", proc_name(cell, state));
+            if outs.is_empty() {
+                let _ = writeln!(src, "    stop");
+            } else {
+                for (k, (_, label, to)) in outs.iter().enumerate() {
+                    let sep = if k == 0 { "   " } else { " []" };
+                    let _ =
+                        writeln!(src, "    {sep} {label}; {}[{gate_list}]", proc_name(cell, to));
+                }
+            }
+            let _ = writeln!(src, "endproc\n");
+        }
+    }
+
+    let _ = writeln!(src, "behaviour");
+    let hidden = analysis.hidden_gates();
+    let mut indent = String::from("  ");
+    if !hidden.is_empty() {
+        let _ = writeln!(src, "  hide {} in", hidden.join(", "));
+        indent.push_str("  ");
+    }
+    // Linear fold: each component joins the prefix synchronized on the
+    // sync gates both sides possess (every such shared gate must be
+    // listed — nested listings produce the correct ≥3-way syncs).
+    let sync: std::collections::BTreeSet<String> = analysis.sync_gates().into_iter().collect();
+    let initial_call = |cell: &super::analyze::Cell| -> String {
+        let gates: Vec<&str> = cell.gates.iter().map(String::as_str).collect();
+        let init_state = match cell.init {
+            Some(v) => CellState::Hold(v),
+            None => CellState::Empty,
+        };
+        format!("{}[{}]", proc_name(cell, &init_state), gates.join(", "))
+    };
+    let mut acc = initial_call(&analysis.cells[0]);
+    let mut folded: std::collections::BTreeSet<&String> = analysis.cells[0].gates.iter().collect();
+    for cell in &analysis.cells[1..] {
+        let shared: Vec<&str> = cell
+            .gates
+            .iter()
+            .filter(|g| folded.contains(g) && sync.contains(g.as_str()))
+            .map(String::as_str)
+            .collect();
+        let call = initial_call(cell);
+        acc = if shared.is_empty() {
+            format!("({acc}\n{indent} ||| {call})")
+        } else {
+            format!("({acc}\n{indent} |[{}]|\n{indent} {call})", shared.join(", "))
+        };
+        folded.extend(cell.gates.iter());
+    }
+    let _ = writeln!(src, "{indent}{acc}");
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::gen::{generate, GenConfig};
+    use super::super::{cases, Fabric, Prim};
+    use super::*;
+    use multival_lts::io::write_aut;
+    use multival_lts::pipeline::{canonicalize, run_pipeline, PipelineOptions};
+    use multival_pa::{extract_network, parse_spec, ExploreOptions};
+
+    fn canonical_via_builder(fab: &Fabric) -> String {
+        let net = compile_network(fab).expect("compiles");
+        let run = run_pipeline(&net, &PipelineOptions::default());
+        assert!(run.complete());
+        write_aut(&canonicalize(&run.lts))
+    }
+
+    fn canonical_via_lot(fab: &Fabric, options: &RenderOptions) -> String {
+        let src = render_lot(fab, options).expect("renders");
+        let spec = parse_spec(&src).unwrap_or_else(|e| panic!("parses: {e}\n{src}"));
+        let net = extract_network(&spec, &ExploreOptions::default())
+            .unwrap_or_else(|e| panic!("extracts: {e}\n{src}"));
+        let run = run_pipeline(&net, &PipelineOptions::default());
+        assert!(run.complete());
+        write_aut(&canonicalize(&run.lts))
+    }
+
+    #[test]
+    fn both_paths_agree_on_the_case_fabrics() {
+        for fab in [cases::xstream_fabric(), cases::complement_fabric()] {
+            assert_eq!(
+                canonical_via_builder(&fab),
+                canonical_via_lot(&fab, &RenderOptions::default())
+            );
+        }
+    }
+
+    #[test]
+    fn both_paths_agree_on_generated_fabrics() {
+        let cfg = GenConfig::default();
+        for seed in 0..12u64 {
+            let fab = generate(seed, &cfg);
+            assert_eq!(
+                canonical_via_builder(&fab),
+                canonical_via_lot(&fab, &RenderOptions::default()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_switch_changes_observable_behaviour() {
+        // A switch whose branches are observably different: color 1 is
+        // delivered on a labeled channel, color 2 on an unlabeled one.
+        let mut fab = Fabric::new();
+        let s = fab.add("s", Prim::Source { colors: vec![1, 2] });
+        let q = fab.add("q", Prim::Queue { cap: 1, init: vec![] });
+        let sw = fab.add("sw", Prim::Switch { on: vec![1] });
+        let q1 = fab.add("qa", Prim::Queue { cap: 1, init: vec![] });
+        let k1 = fab.add("ka", Prim::Sink);
+        let k2 = fab.add("kb", Prim::Sink);
+        fab.wire_labeled(s, 0, q, 0, "inp", true);
+        fab.wire(q, 0, sw, 0);
+        fab.wire(sw, 0, q1, 0);
+        fab.wire(sw, 1, k2, 0);
+        fab.wire_labeled(q1, 0, k1, 0, "hit", true);
+        let straight = canonical_via_lot(&fab, &RenderOptions::default());
+        let flipped = canonical_via_lot(&fab, &RenderOptions { flip_switch: true });
+        assert_eq!(straight, canonical_via_builder(&fab));
+        assert_ne!(straight, flipped, "the injected bug must be observable");
+    }
+}

@@ -1,0 +1,377 @@
+//! Minimizing shrinker for failing fabrics.
+//!
+//! Greedy fixpoint over structural reduction candidates: a candidate is
+//! accepted iff it still [`Fabric::validate`]s, strictly decreases
+//! [`Fabric::size_metric`] (lexicographic), and still reproduces the
+//! failure per the caller's predicate. Structurally larger cuts (deleting
+//! whole forward/backward cones) are tried before local ones, so typical
+//! fuzzing counterexamples collapse to a handful of primitives in a few
+//! rounds.
+
+use super::{Channel, Fabric, Prim};
+use std::collections::BTreeSet;
+
+/// Shrinks `fabric` while `still_fails` keeps returning `true` on the
+/// candidate, for at most `max_rounds` accepted reductions. Returns the
+/// smallest reproducer found (possibly the input itself).
+pub fn shrink<F>(fabric: &Fabric, mut still_fails: F, max_rounds: usize) -> Fabric
+where
+    F: FnMut(&Fabric) -> bool,
+{
+    let mut cur = fabric.clone();
+    for _ in 0..max_rounds {
+        let mut improved = false;
+        for cand in candidates(&cur) {
+            if cand.validate().is_err() {
+                continue;
+            }
+            if cand.size_metric() >= cur.size_metric() {
+                continue;
+            }
+            if still_fails(&cand) {
+                cur = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    cur
+}
+
+/// All reduction candidates of `fab`, big cuts first.
+fn candidates(fab: &Fabric) -> Vec<Fabric> {
+    let mut out = Vec::new();
+    // Cut the forward cone hanging off each channel's consumer.
+    for c in 0..fab.channels.len() {
+        out.extend(cap_with_sink(fab, c));
+    }
+    // Replace each queue's upstream cone by a fresh source.
+    for c in 0..fab.channels.len() {
+        out.extend(source_replace(fab, c));
+    }
+    // Collapse two-input primitives onto one feeder.
+    for i in 0..fab.prims.len() {
+        match fab.prims[i].1 {
+            Prim::Join => out.extend(collapse_two_in(fab, i, 0)),
+            Prim::Merge => {
+                out.extend(collapse_two_in(fab, i, 0));
+                out.extend(collapse_two_in(fab, i, 1));
+            }
+            _ => {}
+        }
+    }
+    // Collapse forks onto one branch, cutting the other branch's cone
+    // (switches are left alone: dropping a branch loses its colors and
+    // the result rarely validates, let alone reproduces).
+    for i in 0..fab.prims.len() {
+        if matches!(fab.prims[i].1, Prim::Fork) {
+            out.extend(drop_out(fab, i, 0));
+            out.extend(drop_out(fab, i, 1));
+        }
+    }
+    // Bypass one-in-one-out primitives.
+    for i in 0..fab.prims.len() {
+        if matches!(fab.prims[i].1, Prim::Queue { .. } | Prim::Function { .. }) {
+            out.extend(bypass(fab, i));
+        }
+    }
+    // Local bulk reductions: capacity, init tokens, source palette.
+    for i in 0..fab.prims.len() {
+        match &fab.prims[i].1 {
+            Prim::Queue { cap, init } => {
+                if *cap > 1 && init.len() < *cap {
+                    let mut f = fab.clone();
+                    f.prims[i].1 = Prim::Queue { cap: cap - 1, init: init.clone() };
+                    out.push(f);
+                }
+                if !init.is_empty() {
+                    let mut shorter = init.clone();
+                    shorter.pop();
+                    let mut f = fab.clone();
+                    f.prims[i].1 = Prim::Queue { cap: *cap, init: shorter };
+                    out.push(f);
+                }
+            }
+            Prim::Source { colors } if colors.len() > 1 => {
+                for k in 0..colors.len() {
+                    let mut fewer = colors.clone();
+                    fewer.remove(k);
+                    let mut f = fab.clone();
+                    f.prims[i].1 = Prim::Source { colors: fewer };
+                    out.push(f);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Deletes the forward cone reachable from channel `c`'s consumer,
+/// capping every surviving producer that fed the cone with a fresh sink.
+fn cap_with_sink(fab: &Fabric, c: usize) -> Option<Fabric> {
+    let root = fab.channels[c].to.0;
+    let cone = forward_cone(fab, root);
+    // Cutting a cone that contains a source changes the inflow language
+    // in ways the remaining fabric cannot express; skip.
+    if cone.iter().any(|&i| matches!(fab.prims[i].1, Prim::Source { .. })) {
+        return None;
+    }
+    if fab.channels[c].from.0 == root || cone.contains(&fab.channels[c].from.0) {
+        return None;
+    }
+    let mut f = fab.clone();
+    let mut fresh = FreshNames::new(fab);
+    for ch in 0..f.channels.len() {
+        let Channel { from, to, .. } = f.channels[ch];
+        if !cone.contains(&from.0) && cone.contains(&to.0) {
+            let sink = f.add(&fresh.next("zs"), Prim::Sink);
+            f.channels[ch].to = (sink, 0);
+        }
+    }
+    Some(compact(&f, &cone))
+}
+
+/// Replaces the upstream cone feeding channel `c` (which must enter a
+/// queue) with a fresh source carrying the channel's colorset. Producers
+/// outside the cone that fed it are capped with sinks; consumers outside
+/// the cone fed by it get fresh sources of the corresponding colorset.
+fn source_replace(fab: &Fabric, c: usize) -> Option<Fabric> {
+    let (qprim, _) = fab.channels[c].to;
+    if !matches!(fab.prims[qprim].1, Prim::Queue { .. }) {
+        return None;
+    }
+    let producer = fab.channels[c].from.0;
+    if matches!(fab.prims[producer].1, Prim::Source { .. }) {
+        return None; // already minimal
+    }
+    let cone = backward_cone(fab, producer);
+    if cone.contains(&qprim) {
+        return None; // cycle back into the queue
+    }
+    let analysis = fab.validate().ok()?;
+    let mut f = fab.clone();
+    let mut fresh = FreshNames::new(fab);
+    for ch in 0..f.channels.len() {
+        let Channel { from, to, .. } = f.channels[ch];
+        let from_in = cone.contains(&from.0);
+        let to_in = cone.contains(&to.0);
+        if from_in && !to_in {
+            // A consumer outside the cone loses its feeder: give it a
+            // fresh source with the channel's inferred colorset.
+            let colors = analysis.chan_colors[ch].clone();
+            let src = f.add(&fresh.next("zr"), Prim::Source { colors });
+            f.channels[ch].from = (src, 0);
+        } else if !from_in && to_in {
+            let sink = f.add(&fresh.next("zs"), Prim::Sink);
+            f.channels[ch].to = (sink, 0);
+        }
+    }
+    Some(compact(&f, &cone))
+}
+
+/// Collapses a 2-in/1-out primitive `i` onto its `keep` input: the kept
+/// feeder is wired straight to the output's consumer, the other feeder is
+/// capped with a fresh sink.
+fn collapse_two_in(fab: &Fabric, i: usize, keep: usize) -> Option<Fabric> {
+    let kept = fab.channels.iter().position(|ch| ch.to == (i, keep))?;
+    let other = fab.channels.iter().position(|ch| ch.to == (i, 1 - keep))?;
+    let out = fab.channels.iter().position(|ch| ch.from == (i, 0))?;
+    if out == kept || out == other {
+        return None; // self-loop through the primitive
+    }
+    if fab.channels[kept].label.is_some() && fab.channels[out].label.is_some() {
+        return None;
+    }
+    let mut f = fab.clone();
+    let mut fresh = FreshNames::new(fab);
+    f.channels[kept].to = f.channels[out].to;
+    if f.channels[kept].label.is_none() {
+        f.channels[kept].label = f.channels[out].label.clone();
+    }
+    let sink = f.add(&fresh.next("zs"), Prim::Sink);
+    f.channels[other].to = (sink, 0);
+    f.channels.remove(out);
+    let dead: BTreeSet<usize> = [i].into();
+    Some(compact(&f, &dead))
+}
+
+/// Removes a fork `i`, wiring its input straight to the `keep` output's
+/// consumer and deleting the other branch's forward cone (surviving
+/// feeders of that cone are capped with fresh sinks).
+fn drop_out(fab: &Fabric, i: usize, keep: usize) -> Option<Fabric> {
+    let inc = fab.channels.iter().position(|ch| ch.to == (i, 0))?;
+    let kept = fab.channels.iter().position(|ch| ch.from == (i, keep))?;
+    let dropped = fab.channels.iter().position(|ch| ch.from == (i, 1 - keep))?;
+    if inc == kept || inc == dropped {
+        return None; // self-loop through the fork
+    }
+    if fab.channels[inc].label.is_some() && fab.channels[kept].label.is_some() {
+        return None;
+    }
+    let cone = forward_cone(fab, fab.channels[dropped].to.0);
+    if cone.iter().any(|&p| matches!(fab.prims[p].1, Prim::Source { .. })) {
+        return None;
+    }
+    if cone.contains(&i)
+        || cone.contains(&fab.channels[kept].to.0)
+        || cone.contains(&fab.channels[inc].from.0)
+    {
+        return None;
+    }
+    let mut f = fab.clone();
+    let mut fresh = FreshNames::new(fab);
+    f.channels[inc].to = f.channels[kept].to;
+    if f.channels[inc].label.is_none() {
+        f.channels[inc].label = f.channels[kept].label.clone();
+    }
+    for ch in 0..f.channels.len() {
+        if ch == dropped {
+            continue;
+        }
+        let Channel { from, to, .. } = f.channels[ch];
+        if !cone.contains(&from.0) && from.0 != i && cone.contains(&to.0) {
+            let sink = f.add(&fresh.next("zs"), Prim::Sink);
+            f.channels[ch].to = (sink, 0);
+        }
+    }
+    let mut dead = cone;
+    dead.insert(i);
+    Some(compact(&f, &dead))
+}
+
+/// Bypasses a 1-in/1-out primitive `i`, merging its two channels.
+fn bypass(fab: &Fabric, i: usize) -> Option<Fabric> {
+    let inc = fab.channels.iter().position(|ch| ch.to == (i, 0))?;
+    let out = fab.channels.iter().position(|ch| ch.from == (i, 0))?;
+    if inc == out {
+        return None; // self-loop
+    }
+    if fab.channels[inc].label.is_some() && fab.channels[out].label.is_some() {
+        return None;
+    }
+    let mut f = fab.clone();
+    f.channels[inc].to = f.channels[out].to;
+    if f.channels[inc].label.is_none() {
+        f.channels[inc].label = f.channels[out].label.clone();
+    }
+    f.channels.remove(out);
+    let dead: BTreeSet<usize> = [i].into();
+    Some(compact(&f, &dead))
+}
+
+/// Primitives reachable from `root` by following channels forward
+/// (`root` included).
+fn forward_cone(fab: &Fabric, root: usize) -> BTreeSet<usize> {
+    let mut cone = BTreeSet::from([root]);
+    let mut stack = vec![root];
+    while let Some(p) = stack.pop() {
+        for ch in &fab.channels {
+            if ch.from.0 == p && cone.insert(ch.to.0) {
+                stack.push(ch.to.0);
+            }
+        }
+    }
+    cone
+}
+
+/// Primitives reaching `root` by following channels backward
+/// (`root` included).
+fn backward_cone(fab: &Fabric, root: usize) -> BTreeSet<usize> {
+    let mut cone = BTreeSet::from([root]);
+    let mut stack = vec![root];
+    while let Some(p) = stack.pop() {
+        for ch in &fab.channels {
+            if ch.to.0 == p && cone.insert(ch.from.0) {
+                stack.push(ch.from.0);
+            }
+        }
+    }
+    cone
+}
+
+/// Rebuilds a fabric without the `dead` primitives; channels touching a
+/// dead primitive are dropped and rate annotations follow their labels.
+fn compact(fab: &Fabric, dead: &BTreeSet<usize>) -> Fabric {
+    let mut map = vec![usize::MAX; fab.prims.len()];
+    let mut out = Fabric::new();
+    for (i, (name, p)) in fab.prims.iter().enumerate() {
+        if !dead.contains(&i) {
+            map[i] = out.add(name, p.clone());
+        }
+    }
+    for ch in &fab.channels {
+        if dead.contains(&ch.from.0) || dead.contains(&ch.to.0) {
+            continue;
+        }
+        out.channels.push(Channel {
+            from: (map[ch.from.0], ch.from.1),
+            to: (map[ch.to.0], ch.to.1),
+            label: ch.label.clone(),
+        });
+    }
+    for ch in &out.channels {
+        if let Some(label) = &ch.label {
+            if let Some(rate) = fab.rates.get(&label.name) {
+                out.rates.insert(label.name.clone(), *rate);
+            }
+        }
+    }
+    out
+}
+
+/// Fresh primitive names that cannot clash with existing ones.
+struct FreshNames {
+    taken: BTreeSet<String>,
+    counter: usize,
+}
+
+impl FreshNames {
+    fn new(fab: &Fabric) -> FreshNames {
+        FreshNames { taken: fab.prims.iter().map(|(n, _)| n.clone()).collect(), counter: 0 }
+    }
+
+    fn next(&mut self, prefix: &str) -> String {
+        loop {
+            let name = format!("{prefix}{}", self.counter);
+            self.counter += 1;
+            if self.taken.insert(name.clone()) {
+                return name;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::gen::{generate, GenConfig};
+    use super::super::Prim;
+    use super::*;
+
+    fn has_switch(fab: &Fabric) -> bool {
+        fab.prims().iter().any(|(_, p)| matches!(p, Prim::Switch { .. }))
+    }
+
+    #[test]
+    fn shrinks_to_small_well_typed_reproducers() {
+        let cfg = GenConfig { max_steps: 10, max_colors: 2, max_cap: 2, credit_rings: true };
+        let mut shrunk_any = false;
+        for seed in 0..40u64 {
+            let fab = generate(seed, &cfg);
+            if !has_switch(&fab) {
+                continue;
+            }
+            let small = shrink(&fab, has_switch, 64);
+            assert!(small.validate().is_ok(), "seed {seed}: {:?}", small.validate().err());
+            assert!(has_switch(&small), "seed {seed}: predicate lost");
+            assert!(small.size_metric() <= fab.size_metric(), "seed {seed}: grew");
+            if small.size_metric() < fab.size_metric() {
+                shrunk_any = true;
+            }
+        }
+        assert!(shrunk_any, "shrinker never reduced any fabric");
+    }
+}
