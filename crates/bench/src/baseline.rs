@@ -32,6 +32,7 @@ use multival::par::fx::FxHashMap;
 use multival::par::par_map_stats;
 use multival_svc::json::{parse, Json};
 use multival_svc::server::{serve, ServerConfig};
+use multival_svc::sweep::{run_explore_space, SweepOptions, SweepSpec};
 use std::error::Error;
 use std::fmt::Write as _;
 use std::io::{Read, Write as _};
@@ -285,6 +286,10 @@ pub fn bench_baseline() -> Result<String, Box<dyn Error>> {
     }
     out.push_str("  ],\n");
 
+    // Sweep driver: points/sec on the golden-spec shape, cold vs a rerun
+    // through a shared disk cache.
+    out.push_str(&explore_space_section()?);
+
     // xMAS workbench: differential fuzzing throughput at two size tiers.
     out.push_str(&fuzz_fabrics_section(full_mode()));
     out.push_str("}\n");
@@ -324,6 +329,66 @@ fn fuzz_fabrics_section(full: bool) -> String {
     }
     out.push_str("  ]\n");
     out
+}
+
+/// The `explore_space` section: sweep-driver throughput on the same spec
+/// shape as the committed `tests/data/sweep_xstream.toml` golden (Erlang
+/// order × push depth over the xSTream pipeline). The cold run evaluates
+/// every point into a fresh disk cache; the warm rerun must be answered
+/// entirely from that cache — a cold-equals-warm report mismatch or a
+/// warm evaluation is a correctness failure, not a slow baseline.
+fn explore_space_section() -> Result<String, Box<dyn Error>> {
+    const SPEC: &str = "\
+        name = \"xstream_erlang_depth\"\n\
+        model = \"xstream_pipeline\"\n\
+        [base]\n\
+        transfer_rate = 4.0\n\
+        [axes]\n\
+        delay = [\"erlang:1\", \"erlang:2\", \"erlang:4\", \"erlang:8\"]\n\
+        push_capacity = [1, 2]\n";
+    let spec = SweepSpec::parse(SPEC)?;
+    let cache_dir =
+        std::env::temp_dir().join(format!("multival-bench-sweep-{}", std::process::id()));
+    std::fs::create_dir_all(&cache_dir)?;
+    let options = SweepOptions {
+        workers: 4,
+        endpoint: None,
+        cache_dir: Some(cache_dir.clone()),
+        max_states: None,
+    };
+    // The cold run is single-shot: `timed`'s best-of-3 would let runs 2-3
+    // answer from the disk cache run 1 just filled, reporting cache-served
+    // throughput as evaluation throughput.
+    let started = Instant::now();
+    let cold = run_explore_space(&spec, &options).expect("cold sweep");
+    let cold_wall = started.elapsed();
+    let (warm, warm_wall) = timed(|| run_explore_space(&spec, &options).expect("warm sweep"));
+    assert_eq!(
+        cold.report().render(),
+        warm.report().render(),
+        "cache-served rerun must render identically"
+    );
+    assert_eq!(cold.evaluated, spec.num_points() as u64, "a fresh dir must evaluate every point");
+    assert_eq!(warm.evaluated, 0, "warm sweep must be answered from the disk cache");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let points = spec.num_points();
+    let ratio = |hits: u64| hits as f64 / points as f64;
+    Ok(format!(
+        "  \"explore_space\": {{\"points\": {points}, \"pareto_points\": {}, \
+         \"cold\": {{\"evaluated\": {}, \"cache_hit_ratio\": {:.2}, \
+         \"points_per_sec\": {:.1}, \"wall_ms\": {}}}, \
+         \"warm\": {{\"evaluated\": {}, \"cache_hit_ratio\": {:.2}, \
+         \"points_per_sec\": {:.1}, \"wall_ms\": {}}}}},\n",
+        cold.front.len(),
+        cold.evaluated,
+        ratio(cold.cache_hits),
+        points as f64 / cold_wall.as_secs_f64().max(1e-9),
+        ms(cold_wall),
+        warm.evaluated,
+        ratio(warm.cache_hits),
+        points as f64 / warm_wall.as_secs_f64().max(1e-9),
+        ms(warm_wall),
+    ))
 }
 
 /// `BENCH_FULL=1` adds the slow E12 frontier rows (the 4×4 mesh
@@ -693,6 +758,7 @@ mod tests {
             "pipeline_reduction",
             "e9_farm",
             "fuzz_fabrics",
+            "explore_space",
         ] {
             assert!(json.contains(key), "missing {key}:\n{json}");
         }

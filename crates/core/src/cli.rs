@@ -256,6 +256,22 @@ pub enum Command {
         /// Event-loop I/O threads sharing the listener.
         event_threads: usize,
     },
+    /// `explore-space <spec.toml> [--workers N] [--endpoint HOST:PORT]
+    /// [--cache-dir DIR] [--max-states N]` — design-space sweep driver
+    /// (handled by the `multival` binary in the `multival-svc` crate).
+    ExploreSpace {
+        /// Sweep spec path (TOML subset or JSON).
+        spec: String,
+        /// Evaluation threads for the in-process engine.
+        workers: usize,
+        /// Submit over HTTP to a live `serve` endpoint instead.
+        endpoint: Option<String>,
+        /// Disk tier for the in-process result cache (re-runs resume).
+        cache_dir: Option<String>,
+        /// Per-point CTMC state cap; a tripped point reports as partial
+        /// and the run exits 3.
+        max_states: Option<usize>,
+    },
     /// `walk <model.lot> [--steps N] [--seed S]` — random execution trace.
     Walk {
         /// Input model path.
@@ -373,6 +389,8 @@ USAGE:
   multival serve    [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
                     [--queue-cap N] [--cache-capacity N] [--journal DIR]
                     [--event-threads N]
+  multival explore-space <spec.toml|spec.json> [--workers N]
+                    [--endpoint HOST:PORT] [--cache-dir DIR] [--max-states N]
 
 Inputs ending in .aut are read as Aldebaran LTSs, inputs ending in .blts as
 compact binary LTSs; anything else is parsed as mini-LOTOS. FORMULA is modal
@@ -417,6 +435,17 @@ rule is not met within the trajectory cap.
 
 --timeout-secs / --max-states bound a run: when a budget trips, partial
 results are reported with a `Budget exceeded` note and exit code 3.
+
+explore-space expands a sweep spec (a TOML-subset or JSON file: a [base]
+pipeline configuration plus [axes] value lists crossed into points —
+capacities, rates, delay styles exponential|erlang:K|det:TOL, schedulers)
+into canonical `sweep` jobs, evaluates them through the job engine
+(in-process, or against a live serve with --endpoint so identical points
+cache and coalesce), and reports per-point measures plus the
+accuracy-vs-peak-states Pareto front. The report is byte-identical across
+--workers counts, transports, and cache states; with --cache-dir (or a
+long-lived serve) a re-run only computes new points. A point tripping
+--max-states is reported partial and the run exits 3.
 
 fuzz sweeps seeded random xMAS fabrics (--seeds A..B, end exclusive; size
 shaped by --max-steps/--max-colors/--max-cap) through the whole flow and
@@ -873,6 +902,35 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 journal,
                 event_threads,
             })
+        }
+        Some("explore-space") => {
+            let mut spec = None;
+            let mut workers = 2usize;
+            let mut endpoint = None;
+            let mut cache_dir = None;
+            let mut max_states = None;
+            while let Some(a) = it.next() {
+                match a {
+                    "--workers" => workers = parse_flag(&mut it, a)?,
+                    "--endpoint" => endpoint = Some(next_value(&mut it, "--endpoint")?),
+                    "--cache-dir" => cache_dir = Some(next_value(&mut it, "--cache-dir")?),
+                    "--max-states" => max_states = Some(parse_flag(&mut it, a)?),
+                    other if !other.starts_with('-') && spec.is_none() => {
+                        spec = Some(other.to_owned());
+                    }
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            let spec = spec.ok_or("explore-space needs a sweep spec path")?;
+            if workers == 0 {
+                return Err("--workers must be at least 1".to_owned());
+            }
+            if endpoint.is_some() && cache_dir.is_some() {
+                return Err("--cache-dir applies to the in-process engine; with --endpoint the \
+                     server owns the cache"
+                    .to_owned());
+            }
+            Ok(Command::ExploreSpace { spec, workers, endpoint, cache_dir, max_states })
         }
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -1359,6 +1417,9 @@ pub fn execute(cmd: &Command) -> Result<CmdOut, Box<dyn Error>> {
         Command::Help => Ok(USAGE.to_owned().into()),
         Command::Serve { .. } => Err("`multival serve` is provided by the full `multival` \
              binary (crate multival-svc); the core library only parses the verb"
+            .into()),
+        Command::ExploreSpace { .. } => Err("`multival explore-space` is provided by the full \
+             `multival` binary (crate multival-svc); the core library only parses the verb"
             .into()),
         Command::Explore {
             input,

@@ -495,6 +495,122 @@ impl BoundsReport {
     }
 }
 
+/// Terminal state of one sweep point in a [`SweepReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepRowStatus {
+    /// Evaluated to a full result.
+    Ok,
+    /// A budget cap tripped on this point; the rest of the sweep still
+    /// reports (overall exit 3).
+    Partial(String),
+    /// Evaluation failed for a non-budget reason (overall exit 2).
+    Failed(String),
+}
+
+/// One evaluated point of an `explore-space` sweep.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Axis assignments, e.g. `delay=erlang:4 push_capacity=2`.
+    pub label: String,
+    /// Resolved transfer-delay style (`exponential`, `erlang:K`, `det:TOL`).
+    pub delay: String,
+    /// Fitted/assigned Erlang order of the transfer delay.
+    pub fit_k: Option<usize>,
+    /// Sup-CDF error of the transfer delay vs the ideal deterministic
+    /// transfer (outside the jump band) — the *accuracy* objective.
+    pub accuracy_error: Option<f64>,
+    /// CTMC size of the point — the *peak states* objective.
+    pub ctmc_states: Option<usize>,
+    /// Steady-state `pop` throughput.
+    pub throughput: Option<f64>,
+    /// Mean items / throughput (Little's law).
+    pub latency: Option<f64>,
+    /// Whether the stated fit tolerance was met (false: order cap reached).
+    pub tolerance_met: bool,
+    /// Membership in the accuracy-vs-peak-states Pareto front.
+    pub on_front: bool,
+    /// Terminal state.
+    pub status: SweepRowStatus,
+}
+
+/// Report for one `explore-space` run: every point in deterministic
+/// expansion order plus the Pareto front. Rendering carries no timings or
+/// wall-clock readings — it is byte-identical across worker counts,
+/// transports, and cache states (the driver prints timing separately).
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct SweepReport {
+    /// Spec name.
+    pub name: String,
+    /// Points in expansion order.
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepReport {
+    /// Renders the per-point table, the Pareto front, and any partial or
+    /// failed points.
+    pub fn render(&self) -> String {
+        let ok = self.rows.iter().filter(|r| r.status == SweepRowStatus::Ok).count();
+        let partial =
+            self.rows.iter().filter(|r| matches!(r.status, SweepRowStatus::Partial(_))).count();
+        let failed =
+            self.rows.iter().filter(|r| matches!(r.status, SweepRowStatus::Failed(_))).count();
+        let mut out = format!(
+            "sweep {}: {} points ({ok} ok, {partial} partial, {failed} failed)\n\n",
+            self.name,
+            self.rows.len()
+        );
+        let dash = || "-".to_owned();
+        let mut t = Table::new(&[
+            "point",
+            "delay",
+            "k",
+            "error",
+            "states",
+            "throughput",
+            "latency",
+            "fit",
+            "front",
+        ]);
+        for r in &self.rows {
+            t.row_owned(vec![
+                r.label.clone(),
+                r.delay.clone(),
+                r.fit_k.map_or_else(dash, |k| k.to_string()),
+                r.accuracy_error.map_or_else(dash, |e| format!("{e:.3e}")),
+                r.ctmc_states.map_or_else(dash, |s| s.to_string()),
+                r.throughput.map_or_else(dash, fmt_f),
+                r.latency.map_or_else(dash, fmt_f),
+                match r.status {
+                    SweepRowStatus::Ok if r.tolerance_met => "met".to_owned(),
+                    SweepRowStatus::Ok => "UNMET".to_owned(),
+                    SweepRowStatus::Partial(_) => "partial".to_owned(),
+                    SweepRowStatus::Failed(_) => "failed".to_owned(),
+                },
+                if r.on_front { "*".to_owned() } else { String::new() },
+            ]);
+        }
+        out.push_str(&t.render());
+        let front: Vec<&SweepRow> = self.rows.iter().filter(|r| r.on_front).collect();
+        let _ = writeln!(out, "\nPareto front (accuracy vs peak states): {} points", front.len());
+        for r in front {
+            let _ = writeln!(out, "  {}", r.label);
+        }
+        for r in &self.rows {
+            match &r.status {
+                SweepRowStatus::Partial(reason) => {
+                    let _ = writeln!(out, "partial {}: {reason}", r.label);
+                }
+                SweepRowStatus::Failed(reason) => {
+                    let _ = writeln!(out, "failed {}: {reason}", r.label);
+                }
+                SweepRowStatus::Ok => {}
+            }
+        }
+        out
+    }
+}
+
 /// Formats a float with 4 significant decimals, trimming noise.
 pub fn fmt_f(x: f64) -> String {
     if x == f64::INFINITY {

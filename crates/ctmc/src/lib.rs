@@ -17,6 +17,8 @@
 //! * [`simulate`] — single-trajectory Monte-Carlo walks;
 //! * [`mc`] — the parallel batched Monte-Carlo engine (deterministic seed
 //!   streams, Welford statistics, confidence-interval stopping);
+//! * [`phfit`] — moment-matching phase-type fitting of deterministic
+//!   delays (adaptive Erlang order to a stated CDF tolerance);
 //! * [`sparse`] — the CSR kernels behind the iterative solvers;
 //! * [`dense`] — naive dense reference solvers for cross-validation;
 //! * [`stats`] — streaming statistics shared by the statistical engine;
@@ -49,6 +51,7 @@ pub mod dense;
 pub mod dtmc;
 pub mod mc;
 pub mod mdp;
+pub mod phfit;
 pub mod rewards;
 pub mod simulate;
 pub mod sparse;

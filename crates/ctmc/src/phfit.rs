@@ -1,0 +1,432 @@
+//! Moment-matching phase-type fitting: approximate a *deterministic* delay
+//! by an acyclic phase-type distribution (Erlang or two-rate
+//! hypoexponential) whose order is chosen automatically.
+//!
+//! The paper's second open issue is the space/accuracy trade-off when fixed
+//! delays are approximated by Erlang-k chains: each extra phase shrinks the
+//! squared coefficient of variation (`cv² = 1/k`) toward the deterministic
+//! limit but multiplies the decorated state space. This module turns the
+//! hand-picked `k` of experiment E7 into a *fit*: the user states the delay
+//! mean and a CDF tolerance, and [`fit_deterministic`] finds the smallest
+//! Erlang order whose CDF stays within the tolerance of the deterministic
+//! step — or reports, honestly, that the cap was hit with the tolerance
+//! unmet.
+//!
+//! Accuracy metric: the supremum CDF distance against the unit step at the
+//! mean, excluding a small band around the jump. The raw sup distance
+//! saturates near `1/2` at the jump itself for *every* finite `k` (a
+//! continuous CDF cannot track a discontinuity), so the excluded band is
+//! what makes the metric informative — the same convention as the
+//! `sup_error_vs_fixed_excluding` measure of the E7 experiment. Outside the
+//! band the distance is monotonically non-increasing in `k`, which is what
+//! makes the adaptive search (geometric growth + binary refinement) exact.
+//!
+//! [`fit_moments`] is the classical two-moment companion: given a mean and
+//! a coefficient of variation `cv ≤ 1` it matches both moments *exactly*
+//! with `k = ⌈1/cv²⌉` phases — a pure Erlang when `cv² = 1/k`, otherwise a
+//! hypoexponential with `k-1` fast phases and one distinct final phase.
+
+use std::fmt;
+
+/// Hard default cap on the Erlang order the adaptive fit may choose.
+pub const DEFAULT_MAX_K: usize = 1024;
+
+/// Fraction of the mean excluded around the CDF jump when measuring the
+/// sup error (mirrors the E7 experiment's convention).
+pub const DEFAULT_JUMP_WINDOW: f64 = 0.1;
+
+/// Sample count of the sup-error grid over `[0, 3·mean]`.
+pub const DEFAULT_SAMPLES: usize = 300;
+
+/// Options of the adaptive deterministic fit.
+#[derive(Debug, Clone, Copy)]
+pub struct FitOptions {
+    /// Hard cap on the Erlang order; the fit never exceeds it.
+    pub max_k: usize,
+    /// Excluded band around the jump, as a fraction of the mean.
+    pub window: f64,
+    /// Grid points of the sup-error scan over `[0, 3·mean]`.
+    pub samples: usize,
+}
+
+impl Default for FitOptions {
+    fn default() -> FitOptions {
+        FitOptions { max_k: DEFAULT_MAX_K, window: DEFAULT_JUMP_WINDOW, samples: DEFAULT_SAMPLES }
+    }
+}
+
+/// Result of an adaptive deterministic fit: the chosen Erlang order, the
+/// achieved error, and whether the stated tolerance was actually met.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseFit {
+    /// Chosen Erlang order (number of phases).
+    pub k: usize,
+    /// Per-phase rate `k / mean` (all phases identical).
+    pub rate: f64,
+    /// Target mean (matched exactly by construction).
+    pub mean: f64,
+    /// Coefficient of variation of the fitted distribution (`1/√k`).
+    pub cv: f64,
+    /// Achieved sup CDF error outside the jump window.
+    pub achieved_error: f64,
+    /// The tolerance that was asked for.
+    pub tolerance: f64,
+    /// `true` when `achieved_error ≤ tolerance`; `false` means the cap was
+    /// hit first and the report is honest about the shortfall.
+    pub tolerance_met: bool,
+}
+
+impl fmt::Display for PhaseFit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Erlang-{} (rate {:.6}, cv {:.4}): sup CDF error {:.6} vs tolerance {:.6} ({})",
+            self.k,
+            self.rate,
+            self.cv,
+            self.achieved_error,
+            self.tolerance,
+            if self.tolerance_met { "met" } else { "UNMET: order cap reached" }
+        )
+    }
+}
+
+/// A two-moment phase-type fit: `k` phases with per-phase rates, matching
+/// the requested mean and coefficient of variation exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MomentFit {
+    /// Per-phase rates in series order. All equal for a pure Erlang; the
+    /// hypoexponential case carries `k-1` equal rates plus one distinct
+    /// final rate.
+    pub rates: Vec<f64>,
+    /// The matched mean.
+    pub mean: f64,
+    /// The matched coefficient of variation.
+    pub cv: f64,
+}
+
+impl MomentFit {
+    /// Number of phases.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// `true` when all phases share one rate (a pure Erlang distribution).
+    #[must_use]
+    pub fn is_erlang(&self) -> bool {
+        self.rates.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12 * w[0].abs().max(1.0))
+    }
+}
+
+/// Errors of the fitting entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// The mean must be positive and finite.
+    BadMean(f64),
+    /// The tolerance must lie in `(0, 1)`.
+    BadTolerance(f64),
+    /// The coefficient of variation must lie in `(0, 1]` for an acyclic
+    /// series fit (`cv > 1` needs a hyperexponential mixture instead).
+    BadCv(f64),
+    /// The order cap must be at least 1.
+    BadCap(usize),
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::BadMean(m) => write!(f, "delay mean must be positive and finite, got {m}"),
+            FitError::BadTolerance(t) => write!(f, "tolerance must lie in (0, 1), got {t}"),
+            FitError::BadCv(c) => {
+                write!(f, "cv must lie in (0, 1] for a series fit, got {c} (cv > 1 is a mixture)")
+            }
+            FitError::BadCap(k) => write!(f, "order cap must be at least 1, got {k}"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// CDF of the Erlang distribution with `k` phases of rate `rate` at time
+/// `t`: `P(T ≤ t) = 1 − Σ_{n<k} e^{−λt} (λt)^n / n!`.
+///
+/// Evaluated as a streaming log-sum-exp over the Poisson terms, so the
+/// result stays accurate for orders in the hundreds where `e^{−λt}`
+/// underflows long before the sum does.
+#[must_use]
+pub fn erlang_cdf(k: usize, rate: f64, t: f64) -> f64 {
+    if t <= 0.0 || k == 0 || rate <= 0.0 {
+        return 0.0;
+    }
+    let lam = rate * t;
+    let log_lam = lam.ln();
+    // Streaming log-sum-exp of log p_n = −λt + n·ln(λt) − ln(n!).
+    let mut log_fact = 0.0f64; // ln(n!)
+    let mut max_log = f64::NEG_INFINITY;
+    let mut scaled_sum = 0.0f64; // Σ exp(log p_n − max_log)
+    for n in 0..k {
+        if n > 0 {
+            log_fact += (n as f64).ln();
+        }
+        let log_p = -lam + (n as f64) * log_lam - log_fact;
+        if log_p > max_log {
+            scaled_sum = scaled_sum * (max_log - log_p).exp() + 1.0;
+            max_log = log_p;
+        } else {
+            scaled_sum += (log_p - max_log).exp();
+        }
+    }
+    let tail = if max_log == f64::NEG_INFINITY { 0.0 } else { max_log.exp() * scaled_sum };
+    (1.0 - tail).clamp(0.0, 1.0)
+}
+
+/// Sup distance between the Erlang-`k` CDF (mean-matched: rate `k/mean`)
+/// and the deterministic unit step at `mean`, over a `samples`-point grid
+/// on `[0, 3·mean]`, excluding the band `|t − mean| ≤ window·mean` around
+/// the jump.
+#[must_use]
+pub fn sup_error_vs_step(k: usize, mean: f64, window: f64, samples: usize) -> f64 {
+    if mean <= 0.0 || k == 0 || samples == 0 {
+        return f64::NAN;
+    }
+    let rate = k as f64 / mean;
+    let mut worst = 0.0f64;
+    for i in 0..=samples {
+        let t = 3.0 * mean * i as f64 / samples as f64;
+        if (t - mean).abs() <= window * mean {
+            continue;
+        }
+        let step = if t >= mean { 1.0 } else { 0.0 };
+        let err = (erlang_cdf(k, rate, t) - step).abs();
+        worst = worst.max(err);
+    }
+    worst
+}
+
+/// Fits an Erlang distribution to a deterministic delay of the given mean:
+/// the smallest order `k ≤ opts.max_k` whose sup CDF error outside the jump
+/// window is at most `tol`. When even `opts.max_k` misses the tolerance,
+/// the fit returns the cap order with [`PhaseFit::tolerance_met`] `false`
+/// instead of pretending.
+///
+/// The search is geometric growth (`k = 1, 2, 4, …`) to bracket the answer
+/// followed by binary refinement; both rely on the error being monotonically
+/// non-increasing in `k` outside the jump window.
+///
+/// # Errors
+///
+/// Rejects non-positive/non-finite means, tolerances outside `(0, 1)`, and
+/// a zero order cap.
+pub fn fit_deterministic(mean: f64, tol: f64, opts: &FitOptions) -> Result<PhaseFit, FitError> {
+    if !(mean > 0.0 && mean.is_finite()) {
+        return Err(FitError::BadMean(mean));
+    }
+    if !(tol > 0.0 && tol < 1.0) {
+        return Err(FitError::BadTolerance(tol));
+    }
+    if opts.max_k == 0 {
+        return Err(FitError::BadCap(0));
+    }
+    let err_of = |k: usize| sup_error_vs_step(k, mean, opts.window, opts.samples);
+
+    // Geometric growth until the tolerance is met or the cap is reached.
+    let mut hi = 1usize;
+    let mut hi_err = err_of(hi);
+    let mut lo = 0usize; // exclusive lower bound: every k ≤ lo misses tol
+    while hi_err > tol && hi < opts.max_k {
+        lo = hi;
+        hi = (hi * 2).min(opts.max_k);
+        hi_err = err_of(hi);
+    }
+    if hi_err > tol {
+        // Cap reached, tolerance unmet: report the best (largest) order.
+        return Ok(fit_at(opts.max_k, mean, hi_err, tol));
+    }
+    // Binary refinement: smallest k in (lo, hi] meeting tol.
+    let mut best = hi;
+    let mut best_err = hi_err;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let mid_err = err_of(mid);
+        if mid_err <= tol {
+            hi = mid;
+            best = mid;
+            best_err = mid_err;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(fit_at(best, mean, best_err, tol))
+}
+
+fn fit_at(k: usize, mean: f64, achieved_error: f64, tolerance: f64) -> PhaseFit {
+    PhaseFit {
+        k,
+        rate: k as f64 / mean,
+        mean,
+        cv: 1.0 / (k as f64).sqrt(),
+        achieved_error,
+        tolerance,
+        tolerance_met: achieved_error <= tolerance,
+    }
+}
+
+/// Matches a mean and coefficient of variation `cv ∈ (0, 1]` exactly with
+/// `k = ⌈1/cv²⌉` series phases: a pure Erlang when `cv² = 1/k`, otherwise a
+/// hypoexponential with `k−1` phases at one rate and a distinct final
+/// phase. Both moments are matched to machine precision by construction.
+///
+/// # Errors
+///
+/// Rejects bad means and `cv` outside `(0, 1]` — a `cv > 1` target needs a
+/// hyperexponential *mixture*, which is not an acyclic series chain.
+pub fn fit_moments(mean: f64, cv: f64) -> Result<MomentFit, FitError> {
+    if !(mean > 0.0 && mean.is_finite()) {
+        return Err(FitError::BadMean(mean));
+    }
+    if !(cv > 0.0 && cv <= 1.0) {
+        return Err(FitError::BadCv(cv));
+    }
+    let cv2 = cv * cv;
+    // ⌈1/cv²⌉, robust to float dust: 1/(1/√2)² evaluates to 2 + 4ε and must
+    // still select k = 2, not 3.
+    let kf = 1.0 / cv2;
+    let k = if (kf - kf.round()).abs() < 1e-9 { kf.round() } else { kf.ceil() } as usize;
+    // cv² = 1/k (within float dust): pure Erlang-k.
+    if (cv2 * k as f64 - 1.0).abs() < 1e-9 {
+        return Ok(MomentFit { rates: vec![k as f64 / mean; k], mean, cv });
+    }
+    // Hypoexponential: a = k−1 phases at rate 1/x, one phase at rate 1/y,
+    // with a·x + y = mean and a·x² + y² = (cv·mean)². The discriminant is
+    // non-negative exactly when cv² ≥ 1/k, which ⌈·⌉ guarantees.
+    let a = (k - 1) as f64;
+    let v = cv2 * mean * mean;
+    let disc = (a * ((1.0 + a) * v - mean * mean)).max(0.0).sqrt();
+    let x = (a * mean - disc) / (a * (1.0 + a));
+    let y = mean - a * x;
+    debug_assert!(x > 0.0 && y > 0.0, "series fit must have positive stage means");
+    let mut rates = vec![1.0 / x; k - 1];
+    rates.push(1.0 / y);
+    Ok(MomentFit { rates, mean, cv })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_cdf_matches_exponential_closed_form() {
+        for &(rate, t) in &[(1.0f64, 0.5f64), (2.0, 1.5), (0.3, 4.0)] {
+            let want = 1.0 - (-rate * t).exp();
+            let got = erlang_cdf(1, rate, t);
+            assert!((got - want).abs() < 1e-12, "exp cdf at {t}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn erlang_cdf_stays_finite_and_monotone_at_high_order() {
+        // Orders where naive Poisson sums underflow/overflow.
+        for &k in &[128usize, 512, 1024] {
+            let rate = k as f64; // mean 1
+            let mut prev = 0.0;
+            for i in 0..=60 {
+                let t = i as f64 * 0.05;
+                let c = erlang_cdf(k, rate, t);
+                assert!((0.0..=1.0).contains(&c), "cdf out of range at k={k} t={t}: {c}");
+                assert!(c >= prev - 1e-12, "cdf must be monotone at k={k} t={t}");
+                prev = c;
+            }
+            // Median of a mean-1 Erlang-k is ~1: below it the CDF is < 1/2,
+            // above it > 1/2, and far out it saturates.
+            assert!(erlang_cdf(k, rate, 0.5) < 0.5);
+            assert!(erlang_cdf(k, rate, 1.5) > 0.5);
+            assert!(erlang_cdf(k, rate, 3.0) > 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn sup_error_decreases_toward_zero() {
+        let e1 = sup_error_vs_step(1, 2.0, 0.1, 300);
+        let e8 = sup_error_vs_step(8, 2.0, 0.1, 300);
+        let e256 = sup_error_vs_step(256, 2.0, 0.1, 300);
+        assert!(e1 > e8 && e8 > e256, "{e1} > {e8} > {e256} expected");
+        // Outside a 0.1·mean band the error decays like Φ(−0.1√k): ≈ 0.055
+        // at k = 256. The slow √k decay *is* the paper's space/accuracy
+        // trade-off — tight tolerances are genuinely expensive.
+        assert!(e256 < 0.06, "high order approximates the step: {e256}");
+        let e1024 = sup_error_vs_step(1024, 2.0, 0.1, 300);
+        assert!(e1024 < 1e-3, "k = 1024 reaches sub-0.1% error: {e1024}");
+    }
+
+    #[test]
+    fn fit_selects_minimal_k() {
+        let fit = fit_deterministic(1.0, 0.05, &FitOptions::default()).expect("fits");
+        assert!(fit.tolerance_met);
+        assert!(fit.achieved_error <= 0.05);
+        assert!(fit.k > 1, "an exponential cannot be within 5% of a step");
+        // Minimality: one order less must miss the tolerance.
+        let under = sup_error_vs_step(fit.k - 1, 1.0, DEFAULT_JUMP_WINDOW, DEFAULT_SAMPLES);
+        assert!(under > 0.05, "k−1 = {} must miss: {under}", fit.k - 1);
+    }
+
+    #[test]
+    fn fit_reports_unmet_tolerance_at_the_cap() {
+        let opts = FitOptions { max_k: 4, ..FitOptions::default() };
+        let fit = fit_deterministic(1.0, 1e-6, &opts).expect("fits");
+        assert_eq!(fit.k, 4);
+        assert!(!fit.tolerance_met);
+        assert!(fit.achieved_error > 1e-6);
+        assert!(fit.to_string().contains("UNMET"), "{fit}");
+    }
+
+    #[test]
+    fn fit_mean_is_exact() {
+        for &(mean, tol) in &[(0.25, 0.2), (1.0, 0.05), (7.5, 0.01)] {
+            let fit = fit_deterministic(mean, tol, &FitOptions::default()).expect("fits");
+            // Erlang mean = k / rate, and rate = k / mean by construction.
+            assert!((fit.k as f64 / fit.rate - mean).abs() < 1e-9 * mean);
+        }
+    }
+
+    #[test]
+    fn fit_rejects_bad_inputs() {
+        assert!(fit_deterministic(0.0, 0.1, &FitOptions::default()).is_err());
+        assert!(fit_deterministic(f64::NAN, 0.1, &FitOptions::default()).is_err());
+        assert!(fit_deterministic(1.0, 0.0, &FitOptions::default()).is_err());
+        assert!(fit_deterministic(1.0, 1.0, &FitOptions::default()).is_err());
+        let zero_cap = FitOptions { max_k: 0, ..FitOptions::default() };
+        assert!(fit_deterministic(1.0, 0.1, &zero_cap).is_err());
+    }
+
+    #[test]
+    fn moment_fit_matches_both_moments() {
+        for &(mean, cv) in &[(1.0, 1.0), (2.0, 0.5), (3.0, 0.4), (0.7, 0.23), (5.0, 0.9)] {
+            let fit = fit_moments(mean, cv).expect("fits");
+            let m: f64 = fit.rates.iter().map(|r| 1.0 / r).sum();
+            let var: f64 = fit.rates.iter().map(|r| 1.0 / (r * r)).sum();
+            assert!((m - mean).abs() < 1e-9 * mean, "mean {m} vs {mean} (cv {cv})");
+            let got_cv = var.sqrt() / m;
+            assert!((got_cv - cv).abs() < 1e-9, "cv {got_cv} vs {cv}");
+            assert_eq!(fit.k(), (1.0 / (cv * cv)).ceil() as usize);
+        }
+    }
+
+    #[test]
+    fn moment_fit_is_pure_erlang_on_exact_orders() {
+        for k in [1usize, 2, 4, 9] {
+            let fit = fit_moments(1.0, 1.0 / (k as f64).sqrt()).expect("fits");
+            assert!(fit.is_erlang(), "cv = 1/√{k} is a pure Erlang");
+            assert_eq!(fit.k(), k);
+        }
+        let hypo = fit_moments(1.0, 0.6).expect("fits");
+        assert!(!hypo.is_erlang(), "cv = 0.6 needs a distinct final phase");
+    }
+
+    #[test]
+    fn moment_fit_rejects_mixture_targets() {
+        assert!(fit_moments(1.0, 1.5).is_err());
+        assert!(fit_moments(1.0, 0.0).is_err());
+        assert!(fit_moments(-1.0, 0.5).is_err());
+    }
+}

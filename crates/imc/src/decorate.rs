@@ -84,6 +84,9 @@ fn inline_delay(b: &mut ImcBuilder, from: State, delay: &Delay, emit_label: &str
             }
             b.interactive(prev, emit_label, target);
         }
+        Delay::Deterministic { .. } => {
+            inline_delay(b, from, &delay.resolved(), emit_label, target);
+        }
         Delay::HyperExponential { branches } => {
             // Fast dispatch race selects the branch with probability p_i
             // (see phase_type for the encoding discussion).
@@ -160,6 +163,17 @@ mod tests {
         // 2 original + 4 phase targets = 6 states; the chain starts at 0.
         assert_eq!(imc.num_markovian(), 4);
         assert_eq!(imc.num_states(), 6);
+    }
+
+    #[test]
+    fn deterministic_decoration_fits_then_inlines() {
+        let lts = lts_from_triples(&[(0, "WORK", 1)]);
+        let mut delays = HashMap::new();
+        delays.insert("WORK".to_owned(), Delay::deterministic(1.0, 0.2));
+        let imc = decorate(&lts, &delays);
+        let k = Delay::deterministic(1.0, 0.2).num_phases();
+        assert_eq!(imc.num_markovian(), k);
+        assert_eq!(imc.num_states(), 2 + k);
     }
 
     #[test]

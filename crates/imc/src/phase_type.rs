@@ -8,6 +8,7 @@
 //! trade-off as an open issue, which experiment E7 quantifies.
 
 use crate::imc::{Imc, ImcBuilder};
+use multival_ctmc::phfit::{self, FitOptions, PhaseFit};
 use multival_ctmc::{Ctmc, CtmcBuilder};
 use std::fmt;
 
@@ -37,6 +38,19 @@ pub enum Delay {
         /// `(probability, rate)` branches; probabilities must sum to 1.
         branches: Vec<(f64, f64)>,
     },
+    /// A *deterministic* delay of duration `mean`, auto-fitted to an Erlang
+    /// chain by [`multival_ctmc::phfit::fit_deterministic`]: the smallest
+    /// order k whose sup-CDF error against the unit step (outside the
+    /// ±10 %·mean band around the jump) is ≤ `tol`, capped at
+    /// [`phfit::DEFAULT_MAX_K`]. Users state the delay and the accuracy they
+    /// need instead of hand-picking k — use [`Delay::fit_report`] to see
+    /// what the fitter chose and whether the tolerance was met.
+    Deterministic {
+        /// Duration d of the fixed delay (d > 0).
+        mean: f64,
+        /// Sup-CDF tolerance the automatic fit must meet (0 < tol < 1).
+        tol: f64,
+    },
 }
 
 impl Delay {
@@ -59,12 +73,55 @@ impl Delay {
         Delay::Erlang { phases, rate: phases as f64 / d }
     }
 
+    /// A deterministic delay of duration `d` that auto-fits its Erlang order
+    /// to the stated sup-CDF tolerance (see [`Delay::Deterministic`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d <= 0` or `tol` is not in `(0, 1)`.
+    pub fn deterministic(d: f64, tol: f64) -> Delay {
+        assert!(d > 0.0, "fixed delay must be positive");
+        assert!(tol > 0.0 && tol < 1.0, "tolerance must be in (0, 1)");
+        Delay::Deterministic { mean: d, tol }
+    }
+
+    /// Resolves [`Delay::Deterministic`] to the concrete fitted
+    /// [`Delay::Erlang`]; every other variant is returned as-is. All
+    /// structural operations (`to_ctmc`, `to_imc_process`, decoration)
+    /// instantiate the resolved chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Deterministic` delay carries an invalid mean/tolerance
+    /// (constructing through [`Delay::deterministic`] rules this out).
+    pub fn resolved(&self) -> Delay {
+        match self.fit_report() {
+            Some(fit) => Delay::Erlang { phases: fit.k as u32, rate: fit.rate },
+            None => self.clone(),
+        }
+    }
+
+    /// The fitter's report for a [`Delay::Deterministic`] delay — chosen
+    /// order, per-phase rate, achieved sup-CDF error, and whether the stated
+    /// tolerance was met (`false` means the order cap was reached; the cap
+    /// fit is still returned and used). `None` for concrete variants.
+    pub fn fit_report(&self) -> Option<PhaseFit> {
+        match self {
+            Delay::Deterministic { mean, tol } => Some(
+                phfit::fit_deterministic(*mean, *tol, &FitOptions::default())
+                    .expect("deterministic delay carries a valid mean and tolerance"),
+            ),
+            _ => None,
+        }
+    }
+
     /// Fits a phase-type distribution to a target mean and coefficient of
     /// variation by standard moment matching:
     ///
     /// * `cv == 1` → exponential;
-    /// * `cv < 1`  → Erlang-k with `k = ceil(1/cv²)` (slightly less
-    ///   variable than requested when 1/cv² is not an integer);
+    /// * `cv < 1`  → [`phfit::fit_moments`]: pure Erlang-k when `1/cv²` is
+    ///   an integer, otherwise a k-phase hypo-exponential matching *both*
+    ///   moments exactly;
     /// * `cv > 1`  → two-branch balanced hyper-exponential.
     ///
     /// # Panics
@@ -77,8 +134,12 @@ impl Delay {
             return Delay::Exponential { rate: 1.0 / mean };
         }
         if cv < 1.0 {
-            let k = (1.0 / (cv * cv)).ceil().max(1.0) as u32;
-            return Delay::Erlang { phases: k, rate: k as f64 / mean };
+            let fit = phfit::fit_moments(mean, cv).expect("validated mean and cv");
+            if fit.is_erlang() {
+                let k = fit.k();
+                return Delay::Erlang { phases: k as u32, rate: k as f64 / mean };
+            }
+            return Delay::HypoExponential { rates: fit.rates };
         }
         // Balanced two-phase hyper-exponential (p, λ1) / (1-p, λ2) matching
         // the first two moments, with the "balanced means" convention
@@ -97,6 +158,8 @@ impl Delay {
             Delay::Erlang { phases, rate } => *phases as f64 / rate,
             Delay::HypoExponential { rates } => rates.iter().map(|r| 1.0 / r).sum(),
             Delay::HyperExponential { branches } => branches.iter().map(|(p, r)| p / r).sum(),
+            // Erlang fits of rate k/mean preserve the mean exactly.
+            Delay::Deterministic { mean, .. } => *mean,
         }
     }
 
@@ -111,6 +174,10 @@ impl Delay {
                 let second: f64 = branches.iter().map(|(p, r)| 2.0 * p / (r * r)).sum();
                 second - m * m
             }
+            // The variance of the *instantiated* chain (mean²/k), not the
+            // zero variance of the ideal: it is the fitted chain that enters
+            // the state space, and honesty about its dispersion is the point.
+            Delay::Deterministic { .. } => self.resolved().variance(),
         }
     }
 
@@ -128,6 +195,7 @@ impl Delay {
             Delay::Erlang { phases, .. } => *phases as usize,
             Delay::HypoExponential { rates } => rates.len(),
             Delay::HyperExponential { branches } => branches.len(),
+            Delay::Deterministic { .. } => self.fit_report().expect("deterministic variant").k,
         }
     }
 
@@ -167,6 +235,7 @@ impl Delay {
                 }
                 b.build().expect("nonempty")
             }
+            Delay::Deterministic { .. } => self.resolved().to_ctmc(),
         }
     }
 
@@ -219,6 +288,9 @@ impl Delay {
     /// functional model on `start`/`end` is the paper's compositional delay
     /// instantiation (§4, steps 1–3).
     pub fn to_imc_process(&self, start: &str, end: &str) -> Imc {
+        if let Delay::Deterministic { .. } = self {
+            return self.resolved().to_imc_process(start, end);
+        }
         let mut b = ImcBuilder::new();
         let idle = b.add_state();
         match self {
@@ -280,6 +352,7 @@ impl Delay {
                     b.interactive(done, end, idle);
                 }
             }
+            Delay::Deterministic { .. } => unreachable!("resolved above"),
         }
         b.build(idle)
     }
@@ -292,6 +365,7 @@ impl fmt::Display for Delay {
             Delay::Erlang { phases, rate } => write!(f, "erlang({phases}, {rate})"),
             Delay::HypoExponential { rates } => write!(f, "hypo({rates:?})"),
             Delay::HyperExponential { branches } => write!(f, "hyper({branches:?})"),
+            Delay::Deterministic { mean, tol } => write!(f, "det({mean}, tol {tol})"),
         }
     }
 }
@@ -403,6 +477,52 @@ mod tests {
         let d = Delay::fit_moments(1.0, 0.6);
         assert!((d.mean() - 1.0).abs() < 1e-12);
         assert!(d.cv() <= 0.6 + 1e-12);
+    }
+
+    #[test]
+    fn moment_matching_low_variability_is_exact_hypo() {
+        // Non-integer 1/cv² now matches *both* moments via hypo-exponential.
+        let d = Delay::fit_moments(1.0, 0.6);
+        assert!(matches!(d, Delay::HypoExponential { .. }));
+        assert!((d.mean() - 1.0).abs() < 1e-9);
+        assert!((d.cv() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_resolves_to_erlang_meeting_tolerance() {
+        let d = Delay::deterministic(2.0, 0.1);
+        let fit = d.fit_report().expect("deterministic delay has a fit");
+        assert!(fit.tolerance_met);
+        assert!(fit.achieved_error <= 0.1);
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+        let r = d.resolved();
+        assert!(matches!(r, Delay::Erlang { .. }));
+        assert_eq!(r.num_phases(), d.num_phases());
+        assert!((r.mean() - 2.0).abs() < 1e-9);
+        // Variance reports the instantiated chain, not the ideal zero.
+        assert!((d.variance() - r.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_tighter_tolerance_needs_more_phases() {
+        let loose = Delay::deterministic(1.0, 0.2).num_phases();
+        let tight = Delay::deterministic(1.0, 0.05).num_phases();
+        assert!(tight > loose, "{tight} !> {loose}");
+    }
+
+    #[test]
+    fn deterministic_process_matches_resolved_erlang() {
+        let d = Delay::deterministic(1.0, 0.15);
+        let imc = d.to_imc_process("S", "E");
+        assert_eq!(imc.num_markovian(), d.num_phases());
+        let c = d.to_ctmc();
+        assert_eq!(c.num_states(), d.num_phases() + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be in (0, 1)")]
+    fn deterministic_rejects_bad_tolerance() {
+        let _ = Delay::deterministic(1.0, 1.5);
     }
 
     #[test]

@@ -5,14 +5,17 @@
 //! 2 stopping rule not met, 3 budget exceeded, 1 usage/internal error).
 //! `serve` starts the evaluation service from `multival_svc` and runs
 //! until SIGTERM/SIGINT, then drains the job queue and prints the final
-//! [`multival::report::ServeStats`].
+//! [`multival::report::ServeStats`]. `explore-space` runs the design-space
+//! sweep driver from `multival_svc::sweep`: the deterministic report goes
+//! to stdout, the (non-deterministic) timing line to stderr.
 
 use multival::cli::{execute, parse_args, Command};
 use multival_svc::server::{serve, ServerConfig};
+use multival_svc::sweep::{run_explore_space, SweepOptions, SweepSpec};
 use std::io::Write;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,6 +48,17 @@ fn main() -> ExitCode {
             read_deadline: Duration::from_secs(10),
         });
     }
+    if let Command::ExploreSpace { spec, workers, endpoint, cache_dir, max_states } = &cmd {
+        return run_sweep(
+            spec,
+            &SweepOptions {
+                workers: *workers,
+                endpoint: endpoint.clone(),
+                cache_dir: cache_dir.as_ref().map(std::path::PathBuf::from),
+                max_states: *max_states,
+            },
+        );
+    }
     match execute(&cmd) {
         Ok(output) => {
             print!("{output}");
@@ -55,6 +69,44 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn run_sweep(spec_path: &str, options: &SweepOptions) -> ExitCode {
+    let text = match std::fs::read_to_string(spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match SweepSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let started = Instant::now();
+    let run = match run_explore_space(&spec, options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // stdout carries only the deterministic report (golden-comparable);
+    // wall-clock timing goes to stderr.
+    print!("{}", run.report().render());
+    let secs = started.elapsed().as_secs_f64();
+    eprintln!(
+        "timing (non-deterministic): {} points in {secs:.2}s ({:.1} points/s), \
+         {} evaluated, {} cache hits",
+        run.points.len(),
+        run.points.len() as f64 / secs.max(1e-9),
+        run.evaluated,
+        run.cache_hits
+    );
+    u8::try_from(run.status.exit_code()).map_or(ExitCode::FAILURE, ExitCode::from)
 }
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);

@@ -422,8 +422,10 @@ fn replay(
                         // current format. Surface that as a failed job
                         // rather than dropping the id.
                         let mut job = Job::new(
-                            JobRequest::from_json_text("{\"kind\":\"explore\"}")
-                                .expect("minimal request parses"),
+                            JobRequest::from_json_text(
+                                "{\"kind\":\"explore\",\"model\":{\"builtin\":\"xstream_pipeline\"}}",
+                            )
+                            .expect("minimal request parses"),
                             String::new(),
                             Instant::now(),
                         );

@@ -15,6 +15,9 @@
 //! 5. [`http`] + [`evloop`] + [`server`] — a std-only HTTP/1.1 JSON API
 //!    (`POST /v1/jobs`, `GET /v1/jobs/{id}`, `GET /v1/metrics`,
 //!    `GET /v1/healthz`) served by a readiness-based `poll(2)` event loop.
+//! 6. [`sweep`] — the `explore-space` design-space driver: expand a sweep
+//!    spec into canonical `sweep` jobs, evaluate them in-process or against
+//!    a live endpoint, report the accuracy-vs-peak-states Pareto front.
 //!
 //! The crate also owns the `multival` binary: the service needs the whole
 //! flow facade, so the binary lives above `multival` (the core crate)
@@ -37,9 +40,11 @@ pub mod json;
 pub mod metrics;
 pub mod request;
 pub mod server;
+pub mod sweep;
 
 pub use cache::{CacheStats, ResultCache};
 pub use job::{JobEngine, JobSnapshot, JobState, SubmitError};
 pub use journal::{Journal, Record};
 pub use request::JobRequest;
 pub use server::{serve, ServerConfig, ServerHandle};
+pub use sweep::{run_explore_space, SweepOptions, SweepRun, SweepSpec};

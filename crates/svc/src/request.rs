@@ -28,7 +28,7 @@ use multival_models::fame2::coherence::Protocol;
 use multival_models::fame2::mpi::{MpiConfig, MpiImpl, MpiModel};
 use multival_models::fame2::topology::Topology;
 use multival_models::faust::noc::single_packet_source;
-use multival_models::xstream::perf::{explore_pipeline, PerfConfig};
+use multival_models::xstream::perf::{analyze_with_delays, explore_pipeline, PerfConfig};
 use multival_pa::{explore_partial, parse_spec, ExploreOptions};
 use multival_par::Workers;
 use std::collections::HashMap;
@@ -53,6 +53,14 @@ pub enum Kind {
     /// Compositional smart reduction over the model's component network
     /// (inline `source` models only).
     Reduce,
+    /// One point of a design-space sweep over the xSTream pipeline: a full
+    /// pipeline configuration (capacities, stage rates, transfer-delay
+    /// style, scheduler) evaluated to throughput/latency/occupancy plus the
+    /// fit accuracy of the transfer delay against an ideal deterministic
+    /// transfer (`sweep` object required, `model.builtin` must be
+    /// `xstream_pipeline`). The `explore-space` driver expands a sweep spec
+    /// into many of these, so shared points cache and coalesce.
+    Sweep,
 }
 
 impl Kind {
@@ -65,7 +73,129 @@ impl Kind {
             Kind::Simulate => "simulate",
             Kind::Bounds => "bounds",
             Kind::Reduce => "reduce",
+            Kind::Sweep => "sweep",
         }
+    }
+}
+
+/// The transfer-delay axis of a sweep point: how the NoC transfer stage is
+/// modeled. Written `exponential`, `erlang:K`, or `det:TOL` in requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SweepDelay {
+    /// Memoryless transfer at the configured rate (Erlang order 1).
+    Exponential,
+    /// Hand-picked Erlang order k at the configured mean.
+    Erlang {
+        /// Number of phases k ≥ 1.
+        k: u32,
+    },
+    /// Deterministic transfer auto-fitted by `ctmc::phfit` to the stated
+    /// sup-CDF tolerance — the driver's "state the delay and the accuracy"
+    /// mode.
+    Deterministic {
+        /// Sup-CDF tolerance in (0, 1).
+        tol: f64,
+    },
+}
+
+impl SweepDelay {
+    /// The canonical request/axis syntax (`det:5e-2` parses, `det:0.05`
+    /// is what canonicalization and result bodies emit).
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        match self {
+            SweepDelay::Exponential => "exponential".to_owned(),
+            SweepDelay::Erlang { k } => format!("erlang:{k}"),
+            SweepDelay::Deterministic { tol } => format!("det:{tol}"),
+        }
+    }
+
+    /// Parses the axis syntax.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown styles or out-of-range parameters.
+    pub fn parse(s: &str) -> Result<SweepDelay, String> {
+        if s == "exponential" {
+            return Ok(SweepDelay::Exponential);
+        }
+        if let Some(k) = s.strip_prefix("erlang:") {
+            let k: u32 = k.parse().map_err(|_| format!("bad Erlang order in `{s}`"))?;
+            if k == 0 || k > 4096 {
+                return Err(format!("Erlang order must be in 1..=4096, got {k}"));
+            }
+            return Ok(SweepDelay::Erlang { k });
+        }
+        if let Some(t) = s.strip_prefix("det:") {
+            let tol: f64 = t.parse().map_err(|_| format!("bad tolerance in `{s}`"))?;
+            if !(tol > 0.0 && tol < 1.0) {
+                return Err(format!("tolerance must be in (0, 1), got {tol}"));
+            }
+            return Ok(SweepDelay::Deterministic { tol });
+        }
+        Err(format!("unknown delay `{s}` (expected exponential, erlang:K, or det:TOL)"))
+    }
+}
+
+/// The scheduler axis of a sweep point. `min`/`max` report the endpoint of
+/// the scheduler-quantified throughput interval (via the lifted CTMDP);
+/// on the nondeterminism-free pipeline all three coincide — computed
+/// honestly, not assumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepScheduler {
+    /// Uniform resolution (the seed's policy).
+    Uniform,
+    /// Throughput-minimizing scheduler.
+    Min,
+    /// Throughput-maximizing scheduler.
+    Max,
+}
+
+impl SweepScheduler {
+    fn name(self) -> &'static str {
+        match self {
+            SweepScheduler::Uniform => "uniform",
+            SweepScheduler::Min => "min",
+            SweepScheduler::Max => "max",
+        }
+    }
+}
+
+/// One fully resolved sweep point: the pipeline configuration plus the
+/// delay-style and scheduler axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepParams {
+    /// Push-queue capacity (1..=16).
+    pub push_capacity: u8,
+    /// Pop-queue capacity (1..=16).
+    pub pop_capacity: u8,
+    /// Producer stage rate.
+    pub producer_rate: f64,
+    /// NoC transfer rate (mean transfer time is its reciprocal).
+    pub transfer_rate: f64,
+    /// Consumer stage rate.
+    pub consumer_rate: f64,
+    /// Credit-return rate.
+    pub credit_rate: f64,
+    /// Transfer-delay style.
+    pub delay: SweepDelay,
+    /// Scheduler policy.
+    pub scheduler: SweepScheduler,
+}
+
+fn sweep_capacity(v: &Json, key: &str, default: u8) -> Result<u8, String> {
+    match opt_uint(v, key)? {
+        None => Ok(default),
+        Some(x) if (1..=16).contains(&x) => Ok(x as u8),
+        Some(x) => Err(format!("`{key}` must be in 1..=16, got {x}")),
+    }
+}
+
+fn sweep_rate(v: &Json, key: &str, default: f64) -> Result<f64, String> {
+    match opt_num(v, key)? {
+        None => Ok(default),
+        Some(x) if x.is_finite() && x > 0.0 => Ok(x),
+        Some(x) => Err(format!("`{key}` must be a positive rate, got {x}")),
     }
 }
 
@@ -110,6 +240,8 @@ pub struct JobRequest {
     pub store: StoreKind,
     /// Resident-memory budget in bytes for the spill backend (reduce).
     pub mem_budget: Option<usize>,
+    /// Sweep-point parameters (sweep only).
+    pub sweep: Option<SweepParams>,
     /// Resource budget (state cap + wall-clock limit).
     pub budget: Budget,
 }
@@ -206,6 +338,7 @@ impl JobRequest {
             Some("simulate") => Kind::Simulate,
             Some("bounds") => Kind::Bounds,
             Some("reduce") => Kind::Reduce,
+            Some("sweep") => Kind::Sweep,
             Some(other) => return Err(format!("unknown kind `{other}`")),
             None => return Err("`kind` is required".to_owned()),
         };
@@ -297,6 +430,48 @@ impl JobRequest {
             }
         };
         let mem_budget = opt_uint(v, "mem_budget")?.map(|b| b as usize);
+        let sweep = if kind == Kind::Sweep {
+            if !matches!(&model, ModelSource::Builtin(n) if n == "xstream_pipeline") {
+                return Err(
+                    "kind `sweep` needs `model.builtin` = `xstream_pipeline`: sweep points \
+                     are pipeline configurations"
+                        .to_owned(),
+                );
+            }
+            let sv = v.get("sweep").ok_or("`sweep` is required for kind `sweep`")?;
+            let d = PerfConfig::default();
+            Some(SweepParams {
+                push_capacity: sweep_capacity(sv, "push_capacity", d.push_capacity)?,
+                pop_capacity: sweep_capacity(sv, "pop_capacity", d.pop_capacity)?,
+                producer_rate: sweep_rate(sv, "producer_rate", d.producer_rate)?,
+                transfer_rate: sweep_rate(sv, "transfer_rate", d.transfer_rate)?,
+                consumer_rate: sweep_rate(sv, "consumer_rate", d.consumer_rate)?,
+                credit_rate: sweep_rate(sv, "credit_rate", d.credit_rate)?,
+                delay: match opt_str(sv, "delay")? {
+                    None => SweepDelay::Exponential,
+                    Some(s) => SweepDelay::parse(&s)?,
+                },
+                scheduler: match opt_str(sv, "scheduler")?.as_deref() {
+                    None | Some("uniform") => SweepScheduler::Uniform,
+                    Some("min") => SweepScheduler::Min,
+                    Some("max") => SweepScheduler::Max,
+                    Some(other) => {
+                        return Err(format!(
+                            "unknown scheduler `{other}` (expected uniform, min, or max)"
+                        ))
+                    }
+                },
+            })
+        } else {
+            // Canonical texts of non-sweep kinds carry `"sweep":null`.
+            if !matches!(v.get("sweep"), None | Some(Json::Null)) {
+                return Err(format!(
+                    "`sweep` is only valid for kind `sweep`, not `{}`",
+                    kind.name()
+                ));
+            }
+            None
+        };
         let mut budget = Budget::default();
         if let Some(cap) = opt_uint(v, "max_states")? {
             budget = budget.with_max_states(cap as usize);
@@ -318,6 +493,7 @@ impl JobRequest {
             order,
             store,
             mem_budget,
+            sweep,
             budget,
         })
     }
@@ -360,6 +536,21 @@ impl JobRequest {
             ("order".into(), Json::str(self.order.to_string())),
             ("store".into(), Json::str(self.store.to_string())),
             ("mem_budget".into(), self.mem_budget.map_or(Json::Null, |b| Json::num(b as f64))),
+            (
+                "sweep".into(),
+                self.sweep.as_ref().map_or(Json::Null, |p| {
+                    Json::Obj(vec![
+                        ("consumer_rate".into(), Json::num(p.consumer_rate)),
+                        ("credit_rate".into(), Json::num(p.credit_rate)),
+                        ("delay".into(), Json::str(p.delay.canonical())),
+                        ("pop_capacity".into(), Json::num(f64::from(p.pop_capacity))),
+                        ("producer_rate".into(), Json::num(p.producer_rate)),
+                        ("push_capacity".into(), Json::num(f64::from(p.push_capacity))),
+                        ("scheduler".into(), Json::str(p.scheduler.name())),
+                        ("transfer_rate".into(), Json::num(p.transfer_rate)),
+                    ])
+                }),
+            ),
             (
                 "max_states".into(),
                 self.budget.max_states.map_or(Json::Null, |c| Json::num(c as f64)),
@@ -404,6 +595,9 @@ impl JobRequest {
         if self.kind == Kind::Reduce {
             return self.evaluate_reduce(workers);
         }
+        if self.kind == Kind::Sweep {
+            return self.evaluate_sweep();
+        }
         let lts = self.load_model()?;
         match self.kind {
             Kind::Explore => {
@@ -427,8 +621,120 @@ impl JobRequest {
             Kind::Steady | Kind::Transient | Kind::Simulate | Kind::Bounds => {
                 self.evaluate_perf(lts, workers)
             }
-            Kind::Reduce => unreachable!("handled before the model is flattened"),
+            Kind::Reduce | Kind::Sweep => unreachable!("handled before the model is flattened"),
         }
+    }
+
+    /// Evaluates one sweep point: build the configured pipeline, resolve
+    /// the transfer-delay axis (fitting deterministic delays through
+    /// `ctmc::phfit`), solve, and report measures plus the fit's accuracy
+    /// against an ideal deterministic transfer. A `max_states` budget is
+    /// checked against the point's CTMC size — a trip is an error (never
+    /// cached), which the driver reports as a *partial* point with exit 3.
+    fn evaluate_sweep(&self) -> Result<Json, String> {
+        use multival::imc::phase_type::Delay;
+        use multival_ctmc::phfit;
+
+        let p = self.sweep.as_ref().expect("validated at parse");
+        let config = PerfConfig {
+            push_capacity: p.push_capacity,
+            pop_capacity: p.pop_capacity,
+            producer_rate: p.producer_rate,
+            transfer_rate: p.transfer_rate,
+            consumer_rate: p.consumer_rate,
+            credit_rate: p.credit_rate,
+        };
+        // Resolve the transfer-delay axis to a concrete phase-type delay
+        // plus its sup-CDF accuracy against the ideal deterministic
+        // transfer of the same mean (exponential is Erlang-1).
+        let xfer_mean = 1.0 / p.transfer_rate;
+        let (xfer_delay, fit_k, accuracy_error, tolerance_met) = match p.delay {
+            SweepDelay::Exponential => (
+                Delay::Exponential { rate: p.transfer_rate },
+                1usize,
+                phfit::sup_error_vs_step(
+                    1,
+                    xfer_mean,
+                    phfit::DEFAULT_JUMP_WINDOW,
+                    phfit::DEFAULT_SAMPLES,
+                ),
+                true,
+            ),
+            SweepDelay::Erlang { k } => (
+                Delay::fixed(xfer_mean, k),
+                k as usize,
+                phfit::sup_error_vs_step(
+                    k as usize,
+                    xfer_mean,
+                    phfit::DEFAULT_JUMP_WINDOW,
+                    phfit::DEFAULT_SAMPLES,
+                ),
+                true,
+            ),
+            SweepDelay::Deterministic { tol } => {
+                let fit = phfit::fit_deterministic(xfer_mean, tol, &phfit::FitOptions::default())
+                    .map_err(|e| e.to_string())?;
+                (
+                    Delay::Erlang { phases: fit.k as u32, rate: fit.rate },
+                    fit.k,
+                    fit.achieved_error,
+                    fit.tolerance_met,
+                )
+            }
+        };
+        let mut delay_of = |label: &str| -> Option<Delay> {
+            match label {
+                "push" => Some(Delay::Exponential { rate: config.producer_rate }),
+                "xfer" => Some(xfer_delay.clone()),
+                "pop" => Some(Delay::Exponential { rate: config.consumer_rate }),
+                "credit" => Some(Delay::Exponential { rate: config.credit_rate }),
+                _ => None,
+            }
+        };
+        let report = analyze_with_delays(&config, &mut delay_of).map_err(|e| e.to_string())?;
+        if let Some(cap) = self.budget.max_states {
+            if report.ctmc_states > cap {
+                return Err(format!(
+                    "Budget exceeded: sweep point needs {} CTMC states (cap {cap})",
+                    report.ctmc_states
+                ));
+            }
+        }
+        let throughput = match p.scheduler {
+            SweepScheduler::Uniform => report.throughput,
+            // min/max go through the lifted CTMDP and report the interval
+            // endpoint. The pipeline has no nondeterminism, so the endpoint
+            // equals the uniform value — but it is *computed*, not assumed.
+            SweepScheduler::Min | SweepScheduler::Max => {
+                let lts = explore_pipeline(&config).map_err(|e| e.to_string())?.lts;
+                let bounds = Flow::from_lts(lts)
+                    .with_delays_by_label(&mut delay_of)
+                    .solve_bounds(&["pop"])
+                    .map_err(|e| e.to_string())?;
+                let tb = bounds.throughput_bounds().map_err(|e| e.to_string())?;
+                let interval = tb
+                    .iter()
+                    .find(|(l, _)| l == "pop")
+                    .map(|&(_, i)| i)
+                    .ok_or("sweep: `pop` probe missing from bounds")?;
+                match p.scheduler {
+                    SweepScheduler::Min => interval.min,
+                    _ => interval.max,
+                }
+            }
+        };
+        let latency = if throughput > 0.0 { report.mean_items / throughput } else { f64::INFINITY };
+        Ok(Json::Obj(vec![
+            ("ctmc_states".into(), Json::num(report.ctmc_states as f64)),
+            ("throughput".into(), Json::num(throughput)),
+            ("latency".into(), Json::num(latency)),
+            ("mean_items".into(), Json::num(report.mean_items)),
+            ("fit_k".into(), Json::num(fit_k as f64)),
+            ("accuracy_error".into(), Json::num(accuracy_error)),
+            ("fit_tolerance_met".into(), Json::Bool(tolerance_met)),
+            ("delay".into(), Json::str(p.delay.canonical())),
+            ("scheduler".into(), Json::str(p.scheduler.name())),
+        ]))
     }
 
     /// Runs the compositional reduction pipeline on an inline source model.
@@ -839,6 +1145,92 @@ mod tests {
             src = Json::str(NET)
         );
         let err = req(&capped).evaluate(Workers::sequential()).expect_err("budget trips");
+        assert!(err.contains("Budget exceeded"), "{err}");
+    }
+
+    #[test]
+    fn sweep_parses_fills_defaults_and_canonicalizes() {
+        let a = req(r#"{"kind":"sweep","model":{"builtin":"xstream_pipeline"},"sweep":{}}"#);
+        let b = req(r#"{"kind":"sweep","model":{"builtin":"xstream_pipeline"},
+                "sweep":{"push_capacity":2,"delay":"exponential","scheduler":"uniform"}}"#);
+        assert_eq!(a.canonical(), b.canonical(), "sweep defaults must canonicalize");
+        assert!(a.canonical().contains("\"delay\":\"exponential\""));
+        // Equivalent spellings of the tolerance canonicalize identically.
+        let c = req(
+            r#"{"kind":"sweep","model":{"builtin":"xstream_pipeline"},"sweep":{"delay":"det:5e-2"}}"#,
+        );
+        assert!(c.canonical().contains("\"delay\":\"det:0.05\""), "{}", c.canonical());
+    }
+
+    #[test]
+    fn sweep_rejects_malformed() {
+        for bad in [
+            r#"{"kind":"sweep","model":{"builtin":"xstream_pipeline"}}"#,
+            r#"{"kind":"sweep","model":{"builtin":"fame2_ping_pong"},"sweep":{}}"#,
+            r#"{"kind":"sweep","model":{"builtin":"xstream_pipeline"},"sweep":{"delay":"erlang:0"}}"#,
+            r#"{"kind":"sweep","model":{"builtin":"xstream_pipeline"},"sweep":{"delay":"det:2"}}"#,
+            r#"{"kind":"sweep","model":{"builtin":"xstream_pipeline"},"sweep":{"delay":"fixed"}}"#,
+            r#"{"kind":"sweep","model":{"builtin":"xstream_pipeline"},"sweep":{"scheduler":"best"}}"#,
+            r#"{"kind":"sweep","model":{"builtin":"xstream_pipeline"},"sweep":{"push_capacity":0}}"#,
+            r#"{"kind":"sweep","model":{"builtin":"xstream_pipeline"},"sweep":{"transfer_rate":-1}}"#,
+            r#"{"kind":"explore","model":{"builtin":"xstream_pipeline"},"sweep":{}}"#,
+        ] {
+            assert!(JobRequest::from_json_text(bad).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn sweep_evaluates_and_erlang_order_shrinks_error() {
+        let eval = |delay: &str| {
+            req(&format!(
+                r#"{{"kind":"sweep","model":{{"builtin":"xstream_pipeline"}},"sweep":{{"delay":"{delay}"}}}}"#
+            ))
+            .evaluate(Workers::sequential())
+            .expect(delay)
+        };
+        let e1 = eval("exponential");
+        let e8 = eval("erlang:8");
+        let err1 = e1.get("accuracy_error").and_then(Json::as_num).expect("error");
+        let err8 = e8.get("accuracy_error").and_then(Json::as_num).expect("error");
+        assert!(err8 < err1, "higher order must be more accurate: {err8} !< {err1}");
+        let s1 = e1.get("ctmc_states").and_then(Json::as_num).expect("states");
+        let s8 = e8.get("ctmc_states").and_then(Json::as_num).expect("states");
+        assert!(s8 > s1, "higher order must cost states: {s8} !> {s1}");
+    }
+
+    #[test]
+    fn sweep_deterministic_delay_autofits_to_tolerance() {
+        let out = req(
+            r#"{"kind":"sweep","model":{"builtin":"xstream_pipeline"},"sweep":{"delay":"det:0.1"}}"#,
+        )
+        .evaluate(Workers::sequential())
+        .expect("evaluates");
+        assert_eq!(out.get("fit_tolerance_met").and_then(Json::as_bool), Some(true));
+        let err = out.get("accuracy_error").and_then(Json::as_num).expect("error");
+        assert!(err <= 0.1, "fit must meet the stated tolerance: {err}");
+        assert!(out.get("fit_k").and_then(Json::as_num) > Some(1.0));
+    }
+
+    #[test]
+    fn sweep_schedulers_coincide_on_deterministic_pipeline() {
+        let eval = |sched: &str| {
+            req(&format!(
+                r#"{{"kind":"sweep","model":{{"builtin":"xstream_pipeline"}},"sweep":{{"delay":"erlang:2","scheduler":"{sched}"}}}}"#
+            ))
+            .evaluate(Workers::sequential())
+            .expect(sched)
+        };
+        let tp = |o: &Json| o.get("throughput").and_then(Json::as_num).expect("throughput");
+        let (u, mn, mx) = (tp(&eval("uniform")), tp(&eval("min")), tp(&eval("max")));
+        assert!((u - mn).abs() < 1e-6 && (u - mx).abs() < 1e-6, "{u} {mn} {mx}");
+    }
+
+    #[test]
+    fn sweep_budget_trips_are_errors() {
+        let r = req(
+            r#"{"kind":"sweep","model":{"builtin":"xstream_pipeline"},"sweep":{"delay":"erlang:8"},"max_states":10}"#,
+        );
+        let err = r.evaluate(Workers::sequential()).expect_err("budget trips");
         assert!(err.contains("Budget exceeded"), "{err}");
     }
 

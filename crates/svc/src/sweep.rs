@@ -1,0 +1,749 @@
+//! The `explore-space` sweep driver: expand a design-space spec into
+//! canonical `sweep` job requests, evaluate them through the job engine —
+//! in-process or against a live `serve` endpoint over the HTTP API — and
+//! report per-point measures plus the accuracy-vs-peak-states Pareto front.
+//!
+//! Determinism contract: the expansion order, the per-point result bodies,
+//! and the rendered report are byte-identical across worker counts, across
+//! in-process vs HTTP submission, and across cache states (results carry no
+//! timestamps). Re-running a sweep therefore re-hits the content-addressed
+//! cache point by point: give the driver a `--cache-dir` (or point it at a
+//! long-lived `serve`) and a resumed sweep only computes new points.
+//!
+//! Spec format: a TOML subset (`key = value` lines, `[base]` / `[axes]`
+//! tables, strings/numbers/booleans and single-line arrays, `#` comments)
+//! or the equivalent JSON object. `axes` entries are swept as a full cross
+//! product, last axis fastest, axes in alphabetical key order:
+//!
+//! ```toml
+//! name = "tiny"
+//! model = "xstream_pipeline"
+//!
+//! [base]
+//! transfer_rate = 4.0
+//!
+//! [axes]
+//! delay = ["erlang:1", "erlang:2"]
+//! push_capacity = [1, 2]
+//! ```
+
+use crate::cache::ResultCache;
+use crate::job::{JobEngine, JobState, SubmitError};
+use crate::json::{parse, Json};
+use crate::metrics::Metrics;
+use crate::request::JobRequest;
+use multival::cli::CmdStatus;
+use multival::report::{SweepReport, SweepRow, SweepRowStatus};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The sweepable parameter keys, in canonical (alphabetical) order.
+pub const PARAM_KEYS: [&str; 8] = [
+    "consumer_rate",
+    "credit_rate",
+    "delay",
+    "pop_capacity",
+    "producer_rate",
+    "push_capacity",
+    "scheduler",
+    "transfer_rate",
+];
+
+/// A validated sweep spec: base configuration plus axes to cross.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Spec name (reported, not part of any cache key).
+    pub name: String,
+    /// Swept model; only `xstream_pipeline` today.
+    pub model: String,
+    /// Fixed parameter assignments, sorted by key.
+    pub base: Vec<(String, Json)>,
+    /// Axes to cross, sorted by key; each axis is a non-empty value list
+    /// swept in the order written.
+    pub axes: Vec<(String, Vec<Json>)>,
+}
+
+/// One expanded point: its human label (the axis assignments) and the
+/// canonical job request it evaluates to.
+#[derive(Debug, Clone)]
+pub struct SweepPointSpec {
+    /// Axis assignments in axis order, e.g. `delay=erlang:4 push_capacity=2`.
+    pub label: String,
+    /// The fully resolved request (the cache key is its canonical text).
+    pub request: JobRequest,
+}
+
+/// One evaluated point.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// Axis assignments, as in [`SweepPointSpec`].
+    pub label: String,
+    /// Canonical request text (the cache key).
+    pub canonical: String,
+    /// The result body, or the evaluation error (budget trips carry the
+    /// `Budget exceeded:` prefix).
+    pub outcome: Result<Json, String>,
+}
+
+/// How to evaluate the expanded points.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Evaluation threads for the in-process engine (min 1).
+    pub workers: usize,
+    /// Submit over HTTP to this `host:port` instead of in-process.
+    pub endpoint: Option<String>,
+    /// Disk tier for the in-process result cache — re-running the sweep
+    /// with the same dir only computes new points.
+    pub cache_dir: Option<PathBuf>,
+    /// Per-point CTMC state cap; a tripped point reports as partial and the
+    /// run exits 3.
+    pub max_states: Option<usize>,
+}
+
+/// The outcome of one driver run.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// Spec name.
+    pub name: String,
+    /// Points in expansion order.
+    pub points: Vec<PointResult>,
+    /// Indices of the accuracy-vs-peak-states Pareto front.
+    pub front: Vec<usize>,
+    /// Worst per-point status: budget trips exit 3, other failures exit 2.
+    pub status: CmdStatus,
+    /// Jobs actually evaluated by the in-process engine (0 over HTTP —
+    /// read the server's `/v1/metrics` instead).
+    pub evaluated: u64,
+    /// In-process cache hits (memory + disk).
+    pub cache_hits: u64,
+}
+
+impl SweepSpec {
+    /// Parses and validates a spec from TOML-subset or JSON text (JSON if
+    /// the first non-space character is `{`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line or field.
+    pub fn parse(text: &str) -> Result<SweepSpec, String> {
+        let v = if text.trim_start().starts_with('{') {
+            parse(text).map_err(|e| e.to_string())?
+        } else {
+            toml_to_json(text)?
+        };
+        let Json::Obj(members) = &v else {
+            return Err("spec must be a table/object".to_owned());
+        };
+        for (k, _) in members {
+            if !matches!(k.as_str(), "name" | "model" | "base" | "axes") {
+                return Err(format!("unknown spec key `{k}` (expected name, model, base, axes)"));
+            }
+        }
+        let name = match v.get("name") {
+            None => "sweep".to_owned(),
+            Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+            Some(_) => return Err("`name` must be a non-empty string".to_owned()),
+        };
+        let model = match v.get("model") {
+            None => "xstream_pipeline".to_owned(),
+            Some(Json::Str(s)) => s.clone(),
+            Some(_) => return Err("`model` must be a string".to_owned()),
+        };
+        if model != "xstream_pipeline" {
+            return Err(format!(
+                "explore-space sweeps the `xstream_pipeline` model only, got `{model}`"
+            ));
+        }
+        let mut base: Vec<(String, Json)> = Vec::new();
+        if let Some(bv) = v.get("base") {
+            let Json::Obj(bm) = bv else { return Err("`base` must be a table".to_owned()) };
+            for (k, val) in bm {
+                check_param(k)?;
+                check_scalar(k, val)?;
+                base.push((k.clone(), val.clone()));
+            }
+        }
+        base.sort_by(|a, b| a.0.cmp(&b.0));
+        let axes_v = v.get("axes").ok_or("`axes` is required (a table of key = [values])")?;
+        let Json::Obj(am) = axes_v else { return Err("`axes` must be a table".to_owned()) };
+        let mut axes: Vec<(String, Vec<Json>)> = Vec::new();
+        for (k, val) in am {
+            check_param(k)?;
+            if base.iter().any(|(bk, _)| bk == k) {
+                return Err(format!("`{k}` appears in both `base` and `axes`"));
+            }
+            let Json::Arr(items) = val else {
+                return Err(format!("axis `{k}` must be an array of values"));
+            };
+            if items.is_empty() {
+                return Err(format!("axis `{k}` must not be empty"));
+            }
+            for item in items {
+                check_scalar(k, item)?;
+            }
+            axes.push((k.clone(), items.clone()));
+        }
+        if axes.is_empty() {
+            return Err("`axes` must name at least one axis".to_owned());
+        }
+        axes.sort_by(|a, b| a.0.cmp(&b.0));
+        for w in axes.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(format!("axis `{}` is listed twice", w[0].0));
+            }
+        }
+        Ok(SweepSpec { name, model, base, axes })
+    }
+
+    /// Size of the cross product.
+    #[must_use]
+    pub fn num_points(&self) -> usize {
+        self.axes.iter().map(|(_, vs)| vs.len()).product()
+    }
+
+    /// Expands the cross product into canonical job requests, in
+    /// deterministic order: axes alphabetical, last axis fastest.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request-layer validation message for a bad point (e.g.
+    /// an out-of-range capacity in an axis value).
+    pub fn points(&self, max_states: Option<usize>) -> Result<Vec<SweepPointSpec>, String> {
+        let total = self.num_points();
+        let mut out = Vec::with_capacity(total);
+        for idx in 0..total {
+            let mut sweep: Vec<(String, Json)> = self.base.clone();
+            let mut label = String::new();
+            let mut divisor = total;
+            for (key, vals) in &self.axes {
+                divisor /= vals.len();
+                let value = &vals[(idx / divisor) % vals.len()];
+                sweep.push((key.clone(), value.clone()));
+                if !label.is_empty() {
+                    label.push(' ');
+                }
+                label.push_str(key);
+                label.push('=');
+                label.push_str(&scalar_label(value));
+            }
+            let mut members = vec![
+                ("kind".to_owned(), Json::str("sweep")),
+                (
+                    "model".to_owned(),
+                    Json::Obj(vec![("builtin".to_owned(), Json::str(self.model.clone()))]),
+                ),
+                ("sweep".to_owned(), Json::Obj(sweep)),
+            ];
+            if let Some(cap) = max_states {
+                members.push(("max_states".to_owned(), Json::num(cap as f64)));
+            }
+            let request = JobRequest::from_json(&Json::Obj(members))
+                .map_err(|e| format!("point `{label}`: {e}"))?;
+            out.push(SweepPointSpec { label, request });
+        }
+        Ok(out)
+    }
+}
+
+fn check_param(key: &str) -> Result<(), String> {
+    if PARAM_KEYS.contains(&key) {
+        Ok(())
+    } else {
+        Err(format!("unknown parameter `{key}` (expected one of {})", PARAM_KEYS.join(", ")))
+    }
+}
+
+fn check_scalar(key: &str, v: &Json) -> Result<(), String> {
+    match v {
+        Json::Str(_) | Json::Num(_) | Json::Bool(_) => Ok(()),
+        _ => Err(format!("`{key}` values must be scalars")),
+    }
+}
+
+fn scalar_label(v: &Json) -> String {
+    match v {
+        Json::Str(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+/// Parses the spec's TOML subset into the equivalent JSON object: top-level
+/// `key = value` lines plus `[section]` tables; values are quoted strings
+/// (no escapes), numbers, booleans, and single-line arrays thereof.
+fn toml_to_json(text: &str) -> Result<Json, String> {
+    let mut top: Vec<(String, Json)> = Vec::new();
+    let mut sections: Vec<(String, Vec<(String, Json)>)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: String| format!("line {}: {msg}", i + 1);
+        if let Some(name) = line.strip_prefix('[') {
+            let name = name
+                .strip_suffix(']')
+                .ok_or_else(|| at("unterminated section header".to_owned()))?
+                .trim();
+            if name.is_empty() {
+                return Err(at("empty section name".to_owned()));
+            }
+            sections.push((name.to_owned(), Vec::new()));
+            continue;
+        }
+        let (key, value) =
+            line.split_once('=').ok_or_else(|| at("expected `key = value`".to_owned()))?;
+        let key = key.trim();
+        if key.is_empty() {
+            return Err(at("empty key".to_owned()));
+        }
+        let value = parse_toml_value(value.trim()).map_err(at)?;
+        match sections.last_mut() {
+            None => top.push((key.to_owned(), value)),
+            Some((_, members)) => members.push((key.to_owned(), value)),
+        }
+    }
+    for (name, members) in sections {
+        top.push((name, Json::Obj(members)));
+    }
+    Ok(Json::Obj(top))
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_toml_value(s: &str) -> Result<Json, String> {
+    if let Some(rest) = s.strip_prefix('[') {
+        let inner = rest.strip_suffix(']').ok_or("unterminated array")?;
+        let mut items = Vec::new();
+        for part in split_commas(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(parse_toml_scalar(part)?);
+        }
+        return Ok(Json::Arr(items));
+    }
+    parse_toml_scalar(s)
+}
+
+fn parse_toml_scalar(s: &str) -> Result<Json, String> {
+    if let Some(rest) = s.strip_prefix('"') {
+        let inner = rest.strip_suffix('"').ok_or(format!("unterminated string `{s}`"))?;
+        if inner.contains('"') {
+            return Err(format!("escapes/embedded quotes unsupported in `{s}`"));
+        }
+        return Ok(Json::str(inner));
+    }
+    match s {
+        "true" => Ok(Json::Bool(true)),
+        "false" => Ok(Json::Bool(false)),
+        _ => {
+            let x: f64 = s.parse().map_err(|_| format!("bad value `{s}`"))?;
+            if !x.is_finite() {
+                return Err(format!("non-finite value `{s}`"));
+            }
+            Ok(Json::num(x))
+        }
+    }
+}
+
+fn split_commas(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut in_str = false;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+/// Runs a sweep end to end: expand, evaluate (in-process or over HTTP),
+/// compute the Pareto front and the overall status.
+///
+/// # Errors
+///
+/// Returns a message for infrastructure failures (bad spec point, engine
+/// construction, endpoint unreachable). Per-*point* evaluation failures are
+/// not errors: they land in [`PointResult::outcome`] and the run status.
+pub fn run_explore_space(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepRun, String> {
+    let point_specs = spec.points(options.max_states)?;
+    let (points, evaluated, cache_hits) = match &options.endpoint {
+        None => run_in_process(&point_specs, options)?,
+        Some(addr) => (run_against_endpoint(&point_specs, addr)?, 0, 0),
+    };
+    let front = pareto_front(&points);
+    let mut status = CmdStatus::Ok;
+    for p in &points {
+        if let Err(e) = &p.outcome {
+            status = status.worst(if e.starts_with("Budget exceeded") {
+                CmdStatus::BudgetExceeded
+            } else {
+                CmdStatus::NotConverged
+            });
+        }
+    }
+    Ok(SweepRun { name: spec.name.clone(), points, front, status, evaluated, cache_hits })
+}
+
+/// Evaluates the points through a private in-process [`JobEngine`], so
+/// identical points coalesce and an optional disk cache tier survives
+/// re-runs.
+fn run_in_process(
+    points: &[SweepPointSpec],
+    options: &SweepOptions,
+) -> Result<(Vec<PointResult>, u64, u64), String> {
+    let cache = Arc::new(
+        ResultCache::new(points.len().max(64), options.cache_dir.clone())
+            .map_err(|e| format!("cache: {e}"))?,
+    );
+    let metrics = Arc::new(Metrics::default());
+    let workers = options.workers.max(1);
+    let engine = JobEngine::new(
+        workers,
+        points.len() + 1,
+        workers,
+        Arc::clone(&cache),
+        Arc::clone(&metrics),
+    );
+    let mut ids = Vec::with_capacity(points.len());
+    for p in points {
+        let id = engine.submit(p.request.clone()).map_err(|e| match e {
+            SubmitError::QueueFull => "submit: queue full".to_owned(),
+            SubmitError::ShuttingDown => "submit: shutting down".to_owned(),
+        })?;
+        ids.push(id);
+    }
+    let mut out = Vec::with_capacity(points.len());
+    for (p, id) in points.iter().zip(&ids) {
+        let snap = loop {
+            let snap = engine.status(*id).expect("submitted job is known");
+            match snap.state {
+                JobState::Done | JobState::Failed | JobState::Cancelled => break snap,
+                JobState::Queued | JobState::Running => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        };
+        let outcome = match snap.state {
+            JobState::Done => {
+                parse(snap.result.as_deref().unwrap_or("null")).map_err(|e| e.to_string())
+            }
+            _ => Err(snap.error.unwrap_or_else(|| "evaluation failed".to_owned())),
+        };
+        out.push(PointResult { label: p.label.clone(), canonical: p.request.canonical(), outcome });
+    }
+    engine.shutdown_and_drain();
+    let stats = cache.stats();
+    Ok((out, Metrics::get(&metrics.evaluated), stats.mem_hits + stats.disk_hits))
+}
+
+/// Evaluates the points against a live `serve` endpoint: submit everything
+/// first (the server coalesces and caches), then poll each job to a
+/// terminal state.
+fn run_against_endpoint(points: &[SweepPointSpec], addr: &str) -> Result<Vec<PointResult>, String> {
+    let mut ids = Vec::with_capacity(points.len());
+    for p in points {
+        let (status, body) = http(addr, "POST", "/v1/jobs", &p.request.canonical())?;
+        if status != 200 && status != 202 {
+            return Err(format!("submit `{}`: HTTP {status}: {body}", p.label));
+        }
+        let id = parse(&body)
+            .ok()
+            .and_then(|v| v.get("id").and_then(Json::as_num))
+            .ok_or_else(|| format!("submit `{}`: malformed response {body}", p.label))?;
+        ids.push(id as u64);
+    }
+    let mut out = Vec::with_capacity(points.len());
+    for (p, id) in points.iter().zip(&ids) {
+        let outcome = loop {
+            let (status, body) = http(addr, "GET", &format!("/v1/jobs/{id}"), "")?;
+            if status != 200 {
+                return Err(format!("poll `{}`: HTTP {status}: {body}", p.label));
+            }
+            let v = parse(&body).map_err(|e| format!("poll `{}`: {e}", p.label))?;
+            match v.get("status").and_then(Json::as_str) {
+                Some("done") => {
+                    break Ok(v.get("result").cloned().unwrap_or(Json::Null));
+                }
+                Some("failed") | Some("cancelled") => {
+                    break Err(v
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("evaluation failed")
+                        .to_owned());
+                }
+                _ => std::thread::sleep(Duration::from_millis(5)),
+            }
+        };
+        out.push(PointResult { label: p.label.clone(), canonical: p.request.canonical(), outcome });
+    }
+    Ok(out)
+}
+
+/// One blocking HTTP/1.1 exchange over a fresh connection.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(300))).ok();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: sweep\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .map_err(|e| format!("send to {addr}: {e}"))?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(|e| format!("read from {addr}: {e}"))?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line from {addr}: {raw}"))?;
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Pareto membership on the two *deterministic* objectives, both minimized:
+/// accuracy error and CTMC states. Wall time is deliberately excluded — it
+/// would make front membership depend on machine load and cache state,
+/// breaking the byte-identical report contract (timings are printed in a
+/// separate, explicitly non-deterministic section).
+fn pareto_front(points: &[PointResult]) -> Vec<usize> {
+    let vals: Vec<Option<(f64, f64)>> = points
+        .iter()
+        .map(|p| {
+            let o = p.outcome.as_ref().ok()?;
+            Some((
+                o.get("accuracy_error").and_then(Json::as_num)?,
+                o.get("ctmc_states").and_then(Json::as_num)?,
+            ))
+        })
+        .collect();
+    let mut front = Vec::new();
+    for (i, v) in vals.iter().enumerate() {
+        let Some((ai, si)) = v else { continue };
+        let dominated = vals.iter().enumerate().any(|(j, w)| {
+            if i == j {
+                return false;
+            }
+            let Some((aj, sj)) = w else { return false };
+            (aj <= ai && sj < si) || (aj < ai && sj <= si)
+        });
+        if !dominated {
+            front.push(i);
+        }
+    }
+    front
+}
+
+impl SweepRun {
+    /// Converts the run into the deterministic report (see
+    /// [`SweepReport::render`]).
+    pub fn report(&self) -> SweepReport {
+        let rows = self
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let num = |o: &Json, key: &str| o.get(key).and_then(Json::as_num);
+                match &p.outcome {
+                    Ok(o) => SweepRow {
+                        label: p.label.clone(),
+                        delay: o.get("delay").and_then(Json::as_str).unwrap_or("?").to_owned(),
+                        fit_k: num(o, "fit_k").map(|k| k as usize),
+                        accuracy_error: num(o, "accuracy_error"),
+                        ctmc_states: num(o, "ctmc_states").map(|s| s as usize),
+                        throughput: num(o, "throughput"),
+                        latency: num(o, "latency"),
+                        tolerance_met: o
+                            .get("fit_tolerance_met")
+                            .and_then(Json::as_bool)
+                            .unwrap_or(true),
+                        on_front: self.front.contains(&i),
+                        status: SweepRowStatus::Ok,
+                    },
+                    Err(e) => SweepRow {
+                        label: p.label.clone(),
+                        delay: "-".to_owned(),
+                        fit_k: None,
+                        accuracy_error: None,
+                        ctmc_states: None,
+                        throughput: None,
+                        latency: None,
+                        tolerance_met: true,
+                        on_front: false,
+                        status: if e.starts_with("Budget exceeded") {
+                            SweepRowStatus::Partial(e.clone())
+                        } else {
+                            SweepRowStatus::Failed(e.clone())
+                        },
+                    },
+                }
+            })
+            .collect();
+        SweepReport { name: self.name.clone(), rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = r#"
+name = "tiny"
+model = "xstream_pipeline"  # the only swept model today
+
+[base]
+transfer_rate = 4.0
+
+[axes]
+delay = ["erlang:1", "erlang:2"]
+push_capacity = [1, 2]
+"#;
+
+    #[test]
+    fn toml_spec_parses_and_expands_deterministically() {
+        let spec = SweepSpec::parse(TINY).expect("parses");
+        assert_eq!(spec.name, "tiny");
+        assert_eq!(spec.num_points(), 4);
+        let points = spec.points(None).expect("expands");
+        let labels: Vec<&str> = points.iter().map(|p| p.label.as_str()).collect();
+        // Axes alphabetical (delay before push_capacity), last axis fastest.
+        assert_eq!(
+            labels,
+            [
+                "delay=erlang:1 push_capacity=1",
+                "delay=erlang:1 push_capacity=2",
+                "delay=erlang:2 push_capacity=1",
+                "delay=erlang:2 push_capacity=2",
+            ]
+        );
+        assert!(points[0].request.canonical().contains("\"transfer_rate\":4"));
+    }
+
+    #[test]
+    fn json_spec_is_equivalent_to_toml() {
+        let json = r#"{"name":"tiny","model":"xstream_pipeline",
+            "base":{"transfer_rate":4},
+            "axes":{"delay":["erlang:1","erlang:2"],"push_capacity":[1,2]}}"#;
+        let a = SweepSpec::parse(TINY).expect("toml");
+        let b = SweepSpec::parse(json).expect("json");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spec_rejects_malformed() {
+        for bad in [
+            "",                                                                  // no axes
+            "[axes]\n",                                                          // empty axes table
+            "[axes]\nbogus = [1]\n",          // unknown parameter
+            "[axes]\ndelay = []\n",           // empty axis
+            "[axes]\ndelay = \"erlang:1\"\n", // not an array
+            "[base]\ndelay = \"exponential\"\n[axes]\ndelay = [\"erlang:1\"]\n", // both
+            "typo = 1\n[axes]\ndelay = [\"erlang:1\"]\n", // unknown top-level
+            "model = \"fame2_ping_pong\"\n[axes]\ndelay = [\"erlang:1\"]\n", // wrong model
+            "[axes\ndelay = [\"erlang:1\"]\n", // bad header
+            "[axes]\ndelay = [\"erlang:1\"\n", // unterminated array
+        ] {
+            assert!(SweepSpec::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn comments_and_strings_interact_correctly() {
+        let spec = SweepSpec::parse(
+            "[axes]\ndelay = [\"erlang:1\"] # trailing comment\n# full-line comment\n",
+        )
+        .expect("parses");
+        assert_eq!(spec.num_points(), 1);
+    }
+
+    #[test]
+    fn tiny_sweep_runs_in_process_and_finds_the_front() {
+        let spec = SweepSpec::parse(TINY).expect("parses");
+        let run = run_explore_space(&spec, &SweepOptions { workers: 2, ..Default::default() })
+            .expect("runs");
+        assert_eq!(run.status, CmdStatus::Ok);
+        assert_eq!(run.points.len(), 4);
+        assert!(run.points.iter().all(|p| p.outcome.is_ok()));
+        assert!(!run.front.is_empty(), "some point is non-dominated");
+        let text = run.report().render();
+        assert!(text.contains("Pareto front"), "{text}");
+        assert!(text.contains("4 points (4 ok, 0 partial, 0 failed)"), "{text}");
+    }
+
+    #[test]
+    fn budget_trips_mark_points_partial_and_exit_3() {
+        let spec = SweepSpec::parse(TINY).expect("parses");
+        // erlang:2 at push_capacity 2 needs the most states; cap below it.
+        let full = run_explore_space(&spec, &SweepOptions { workers: 1, ..Default::default() })
+            .expect("runs");
+        let sizes: Vec<f64> = full
+            .points
+            .iter()
+            .map(|p| {
+                p.outcome
+                    .as_ref()
+                    .expect("ok")
+                    .get("ctmc_states")
+                    .and_then(Json::as_num)
+                    .expect("states")
+            })
+            .collect();
+        let max = sizes.iter().cloned().fold(0.0, f64::max);
+        let cap = (max - 1.0) as usize;
+        let run = run_explore_space(
+            &spec,
+            &SweepOptions { workers: 1, max_states: Some(cap), ..Default::default() },
+        )
+        .expect("runs");
+        assert_eq!(run.status, CmdStatus::BudgetExceeded);
+        let partial = run.points.iter().filter(|p| p.outcome.is_err()).count();
+        assert!(partial >= 1 && partial < run.points.len(), "partial {partial}");
+        let text = run.report().render();
+        assert!(text.contains("partial"), "{text}");
+        assert!(text.contains("Budget exceeded"), "{text}");
+    }
+
+    #[test]
+    fn pareto_front_drops_dominated_points() {
+        let mk = |label: &str, err: f64, states: f64| PointResult {
+            label: label.to_owned(),
+            canonical: String::new(),
+            outcome: Ok(Json::Obj(vec![
+                ("accuracy_error".to_owned(), Json::num(err)),
+                ("ctmc_states".to_owned(), Json::num(states)),
+            ])),
+        };
+        let points = vec![
+            mk("a", 0.1, 10.0),  // front
+            mk("b", 0.05, 20.0), // front
+            mk("c", 0.1, 20.0),  // dominated by both
+            PointResult {
+                label: "d".to_owned(),
+                canonical: String::new(),
+                outcome: Err("Budget exceeded: too big".to_owned()),
+            },
+        ];
+        assert_eq!(pareto_front(&points), vec![0, 1]);
+    }
+}

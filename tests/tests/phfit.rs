@@ -1,0 +1,210 @@
+//! Convergence properties of the adaptive phase-type fitter
+//! (`ctmc::phfit`), which backs `Delay::Deterministic` and the
+//! `det:TOL` sweep axis:
+//!
+//! - the Erlang-k sup CDF error against the deterministic step is
+//!   monotonically non-increasing in k (the fit converges);
+//! - `fit_deterministic` picks the *minimal* order meeting the stated
+//!   tolerance, or honestly reports `tolerance_met = false` at the cap;
+//! - fitted means match the target to 1e-9 (both the deterministic and
+//!   the two-moment entry points);
+//! - metamorphic: lump-then-solve equals solve-then-project on a chain
+//!   whose delays went through the fitter.
+
+use multival::ctmc::phfit::{
+    fit_deterministic, fit_moments, sup_error_vs_step, FitOptions, DEFAULT_JUMP_WINDOW,
+    DEFAULT_SAMPLES,
+};
+use multival::ctmc::steady::{steady_state, SolveOptions};
+use multival::ctmc::{Ctmc, CtmcBuilder};
+use multival::imc::lump::{lump_partition, LumpOptions};
+use multival::imc::phase_type::Delay;
+use multival::imc::to_ctmc::{to_ctmc, NondetPolicy};
+use multival::imc::{Imc, ImcBuilder};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Builds the lumped quotient CTMC from a partition (block-level rates
+/// read off one representative per block; lumpability guarantees every
+/// member gives the same numbers).
+fn quotient_ctmc(imc: &Imc, block: &[u32], num_blocks: u32) -> Ctmc {
+    let mut b = CtmcBuilder::new(num_blocks as usize);
+    let mut seen = vec![false; num_blocks as usize];
+    for s in 0..imc.num_states() {
+        let bs = block[s] as usize;
+        if seen[bs] {
+            continue;
+        }
+        seen[bs] = true;
+        let mut rates: BTreeMap<u32, f64> = BTreeMap::new();
+        for m in imc.markovian_from(s as u32) {
+            *rates.entry(block[m.target as usize]).or_insert(0.0) += m.rate;
+        }
+        for (tb, r) in rates {
+            if tb as usize != bs {
+                b.rate(bs, tb as usize, r).expect("rate");
+            }
+        }
+    }
+    let init_block = block[imc.initial() as usize] as usize;
+    b.set_initial(vec![(init_block, 1.0)]).expect("initial");
+    b.build().expect("quotient")
+}
+
+/// Sums a per-state distribution into per-block mass, routing through
+/// the IMC→CTMC state map.
+fn project(dist: &[f64], state_map: &[Option<usize>], block: &[u32], num_blocks: u32) -> Vec<f64> {
+    let mut out = vec![0.0; num_blocks as usize];
+    for (s, m) in state_map.iter().enumerate() {
+        if let Some(cs) = m {
+            out[block[s] as usize] += dist[*cs];
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Doubling the Erlang order never makes the sup CDF error against
+    /// the deterministic step worse: the fit converges monotonically
+    /// along the exact ladder `fit_deterministic` climbs.
+    #[test]
+    fn erlang_error_monotone_in_order(mean in 0.1f64..10.0) {
+        let mut prev = f64::INFINITY;
+        let mut k = 1usize;
+        while k <= 256 {
+            let e = sup_error_vs_step(k, mean, DEFAULT_JUMP_WINDOW, DEFAULT_SAMPLES);
+            prop_assert!(e.is_finite() && e >= 0.0, "k={k}: error {e} not a probability gap");
+            prop_assert!(
+                e <= prev + 1e-12,
+                "error increased at k={k}: {e} after {prev}"
+            );
+            prev = e;
+            k *= 2;
+        }
+    }
+
+    /// The adaptive fit meets the stated tolerance whenever the cap
+    /// allows, and the chosen order is minimal: one order less already
+    /// violates the tolerance.
+    #[test]
+    fn fit_meets_tolerance_with_minimal_order(mean in 0.1f64..10.0, tol in 0.02f64..0.5) {
+        let opts = FitOptions::default();
+        let fit = fit_deterministic(mean, tol, &opts).expect("fit");
+        prop_assert!(fit.tolerance_met, "default cap fits tol {tol}: {fit}");
+        prop_assert!(
+            fit.achieved_error <= tol,
+            "reported met but error {} > tol {tol}", fit.achieved_error
+        );
+        if fit.k > 1 {
+            let below = sup_error_vs_step(fit.k - 1, mean, opts.window, opts.samples);
+            prop_assert!(
+                below > tol,
+                "k={} is not minimal: k-1 already achieves {below} <= {tol}", fit.k
+            );
+        }
+    }
+
+    /// With a cap too low for the tolerance, the fit returns the capped
+    /// order and honestly reports the shortfall instead of lying.
+    #[test]
+    fn capped_fit_reports_unmet(mean in 0.5f64..5.0) {
+        let opts = FitOptions { max_k: 4, ..FitOptions::default() };
+        let fit = fit_deterministic(mean, 0.01, &opts).expect("fit");
+        prop_assert_eq!(fit.k, 4);
+        prop_assert!(!fit.tolerance_met, "cap 4 cannot reach tol 0.01: {}", fit);
+        prop_assert!(fit.achieved_error > 0.01);
+    }
+
+    /// The fitted Erlang mean `k / rate` matches the target to 1e-9
+    /// relative, for any tolerance.
+    #[test]
+    fn fitted_mean_matches_target(mean in 0.1f64..10.0, tol in 0.02f64..0.5) {
+        let fit = fit_deterministic(mean, tol, &FitOptions::default()).expect("fit");
+        let fitted_mean = fit.k as f64 / fit.rate;
+        prop_assert!(
+            (fitted_mean - mean).abs() <= 1e-9 * mean,
+            "fitted mean {fitted_mean} vs target {mean} (k={})", fit.k
+        );
+        prop_assert!((fit.cv - 1.0 / (fit.k as f64).sqrt()).abs() < 1e-12);
+    }
+
+    /// The two-moment fit matches mean AND coefficient of variation:
+    /// phase means sum to the target, and the cv recomputed from the
+    /// rates agrees with what was asked for.
+    #[test]
+    fn moment_fit_matches_both_moments(mean in 0.1f64..10.0, cv in 0.05f64..1.0) {
+        let fit = fit_moments(mean, cv).expect("fit");
+        let m: f64 = fit.rates.iter().map(|r| 1.0 / r).sum();
+        let var: f64 = fit.rates.iter().map(|r| 1.0 / (r * r)).sum();
+        prop_assert!(
+            (m - mean).abs() <= 1e-9 * mean,
+            "moment-fit mean {m} vs target {mean} (k={})", fit.k()
+        );
+        prop_assert!(
+            (var.sqrt() / m - cv).abs() <= 1e-6,
+            "moment-fit cv {} vs target {cv}", var.sqrt() / m
+        );
+        if fit.is_erlang() {
+            let k = fit.k() as f64;
+            prop_assert!((1.0 / k.sqrt() - cv).abs() <= 1e-9, "pure Erlang only when cv = 1/sqrt(k)");
+        }
+    }
+
+    /// Metamorphic: on a cycle whose service delay went through the
+    /// deterministic fitter, minimize-then-solve equals
+    /// solve-then-project. The fitter's output is an ordinary Erlang
+    /// chain, so all downstream machinery (lumping, steady state) must
+    /// treat it like one.
+    #[test]
+    fn lump_commutes_on_fitted_chain(
+        mean in 0.5f64..2.0,
+        tol in 0.2f64..0.5,
+        rest_rate in 0.5f64..3.0,
+    ) {
+        // Route the service time through the fitter: Deterministic resolves
+        // to a concrete Erlang ladder, which we lay out as a Markovian cycle
+        // (k service phases, then an exponential rest back to the start).
+        let Delay::Erlang { phases, rate } = Delay::deterministic(mean, tol).resolved() else {
+            panic!("deterministic delay must resolve to an Erlang chain");
+        };
+        let mut b = ImcBuilder::new();
+        let states: Vec<_> = (0..=phases).map(|_| b.add_state()).collect();
+        for w in states.windows(2) {
+            b.markovian(w[0], w[1], rate).expect("rate");
+        }
+        b.markovian(states[phases as usize], states[0], rest_rate).expect("rate");
+        let imc = b.build(states[0]);
+
+        let (block, num_blocks, _) = lump_partition(&imc, &LumpOptions::default());
+        let conv = to_ctmc(&imc, NondetPolicy::Reject, &[]).expect("purely Markovian");
+        let opts = SolveOptions::default();
+
+        let pi = steady_state(&conv.ctmc, &opts).expect("original solves");
+        let projected = project(&pi, &conv.state_map, &block, num_blocks);
+        let quotient = quotient_ctmc(&imc, &block, num_blocks);
+        let pi_q = steady_state(&quotient, &opts).expect("quotient solves");
+
+        for (b, (got, want)) in projected.iter().zip(&pi_q).enumerate() {
+            prop_assert!((got - want).abs() < 1e-6,
+                "block {b}: projected {got} vs quotient {want}");
+        }
+    }
+}
+
+/// The decorated deterministic delay and its explicit `resolved()` Erlang
+/// produce the same number of phases end to end (spot check, no proptest:
+/// this pins the k chosen for a known mean/tolerance pair).
+#[test]
+fn fit_orders_are_stable_for_known_tolerances() {
+    for (tol, expect_k) in [(0.5, 3), (0.3, 27)] {
+        let fit = fit_deterministic(1.0, tol, &FitOptions::default()).expect("fit");
+        assert_eq!(fit.k, expect_k, "tol {tol}: {fit}");
+        assert!(fit.tolerance_met);
+    }
+    // Tight tolerance: error ~ Phi(-0.1*sqrt(k)) forces k into the hundreds.
+    let tight = fit_deterministic(1.0, 0.1, &FitOptions::default()).expect("fit");
+    assert!(tight.k > 100, "tol 0.1 needs a deep chain, got k={}", tight.k);
+    assert!(tight.tolerance_met);
+}

@@ -1,0 +1,210 @@
+//! End-to-end tests of the `explore-space` design-space driver over the
+//! committed `tests/data/sweep_xstream.toml` spec:
+//!
+//! - the rendered report is byte-identical across worker counts and
+//!   across the in-process engine vs a live `serve` endpoint;
+//! - re-running against the service is answered from the cache (asserted
+//!   through `/v1/metrics`, not timing);
+//! - the report matches a committed golden fixture;
+//! - along the Erlang-order axis, accuracy error strictly shrinks while
+//!   peak CTMC states strictly grow — the paper's central trade-off;
+//! - a `--max-states` budget marks individual points partial and turns
+//!   the whole run into exit code 3 without losing the other points.
+
+use multival::cli::CmdStatus;
+use multival_svc::json::{parse, Json};
+use multival_svc::server::{serve, ServerConfig};
+use multival_svc::sweep::{run_explore_space, SweepOptions, SweepSpec};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("data").join(name)
+}
+
+/// Compares `contents` against the committed fixture, or rewrites the
+/// fixture when `UPDATE_GOLDEN=1`.
+fn check_golden(name: &str, contents: &str) {
+    let path = fixture_path(name);
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::write(&path, contents).expect("write fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {name} ({e}); create it with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        want, contents,
+        "golden mismatch for {name}; if the change is intentional and verified, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+fn committed_spec() -> SweepSpec {
+    let text = std::fs::read_to_string(fixture_path("sweep_xstream.toml")).expect("spec fixture");
+    SweepSpec::parse(&text).expect("committed spec parses")
+}
+
+fn options(workers: usize) -> SweepOptions {
+    SweepOptions { workers, endpoint: None, cache_dir: None, max_states: None }
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_cap: 256,
+        cache_capacity: 64,
+        cache_dir: None,
+        mc_workers: 1,
+        event_threads: 2,
+        journal_dir: None,
+        read_deadline: Duration::from_secs(10),
+    }
+}
+
+/// One blocking HTTP exchange over a fresh connection.
+fn http(addr: SocketAddr, method: &str, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    write!(stream, "{method} {path} HTTP/1.1\r\nHost: svc\r\nContent-Length: 0\r\n\r\n")
+        .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {raw}"));
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+    (status, body)
+}
+
+/// Reads one numeric counter out of a parsed `/v1/metrics` body.
+fn metric(metrics: &Json, section: &str, name: &str) -> f64 {
+    metrics
+        .get(section)
+        .and_then(|s| s.get(name))
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| panic!("metrics field {section}.{name} missing"))
+}
+
+/// Pulls a numeric field out of a point's result object.
+fn field(outcome: &Json, name: &str) -> f64 {
+    outcome.get(name).and_then(Json::as_num).unwrap_or_else(|| panic!("result field {name}"))
+}
+
+#[test]
+fn report_is_byte_identical_across_worker_counts() {
+    let spec = committed_spec();
+    let one = run_explore_space(&spec, &options(1)).expect("workers=1 run");
+    let four = run_explore_space(&spec, &options(4)).expect("workers=4 run");
+    assert_eq!(one.status, CmdStatus::Ok);
+    assert_eq!(four.status, CmdStatus::Ok);
+    assert_eq!(one.front, four.front, "Pareto front depends on worker count");
+    assert_eq!(
+        one.report().render(),
+        four.report().render(),
+        "report must not depend on worker count"
+    );
+}
+
+#[test]
+fn live_service_agrees_with_in_process_and_rerun_is_cache_served() {
+    let spec = committed_spec();
+    let local = run_explore_space(&spec, &options(2)).expect("in-process run");
+    let local_report = local.report().render();
+
+    let handle = serve(&server_config()).expect("serve");
+    let addr = handle.addr();
+    let remote_options = |workers| SweepOptions {
+        workers,
+        endpoint: Some(addr.to_string()),
+        cache_dir: None,
+        max_states: None,
+    };
+
+    let remote = run_explore_space(&spec, &remote_options(4)).expect("remote run");
+    assert_eq!(
+        local_report,
+        remote.report().render(),
+        "in-process and live-service transports must render identically"
+    );
+
+    let (status, body) = http(addr, "GET", "/v1/metrics");
+    assert_eq!(status, 200, "{body}");
+    let metrics = parse(&body).expect("metrics JSON");
+    let evaluated_first = metric(&metrics, "jobs", "evaluated");
+    assert_eq!(evaluated_first, spec.num_points() as f64, "{body}");
+
+    // Second run over the same spec: every point must come out of the
+    // cache — no new evaluations, only cache-served answers.
+    let rerun = run_explore_space(&spec, &remote_options(1)).expect("rerun");
+    assert_eq!(local_report, rerun.report().render(), "cached rerun must render identically");
+
+    let (status, body) = http(addr, "GET", "/v1/metrics");
+    assert_eq!(status, 200, "{body}");
+    let metrics = parse(&body).expect("metrics JSON");
+    assert_eq!(
+        metric(&metrics, "jobs", "evaluated"),
+        evaluated_first,
+        "rerun must not evaluate anything new: {body}"
+    );
+    assert!(
+        metric(&metrics, "jobs", "cache_served") >= spec.num_points() as f64,
+        "rerun must be answered from the cache: {body}"
+    );
+    let _ = handle.shutdown_and_drain();
+}
+
+#[test]
+fn committed_spec_matches_golden_report() {
+    let run = run_explore_space(&committed_spec(), &options(2)).expect("run");
+    assert_eq!(run.status, CmdStatus::Ok);
+    check_golden("sweep_xstream_report.txt", &run.report().render());
+}
+
+#[test]
+fn accuracy_error_shrinks_as_states_grow_along_k() {
+    let run = run_explore_space(&committed_spec(), &options(2)).expect("run");
+    for depth in ["push_capacity=1", "push_capacity=2"] {
+        let series: Vec<(f64, f64, f64)> = run
+            .points
+            .iter()
+            .filter(|p| p.label.ends_with(depth))
+            .map(|p| {
+                let r = p.outcome.as_ref().expect("point succeeds");
+                (field(r, "fit_k"), field(r, "accuracy_error"), field(r, "ctmc_states"))
+            })
+            .collect();
+        assert_eq!(series.len(), 4, "four Erlang orders per depth");
+        for w in series.windows(2) {
+            let ((k0, e0, s0), (k1, e1, s1)) = (w[0], w[1]);
+            assert!(k0 < k1, "points must come out in Erlang order: {k0} vs {k1}");
+            assert!(e1 < e0, "{depth}: error must shrink with k ({e0} -> {e1})");
+            assert!(s1 > s0, "{depth}: state space must grow with k ({s0} -> {s1})");
+        }
+    }
+}
+
+#[test]
+fn budget_cap_marks_points_partial_without_losing_the_rest() {
+    let spec = committed_spec();
+    let capped = SweepOptions { max_states: Some(20), ..options(2) };
+    let run = run_explore_space(&spec, &capped).expect("capped run");
+    assert_eq!(run.status, CmdStatus::BudgetExceeded);
+    assert_eq!(run.status.exit_code(), 3);
+
+    let ok = run.points.iter().filter(|p| p.outcome.is_ok()).count();
+    let partial = run.points.iter().filter(|p| p.outcome.is_err()).count();
+    assert!(ok >= 1, "the smallest points fit under 20 states");
+    assert!(partial >= 1, "the deep Erlang ladders must trip the cap");
+    assert_eq!(ok + partial, spec.num_points());
+    for p in run.points.iter().filter(|p| p.outcome.is_err()) {
+        let reason = p.outcome.as_ref().unwrap_err();
+        assert!(reason.starts_with("Budget exceeded:"), "partial reason: {reason}");
+    }
+    let report = run.report().render();
+    assert!(report.contains("partial"), "report must surface partial points:\n{report}");
+}
